@@ -1,0 +1,51 @@
+//! End-to-end vertex cover on fixed medium graphs: the E-process's Θ(n)
+//! against the SRW's Θ(n log n).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eproc_bench::rng_for;
+use eproc_core::cover::{run_cover, CoverTarget};
+use eproc_core::rule::UniformRule;
+use eproc_core::srw::SimpleRandomWalk;
+use eproc_core::EProcess;
+use eproc_graphs::generators;
+
+fn bench_cover(c: &mut Criterion) {
+    let mut graph_rng = rng_for(1);
+    let regular = generators::connected_random_regular(1_024, 4, &mut graph_rng).unwrap();
+    let torus = generators::torus2d(32, 32);
+    let mut group = c.benchmark_group("cover_small");
+    group.sample_size(20);
+
+    group.bench_function("eprocess_regular_n1024", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&regular, 0, UniformRule::new());
+            std::hint::black_box(run_cover(&mut w, CoverTarget::Vertices, u64::MAX, &mut rng))
+        })
+    });
+    group.bench_function("srw_regular_n1024", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = SimpleRandomWalk::new(&regular, 0);
+            std::hint::black_box(run_cover(&mut w, CoverTarget::Vertices, u64::MAX, &mut rng))
+        })
+    });
+    group.bench_function("eprocess_torus_32x32", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&torus, 0, UniformRule::new());
+            std::hint::black_box(run_cover(&mut w, CoverTarget::Vertices, u64::MAX, &mut rng))
+        })
+    });
+    group.bench_function("eprocess_edge_cover_torus_32x32", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&torus, 0, UniformRule::new());
+            std::hint::black_box(run_cover(&mut w, CoverTarget::Edges, u64::MAX, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

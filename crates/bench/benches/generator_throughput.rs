@@ -1,0 +1,46 @@
+//! Graph generation throughput: Steger–Wormald vs pairing model, LPS,
+//! hypercube, geometric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eproc_bench::rng_for;
+use eproc_graphs::generators;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_throughput");
+    group.sample_size(10);
+
+    group.bench_function("steger_wormald_n10k_r4", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(1);
+            std::hint::black_box(generators::steger_wormald(10_000, 4, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("pairing_multigraph_n10k_r4", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(1);
+            std::hint::black_box(generators::pairing_model_multigraph(10_000, 4, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("pairing_simple_n10k_r4", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(1);
+            std::hint::black_box(generators::random_regular_pairing(10_000, 4, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("lps_5_13", |b| {
+        b.iter(|| std::hint::black_box(generators::lps_ramanujan(5, 13).unwrap()))
+    });
+    group.bench_function("hypercube_r13", |b| {
+        b.iter(|| std::hint::black_box(generators::hypercube(13)))
+    });
+    group.bench_function("geometric_n10k", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(1);
+            std::hint::black_box(generators::random_geometric(10_000, 0.03, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

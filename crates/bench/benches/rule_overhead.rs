@@ -1,0 +1,62 @@
+//! Ablation: cost of rule `A` in the blue-step hot path.
+//!
+//! The engine charges `O(1)` for bookkeeping; the rule adds its own cost
+//! (uniform: one RNG draw; port rules: a scan of the live slice;
+//! round-robin: a sort of the live slice). Measured over the first `m`
+//! blue steps of a fresh walk.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eproc_bench::rng_for;
+use eproc_core::rule::{FirstPortRule, GreedyAdversary, RoundRobinRule, UniformRule};
+use eproc_core::{EProcess, WalkProcess};
+use eproc_graphs::generators;
+
+fn bench_rules(c: &mut Criterion) {
+    let mut graph_rng = rng_for(1);
+    let g = generators::connected_random_regular(10_000, 6, &mut graph_rng).unwrap();
+    let steps = g.m() as u64 / 2;
+    let mut group = c.benchmark_group("rule_overhead");
+    group.throughput(Throughput::Elements(steps));
+    group.sample_size(20);
+
+    group.bench_function("uniform", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&g, 0, UniformRule::new());
+            for _ in 0..steps {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function("first_port", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&g, 0, FirstPortRule);
+            for _ in 0..steps {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&g, 0, RoundRobinRule::new(g.n()));
+            for _ in 0..steps {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function("greedy_adversary", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&g, 0, GreedyAdversary);
+            for _ in 0..steps {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Eigenvalue-gap computation: power iteration vs Lanczos vs dense Jacobi.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eproc_bench::rng_for;
+use eproc_graphs::generators;
+use eproc_spectral::dense::SymMatrix;
+use eproc_spectral::lanczos::lanczos;
+use eproc_spectral::power::{spectral_gap, PowerOptions};
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut graph_rng = rng_for(1);
+    let big = generators::connected_random_regular(2_000, 4, &mut graph_rng).unwrap();
+    let small = generators::connected_random_regular(200, 4, &mut graph_rng).unwrap();
+    let mut group = c.benchmark_group("spectral_methods");
+    group.sample_size(10);
+
+    group.bench_function("power_iteration_n2000", |b| {
+        b.iter(|| std::hint::black_box(spectral_gap(&big, PowerOptions::default())))
+    });
+    group.bench_function("lanczos120_n2000", |b| {
+        b.iter(|| std::hint::black_box(lanczos(&big, 120)))
+    });
+    group.bench_function("jacobi_n200", |b| {
+        b.iter(|| std::hint::black_box(SymMatrix::from_graph(&small, false).eigenvalues()))
+    });
+    group.bench_function("lanczos_n200_full", |b| {
+        b.iter(|| std::hint::black_box(lanczos(&small, 199)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Steps/second of each walk process on a fixed random 4-regular graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eproc_bench::rng_for;
+use eproc_core::choice::RandomWalkWithChoice;
+use eproc_core::fair::LeastUsedFirst;
+use eproc_core::rotor::RotorRouter;
+use eproc_core::rule::UniformRule;
+use eproc_core::srw::SimpleRandomWalk;
+use eproc_core::{EProcess, WalkProcess};
+use eproc_graphs::generators;
+
+const STEPS: u64 = 10_000;
+
+fn bench_walks(c: &mut Criterion) {
+    let mut graph_rng = rng_for(1);
+    let g = generators::connected_random_regular(10_000, 4, &mut graph_rng).unwrap();
+    let mut group = c.benchmark_group("walk_step_throughput");
+    group.throughput(Throughput::Elements(STEPS));
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("eprocess_uniform", g.n()), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = EProcess::new(&g, 0, UniformRule::new());
+            for _ in 0..STEPS {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("srw", g.n()), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = SimpleRandomWalk::new(&g, 0);
+            for _ in 0..STEPS {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("rotor_router", g.n()), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = RotorRouter::new(&g, 0);
+            for _ in 0..STEPS {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("rwc2", g.n()), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = RandomWalkWithChoice::new(&g, 0, 2);
+            for _ in 0..STEPS {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("least_used_first", g.n()), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = LeastUsedFirst::new(&g, 0);
+            for _ in 0..STEPS {
+                std::hint::black_box(w.advance(&mut rng));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! **T-girth**: Theorem 3 on the title's *high girth even degree
+//! expanders*.
+//!
+//! LPS graphs `X^{5,q}` are 6-regular with girth `Ω(log n)`; Theorem 3
+//! then gives `CE(E) = O(m + m log n / g)` ≈ linear. Random 6-regular
+//! graphs (constant girth, but few short cycles) are shown for contrast.
+
+use eproc_bench::{edge_cover_runs, mean_vertex_cover_steps, rng_for, save_table, Config, Scale};
+use eproc_core::rule::UniformRule;
+use eproc_core::EProcess;
+use eproc_graphs::properties::{bipartite, girth};
+use eproc_graphs::{generators, Graph};
+use eproc_spectral::lanczos::lanczos;
+use eproc_stats::{SeedSequence, Summary, TextTable};
+use eproc_theory::theorem3_edge_cover_bound;
+
+const REPS: usize = 3;
+
+fn main() {
+    let config = Config::from_args();
+    let seeds = SeedSequence::new(config.seed);
+    println!("Theorem 3 on high girth even degree expanders (LPS) vs random regular\n");
+    let mut table = TextTable::new(vec![
+        "graph", "n", "m", "girth", "gap", "CV/n", "CE/m", "CE", "thm3 bound", "CE/bound",
+    ]);
+
+    let mut measure = |name: String, g: &Graph| {
+        let n = g.n();
+        let m = g.m();
+        let girth_val = girth::girth_at_most(g, 24).unwrap_or(25);
+        let res = lanczos(g, 140.min(n - 1));
+        let gap = if bipartite::is_bipartite(g) {
+            (1.0 - res.lambda_2()) / 2.0
+        } else {
+            1.0 - res.lambda_max()
+        };
+        let cap = (10_000.0 * n as f64 * (n as f64).ln()) as u64;
+        let mut rng = rng_for(seeds.derive(&[3, n as u64, m as u64]));
+        let (cv, d) = mean_vertex_cover_steps(
+            |_| EProcess::new(g, 0, UniformRule::new()),
+            REPS,
+            cap,
+            &mut rng,
+        );
+        assert_eq!(d, REPS);
+        let runs = edge_cover_runs(
+            |_| EProcess::new(g, 0, UniformRule::new()),
+            REPS,
+            cap,
+            &mut rng,
+        );
+        let ce: Vec<u64> = runs.iter().filter_map(|x| x.steps_to_edge_cover).collect();
+        assert_eq!(ce.len(), REPS);
+        let ce_mean = Summary::from_u64(&ce).mean;
+        let bound = theorem3_edge_cover_bound(m, n, girth_val, g.max_degree(), gap);
+        table.push_row(vec![
+            name,
+            n.to_string(),
+            m.to_string(),
+            if girth_val == 25 { ">24".into() } else { girth_val.to_string() },
+            format!("{gap:.3}"),
+            format!("{:.2}", cv / n as f64),
+            format!("{:.2}", ce_mean / m as f64),
+            format!("{ce_mean:.0}"),
+            format!("{bound:.0}"),
+            format!("{:.3}", ce_mean / bound),
+        ]);
+    };
+
+    let lps_qs: Vec<u64> = match config.scale {
+        Scale::Quick => vec![13, 17],
+        Scale::Paper => vec![13, 17, 29],
+    };
+    for &q in &lps_qs {
+        let g = generators::lps_ramanujan(5, q).unwrap();
+        measure(format!("LPS(5,{q})"), &g);
+    }
+    // Contrast: random 6-regular graphs of comparable sizes.
+    for &q in &lps_qs {
+        let n = generators::lps::LpsParams::new(5, q).unwrap().vertex_count();
+        let mut graph_rng = rng_for(seeds.derive(&[6, n as u64]));
+        let g = generators::connected_random_regular(n, 6, &mut graph_rng).unwrap();
+        measure(format!("random 6-regular({n})"), &g);
+    }
+    println!("{table}");
+    let p = save_table("table_girth", &table).expect("write csv");
+    println!("csv: {}", p.display());
+}

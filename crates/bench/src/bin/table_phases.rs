@@ -1,0 +1,74 @@
+//! **T-phase**: the blue/red phase structure behind the proofs.
+//!
+//! On even-degree graphs blue phases are long (the first one consumes a
+//! constant fraction of the edges, Observation 10 lets it run until it
+//! closes at the start); on odd-degree graphs the first blue phase dies at
+//! the first revisit of an exhausted vertex — a birthday-paradox `Θ(√n)`
+//! — which is why the E-process loses its linear-time behaviour there
+//! (§5). This table makes that mechanism visible.
+
+use eproc_bench::{rng_for, save_table, Config, Scale};
+use eproc_core::rule::UniformRule;
+use eproc_core::segments::trace_phases;
+use eproc_core::EProcess;
+use eproc_graphs::generators;
+use eproc_stats::{SeedSequence, Summary, TextTable};
+
+const REPS: usize = 5;
+
+fn main() {
+    let config = Config::from_args();
+    let seeds = SeedSequence::new(config.seed);
+    println!("Blue/red phase structure of the E-process on random r-regular graphs\n");
+    let mut table = TextTable::new(vec![
+        "r",
+        "n",
+        "first blue len",
+        "first/sqrt(n)",
+        "first/m",
+        "#blue phases",
+        "total blue/m",
+        "closed (Obs 10)",
+    ]);
+    let sizes: Vec<usize> = match config.scale {
+        Scale::Quick => vec![4_000, 16_000, 64_000],
+        Scale::Paper => vec![16_000, 64_000, 256_000],
+    };
+    for &r in &[3usize, 4, 5, 6] {
+        for &n in &sizes {
+            let mut graph_rng = rng_for(seeds.derive(&[r as u64, n as u64]));
+            let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
+            let cap = (2_000.0 * n as f64 * (n as f64).ln()) as u64;
+            let mut firsts = Vec::new();
+            let mut phase_counts = Vec::new();
+            let mut blue_fracs = Vec::new();
+            let mut all_closed = true;
+            for rep in 0..REPS {
+                let mut rng = rng_for(seeds.derive(&[r as u64, n as u64, rep as u64]));
+                let mut walk = EProcess::new(&g, 0, UniformRule::new());
+                let trace = trace_phases(&mut walk, cap, &mut rng);
+                firsts.push(trace.first_blue_length() as f64);
+                phase_counts.push(trace.blue_phase_count() as f64);
+                blue_fracs.push(trace.total_blue() as f64 / g.m() as f64);
+                if r % 2 == 0 && !trace.blue_phases_closed() {
+                    all_closed = false;
+                }
+            }
+            assert!(all_closed, "Observation 10 violated for even r = {r}");
+            let first = Summary::from_slice(&firsts).mean;
+            table.push_row(vec![
+                r.to_string(),
+                n.to_string(),
+                format!("{first:.0}"),
+                format!("{:.2}", first / (n as f64).sqrt()),
+                format!("{:.3}", first / g.m() as f64),
+                format!("{:.0}", Summary::from_slice(&phase_counts).mean),
+                format!("{:.3}", Summary::from_slice(&blue_fracs).mean),
+                if r % 2 == 0 { "yes".into() } else { "n/a (odd)".into() },
+            ]);
+        }
+    }
+    println!("{table}");
+    let p = save_table("table_phases", &table).expect("write csv");
+    println!("csv: {}", p.display());
+}

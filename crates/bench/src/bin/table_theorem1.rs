@@ -1,0 +1,105 @@
+//! **T-thm1**: Theorem 1 on even-degree expanders.
+//!
+//! `CV(E-process) = O(n + n log n / (ℓ(1−λmax)))`. For each graph we
+//! measure `λmax` (Lanczos; lazy gap on bipartite graphs, per §2.1),
+//! take the paper's `ℓ` estimate (P2 bound for random regular graphs,
+//! girth for LPS), and report the measured-cover / bound ratio, which
+//! should stay bounded by a modest constant across the sweep.
+
+use eproc_bench::{mean_vertex_cover_steps, rng_for, save_table, Config, Scale};
+use eproc_core::rule::UniformRule;
+use eproc_core::EProcess;
+use eproc_graphs::properties::{bipartite, girth};
+use eproc_graphs::{generators, Graph};
+use eproc_spectral::lanczos::lanczos;
+use eproc_stats::{SeedSequence, TextTable};
+use eproc_theory::{p2_l_good_bound, theorem1_vertex_cover_bound};
+
+const REPS: usize = 5;
+
+fn effective_gap(g: &Graph) -> f64 {
+    let res = lanczos(g, 120.min(g.n() - 1));
+    if bipartite::is_bipartite(g) {
+        (1.0 - res.lambda_2()) / 2.0 // lazy walk gap
+    } else {
+        1.0 - res.lambda_max()
+    }
+}
+
+fn main() {
+    let config = Config::from_args();
+    let seeds = SeedSequence::new(config.seed);
+    println!("Theorem 1: CV(E) vs n + n*ln(n)/(l*(1-lambda_max)) on even-degree expanders\n");
+    let mut table = TextTable::new(vec![
+        "graph", "n", "gap", "l est", "CV mean", "bound", "CV/bound", "CV/n",
+    ]);
+
+    let regular_sizes: Vec<usize> = match config.scale {
+        Scale::Quick => vec![1_000, 4_000, 16_000],
+        Scale::Paper => vec![4_000, 16_000, 64_000, 256_000],
+    };
+    for &r in &[4usize, 6] {
+        for &n in &regular_sizes {
+            let mut graph_rng = rng_for(seeds.derive(&[r as u64, n as u64]));
+            let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
+            let gap = effective_gap(&g);
+            let l = p2_l_good_bound(n, r);
+            let bound = theorem1_vertex_cover_bound(n, l, gap);
+            let mut walk_rng = rng_for(seeds.derive(&[r as u64, n as u64, 1]));
+            let cap = (500.0 * n as f64 * (n as f64).ln()) as u64;
+            let (mean, done) = mean_vertex_cover_steps(
+                |_| EProcess::new(&g, 0, UniformRule::new()),
+                REPS,
+                cap,
+                &mut walk_rng,
+            );
+            assert_eq!(done, REPS, "cover runs must finish");
+            table.push_row(vec![
+                format!("random {r}-regular"),
+                n.to_string(),
+                format!("{gap:.3}"),
+                format!("{l:.2}"),
+                format!("{mean:.0}"),
+                format!("{bound:.0}"),
+                format!("{:.3}", mean / bound),
+                format!("{:.2}", mean / n as f64),
+            ]);
+        }
+    }
+
+    let lps_params: Vec<(u64, u64)> = match config.scale {
+        Scale::Quick => vec![(5, 13), (5, 17)],
+        Scale::Paper => vec![(5, 13), (5, 17), (5, 29)],
+    };
+    for &(p, q) in &lps_params {
+        let g = generators::lps_ramanujan(p, q).unwrap();
+        let n = g.n();
+        let gap = effective_gap(&g);
+        // An even subgraph through v contains a cycle through v, so
+        // l(v) >= girth.
+        let l = girth::girth_at_most(&g, 24).unwrap_or(24) as f64;
+        let bound = theorem1_vertex_cover_bound(n, l, gap);
+        let mut walk_rng = rng_for(seeds.derive(&[p, q, 2]));
+        let cap = (500.0 * n as f64 * (n as f64).ln()) as u64;
+        let (mean, done) = mean_vertex_cover_steps(
+            |_| EProcess::new(&g, 0, UniformRule::new()),
+            REPS,
+            cap,
+            &mut walk_rng,
+        );
+        assert_eq!(done, REPS);
+        table.push_row(vec![
+            format!("LPS({p},{q}) 6-regular"),
+            n.to_string(),
+            format!("{gap:.3}"),
+            format!("{l:.0}"),
+            format!("{mean:.0}"),
+            format!("{bound:.0}"),
+            format!("{:.3}", mean / bound),
+            format!("{:.2}", mean / n as f64),
+        ]);
+    }
+    println!("{table}");
+    let p = save_table("table_theorem1", &table).expect("write csv");
+    println!("csv: {}", p.display());
+}

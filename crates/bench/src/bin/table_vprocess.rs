@@ -1,0 +1,62 @@
+//! **T-vproc**: unvisited-edge vs unvisited-vertex preference.
+//!
+//! §1 of the paper motivates the E-process with "the idea that the vertex
+//! cover time of a random walk could be reduced by choosing unvisited
+//! neighbour vertices whenever possible"; the companion report \[4\]
+//! studies both variants experimentally. This table races the E-process
+//! against the V-process and the SRW across degrees, reporting `CV/n`
+//! (flat = linear).
+
+use eproc_bench::{mean_vertex_cover_steps, rng_for, save_table, Config, Scale};
+use eproc_core::rule::UniformRule;
+use eproc_core::srw::SimpleRandomWalk;
+use eproc_core::vprocess::VProcess;
+use eproc_core::EProcess;
+use eproc_graphs::generators;
+use eproc_stats::{SeedSequence, TextTable};
+
+const REPS: usize = 5;
+
+fn main() {
+    let config = Config::from_args();
+    let seeds = SeedSequence::new(config.seed);
+    println!("E-process vs V-process vs SRW on random r-regular graphs (CV/n)\n");
+    let mut table =
+        TextTable::new(vec!["r", "n", "E CV/n", "V CV/n", "SRW CV/n", "E CV/(n ln n)", "V CV/(n ln n)"]);
+    let sizes: Vec<usize> = match config.scale {
+        Scale::Quick => vec![2_000, 8_000, 32_000],
+        Scale::Paper => vec![8_000, 32_000, 128_000],
+    };
+    for &r in &[3usize, 4, 5, 6] {
+        for &n in &sizes {
+            let mut graph_rng = rng_for(seeds.derive(&[r as u64, n as u64]));
+            let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
+            let nf = n as f64;
+            let cap = (5_000.0 * nf * nf.ln()) as u64;
+            let mut rng = rng_for(seeds.derive(&[r as u64, n as u64, 5]));
+            let (e_cv, d1) = mean_vertex_cover_steps(
+                |_| EProcess::new(&g, 0, UniformRule::new()),
+                REPS,
+                cap,
+                &mut rng,
+            );
+            let (v_cv, d2) =
+                mean_vertex_cover_steps(|_| VProcess::new(&g, 0), REPS, cap, &mut rng);
+            let (s_cv, d3) =
+                mean_vertex_cover_steps(|_| SimpleRandomWalk::new(&g, 0), REPS, cap, &mut rng);
+            assert_eq!((d1, d2, d3), (REPS, REPS, REPS));
+            table.push_row(vec![
+                r.to_string(),
+                n.to_string(),
+                format!("{:.2}", e_cv / nf),
+                format!("{:.2}", v_cv / nf),
+                format!("{:.2}", s_cv / nf),
+                format!("{:.3}", e_cv / (nf * nf.ln())),
+                format!("{:.3}", v_cv / (nf * nf.ln())),
+            ]);
+        }
+    }
+    println!("{table}");
+    let p = save_table("table_vprocess", &table).expect("write csv");
+    println!("csv: {}", p.display());
+}

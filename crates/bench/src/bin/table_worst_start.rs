@@ -1,0 +1,91 @@
+//! **T-wstart**: the cover time is `max_v C_v` — start-vertex sensitivity.
+//!
+//! The paper defines `C_V(Y, G) = max_v C_v`. On vertex-transitive or
+//! expander-like graphs the start barely matters; on the lollipop it
+//! matters enormously for the SRW. This table measures the spread
+//! (worst vs best vs fixed-start mean) for the E-process and the SRW.
+
+use eproc_bench::{rng_for, save_table, Config};
+use eproc_core::cover::{run_cover, worst_start_cover, CoverTarget};
+use eproc_core::rule::UniformRule;
+use eproc_core::srw::SimpleRandomWalk;
+use eproc_core::{EProcess, WalkProcess};
+use eproc_graphs::{generators, Graph, Vertex};
+use eproc_stats::{SeedSequence, TextTable};
+
+const RUNS_PER_START: usize = 8;
+
+fn mean_from(g: &Graph, start: Vertex, srw: bool, rng: &mut rand::rngs::SmallRng) -> f64 {
+    let mut total = 0u64;
+    for _ in 0..RUNS_PER_START {
+        let steps = if srw {
+            let mut w = SimpleRandomWalk::new(g, start);
+            run_cover(&mut w, CoverTarget::Vertices, u64::MAX >> 1, rng)
+        } else {
+            let mut w = EProcess::new(g, start, UniformRule::new());
+            run_cover(&mut w, CoverTarget::Vertices, u64::MAX >> 1, rng)
+        };
+        total += steps.steps_to_vertex_cover.expect("covers");
+    }
+    total as f64 / RUNS_PER_START as f64
+}
+
+fn main() {
+    let config = Config::from_args();
+    let seeds = SeedSequence::new(config.seed);
+    println!("Start-vertex sensitivity: CV = max_v C_v vs fixed-start means\n");
+    let mut table = TextTable::new(vec![
+        "graph", "process", "worst start", "worst mean", "start-0 mean", "worst/start-0",
+    ]);
+    let mut graph_rng = rng_for(seeds.derive(&[0]));
+    let graphs: Vec<(String, Graph)> = vec![
+        ("random 4-regular(128)".into(),
+            generators::connected_random_regular(128, 4, &mut graph_rng).unwrap()),
+        ("torus 12x12".into(), generators::torus2d(12, 12)),
+        ("lollipop(24,24)".into(), generators::lollipop(24, 24)),
+    ];
+    for (name, g) in &graphs {
+        for (process, srw) in [("E-process", false), ("SRW", true)] {
+            let mut rng = rng_for(seeds.derive(&[1, g.n() as u64, srw as u64]));
+            let (worst_v, worst_mean) = if srw {
+                worst_start_cover(
+                    g,
+                    |start, _| -> Box<dyn WalkProcess> { Box::new(SimpleRandomWalk::new(g, start)) },
+                    RUNS_PER_START,
+                    u64::MAX >> 1,
+                    &mut rng,
+                )
+            } else {
+                worst_start_cover(
+                    g,
+                    |start, _| -> Box<dyn WalkProcess> {
+                        Box::new(EProcess::new(g, start, UniformRule::new()))
+                    },
+                    RUNS_PER_START,
+                    u64::MAX >> 1,
+                    &mut rng,
+                )
+            };
+            let from0 = mean_from(g, 0, srw, &mut rng);
+            table.push_row(vec![
+                name.clone(),
+                process.into(),
+                worst_v.to_string(),
+                format!("{worst_mean:.0}"),
+                format!("{from0:.0}"),
+                format!("{:.2}", worst_mean / from0),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("note: on expanders and tori the start barely matters for either process");
+    println!("(ratios 1.0-1.3). The lollipop flips the intuition: the E-process is the");
+    println!("start-sensitive one — the lollipop has odd degrees, so Observation 10");
+    println!("does not apply, and a mid-path start leaves stranded blue edges on both");
+    println!("sides that the embedded random walk must re-reach across the path");
+    println!("(quadratic per crossing). From the clique (start 0) its blue sweep");
+    println!("consumes the path in one pass. Even-degree structure is what makes the");
+    println!("E-process start-insensitive.");
+    let p = save_table("table_worst_start", &table).expect("write csv");
+    println!("csv: {}", p.display());
+}

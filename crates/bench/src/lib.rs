@@ -1,0 +1,357 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the
+//! reproduction (see DESIGN.md §4 for the index). They share:
+//!
+//! * [`Config`] — `--scale quick|paper`, `--seed N` parsing;
+//! * [`save_table`] — writes the CSV next to the printed table under
+//!   `target/experiments/`;
+//! * [`NaiveEProcess`] — a deliberately naive E-process implementation
+//!   (per-step port rescan instead of the engine's O(1) live-prefix
+//!   bookkeeping) used by the `bookkeeping` ablation bench;
+//! * small measurement helpers used across tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eproc_core::cover::{run_cover, CoverRun, CoverTarget};
+use eproc_core::process::{Step, StepKind, WalkProcess};
+use eproc_graphs::{Graph, Vertex};
+use eproc_stats::TextTable;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::path::PathBuf;
+
+/// Experiment scale: `quick` finishes in seconds-to-minutes and already
+/// shows the paper's qualitative shape; `paper` pushes `n` toward the
+/// paper's 5·10⁵.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-quick sweep.
+    Quick,
+    /// Paper-scale sweep (minutes).
+    Paper,
+}
+
+/// Parsed command-line configuration shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Sweep scale.
+    pub scale: Scale,
+    /// Base seed; every cell derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Parses `--scale quick|paper` and `--seed N` from `std::env::args`.
+    /// Unknown arguments abort with a usage message.
+    pub fn from_args() -> Config {
+        let mut scale = Scale::Quick;
+        let mut seed = 12345u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    scale = match v.as_str() {
+                        "quick" => Scale::Quick,
+                        "paper" => Scale::Paper,
+                        other => usage(&format!("unknown scale {other:?}")),
+                    };
+                }
+                "--seed" => {
+                    let v = args.next().unwrap_or_default();
+                    seed = v.parse().unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        Config { scale, seed }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <binary> [--scale quick|paper] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Directory where experiment CSVs are written:
+/// `<workspace>/target/experiments/`.
+pub fn output_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("target");
+    dir.push("experiments");
+    dir
+}
+
+/// Writes `table` as `<name>.csv` under [`output_dir`], creating it if
+/// needed. Returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_table(name: &str, table: &TextTable) -> std::io::Result<PathBuf> {
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Mean steps to vertex cover of `runs` fresh processes built by
+/// `make_walk(rep)`, with cap `max_steps`; also returns how many runs
+/// finished.
+pub fn mean_vertex_cover_steps<'g, W, F>(
+    mut make_walk: F,
+    runs: usize,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> (f64, usize)
+where
+    W: WalkProcess + 'g,
+    F: FnMut(usize) -> W,
+{
+    let mut total = 0u64;
+    let mut finished = 0usize;
+    for rep in 0..runs {
+        let mut walk = make_walk(rep);
+        let run = run_cover(&mut walk, CoverTarget::Vertices, max_steps, rng);
+        if let Some(steps) = run.steps_to_vertex_cover {
+            total += steps;
+            finished += 1;
+        }
+    }
+    if finished == 0 {
+        (f64::NAN, 0)
+    } else {
+        (total as f64 / finished as f64, finished)
+    }
+}
+
+/// Like [`mean_vertex_cover_steps`] but for edge cover, returning the full
+/// [`CoverRun`]s.
+pub fn edge_cover_runs<'g, W, F>(
+    mut make_walk: F,
+    runs: usize,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> Vec<CoverRun>
+where
+    W: WalkProcess + 'g,
+    F: FnMut(usize) -> W,
+{
+    (0..runs)
+        .map(|rep| {
+            let mut walk = make_walk(rep);
+            run_cover(&mut walk, CoverTarget::Edges, max_steps, rng)
+        })
+        .collect()
+}
+
+/// A deliberately naive E-process used by the `bookkeeping` ablation: at
+/// every step it rescans all ports of the current vertex to collect the
+/// unvisited ones (`O(Δ)` always, with no cross-vertex unlinking), instead
+/// of the engine's `O(1)` live-prefix scheme. Semantics are identical to
+/// [`eproc_core::EProcess`] with [`eproc_core::rule::UniformRule`].
+#[derive(Debug, Clone)]
+pub struct NaiveEProcess<'g> {
+    g: &'g Graph,
+    current: Vertex,
+    steps: u64,
+    visited: Vec<bool>,
+    scratch: Vec<usize>,
+}
+
+impl<'g> NaiveEProcess<'g> {
+    /// Creates the naive E-process at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= g.n()`.
+    pub fn new(g: &'g Graph, start: Vertex) -> NaiveEProcess<'g> {
+        assert!(start < g.n(), "start vertex {start} out of range");
+        NaiveEProcess { g, current: start, steps: 0, visited: vec![false; g.m()], scratch: Vec::new() }
+    }
+}
+
+impl<'g> WalkProcess for NaiveEProcess<'g> {
+    fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    fn current(&self) -> Vertex {
+        self.current
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+        let v = self.current;
+        let d = self.g.degree(v);
+        assert!(d > 0, "walk stuck at isolated vertex {v}");
+        self.scratch.clear();
+        for a in self.g.arc_range(v) {
+            if !self.visited[self.g.arc_edge(a)] {
+                self.scratch.push(a);
+            }
+        }
+        let (arc, kind) = if self.scratch.is_empty() {
+            (self.g.arc_range(v).start + rng.gen_range(0..d), StepKind::Red)
+        } else {
+            (self.scratch[rng.gen_range(0..self.scratch.len())], StepKind::Blue)
+        };
+        let e = self.g.arc_edge(arc);
+        let to = self.g.arc_target(arc);
+        if kind == StepKind::Blue {
+            self.visited[e] = true;
+        }
+        self.current = to;
+        self.steps += 1;
+        Step { from: v, to, edge: Some(e), kind }
+    }
+}
+
+/// Builds a fresh deterministic RNG for a derived seed.
+pub fn rng_for(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Applies `f` to every item on `threads` OS threads, preserving order.
+/// Determinism is the caller's job: derive a seed per item, not per
+/// thread. Used by the paper-scale sweeps where each cell is an
+/// independent (graph, walk) simulation.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if `f` panics on any item.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue poisoned").pop();
+                match item {
+                    Some((idx, t)) => {
+                        let r = f(t);
+                        results.lock().expect("results poisoned")[idx] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eproc_core::rule::UniformRule;
+    use eproc_core::EProcess;
+    use eproc_graphs::generators;
+    use eproc_stats::SeedSequence;
+
+    #[test]
+    fn naive_matches_engine_statistics() {
+        // Same process semantics ⇒ similar mean cover time on a fixed
+        // graph (they cannot be trajectory-identical: RNG consumption
+        // differs).
+        let mut seed_rng = rng_for(1);
+        let g = generators::connected_random_regular(200, 4, &mut seed_rng).unwrap();
+        let seeds = SeedSequence::new(9);
+        let mut rng_a = rng_for(seeds.derive(&[0]));
+        let mut rng_b = rng_for(seeds.derive(&[1]));
+        let (mean_fast, k1) = mean_vertex_cover_steps(
+            |_| EProcess::new(&g, 0, UniformRule::new()),
+            20,
+            10_000_000,
+            &mut rng_a,
+        );
+        let (mean_naive, k2) =
+            mean_vertex_cover_steps(|_| NaiveEProcess::new(&g, 0), 20, 10_000_000, &mut rng_b);
+        assert_eq!(k1, 20);
+        assert_eq!(k2, 20);
+        let ratio = mean_fast / mean_naive;
+        assert!((0.7..1.4).contains(&ratio), "means diverge: {mean_fast} vs {mean_naive}");
+    }
+
+    #[test]
+    fn naive_blue_steps_bounded_by_m() {
+        let g = generators::torus2d(5, 5);
+        let mut rng = rng_for(3);
+        let mut w = NaiveEProcess::new(&g, 0);
+        let run = run_cover(&mut w, CoverTarget::Edges, 1_000_000, &mut rng);
+        assert_eq!(run.edges_visited, g.m());
+        assert!(run.blue_steps <= g.m() as u64);
+    }
+
+    #[test]
+    fn output_dir_is_under_target() {
+        let dir = output_dir();
+        assert!(dir.ends_with("target/experiments"));
+    }
+
+    #[test]
+    fn save_table_roundtrip() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.push_row(vec!["1".into()]);
+        let path = save_table("unit_test_table", &t).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a\n1\n");
+    }
+
+    #[test]
+    fn edge_cover_runs_complete() {
+        let g = generators::cycle(12);
+        let mut rng = rng_for(4);
+        let runs = edge_cover_runs(|_| NaiveEProcess::new(&g, 0), 3, 100_000, &mut rng);
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.steps_to_edge_cover == Some(12)));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 4, |x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread_and_empty() {
+        assert_eq!(parallel_map(vec![3, 1, 4], 1, |x| x + 1), vec![4, 2, 5]);
+        assert_eq!(parallel_map(Vec::<u64>::new(), 8, |x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn parallel_map_is_deterministic_with_derived_seeds() {
+        let seeds = SeedSequence::new(3);
+        let run = || {
+            parallel_map((0..8u64).collect(), 4, |i| {
+                let mut rng = rng_for(seeds.derive(&[i]));
+                let g = generators::steger_wormald(50, 4, &mut rng).unwrap();
+                g.edge_list()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+}

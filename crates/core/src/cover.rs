@@ -1,0 +1,446 @@
+//! Cover-time measurement for any [`WalkProcess`].
+//!
+//! The harness tracks visited vertices and edges itself (from the
+//! [`crate::process::Step`]
+//! records), so vertex cover time `C_V`, edge cover time `C_E` and blanket
+//! time can be measured uniformly for the E-process, SRW, rotor-router,
+//! RWC(d) and the locally fair explorers.
+
+use crate::process::{StepKind, WalkProcess};
+use eproc_graphs::{Graph, Vertex};
+use rand::RngCore;
+
+/// What to wait for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverTarget {
+    /// Stop when every vertex has been visited.
+    Vertices,
+    /// Stop when every edge has been traversed.
+    Edges,
+    /// Stop when both vertices and edges are covered.
+    Both,
+}
+
+/// Everything measured during a capped cover run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverRun {
+    /// Steps actually taken (= the cap if the target was not reached).
+    pub steps: u64,
+    /// Step at which the last vertex was first visited, if vertex cover
+    /// completed within the cap.
+    pub steps_to_vertex_cover: Option<u64>,
+    /// Step at which the last edge was first traversed, if edge cover
+    /// completed within the cap.
+    pub steps_to_edge_cover: Option<u64>,
+    /// Blue (unvisited-edge) transitions observed.
+    pub blue_steps: u64,
+    /// Red transitions observed.
+    pub red_steps: u64,
+    /// Distinct vertices visited (including the start).
+    pub vertices_visited: usize,
+    /// Distinct edges traversed.
+    pub edges_visited: usize,
+    /// Where the walk stopped.
+    pub final_vertex: Vertex,
+}
+
+/// Runs `walk` until `target` is covered or `max_steps` elapse.
+///
+/// The walk may have already taken steps; counters here are relative to
+/// this call (fresh bitmaps, step counts starting at the walk's current
+/// position, which counts as visited).
+pub fn run_cover<W: WalkProcess + ?Sized>(
+    walk: &mut W,
+    target: CoverTarget,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> CoverRun {
+    let g = walk.graph();
+    let n = g.n();
+    let m = g.m();
+    let mut vertex_seen = vec![false; n];
+    let mut edge_seen = vec![false; m];
+    let mut vertices_visited = 1usize;
+    vertex_seen[walk.current()] = true;
+    let mut edges_visited = 0usize;
+    let mut steps_to_vertex_cover = if vertices_visited == n { Some(0) } else { None };
+    let mut steps_to_edge_cover = if m == 0 { Some(0) } else { None };
+    let mut blue_steps = 0u64;
+    let mut red_steps = 0u64;
+    let mut t = 0u64;
+    let done = |v: Option<u64>, e: Option<u64>| match target {
+        CoverTarget::Vertices => v.is_some(),
+        CoverTarget::Edges => e.is_some(),
+        CoverTarget::Both => v.is_some() && e.is_some(),
+    };
+    while !done(steps_to_vertex_cover, steps_to_edge_cover) && t < max_steps {
+        let step = walk.advance(rng);
+        t += 1;
+        match step.kind {
+            StepKind::Blue => blue_steps += 1,
+            StepKind::Red => red_steps += 1,
+        }
+        if !vertex_seen[step.to] {
+            vertex_seen[step.to] = true;
+            vertices_visited += 1;
+            if vertices_visited == n {
+                steps_to_vertex_cover = Some(t);
+            }
+        }
+        if let Some(e) = step.edge {
+            if !edge_seen[e] {
+                edge_seen[e] = true;
+                edges_visited += 1;
+                if edges_visited == m {
+                    steps_to_edge_cover = Some(t);
+                }
+            }
+        }
+    }
+    CoverRun {
+        steps: t,
+        steps_to_vertex_cover,
+        steps_to_edge_cover,
+        blue_steps,
+        red_steps,
+        vertices_visited,
+        edges_visited,
+        final_vertex: walk.current(),
+    }
+}
+
+/// Result of a completed vertex cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexCover {
+    /// Steps until every vertex had been visited.
+    pub steps: u64,
+    /// The vertex visited last.
+    pub last_vertex: Vertex,
+}
+
+/// A generous default step cap: `4 n³ + 10⁶`, above the `(4/27)n³(1+o(1))`
+/// worst-case expected cover time of any connected graph, so a capped-out
+/// run on a connected graph signals a bug rather than bad luck.
+pub fn default_step_cap(g: &Graph) -> u64 {
+    let n = g.n() as u64;
+    4 * n * n * n + 1_000_000
+}
+
+/// Runs `walk` to vertex cover with the [`default_step_cap`]; `None` if the
+/// cap was hit (disconnected graph, or a deterministic walk trapped in a
+/// cycle).
+pub fn run_to_vertex_cover<W: WalkProcess + ?Sized>(
+    walk: &mut W,
+    g: &Graph,
+    rng: &mut dyn RngCore,
+) -> Option<VertexCover> {
+    let run = run_cover(walk, CoverTarget::Vertices, default_step_cap(g), rng);
+    run.steps_to_vertex_cover.map(|steps| VertexCover { steps, last_vertex: run.final_vertex })
+}
+
+/// Runs `walk` to edge cover with the [`default_step_cap`]; returns the
+/// step count, or `None` if the cap was hit.
+pub fn run_to_edge_cover<W: WalkProcess + ?Sized>(
+    walk: &mut W,
+    g: &Graph,
+    rng: &mut dyn RngCore,
+) -> Option<u64> {
+    run_cover(walk, CoverTarget::Edges, default_step_cap(g), rng).steps_to_edge_cover
+}
+
+/// Repeats a cover measurement: `make_walk(run_index)` builds a fresh
+/// process for each run; returns the vector of cover step counts (runs
+/// that hit `max_steps` are dropped — the caller can compare lengths).
+pub fn repeat_cover<'g, W, F>(
+    mut make_walk: F,
+    target: CoverTarget,
+    runs: usize,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> Vec<u64>
+where
+    W: WalkProcess + 'g,
+    F: FnMut(usize) -> W,
+{
+    let mut out = Vec::with_capacity(runs);
+    for i in 0..runs {
+        let mut walk = make_walk(i);
+        let run = run_cover(&mut walk, target, max_steps, rng);
+        let steps = match target {
+            CoverTarget::Vertices => run.steps_to_vertex_cover,
+            CoverTarget::Edges => run.steps_to_edge_cover,
+            CoverTarget::Both => run.steps_to_vertex_cover.and(run.steps_to_edge_cover).map(|_| run.steps),
+        };
+        if let Some(s) = steps {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Estimates the paper's cover time `C_V(Y, G) = max_v C_v`: mean steps
+/// to vertex cover from *every* start vertex (`runs_per_start` repetitions
+/// each), returning `(worst_start, worst_mean)`.
+///
+/// `O(n · runs · CV)` — intended for small graphs where the max-over-starts
+/// definition is checked against single-start measurements.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or some run fails to cover within
+/// `max_steps` (choose the cap generously).
+pub fn worst_start_cover<'g, W, F>(
+    g: &Graph,
+    mut make_walk: F,
+    runs_per_start: usize,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> (Vertex, f64)
+where
+    W: WalkProcess + 'g,
+    F: FnMut(Vertex, usize) -> W,
+{
+    assert!(g.n() > 0, "empty graph has no cover time");
+    let mut worst = (0, f64::NEG_INFINITY);
+    for start in g.vertices() {
+        let mut total = 0u64;
+        for rep in 0..runs_per_start {
+            let mut walk = make_walk(start, rep);
+            let run = run_cover(&mut walk, CoverTarget::Vertices, max_steps, rng);
+            total += run
+                .steps_to_vertex_cover
+                .expect("run must cover within max_steps; raise the cap");
+        }
+        let mean = total as f64 / runs_per_start as f64;
+        if mean > worst.1 {
+            worst = (start, mean);
+        }
+    }
+    worst
+}
+
+/// Measures the blanket time `τ_bl(δ)`: the first step `t` at which every
+/// vertex `v` has been visited at least `δ π_v t` times (Ding–Lee–Peres,
+/// §1 of the paper). The condition is checked every `g.n()` steps, so the
+/// result has additive granularity `n`. `None` if not reached within
+/// `max_steps`.
+///
+/// # Panics
+///
+/// Panics if `delta` is not in `(0, 1)`.
+pub fn blanket_time<W: WalkProcess + ?Sized>(
+    walk: &mut W,
+    delta: f64,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> Option<u64> {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    let (n, pi) = {
+        let g = walk.graph();
+        let two_m = g.total_degree() as f64;
+        let pi: Vec<f64> = g.vertices().map(|v| g.degree(v) as f64 / two_m).collect();
+        (g.n(), pi)
+    };
+    let mut visits = vec![0u64; n];
+    visits[walk.current()] = 1;
+    let check_every = n.max(1) as u64;
+    let mut t = 0u64;
+    while t < max_steps {
+        let step = walk.advance(rng);
+        t += 1;
+        visits[step.to] += 1;
+        if t % check_every == 0 {
+            let ok = (0..n).all(|v| visits[v] as f64 >= delta * pi[v] * t as f64);
+            if ok {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eprocess::rule::UniformRule;
+    use crate::eprocess::EProcess;
+    use crate::rotor::RotorRouter;
+    use crate::srw::SimpleRandomWalk;
+    use eproc_graphs::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eprocess_covers_cycle_in_exactly_n_minus_1_vertices() {
+        let g = generators::cycle(20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut w = EProcess::new(&g, 0, UniformRule::new());
+        let cover = run_to_vertex_cover(&mut w, &g, &mut rng).unwrap();
+        // The blue walk goes straight around: n - 1 steps to see all.
+        assert_eq!(cover.steps, 19);
+    }
+
+    #[test]
+    fn eprocess_edge_cover_on_cycle_is_m() {
+        let g = generators::cycle(15);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut w = EProcess::new(&g, 0, UniformRule::new());
+        assert_eq!(run_to_edge_cover(&mut w, &g, &mut rng), Some(15));
+    }
+
+    #[test]
+    fn edge_cover_sandwich_eq3() {
+        // m <= CE(E-process) <= m + CV(SRW): check the lower half per-run
+        // (the upper half holds in expectation; see table_edge_cover).
+        let g = generators::torus2d(5, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for start in [0, 7] {
+            let mut w = EProcess::new(&g, start, UniformRule::new());
+            let ce = run_to_edge_cover(&mut w, &g, &mut rng).unwrap();
+            assert!(ce >= g.m() as u64);
+        }
+    }
+
+    #[test]
+    fn cover_run_counts_are_consistent() {
+        let g = generators::torus2d(4, 4);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut w = EProcess::new(&g, 0, UniformRule::new());
+        let run = run_cover(&mut w, CoverTarget::Both, 1_000_000, &mut rng);
+        assert_eq!(run.blue_steps + run.red_steps, run.steps);
+        assert_eq!(run.vertices_visited, g.n());
+        assert_eq!(run.edges_visited, g.m());
+        assert!(run.steps_to_vertex_cover.unwrap() <= run.steps_to_edge_cover.unwrap());
+        assert_eq!(run.final_vertex, w.current());
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let g = generators::torus2d(10, 10);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut w = SimpleRandomWalk::new(&g, 0);
+        let run = run_cover(&mut w, CoverTarget::Vertices, 10, &mut rng);
+        assert_eq!(run.steps, 10);
+        assert!(run.steps_to_vertex_cover.is_none());
+        assert!(run.vertices_visited <= 11);
+    }
+
+    #[test]
+    fn disconnected_graph_returns_none() {
+        let g = eproc_graphs::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut w = SimpleRandomWalk::new(&g, 0);
+        let run = run_cover(&mut w, CoverTarget::Vertices, 50_000, &mut rng);
+        assert!(run.steps_to_vertex_cover.is_none());
+        assert_eq!(run.vertices_visited, 3);
+    }
+
+    #[test]
+    fn rotor_cover_via_harness() {
+        let g = generators::complete(5);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut w = RotorRouter::new(&g, 0);
+        let cover = run_to_vertex_cover(&mut w, &g, &mut rng).unwrap();
+        assert!(cover.steps >= (g.n() - 1) as u64);
+        // Rotor-router covers within O(mD) = O(m) here.
+        assert!(cover.steps <= (2 * g.m() * 2) as u64);
+    }
+
+    #[test]
+    fn repeat_cover_collects_runs() {
+        let g = generators::cycle(10);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let runs = repeat_cover(
+            |_| EProcess::new(&g, 0, UniformRule::new()),
+            CoverTarget::Vertices,
+            5,
+            100_000,
+            &mut rng,
+        );
+        assert_eq!(runs, vec![9, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn blanket_time_on_complete_graph() {
+        let g = generators::complete(8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut w = SimpleRandomWalk::new(&g, 0);
+        let t = blanket_time(&mut w, 0.3, 1_000_000, &mut rng).unwrap();
+        // K8 blanket time is a small multiple of n log n.
+        assert!(t < 10_000, "blanket time {t} too large for K8");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn blanket_rejects_bad_delta() {
+        let g = generators::complete(4);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut w = SimpleRandomWalk::new(&g, 0);
+        let _ = blanket_time(&mut w, 1.5, 100, &mut rng);
+    }
+
+    #[test]
+    fn worst_start_on_path_is_an_endpoint_region() {
+        // For the SRW on a path, covering from an endpoint requires one
+        // full crossing (≈ n²) while the middle needs ≈ (9/8)·(n/?)… —
+        // empirically the *middle* is worst (both halves must be swept).
+        // We only assert the definitional property: the reported worst
+        // mean dominates every sampled single-start mean.
+        let g = generators::path(9);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (_, worst_mean) = worst_start_cover(
+            &g,
+            |start, _| SimpleRandomWalk::new(&g, start),
+            20,
+            10_000_000,
+            &mut rng,
+        );
+        for probe in [0, 4, 8] {
+            let (mean, done) = {
+                let mut total = 0u64;
+                let mut finished = 0;
+                for _ in 0..20 {
+                    let mut w = SimpleRandomWalk::new(&g, probe);
+                    let run = run_cover(&mut w, CoverTarget::Vertices, 10_000_000, &mut rng);
+                    if let Some(s) = run.steps_to_vertex_cover {
+                        total += s;
+                        finished += 1;
+                    }
+                }
+                (total as f64 / finished as f64, finished)
+            };
+            assert_eq!(done, 20);
+            // Generous sampling slack: the max over starts cannot be far
+            // below any single start's mean.
+            assert!(worst_mean * 1.5 >= mean, "worst {worst_mean} vs probe {probe}: {mean}");
+        }
+    }
+
+    #[test]
+    fn worst_start_eprocess_on_cycle_is_uniform() {
+        // On a cycle every start is equivalent: worst mean equals n - 1.
+        let g = generators::cycle(12);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (_, worst_mean) = worst_start_cover(
+            &g,
+            |start, _| EProcess::new(&g, start, UniformRule::new()),
+            3,
+            1_000_000,
+            &mut rng,
+        );
+        assert_eq!(worst_mean, 11.0);
+    }
+
+    #[test]
+    fn vertex_cover_beats_lower_bound_n_minus_1() {
+        // No walk-based process covers n vertices in fewer than n-1 steps.
+        let g = generators::torus2d(4, 4);
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut w = EProcess::new(&g, 0, UniformRule::new());
+            let c = run_to_vertex_cover(&mut w, &g, &mut rng).unwrap();
+            assert!(c.steps >= (g.n() - 1) as u64);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The E-process (edge-process) engine.
+//!
+//! §1 of the paper: *"Initially all edges of `G` are marked as unvisited. At
+//! each step the edge-process makes a transition to a neighbour of the
+//! currently occupied vertex as follows: If there are unvisited edges
+//! incident with the current vertex pick one, make a transition along this
+//! edge and mark the edge as visited. If there are no unvisited edges
+//! incident with the current vertex, move to a u.a.r. neighbour using a
+//! simple random walk. We assume there is a rule `A`, which tells the walk
+//! how to choose among unvisited edges."*
+//!
+//! The engine keeps, per vertex, a compacted "live prefix" of the unvisited
+//! incident arcs with positional back-pointers, so that marking an edge
+//! visited (which removes it at *both* endpoints) and choosing uniformly
+//! among unvisited edges are both `O(1)`. Each step is therefore `O(1)`
+//! (plus whatever the rule itself costs), which is what makes the
+//! paper-scale Figure 1 runs (`n` up to 5·10⁵) practical.
+
+pub mod rule;
+
+use crate::process::{Step, StepKind, WalkProcess};
+use eproc_graphs::{ArcId, EdgeId, Graph, Vertex};
+use rand::{Rng, RngCore};
+use rule::{EdgeRule, RuleContext, UniformRule};
+
+/// The E-process: a walk preferring unvisited edges, with pluggable rule
+/// `A` for choosing among them.
+///
+/// See the [module documentation](self) for the definition. With
+/// [`UniformRule`] this is exactly the *greedy random walk* of
+/// Orenshtein–Shinkar (reference \[13\] of the paper) — the alias
+/// [`GreedyRandomWalk`] is provided for that reading.
+#[derive(Debug, Clone)]
+pub struct EProcess<'g, A> {
+    g: &'g Graph,
+    rule: A,
+    current: Vertex,
+    start: Vertex,
+    steps: u64,
+    blue_steps: u64,
+    red_steps: u64,
+    visited_edge: Vec<bool>,
+    unvisited_edges: usize,
+    /// Arc ids grouped by source vertex; within each vertex's range the
+    /// first `live[v]` entries are the unvisited (blue) arcs.
+    slots: Vec<ArcId>,
+    /// `pos[a]` = current index of arc `a` inside `slots`.
+    pos: Vec<u32>,
+    /// Number of unvisited arcs at each vertex (= blue degree).
+    live: Vec<u32>,
+}
+
+/// The greedy random walk of Orenshtein–Shinkar: the E-process whose rule
+/// `A` picks an unvisited edge uniformly at random.
+pub type GreedyRandomWalk<'g> = EProcess<'g, UniformRule>;
+
+impl<'g, A: EdgeRule> EProcess<'g, A> {
+    /// Creates an E-process at `start` with all edges unvisited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= g.n()`.
+    pub fn new(g: &'g Graph, start: Vertex, rule: A) -> EProcess<'g, A> {
+        assert!(start < g.n(), "start vertex {start} out of range");
+        let slots: Vec<ArcId> = (0..2 * g.m()).collect();
+        let pos: Vec<u32> = (0..2 * g.m() as u32).collect();
+        let live: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        EProcess {
+            g,
+            rule,
+            current: start,
+            start,
+            steps: 0,
+            blue_steps: 0,
+            red_steps: 0,
+            visited_edge: vec![false; g.m()],
+            unvisited_edges: g.m(),
+            slots,
+            pos,
+            live,
+        }
+    }
+
+    /// The start vertex.
+    pub fn start(&self) -> Vertex {
+        self.start
+    }
+
+    /// Number of blue (unvisited-edge) transitions so far — `t_B` in
+    /// Observation 12, which guarantees `t_B <= m`.
+    pub fn blue_steps(&self) -> u64 {
+        self.blue_steps
+    }
+
+    /// Number of red (random-walk) transitions so far — `t_R`.
+    pub fn red_steps(&self) -> u64 {
+        self.red_steps
+    }
+
+    /// `true` if edge `e` has been traversed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= g.m()`.
+    pub fn edge_visited(&self, e: EdgeId) -> bool {
+        self.visited_edge[e]
+    }
+
+    /// The per-edge visited bitmap (red edges are `true`).
+    pub fn visited_edges(&self) -> &[bool] {
+        &self.visited_edge
+    }
+
+    /// Number of still-unvisited (blue) edges.
+    pub fn unvisited_edge_count(&self) -> usize {
+        self.unvisited_edges
+    }
+
+    /// Blue degree of `v`: the number of unvisited edges incident with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= g.n()`.
+    pub fn blue_degree(&self, v: Vertex) -> usize {
+        self.live[v] as usize
+    }
+
+    /// `true` if the next transition will be blue (the current vertex has
+    /// unvisited incident edges).
+    pub fn in_blue_phase(&self) -> bool {
+        self.live[self.current] > 0
+    }
+
+    /// The unvisited arcs at the current vertex (what rule `A` sees).
+    pub fn live_arcs(&self) -> &[ArcId] {
+        let r = self.g.arc_range(self.current);
+        &self.slots[r.start..r.start + self.live[self.current] as usize]
+    }
+
+    /// Access to the rule, e.g. to inspect adversary state.
+    pub fn rule(&self) -> &A {
+        &self.rule
+    }
+
+    /// Resets the process to a fresh state at `start` — all edges
+    /// unvisited, counters zeroed — reusing the existing allocations.
+    /// Rule state is *not* reset (rules carry their own state; recreate
+    /// the process if the rule must also be fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= g.n()`.
+    pub fn reset(&mut self, start: Vertex) {
+        assert!(start < self.g.n(), "start vertex {start} out of range");
+        self.current = start;
+        self.start = start;
+        self.steps = 0;
+        self.blue_steps = 0;
+        self.red_steps = 0;
+        self.visited_edge.iter_mut().for_each(|v| *v = false);
+        self.unvisited_edges = self.g.m();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            *slot = i;
+        }
+        for (i, p) in self.pos.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        for (v, live) in self.live.iter_mut().enumerate() {
+            *live = self.g.degree(v) as u32;
+        }
+    }
+
+    /// Marks edge `e` visited, unlinking both of its arcs from the live
+    /// prefixes of their endpoints in `O(1)`.
+    fn mark_visited(&mut self, e: EdgeId) {
+        debug_assert!(!self.visited_edge[e]);
+        self.visited_edge[e] = true;
+        self.unvisited_edges -= 1;
+        let (a0, a1) = self.g.edge_arcs(e);
+        let (u, v) = self.g.endpoints(e);
+        self.unlink(a0, u);
+        self.unlink(a1, v);
+    }
+
+    fn unlink(&mut self, arc: ArcId, src: Vertex) {
+        let p = self.pos[arc] as usize;
+        let live = self.live[src] as usize;
+        let base = self.g.arc_range(src).start;
+        debug_assert!(
+            p >= base && p < base + live,
+            "arc {arc} not in the live prefix of vertex {src}"
+        );
+        let last = base + live - 1;
+        let moved = self.slots[last];
+        self.slots[p] = moved;
+        self.slots[last] = arc;
+        self.pos[moved] = p as u32;
+        self.pos[arc] = last as u32;
+        self.live[src] -= 1;
+    }
+}
+
+impl<'g, A: EdgeRule> WalkProcess for EProcess<'g, A> {
+    fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    fn current(&self) -> Vertex {
+        self.current
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+        let v = self.current;
+        let degree = self.g.degree(v);
+        assert!(degree > 0, "E-process stuck at isolated vertex {v}");
+        let live = self.live[v] as usize;
+        let (arc, kind) = if live > 0 {
+            let base = self.g.arc_range(v).start;
+            let ctx = RuleContext {
+                graph: self.g,
+                vertex: v,
+                live_arcs: &self.slots[base..base + live],
+                step: self.steps,
+            };
+            let idx = self.rule.choose(&ctx, rng);
+            assert!(idx < live, "rule chose index {idx} among {live} unvisited edges");
+            (self.slots[base + idx], StepKind::Blue)
+        } else {
+            let base = self.g.arc_range(v).start;
+            (self.slots[base + rng.gen_range(0..degree)], StepKind::Red)
+        };
+        let e = self.g.arc_edge(arc);
+        let to = self.g.arc_target(arc);
+        if kind == StepKind::Blue {
+            self.mark_visited(e);
+            self.blue_steps += 1;
+        } else {
+            self.red_steps += 1;
+        }
+        self.current = to;
+        self.steps += 1;
+        Step { from: v, to, edge: Some(e), kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rule::{AdversarialRule, FirstPortRule, UniformRule};
+    use super::*;
+    use eproc_graphs::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run_steps<A: EdgeRule>(walk: &mut EProcess<'_, A>, k: usize, rng: &mut SmallRng) -> Vec<Step> {
+        (0..k).map(|_| walk.advance(rng)).collect()
+    }
+
+    #[test]
+    fn initial_state() {
+        let g = generators::cycle(5);
+        let walk = EProcess::new(&g, 2, UniformRule::new());
+        assert_eq!(walk.current(), 2);
+        assert_eq!(walk.start(), 2);
+        assert_eq!(walk.steps(), 0);
+        assert_eq!(walk.unvisited_edge_count(), 5);
+        assert_eq!(walk.blue_degree(2), 2);
+        assert!(walk.in_blue_phase());
+        assert_eq!(walk.live_arcs().len(), 2);
+    }
+
+    #[test]
+    fn first_steps_are_blue_until_exhaustion() {
+        let g = generators::cycle(6);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        // On a cycle the blue walk traverses the whole cycle: 6 blue steps.
+        let steps = run_steps(&mut walk, 6, &mut rng);
+        assert!(steps.iter().all(|s| s.kind == StepKind::Blue));
+        assert_eq!(walk.unvisited_edge_count(), 0);
+        assert_eq!(walk.current(), 0, "Observation 10: blue phase returns to start");
+        // Everything after is red.
+        let steps = run_steps(&mut walk, 10, &mut rng);
+        assert!(steps.iter().all(|s| s.kind == StepKind::Red));
+        assert_eq!(walk.blue_steps(), 6);
+        assert_eq!(walk.red_steps(), 10);
+    }
+
+    #[test]
+    fn marking_is_consistent_at_both_endpoints() {
+        let g = generators::figure_eight(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        for _ in 0..g.m() {
+            let s = walk.advance(&mut rng);
+            let e = s.edge.unwrap();
+            assert!(walk.edge_visited(e));
+            // Blue degrees always equal the count of unvisited incident edges.
+            for v in g.vertices() {
+                let expect =
+                    g.ports(v).filter(|&(_, _, e)| !walk.edge_visited(e)).count();
+                assert_eq!(walk.blue_degree(v), expect, "vertex {v} after step {:?}", s);
+            }
+        }
+        assert_eq!(walk.unvisited_edge_count(), 0);
+    }
+
+    #[test]
+    fn blue_steps_bounded_by_m() {
+        // Observation 12: t_B <= m, always.
+        let g = generators::torus2d(4, 4);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut walk = EProcess::new(&g, 3, UniformRule::new());
+        for _ in 0..10_000 {
+            walk.advance(&mut rng);
+        }
+        assert!(walk.blue_steps() <= g.m() as u64);
+        assert_eq!(walk.blue_steps() + walk.red_steps(), walk.steps());
+    }
+
+    #[test]
+    fn first_port_rule_is_deterministic() {
+        let g = generators::torus2d(3, 3);
+        let mut rng1 = SmallRng::seed_from_u64(3);
+        let mut rng2 = SmallRng::seed_from_u64(4); // different RNG!
+        let mut w1 = EProcess::new(&g, 0, FirstPortRule);
+        let mut w2 = EProcess::new(&g, 0, FirstPortRule);
+        // Blue phases use no randomness under FirstPortRule: identical
+        // trajectories until the first red step.
+        for _ in 0..g.m() {
+            if !w1.in_blue_phase() || !w2.in_blue_phase() {
+                break;
+            }
+            let s1 = w1.advance(&mut rng1);
+            let s2 = w2.advance(&mut rng2);
+            assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn adversarial_rule_sees_true_state() {
+        let g = generators::complete(5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Adversary always picks the last live arc.
+        let rule = AdversarialRule::new(|ctx: &RuleContext<'_>| ctx.live_arcs.len() - 1);
+        let mut walk = EProcess::new(&g, 0, rule);
+        for _ in 0..g.m() {
+            assert!(walk.in_blue_phase(), "K5 is Eulerian: one blue phase covers all edges");
+            walk.advance(&mut rng);
+        }
+        assert_eq!(walk.unvisited_edge_count(), 0);
+        assert_eq!(walk.current(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_start_panics() {
+        let g = generators::cycle(4);
+        let _ = EProcess::new(&g, 9, UniformRule::new());
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let g = generators::torus2d(4, 4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut walk = EProcess::new(&g, 3, UniformRule::new());
+        for _ in 0..100 {
+            walk.advance(&mut rng);
+        }
+        walk.reset(7);
+        assert_eq!(walk.current(), 7);
+        assert_eq!(walk.start(), 7);
+        assert_eq!(walk.steps(), 0);
+        assert_eq!(walk.unvisited_edge_count(), g.m());
+        for v in g.vertices() {
+            assert_eq!(walk.blue_degree(v), g.degree(v));
+        }
+        // A reset walk with the same RNG stream behaves like a fresh one.
+        let mut fresh = EProcess::new(&g, 7, UniformRule::new());
+        let mut rng_a = SmallRng::seed_from_u64(17);
+        let mut rng_b = SmallRng::seed_from_u64(17);
+        for _ in 0..200 {
+            assert_eq!(walk.advance(&mut rng_a), fresh.advance(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn odd_degree_graph_still_runs() {
+        // The E-process is defined on any graph; only the theorems need
+        // even degree. On Petersen the blue phase may strand edges.
+        let g = generators::petersen();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        for _ in 0..5000 {
+            walk.advance(&mut rng);
+        }
+        assert_eq!(walk.unvisited_edge_count(), 0, "SRW fallback eventually finds all edges");
+    }
+}

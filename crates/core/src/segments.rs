@@ -1,0 +1,201 @@
+//! Phase segmentation of E-process trajectories.
+//!
+//! The paper's whole analysis is phase-based: maximal runs of blue
+//! transitions (walks on unvisited edges) alternate with red runs (the
+//! embedded simple random walk). This module segments a run into
+//! [`Phase`]s and computes the statistics the proofs reason about — phase
+//! counts, lengths, and the Observation-10 closure property.
+
+use crate::eprocess::rule::EdgeRule;
+use crate::eprocess::EProcess;
+use crate::process::{StepKind, WalkProcess};
+use eproc_graphs::Vertex;
+use rand::RngCore;
+
+/// One maximal run of same-coloured transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Blue (unvisited-edge walk) or red (embedded SRW).
+    pub kind: StepKind,
+    /// Vertex occupied when the phase began.
+    pub start_vertex: Vertex,
+    /// Vertex occupied when the phase ended.
+    pub end_vertex: Vertex,
+    /// Number of transitions in the phase.
+    pub length: u64,
+}
+
+/// Trajectory-level phase statistics of a completed run.
+#[derive(Debug, Clone)]
+pub struct PhaseTrace {
+    /// All phases in order.
+    pub phases: Vec<Phase>,
+    /// Total steps taken.
+    pub steps: u64,
+}
+
+impl PhaseTrace {
+    /// Number of blue phases.
+    pub fn blue_phase_count(&self) -> usize {
+        self.phases.iter().filter(|p| p.kind == StepKind::Blue).count()
+    }
+
+    /// Number of red phases.
+    pub fn red_phase_count(&self) -> usize {
+        self.phases.iter().filter(|p| p.kind == StepKind::Red).count()
+    }
+
+    /// Length of the first blue phase (0 if none — cannot happen on a
+    /// graph with edges, since all edges start unvisited).
+    pub fn first_blue_length(&self) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.kind == StepKind::Blue)
+            .map_or(0, |p| p.length)
+    }
+
+    /// Lengths of all blue phases.
+    pub fn blue_lengths(&self) -> Vec<u64> {
+        self.phases.iter().filter(|p| p.kind == StepKind::Blue).map(|p| p.length).collect()
+    }
+
+    /// Total blue steps (`t_B` of Observation 12).
+    pub fn total_blue(&self) -> u64 {
+        self.phases.iter().filter(|p| p.kind == StepKind::Blue).map(|p| p.length).sum()
+    }
+
+    /// `true` if every *closed* blue phase ended at its start vertex
+    /// (Observation 10; the final phase is exempt if the run was truncated
+    /// mid-phase).
+    pub fn blue_phases_closed(&self) -> bool {
+        let last = self.phases.len().saturating_sub(1);
+        self.phases
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| p.kind == StepKind::Blue && i != last)
+            .all(|(_, p)| p.start_vertex == p.end_vertex)
+    }
+}
+
+/// Runs a fresh E-process until every edge is visited (or `max_steps`),
+/// recording the phase structure.
+///
+/// # Panics
+///
+/// Panics if the walk has already taken steps.
+pub fn trace_phases<A: EdgeRule>(
+    walk: &mut EProcess<'_, A>,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> PhaseTrace {
+    assert_eq!(walk.steps(), 0, "phase tracing requires a fresh walk");
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut current: Option<Phase> = None;
+    let mut t = 0u64;
+    while walk.unvisited_edge_count() > 0 && t < max_steps {
+        let from = walk.current();
+        let step = walk.advance(rng);
+        t += 1;
+        match current.as_mut() {
+            Some(phase) if phase.kind == step.kind => {
+                phase.length += 1;
+                phase.end_vertex = step.to;
+            }
+            _ => {
+                if let Some(done) = current.take() {
+                    phases.push(done);
+                }
+                current = Some(Phase {
+                    kind: step.kind,
+                    start_vertex: from,
+                    end_vertex: step.to,
+                    length: 1,
+                });
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        phases.push(done);
+    }
+    PhaseTrace { phases, steps: t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eprocess::rule::UniformRule;
+    use eproc_graphs::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycle_is_one_blue_phase() {
+        let g = generators::cycle(9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let trace = trace_phases(&mut walk, 10_000, &mut rng);
+        assert_eq!(trace.phases.len(), 1);
+        assert_eq!(trace.blue_phase_count(), 1);
+        assert_eq!(trace.first_blue_length(), 9);
+        assert!(trace.blue_phases_closed());
+        assert_eq!(trace.total_blue(), 9);
+    }
+
+    #[test]
+    fn phases_alternate_colours() {
+        let g = generators::torus2d(5, 5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let trace = trace_phases(&mut walk, 1_000_000, &mut rng);
+        for pair in trace.phases.windows(2) {
+            assert_ne!(pair[0].kind, pair[1].kind, "phases must alternate");
+        }
+        assert_eq!(trace.phases[0].kind, StepKind::Blue, "all edges start blue");
+    }
+
+    #[test]
+    fn observation10_via_trace() {
+        for seed in 0..10 {
+            let g = generators::hypercube(4);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut walk = EProcess::new(&g, 3, UniformRule::new());
+            let trace = trace_phases(&mut walk, 1_000_000, &mut rng);
+            assert!(trace.blue_phases_closed(), "seed {seed}");
+            assert!(trace.total_blue() <= g.m() as u64);
+        }
+    }
+
+    #[test]
+    fn phase_lengths_sum_to_steps() {
+        let g = generators::figure_eight(5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let trace = trace_phases(&mut walk, 1_000_000, &mut rng);
+        let sum: u64 = trace.phases.iter().map(|p| p.length).sum();
+        assert_eq!(sum, trace.steps);
+        assert_eq!(sum, walk.steps());
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let g = generators::torus2d(6, 6);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let trace = trace_phases(&mut walk, 5, &mut rng);
+        assert_eq!(trace.steps, 5);
+        assert_eq!(trace.total_blue(), 5, "first 5 steps are blue on a fresh even graph");
+    }
+
+    #[test]
+    fn phase_boundaries_are_consistent() {
+        let g = generators::complete(7);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut walk = EProcess::new(&g, 2, UniformRule::new());
+        let trace = trace_phases(&mut walk, 1_000_000, &mut rng);
+        // Consecutive phases share a boundary vertex.
+        for pair in trace.phases.windows(2) {
+            assert_eq!(pair[0].end_vertex, pair[1].start_vertex);
+        }
+        assert_eq!(trace.phases[0].start_vertex, 2);
+    }
+}

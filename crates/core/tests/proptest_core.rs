@@ -1,0 +1,172 @@
+//! Property tests for the walk processes and the cover harness.
+
+use eproc_core::choice::RandomWalkWithChoice;
+use eproc_core::cover::{run_cover, CoverTarget};
+use eproc_core::fair::{LeastUsedFirst, OldestFirst};
+use eproc_core::rotor::RotorRouter;
+use eproc_core::rule::{FirstPortRule, UniformRule};
+use eproc_core::srw::{LazyRandomWalk, SimpleRandomWalk};
+use eproc_core::vprocess::VProcess;
+use eproc_core::{EProcess, StepKind, WalkProcess};
+use eproc_graphs::Graph;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a connected random simple graph on `3..=14` vertices.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (
+        3usize..14,
+        proptest::collection::vec(0usize..1000, 13),
+        proptest::collection::vec((0usize..14, 0usize..14), 0..28),
+    )
+        .prop_map(|(n, parents, extra)| {
+            let mut edges = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for v in 1..n {
+                let p = parents[v - 1] % v;
+                seen.insert((p, v));
+                edges.push((p, v));
+            }
+            for (a, b) in extra {
+                let (u, v) = (a % n, b % n);
+                if u != v {
+                    let key = (u.min(v), u.max(v));
+                    if seen.insert(key) {
+                        edges.push(key);
+                    }
+                }
+            }
+            Graph::from_edges(n, &edges).expect("valid by construction")
+        })
+}
+
+/// Every step of every process must move along an actual edge (or hold,
+/// for the lazy walk), and the harness invariants must hold.
+fn check_step_validity<W: WalkProcess>(g: &Graph, mut walk: W, seed: u64, allow_hold: bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..200 {
+        let before = walk.current();
+        let steps_before = walk.steps();
+        let s = walk.advance(&mut rng);
+        assert_eq!(s.from, before);
+        assert_eq!(walk.current(), s.to);
+        assert_eq!(walk.steps(), steps_before + 1);
+        match s.edge {
+            Some(e) => {
+                let (u, v) = g.endpoints(e);
+                assert!(
+                    (s.from == u && s.to == v) || (s.from == v && s.to == u),
+                    "step {s:?} does not match edge {e} = ({u},{v})"
+                );
+            }
+            None => {
+                assert!(allow_hold, "only lazy holds may omit the edge");
+                assert_eq!(s.from, s.to);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_processes_take_valid_steps(g in arb_connected_graph(), seed in 0u64..1000) {
+        check_step_validity(&g, EProcess::new(&g, 0, UniformRule::new()), seed, false);
+        check_step_validity(&g, EProcess::new(&g, 0, FirstPortRule), seed, false);
+        check_step_validity(&g, SimpleRandomWalk::new(&g, 0), seed, false);
+        check_step_validity(&g, LazyRandomWalk::new(&g, 0), seed, true);
+        check_step_validity(&g, RotorRouter::new(&g, 0), seed, false);
+        check_step_validity(&g, RandomWalkWithChoice::new(&g, 0, 2), seed, false);
+        check_step_validity(&g, OldestFirst::new(&g, 0), seed, false);
+        check_step_validity(&g, LeastUsedFirst::new(&g, 0), seed, false);
+        check_step_validity(&g, VProcess::new(&g, 0), seed, false);
+    }
+
+    #[test]
+    fn cover_lower_bounds(g in arb_connected_graph(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let run = run_cover(&mut walk, CoverTarget::Both, 10_000_000, &mut rng);
+        let cv = run.steps_to_vertex_cover.expect("connected graph covers");
+        let ce = run.steps_to_edge_cover.expect("connected graph covers");
+        // No walk-based process covers n vertices in < n-1 steps, nor m
+        // edges in < m steps.
+        prop_assert!(cv >= (g.n() - 1) as u64);
+        prop_assert!(ce >= g.m() as u64);
+        prop_assert!(cv <= ce);
+        prop_assert_eq!(run.vertices_visited, g.n());
+        prop_assert_eq!(run.edges_visited, g.m());
+        prop_assert_eq!(run.blue_steps + run.red_steps, run.steps);
+        // Observation 12: blue steps bounded by m.
+        prop_assert!(run.blue_steps <= g.m() as u64);
+    }
+
+    #[test]
+    fn eprocess_blue_degree_equals_bitmap(g in arb_connected_graph(), seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        for _ in 0..100 {
+            walk.advance(&mut rng);
+            let visited = walk.visited_edges();
+            for v in g.vertices() {
+                let expect = g.ports(v).filter(|&(_, _, e)| !visited[e]).count();
+                prop_assert_eq!(walk.blue_degree(v), expect);
+            }
+            if walk.unvisited_edge_count() == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn rotor_trajectory_is_rng_independent(g in arb_connected_graph(), s1 in 0u64..100, s2 in 0u64..100) {
+        let mut rng1 = SmallRng::seed_from_u64(s1);
+        let mut rng2 = SmallRng::seed_from_u64(s2 ^ 0xdead);
+        let mut a = RotorRouter::new(&g, 0);
+        let mut b = RotorRouter::new(&g, 0);
+        for _ in 0..100 {
+            prop_assert_eq!(a.advance(&mut rng1), b.advance(&mut rng2));
+        }
+    }
+
+    #[test]
+    fn vprocess_blue_steps_bounded_by_n(g in arb_connected_graph(), seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut walk = VProcess::new(&g, 0);
+        let mut blue = 0u64;
+        for _ in 0..2000 {
+            if walk.advance(&mut rng).kind == StepKind::Blue {
+                blue += 1;
+            }
+        }
+        // Each blue step consumes a fresh vertex: at most n - 1 of them.
+        prop_assert!(blue <= (g.n() - 1) as u64);
+        prop_assert_eq!(walk.unvisited_vertex_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_explorers_cover(g in arb_connected_graph()) {
+        // Rotor-router and Least-Used-First both cover within O(m * D)
+        // on these tiny graphs; generous cap 100 * m * n.
+        let cap = 100 * (g.m() as u64 + 1) * (g.n() as u64);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut rr = RotorRouter::new(&g, 0);
+        let run = run_cover(&mut rr, CoverTarget::Vertices, cap, &mut rng);
+        prop_assert!(run.steps_to_vertex_cover.is_some(), "rotor failed to cover");
+        let mut luf = LeastUsedFirst::new(&g, 0);
+        let run = run_cover(&mut luf, CoverTarget::Edges, cap, &mut rng);
+        prop_assert!(run.steps_to_edge_cover.is_some(), "LUF failed to cover edges");
+    }
+
+    #[test]
+    fn mt19937_streams_are_reproducible(seed in 0u32..10_000) {
+        use eproc_core::mt19937::Mt19937;
+        let mut a = Mt19937::new(seed);
+        let mut b = Mt19937::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_int32(), b.next_int32());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Incremental graph construction.
+
+use crate::csr::{Graph, Vertex};
+use crate::error::GraphError;
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder validates eagerly: adding a self-loop or an out-of-range
+/// endpoint fails immediately rather than at [`GraphBuilder::build`] time.
+///
+/// # Example
+///
+/// ```
+/// use eproc_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build()?;
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), eproc_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> GraphBuilder {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge `{u, v}` and returns its future edge id.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `u == v`;
+    /// [`GraphError::VertexOutOfRange`] if either endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<usize, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        self.edges.push((u, v));
+        Ok(self.edges.len() - 1)
+    }
+
+    /// Adds every edge from an iterator; stops at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphBuilder::add_edge`].
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<(), GraphError>
+    where
+        I: IntoIterator<Item = (Vertex, Vertex)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the builder and produces the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from [`Graph::from_edges`] (cannot occur if
+    /// all edges were added through the validating methods).
+    pub fn build(self) -> Result<Graph, GraphError> {
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+/// Builds a graph from adjacency lists (`adj[v]` = neighbors of `v`).
+///
+/// Every undirected edge must appear in both endpoint lists; the function
+/// pairs them up and errors if the lists are asymmetric.
+///
+/// # Errors
+///
+/// [`GraphError::InfeasibleDegrees`] if the adjacency lists are not
+/// symmetric; [`GraphError::SelfLoop`] / [`GraphError::VertexOutOfRange`] on
+/// malformed entries.
+///
+/// # Example
+///
+/// ```
+/// use eproc_graphs::builder::from_adjacency_lists;
+///
+/// // Path 0 - 1 - 2.
+/// let g = from_adjacency_lists(&[vec![1], vec![0, 2], vec![1]])?;
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), eproc_graphs::GraphError>(())
+/// ```
+pub fn from_adjacency_lists(adj: &[Vec<Vertex>]) -> Result<Graph, GraphError> {
+    let n = adj.len();
+    let mut edges = Vec::new();
+    // Count directed occurrences; each undirected edge must appear twice.
+    let mut mult = std::collections::HashMap::new();
+    for (u, neighbors) in adj.iter().enumerate() {
+        for &v in neighbors {
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if v == u {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            *mult.entry(key).or_insert(0usize) += 1;
+        }
+    }
+    let mut keys: Vec<_> = mult.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let count = mult[&key];
+        if count % 2 != 0 {
+            return Err(GraphError::InfeasibleDegrees {
+                reason: format!("edge {key:?} appears {count} times across adjacency lists (must be even)"),
+            });
+        }
+        for _ in 0..count / 2 {
+            edges.push(key);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_path() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        assert_eq!(b.add_edge(0, 1).unwrap(), 0);
+        assert_eq!(b.add_edge(1, 2).unwrap(), 1);
+        assert_eq!(b.n(), 3);
+        assert_eq!(b.m(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_edges_eagerly() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0, 0).is_err());
+        assert!(b.add_edge(0, 2).is_err());
+        assert_eq!(b.m(), 0);
+    }
+
+    #[test]
+    fn add_edges_stops_at_first_error() {
+        let mut b = GraphBuilder::new(3);
+        let r = b.add_edges(vec![(0, 1), (1, 1), (1, 2)]);
+        assert!(r.is_err());
+        assert_eq!(b.m(), 1);
+    }
+
+    #[test]
+    fn adjacency_lists_symmetric() {
+        let g = from_adjacency_lists(&[vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn adjacency_lists_multi_edge() {
+        let g = from_adjacency_lists(&[vec![1, 1], vec![0, 0]]).unwrap();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_parallel_edges());
+    }
+
+    #[test]
+    fn adjacency_lists_asymmetric_rejected() {
+        let err = from_adjacency_lists(&[vec![1], vec![]]).unwrap_err();
+        assert!(matches!(err, GraphError::InfeasibleDegrees { .. }));
+    }
+
+    #[test]
+    fn default_builder_is_empty() {
+        let b = GraphBuilder::default();
+        assert_eq!(b.n(), 0);
+        assert_eq!(b.m(), 0);
+        assert!(b.build().is_ok());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by graph construction and generators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while constructing or generating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the crate models loop-free
+    /// multigraphs (the paper's processes are defined on loop-free graphs).
+    SelfLoop {
+        /// The vertex carrying the loop.
+        vertex: usize,
+    },
+    /// A degree sequence was infeasible (odd sum, or a degree `>= n` was
+    /// requested for a simple graph).
+    InfeasibleDegrees {
+        /// Human-readable description of the infeasibility.
+        reason: String,
+    },
+    /// A randomized generator exhausted its retry budget without producing a
+    /// graph with the requested properties (e.g. simple, connected).
+    RetriesExhausted {
+        /// Name of the generator that gave up.
+        generator: &'static str,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// Parameters outside the domain of a deterministic construction
+    /// (e.g. LPS requires distinct primes `p, q ≡ 1 (mod 4)`).
+    InvalidParameter {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not supported")
+            }
+            GraphError::InfeasibleDegrees { reason } => {
+                write!(f, "infeasible degree sequence: {reason}")
+            }
+            GraphError::RetriesExhausted { generator, attempts } => {
+                write!(f, "generator {generator} exhausted {attempts} attempts")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
+        assert_eq!(e.to_string(), "vertex 7 out of range for graph with 5 vertices");
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::InfeasibleDegrees { reason: "odd sum".into() };
+        assert!(e.to_string().contains("odd sum"));
+        let e = GraphError::RetriesExhausted { generator: "steger_wormald", attempts: 10 };
+        assert!(e.to_string().contains("steger_wormald"));
+        let e = GraphError::InvalidParameter { reason: "p must be prime".into() };
+        assert!(e.to_string().contains("p must be prime"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Random geometric graphs on the unit square.
+//!
+//! Used by Avin & Krishnamachari \[3\] (cited in the paper's related work) to
+//! evaluate the random walk with choice; we provide them as a workload for
+//! the comparison experiments.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// A random geometric graph together with the sampled positions.
+#[derive(Debug, Clone)]
+pub struct GeometricGraph {
+    /// The connectivity graph: vertices within distance `radius` are joined.
+    pub graph: Graph,
+    /// Sampled positions in the unit square, indexed by vertex.
+    pub positions: Vec<(f64, f64)>,
+}
+
+/// Samples `n` points uniformly in the unit square and joins pairs at
+/// Euclidean distance `<= radius`.
+///
+/// Neighbor search uses a bucket grid of cell size `radius`, so generation
+/// is `O(n + m)` in expectation.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `radius` is not in `(0, √2]` or not
+/// finite.
+///
+/// # Example
+///
+/// ```
+/// use eproc_graphs::generators::random_geometric;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let gg = random_geometric(200, 0.15, &mut rng)?;
+/// assert_eq!(gg.graph.n(), 200);
+/// # Ok::<(), eproc_graphs::GraphError>(())
+/// ```
+pub fn random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Result<GeometricGraph, GraphError> {
+    if !(radius.is_finite() && radius > 0.0 && radius <= std::f64::consts::SQRT_2) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("radius must be in (0, sqrt(2)], got {radius}"),
+        });
+    }
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let cells = (1.0 / radius).floor().max(1.0) as usize;
+    let cell_of = |x: f64| -> usize { ((x * cells as f64) as usize).min(cells - 1) };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (v, &(x, y)) in positions.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(v);
+    }
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for (v, &(x, y)) in positions.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &w in &grid[ny as usize * cells + nx as usize] {
+                    if w <= v {
+                        continue; // each pair once, no loops
+                    }
+                    let (wx, wy) = positions[w];
+                    let d2 = (x - wx) * (x - wx) + (y - wy) * (y - wy);
+                    if d2 <= r2 {
+                        edges.push((v, w));
+                    }
+                }
+            }
+        }
+    }
+    let graph = Graph::from_edges(n, &edges)?;
+    Ok(GeometricGraph { graph, positions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_radius() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(random_geometric(10, 0.0, &mut rng).is_err());
+        assert!(random_geometric(10, -1.0, &mut rng).is_err());
+        assert!(random_geometric(10, f64::NAN, &mut rng).is_err());
+        assert!(random_geometric(10, 2.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn full_radius_gives_complete_graph() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let gg = random_geometric(20, std::f64::consts::SQRT_2, &mut rng).unwrap();
+        assert_eq!(gg.graph.m(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn edges_respect_radius_exactly() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = 0.2;
+        let gg = random_geometric(300, r, &mut rng).unwrap();
+        // Every edge within radius...
+        for (_, u, v) in gg.graph.edges() {
+            let (ux, uy) = gg.positions[u];
+            let (vx, vy) = gg.positions[v];
+            let d2 = (ux - vx).powi(2) + (uy - vy).powi(2);
+            assert!(d2 <= r * r + 1e-12);
+        }
+        // ...and every within-radius pair is an edge (brute force check).
+        let mut expected = 0usize;
+        for u in 0..300 {
+            for v in (u + 1)..300 {
+                let (ux, uy) = gg.positions[u];
+                let (vx, vy) = gg.positions[v];
+                if (ux - vx).powi(2) + (uy - vy).powi(2) <= r * r {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(gg.graph.m(), expected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_geometric(50, 0.3, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let b = random_geometric(50, 0.3, &mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn zero_vertices_ok() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gg = random_geometric(0, 0.5, &mut rng).unwrap();
+        assert_eq!(gg.graph.n(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Point–line incidence graphs of projective planes `PG(2, q)`.
+//!
+//! For a prime `q`, the incidence graph of the projective plane of order
+//! `q` is `(q+1)`-regular, bipartite, has `n = 2(q² + q + 1)` vertices and
+//! **girth exactly 6** — a second explicitly constructible family of
+//! high-girth even-degree graphs (for odd `q`) alongside the LPS graphs,
+//! used by the `table_cages` experiment. For `q = 2` this is the Heawood
+//! graph (the (3,6)-cage); `q = 3` gives the 4-regular girth-6 incidence
+//! graph on 26 vertices.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Builds the point–line incidence graph of `PG(2, q)` for a prime `q`.
+///
+/// Points are vertices `0 .. q²+q+1`, lines are `q²+q+1 .. 2(q²+q+1)`;
+/// a point is joined to every line through it.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `q` is not a prime in `2..=31`
+/// (sizes beyond that are impractical for the experiments here).
+///
+/// # Example
+///
+/// ```
+/// use eproc_graphs::generators::projective_plane_incidence;
+/// use eproc_graphs::properties::girth;
+///
+/// let heawood = projective_plane_incidence(2)?;
+/// assert_eq!(heawood.n(), 14);
+/// assert_eq!(girth::girth(&heawood), Some(6));
+/// # Ok::<(), eproc_graphs::GraphError>(())
+/// ```
+pub fn projective_plane_incidence(q: u64) -> Result<Graph, GraphError> {
+    if !(2..=31).contains(&q) || !is_prime(q) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("q = {q} must be a prime in 2..=31"),
+        });
+    }
+    // Canonical representatives of projective points over F_q³: the first
+    // nonzero coordinate is 1.
+    let mut reps: Vec<[u64; 3]> = Vec::new();
+    reps.push([1, 0, 0]);
+    for x in 0..q {
+        reps.push([x, 1, 0]);
+    }
+    for x in 0..q {
+        for y in 0..q {
+            reps.push([x, y, 1]);
+        }
+    }
+    let count = (q * q + q + 1) as usize;
+    debug_assert_eq!(reps.len(), count);
+    // Lines of PG(2,q) are also triples (by duality): point p lies on line
+    // l iff <p, l> = 0 (mod q).
+    let mut edges = Vec::with_capacity(count * (q as usize + 1));
+    for (pi, p) in reps.iter().enumerate() {
+        for (li, l) in reps.iter().enumerate() {
+            let dot = (p[0] * l[0] + p[1] * l[1] + p[2] * l[2]) % q;
+            if dot == 0 {
+                edges.push((pi, count + li));
+            }
+        }
+    }
+    Graph::from_edges(2 * count, &edges)
+}
+
+fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{bipartite, connectivity, degrees, girth};
+
+    #[test]
+    fn heawood_graph() {
+        let g = projective_plane_incidence(2).unwrap();
+        assert_eq!(g.n(), 14);
+        assert_eq!(g.m(), 21);
+        assert!(degrees::is_regular(&g, 3));
+        assert!(bipartite::is_bipartite(&g));
+        assert!(connectivity::is_connected(&g));
+        assert_eq!(girth::girth(&g), Some(6), "Heawood is the (3,6)-cage");
+    }
+
+    #[test]
+    fn q3_even_degree_girth6() {
+        let g = projective_plane_incidence(3).unwrap();
+        assert_eq!(g.n(), 26);
+        assert!(degrees::is_regular(&g, 4));
+        assert!(degrees::is_even_degree(&g));
+        assert_eq!(girth::girth(&g), Some(6));
+        assert!(connectivity::is_connected(&g));
+        assert!(!g.has_parallel_edges());
+    }
+
+    #[test]
+    fn q5_and_q7() {
+        for (q, deg) in [(5u64, 6usize), (7, 8)] {
+            let g = projective_plane_incidence(q).unwrap();
+            let count = (q * q + q + 1) as usize;
+            assert_eq!(g.n(), 2 * count);
+            assert!(degrees::is_regular(&g, deg), "q = {q}");
+            assert_eq!(girth::girth(&g), Some(6), "q = {q}");
+            assert!(connectivity::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn axioms_of_the_plane() {
+        // Any two distinct points lie on exactly one common line.
+        let q = 3u64;
+        let g = projective_plane_incidence(q).unwrap();
+        let count = (q * q + q + 1) as usize;
+        for p1 in 0..count {
+            for p2 in (p1 + 1)..count {
+                let lines1: std::collections::HashSet<_> = g.neighbors(p1).collect();
+                let common = g.neighbors(p2).filter(|l| lines1.contains(l)).count();
+                assert_eq!(common, 1, "points {p1},{p2} share {common} lines");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_q_rejected() {
+        assert!(projective_plane_incidence(1).is_err());
+        assert!(projective_plane_incidence(4).is_err()); // prime powers unsupported
+        assert!(projective_plane_incidence(6).is_err());
+        assert!(projective_plane_incidence(37).is_err()); // out of range
+    }
+}

@@ -1,0 +1,397 @@
+//! Lubotzky–Phillips–Sarnak (LPS) Ramanujan graphs `X^{p,q}`.
+//!
+//! Reference \[11\] of the paper. These are the canonical *high girth, even
+//! degree expanders* of the paper's title: for a prime `p ≡ 1 (mod 4)` the
+//! graph is `(p+1)`-regular — even degree for `p = 5, 13, 17, …` — with
+//! second adjacency eigenvalue `≤ 2√p` (Ramanujan) and girth `Ω(log n)`:
+//!
+//! * `girth ≥ 2 log_p q` when `(p|q) = 1` (non-bipartite, vertex set
+//!   `PSL(2, F_q)`, `n = q(q²-1)/2`),
+//! * `girth ≥ 4 log_p q - log_p 4` when `(p|q) = -1` (bipartite, vertex set
+//!   `PGL(2, F_q)`, `n = q(q²-1)`).
+//!
+//! Construction: the `p + 1` integer quaternions `α = a₀ + a₁i + a₂j + a₃k`
+//! with `|α|² = p`, `a₀ > 0` odd and `a₁, a₂, a₃` even are mapped to
+//! `PGL(2, F_q)` matrices
+//! `[[a₀ + ι a₁, a₂ + ι a₃], [-a₂ + ι a₃, a₀ - ι a₁]]` where `ι² = -1 (mod
+//! q)`; the graph is the Cayley graph of the generated subgroup. The
+//! generator set is symmetric (conjugate quaternions are inverse modulo
+//! scalars) so the graph is undirected.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use std::collections::HashMap;
+
+/// Validated parameters for [`lps_ramanujan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpsParams {
+    /// Degree parameter: the graph is `(p+1)`-regular.
+    pub p: u64,
+    /// Field size: vertices are elements of `PSL(2, F_q)` or `PGL(2, F_q)`.
+    pub q: u64,
+}
+
+impl LpsParams {
+    /// Validates `p`, `q`: distinct primes `≡ 1 (mod 4)` with `q > 2√p`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] describing the violated condition.
+    pub fn new(p: u64, q: u64) -> Result<LpsParams, GraphError> {
+        let reject = |reason: String| Err(GraphError::InvalidParameter { reason });
+        if !is_prime(p) {
+            return reject(format!("p = {p} is not prime"));
+        }
+        if !is_prime(q) {
+            return reject(format!("q = {q} is not prime"));
+        }
+        if p % 4 != 1 {
+            return reject(format!("p = {p} must be ≡ 1 (mod 4)"));
+        }
+        if q % 4 != 1 {
+            return reject(format!("q = {q} must be ≡ 1 (mod 4)"));
+        }
+        if p == q {
+            return reject(format!("p and q must be distinct, both are {p}"));
+        }
+        if q * q <= 4 * p {
+            return reject(format!("q = {q} must exceed 2√p = 2√{p}"));
+        }
+        if q > u16::MAX as u64 {
+            return reject(format!("q = {q} too large (vertex count would exceed memory)"));
+        }
+        Ok(LpsParams { p, q })
+    }
+
+    /// `true` if `p` is a quadratic residue mod `q`; the graph is then
+    /// non-bipartite on `PSL(2, F_q)`.
+    pub fn p_is_residue(&self) -> bool {
+        mod_pow(self.p % self.q, (self.q - 1) / 2, self.q) == 1
+    }
+
+    /// The number of vertices the construction yields:
+    /// `q(q²-1)/2` (residue case) or `q(q²-1)` (non-residue case).
+    pub fn vertex_count(&self) -> usize {
+        let q = self.q as usize;
+        let full = q * (q * q - 1);
+        if self.p_is_residue() {
+            full / 2
+        } else {
+            full
+        }
+    }
+
+    /// Degree of the graph, `p + 1`.
+    pub fn degree(&self) -> usize {
+        (self.p + 1) as usize
+    }
+
+    /// The girth lower bound from \[11\]: `2 log_p q` (residue case) or
+    /// `4 log_p q - log_p 4` (non-residue, bipartite case).
+    pub fn girth_lower_bound(&self) -> f64 {
+        let lpq = (self.q as f64).ln() / (self.p as f64).ln();
+        if self.p_is_residue() {
+            2.0 * lpq
+        } else {
+            4.0 * lpq - 4f64.ln() / (self.p as f64).ln()
+        }
+    }
+}
+
+/// Deterministic trial-division primality test (parameters are small).
+fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse mod prime `q` via Fermat.
+fn mod_inv(x: u64, q: u64) -> u64 {
+    debug_assert!(x % q != 0);
+    mod_pow(x, q - 2, q)
+}
+
+/// Smallest `ι` with `ι² ≡ -1 (mod q)`; exists since `q ≡ 1 (mod 4)`.
+fn sqrt_minus_one(q: u64) -> u64 {
+    (2..q).find(|&x| x * x % q == q - 1).expect("q ≡ 1 (mod 4) has a square root of -1")
+}
+
+/// A matrix in `PGL(2, F_q)`, kept in canonical projective form: scaled so
+/// that its first nonzero entry (row-major) is 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProjMat {
+    a: u16,
+    b: u16,
+    c: u16,
+    d: u16,
+}
+
+impl ProjMat {
+    fn canonical(a: u64, b: u64, c: u64, d: u64, q: u64) -> ProjMat {
+        let entries = [a % q, b % q, c % q, d % q];
+        let pivot = entries.iter().copied().find(|&x| x != 0).expect("zero matrix is not projective");
+        let inv = mod_inv(pivot, q);
+        let s = |x: u64| (x * inv % q) as u16;
+        ProjMat { a: s(entries[0]), b: s(entries[1]), c: s(entries[2]), d: s(entries[3]) }
+    }
+
+    fn mul(self, rhs: ProjMat, q: u64) -> ProjMat {
+        let (a, b, c, d) = (self.a as u64, self.b as u64, self.c as u64, self.d as u64);
+        let (e, f, g, h) = (rhs.a as u64, rhs.b as u64, rhs.c as u64, rhs.d as u64);
+        ProjMat::canonical(a * e + b * g, a * f + b * h, c * e + d * g, c * f + d * h, q)
+    }
+
+    fn identity() -> ProjMat {
+        ProjMat { a: 1, b: 0, c: 0, d: 1 }
+    }
+}
+
+/// All `p + 1` generator quaternions `(a0, a1, a2, a3)` with
+/// `a0² + a1² + a2² + a3² = p`, `a0 > 0` odd, `a1, a2, a3` even.
+fn generator_quaternions(p: i64) -> Vec<[i64; 4]> {
+    let bound = (p as f64).sqrt() as i64 + 1;
+    let mut out = Vec::new();
+    let mut a0 = 1;
+    while a0 * a0 <= p {
+        let evens = |limit: i64| -> Vec<i64> {
+            let mut v = vec![0];
+            let mut e = 2;
+            while e * e <= limit {
+                v.push(e);
+                v.push(-e);
+                e += 2;
+            }
+            v
+        };
+        let rem0 = p - a0 * a0;
+        for a1 in evens(rem0) {
+            let rem1 = rem0 - a1 * a1;
+            if rem1 < 0 {
+                continue;
+            }
+            for a2 in evens(rem1) {
+                let rem2 = rem1 - a2 * a2;
+                if rem2 < 0 {
+                    continue;
+                }
+                for a3 in evens(rem2) {
+                    if a1 * a1 + a2 * a2 + a3 * a3 == rem0 {
+                        out.push([a0, a1, a2, a3]);
+                    }
+                }
+            }
+        }
+        a0 += 2;
+    }
+    debug_assert!(bound > 0);
+    out
+}
+
+/// Builds the LPS Ramanujan graph `X^{p,q}`.
+///
+/// The graph is `(p+1)`-regular, connected and simple; for `p = 5` the
+/// degree is 6 — an even-degree high-girth expander exactly as required by
+/// the paper's Theorem 1 / Theorem 3 headline setting.
+///
+/// Practical sizes: `(p, q) = (5, 13)` → 2184 vertices (bipartite),
+/// `(5, 17)` → 4896 (bipartite), `(5, 29)` → 12 180 (non-bipartite),
+/// `(5, 37)` → 25 308 (non-bipartite).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `(p, q)` fail the conditions of
+/// [`LpsParams::new`], or (defensively) if the construction yields an
+/// inconsistent Cayley graph.
+///
+/// # Example
+///
+/// ```
+/// use eproc_graphs::generators::lps_ramanujan;
+///
+/// let g = lps_ramanujan(5, 13)?;
+/// assert_eq!(g.n(), 2184);
+/// assert_eq!(g.degree(0), 6);
+/// # Ok::<(), eproc_graphs::GraphError>(())
+/// ```
+pub fn lps_ramanujan(p: u64, q: u64) -> Result<Graph, GraphError> {
+    let params = LpsParams::new(p, q)?;
+    let iota = sqrt_minus_one(q);
+    let quats = generator_quaternions(p as i64);
+    if quats.len() != (p + 1) as usize {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("found {} generator quaternions for p = {p}, expected {}", quats.len(), p + 1),
+        });
+    }
+    // Map quaternions to PGL(2, F_q).
+    let qi = q as i64;
+    let lift = |x: i64| -> u64 { (x.rem_euclid(qi)) as u64 };
+    let gens: Vec<ProjMat> = quats
+        .iter()
+        .map(|&[a0, a1, a2, a3]| {
+            let a = lift(a0) + iota * lift(a1) % q;
+            let b = lift(a2) + iota * lift(a3) % q;
+            let c = lift(-a2) + iota * lift(a3) % q;
+            let d = lift(a0) + (q - iota * lift(a1) % q);
+            ProjMat::canonical(a, b, c, d, q)
+        })
+        .collect();
+
+    // BFS closure of the generated subgroup.
+    let expected_n = params.vertex_count();
+    let mut index: HashMap<ProjMat, u32> = HashMap::with_capacity(expected_n);
+    let mut elements: Vec<ProjMat> = Vec::with_capacity(expected_n);
+    let id = ProjMat::identity();
+    index.insert(id, 0);
+    elements.push(id);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(expected_n * params.degree() / 2);
+    let mut head = 0usize;
+    while head < elements.len() {
+        let u_mat = elements[head];
+        let u = head;
+        head += 1;
+        for g in &gens {
+            let v_mat = u_mat.mul(*g, q);
+            let next_id = elements.len() as u32;
+            let v = *index.entry(v_mat).or_insert_with(|| {
+                elements.push(v_mat);
+                next_id
+            }) as usize;
+            if u == v {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!("LPS({p},{q}) produced a self-loop; parameters violate q > 2√p margin"),
+                });
+            }
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    if elements.len() != expected_n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!(
+                "LPS({p},{q}) closure has {} elements, expected {expected_n}",
+                elements.len()
+            ),
+        });
+    }
+    let graph = Graph::from_edges(elements.len(), &edges)?;
+    // Defensive regularity check: u < v dedup assumed no parallel arcs.
+    if !(0..graph.n()).all(|v| graph.degree(v) == params.degree()) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("LPS({p},{q}) is not {}-regular; construction invariant violated", params.degree()),
+        });
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{bipartite, connectivity, degrees, girth};
+
+    #[test]
+    fn params_validate() {
+        assert!(LpsParams::new(5, 13).is_ok());
+        assert!(LpsParams::new(4, 13).is_err()); // p not prime
+        assert!(LpsParams::new(7, 13).is_err()); // p ≡ 3 (mod 4)
+        assert!(LpsParams::new(5, 11).is_err()); // q ≡ 3 (mod 4)
+        assert!(LpsParams::new(5, 5).is_err()); // p == q
+        assert!(LpsParams::new(13, 5).is_err()); // q < 2√p
+    }
+
+    #[test]
+    fn legendre_symbol_cases() {
+        // 5 is a non-residue mod 13 and mod 17, a residue mod 29 and 41.
+        assert!(!LpsParams::new(5, 13).unwrap().p_is_residue());
+        assert!(!LpsParams::new(5, 17).unwrap().p_is_residue());
+        assert!(LpsParams::new(5, 29).unwrap().p_is_residue());
+        assert!(LpsParams::new(5, 41).unwrap().p_is_residue());
+    }
+
+    #[test]
+    fn vertex_counts() {
+        assert_eq!(LpsParams::new(5, 13).unwrap().vertex_count(), 13 * 168);
+        assert_eq!(LpsParams::new(5, 29).unwrap().vertex_count(), 29 * 840 / 2);
+    }
+
+    #[test]
+    fn quaternion_count_is_p_plus_one() {
+        assert_eq!(generator_quaternions(5).len(), 6);
+        assert_eq!(generator_quaternions(13).len(), 14);
+        assert_eq!(generator_quaternions(17).len(), 18);
+    }
+
+    #[test]
+    fn sqrt_minus_one_works() {
+        for q in [5u64, 13, 17, 29, 37, 41] {
+            let i = sqrt_minus_one(q);
+            assert_eq!(i * i % q, q - 1, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn x_5_13_structure() {
+        let g = lps_ramanujan(5, 13).unwrap();
+        assert_eq!(g.n(), 2184);
+        assert!(degrees::is_regular(&g, 6));
+        assert!(degrees::is_even_degree(&g));
+        assert!(connectivity::is_connected(&g));
+        assert!(!g.has_parallel_edges());
+        // Non-residue case: bipartite, girth >= 4 log_5 13 - log_5 4 ≈ 5.5.
+        assert!(bipartite::is_bipartite(&g));
+        let bound = LpsParams::new(5, 13).unwrap().girth_lower_bound().ceil() as usize;
+        assert!(bound >= 6);
+        assert!(girth::girth_at_most(&g, bound - 1).is_none(), "no cycle shorter than {bound}");
+    }
+
+    #[test]
+    fn x_5_29_nonbipartite() {
+        let g = lps_ramanujan(5, 29).unwrap();
+        assert_eq!(g.n(), 12180);
+        assert!(degrees::is_regular(&g, 6));
+        assert!(connectivity::is_connected(&g));
+        assert!(!bipartite::is_bipartite(&g));
+        // Residue case: girth >= 2 log_5 29 ≈ 4.18, so >= 5.
+        assert!(girth::girth_at_most(&g, 4).is_none());
+    }
+
+    #[test]
+    fn x_13_17_even_degree_14() {
+        let g = lps_ramanujan(13, 17).unwrap();
+        assert!(degrees::is_regular(&g, 14));
+        // 13 ≡ 16 ≡ (±4)² (mod 17) is a residue → PSL, half order.
+        assert!(LpsParams::new(13, 17).unwrap().p_is_residue());
+        assert_eq!(g.n(), 17 * (17 * 17 - 1) / 2);
+        assert!(connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn is_prime_small_cases() {
+        let primes: Vec<u64> = (0..60).filter(|&x| is_prime(x)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+    }
+}

@@ -1,0 +1,352 @@
+//! Random regular graphs and fixed degree sequence random graphs.
+//!
+//! The paper's experiments (§5, Figure 1) were generated "using the random
+//! regular graph generator from the NetworkX package … This package
+//! implements the Steger/Wormald approach" (\[15\]). We implement both the
+//! classic configuration (pairing) model and the Steger–Wormald algorithm;
+//! the latter is what the Figure 1 harness uses.
+
+use crate::csr::{Graph, Vertex};
+use crate::error::GraphError;
+use crate::properties::connectivity;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Maximum restarts before a randomized generator reports
+/// [`GraphError::RetriesExhausted`].
+const MAX_RESTARTS: usize = 1000;
+
+fn check_degree_sequence(n: usize, degrees: &[usize], simple: bool) -> Result<(), GraphError> {
+    if degrees.len() != n {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("{} degrees supplied for {} vertices", degrees.len(), n),
+        });
+    }
+    let total: usize = degrees.iter().sum();
+    if total % 2 != 0 {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("degree sum {total} is odd"),
+        });
+    }
+    if simple {
+        if let Some((v, &d)) = degrees.iter().enumerate().find(|&(_, &d)| d >= n) {
+            return Err(GraphError::InfeasibleDegrees {
+                reason: format!("vertex {v} has degree {d} >= n = {n} (simple graph impossible)"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One pass of the configuration model: pair up stubs uniformly at random.
+/// May contain self-loop pairings (dropped as `None`) — callers retry.
+fn pair_stubs<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> Option<Vec<(Vertex, Vertex)>> {
+    let mut stubs: Vec<Vertex> = Vec::with_capacity(degrees.iter().sum());
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(v).take(d));
+    }
+    stubs.shuffle(rng);
+    let mut edges = Vec::with_capacity(stubs.len() / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] == pair[1] {
+            return None; // self-loop: reject the whole pairing
+        }
+        edges.push((pair[0], pair[1]));
+    }
+    Some(edges)
+}
+
+/// The configuration (pairing) model *without* simplicity rejection:
+/// returns a multigraph that may contain parallel edges (self-loop pairings
+/// are re-drawn). Useful when the analysis is done directly on the
+/// configuration model, as in Section 4 of the paper.
+///
+/// # Errors
+///
+/// [`GraphError::InfeasibleDegrees`] for an odd degree sum,
+/// [`GraphError::RetriesExhausted`] if every pairing drew a self-loop
+/// (practically impossible for reasonable parameters).
+pub fn pairing_model_multigraph<R: Rng + ?Sized>(
+    n: usize,
+    r: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let degrees = vec![r; n];
+    check_degree_sequence(n, &degrees, false)?;
+    for _ in 0..MAX_RESTARTS {
+        if let Some(edges) = pair_stubs(&degrees, rng) {
+            return Graph::from_edges(n, &edges);
+        }
+    }
+    Err(GraphError::RetriesExhausted { generator: "pairing_model_multigraph", attempts: MAX_RESTARTS })
+}
+
+/// Uniform random `r`-regular *simple* graph via the configuration model
+/// with whole-pairing rejection.
+///
+/// The acceptance probability is `≈ exp(-(r²-1)/4)`, so this is only
+/// sensible for small `r` (the rejection method is exactly uniform over
+/// simple `r`-regular graphs). For larger `r` use [`steger_wormald`].
+///
+/// # Errors
+///
+/// [`GraphError::InfeasibleDegrees`] if `n·r` is odd or `r >= n`;
+/// [`GraphError::RetriesExhausted`] if no simple pairing was found.
+pub fn random_regular_pairing<R: Rng + ?Sized>(
+    n: usize,
+    r: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let degrees = vec![r; n];
+    random_with_degree_sequence(&degrees, rng)
+        .map_err(|e| match e {
+            GraphError::RetriesExhausted { attempts, .. } => {
+                GraphError::RetriesExhausted { generator: "random_regular_pairing", attempts }
+            }
+            other => other,
+        })
+}
+
+/// Uniform random simple graph with the given degree sequence
+/// (configuration model + whole-pairing rejection).
+///
+/// # Errors
+///
+/// [`GraphError::InfeasibleDegrees`] on an odd sum or a degree `>= n`;
+/// [`GraphError::RetriesExhausted`] after too many non-simple pairings.
+pub fn random_with_degree_sequence<R: Rng + ?Sized>(
+    degrees: &[usize],
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let n = degrees.len();
+    check_degree_sequence(n, degrees, true)?;
+    'attempt: for _ in 0..MAX_RESTARTS {
+        let Some(edges) = pair_stubs(degrees, rng) else { continue };
+        let mut seen = HashSet::with_capacity(edges.len());
+        for &(u, v) in &edges {
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert(key) {
+                continue 'attempt; // parallel edge: reject
+            }
+        }
+        return Graph::from_edges(n, &edges);
+    }
+    Err(GraphError::RetriesExhausted {
+        generator: "random_with_degree_sequence",
+        attempts: MAX_RESTARTS,
+    })
+}
+
+/// Random `r`-regular simple graph via the Steger–Wormald algorithm \[15\]
+/// — the generator behind the paper's Figure 1 (via NetworkX).
+///
+/// Repeatedly joins two uniformly random *suitable* stubs (no loop, no
+/// repeated edge); restarts the phase when no suitable pair remains. The
+/// output distribution is asymptotically uniform for `r = O(n^{1/3})` and
+/// the algorithm runs in `O(n r²)` expected time — unlike whole-pairing
+/// rejection it does not degrade exponentially in `r`.
+///
+/// # Errors
+///
+/// [`GraphError::InfeasibleDegrees`] if `n·r` is odd or `r >= n`;
+/// [`GraphError::RetriesExhausted`] after the internal restart budget.
+pub fn steger_wormald<R: Rng + ?Sized>(
+    n: usize,
+    r: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let degrees = vec![r; n];
+    check_degree_sequence(n, &degrees, true)?;
+    if r == 0 {
+        return Graph::from_edges(n, &[]);
+    }
+    'restart: for _ in 0..MAX_RESTARTS {
+        let mut stubs: Vec<Vertex> = Vec::with_capacity(n * r);
+        for v in 0..n {
+            stubs.extend(std::iter::repeat(v).take(r));
+        }
+        let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(n * r / 2);
+        let mut adjacent: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(n * r / 2);
+        while !stubs.is_empty() {
+            // If only unsuitable pairs remain we must restart; detect by
+            // bounding consecutive failures (suitable pairs are abundant
+            // except pathologically near the end).
+            let mut failures = 0usize;
+            loop {
+                let i = rng.gen_range(0..stubs.len());
+                let mut j = rng.gen_range(0..stubs.len());
+                while j == i {
+                    j = rng.gen_range(0..stubs.len());
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                let key = if u < v { (u, v) } else { (v, u) };
+                if u != v && !adjacent.contains(&key) {
+                    adjacent.insert(key);
+                    edges.push(key);
+                    // Remove the two stubs (higher index first).
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    stubs.swap_remove(hi);
+                    stubs.swap_remove(lo);
+                    break;
+                }
+                failures += 1;
+                if failures > 100 * (stubs.len() + 1) {
+                    continue 'restart;
+                }
+            }
+        }
+        return Graph::from_edges(n, &edges);
+    }
+    Err(GraphError::RetriesExhausted { generator: "steger_wormald", attempts: MAX_RESTARTS })
+}
+
+/// A *connected* random `r`-regular simple graph: draws with
+/// [`steger_wormald`] until connected.
+///
+/// Random `r`-regular graphs with `r >= 3` are connected whp, so the
+/// expected number of draws is `1 + o(1)`; the paper's cover-time
+/// experiments implicitly condition on connectivity.
+///
+/// # Errors
+///
+/// Propagates generator errors and reports
+/// [`GraphError::RetriesExhausted`] if no connected sample was found.
+pub fn connected_random_regular<R: Rng + ?Sized>(
+    n: usize,
+    r: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if r < 3 && !(r == 2 && n >= 3) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("connected_random_regular requires r >= 3 (or r = 2, n >= 3), got r = {r}"),
+        });
+    }
+    for _ in 0..MAX_RESTARTS {
+        let g = steger_wormald(n, r, rng)?;
+        if connectivity::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::RetriesExhausted { generator: "connected_random_regular", attempts: MAX_RESTARTS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::degrees;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairing_multigraph_is_regular() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = pairing_model_multigraph(50, 4, &mut rng).unwrap();
+        assert_eq!(g.n(), 50);
+        assert!(degrees::is_regular(&g, 4));
+    }
+
+    #[test]
+    fn pairing_simple_graph() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = random_regular_pairing(40, 3, &mut rng).unwrap();
+        assert!(degrees::is_regular(&g, 3));
+        assert!(!g.has_parallel_edges());
+    }
+
+    #[test]
+    fn odd_degree_sum_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(matches!(
+            random_regular_pairing(5, 3, &mut rng),
+            Err(GraphError::InfeasibleDegrees { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_too_large_rejected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(matches!(
+            random_regular_pairing(4, 4, &mut rng),
+            Err(GraphError::InfeasibleDegrees { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_sequence_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seq = [4, 4, 4, 4, 2, 2, 2, 2, 4, 4];
+        let g = random_with_degree_sequence(&seq, &mut rng).unwrap();
+        for (v, &d) in seq.iter().enumerate() {
+            assert_eq!(g.degree(v), d, "vertex {v}");
+        }
+        assert!(!g.has_parallel_edges());
+    }
+
+    #[test]
+    fn degree_sequence_length_mismatch() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        // A sequence whose sum is even but that contains d >= n.
+        let seq = [3, 1];
+        assert!(random_with_degree_sequence(&seq, &mut rng).is_err());
+    }
+
+    #[test]
+    fn steger_wormald_regular_and_simple() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for r in [3, 4, 5, 6, 7] {
+            let g = steger_wormald(60, r, &mut rng).unwrap();
+            assert!(degrees::is_regular(&g, r), "r = {r}");
+            assert!(!g.has_parallel_edges(), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn steger_wormald_r0() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = steger_wormald(5, 0, &mut rng).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn steger_wormald_complete_graph_edge_case() {
+        // n = 4, r = 3 forces K4 — only one simple graph exists; the
+        // algorithm must still find it.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = steger_wormald(4, 3, &mut rng).unwrap();
+        assert_eq!(g.m(), 6);
+        assert!(!g.has_parallel_edges());
+    }
+
+    #[test]
+    fn connected_random_regular_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = connected_random_regular(100, 4, &mut rng).unwrap();
+        assert!(connectivity::is_connected(&g));
+        assert!(degrees::is_regular(&g, 4));
+    }
+
+    #[test]
+    fn connected_random_regular_rejects_r1() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(connected_random_regular(10, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn connected_r2_is_hamiltonian_cycle() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = connected_random_regular(12, 2, &mut rng).unwrap();
+        assert!(degrees::is_regular(&g, 2));
+        assert!(connectivity::is_connected(&g));
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let g1 = steger_wormald(30, 4, &mut SmallRng::seed_from_u64(42)).unwrap();
+        let g2 = steger_wormald(30, 4, &mut SmallRng::seed_from_u64(42)).unwrap();
+        assert_eq!(g1.edge_list(), g2.edge_list());
+        let g3 = steger_wormald(30, 4, &mut SmallRng::seed_from_u64(43)).unwrap();
+        assert_ne!(g1.edge_list(), g3.edge_list());
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text graph serialisation.
+//!
+//! A minimal, line-oriented edge-list format so generated workloads can be
+//! saved, diffed and re-loaded (e.g. to rerun an experiment on the exact
+//! graph sample that produced a table row):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! n <vertex count>
+//! <u> <v>
+//! <u> <v>
+//! ```
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use std::fmt::Write as _;
+
+/// Serialises the graph in the edge-list format above (edge order is
+/// preserved, so the round-trip is exact including edge ids).
+pub fn to_edge_list_text(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 12 * g.m());
+    let _ = writeln!(out, "n {}", g.n());
+    for (_, u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list_text`].
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] on malformed lines, a missing `n`
+/// header, or vertex ids that fail [`Graph::from_edges`] validation.
+pub fn from_edge_list_text(text: &str) -> Result<Graph, GraphError> {
+    let mut n: Option<usize> = None;
+    let mut edges = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |what: &str| GraphError::InvalidParameter {
+            reason: format!("line {}: {what}: {line:?}", lineno + 1),
+        };
+        if let Some(rest) = line.strip_prefix("n ") {
+            if n.is_some() {
+                return Err(bad("duplicate n header"));
+            }
+            n = Some(rest.trim().parse().map_err(|_| bad("bad vertex count"))?);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing endpoint"))?
+            .parse()
+            .map_err(|_| bad("bad endpoint"))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing endpoint"))?
+            .parse()
+            .map_err(|_| bad("bad endpoint"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        edges.push((u, v));
+    }
+    let n = n.ok_or(GraphError::InvalidParameter { reason: "missing `n <count>` header".into() })?;
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = generators::petersen();
+        let text = to_edge_list_text(&g);
+        let h = from_edge_list_text(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn round_trip_multigraph() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
+        let h = from_edge_list_text(&to_edge_list_text(&g)).unwrap();
+        assert_eq!(g, h);
+        assert!(h.has_parallel_edges());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a triangle\n\nn 3\n0 1\n# middle comment\n1 2\n2 0\n";
+        let g = from_edge_list_text(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = Graph::from_edges(5, &[(0, 1)]).unwrap();
+        let h = from_edge_list_text(&to_edge_list_text(&g)).unwrap();
+        assert_eq!(h.n(), 5);
+        assert_eq!(h.degree(4), 0);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_edge_list_text("0 1\n").is_err(), "missing header");
+        assert!(from_edge_list_text("n 3\n0\n").is_err(), "missing endpoint");
+        assert!(from_edge_list_text("n 3\n0 1 2\n").is_err(), "trailing tokens");
+        assert!(from_edge_list_text("n 3\nn 3\n").is_err(), "duplicate header");
+        assert!(from_edge_list_text("n 2\n0 5\n").is_err(), "out of range");
+        assert!(from_edge_list_text("n x\n").is_err(), "bad count");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edge_list_text("n 0\n").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

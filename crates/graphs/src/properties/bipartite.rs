@@ -1,0 +1,81 @@
+//! Bipartiteness testing via BFS 2-coloring.
+//!
+//! Bipartite graphs have `λ_n = -1` for the simple random walk, so the
+//! paper makes the walk lazy there (§2.1); the spectral crate consults this
+//! predicate for the same reason.
+
+use crate::csr::Graph;
+
+/// Returns a 2-coloring (`Vec` of 0/1) if the graph is bipartite, `None`
+/// otherwise. Each connected component is colored with its smallest vertex
+/// on side 0.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut color = vec![u8::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for start in g.vertices() {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for w in g.neighbors(u) {
+                if color[w] == u8::MAX {
+                    color[w] = 1 - color[u];
+                    queue.push_back(w);
+                } else if color[w] == color[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// `true` if the graph has no odd cycle.
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn even_cycle_bipartite_odd_not() {
+        assert!(is_bipartite(&generators::cycle(8)));
+        assert!(!is_bipartite(&generators::cycle(9)));
+    }
+
+    #[test]
+    fn hypercube_bipartite() {
+        assert!(is_bipartite(&generators::hypercube(5)));
+    }
+
+    #[test]
+    fn torus_parity() {
+        assert!(is_bipartite(&generators::torus2d(4, 6)));
+        assert!(!is_bipartite(&generators::torus2d(3, 4)));
+    }
+
+    #[test]
+    fn petersen_not_bipartite() {
+        assert!(!is_bipartite(&generators::petersen()));
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        let g = generators::hypercube(4);
+        let color = bipartition(&g).unwrap();
+        for (_, u, v) in g.edges() {
+            assert_ne!(color[u], color[v]);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_still_bipartite() {
+        let g = crate::Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert!(is_bipartite(&g));
+    }
+}

@@ -1,0 +1,185 @@
+//! Subgraph edge-density checks — property (P2) of Section 4.
+//!
+//! (P2): for `s = O(log n)` and `a = ⌊2s·log(re)/log n⌋`, no set of `s`
+//! vertices induces more than `s + a` edges; in particular for
+//! `s ≤ log n / (4 log re)` no `s`-set induces more than `s` edges. This is
+//! what makes random regular graphs `Ω(log n)`-good (§4.1).
+
+use crate::csr::{Graph, Vertex};
+use crate::traversal;
+
+/// Exact maximum number of edges induced by any `s`-subset of vertices.
+///
+/// Enumerates all `C(n, s)` subsets using bitmask adjacency, so it requires
+/// `n <= 64`; intended as a test oracle on small graphs. Parallel edges are
+/// counted with multiplicity.
+///
+/// # Errors
+///
+/// Returns `Err` with a descriptive message if `n > 64` or `s > n`.
+pub fn max_induced_edges_exact(g: &Graph, s: usize) -> Result<usize, String> {
+    let n = g.n();
+    if n > 64 {
+        return Err(format!("exact subset enumeration requires n <= 64, got {n}"));
+    }
+    if s > n {
+        return Err(format!("subset size {s} exceeds n = {n}"));
+    }
+    if s < 2 {
+        return Ok(0);
+    }
+    let mut best = 0usize;
+    let mut subset: Vec<Vertex> = (0..s).collect();
+    loop {
+        let mut mask = 0u64;
+        for &v in &subset {
+            mask |= 1 << v;
+        }
+        let edges = g
+            .edges()
+            .filter(|&(_, u, v)| mask & (1 << u) != 0 && mask & (1 << v) != 0)
+            .count();
+        best = best.max(edges);
+        // Next combination in lexicographic order.
+        let mut i = s;
+        loop {
+            if i == 0 {
+                return Ok(best);
+            }
+            i -= 1;
+            if subset[i] != i + n - s {
+                break;
+            }
+        }
+        if subset[i] == i + n - s {
+            return Ok(best);
+        }
+        subset[i] += 1;
+        for j in i + 1..s {
+            subset[j] = subset[j - 1] + 1;
+        }
+    }
+}
+
+/// Checks property (P2)'s simple form exactly on a small graph: returns the
+/// smallest `s <= s_max` for which some `s`-subset induces **more** than
+/// `s` edges, or `None` if no such subset exists.
+///
+/// # Errors
+///
+/// Propagates the size limits of [`max_induced_edges_exact`].
+pub fn p2_violation_exact(g: &Graph, s_max: usize) -> Result<Option<usize>, String> {
+    for s in 2..=s_max.min(g.n()) {
+        if max_induced_edges_exact(g, s)? > s {
+            return Ok(Some(s));
+        }
+    }
+    Ok(None)
+}
+
+/// Edge excess of the BFS ball of the given `radius` around `v`: the number
+/// of induced edges minus (ball size − 1).
+///
+/// Excess 0 means the ball is a tree, 1 unicyclic, and `>= 2` certifies a
+/// dense local subgraph: a connected `s`-vertex subgraph with `>= s + 1`
+/// edges, i.e. a (P2)-style violation witnessed locally. This is the
+/// scalable proxy used on large graphs where subset enumeration is
+/// impossible.
+pub fn ball_excess(g: &Graph, v: Vertex, radius: u32) -> i64 {
+    let dist = traversal::bfs_distances_bounded(g, v, radius);
+    let mut size = 0i64;
+    for &d in &dist {
+        if d != traversal::UNREACHED {
+            size += 1;
+        }
+    }
+    let mut edges = 0i64;
+    for (_, u, w) in g.edges() {
+        if dist[u] != traversal::UNREACHED
+            && dist[w] != traversal::UNREACHED
+            // Both endpoints strictly inside the ball, or the edge might
+            // join two radius-boundary vertices: count it either way —
+            // the ball's *induced* subgraph includes it.
+        {
+            edges += 1;
+        }
+    }
+    edges - (size - 1)
+}
+
+/// Maximum [`ball_excess`] over all vertices — a lower-bound witness for
+/// local density (`O(n·(m + n))`; use sampled variants for huge graphs).
+pub fn max_ball_excess(g: &Graph, radius: u32) -> i64 {
+    g.vertices().map(|v| ball_excess(g, v, radius)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn k4_density() {
+        let g = generators::complete(4);
+        assert_eq!(max_induced_edges_exact(&g, 3).unwrap(), 3);
+        assert_eq!(max_induced_edges_exact(&g, 4).unwrap(), 6);
+        // s = 4 induces 6 > 4 edges, s = 3 induces exactly 3.
+        assert_eq!(p2_violation_exact(&g, 4).unwrap(), Some(4));
+        assert_eq!(p2_violation_exact(&g, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn cycle_never_violates() {
+        let g = generators::cycle(10);
+        assert_eq!(p2_violation_exact(&g, 10).unwrap(), None);
+        assert_eq!(max_induced_edges_exact(&g, 10).unwrap(), 10);
+        assert_eq!(max_induced_edges_exact(&g, 5).unwrap(), 4);
+    }
+
+    #[test]
+    fn figure_eight_violation_at_full_size() {
+        let g = generators::figure_eight(3); // 5 vertices, 6 edges
+        assert_eq!(p2_violation_exact(&g, 5).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn small_s_trivial() {
+        let g = generators::complete(5);
+        assert_eq!(max_induced_edges_exact(&g, 0).unwrap(), 0);
+        assert_eq!(max_induced_edges_exact(&g, 1).unwrap(), 0);
+        assert_eq!(max_induced_edges_exact(&g, 2).unwrap(), 1);
+    }
+
+    #[test]
+    fn size_limits_enforced() {
+        let g = generators::cycle(10);
+        assert!(max_induced_edges_exact(&g, 11).is_err());
+        let big = generators::cycle(70);
+        assert!(max_induced_edges_exact(&big, 3).is_err());
+    }
+
+    #[test]
+    fn ball_excess_tree_is_zero() {
+        let g = generators::binary_tree(4);
+        for v in [0, 3, 10] {
+            assert_eq!(ball_excess(&g, v, 2), 0);
+        }
+        assert_eq!(max_ball_excess(&g, 10), 0);
+    }
+
+    #[test]
+    fn ball_excess_unicyclic_is_one() {
+        let g = generators::cycle(8);
+        assert_eq!(ball_excess(&g, 0, 8), 1);
+        // Small radius sees only a path.
+        assert_eq!(ball_excess(&g, 0, 2), 0);
+    }
+
+    #[test]
+    fn ball_excess_dense_graph() {
+        let g = generators::complete(5);
+        // Ball of radius 1 is all of K5: 10 edges, 5 vertices, excess 6.
+        assert_eq!(ball_excess(&g, 0, 1), 6);
+        assert_eq!(max_ball_excess(&g, 1), 6);
+    }
+}

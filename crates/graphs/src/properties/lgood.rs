@@ -1,0 +1,338 @@
+//! `ℓ`-goodness: minimal even-degree subgraphs through a vertex.
+//!
+//! Paper, §1: *"A vertex `v` is `ℓ`-good, if any even degree subgraph
+//! containing all edges incident with `v` contains at least `ℓ` vertices. A
+//! graph `G` is `ℓ`-good, if every vertex has the `ℓ`-good property."*
+//!
+//! "Even degree subgraph" here is an **edge-induced** subgraph in which
+//! every vertex has even (positive) degree, i.e. an element of the cycle
+//! space of `G`; the constraint is that it contains the full edge star
+//! `δ(v)`.
+//!
+//! Finding the minimum-vertex such subgraph is combinatorially hard in
+//! general, so this module provides:
+//!
+//! * [`min_even_subgraph_through`] — an **exact** exponential search over
+//!   the cycle space (bitmask enumeration), usable as an oracle on small
+//!   graphs (`m − d(v) ≤ 22`, `n ≤ 64`);
+//! * [`even_subgraph_upper_bound`] — a scalable greedy construction that
+//!   pairs up the ports of `v` with edge-disjoint short cycles, yielding an
+//!   upper bound on `ℓ(v)` (and hence on `ℓ(G)`);
+//! * [`lgood_exact`] — exact `ℓ(G) = min_v ℓ(v)` for small graphs.
+
+use crate::csr::{EdgeId, Graph, Vertex};
+
+/// Hard cap on the number of free edges for the exact search (`2^22`
+/// subsets ≈ 4M).
+const EXACT_FREE_EDGE_LIMIT: usize = 22;
+
+/// The minimal even-degree edge-induced subgraph containing all edges
+/// incident with `v`, found by exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinEvenSubgraph {
+    /// Number of vertices in the minimal subgraph — this is `ℓ(v)`.
+    pub vertex_count: usize,
+    /// The edges of one minimal subgraph (includes all of `δ(v)`).
+    pub edges: Vec<EdgeId>,
+}
+
+/// Exact `ℓ(v)`: exhaustively searches all even-degree subgraphs containing
+/// `δ(v)` and returns a minimum-vertex witness, or `None` if no such
+/// subgraph exists (e.g. `v` has odd degree, or a bridge at `v` cannot be
+/// completed to even degree).
+///
+/// # Errors
+///
+/// Returns `Err` with a descriptive message when the instance is too large
+/// for exact search (`n > 64` or more than 22 free edges).
+pub fn min_even_subgraph_through(g: &Graph, v: Vertex) -> Result<Option<MinEvenSubgraph>, String> {
+    if g.n() > 64 {
+        return Err(format!("exact l-good search requires n <= 64, got {}", g.n()));
+    }
+    let star: Vec<EdgeId> = g.arc_range(v).map(|a| g.arc_edge(a)).collect();
+    let free: Vec<EdgeId> = (0..g.m()).filter(|e| !star.contains(e)).collect();
+    if free.len() > EXACT_FREE_EDGE_LIMIT {
+        return Err(format!(
+            "exact l-good search limited to {EXACT_FREE_EDGE_LIMIT} free edges, instance has {}",
+            free.len()
+        ));
+    }
+    // Per-edge endpoint masks: XOR accumulates degree parity, OR accumulates
+    // vertex presence.
+    let edge_mask = |e: EdgeId| -> u64 {
+        let (a, b) = g.endpoints(e);
+        (1u64 << a) | (1u64 << b)
+    };
+    let mut fixed_parity = 0u64;
+    let mut fixed_presence = 0u64;
+    for &e in &star {
+        fixed_parity ^= edge_mask(e);
+        fixed_presence |= edge_mask(e);
+    }
+    let free_masks: Vec<u64> = free.iter().map(|&e| edge_mask(e)).collect();
+    let mut best: Option<(usize, u64)> = None; // (vertex count, chosen free subset)
+    for subset in 0u64..(1u64 << free.len()) {
+        let mut parity = fixed_parity;
+        let mut presence = fixed_presence;
+        let mut bits = subset;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            parity ^= free_masks[i];
+            presence |= free_masks[i];
+        }
+        if parity == 0 {
+            let count = presence.count_ones() as usize;
+            if best.map_or(true, |(b, _)| count < b) {
+                best = Some((count, subset));
+            }
+        }
+    }
+    Ok(best.map(|(count, subset)| {
+        let mut edges = star.clone();
+        for (i, &e) in free.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                edges.push(e);
+            }
+        }
+        edges.sort_unstable();
+        MinEvenSubgraph { vertex_count: count, edges }
+    }))
+}
+
+/// Exact `ℓ(G) = min_v ℓ(v)` by exhaustive search at every vertex.
+///
+/// Returns `None` if some vertex admits **no** even subgraph through its
+/// star (then the graph is not `ℓ`-good for any `ℓ` — e.g. it has a
+/// bridge incident to some vertex).
+///
+/// # Errors
+///
+/// Propagates the size limits of [`min_even_subgraph_through`].
+pub fn lgood_exact(g: &Graph) -> Result<Option<usize>, String> {
+    let mut best: Option<usize> = None;
+    for v in g.vertices() {
+        match min_even_subgraph_through(g, v)? {
+            None => return Ok(None),
+            Some(w) => {
+                best = Some(best.map_or(w.vertex_count, |b: usize| b.min(w.vertex_count)));
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Greedy upper bound on `ℓ(v)`: pairs the ports of `v` and closes each
+/// pair with a shortest edge-disjoint path avoiding `v`, producing an even
+/// subgraph containing `δ(v)` whose vertex count bounds `ℓ(v)` (and hence
+/// `ℓ(G)`) from above.
+///
+/// Returns `None` when the greedy pairing gets stuck (some pair of ports
+/// has no connecting path edge-disjoint from the cycles already built);
+/// this does **not** imply `ℓ(v)` is undefined.
+pub fn even_subgraph_upper_bound(g: &Graph, v: Vertex) -> Option<usize> {
+    if g.degree(v) % 2 != 0 {
+        return None;
+    }
+    let mut used_edge = vec![false; g.m()];
+    let mut present = vec![false; g.n()];
+    present[v] = true;
+    let ports: Vec<(Vertex, EdgeId)> = g.arc_range(v).map(|a| (g.arc_target(a), g.arc_edge(a))).collect();
+    let mut remaining: Vec<(Vertex, EdgeId)> = ports;
+    while let Some((start, start_edge)) = remaining.pop() {
+        used_edge[start_edge] = true;
+        present[start] = true;
+        // BFS from `start` to any other pending port target, avoiding `v`
+        // and used edges.
+        let targets: Vec<Vertex> = remaining.iter().map(|&(t, _)| t).collect();
+        let path = bfs_avoiding(g, start, &targets, v, &used_edge)?;
+        let endpoint = *path.last().expect("path is nonempty");
+        // Remove one pending port whose target is `endpoint`.
+        let idx = remaining.iter().position(|&(t, _)| t == endpoint)?;
+        let (_, end_edge) = remaining.swap_remove(idx);
+        used_edge[end_edge] = true;
+        for w in path.windows(2) {
+            let e = find_free_edge(g, w[0], w[1], &used_edge)?;
+            used_edge[e] = true;
+        }
+        for &w in &path {
+            present[w] = true;
+        }
+    }
+    Some(present.iter().filter(|&&p| p).count())
+}
+
+/// Best (smallest) greedy upper bound over a set of probe vertices; an
+/// upper bound on `ℓ(G)`. Returns `None` if the greedy construction failed
+/// at every probe.
+pub fn lgood_upper_bound(g: &Graph, probes: &[Vertex]) -> Option<usize> {
+    probes.iter().filter_map(|&v| even_subgraph_upper_bound(g, v)).min()
+}
+
+/// BFS from `start` to the nearest vertex in `targets`, avoiding vertex
+/// `banned` and all used edges; returns the vertex path (start … target).
+fn bfs_avoiding(
+    g: &Graph,
+    start: Vertex,
+    targets: &[Vertex],
+    banned: Vertex,
+    used_edge: &[bool],
+) -> Option<Vec<Vertex>> {
+    if targets.contains(&start) {
+        return Some(vec![start]);
+    }
+    let mut prev: Vec<Option<Vertex>> = vec![None; g.n()];
+    let mut seen = vec![false; g.n()];
+    seen[start] = true;
+    seen[banned] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for (_, w, e) in g.ports(u) {
+            if seen[w] || used_edge[e] {
+                continue;
+            }
+            seen[w] = true;
+            prev[w] = Some(u);
+            if targets.contains(&w) {
+                let mut path = vec![w];
+                let mut cur = w;
+                while let Some(p) = prev[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(w);
+        }
+    }
+    None
+}
+
+fn find_free_edge(g: &Graph, u: Vertex, w: Vertex, used_edge: &[bool]) -> Option<EdgeId> {
+    g.ports(u).find(|&(_, t, e)| t == w && !used_edge[e]).map(|(_, _, e)| e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::properties::degrees;
+
+    #[test]
+    fn figure_eight_is_minimal_itself() {
+        let g = generators::figure_eight(3); // 5 vertices, two triangles at 0
+        let w = min_even_subgraph_through(&g, 0).unwrap().unwrap();
+        assert_eq!(w.vertex_count, 5);
+        assert_eq!(w.edges.len(), 6);
+    }
+
+    #[test]
+    fn cycle_l_is_n() {
+        let g = generators::cycle(9);
+        let w = min_even_subgraph_through(&g, 4).unwrap().unwrap();
+        assert_eq!(w.vertex_count, 9);
+        assert_eq!(lgood_exact(&g).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn k5_l_is_5() {
+        let g = generators::complete(5);
+        assert_eq!(lgood_exact(&g).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn torus_3x3_l_is_5() {
+        // Two orthogonal wrap-triangles through v share only v.
+        let g = generators::torus2d(3, 3);
+        let w = min_even_subgraph_through(&g, 0).unwrap().unwrap();
+        assert_eq!(w.vertex_count, 5);
+        assert_eq!(lgood_exact(&g).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn odd_degree_vertex_has_no_even_subgraph() {
+        let g = generators::petersen();
+        assert_eq!(min_even_subgraph_through(&g, 0).unwrap(), None);
+        assert_eq!(lgood_exact(&g).unwrap(), None);
+    }
+
+    #[test]
+    fn witness_is_even_and_contains_star() {
+        let g = generators::complete(5);
+        for v in g.vertices() {
+            let w = min_even_subgraph_through(&g, v).unwrap().unwrap();
+            let mut deg = vec![0usize; g.n()];
+            for &e in &w.edges {
+                let (a, b) = g.endpoints(e);
+                deg[a] += 1;
+                deg[b] += 1;
+            }
+            assert!(deg.iter().all(|&d| d % 2 == 0), "witness must be even");
+            assert_eq!(deg[v], g.degree(v), "witness must contain the full star of {v}");
+        }
+    }
+
+    #[test]
+    fn exact_limits_enforced() {
+        let g = generators::cycle(70);
+        assert!(min_even_subgraph_through(&g, 0).is_err());
+        let g = generators::complete(9); // m - d = 36 - 8 = 28 > 22
+        assert!(min_even_subgraph_through(&g, 0).is_err());
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact() {
+        for g in [generators::figure_eight(3), generators::torus2d(3, 3), generators::complete(5)] {
+            assert!(degrees::is_even_degree(&g));
+            for v in g.vertices() {
+                let exact = min_even_subgraph_through(&g, v).unwrap().unwrap().vertex_count;
+                if let Some(ub) = even_subgraph_upper_bound(&g, v) {
+                    assert!(ub >= exact, "greedy {ub} must dominate exact {exact} at {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_on_cycle_is_exact() {
+        let g = generators::cycle(11);
+        assert_eq!(even_subgraph_upper_bound(&g, 0), Some(11));
+    }
+
+    #[test]
+    fn upper_bound_rejects_odd_degree() {
+        let g = generators::petersen();
+        assert_eq!(even_subgraph_upper_bound(&g, 0), None);
+    }
+
+    #[test]
+    fn lgood_upper_bound_over_probes() {
+        let g = generators::torus2d(4, 4);
+        let probes: Vec<_> = g.vertices().collect();
+        let ub = lgood_upper_bound(&g, &probes).unwrap();
+        // Two orthogonal 4-wraps share one vertex: 7 vertices.
+        assert_eq!(ub, 7);
+    }
+
+    #[test]
+    fn hypercube_even_dimension_greedy_bound() {
+        // H4 has too many free edges for the exact oracle; the greedy
+        // bound still works: two edge-disjoint 4-cycles through v.
+        let g = generators::hypercube(4);
+        assert!(min_even_subgraph_through(&g, 0).is_err());
+        let ub = even_subgraph_upper_bound(&g, 0).unwrap();
+        assert!((5..=7).contains(&ub), "greedy bound {ub} out of range");
+    }
+
+    #[test]
+    fn torus_3x4_exact_vs_greedy() {
+        let g = generators::torus2d(3, 4); // m = 24, d = 4: exact feasible
+        let exact = min_even_subgraph_through(&g, 0).unwrap().unwrap().vertex_count;
+        // Wrap-triangle (3 vertices) + wrap-4-cycle (4 vertices) sharing v.
+        assert_eq!(exact, 6);
+        let ub = even_subgraph_upper_bound(&g, 0).unwrap();
+        assert!(ub >= exact);
+    }
+}

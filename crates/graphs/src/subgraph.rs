@@ -1,0 +1,168 @@
+//! Subgraph extraction with vertex/edge maps.
+//!
+//! The blue components of Observation 11 are *edge-induced* subgraphs;
+//! extracting them as standalone [`Graph`]s lets all the property
+//! machinery (Eulerian decomposition, girth, ℓ-goodness) run on them
+//! directly. Both extractors return the mapping back to the parent graph.
+
+use crate::csr::{EdgeId, Graph, Vertex};
+
+/// A subgraph together with its embedding into the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph (vertices relabelled to `0..k`).
+    pub graph: Graph,
+    /// `vertex_map[i]` = the parent vertex of subgraph vertex `i`.
+    pub vertex_map: Vec<Vertex>,
+    /// `edge_map[j]` = the parent edge of subgraph edge `j`.
+    pub edge_map: Vec<EdgeId>,
+}
+
+impl Subgraph {
+    /// Parent vertex of subgraph vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn parent_vertex(&self, v: Vertex) -> Vertex {
+        self.vertex_map[v]
+    }
+
+    /// Parent edge of subgraph edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn parent_edge(&self, e: EdgeId) -> EdgeId {
+        self.edge_map[e]
+    }
+}
+
+/// The subgraph *induced* by a vertex set: keeps every edge with both
+/// endpoints selected. Duplicate vertices in `vertices` are ignored.
+///
+/// # Panics
+///
+/// Panics if some vertex is `>= g.n()`.
+pub fn induced_subgraph(g: &Graph, vertices: &[Vertex]) -> Subgraph {
+    let mut keep = vec![false; g.n()];
+    for &v in vertices {
+        assert!(v < g.n(), "vertex {v} out of range");
+        keep[v] = true;
+    }
+    let vertex_map: Vec<Vertex> = g.vertices().filter(|&v| keep[v]).collect();
+    let mut index = vec![usize::MAX; g.n()];
+    for (i, &v) in vertex_map.iter().enumerate() {
+        index[v] = i;
+    }
+    let mut edges = Vec::new();
+    let mut edge_map = Vec::new();
+    for (e, u, v) in g.edges() {
+        if keep[u] && keep[v] {
+            edges.push((index[u], index[v]));
+            edge_map.push(e);
+        }
+    }
+    let graph = Graph::from_edges(vertex_map.len(), &edges).expect("valid by construction");
+    Subgraph { graph, vertex_map, edge_map }
+}
+
+/// The *edge-induced* subgraph: keeps the listed edges and exactly the
+/// vertices they touch — the paper's notion of blue components.
+///
+/// # Panics
+///
+/// Panics if some edge id is `>= g.m()` or repeated.
+pub fn edge_subgraph(g: &Graph, edges: &[EdgeId]) -> Subgraph {
+    let mut chosen = vec![false; g.m()];
+    for &e in edges {
+        assert!(e < g.m(), "edge {e} out of range");
+        assert!(!chosen[e], "edge {e} listed twice");
+        chosen[e] = true;
+    }
+    let mut keep = vec![false; g.n()];
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        keep[u] = true;
+        keep[v] = true;
+    }
+    let vertex_map: Vec<Vertex> = g.vertices().filter(|&v| keep[v]).collect();
+    let mut index = vec![usize::MAX; g.n()];
+    for (i, &v) in vertex_map.iter().enumerate() {
+        index[v] = i;
+    }
+    // Preserve the caller's edge order.
+    let mut new_edges = Vec::with_capacity(edges.len());
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        new_edges.push((index[u], index[v]));
+    }
+    let graph = Graph::from_edges(vertex_map.len(), &new_edges).expect("valid by construction");
+    Subgraph { graph, vertex_map, edge_map: edges.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::properties::{connectivity, degrees, euler};
+
+    #[test]
+    fn induced_triangle_from_k5() {
+        let g = generators::complete(5);
+        let sub = induced_subgraph(&g, &[0, 2, 4]);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 3);
+        assert_eq!(sub.vertex_map, vec![0, 2, 4]);
+        // Every subgraph edge maps to a parent edge with the right ends.
+        for (j, u, v) in sub.graph.edges() {
+            let pe = sub.parent_edge(j);
+            let (pu, pv) = g.endpoints(pe);
+            let mapped = (sub.parent_vertex(u), sub.parent_vertex(v));
+            assert!(mapped == (pu, pv) || mapped == (pv, pu));
+        }
+    }
+
+    #[test]
+    fn induced_handles_duplicates_and_isolates() {
+        let g = generators::path(5);
+        let sub = induced_subgraph(&g, &[0, 0, 2, 4]);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 0, "0, 2, 4 are pairwise non-adjacent on a path");
+    }
+
+    #[test]
+    fn edge_subgraph_of_figure_eight_loop() {
+        let g = generators::figure_eight(4);
+        // First cycle is edges 0..4 by construction.
+        let sub = edge_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(sub.graph.n(), 4);
+        assert_eq!(sub.graph.m(), 4);
+        assert!(degrees::is_regular(&sub.graph, 2));
+        assert!(connectivity::is_connected(&sub.graph));
+        assert!(euler::eulerian_circuit(&sub.graph).is_some());
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_multiplicity() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let sub = edge_subgraph(&g, &[0, 2]);
+        assert_eq!(sub.graph.m(), 2);
+        assert!(sub.graph.has_parallel_edges());
+        assert_eq!(sub.edge_map, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn edge_subgraph_rejects_duplicates() {
+        let g = generators::cycle(4);
+        let _ = edge_subgraph(&g, &[1, 1]);
+    }
+
+    #[test]
+    fn empty_selections() {
+        let g = generators::cycle(5);
+        assert_eq!(induced_subgraph(&g, &[]).graph.n(), 0);
+        assert_eq!(edge_subgraph(&g, &[]).graph.n(), 0);
+    }
+}

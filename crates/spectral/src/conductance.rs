@@ -1,0 +1,120 @@
+//! Graph conductance and the Cheeger sandwich (eq. 19 of the paper).
+//!
+//! `Φ(G) = min_{d(X) ≤ m} e(X, X̄) / d(X)`, and
+//! `1 − 2Φ ≤ λ_2 ≤ 1 − Φ²/2`.
+
+use eproc_graphs::Graph;
+
+/// Exact conductance by exhaustive enumeration of all vertex subsets.
+///
+/// Requires `2 <= n <= 24` (cost `O(2^n · n)` using bitmask adjacency);
+/// this is a test oracle, not a production algorithm. Parallel edges are
+/// counted with multiplicity.
+///
+/// # Errors
+///
+/// `Err` with a message if `n` is out of range or the graph has no edges.
+pub fn conductance_exact(g: &Graph) -> Result<f64, String> {
+    let n = g.n();
+    if !(2..=24).contains(&n) {
+        return Err(format!("exact conductance requires 2 <= n <= 24, got {n}"));
+    }
+    if g.m() == 0 {
+        return Err("conductance undefined for an edgeless graph".into());
+    }
+    let m = g.m() as f64;
+    let degrees: Vec<f64> = g.vertices().map(|v| g.degree(v) as f64).collect();
+    // Edge endpoint masks for boundary counting with multiplicity.
+    let edge_masks: Vec<(u32, u32)> =
+        g.edges().map(|(_, u, v)| (1u32 << u, 1u32 << v)).collect();
+    let mut best = f64::INFINITY;
+    for mask in 1u32..(1u32 << n) - 1 {
+        let d_x: f64 = (0..n).filter(|&v| mask & (1 << v) != 0).map(|v| degrees[v]).sum();
+        if d_x > m {
+            continue; // the definition minimises over d(X) ≤ m(G)
+        }
+        let boundary = edge_masks
+            .iter()
+            .filter(|&&(mu, mv)| (mask & mu != 0) != (mask & mv != 0))
+            .count() as f64;
+        let phi = boundary / d_x;
+        if phi < best {
+            best = phi;
+        }
+    }
+    Ok(best)
+}
+
+/// Verifies the Cheeger sandwich `1 − 2Φ ≤ λ_2 ≤ 1 − Φ²/2` given the exact
+/// conductance and `λ_2`; returns the two slack values
+/// `(λ_2 − (1 − 2Φ), (1 − Φ²/2) − λ_2)`, both nonnegative when the
+/// inequality holds.
+pub fn cheeger_slack(phi: f64, lambda_2: f64) -> (f64, f64) {
+    (lambda_2 - (1.0 - 2.0 * phi), (1.0 - phi * phi / 2.0) - lambda_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::SymMatrix;
+    use eproc_graphs::generators;
+
+    #[test]
+    fn complete_graph_conductance() {
+        // K4: the minimising cut is a balanced bisection:
+        // e(X, X̄) = 4, d(X) = 6 → Φ = 2/3.
+        let g = generators::complete(4);
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 2.0 / 3.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn cycle_conductance() {
+        // C_n: cut an arc of n/2 vertices: 2 boundary edges, d(X) = n.
+        let n = 10;
+        let g = generators::cycle(n);
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 2.0 / n as f64).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn barbell_conductance_is_small() {
+        let g = generators::barbell(5, 2);
+        let phi = conductance_exact(&g).unwrap();
+        // Cutting the bridge: 1 boundary edge, d(X) ≈ half the degree.
+        assert!(phi < 0.06, "barbell should have a bottleneck, phi = {phi}");
+    }
+
+    #[test]
+    fn cheeger_sandwich_on_named_graphs() {
+        for g in [
+            generators::cycle(9),
+            generators::complete(5),
+            generators::petersen(),
+            generators::barbell(4, 1),
+            generators::torus2d(3, 4),
+        ] {
+            let phi = conductance_exact(&g).unwrap();
+            let lambda_2 = SymMatrix::from_graph(&g, false).eigenvalues()[1];
+            let (lo, hi) = cheeger_slack(phi, lambda_2);
+            assert!(lo >= -1e-9, "lower Cheeger violated: λ2 = {lambda_2}, Φ = {phi}");
+            assert!(hi >= -1e-9, "upper Cheeger violated: λ2 = {lambda_2}, Φ = {phi}");
+        }
+    }
+
+    #[test]
+    fn size_limits() {
+        assert!(conductance_exact(&generators::cycle(30)).is_err());
+        let g = eproc_graphs::Graph::from_edges(1, &[]).unwrap();
+        assert!(conductance_exact(&g).is_err());
+    }
+
+    #[test]
+    fn parallel_edges_increase_conductance() {
+        let single = eproc_graphs::Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let double = eproc_graphs::Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        // Both have Φ = 1 (cut the only vertex pair: boundary = d(X)).
+        assert!((conductance_exact(&single).unwrap() - 1.0).abs() < 1e-12);
+        assert!((conductance_exact(&double).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Total-variation mixing by explicit distribution evolution.
+//!
+//! Lemma 7 of the paper: `T = K log n / (1 − λ_max)` with `K ≥ 6` gives
+//! `max_{u,x} |P^t_u(x) − π_x| ≤ n^{-3}` for `t ≥ T`. This module measures
+//! actual mixing so the spectral prediction can be compared against ground
+//! truth on small graphs.
+
+use crate::transition::{apply_transition, stationary_distribution};
+use eproc_graphs::{Graph, Vertex};
+
+/// Total-variation distance `½ Σ_v |p_v − q_v|`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Distribution of the walk started at `start` after `t` steps.
+///
+/// # Panics
+///
+/// Panics if `start >= g.n()`.
+pub fn distribution_at(g: &Graph, start: Vertex, t: usize, lazy: bool) -> Vec<f64> {
+    let mut rho = vec![0.0; g.n()];
+    rho[start] = 1.0;
+    for _ in 0..t {
+        rho = apply_transition(g, &rho, lazy);
+    }
+    rho
+}
+
+/// Worst-case (over start vertices) TV distance to stationarity at time
+/// `t`. `O(n · t · m)` — use on small graphs.
+pub fn worst_tv_at(g: &Graph, t: usize, lazy: bool) -> f64 {
+    let pi = stationary_distribution(g);
+    g.vertices()
+        .map(|u| tv_distance(&distribution_at(g, u, t, lazy), &pi))
+        .fold(0.0, f64::max)
+}
+
+/// Smallest `t ≤ max_t` with worst-case TV distance `≤ eps`, or `None` if
+/// the walk has not mixed by `max_t` (periodic chains never mix — use
+/// `lazy = true` for bipartite graphs, as the paper does).
+pub fn mixing_time(g: &Graph, eps: f64, lazy: bool, max_t: usize) -> Option<usize> {
+    let pi = stationary_distribution(g);
+    let mut rhos: Vec<Vec<f64>> = g
+        .vertices()
+        .map(|u| {
+            let mut r = vec![0.0; g.n()];
+            r[u] = 1.0;
+            r
+        })
+        .collect();
+    for t in 0..=max_t {
+        let worst = rhos.iter().map(|r| tv_distance(r, &pi)).fold(0.0, f64::max);
+        if worst <= eps {
+            return Some(t);
+        }
+        if t < max_t {
+            for r in &mut rhos {
+                *r = apply_transition(g, r, lazy);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::SymMatrix;
+    use eproc_graphs::generators;
+
+    #[test]
+    fn tv_basics() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tv_distance(&[0.7, 0.3], &[0.3, 0.7]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_mixes_in_one_step() {
+        // From any vertex of K_n, one step is uniform over the other n-1;
+        // TV to π = 1/n: small but not zero; by t=2 it is tiny.
+        let g = generators::complete(10);
+        let t = mixing_time(&g, 0.12, false, 10).unwrap();
+        assert!(t <= 1, "K10 mixes almost immediately, got {t}");
+    }
+
+    #[test]
+    fn even_cycle_never_mixes_without_laziness() {
+        let g = generators::cycle(6);
+        assert_eq!(mixing_time(&g, 0.25, false, 200), None);
+        assert!(mixing_time(&g, 0.25, true, 200).is_some());
+    }
+
+    #[test]
+    fn mixing_time_monotone_in_eps() {
+        let g = generators::petersen();
+        let loose = mixing_time(&g, 0.3, true, 500).unwrap();
+        let tight = mixing_time(&g, 0.01, true, 500).unwrap();
+        assert!(loose <= tight);
+    }
+
+    #[test]
+    fn lemma7_spectral_bound_dominates_measured_mixing() {
+        // T = 6 log n / (1 − λ_max) must bring worst-case pointwise error
+        // below n^{-3}; pointwise error is bounded by TV, so check TV at T
+        // against the (weaker) threshold.
+        for g in [generators::petersen(), generators::lollipop(4, 2), generators::torus2d(3, 3)] {
+            let lmax = SymMatrix::from_graph(&g, true).lambda_max_walk();
+            let n = g.n() as f64;
+            let t = (6.0 * n.ln() / (1.0 - lmax)).ceil() as usize;
+            let worst = worst_tv_at(&g, t, true);
+            assert!(
+                worst <= 1.0 / n.powi(2),
+                "Lemma 7 time T = {t} leaves TV = {worst} on n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_conserves_mass() {
+        let g = generators::torus2d(4, 3);
+        let rho = distribution_at(&g, 0, 17, false);
+        assert!((rho.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+}

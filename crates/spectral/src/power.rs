@@ -1,0 +1,231 @@
+//! Deflated power iteration for the walk spectrum of large sparse graphs.
+//!
+//! All iterations run on the symmetric operator `S = D^{-1/2} A D^{-1/2}`
+//! (same spectrum as the transition matrix `P`) with the known principal
+//! eigenvector `φ_1 ∝ √d` projected out:
+//!
+//! * `λ_2` — dominant eigenvalue of `S + I` after deflation, minus 1
+//!   (the shift makes the spectrum nonnegative so power iteration is
+//!   sign-stable);
+//! * `λ_n` — 1 minus the dominant eigenvalue of `I − S` after deflation;
+//! * `λ_max = max(λ_2, |λ_n|)`.
+
+use crate::transition::{apply_symmetric, principal_eigenvector};
+use eproc_graphs::Graph;
+
+/// Options for [`spectral_gap`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptions {
+    /// Maximum number of matrix applications per eigenvalue.
+    pub max_iterations: usize,
+    /// Convergence threshold on the Rayleigh-quotient change per step.
+    pub tolerance: f64,
+}
+
+impl Default for PowerOptions {
+    fn default() -> PowerOptions {
+        PowerOptions { max_iterations: 20_000, tolerance: 1e-11 }
+    }
+}
+
+/// Estimates of the walk spectrum of a connected graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralEstimates {
+    /// Second-largest eigenvalue `λ_2` of `P`.
+    pub lambda_2: f64,
+    /// Smallest eigenvalue `λ_n` of `P` (`-1` exactly iff bipartite).
+    pub lambda_n: f64,
+    /// `λ_max = max(λ_2, |λ_n|)` — the quantity in all the paper's bounds.
+    pub lambda_max: f64,
+    /// Matrix applications used in total.
+    pub iterations: usize,
+}
+
+impl SpectralEstimates {
+    /// The eigenvalue gap `1 − λ_max`.
+    pub fn gap(&self) -> f64 {
+        1.0 - self.lambda_max
+    }
+
+    /// The lazy-walk gap `1 − λ_max(lazy)` where the lazy spectrum is
+    /// `(1 + λ_i)/2`; the paper's fix for bipartite graphs (§2.1).
+    pub fn lazy_gap(&self) -> f64 {
+        (1.0 - self.lambda_2) / 2.0
+    }
+}
+
+/// Computes `λ_2`, `λ_n`, `λ_max` of the simple random walk on a connected
+/// graph with deflated power iteration.
+///
+/// For disconnected graphs the deflation is incomplete (eigenvalue 1 has
+/// multiplicity `> 1`) and estimates converge to 1; callers should check
+/// connectivity first (the paper assumes it throughout).
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+pub fn spectral_gap(g: &Graph, opts: PowerOptions) -> SpectralEstimates {
+    assert!(g.m() > 0, "spectral gap undefined for an edgeless graph");
+    let n = g.n();
+    if n <= 1 {
+        return SpectralEstimates { lambda_2: 0.0, lambda_n: 0.0, lambda_max: 0.0, iterations: 0 };
+    }
+    let phi = principal_eigenvector(g);
+    // Dominant eigenvalue of x -> (S + shift·I) x, deflated against φ1.
+    // Both shifts used below make the operator PSD on the deflated
+    // subspace, so the norm-growth ratio converges to the eigenvalue.
+    let mut total_iters = 0usize;
+    let mut dominant = |shift: f64| -> f64 {
+        let mut x = pseudorandom_unit(n, &phi);
+        let mut prev = f64::INFINITY;
+        for it in 0..opts.max_iterations {
+            total_iters += 1;
+            let mut y = apply_symmetric(g, &x, false);
+            for (yi, xi) in y.iter_mut().zip(&x) {
+                *yi += shift * xi;
+            }
+            project_out(&mut y, &phi);
+            let norm = norm2(&y);
+            if norm < 1e-300 {
+                return 0.0; // operator annihilates the complement (K2-like)
+            }
+            for v in &mut y {
+                *v /= norm;
+            }
+            if (norm - prev).abs() < opts.tolerance && it > 10 {
+                return norm;
+            }
+            prev = norm;
+            x = y;
+        }
+        prev
+    };
+    // S + I has deflated spectrum {1 + λ_i}_{i≥2} ⊂ [0, 2]: dominant = 1 + λ_2.
+    let lambda_2 = (dominant(1.0) - 1.0).clamp(-1.0, 1.0);
+    // -(S - I) = I - S has deflated spectrum {1 - λ_i}_{i≥2} ⊂ [0, 2]:
+    // dominant (in norm, sign-insensitive) = 1 - λ_n.
+    let lambda_n = (1.0 - dominant(-1.0)).clamp(-1.0, 1.0);
+    let lambda_max = lambda_2.max(lambda_n.abs());
+    SpectralEstimates { lambda_2, lambda_n, lambda_max, iterations: total_iters }
+}
+
+/// Deterministic pseudo-random unit vector orthogonal to `phi` (fixed seed
+/// keeps the whole pipeline reproducible without threading an RNG here).
+fn pseudorandom_unit(n: usize, phi: &[f64]) -> Vec<f64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    project_out(&mut x, phi);
+    let norm = norm2(&x);
+    if norm > 0.0 {
+        for v in &mut x {
+            *v /= norm;
+        }
+    }
+    x
+}
+
+fn project_out(x: &mut [f64], phi: &[f64]) {
+    let coeff = dot(x, phi);
+    for (xi, pi) in x.iter_mut().zip(phi) {
+        *xi -= coeff * pi;
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::SymMatrix;
+    use eproc_graphs::generators;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() < tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn cycle_spectrum() {
+        let n = 12;
+        let g = generators::cycle(n);
+        let est = spectral_gap(&g, PowerOptions::default());
+        let expected2 = (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert_close(est.lambda_2, expected2, 1e-6, "lambda_2 of C12");
+        assert_close(est.lambda_n, -1.0, 1e-6, "lambda_n of even cycle");
+        assert_close(est.lambda_max, 1.0, 1e-6, "lambda_max bipartite");
+        assert!(est.lazy_gap() > 0.0);
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        let n = 10;
+        let g = generators::complete(n);
+        let est = spectral_gap(&g, PowerOptions::default());
+        assert_close(est.lambda_2, -1.0 / (n as f64 - 1.0), 1e-7, "lambda_2 of K10");
+        assert_close(est.lambda_n, -1.0 / (n as f64 - 1.0), 1e-7, "lambda_n of K10");
+    }
+
+    #[test]
+    fn hypercube_spectrum() {
+        let r = 5;
+        let g = generators::hypercube(r);
+        let est = spectral_gap(&g, PowerOptions::default());
+        assert_close(est.lambda_2, 1.0 - 2.0 / r as f64, 1e-7, "lambda_2 of H5");
+        assert_close(est.lambda_n, -1.0, 1e-7, "lambda_n of bipartite H5");
+    }
+
+    #[test]
+    fn matches_jacobi_on_irregular_graphs() {
+        for g in [
+            generators::lollipop(6, 4),
+            generators::torus2d(3, 5),
+            generators::petersen(),
+            generators::figure_eight(4),
+        ] {
+            let est = spectral_gap(&g, PowerOptions::default());
+            let exact = SymMatrix::from_graph(&g, false).eigenvalues();
+            assert_close(est.lambda_2, exact[1], 1e-6, "lambda_2 vs jacobi");
+            assert_close(est.lambda_n, exact[g.n() - 1], 1e-6, "lambda_n vs jacobi");
+        }
+    }
+
+    #[test]
+    fn k2_degenerate() {
+        let est = spectral_gap(&generators::complete(2), PowerOptions::default());
+        assert_close(est.lambda_n, -1.0, 1e-9, "lambda_n of K2");
+        assert_close(est.lambda_max, 1.0, 1e-9, "lambda_max of K2");
+    }
+
+    #[test]
+    fn gap_accessors() {
+        let est = SpectralEstimates { lambda_2: 0.8, lambda_n: -0.9, lambda_max: 0.9, iterations: 0 };
+        assert_close(est.gap(), 0.1, 1e-12, "gap");
+        assert_close(est.lazy_gap(), 0.1, 1e-12, "lazy gap");
+    }
+
+    #[test]
+    fn random_regular_gap_is_large() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let g = generators::connected_random_regular(200, 4, &mut rng).unwrap();
+        let est = spectral_gap(&g, PowerOptions::default());
+        // Friedman: λ ≈ 2√3/4 ≈ 0.866 for r = 4; allow slack for n = 200.
+        assert!(est.lambda_2 < 0.95, "random 4-regular should expand, λ2 = {}", est.lambda_2);
+        assert!(est.lambda_2 > 0.5, "λ2 = {} suspiciously small", est.lambda_2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Effective resistance and the commute-time identity.
+//!
+//! Viewing the graph as a unit-resistor network, the commute time
+//! satisfies `K(u, v) = 2m · R_eff(u, v)` (Chandra–Raghavan–Ruzzo–
+//! Smolensky; the device behind Theorem 5's commute-time argument). We
+//! compute `R_eff` by solving the Laplacian system directly and
+//! cross-check the identity against [`crate::hitting`].
+
+use crate::dense::solve_linear_system;
+use eproc_graphs::{Graph, Vertex};
+
+/// Effective resistance between `u` and `v` with unit resistances on the
+/// edges (parallel edges act as parallel resistors). `None` if `u` and `v`
+/// are disconnected or `u == v` (resistance 0 — returned as `Some(0.0)`).
+///
+/// Solves `L x = e_u − e_v` with the component grounded at `v`
+/// (`O(n³)`; an exact oracle for small graphs).
+///
+/// # Panics
+///
+/// Panics if `u >= g.n()` or `v >= g.n()`.
+pub fn effective_resistance(g: &Graph, u: Vertex, v: Vertex) -> Option<f64> {
+    assert!(u < g.n() && v < g.n(), "vertex out of range");
+    if u == v {
+        return Some(0.0);
+    }
+    let n = g.n();
+    // Ground v: solve the reduced Laplacian over V \ {v}.
+    let free: Vec<Vertex> = (0..n).filter(|&x| x != v).collect();
+    let mut index = vec![usize::MAX; n];
+    for (i, &x) in free.iter().enumerate() {
+        index[x] = i;
+    }
+    let k = free.len();
+    let mut a = vec![0.0f64; k * k];
+    for (i, &x) in free.iter().enumerate() {
+        a[i * k + i] = g.degree(x) as f64;
+    }
+    for (_, p, q) in g.edges() {
+        if p != v && q != v {
+            a[index[p] * k + index[q]] -= 1.0;
+            a[index[q] * k + index[p]] -= 1.0;
+        }
+    }
+    let mut b = vec![0.0f64; k];
+    b[index[u]] = 1.0;
+    let x = solve_linear_system(a, b)?;
+    // Potential at u minus potential at v (grounded: 0).
+    Some(x[index[u]])
+}
+
+/// Sum of effective resistances over all edges; by Foster's theorem this
+/// equals `n − c` where `c` is the number of connected components (for a
+/// connected graph, `n − 1`). A strong global self-check for the solver.
+pub fn foster_sum(g: &Graph) -> Option<f64> {
+    let mut total = 0.0;
+    for (_, u, v) in g.edges() {
+        total += effective_resistance(g, u, v)?;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting::commute_time;
+    use eproc_graphs::generators;
+
+    #[test]
+    fn series_resistors() {
+        // Path 0-1-2: R(0,2) = 2.
+        let g = generators::path(3);
+        assert!((effective_resistance(&g, 0, 2).unwrap() - 2.0).abs() < 1e-9);
+        assert!((effective_resistance(&g, 0, 1).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_resistors() {
+        let g = eproc_graphs::Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert!((effective_resistance(&g, 0, 1).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_resistance() {
+        // C_n between antipodes: two arcs of n/2 in parallel.
+        let g = generators::cycle(8);
+        let r = effective_resistance(&g, 0, 4).unwrap();
+        assert!((r - 2.0).abs() < 1e-9, "R = {r}");
+    }
+
+    #[test]
+    fn zero_for_same_vertex() {
+        let g = generators::cycle(4);
+        assert_eq!(effective_resistance(&g, 2, 2), Some(0.0));
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let g = eproc_graphs::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(effective_resistance(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn commute_time_identity() {
+        // K(u,v) = 2m R_eff(u,v) — exactly, on assorted graphs.
+        for g in [
+            generators::lollipop(5, 3),
+            generators::petersen(),
+            generators::torus2d(3, 4),
+            generators::figure_eight(4),
+            generators::binary_tree(3),
+        ] {
+            let pairs = [(0, g.n() - 1), (0, g.n() / 2), (1, g.n() - 2)];
+            for (u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let k = commute_time(&g, u, v).unwrap();
+                let r = effective_resistance(&g, u, v).unwrap();
+                assert!(
+                    (k - 2.0 * g.m() as f64 * r).abs() < 1e-6,
+                    "identity fails on {g:?} at ({u},{v}): K = {k}, 2mR = {}",
+                    2.0 * g.m() as f64 * r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foster_theorem() {
+        for g in [generators::cycle(9), generators::complete(6), generators::petersen()] {
+            let sum = foster_sum(&g).unwrap();
+            assert!(
+                (sum - (g.n() as f64 - 1.0)).abs() < 1e-8,
+                "Foster sum {sum} != n-1 = {}",
+                g.n() - 1
+            );
+        }
+    }
+}

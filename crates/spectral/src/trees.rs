@@ -1,0 +1,143 @@
+//! Spanning-tree counts via the matrix-tree theorem.
+//!
+//! `t(G) = det(L̃)` for any cofactor `L̃` of the Laplacian. Spanning-tree
+//! counts tie the resistance picture together (`R_eff(u,v) =
+//! t(G/{uv})/t(G)`) and give another independent exact oracle for the
+//! dense linear algebra.
+
+use eproc_graphs::Graph;
+
+/// Number of spanning trees, as a float (counts overflow `u64` quickly;
+/// for the graph sizes used in tests the float is exact).
+///
+/// Returns 0 for disconnected graphs and 1 for a single vertex.
+///
+/// # Panics
+///
+/// Panics if the graph is empty (`n == 0`).
+pub fn spanning_tree_count(g: &Graph) -> f64 {
+    let n = g.n();
+    assert!(n > 0, "spanning trees undefined for the empty graph");
+    if n == 1 {
+        return 1.0;
+    }
+    // Laplacian with the last row/column deleted.
+    let k = n - 1;
+    let mut l = vec![0.0f64; k * k];
+    for v in 0..k {
+        l[v * k + v] = g.degree(v) as f64;
+    }
+    for (_, u, v) in g.edges() {
+        if u < k && v < k {
+            l[u * k + v] -= 1.0;
+            l[v * k + u] -= 1.0;
+        }
+    }
+    determinant(l, k).max(0.0)
+}
+
+/// Determinant by LU decomposition with partial pivoting.
+fn determinant(mut a: Vec<f64>, n: usize) -> f64 {
+    let mut det = 1.0f64;
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).expect("finite"))
+            .expect("nonempty");
+        if a[pivot_row * n + col].abs() < 1e-10 {
+            return 0.0;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            det = -det;
+        }
+        let pivot = a[col * n + col];
+        det *= pivot;
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resistance::effective_resistance;
+    use eproc_graphs::{generators, Graph};
+
+    #[test]
+    fn tree_has_one_spanning_tree() {
+        assert_eq!(spanning_tree_count(&generators::binary_tree(3)).round(), 1.0);
+        assert_eq!(spanning_tree_count(&generators::path(7)).round(), 1.0);
+    }
+
+    #[test]
+    fn cycle_has_n_spanning_trees() {
+        for n in [3usize, 5, 9] {
+            assert_eq!(spanning_tree_count(&generators::cycle(n)).round() as usize, n);
+        }
+    }
+
+    #[test]
+    fn cayley_formula_for_complete_graphs() {
+        // t(K_n) = n^{n-2}.
+        for n in [3usize, 4, 5, 6, 7] {
+            let expected = (n as f64).powi(n as i32 - 2);
+            let got = spanning_tree_count(&generators::complete(n));
+            assert!((got - expected).abs() < expected * 1e-9, "K{n}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn petersen_has_2000() {
+        assert_eq!(spanning_tree_count(&generators::petersen()).round() as u64, 2000);
+    }
+
+    #[test]
+    fn complete_bipartite_formula() {
+        // t(K_{a,b}) = a^{b-1} b^{a-1}.
+        let g = generators::complete_bipartite(3, 4);
+        let expected = 3f64.powi(3) * 4f64.powi(2);
+        assert!((spanning_tree_count(&g) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_edges_multiply_trees() {
+        let single = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let double = Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(spanning_tree_count(&single).round() as u64, 1);
+        assert_eq!(spanning_tree_count(&double).round() as u64, 2);
+    }
+
+    #[test]
+    fn disconnected_has_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(spanning_tree_count(&g), 0.0);
+    }
+
+    #[test]
+    fn resistance_as_tree_ratio() {
+        // R_eff(u,v) = t(G with uv contracted) / t(G); verify via the
+        // deletion–contraction identity t(G) = t(G−e) + t(G/e) instead:
+        // for an edge e = {u,v}, R_eff(u,v) = t(G/e)/t(G)
+        //   = (t(G) − t(G−e))/t(G).
+        let g = generators::petersen();
+        let t_g = spanning_tree_count(&g);
+        let (e, u, v) = g.edges().next().unwrap();
+        let mut edges = g.edge_list();
+        edges.remove(e);
+        let g_minus = Graph::from_edges(g.n(), &edges).unwrap();
+        let t_minus = spanning_tree_count(&g_minus);
+        let r = effective_resistance(&g, u, v).unwrap();
+        let predicted = (t_g - t_minus) / t_g;
+        assert!((r - predicted).abs() < 1e-9, "R = {r} vs tree ratio {predicted}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-width histograms for phase-length and cover-time distributions.
+
+/// A histogram over `[lo, hi)` with equal-width bins; out-of-range samples
+/// are clamped into the first/last bin and counted separately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot bin NaN");
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Bin counts (within range).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `[lo, hi)` interval of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len());
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// A compact one-line ASCII sparkline of the bin counts.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return " ".repeat(self.bins.len());
+        }
+        self.bins
+            .iter()
+            .map(|&b| {
+                let level = (b * (LEVELS.len() as u64 - 1) + max / 2) / max;
+                LEVELS[level as usize]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        // Bin width 2: [0,2) gets 0.5 and 1.5; [2,4) gets 2.5 and 2.6;
+        // [8,10) gets 9.9.
+        for x in [0.5, 1.5, 2.5, 2.6, 9.9] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 2, 0, 0, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.1);
+        h.push(1.0);
+        h.push(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[0, 0]);
+    }
+
+    #[test]
+    fn bin_ranges() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for _ in 0..8 {
+            h.push(0.5);
+        }
+        h.push(2.5);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().next(), Some('█'));
+    }
+
+    #[test]
+    fn empty_sparkline_blank() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.sparkline(), "   ");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

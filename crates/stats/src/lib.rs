@@ -1,0 +1,27 @@
+//! Statistics utilities for the `eproc` experiment harness.
+//!
+//! * [`summary`] — descriptive statistics with confidence intervals;
+//! * [`online`] — Welford streaming accumulator;
+//! * [`regression`] — least-squares fits, in particular `y = c · n ln n`
+//!   (the model the paper fits to Figure 1's odd-degree series);
+//! * [`table`] — plain-text/CSV table rendering for the experiment
+//!   binaries;
+//! * [`seeds`] — SplitMix64 seed derivation so every table cell is
+//!   reproducible from one base seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod online;
+pub mod regression;
+pub mod seeds;
+pub mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use regression::{fit_c_nlogn, fit_linear, fit_proportional};
+pub use seeds::SeedSequence;
+pub use summary::Summary;
+pub use table::TextTable;

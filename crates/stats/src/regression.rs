@@ -1,0 +1,153 @@
+//! Least-squares fits for cover-time growth models.
+//!
+//! Figure 1 of the paper overlays `c · n ln n` curves on the odd-degree
+//! E-process series ("The constant c used to draw the curve was determined
+//! by inspection"); we determine it by least squares instead, plus a plain
+//! proportional fit `y = c·x` for the flat even-degree series.
+
+/// A fitted model with its coefficient of determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Intercept (`0` for through-origin models).
+    pub intercept: f64,
+    /// Slope / proportionality constant.
+    pub slope: f64,
+    /// Coefficient of determination `R²` relative to the mean model.
+    pub r_squared: f64,
+}
+
+fn r_squared(y: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    let ss_res: f64 = y.iter().enumerate().map(|(i, v)| (v - predicted(i)).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Ordinary least squares `y = a + b x`.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points or mismatched lengths, or all `x` equal.
+pub fn fit_linear(x: &[f64], y: &[f64]) -> Fit {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-300, "all x values are identical");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let rsq = r_squared(y, |i| intercept + slope * x[i]);
+    Fit { intercept, slope, r_squared: rsq }
+}
+
+/// Through-origin fit `y = c x` (used for the flat `C_V/n` series: fit
+/// cover time proportional to `n`).
+///
+/// # Panics
+///
+/// Panics on mismatched lengths, empty input, or all-zero `x`.
+pub fn fit_proportional(x: &[f64], y: &[f64]) -> Fit {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(!x.is_empty(), "need at least one point");
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    assert!(sxx > 0.0, "x must not be identically zero");
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    let c = sxy / sxx;
+    let rsq = r_squared(y, |i| c * x[i]);
+    Fit { intercept: 0.0, slope: c, r_squared: rsq }
+}
+
+/// Fits `y = c · n ln n` to `(n, y)` pairs — the model the paper draws over
+/// Figure 1's odd-degree series.
+///
+/// # Panics
+///
+/// Panics on mismatched lengths, empty input, or any `n < 2`.
+pub fn fit_c_nlogn(ns: &[usize], y: &[f64]) -> Fit {
+    assert_eq!(ns.len(), y.len(), "n/y length mismatch");
+    assert!(!ns.is_empty(), "need at least one point");
+    assert!(ns.iter().all(|&n| n >= 2), "n ln n model needs n >= 2");
+    let x: Vec<f64> = ns.iter().map(|&n| n as f64 * (n as f64).ln()).collect();
+    fit_proportional(&x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_fit() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let fit = fit_linear(&x, &y);
+        assert!((fit.intercept - 1.0).abs() < 1e-10);
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noisy_linear_fit_r2_below_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let fit = fit_linear(&x, &y);
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.r_squared < 1.0);
+        assert!((fit.slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn proportional_fit_recovers_constant() {
+        let x = [10.0, 20.0, 40.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.5 * v).collect();
+        let fit = fit_proportional(&x, &y);
+        assert!((fit.slope - 3.5).abs() < 1e-10);
+        assert_eq!(fit.intercept, 0.0);
+    }
+
+    #[test]
+    fn nlogn_fit_recovers_constant() {
+        let ns = [1000usize, 2000, 4000, 8000, 16000];
+        let y: Vec<f64> = ns.iter().map(|&n| 0.93 * n as f64 * (n as f64).ln()).collect();
+        let fit = fit_c_nlogn(&ns, &y);
+        assert!((fit.slope - 0.93).abs() < 1e-9, "c = {}", fit.slope);
+        assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn nlogn_fit_rejects_linear_data() {
+        // y = 5n is poorly explained by c·n ln n over a wide range: the
+        // best c underfits small n and overfits large n.
+        let ns = [100usize, 1000, 10_000, 100_000];
+        let y: Vec<f64> = ns.iter().map(|&n| 5.0 * n as f64).collect();
+        let fit = fit_c_nlogn(&ns, &y);
+        let linear_fit = {
+            let x: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+            fit_proportional(&x, &y)
+        };
+        assert!(linear_fit.r_squared > fit.r_squared, "linear model must win on linear data");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_rejected() {
+        let _ = fit_linear(&[2.0, 2.0], &[1.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = fit_proportional(&[1.0], &[1.0, 2.0]);
+    }
+}

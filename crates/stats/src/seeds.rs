@@ -1,0 +1,71 @@
+//! Deterministic seed derivation.
+//!
+//! Every experiment takes one base seed; per-cell seeds (per `n`, degree,
+//! repetition, …) are derived with SplitMix64 so runs are reproducible and
+//! independent-looking regardless of sweep order.
+
+/// SplitMix64-based seed sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    base: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `base`.
+    pub fn new(base: u64) -> SeedSequence {
+        SeedSequence { base }
+    }
+
+    /// Derives the seed for a coordinate tuple (e.g. `[degree, n, rep]`).
+    /// Different tuples give statistically unrelated seeds; the same tuple
+    /// always gives the same seed.
+    pub fn derive(&self, coordinates: &[u64]) -> u64 {
+        let mut state = splitmix(self.base ^ 0x6a09_e667_f3bc_c909);
+        for &c in coordinates {
+            state = splitmix(state ^ splitmix(c.wrapping_add(0x9e37_79b9_7f4a_7c15)));
+        }
+        state
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let s = SeedSequence::new(42);
+        assert_eq!(s.derive(&[1, 2, 3]), s.derive(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn coordinates_matter() {
+        let s = SeedSequence::new(42);
+        assert_ne!(s.derive(&[1, 2, 3]), s.derive(&[1, 2, 4]));
+        assert_ne!(s.derive(&[1, 2]), s.derive(&[2, 1]));
+        assert_ne!(s.derive(&[]), s.derive(&[0]));
+    }
+
+    #[test]
+    fn base_matters() {
+        assert_ne!(SeedSequence::new(1).derive(&[5]), SeedSequence::new(2).derive(&[5]));
+    }
+
+    #[test]
+    fn outputs_look_spread() {
+        // Crude avalanche check: low bits differ across consecutive coords.
+        let s = SeedSequence::new(7);
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64 {
+            low_bits.insert(s.derive(&[i]) & 0xff);
+        }
+        assert!(low_bits.len() > 40, "only {} distinct low bytes", low_bits.len());
+    }
+}

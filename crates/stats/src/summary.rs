@@ -1,0 +1,166 @@
+//! Descriptive statistics for batches of measurements.
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 for `n < 2`).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (midpoint of the two central order statistics for even `n`).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarises a nonempty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn from_slice(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "cannot summarise an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = if n >= 2 {
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Summary {
+            n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// Summarises integer measurements (cover times are `u64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn from_u64(data: &[u64]) -> Summary {
+        let floats: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+        Summary::from_slice(&floats)
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.std_dev / (self.n as f64).sqrt()
+    }
+
+    /// Normal-approximation 95% confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation of order
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "cannot take a quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.variance - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn even_sample_median() {
+        let s = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::from_slice(&[7.0]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.ci95(), (7.0, 7.0));
+    }
+
+    #[test]
+    fn from_u64_converts() {
+        let s = Summary::from_u64(&[10, 20, 30]);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let data: Vec<f64> = (0..300).map(|i| (i % 3) as f64 + 1.0).collect();
+        let large = Summary::from_slice(&data);
+        let w = |s: &Summary| s.ci95().1 - s.ci95().0;
+        assert!(w(&large) < w(&small));
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_slice(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::from_slice(&[1.0, f64::NAN]);
+    }
+}

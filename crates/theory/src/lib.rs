@@ -1,0 +1,15 @@
+//! Closed-form bounds and predictions from the paper.
+//!
+//! Every public function cites the statement it implements. These are used
+//! by the experiment binaries to print "measured vs bound" columns and by
+//! integration tests to check that simulated quantities respect the
+//! theory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod predictions;
+
+pub use bounds::*;
+pub use predictions::*;

@@ -1,0 +1,150 @@
+//! Quantitative predictions used by the paper's arguments and experiments.
+
+/// Fitted constants from the paper's Figure 1: the normalised cover time
+/// of the E-process on random `d`-regular graphs for odd `d` grows like
+/// `c · n ln n` with these `c` ("determined by inspection").
+pub const FIG1_FIT: [(usize, f64); 3] = [(3, 0.93), (5, 0.41), (7, 0.38)];
+
+/// The fitted Figure 1 constant for degree `d`, if the paper reports one.
+pub fn fig1_fitted_constant(d: usize) -> Option<f64> {
+    FIG1_FIT.iter().find(|&&(deg, _)| deg == d).map(|&(_, c)| c)
+}
+
+/// Expected number of `k`-cycles in a random `r`-regular graph:
+/// `E N_k → (r−1)^k / (2k)` as `n → ∞` (the paper's §4.2 writes
+/// `E N_k = θ_k r^k / k`; this is the standard explicit form of the same
+/// quantity).
+///
+/// # Panics
+///
+/// Panics if `k < 3` or `r < 2`.
+pub fn expected_cycle_count_random_regular(r: usize, k: usize) -> f64 {
+    assert!(k >= 3, "cycles have length at least 3");
+    assert!(r >= 2, "need degree at least 2");
+    ((r - 1) as f64).powi(k as i32) / (2.0 * k as f64)
+}
+
+/// §5's heuristic for random 3-regular graphs: the blue walk turns away
+/// from a tree-like vertex at each of its 3 neighbours independently with
+/// probability 1/2, stranding it as an isolated blue star with probability
+/// `(1/2)³ = 1/8`; `E|I| ≈ n/8`.
+///
+/// This is an *upper* heuristic: it ignores that the embedded red walk can
+/// visit the center first. Our measurements (EXPERIMENTS.md) find a
+/// positive constant fraction a few times smaller.
+pub fn star_fraction_heuristic_r3() -> f64 {
+    0.125
+}
+
+/// Property (P1) / Friedman's theorem: whp a random `r`-regular graph has
+/// second adjacency eigenvalue at most `2√(r−1) + ε`; in transition-matrix
+/// normalisation, `λ ≤ (2√(r−1) + ε)/r`.
+///
+/// # Panics
+///
+/// Panics if `r < 3` or `eps < 0`.
+pub fn friedman_lambda_bound(r: usize, eps: f64) -> f64 {
+    assert!(r >= 3, "Friedman's bound needs r >= 3");
+    assert!(eps >= 0.0, "eps must be nonnegative");
+    (2.0 * ((r - 1) as f64).sqrt() + eps) / r as f64
+}
+
+/// §4.1: property (P2) implies random `r`-regular graphs (`r ≥ 4` even)
+/// are `ℓ`-good with `ℓ = log n / (4 log(r e))`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `r < 2`.
+pub fn p2_l_good_bound(n: usize, r: usize) -> f64 {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(r >= 2, "need degree at least 2");
+    (n as f64).ln() / (4.0 * (r as f64 * std::f64::consts::E).ln())
+}
+
+/// The Ramanujan bound: an LPS graph `X^{p,q}` has all nontrivial
+/// adjacency eigenvalues `≤ 2√p`, i.e. `λ ≤ 2√p/(p+1)` for the walk.
+///
+/// # Panics
+///
+/// Panics if `p < 2`.
+pub fn ramanujan_lambda_bound(p: usize) -> f64 {
+    assert!(p >= 2, "p must be at least 2");
+    2.0 * (p as f64).sqrt() / (p as f64 + 1.0)
+}
+
+/// Hypercube facts used in §1's edge-cover discussion: `H_r` has
+/// `λ_2 = 1 − 2/r`, `C_V(SRW) = Θ(n log n)` (Matthews) and
+/// `C_E(SRW) = Θ(n log² n)`; the E-process improves edge cover to
+/// `Θ(n log n)`. Returns `λ_2`.
+///
+/// # Panics
+///
+/// Panics if `r == 0`.
+pub fn hypercube_lambda2(r: usize) -> f64 {
+    assert!(r > 0, "dimension must be positive");
+    1.0 - 2.0 / r as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_constants_present() {
+        assert_eq!(fig1_fitted_constant(3), Some(0.93));
+        assert_eq!(fig1_fitted_constant(5), Some(0.41));
+        assert_eq!(fig1_fitted_constant(7), Some(0.38));
+        assert_eq!(fig1_fitted_constant(4), None);
+        assert_eq!(fig1_fitted_constant(6), None);
+    }
+
+    #[test]
+    fn cycle_counts_grow_in_r_and_k() {
+        assert!(
+            expected_cycle_count_random_regular(6, 4) > expected_cycle_count_random_regular(4, 4)
+        );
+        assert!(
+            expected_cycle_count_random_regular(4, 6) > expected_cycle_count_random_regular(4, 3)
+        );
+        // r = 4, k = 3: 27/6 = 4.5 triangles expected.
+        assert!((expected_cycle_count_random_regular(4, 3) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn friedman_bound_below_one() {
+        for r in [3, 4, 5, 6, 7, 10] {
+            let b = friedman_lambda_bound(r, 0.01);
+            assert!(b < 1.0, "r = {r}: {b}");
+            assert!(b > 0.0);
+        }
+        // Larger degree → better expansion.
+        assert!(friedman_lambda_bound(8, 0.0) < friedman_lambda_bound(4, 0.0));
+    }
+
+    #[test]
+    fn ramanujan_tighter_than_friedman_epsilon() {
+        // For the same degree r = p + 1, the Ramanujan bound equals the
+        // ε = 0 Friedman bound.
+        let p = 5;
+        let fr = friedman_lambda_bound(p + 1, 0.0);
+        let rm = ramanujan_lambda_bound(p);
+        assert!((fr - rm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_bound_grows_with_n() {
+        assert!(p2_l_good_bound(1_000_000, 4) > p2_l_good_bound(1_000, 4));
+        assert!(p2_l_good_bound(1_000, 4) > p2_l_good_bound(1_000, 8));
+    }
+
+    #[test]
+    fn hypercube_lambda_values() {
+        assert!((hypercube_lambda2(10) - 0.8).abs() < 1e-12);
+        assert_eq!(hypercube_lambda2(2), 0.0);
+    }
+
+    #[test]
+    fn star_heuristic_is_one_eighth() {
+        assert_eq!(star_fraction_heuristic_r3(), 0.125);
+    }
+}

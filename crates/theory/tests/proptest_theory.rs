@@ -1,0 +1,114 @@
+//! Property tests for the bound functions: monotonicity and consistency
+//! relations that follow from the paper's statements.
+
+use eproc_theory::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn theorem1_monotone(
+        n in 4usize..1_000_000,
+        l in 1.0f64..100.0,
+        gap in 0.01f64..1.0,
+    ) {
+        let base = theorem1_vertex_cover_bound(n, l, gap);
+        // Larger ℓ or larger gap → smaller bound; more vertices → larger.
+        prop_assert!(theorem1_vertex_cover_bound(n, l * 2.0, gap) <= base);
+        prop_assert!(theorem1_vertex_cover_bound(n, l, (gap * 1.5).min(1.0)) <= base);
+        prop_assert!(theorem1_vertex_cover_bound(n * 2, l, gap) >= base);
+        // Never below n (the additive linear term).
+        prop_assert!(base >= n as f64);
+    }
+
+    #[test]
+    fn theorem3_monotone(
+        m in 10usize..1_000_000,
+        n in 10usize..1_000_000,
+        girth in 3usize..30,
+        delta in 2usize..16,
+        gap in 0.01f64..1.0,
+    ) {
+        let base = theorem3_edge_cover_bound(m, n, girth, delta, gap);
+        prop_assert!(theorem3_edge_cover_bound(m, n, girth + 1, delta, gap) <= base);
+        prop_assert!(theorem3_edge_cover_bound(m, n, girth, delta + 1, gap) >= base);
+        prop_assert!(base >= m as f64);
+    }
+
+    #[test]
+    fn lower_bounds_consistent(n in 3usize..10_000_000) {
+        // Radzik's explicit bound is weaker than Feige's asymptotic one.
+        prop_assert!(radzik_lower_bound(n) <= feige_lower_bound(n));
+        prop_assert!(radzik_lower_bound(n) >= 0.0);
+    }
+
+    #[test]
+    fn lemma6_is_corollary9_for_singletons(
+        m in 10usize..100_000,
+        d_v in 1usize..20,
+        gap in 0.01f64..1.0,
+    ) {
+        prop_assume!(d_v <= 2 * m);
+        let pi_v = d_v as f64 / (2 * m) as f64;
+        let l6 = lemma6_hitting_bound(pi_v, gap);
+        let c9 = corollary9_set_hitting_bound(m, d_v, gap);
+        prop_assert!((l6 - c9).abs() < 1e-6 * l6);
+    }
+
+    #[test]
+    fn lemma13_tail_is_a_probability_decay(
+        m in 100usize..100_000,
+        d_s in 1usize..50,
+        gap in 0.01f64..1.0,
+        mult in 1.0f64..20.0,
+    ) {
+        let t0 = lemma13_min_t(d_s, m, gap);
+        let p1 = lemma13_unvisited_tail(t0 * mult, d_s, m, gap);
+        let p2 = lemma13_unvisited_tail(t0 * mult * 2.0, d_s, m, gap);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 <= p1);
+        // Squaring law: doubling t squares the bound.
+        prop_assert!((p2 - p1 * p1).abs() < 1e-9 * (1.0 + p1));
+    }
+
+    #[test]
+    fn friedman_decreases_with_degree(r in 3usize..40, eps in 0.0f64..0.5) {
+        let b1 = friedman_lambda_bound(r, eps);
+        let b2 = friedman_lambda_bound(r + 1, eps);
+        prop_assert!(b2 < b1, "bound must shrink with degree: {b1} -> {b2}");
+        prop_assert!(b1 > 0.0);
+    }
+
+    #[test]
+    fn ramanujan_matches_friedman_at_eps0(p in 2usize..60) {
+        let rm = ramanujan_lambda_bound(p);
+        let fr = friedman_lambda_bound(p + 1, 0.0);
+        prop_assert!((rm - fr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_bound_grows_logarithmically(n in 16usize..10_000_000, r in 2usize..20) {
+        let l = p2_l_good_bound(n, r);
+        let l4 = p2_l_good_bound(n * n, r); // ln(n²) = 2 ln n
+        prop_assert!((l4 - 2.0 * l).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma15_dominates_m(
+        n in 10usize..100_000,
+        girth_like_l in 1.0f64..50.0,
+        gap in 0.01f64..1.0,
+    ) {
+        let m = 2 * n;
+        let tau = lemma15_tau_star(m, n, 4, 4, girth_like_l, gap);
+        prop_assert!(tau >= m as f64);
+    }
+
+    #[test]
+    fn kklv_monotone_in_both(commute in 1.0f64..1e6, s in 2usize..1000) {
+        let base = kklv_lower_bound(commute, s);
+        prop_assert!(kklv_lower_bound(commute * 2.0, s) >= base);
+        prop_assert!(kklv_lower_bound(commute, s * 2) >= base);
+    }
+}

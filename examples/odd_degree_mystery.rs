@@ -1,0 +1,63 @@
+//! §5's open question: what goes wrong for odd degrees?
+//!
+//! On even-degree graphs every blue phase closes at its start vertex
+//! (Observation 10) and the E-process covers in Θ(n). On 3-regular graphs
+//! the first blue phase dies at the first revisit (a birthday-paradox
+//! Θ(√n) event), the blue walk strands isolated blue stars, and the red
+//! walk must coupon-collect them — `Θ(n log n)` with the paper's fitted
+//! constant `≈ 0.93`. This example walks through each ingredient of that
+//! story on one graph pair.
+//!
+//! Run with: `cargo run --release --example odd_degree_mystery`
+
+use eproc::core::blue::track_isolated_stars;
+use eproc::core::rule::UniformRule;
+use eproc::core::segments::trace_phases;
+use eproc::core::EProcess;
+use eproc::graphs::generators;
+use eproc::theory;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 30_000;
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g3 = generators::connected_random_regular(n, 3, &mut rng).unwrap();
+    let g4 = generators::connected_random_regular(n, 4, &mut rng).unwrap();
+    println!("Random 3-regular vs 4-regular, n = {n}\n");
+
+    for (r, g) in [(3usize, &g3), (4usize, &g4)] {
+        let mut walk_rng = SmallRng::seed_from_u64(100 + r as u64);
+        let mut walk = EProcess::new(g, 0, UniformRule::new());
+        let trace = trace_phases(&mut walk, u64::MAX >> 1, &mut walk_rng);
+        println!("r = {r}:");
+        println!(
+            "  first blue phase : {} steps  ({:.1} x sqrt(n); {:.2} x m)",
+            trace.first_blue_length(),
+            trace.first_blue_length() as f64 / (n as f64).sqrt(),
+            trace.first_blue_length() as f64 / g.m() as f64
+        );
+        println!("  blue phases      : {}", trace.blue_phase_count());
+
+        let mut star_rng = SmallRng::seed_from_u64(200 + r as u64);
+        let mut walk = EProcess::new(g, 0, UniformRule::new());
+        let census = track_isolated_stars(&mut walk, u64::MAX >> 1, &mut star_rng);
+        let cv = census.steps_to_vertex_cover.expect("connected");
+        println!(
+            "  stranded stars   : {} ({:.4} n; paper's heuristic for r=3: {:.3} n)",
+            census.ever_star_centers.len(),
+            census.ever_star_centers.len() as f64 / n as f64,
+            theory::star_fraction_heuristic_r3()
+        );
+        println!(
+            "  vertex cover     : {} steps  (CV/n = {:.2}, CV/(n ln n) = {:.2})",
+            cv,
+            cv as f64 / n as f64,
+            cv as f64 / (n as f64 * (n as f64).ln())
+        );
+        println!();
+    }
+    println!("Even degree: one long closed blue sweep, no stranded stars, linear cover.");
+    println!("Odd degree: short-lived blue phases + stranded stars -> coupon collecting,");
+    println!("matching Figure 1's c*n*ln(n) growth (c ~ 0.93 for r = 3).");
+}

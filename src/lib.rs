@@ -1,0 +1,34 @@
+//! # eproc — random walks which prefer unvisited edges
+//!
+//! Facade crate re-exporting the whole workspace: the E-process simulator
+//! and baselines ([`core`]), the graph substrate ([`graphs`]), the spectral
+//! toolkit ([`spectral`]), the paper's closed-form bounds ([`theory`]) and
+//! statistics helpers ([`stats`]).
+//!
+//! This reproduces Berenbrink, Cooper, Friedetzky, *"Random walks which
+//! prefer unvisited edges: exploring high girth even degree expanders in
+//! linear time"* (PODC 2012 / RSA 46(1), 2015).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eproc::graphs::generators;
+//! use eproc::core::{EProcess, rule::UniformRule, cover::run_to_vertex_cover};
+//! use rand::SeedableRng;
+//!
+//! // A connected even-degree expander: random 4-regular graph.
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let g = generators::connected_random_regular(500, 4, &mut rng)?;
+//!
+//! // The E-process covers it in O(n) steps (Corollary 2).
+//! let mut walk = EProcess::new(&g, 0, UniformRule::new());
+//! let result = run_to_vertex_cover(&mut walk, &g, &mut rng).expect("connected graph is covered");
+//! assert!(result.steps < 20 * g.n() as u64);
+//! # Ok::<(), eproc::graphs::GraphError>(())
+//! ```
+
+pub use eproc_core as core;
+pub use eproc_graphs as graphs;
+pub use eproc_spectral as spectral;
+pub use eproc_stats as stats;
+pub use eproc_theory as theory;

@@ -1,0 +1,167 @@
+//! Simulation-vs-theory integration tests spanning all crates.
+
+use eproc::core::cover::{blanket_time, run_cover, run_to_vertex_cover, CoverTarget};
+use eproc::core::rule::UniformRule;
+use eproc::core::srw::{SimpleRandomWalk, WeightedRandomWalk};
+use eproc::core::EProcess;
+use eproc::graphs::generators;
+use eproc::spectral::dense::SymMatrix;
+use eproc::spectral::hitting;
+use eproc::stats::Summary;
+use eproc::theory;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 5 applies to *weighted* random walks: random positive weights
+/// must still respect the `(n/4) log(n/2)` lower bound.
+#[test]
+fn radzik_lower_bound_on_weighted_walks() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for n in [64usize, 128, 256] {
+        let g = generators::connected_random_regular(n, 4, &mut rng).unwrap();
+        let weights: Vec<f64> = (0..g.m()).map(|_| rng.gen_range(0.1..10.0)).collect();
+        let mut covers = Vec::new();
+        for _ in 0..5 {
+            let mut w = WeightedRandomWalk::new(&g, 0, &weights);
+            let c = run_to_vertex_cover(&mut w, &g, &mut rng).expect("connected");
+            covers.push(c.steps);
+        }
+        let mean = Summary::from_u64(&covers).mean;
+        let bound = theory::radzik_lower_bound(n);
+        assert!(mean > bound, "n = {n}: weighted walk covered in {mean} < Radzik {bound}");
+    }
+}
+
+/// Equation (3): `m <= CE(E) <= m + CV(SRW)` in the mean.
+#[test]
+fn edge_cover_sandwich_in_expectation() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let g = generators::connected_random_regular(256, 4, &mut rng).unwrap();
+    let reps = 10;
+    let mut ce = Vec::new();
+    let mut cv_srw = Vec::new();
+    for _ in 0..reps {
+        let mut e = EProcess::new(&g, 0, UniformRule::new());
+        let run = run_cover(&mut e, CoverTarget::Edges, 100_000_000, &mut rng);
+        ce.push(run.steps_to_edge_cover.unwrap());
+        let mut s = SimpleRandomWalk::new(&g, 0);
+        cv_srw.push(run_to_vertex_cover(&mut s, &g, &mut rng).unwrap().steps);
+    }
+    let ce_mean = Summary::from_u64(&ce).mean;
+    let cv_mean = Summary::from_u64(&cv_srw).mean;
+    let m = g.m() as f64;
+    assert!(ce_mean >= m, "CE {ce_mean} below m {m}");
+    // Allow 50% sampling slack on the upper side.
+    assert!(ce_mean <= m + 1.5 * cv_mean, "CE {ce_mean} above m + CV(SRW) = {}", m + cv_mean);
+}
+
+/// Theorem 1's expression dominates the measured cover time on a small
+/// even-degree expander with the *measured* eigenvalue gap and the exact
+/// `ℓ` (from the exhaustive oracle).
+#[test]
+fn theorem1_dominates_measured_cover() {
+    // 3x4 torus: exact ℓ = 6 (cycle(3) + cycle(4) through a vertex).
+    let g = generators::torus2d(3, 4);
+    let l = eproc::graphs::properties::lgood::lgood_exact(&g).unwrap().unwrap() as f64;
+    let lambda = SymMatrix::from_graph(&g, true).lambda_max_walk();
+    let gap = 1.0 - lambda;
+    let bound = theory::theorem1_vertex_cover_bound(g.n(), l, gap);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut covers = Vec::new();
+    for _ in 0..20 {
+        let mut w = EProcess::new(&g, 0, UniformRule::new());
+        covers.push(run_to_vertex_cover(&mut w, &g, &mut rng).unwrap().steps);
+    }
+    let mean = Summary::from_u64(&covers).mean;
+    // The Theorem-1 expression is an order bound; on this instance the
+    // constant is comfortably below 1.
+    assert!(mean <= bound, "measured {mean} exceeds Theorem 1 expression {bound}");
+}
+
+/// Lemma 6 and Corollary 9 against exact hitting times and the exact
+/// spectrum on assorted graphs.
+#[test]
+fn lemma6_corollary9_exact() {
+    for g in [
+        generators::lollipop(6, 4),
+        generators::petersen(),
+        generators::figure_eight(4),
+        generators::torus2d(3, 3),
+    ] {
+        let lazy_lambda = SymMatrix::from_graph(&g, true).lambda_max_walk();
+        let _ = lazy_lambda;
+        let lambda = SymMatrix::from_graph(&g, false).lambda_max_walk();
+        if lambda >= 1.0 - 1e-9 {
+            continue; // bipartite: Lemma 6 needs the lazy chain; skip here
+        }
+        let gap = 1.0 - lambda;
+        let pi = eproc::spectral::stationary_distribution(&g);
+        for v in g.vertices() {
+            let measured = hitting::hitting_from_stationary(&g, v).unwrap();
+            let bound = theory::lemma6_hitting_bound(pi[v], gap);
+            assert!(measured <= bound + 1e-9, "Lemma 6 fails at {v}: {measured} > {bound}");
+        }
+        let set = [0, g.n() - 1];
+        let d_s: usize = set.iter().map(|&v| g.degree(v)).sum();
+        let measured = hitting::set_hitting_from_stationary(&g, &set).unwrap();
+        let bound = theory::corollary9_set_hitting_bound(g.m(), d_s, gap);
+        assert!(measured <= bound + 1e-9, "Corollary 9 fails: {measured} > {bound}");
+    }
+}
+
+/// The E-process beats the Feige lower bound (which binds every random
+/// walk) on even-degree expanders — the paper's headline speed-up.
+#[test]
+fn eprocess_beats_feige_on_even_expanders() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let n = 2048;
+    let g = generators::connected_random_regular(n, 4, &mut rng).unwrap();
+    let mut covers = Vec::new();
+    for _ in 0..5 {
+        let mut w = EProcess::new(&g, 0, UniformRule::new());
+        covers.push(run_to_vertex_cover(&mut w, &g, &mut rng).unwrap().steps);
+    }
+    let mean = Summary::from_u64(&covers).mean;
+    let feige = theory::feige_lower_bound(n);
+    assert!(
+        mean < feige / 2.0,
+        "E-process ({mean}) should be well below n ln n ({feige}) — no random walk can be"
+    );
+}
+
+/// Blanket time of the SRW is O(CV) (Ding–Lee–Peres, used for eq. (4)).
+#[test]
+fn blanket_time_comparable_to_cover_time() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = generators::connected_random_regular(512, 4, &mut rng).unwrap();
+    let mut w = SimpleRandomWalk::new(&g, 0);
+    let cv = run_to_vertex_cover(&mut w, &g, &mut rng).unwrap().steps;
+    let mut w2 = SimpleRandomWalk::new(&g, 0);
+    let bl = blanket_time(&mut w2, 0.25, 100_000_000, &mut rng).unwrap();
+    assert!(bl < 50 * cv, "blanket time {bl} should be O(CV) = O({cv})");
+}
+
+/// Hypercube §1 example: E-process edge cover is far below the SRW's.
+#[test]
+fn hypercube_edge_cover_improvement() {
+    let g = generators::hypercube(8);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut e_ce = Vec::new();
+    let mut s_ce = Vec::new();
+    for _ in 0..3 {
+        let mut e = EProcess::new(&g, 0, UniformRule::new());
+        e_ce.push(run_cover(&mut e, CoverTarget::Edges, u64::MAX >> 1, &mut rng)
+            .steps_to_edge_cover
+            .unwrap());
+        let mut s = SimpleRandomWalk::new(&g, 0);
+        s_ce.push(run_cover(&mut s, CoverTarget::Edges, u64::MAX >> 1, &mut rng)
+            .steps_to_edge_cover
+            .unwrap());
+    }
+    let e_mean = Summary::from_u64(&e_ce).mean;
+    let s_mean = Summary::from_u64(&s_ce).mean;
+    assert!(
+        e_mean * 2.0 < s_mean,
+        "E-process CE ({e_mean}) should be well below SRW CE ({s_mean}) on H8"
+    );
+}

@@ -1,0 +1,155 @@
+//! Cross-crate property tests for the paper's structural observations.
+//!
+//! Observation 10: on even-degree graphs every blue phase returns to its
+//! start vertex. Observation 11: during red phases all blue degrees are
+//! even. Observation 12: `t_B <= m` (so `t_R < t < t_R + m`). These are
+//! checked over randomly generated even-degree graphs of several shapes.
+
+use eproc::core::rule::{FirstPortRule, UniformRule};
+use eproc::core::{EProcess, StepKind, WalkProcess};
+use eproc::graphs::properties::degrees;
+use eproc::graphs::{generators, Graph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Replays a fresh E-process until edge cover, asserting the paper's
+/// observations at every step.
+fn check_observations<A: eproc::core::rule::EdgeRule>(g: &Graph, rule: A, seed: u64) {
+    assert!(degrees::is_even_degree(g), "harness misuse: graph must be even-degree");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut walk = EProcess::new(g, 0, rule);
+    let mut in_blue = false;
+    let mut phase_start = walk.current();
+    let cap = 100 * (g.n() as u64 + 10) * (g.m() as u64 + 10);
+    let mut t = 0u64;
+    while walk.unvisited_edge_count() > 0 {
+        let before = walk.current();
+        let step = walk.advance(&mut rng);
+        t += 1;
+        assert!(t < cap, "edge cover did not complete");
+        match step.kind {
+            StepKind::Blue => {
+                if !in_blue {
+                    in_blue = true;
+                    phase_start = before;
+                }
+            }
+            StepKind::Red => {
+                if in_blue {
+                    // Observation 10: the phase ended where it began.
+                    assert_eq!(
+                        before, phase_start,
+                        "blue phase ended at {before}, started at {phase_start}"
+                    );
+                    in_blue = false;
+                }
+                // Observation 11(2): in a red phase all blue degrees even.
+                for v in g.vertices() {
+                    assert!(
+                        walk.blue_degree(v) % 2 == 0,
+                        "odd blue degree at {v} during red phase"
+                    );
+                }
+            }
+        }
+        // Observation 12: the blue sub-walk never exceeds m steps.
+        assert!(walk.blue_steps() <= g.m() as u64);
+        assert_eq!(walk.blue_steps() + walk.red_steps(), walk.steps());
+    }
+    // Once every edge is explored, the final blue phase must also have
+    // closed at its start.
+    if in_blue {
+        assert_eq!(walk.current(), phase_start, "final blue phase did not return to start");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn observations_on_random_4_regular(n4 in 3usize..20, seed in 0u64..1000) {
+        let n = n4 * 4; // keep n*r even and comfortably sized
+        let mut graph_rng = SmallRng::seed_from_u64(seed);
+        let g = generators::connected_random_regular(n, 4, &mut graph_rng).unwrap();
+        check_observations(&g, UniformRule::new(), seed ^ 0xabc);
+    }
+
+    #[test]
+    fn observations_on_torus(w in 3usize..7, h in 3usize..7, seed in 0u64..1000) {
+        let g = generators::torus2d(w, h);
+        check_observations(&g, UniformRule::new(), seed);
+    }
+
+    #[test]
+    fn observations_under_deterministic_rule(w in 3usize..6, h in 3usize..6, seed in 0u64..100) {
+        let g = generators::torus2d(w, h);
+        check_observations(&g, FirstPortRule, seed);
+    }
+
+    #[test]
+    fn observations_on_figure_eight(len in 3usize..12, seed in 0u64..500) {
+        let g = generators::figure_eight(len);
+        check_observations(&g, UniformRule::new(), seed);
+    }
+
+    #[test]
+    fn observations_on_even_complete_graphs(k in 2usize..5, seed in 0u64..200) {
+        // K_n has even degree for odd n = 2k + 1.
+        let g = generators::complete(2 * k + 1);
+        check_observations(&g, UniformRule::new(), seed);
+    }
+
+    #[test]
+    fn observations_on_random_even_degree_sequences(
+        half_degrees in proptest::collection::vec(1usize..3, 8..20),
+        seed in 0u64..500,
+    ) {
+        // Degrees 2 or 4, sum automatically even.
+        let degrees: Vec<usize> = half_degrees.iter().map(|&h| 2 * h).collect();
+        let mut graph_rng = SmallRng::seed_from_u64(seed);
+        if let Ok(g) = generators::random_with_degree_sequence(&degrees, &mut graph_rng) {
+            // The sample may be disconnected: blue phases still close
+            // (the E-process is defined on any even-degree graph), but
+            // full edge cover may be impossible — only run the check on
+            // connected samples.
+            if eproc::graphs::properties::connectivity::is_connected(&g) {
+                check_observations(&g, UniformRule::new(), seed ^ 0x77);
+            }
+        }
+    }
+}
+
+#[test]
+fn blue_components_shrink_monotonically() {
+    // The number of unvisited edges is non-increasing, and blue components
+    // only ever lose edges.
+    let g = generators::torus2d(5, 5);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut walk = EProcess::new(&g, 0, UniformRule::new());
+    let mut last_unvisited = walk.unvisited_edge_count();
+    for _ in 0..2000 {
+        walk.advance(&mut rng);
+        let now = walk.unvisited_edge_count();
+        assert!(now <= last_unvisited);
+        last_unvisited = now;
+        if now == 0 {
+            break;
+        }
+    }
+    assert_eq!(last_unvisited, 0, "torus edge cover should finish quickly");
+}
+
+#[test]
+fn greedy_random_walk_alias_is_eprocess() {
+    // GreedyRandomWalk is the E-process with the uniform rule: identical
+    // trajectories for identical RNG streams.
+    let g = generators::hypercube(4);
+    let mut rng1 = SmallRng::seed_from_u64(5);
+    let mut rng2 = SmallRng::seed_from_u64(5);
+    let mut a: eproc::core::GreedyRandomWalk<'_> = EProcess::new(&g, 0, UniformRule::new());
+    let mut b = EProcess::new(&g, 0, UniformRule::new());
+    for _ in 0..200 {
+        assert_eq!(a.advance(&mut rng1), b.advance(&mut rng2));
+    }
+}
