@@ -38,12 +38,15 @@ fn main() {
     // Every (d, n, rep) cell is an independent simulation: fan out.
     let cells: Vec<(usize, usize, usize)> = DEGREES
         .iter()
-        .flat_map(|&d| ns.iter().flat_map(move |&n| (0..REPS).map(move |rep| (d, n, rep))))
+        .flat_map(|&d| {
+            ns.iter()
+                .flat_map(move |&n| (0..REPS).map(move |rep| (d, n, rep)))
+        })
         .collect();
     let normalised: Vec<f64> = parallel_map(cells.clone(), threads, |(d, n, rep)| {
         let mut graph_rng = rng_for(seeds.derive(&[d as u64, n as u64, rep as u64]));
-        let g = generators::connected_random_regular(n, d, &mut graph_rng)
-            .expect("generator failed");
+        let g =
+            generators::connected_random_regular(n, d, &mut graph_rng).expect("generator failed");
         let mut walk_rng = rng_for(seeds.derive(&[d as u64, n as u64, rep as u64, 1]));
         let mut walk = EProcess::new(&g, 0, UniformRule::new());
         // Cap far above the expected Θ(n log n): 200·n·ln n.
@@ -96,8 +99,8 @@ fn main() {
         let xs_lin: Vec<f64> = ns_fit.iter().map(|&n| n as f64).collect();
         let log_fit = fit_c_nlogn(&ns_fit, &ys);
         let lin_fit = fit_proportional(&xs_lin, &ys);
-        let paper = eproc_theory::fig1_fitted_constant(*d)
-            .map_or("-".to_string(), |c| format!("{c:.2}"));
+        let paper =
+            eproc_theory::fig1_fitted_constant(*d).map_or("-".to_string(), |c| format!("{c:.2}"));
         fits.push_row(vec![
             d.to_string(),
             format!("{:.3}", log_fit.slope),

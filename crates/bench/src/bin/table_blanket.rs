@@ -20,7 +20,14 @@ fn main() {
     let seeds = SeedSequence::new(config.seed);
     println!("Equation (4): blanket time t_bl(1/2) = O(CV(SRW)) and CE(E) = O(m + CV(SRW))\n");
     let mut table = TextTable::new(vec![
-        "graph", "n", "m", "t_bl(1/2)", "CV(SRW)", "t_bl/CV", "CE(E)", "(CE-m)/CV",
+        "graph",
+        "n",
+        "m",
+        "t_bl(1/2)",
+        "CV(SRW)",
+        "t_bl/CV",
+        "CE(E)",
+        "(CE-m)/CV",
     ]);
     let (reg_n, torus_side, hyp) = match config.scale {
         Scale::Quick => (2_000, 24, 9),
@@ -28,9 +35,14 @@ fn main() {
     };
     let mut graph_rng = rng_for(seeds.derive(&[0]));
     let graphs: Vec<(String, Graph)> = vec![
-        (format!("random 4-regular({reg_n})"),
-            generators::connected_random_regular(reg_n, 4, &mut graph_rng).unwrap()),
-        (format!("torus {torus_side}x{torus_side}"), generators::torus2d(torus_side, torus_side)),
+        (
+            format!("random 4-regular({reg_n})"),
+            generators::connected_random_regular(reg_n, 4, &mut graph_rng).unwrap(),
+        ),
+        (
+            format!("torus {torus_side}x{torus_side}"),
+            generators::torus2d(torus_side, torus_side),
+        ),
         (format!("hypercube({hyp})"), generators::hypercube(hyp)),
     ];
     for (name, g) in &graphs {
@@ -52,7 +64,10 @@ fn main() {
             cap,
             &mut rng,
         );
-        let ce: Vec<u64> = ce_runs.iter().filter_map(|x| x.steps_to_edge_cover).collect();
+        let ce: Vec<u64> = ce_runs
+            .iter()
+            .filter_map(|x| x.steps_to_edge_cover)
+            .collect();
         assert_eq!(ce.len(), REPS);
         let ce_mean = Summary::from_u64(&ce).mean;
         table.push_row(vec![

@@ -44,7 +44,10 @@ fn main() {
             cap,
             &mut rng,
         );
-        let ce: Vec<u64> = ce_runs.iter().filter_map(|x| x.steps_to_edge_cover).collect();
+        let ce: Vec<u64> = ce_runs
+            .iter()
+            .filter_map(|x| x.steps_to_edge_cover)
+            .collect();
         assert_eq!(ce.len(), REPS);
         table.push_row(vec![
             q.to_string(),

@@ -3,94 +3,19 @@
 //! (Avin–Krishnamachari), Oldest-First and Least-Used-First locally fair
 //! exploration — vertex cover times on an even-degree expander, a torus
 //! and a random geometric graph.
+//!
+//! Thin wrapper over the `eproc-engine` built-in spec of the same name:
+//! `eproc run comparison` is the CLI equivalent.
 
-use eproc_bench::{mean_vertex_cover_steps, rng_for, save_table, Config, Scale};
-use eproc_core::choice::RandomWalkWithChoice;
-use eproc_core::fair::{LeastUsedFirst, OldestFirst};
-use eproc_core::rotor::RotorRouter;
-use eproc_core::rule::UniformRule;
-use eproc_core::srw::SimpleRandomWalk;
-use eproc_core::EProcess;
-use eproc_graphs::properties::connectivity;
-use eproc_graphs::{generators, Graph};
-use eproc_stats::{SeedSequence, TextTable};
-
-const REPS: usize = 5;
+use eproc_bench::{engine_scale, run_engine_table, Config};
 
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
-    println!("Process comparison: mean vertex cover time (CV), {REPS} runs each\n");
-    let mut table =
-        TextTable::new(vec!["graph", "n", "process", "CV mean", "CV/n", "CV/(n ln n)"]);
-
-    let (reg_n, side, geo_n) = match config.scale {
-        Scale::Quick => (4_096, 32, 2_000),
-        Scale::Paper => (65_536, 128, 20_000),
-    };
-    let mut graph_rng = rng_for(seeds.derive(&[0]));
-    let regular = generators::connected_random_regular(reg_n, 4, &mut graph_rng).unwrap();
-    let torus = generators::torus2d(side, side);
-    // Radius chosen above the connectivity threshold sqrt(ln n / (pi n)).
-    let radius = (2.0 * (geo_n as f64).ln() / (std::f64::consts::PI * geo_n as f64)).sqrt();
-    let geometric = loop {
-        let gg = generators::random_geometric(geo_n, radius * 1.5, &mut graph_rng).unwrap();
-        if connectivity::is_connected(&gg.graph) {
-            break gg.graph;
-        }
-    };
-    let graphs: Vec<(&str, &Graph)> = vec![
-        ("random 4-regular", &regular),
-        ("torus", &torus),
-        ("geometric", &geometric),
-    ];
-
-    for (name, g) in graphs {
-        let n = g.n();
-        let nf = n as f64;
-        let cap = (50_000.0 * nf * nf.ln()) as u64;
-        let mut rng = rng_for(seeds.derive(&[2, n as u64]));
-        let mut row = |process: &str, mean: f64| {
-            table.push_row(vec![
-                name.into(),
-                n.to_string(),
-                process.into(),
-                format!("{mean:.0}"),
-                format!("{:.2}", mean / nf),
-                format!("{:.3}", mean / (nf * nf.ln())),
-            ]);
-        };
-        let (m, d) = mean_vertex_cover_steps(
-            |_| EProcess::new(g, 0, UniformRule::new()),
-            REPS,
-            cap,
-            &mut rng,
-        );
-        assert_eq!(d, REPS);
-        row("E-process", m);
-        let (m, d) =
-            mean_vertex_cover_steps(|_| SimpleRandomWalk::new(g, 0), REPS, cap, &mut rng);
-        assert_eq!(d, REPS);
-        row("SRW", m);
-        let (m, d) = mean_vertex_cover_steps(|_| RotorRouter::new(g, 0), REPS, cap, &mut rng);
-        assert_eq!(d, REPS);
-        row("rotor-router", m);
-        let (m, d) = mean_vertex_cover_steps(
-            |_| RandomWalkWithChoice::new(g, 0, 2),
-            REPS,
-            cap,
-            &mut rng,
-        );
-        assert_eq!(d, REPS);
-        row("RWC(2)", m);
-        let (m, d) = mean_vertex_cover_steps(|_| OldestFirst::new(g, 0), REPS, cap, &mut rng);
-        assert_eq!(d, REPS);
-        row("Oldest-First", m);
-        let (m, d) = mean_vertex_cover_steps(|_| LeastUsedFirst::new(g, 0), REPS, cap, &mut rng);
-        assert_eq!(d, REPS);
-        row("Least-Used-First", m);
-    }
-    println!("{table}");
-    let p = save_table("table_comparison", &table).expect("write csv");
-    println!("csv: {}", p.display());
+    println!("Process comparison: mean vertex cover time (CV)\n");
+    run_engine_table(
+        "comparison",
+        engine_scale(config.scale),
+        config.seed,
+        "table_comparison",
+    );
 }

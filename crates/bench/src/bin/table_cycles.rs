@@ -29,12 +29,12 @@ fn main() {
             let mut graph_rng = rng_for(seeds.derive(&[r as u64, sample as u64]));
             let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
             let counts = count_cycles_up_to(&g, K_MAX);
-            for k in 3..=K_MAX {
-                counts_by_k[k].push(counts[k] as f64);
+            for (bucket, &count) in counts_by_k.iter_mut().zip(&counts).skip(3) {
+                bucket.push(count as f64);
             }
         }
-        for k in 3..=K_MAX {
-            let s = Summary::from_slice(&counts_by_k[k]);
+        for (k, bucket) in counts_by_k.iter().enumerate().skip(3) {
+            let s = Summary::from_slice(bucket);
             table.push_row(vec![
                 r.to_string(),
                 n.to_string(),

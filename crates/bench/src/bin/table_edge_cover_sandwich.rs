@@ -15,7 +15,13 @@ fn main() {
     let seeds = SeedSequence::new(config.seed);
     println!("Equation (3): m <= CE(E-process) <= m + CV(SRW) on even-degree graphs\n");
     let mut table = TextTable::new(vec![
-        "graph", "n", "m", "CE(E) mean", "CV(SRW) mean", "m + CV(SRW)", "CE in sandwich",
+        "graph",
+        "n",
+        "m",
+        "CE(E) mean",
+        "CV(SRW) mean",
+        "m + CV(SRW)",
+        "CE in sandwich",
     ]);
 
     let (cyc, tor, reg_n) = match config.scale {
@@ -66,7 +72,11 @@ fn main() {
             format!("{:.0}", ce_summary.mean),
             format!("{cv_srw:.0}"),
             format!("{:.0}", m as f64 + cv_srw),
-            if lower_ok && upper_ok { "yes".into() } else { "check".into() },
+            if lower_ok && upper_ok {
+                "yes".into()
+            } else {
+                "check".into()
+            },
         ]);
     }
     println!("{table}");

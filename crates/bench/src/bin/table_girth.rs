@@ -21,7 +21,16 @@ fn main() {
     let seeds = SeedSequence::new(config.seed);
     println!("Theorem 3 on high girth even degree expanders (LPS) vs random regular\n");
     let mut table = TextTable::new(vec![
-        "graph", "n", "m", "girth", "gap", "CV/n", "CE/m", "CE", "thm3 bound", "CE/bound",
+        "graph",
+        "n",
+        "m",
+        "girth",
+        "gap",
+        "CV/n",
+        "CE/m",
+        "CE",
+        "thm3 bound",
+        "CE/bound",
     ]);
 
     let mut measure = |name: String, g: &Graph| {
@@ -57,7 +66,11 @@ fn main() {
             name,
             n.to_string(),
             m.to_string(),
-            if girth_val == 25 { ">24".into() } else { girth_val.to_string() },
+            if girth_val == 25 {
+                ">24".into()
+            } else {
+                girth_val.to_string()
+            },
             format!("{gap:.3}"),
             format!("{:.2}", cv / n as f64),
             format!("{:.2}", ce_mean / m as f64),
@@ -77,7 +90,9 @@ fn main() {
     }
     // Contrast: random 6-regular graphs of comparable sizes.
     for &q in &lps_qs {
-        let n = generators::lps::LpsParams::new(5, q).unwrap().vertex_count();
+        let n = generators::lps::LpsParams::new(5, q)
+            .unwrap()
+            .vertex_count();
         let mut graph_rng = rng_for(seeds.derive(&[6, n as u64]));
         let g = generators::connected_random_regular(n, 6, &mut graph_rng).unwrap();
         measure(format!("random 6-regular({n})"), &g);

@@ -28,10 +28,14 @@ fn main() {
     ]);
     let mut graph_rng = rng_for(seeds.derive(&[0]));
     let graphs: Vec<(String, Graph)> = vec![
-        ("random 4-regular(200)".into(),
-            generators::connected_random_regular(200, 4, &mut graph_rng).unwrap()),
-        ("random 6-regular(200)".into(),
-            generators::connected_random_regular(200, 6, &mut graph_rng).unwrap()),
+        (
+            "random 4-regular(200)".into(),
+            generators::connected_random_regular(200, 4, &mut graph_rng).unwrap(),
+        ),
+        (
+            "random 6-regular(200)".into(),
+            generators::connected_random_regular(200, 6, &mut graph_rng).unwrap(),
+        ),
         ("torus 10x9".into(), generators::torus2d(10, 9)),
         ("lollipop(16,8)".into(), generators::lollipop(16, 8)),
         ("petersen".into(), generators::petersen()),

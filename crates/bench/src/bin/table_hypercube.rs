@@ -46,9 +46,15 @@ fn main() {
             cap,
             &mut rng,
         );
-        let e_ce: Vec<u64> = e_runs.iter().filter_map(|x| x.steps_to_edge_cover).collect();
+        let e_ce: Vec<u64> = e_runs
+            .iter()
+            .filter_map(|x| x.steps_to_edge_cover)
+            .collect();
         let srw_runs = edge_cover_runs(|_| SimpleRandomWalk::new(&g, 0), REPS, cap, &mut rng);
-        let s_ce: Vec<u64> = srw_runs.iter().filter_map(|x| x.steps_to_edge_cover).collect();
+        let s_ce: Vec<u64> = srw_runs
+            .iter()
+            .filter_map(|x| x.steps_to_edge_cover)
+            .collect();
         assert_eq!(e_ce.len(), REPS, "H{r}: E-process edge cover must finish");
         assert_eq!(s_ce.len(), REPS, "H{r}: SRW edge cover must finish");
         let e_mean = Summary::from_u64(&e_ce).mean;

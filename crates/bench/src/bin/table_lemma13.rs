@@ -54,7 +54,13 @@ fn main() {
         "Lemma 13 tail on a random 4-regular graph (n = {n}, gap = {gap:.3}, {runs} runs/point)\n"
     );
     let mut table = TextTable::new(vec![
-        "|S|", "d(S)", "t/t_min", "t", "empirical P(unvisited)", "Lemma 13 bound", "within",
+        "|S|",
+        "d(S)",
+        "t/t_min",
+        "t",
+        "empirical P(unvisited)",
+        "Lemma 13 bound",
+        "within",
     ]);
     for set_size in [1usize, 2, 4] {
         // Spread the set across the vertex range, away from the start 0.

@@ -35,7 +35,11 @@ fn main() {
     println!("{exact_table}");
 
     let mut ub_table = TextTable::new(vec![
-        "graph", "n", "greedy l ub (min/median over probes)", "P2 bound", "ln n",
+        "graph",
+        "n",
+        "greedy l ub (min/median over probes)",
+        "P2 bound",
+        "ln n",
     ]);
     let sizes: Vec<usize> = match config.scale {
         Scale::Quick => vec![1_000, 4_000, 16_000],

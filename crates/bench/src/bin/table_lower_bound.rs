@@ -22,7 +22,14 @@ fn main() {
     println!("Lower bounds: SRW cover time vs Radzik (n/4)ln(n/2) and Feige n*ln(n);");
     println!("the E-process undercuts both on even-degree expanders.\n");
     let mut table = TextTable::new(vec![
-        "graph", "n", "SRW CV", "Radzik lb", "Feige n*ln n", "SRW/(n ln n)", "E CV", "E CV/n",
+        "graph",
+        "n",
+        "SRW CV",
+        "Radzik lb",
+        "Feige n*ln n",
+        "SRW/(n ln n)",
+        "E CV",
+        "E CV/n",
     ]);
 
     let sizes: Vec<usize> = match config.scale {

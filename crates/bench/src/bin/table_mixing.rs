@@ -17,7 +17,13 @@ fn main() {
     let _config = Config::from_args();
     println!("Lemma 7: T = 6 ln n / gap (lazy walk) vs measured TV mixing\n");
     let mut table = TextTable::new(vec![
-        "graph", "n", "lazy gap", "T (Lemma 7)", "TV at T", "n^-3", "t_mix(1/4)",
+        "graph",
+        "n",
+        "lazy gap",
+        "T (Lemma 7)",
+        "TV at T",
+        "n^-3",
+        "t_mix(1/4)",
     ]);
     let graphs: Vec<(String, Graph)> = vec![
         ("petersen".into(), generators::petersen()),
@@ -35,8 +41,7 @@ fn main() {
         let t = lemma7_mixing_time(n, gap, 6.0).ceil() as usize;
         let tv = worst_tv_at(g, t, true);
         let threshold = (n as f64).powi(-3);
-        let tmix = mixing_time(g, 0.25, true, 200_000)
-            .map_or("-".into(), |x| x.to_string());
+        let tmix = mixing_time(g, 0.25, true, 200_000).map_or("-".into(), |x| x.to_string());
         assert!(
             tv <= (n as f64).powi(-2),
             "{name}: TV {tv} at T = {t} too large (pointwise bound implies TV <= n * n^-3)"

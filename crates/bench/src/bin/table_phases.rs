@@ -64,7 +64,11 @@ fn main() {
                 format!("{:.3}", first / g.m() as f64),
                 format!("{:.0}", Summary::from_slice(&phase_counts).mean),
                 format!("{:.3}", Summary::from_slice(&blue_fracs).mean),
-                if r % 2 == 0 { "yes".into() } else { "n/a (odd)".into() },
+                if r % 2 == 0 {
+                    "yes".into()
+                } else {
+                    "n/a (odd)".into()
+                },
             ]);
         }
     }

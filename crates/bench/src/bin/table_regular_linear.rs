@@ -17,8 +17,7 @@ fn main() {
     let config = Config::from_args();
     let seeds = SeedSequence::new(config.seed);
     println!("Corollary 2/4: CV(E)/n flat and CE(E)/n sub-logarithmic for r = 4, 6\n");
-    let mut table =
-        TextTable::new(vec!["r", "n", "CV/n", "CE/n", "CE/(n ln n)"]);
+    let mut table = TextTable::new(vec!["r", "n", "CV/n", "CE/n", "CE/(n ln n)"]);
     let sizes: Vec<usize> = match config.scale {
         Scale::Quick => vec![1_000, 2_000, 4_000, 8_000, 16_000, 32_000],
         Scale::Paper => vec![16_000, 32_000, 64_000, 128_000, 256_000],
@@ -41,7 +40,10 @@ fn main() {
                 cap,
                 &mut rng,
             );
-            let ce: Vec<u64> = ce_runs.iter().filter_map(|x| x.steps_to_edge_cover).collect();
+            let ce: Vec<u64> = ce_runs
+                .iter()
+                .filter_map(|x| x.steps_to_edge_cover)
+                .collect();
             assert_eq!(d1, REPS);
             assert_eq!(ce.len(), REPS);
             let ce_mean = Summary::from_u64(&ce).mean;

@@ -3,93 +3,21 @@
 //!
 //! We run the E-process under every rule implementation (uniform,
 //! first-port, last-port, round-robin, a degree-greedy adversary and a
-//! malicious "always steer back where we came from" adversary) on
-//! even-degree expanders; all cover in `Θ(n)`.
+//! malicious "always pick the largest live arc" adversary) on even-degree
+//! expanders; all cover in `Θ(n)`.
+//!
+//! Thin wrapper over the `eproc-engine` built-in spec of the same name:
+//! `eproc run rules` is the CLI equivalent.
 
-use eproc_bench::{mean_vertex_cover_steps, rng_for, save_table, Config};
-use eproc_core::rule::{
-    AdversarialRule, EdgeRule, FirstPortRule, GreedyAdversary, LastPortRule, RoundRobinRule,
-    RuleContext, UniformRule,
-};
-use eproc_core::EProcess;
-use eproc_graphs::{generators, Graph};
-use eproc_stats::{SeedSequence, TextTable};
-
-const REPS: usize = 5;
-
-fn measure<A: EdgeRule>(
-    g: &Graph,
-    rule_factory: impl Fn() -> A,
-    cap: u64,
-    rng: &mut rand::rngs::SmallRng,
-) -> f64 {
-    let (mean, done) = mean_vertex_cover_steps(
-        |_| EProcess::new(g, 0, rule_factory()),
-        REPS,
-        cap,
-        rng,
-    );
-    assert_eq!(done, REPS, "all runs must cover");
-    mean
-}
+use eproc_bench::{engine_scale, run_engine_table, Config};
 
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
     println!("Rule independence (Theorem 1): CV(E)/n under different rules A\n");
-    let mut table = TextTable::new(vec!["graph", "n", "rule", "CV mean", "CV/n"]);
-
-    let reg_n = match config.scale {
-        eproc_bench::Scale::Quick => 4_000,
-        eproc_bench::Scale::Paper => 64_000,
-    };
-    let mut graph_rng = rng_for(seeds.derive(&[0]));
-    let regular = generators::connected_random_regular(reg_n, 4, &mut graph_rng).unwrap();
-    let lps = generators::lps_ramanujan(5, 13).unwrap();
-    let graphs: Vec<(&str, &Graph)> =
-        vec![("random 4-regular", &regular), ("LPS(5,13)", &lps)];
-
-    for (name, g) in graphs {
-        let n = g.n();
-        let cap = (2_000.0 * n as f64 * (n as f64).ln()) as u64;
-        let mut rows: Vec<(&str, f64)> = Vec::new();
-        let mut rng = rng_for(seeds.derive(&[1, n as u64]));
-        rows.push(("uniform", measure(g, UniformRule::new, cap, &mut rng)));
-        rows.push(("first-port", measure(g, || FirstPortRule, cap, &mut rng)));
-        rows.push(("last-port", measure(g, || LastPortRule, cap, &mut rng)));
-        rows.push(("round-robin", measure(g, || RoundRobinRule::new(n), cap, &mut rng)));
-        rows.push(("greedy-adversary", measure(g, || GreedyAdversary, cap, &mut rng)));
-        // A spiteful adversary: always pick the live arc with the largest
-        // id — tends to unbalance port consumption.
-        rows.push((
-            "spiteful-adversary",
-            measure(
-                g,
-                || {
-                    AdversarialRule::new(|ctx: &RuleContext<'_>| {
-                        ctx.live_arcs
-                            .iter()
-                            .enumerate()
-                            .max_by_key(|&(_, &a)| a)
-                            .map(|(i, _)| i)
-                            .expect("nonempty")
-                    })
-                },
-                cap,
-                &mut rng,
-            ),
-        ));
-        for (rule, mean) in rows {
-            table.push_row(vec![
-                name.into(),
-                n.to_string(),
-                rule.into(),
-                format!("{mean:.0}"),
-                format!("{:.2}", mean / n as f64),
-            ]);
-        }
-    }
-    println!("{table}");
-    let p = save_table("table_rules", &table).expect("write csv");
-    println!("csv: {}", p.display());
+    run_engine_table(
+        "rules",
+        engine_scale(config.scale),
+        config.seed,
+        "table_rules",
+    );
 }

@@ -18,7 +18,14 @@ fn main() {
     let seeds = SeedSequence::new(config.seed);
     println!("Spectra: measured lambda_2 vs Friedman/Ramanujan predictions\n");
     let mut table = TextTable::new(vec![
-        "graph", "n", "lambda_2", "prediction", "within", "gap", "lazy gap", "bipartite",
+        "graph",
+        "n",
+        "lambda_2",
+        "prediction",
+        "within",
+        "gap",
+        "lazy gap",
+        "bipartite",
     ]);
 
     let reg_n = match config.scale {
@@ -52,11 +59,19 @@ fn main() {
         let mut graph_rng = rng_for(seeds.derive(&[r as u64]));
         let g = generators::connected_random_regular(reg_n, r, &mut graph_rng).unwrap();
         // Friedman with a finite-size allowance ε.
-        row(format!("random {r}-regular"), &g, Some(friedman_lambda_bound(r, 0.35)));
+        row(
+            format!("random {r}-regular"),
+            &g,
+            Some(friedman_lambda_bound(r, 0.35)),
+        );
     }
     for (p, q) in [(5u64, 13u64), (5, 17), (13, 17)] {
         let g = generators::lps_ramanujan(p, q).unwrap();
-        row(format!("LPS({p},{q})"), &g, Some(ramanujan_lambda_bound(p as usize)));
+        row(
+            format!("LPS({p},{q})"),
+            &g,
+            Some(ramanujan_lambda_bound(p as usize)),
+        );
     }
     let h = generators::hypercube(9);
     row("hypercube(9)".into(), &h, Some(hypercube_lambda2(9) + 1e-9));

@@ -21,9 +21,7 @@ fn main() {
     let config = Config::from_args();
     let seeds = SeedSequence::new(config.seed);
     println!("Isolated blue stars (Section 5): fraction of vertices stranded as stars\n");
-    let mut table = TextTable::new(vec![
-        "r", "n", "stars/n", "sd", "CV/(n ln n)", "heuristic",
-    ]);
+    let mut table = TextTable::new(vec!["r", "n", "stars/n", "sd", "CV/(n ln n)", "heuristic"]);
     let sizes: Vec<usize> = match config.scale {
         Scale::Quick => vec![2_000, 8_000],
         Scale::Paper => vec![8_000, 32_000, 128_000],

@@ -5,17 +5,20 @@
 //! take the paper's `ℓ` estimate (P2 bound for random regular graphs,
 //! girth for LPS), and report the measured-cover / bound ratio, which
 //! should stay bounded by a modest constant across the sweep.
+//!
+//! The ensemble (the cover-time measurements) runs on the parallel
+//! `eproc-engine`; this wrapper only adds the per-graph spectral-gap and
+//! theory-bound columns the engine deliberately does not know about.
 
-use eproc_bench::{mean_vertex_cover_steps, rng_for, save_table, Config, Scale};
-use eproc_core::rule::UniformRule;
-use eproc_core::EProcess;
+use eproc_bench::{engine_scale, save_table, Config};
+use eproc_engine::builtin;
+use eproc_engine::executor::{build_graphs, run_on_graphs, RunOptions};
+use eproc_engine::spec::GraphSpec;
 use eproc_graphs::properties::{bipartite, girth};
-use eproc_graphs::{generators, Graph};
+use eproc_graphs::Graph;
 use eproc_spectral::lanczos::lanczos;
-use eproc_stats::{SeedSequence, TextTable};
+use eproc_stats::TextTable;
 use eproc_theory::{p2_l_good_bound, theorem1_vertex_cover_bound};
-
-const REPS: usize = 5;
 
 fn effective_gap(g: &Graph) -> f64 {
     let res = lanczos(g, 120.min(g.n() - 1));
@@ -26,77 +29,47 @@ fn effective_gap(g: &Graph) -> f64 {
     }
 }
 
+/// The paper's `ℓ` estimate for a graph family: the P2 bound for random
+/// regular graphs, the girth for LPS Ramanujan graphs.
+fn l_estimate(spec: &GraphSpec, g: &Graph) -> f64 {
+    match *spec {
+        GraphSpec::Regular { n, d } => p2_l_good_bound(n, d),
+        _ => girth::girth_at_most(g, 24).unwrap_or(24) as f64,
+    }
+}
+
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
     println!("Theorem 1: CV(E) vs n + n*ln(n)/(l*(1-lambda_max)) on even-degree expanders\n");
+    let spec = builtin::spec("theorem1", engine_scale(config.scale)).expect("builtin exists");
+    let opts = RunOptions {
+        base_seed: config.seed,
+        ..RunOptions::auto()
+    };
+    // Build the graphs once: the ensemble and the per-graph enrichment
+    // columns below both use them.
+    let graphs = build_graphs(&spec, opts.base_seed).expect("theorem1 graphs");
+    let report = run_on_graphs(&spec, &opts, &graphs).expect("theorem1 ensemble");
+
     let mut table = TextTable::new(vec![
         "graph", "n", "gap", "l est", "CV mean", "bound", "CV/bound", "CV/n",
     ]);
-
-    let regular_sizes: Vec<usize> = match config.scale {
-        Scale::Quick => vec![1_000, 4_000, 16_000],
-        Scale::Paper => vec![4_000, 16_000, 64_000, 256_000],
-    };
-    for &r in &[4usize, 6] {
-        for &n in &regular_sizes {
-            let mut graph_rng = rng_for(seeds.derive(&[r as u64, n as u64]));
-            let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
-            let gap = effective_gap(&g);
-            let l = p2_l_good_bound(n, r);
-            let bound = theorem1_vertex_cover_bound(n, l, gap);
-            let mut walk_rng = rng_for(seeds.derive(&[r as u64, n as u64, 1]));
-            let cap = (500.0 * n as f64 * (n as f64).ln()) as u64;
-            let (mean, done) = mean_vertex_cover_steps(
-                |_| EProcess::new(&g, 0, UniformRule::new()),
-                REPS,
-                cap,
-                &mut walk_rng,
-            );
-            assert_eq!(done, REPS, "cover runs must finish");
-            table.push_row(vec![
-                format!("random {r}-regular"),
-                n.to_string(),
-                format!("{gap:.3}"),
-                format!("{l:.2}"),
-                format!("{mean:.0}"),
-                format!("{bound:.0}"),
-                format!("{:.3}", mean / bound),
-                format!("{:.2}", mean / n as f64),
-            ]);
-        }
-    }
-
-    let lps_params: Vec<(u64, u64)> = match config.scale {
-        Scale::Quick => vec![(5, 13), (5, 17)],
-        Scale::Paper => vec![(5, 13), (5, 17), (5, 29)],
-    };
-    for &(p, q) in &lps_params {
-        let g = generators::lps_ramanujan(p, q).unwrap();
-        let n = g.n();
-        let gap = effective_gap(&g);
-        // An even subgraph through v contains a cycle through v, so
-        // l(v) >= girth.
-        let l = girth::girth_at_most(&g, 24).unwrap_or(24) as f64;
-        let bound = theorem1_vertex_cover_bound(n, l, gap);
-        let mut walk_rng = rng_for(seeds.derive(&[p, q, 2]));
-        let cap = (500.0 * n as f64 * (n as f64).ln()) as u64;
-        let (mean, done) = mean_vertex_cover_steps(
-            |_| EProcess::new(&g, 0, UniformRule::new()),
-            REPS,
-            cap,
-            &mut walk_rng,
-        );
-        assert_eq!(done, REPS);
+    for (gi, (gspec, g)) in spec.graphs.iter().zip(&graphs).enumerate() {
+        let cell = &report.cells[gi * spec.processes.len()];
+        assert_eq!(cell.completed, cell.trials, "cover runs must finish");
+        let gap = effective_gap(g);
+        let l = l_estimate(gspec, g);
+        let bound = theorem1_vertex_cover_bound(g.n(), l, gap);
+        let mean = cell.steps.mean();
         table.push_row(vec![
-            format!("LPS({p},{q}) 6-regular"),
-            n.to_string(),
+            gspec.label(),
+            g.n().to_string(),
             format!("{gap:.3}"),
-            format!("{l:.0}"),
+            format!("{l:.2}"),
             format!("{mean:.0}"),
             format!("{bound:.0}"),
             format!("{:.3}", mean / bound),
-            format!("{:.2}", mean / n as f64),
+            format!("{:.2}", mean / g.n() as f64),
         ]);
     }
     println!("{table}");

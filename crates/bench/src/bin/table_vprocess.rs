@@ -21,8 +21,15 @@ fn main() {
     let config = Config::from_args();
     let seeds = SeedSequence::new(config.seed);
     println!("E-process vs V-process vs SRW on random r-regular graphs (CV/n)\n");
-    let mut table =
-        TextTable::new(vec!["r", "n", "E CV/n", "V CV/n", "SRW CV/n", "E CV/(n ln n)", "V CV/(n ln n)"]);
+    let mut table = TextTable::new(vec![
+        "r",
+        "n",
+        "E CV/n",
+        "V CV/n",
+        "SRW CV/n",
+        "E CV/(n ln n)",
+        "V CV/(n ln n)",
+    ]);
     let sizes: Vec<usize> = match config.scale {
         Scale::Quick => vec![2_000, 8_000, 32_000],
         Scale::Paper => vec![8_000, 32_000, 128_000],
@@ -40,8 +47,7 @@ fn main() {
                 cap,
                 &mut rng,
             );
-            let (v_cv, d2) =
-                mean_vertex_cover_steps(|_| VProcess::new(&g, 0), REPS, cap, &mut rng);
+            let (v_cv, d2) = mean_vertex_cover_steps(|_| VProcess::new(&g, 0), REPS, cap, &mut rng);
             let (s_cv, d3) =
                 mean_vertex_cover_steps(|_| SimpleRandomWalk::new(&g, 0), REPS, cap, &mut rng);
             assert_eq!((d1, d2, d3), (REPS, REPS, REPS));

@@ -35,12 +35,19 @@ fn main() {
     let seeds = SeedSequence::new(config.seed);
     println!("Start-vertex sensitivity: CV = max_v C_v vs fixed-start means\n");
     let mut table = TextTable::new(vec![
-        "graph", "process", "worst start", "worst mean", "start-0 mean", "worst/start-0",
+        "graph",
+        "process",
+        "worst start",
+        "worst mean",
+        "start-0 mean",
+        "worst/start-0",
     ]);
     let mut graph_rng = rng_for(seeds.derive(&[0]));
     let graphs: Vec<(String, Graph)> = vec![
-        ("random 4-regular(128)".into(),
-            generators::connected_random_regular(128, 4, &mut graph_rng).unwrap()),
+        (
+            "random 4-regular(128)".into(),
+            generators::connected_random_regular(128, 4, &mut graph_rng).unwrap(),
+        ),
         ("torus 12x12".into(), generators::torus2d(12, 12)),
         ("lollipop(24,24)".into(), generators::lollipop(24, 24)),
     ];
@@ -50,7 +57,9 @@ fn main() {
             let (worst_v, worst_mean) = if srw {
                 worst_start_cover(
                     g,
-                    |start, _| -> Box<dyn WalkProcess> { Box::new(SimpleRandomWalk::new(g, start)) },
+                    |start, _| -> Box<dyn WalkProcess> {
+                        Box::new(SimpleRandomWalk::new(g, start))
+                    },
                     RUNS_PER_START,
                     u64::MAX >> 1,
                     &mut rng,

@@ -61,7 +61,9 @@ impl Config {
                 }
                 "--seed" => {
                     let v = args.next().unwrap_or_default();
-                    seed = v.parse().unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
+                    seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
@@ -176,7 +178,13 @@ impl<'g> NaiveEProcess<'g> {
     /// Panics if `start >= g.n()`.
     pub fn new(g: &'g Graph, start: Vertex) -> NaiveEProcess<'g> {
         assert!(start < g.n(), "start vertex {start} out of range");
-        NaiveEProcess { g, current: start, steps: 0, visited: vec![false; g.m()], scratch: Vec::new() }
+        NaiveEProcess {
+            g,
+            current: start,
+            steps: 0,
+            visited: vec![false; g.m()],
+            scratch: Vec::new(),
+        }
     }
 }
 
@@ -204,9 +212,15 @@ impl<'g> WalkProcess for NaiveEProcess<'g> {
             }
         }
         let (arc, kind) = if self.scratch.is_empty() {
-            (self.g.arc_range(v).start + rng.gen_range(0..d), StepKind::Red)
+            (
+                self.g.arc_range(v).start + rng.gen_range(0..d),
+                StepKind::Red,
+            )
         } else {
-            (self.scratch[rng.gen_range(0..self.scratch.len())], StepKind::Blue)
+            (
+                self.scratch[rng.gen_range(0..self.scratch.len())],
+                StepKind::Blue,
+            )
         };
         let e = self.g.arc_edge(arc);
         let to = self.g.arc_target(arc);
@@ -215,13 +229,63 @@ impl<'g> WalkProcess for NaiveEProcess<'g> {
         }
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(e), kind }
+        Step {
+            from: v,
+            to,
+            edge: Some(e),
+            kind,
+        }
     }
 }
 
 /// Builds a fresh deterministic RNG for a derived seed.
 pub fn rng_for(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
+}
+
+/// Maps this crate's [`Scale`] onto the engine's.
+pub fn engine_scale(scale: Scale) -> eproc_engine::Scale {
+    match scale {
+        Scale::Quick => eproc_engine::Scale::Quick,
+        Scale::Paper => eproc_engine::Scale::Paper,
+    }
+}
+
+/// Runs the named built-in engine spec and emits the standard artifacts:
+/// prints the aggregate table, writes `<csv_name>.csv` next to the other
+/// experiment tables, and writes the engine's JSON artifact.
+///
+/// This is the whole body of the `table_*` binaries that were ported onto
+/// the engine — their trial loops, seeding and aggregation all live in
+/// `eproc-engine` now.
+///
+/// # Panics
+///
+/// Panics if the spec name is unknown, execution fails, or any trial
+/// capped out before covering (the reproduction tables claim every run
+/// finishes, so an incomplete cell is a regression, not data).
+pub fn run_engine_table(name: &str, scale: eproc_engine::Scale, seed: u64, csv_name: &str) {
+    let spec = eproc_engine::builtin::spec(name, scale)
+        .unwrap_or_else(|| panic!("unknown builtin spec {name:?}"));
+    let opts = eproc_engine::RunOptions {
+        base_seed: seed,
+        ..eproc_engine::RunOptions::auto()
+    };
+    let report = eproc_engine::run(&spec, &opts)
+        .unwrap_or_else(|e| panic!("engine run {name:?} failed: {e}"));
+    for cell in &report.cells {
+        assert_eq!(
+            cell.completed, cell.trials,
+            "{}/{}: only {}/{} runs covered within the cap",
+            cell.graph, cell.process, cell.completed, cell.trials
+        );
+    }
+    let table = eproc_engine::report::to_text_table(&report);
+    println!("{table}");
+    let p = save_table(csv_name, &table).expect("write csv");
+    println!("csv: {}", p.display());
+    let j = eproc_engine::report::save_json(&report, None).expect("write json");
+    println!("json: {}", j.display());
 }
 
 /// Applies `f` to every item on `threads` OS threads, preserving order.
@@ -258,7 +322,10 @@ where
             });
         }
     });
-    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -290,7 +357,10 @@ mod tests {
         assert_eq!(k1, 20);
         assert_eq!(k2, 20);
         let ratio = mean_fast / mean_naive;
-        assert!((0.7..1.4).contains(&ratio), "means diverge: {mean_fast} vs {mean_naive}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "means diverge: {mean_fast} vs {mean_naive}"
+        );
     }
 
     #[test]

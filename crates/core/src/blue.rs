@@ -88,7 +88,11 @@ pub fn blue_components(g: &Graph, edge_visited: &[bool]) -> Vec<BlueComponent> {
 /// # Panics
 ///
 /// Panics if `edge_visited.len() != g.m()`.
-pub fn blue_degrees_even(g: &Graph, edge_visited: &[bool], odd_pair: Option<(Vertex, Vertex)>) -> bool {
+pub fn blue_degrees_even(
+    g: &Graph,
+    edge_visited: &[bool],
+    odd_pair: Option<(Vertex, Vertex)>,
+) -> bool {
     let deg = blue_degrees(g, edge_visited);
     g.vertices().all(|v| {
         let expect_odd = match odd_pair {
@@ -121,13 +125,20 @@ pub fn isolated_star_centers(
         if vertex_visited[v] || g.degree(v) == 0 {
             continue;
         }
-        debug_assert_eq!(deg[v], g.degree(v), "unvisited vertex must have all edges blue");
+        debug_assert_eq!(
+            deg[v],
+            g.degree(v),
+            "unvisited vertex must have all edges blue"
+        );
         for (_, w, e) in g.ports(v) {
             if edge_visited[e] {
                 continue 'vertex; // not actually all blue: inconsistent input
             }
             // Every blue edge at w must lead back to v.
-            let w_blue_to_v = g.ports(w).filter(|&(_, t, f)| !edge_visited[f] && t == v).count();
+            let w_blue_to_v = g
+                .ports(w)
+                .filter(|&(_, t, f)| !edge_visited[f] && t == v)
+                .count();
             if deg[w] != w_blue_to_v {
                 continue 'vertex;
             }
@@ -172,14 +183,21 @@ pub fn run_first_blue_phase<A: EdgeRule>(
         vertex_visited[step.to] = true;
         length += 1;
     }
-    FirstBluePhase { length, end_vertex: walk.current(), vertex_visited }
+    FirstBluePhase {
+        length,
+        end_vertex: walk.current(),
+        vertex_visited,
+    }
 }
 
 /// Extracts a blue component as a standalone graph (vertices relabelled),
 /// ready for the full property machinery — e.g. verifying that it
 /// decomposes into cycles (Observation 11) via
 /// [`eproc_graphs::properties::euler::cycle_decomposition_full`].
-pub fn component_as_graph(g: &Graph, component: &BlueComponent) -> eproc_graphs::subgraph::Subgraph {
+pub fn component_as_graph(
+    g: &Graph,
+    component: &BlueComponent,
+) -> eproc_graphs::subgraph::Subgraph {
     eproc_graphs::subgraph::edge_subgraph(g, &component.edges)
 }
 
@@ -254,7 +272,11 @@ pub fn track_isolated_stars<A: EdgeRule>(
         }
     }
     ever.sort_unstable();
-    StarCensus { ever_star_centers: ever, steps_to_vertex_cover, steps: t }
+    StarCensus {
+        ever_star_centers: ever,
+        steps_to_vertex_cover,
+        steps: t,
+    }
 }
 
 /// `true` if the blue component around the (unvisited) vertex `v` is
@@ -265,7 +287,10 @@ fn is_isolated_star_at<A: EdgeRule>(walk: &EProcess<'_, A>, v: Vertex) -> bool {
         if walk.edge_visited(e) {
             return false; // v is not fully blue: cannot be a stranded center
         }
-        let w_blue_to_v = g.ports(w).filter(|&(_, t, f)| !walk.edge_visited(f) && t == v).count();
+        let w_blue_to_v = g
+            .ports(w)
+            .filter(|&(_, t, f)| !walk.edge_visited(f) && t == v)
+            .count();
         if walk.blue_degree(w) != w_blue_to_v {
             return false;
         }
@@ -303,9 +328,7 @@ mod tests {
         // figure_eight: removing one triangle's edges leaves the other.
         let g = generators::figure_eight(3);
         let mut visited = vec![false; g.m()];
-        for e in 0..3 {
-            visited[e] = true;
-        }
+        visited[..3].fill(true);
         let comps = blue_components(&g, &visited);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].edges.len(), 3);
@@ -323,7 +346,10 @@ mod tests {
                 let mut rng = SmallRng::seed_from_u64(seed);
                 let mut walk = EProcess::new(&g, start, UniformRule::new());
                 let phase = run_first_blue_phase(&mut walk, &mut rng);
-                assert_eq!(phase.end_vertex, start, "Observation 10 violated (seed {seed})");
+                assert_eq!(
+                    phase.end_vertex, start,
+                    "Observation 10 violated (seed {seed})"
+                );
                 assert!(phase.length >= 3);
             }
         }
@@ -341,7 +367,7 @@ mod tests {
             let deg = blue_degrees(&g, walk.visited_edges());
             for comp in blue_components(&g, walk.visited_edges()) {
                 for &v in &comp.vertices {
-                    assert!(deg[v] >= 2 && deg[v] % 2 == 0);
+                    assert!(deg[v] >= 2 && deg[v].is_multiple_of(2));
                 }
             }
         }
@@ -359,7 +385,11 @@ mod tests {
             }
             walk.advance(&mut rng);
             let cur = walk.current();
-            let odd_pair = if cur == start { None } else { Some((start, cur)) };
+            let odd_pair = if cur == start {
+                None
+            } else {
+                Some((start, cur))
+            };
             assert!(blue_degrees_even(&g, walk.visited_edges(), odd_pair));
         }
     }
@@ -377,7 +407,10 @@ mod tests {
             let _ = run_first_blue_phase(&mut walk, &mut rng);
             for comp in blue_components(&g, walk.visited_edges()) {
                 let sub = component_as_graph(&g, &comp);
-                assert!(degrees::is_even_degree(&sub.graph), "Observation 11 violated");
+                assert!(
+                    degrees::is_even_degree(&sub.graph),
+                    "Observation 11 violated"
+                );
                 let cycles = euler::cycle_decomposition_full(&sub.graph)
                     .expect("even graphs decompose into cycles");
                 let covered: usize = cycles.iter().map(|c| c.len()).sum();

@@ -31,7 +31,13 @@ impl<'g> RandomWalkWithChoice<'g> {
         assert!(d >= 1, "RWC requires d >= 1");
         let mut visits = vec![0u64; g.n()];
         visits[start] = 1;
-        RandomWalkWithChoice { g, current: start, steps: 0, d, visits }
+        RandomWalkWithChoice {
+            g,
+            current: start,
+            steps: 0,
+            d,
+            visits,
+        }
     }
 
     /// Number of choices sampled per step.
@@ -91,7 +97,12 @@ impl<'g> WalkProcess for RandomWalkWithChoice<'g> {
         self.visits[to] += 1;
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(self.g.arc_edge(best_arc)), kind: StepKind::Red }
+        Step {
+            from: v,
+            to,
+            edge: Some(self.g.arc_edge(best_arc)),
+            kind: StepKind::Red,
+        }
     }
 }
 
@@ -133,8 +144,8 @@ mod tests {
             }
         }
         let total: u64 = counts.iter().sum();
-        for leaf in 1..4 {
-            let f = counts[leaf] as f64 / total as f64;
+        for (leaf, &count) in counts.iter().enumerate().skip(1) {
+            let f = count as f64 / total as f64;
             assert!((f - 1.0 / 3.0).abs() < 0.02, "leaf {leaf} freq {f}");
         }
     }

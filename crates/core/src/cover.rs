@@ -135,7 +135,10 @@ pub fn run_to_vertex_cover<W: WalkProcess + ?Sized>(
     rng: &mut dyn RngCore,
 ) -> Option<VertexCover> {
     let run = run_cover(walk, CoverTarget::Vertices, default_step_cap(g), rng);
-    run.steps_to_vertex_cover.map(|steps| VertexCover { steps, last_vertex: run.final_vertex })
+    run.steps_to_vertex_cover.map(|steps| VertexCover {
+        steps,
+        last_vertex: run.final_vertex,
+    })
 }
 
 /// Runs `walk` to edge cover with the [`default_step_cap`]; returns the
@@ -169,7 +172,10 @@ where
         let steps = match target {
             CoverTarget::Vertices => run.steps_to_vertex_cover,
             CoverTarget::Edges => run.steps_to_edge_cover,
-            CoverTarget::Both => run.steps_to_vertex_cover.and(run.steps_to_edge_cover).map(|_| run.steps),
+            CoverTarget::Both => run
+                .steps_to_vertex_cover
+                .and(run.steps_to_edge_cover)
+                .map(|_| run.steps),
         };
         if let Some(s) = steps {
             out.push(s);
@@ -234,7 +240,10 @@ pub fn blanket_time<W: WalkProcess + ?Sized>(
     max_steps: u64,
     rng: &mut dyn RngCore,
 ) -> Option<u64> {
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
     let (n, pi) = {
         let g = walk.graph();
         let two_m = g.total_degree() as f64;
@@ -249,7 +258,7 @@ pub fn blanket_time<W: WalkProcess + ?Sized>(
         let step = walk.advance(rng);
         t += 1;
         visits[step.to] += 1;
-        if t % check_every == 0 {
+        if t.is_multiple_of(check_every) {
             let ok = (0..n).all(|v| visits[v] as f64 >= delta * pi[v] * t as f64);
             if ok {
                 return Some(t);
@@ -327,8 +336,9 @@ mod tests {
 
     #[test]
     fn disconnected_graph_returns_none() {
-        let g = eproc_graphs::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g =
+            eproc_graphs::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+                .unwrap();
         let mut rng = SmallRng::seed_from_u64(6);
         let mut w = SimpleRandomWalk::new(&g, 0);
         let run = run_cover(&mut w, CoverTarget::Vertices, 50_000, &mut rng);
@@ -413,7 +423,10 @@ mod tests {
             assert_eq!(done, 20);
             // Generous sampling slack: the max over starts cannot be far
             // below any single start's mean.
-            assert!(worst_mean * 1.5 >= mean, "worst {worst_mean} vs probe {probe}: {mean}");
+            assert!(
+                worst_mean * 1.5 >= mean,
+                "worst {worst_mean} vs probe {probe}: {mean}"
+            );
         }
     }
 

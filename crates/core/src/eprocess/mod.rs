@@ -227,7 +227,10 @@ impl<'g, A: EdgeRule> WalkProcess for EProcess<'g, A> {
                 step: self.steps,
             };
             let idx = self.rule.choose(&ctx, rng);
-            assert!(idx < live, "rule chose index {idx} among {live} unvisited edges");
+            assert!(
+                idx < live,
+                "rule chose index {idx} among {live} unvisited edges"
+            );
             (self.slots[base + idx], StepKind::Blue)
         } else {
             let base = self.g.arc_range(v).start;
@@ -243,7 +246,12 @@ impl<'g, A: EdgeRule> WalkProcess for EProcess<'g, A> {
         }
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(e), kind }
+        Step {
+            from: v,
+            to,
+            edge: Some(e),
+            kind,
+        }
     }
 }
 
@@ -255,7 +263,11 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn run_steps<A: EdgeRule>(walk: &mut EProcess<'_, A>, k: usize, rng: &mut SmallRng) -> Vec<Step> {
+    fn run_steps<A: EdgeRule>(
+        walk: &mut EProcess<'_, A>,
+        k: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<Step> {
         (0..k).map(|_| walk.advance(rng)).collect()
     }
 
@@ -281,7 +293,11 @@ mod tests {
         let steps = run_steps(&mut walk, 6, &mut rng);
         assert!(steps.iter().all(|s| s.kind == StepKind::Blue));
         assert_eq!(walk.unvisited_edge_count(), 0);
-        assert_eq!(walk.current(), 0, "Observation 10: blue phase returns to start");
+        assert_eq!(
+            walk.current(),
+            0,
+            "Observation 10: blue phase returns to start"
+        );
         // Everything after is red.
         let steps = run_steps(&mut walk, 10, &mut rng);
         assert!(steps.iter().all(|s| s.kind == StepKind::Red));
@@ -300,8 +316,10 @@ mod tests {
             assert!(walk.edge_visited(e));
             // Blue degrees always equal the count of unvisited incident edges.
             for v in g.vertices() {
-                let expect =
-                    g.ports(v).filter(|&(_, _, e)| !walk.edge_visited(e)).count();
+                let expect = g
+                    .ports(v)
+                    .filter(|&(_, _, e)| !walk.edge_visited(e))
+                    .count();
                 assert_eq!(walk.blue_degree(v), expect, "vertex {v} after step {:?}", s);
             }
         }
@@ -348,7 +366,10 @@ mod tests {
         let rule = AdversarialRule::new(|ctx: &RuleContext<'_>| ctx.live_arcs.len() - 1);
         let mut walk = EProcess::new(&g, 0, rule);
         for _ in 0..g.m() {
-            assert!(walk.in_blue_phase(), "K5 is Eulerian: one blue phase covers all edges");
+            assert!(
+                walk.in_blue_phase(),
+                "K5 is Eulerian: one blue phase covers all edges"
+            );
             walk.advance(&mut rng);
         }
         assert_eq!(walk.unvisited_edge_count(), 0);
@@ -397,6 +418,10 @@ mod tests {
         for _ in 0..5000 {
             walk.advance(&mut rng);
         }
-        assert_eq!(walk.unvisited_edge_count(), 0, "SRW fallback eventually finds all edges");
+        assert_eq!(
+            walk.unvisited_edge_count(),
+            0,
+            "SRW fallback eventually finds all edges"
+        );
     }
 }

@@ -153,7 +153,10 @@ impl<F> std::fmt::Debug for AdversarialRule<F> {
 impl<F: FnMut(&RuleContext<'_>) -> usize> AdversarialRule<F> {
     /// Wraps an adversary callback.
     pub fn new(strategy: F) -> AdversarialRule<F> {
-        AdversarialRule { strategy, decisions: 0 }
+        AdversarialRule {
+            strategy,
+            decisions: 0,
+        }
     }
 
     /// Number of blue choices the adversary has made.
@@ -189,7 +192,12 @@ impl EdgeRule for GreedyAdversary {
         ctx.live_arcs
             .iter()
             .enumerate()
-            .max_by_key(|&(_, &a)| (ctx.graph.degree(ctx.graph.arc_target(a)), std::cmp::Reverse(a)))
+            .max_by_key(|&(_, &a)| {
+                (
+                    ctx.graph.degree(ctx.graph.arc_target(a)),
+                    std::cmp::Reverse(a),
+                )
+            })
             .map(|(i, _)| i)
             .expect("live_arcs is nonempty")
     }
@@ -225,8 +233,11 @@ impl WeightedPortRule {
 
 impl EdgeRule for WeightedPortRule {
     fn choose(&mut self, ctx: &RuleContext<'_>, rng: &mut dyn RngCore) -> usize {
-        let total: f64 =
-            ctx.live_arcs.iter().map(|&a| self.weights[ctx.graph.arc_edge(a)]).sum();
+        let total: f64 = ctx
+            .live_arcs
+            .iter()
+            .map(|&a| self.weights[ctx.graph.arc_edge(a)])
+            .sum();
         let mut target = rng.gen_range(0.0..total);
         for (i, &a) in ctx.live_arcs.iter().enumerate() {
             target -= self.weights[ctx.graph.arc_edge(a)];
@@ -250,7 +261,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn ctx_on<'a>(g: &'a Graph, v: Vertex, live: &'a [ArcId]) -> RuleContext<'a> {
-        RuleContext { graph: g, vertex: v, live_arcs: live, step: 0 }
+        RuleContext {
+            graph: g,
+            vertex: v,
+            live_arcs: live,
+            step: 0,
+        }
     }
 
     #[test]
@@ -265,7 +281,11 @@ mod tests {
             assert!(i < live.len());
             seen.insert(i);
         }
-        assert_eq!(seen.len(), live.len(), "uniform rule should hit every index");
+        assert_eq!(
+            seen.len(),
+            live.len(),
+            "uniform rule should hit every index"
+        );
     }
 
     #[test]
@@ -323,7 +343,10 @@ mod tests {
         assert_eq!(LastPortRule.name(), "last-port");
         assert_eq!(RoundRobinRule::new(1).name(), "round-robin");
         assert_eq!(GreedyAdversary.name(), "greedy-adversary");
-        assert_eq!(AdversarialRule::new(|_: &RuleContext<'_>| 0).name(), "adversarial");
+        assert_eq!(
+            AdversarialRule::new(|_: &RuleContext<'_>| 0).name(),
+            "adversarial"
+        );
         assert_eq!(WeightedPortRule::new(vec![1.0]).name(), "weighted");
     }
 

@@ -38,12 +38,21 @@ impl<'g> FairState<'g> {
         let v = self.current;
         let e = self.g.arc_edge(arc);
         let to = self.g.arc_target(arc);
-        let kind = if self.use_count[e] == 0 { StepKind::Blue } else { StepKind::Red };
+        let kind = if self.use_count[e] == 0 {
+            StepKind::Blue
+        } else {
+            StepKind::Red
+        };
         self.use_count[e] += 1;
         self.last_used[e] = self.steps + 1;
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(e), kind }
+        Step {
+            from: v,
+            to,
+            edge: Some(e),
+            kind,
+        }
     }
 }
 
@@ -60,7 +69,9 @@ impl<'g> OldestFirst<'g> {
     ///
     /// Panics if `start >= g.n()`.
     pub fn new(g: &'g Graph, start: Vertex) -> OldestFirst<'g> {
-        OldestFirst { state: FairState::new(g, start) }
+        OldestFirst {
+            state: FairState::new(g, start),
+        }
     }
 
     /// Times edge `e` has been traversed.
@@ -112,7 +123,9 @@ impl<'g> LeastUsedFirst<'g> {
     ///
     /// Panics if `start >= g.n()`.
     pub fn new(g: &'g Graph, start: Vertex) -> LeastUsedFirst<'g> {
-        LeastUsedFirst { state: FairState::new(g, start) }
+        LeastUsedFirst {
+            state: FairState::new(g, start),
+        }
     }
 
     /// Times edge `e` has been traversed.
@@ -190,7 +203,11 @@ mod tests {
     #[test]
     fn least_used_covers_edges_in_m_diameter_steps() {
         // [5]: LUF covers all edges in O(m·D).
-        for g in [generators::torus2d(4, 4), generators::complete(6), generators::petersen()] {
+        for g in [
+            generators::torus2d(4, 4),
+            generators::complete(6),
+            generators::petersen(),
+        ] {
             let d = eproc_graphs::properties::diameter::diameter_exact(&g).unwrap() as u64;
             let bound = 10 * g.m() as u64 * (d + 1);
             let mut rng = SmallRng::seed_from_u64(4);
@@ -222,7 +239,10 @@ mod tests {
         let counts: Vec<u64> = (0..g.m()).map(|e| w.use_count(e)).collect();
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max - min <= max / 2, "LUF frequencies should be balanced: {counts:?}");
+        assert!(
+            max - min <= max / 2,
+            "LUF frequencies should be balanced: {counts:?}"
+        );
     }
 
     #[test]

@@ -87,7 +87,12 @@ mod tests {
 
     #[test]
     fn step_debug_nonempty() {
-        let s = Step { from: 0, to: 1, edge: Some(2), kind: StepKind::Red };
+        let s = Step {
+            from: 0,
+            to: 1,
+            edge: Some(2),
+            kind: StepKind::Red,
+        };
         assert!(format!("{s:?}").contains("from"));
     }
 }

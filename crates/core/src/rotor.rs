@@ -26,7 +26,12 @@ impl<'g> RotorRouter<'g> {
     /// Panics if `start >= g.n()`.
     pub fn new(g: &'g Graph, start: Vertex) -> RotorRouter<'g> {
         assert!(start < g.n(), "start vertex {start} out of range");
-        RotorRouter { g, current: start, steps: 0, rotor: vec![0; g.n()] }
+        RotorRouter {
+            g,
+            current: start,
+            steps: 0,
+            rotor: vec![0; g.n()],
+        }
     }
 
     /// Current rotor position (next port index) of `v`.
@@ -62,7 +67,12 @@ impl<'g> WalkProcess for RotorRouter<'g> {
         let to = self.g.arc_target(arc);
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(self.g.arc_edge(arc)), kind: StepKind::Red }
+        Step {
+            from: v,
+            to,
+            edge: Some(self.g.arc_edge(arc)),
+            kind: StepKind::Red,
+        }
     }
 }
 
@@ -136,6 +146,9 @@ mod tests {
                 .unwrap();
             arc_used[arc] = true;
         }
-        assert!(arc_used.iter().all(|&u| u), "every arc is used in O(mD) steps");
+        assert!(
+            arc_used.iter().all(|&u| u),
+            "every arc is used in O(mD) steps"
+        );
     }
 }

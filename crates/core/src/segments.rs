@@ -37,12 +37,18 @@ pub struct PhaseTrace {
 impl PhaseTrace {
     /// Number of blue phases.
     pub fn blue_phase_count(&self) -> usize {
-        self.phases.iter().filter(|p| p.kind == StepKind::Blue).count()
+        self.phases
+            .iter()
+            .filter(|p| p.kind == StepKind::Blue)
+            .count()
     }
 
     /// Number of red phases.
     pub fn red_phase_count(&self) -> usize {
-        self.phases.iter().filter(|p| p.kind == StepKind::Red).count()
+        self.phases
+            .iter()
+            .filter(|p| p.kind == StepKind::Red)
+            .count()
     }
 
     /// Length of the first blue phase (0 if none — cannot happen on a
@@ -56,12 +62,20 @@ impl PhaseTrace {
 
     /// Lengths of all blue phases.
     pub fn blue_lengths(&self) -> Vec<u64> {
-        self.phases.iter().filter(|p| p.kind == StepKind::Blue).map(|p| p.length).collect()
+        self.phases
+            .iter()
+            .filter(|p| p.kind == StepKind::Blue)
+            .map(|p| p.length)
+            .collect()
     }
 
     /// Total blue steps (`t_B` of Observation 12).
     pub fn total_blue(&self) -> u64 {
-        self.phases.iter().filter(|p| p.kind == StepKind::Blue).map(|p| p.length).sum()
+        self.phases
+            .iter()
+            .filter(|p| p.kind == StepKind::Blue)
+            .map(|p| p.length)
+            .sum()
     }
 
     /// `true` if every *closed* blue phase ended at its start vertex
@@ -183,7 +197,11 @@ mod tests {
         let mut walk = EProcess::new(&g, 0, UniformRule::new());
         let trace = trace_phases(&mut walk, 5, &mut rng);
         assert_eq!(trace.steps, 5);
-        assert_eq!(trace.total_blue(), 5, "first 5 steps are blue on a fresh even graph");
+        assert_eq!(
+            trace.total_blue(),
+            5,
+            "first 5 steps are blue on a fresh even graph"
+        );
     }
 
     #[test]

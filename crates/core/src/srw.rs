@@ -20,7 +20,11 @@ impl<'g> SimpleRandomWalk<'g> {
     /// Panics if `start >= g.n()`.
     pub fn new(g: &'g Graph, start: Vertex) -> SimpleRandomWalk<'g> {
         assert!(start < g.n(), "start vertex {start} out of range");
-        SimpleRandomWalk { g, current: start, steps: 0 }
+        SimpleRandomWalk {
+            g,
+            current: start,
+            steps: 0,
+        }
     }
 }
 
@@ -45,7 +49,12 @@ impl<'g> WalkProcess for SimpleRandomWalk<'g> {
         let to = self.g.arc_target(arc);
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(self.g.arc_edge(arc)), kind: StepKind::Red }
+        Step {
+            from: v,
+            to,
+            edge: Some(self.g.arc_edge(arc)),
+            kind: StepKind::Red,
+        }
     }
 }
 
@@ -67,7 +76,11 @@ impl<'g> LazyRandomWalk<'g> {
     /// Panics if `start >= g.n()`.
     pub fn new(g: &'g Graph, start: Vertex) -> LazyRandomWalk<'g> {
         assert!(start < g.n(), "start vertex {start} out of range");
-        LazyRandomWalk { g, current: start, steps: 0 }
+        LazyRandomWalk {
+            g,
+            current: start,
+            steps: 0,
+        }
     }
 }
 
@@ -88,14 +101,24 @@ impl<'g> WalkProcess for LazyRandomWalk<'g> {
         let v = self.current;
         self.steps += 1;
         if rng.gen_bool(0.5) {
-            return Step { from: v, to: v, edge: None, kind: StepKind::Red };
+            return Step {
+                from: v,
+                to: v,
+                edge: None,
+                kind: StepKind::Red,
+            };
         }
         let d = self.g.degree(v);
         assert!(d > 0, "random walk stuck at isolated vertex {v}");
         let arc = self.g.arc_range(v).start + rng.gen_range(0..d);
         let to = self.g.arc_target(arc);
         self.current = to;
-        Step { from: v, to, edge: Some(self.g.arc_edge(arc)), kind: StepKind::Red }
+        Step {
+            from: v,
+            to,
+            edge: Some(self.g.arc_edge(arc)),
+            kind: StepKind::Red,
+        }
     }
 }
 
@@ -135,7 +158,12 @@ impl<'g> WeightedRandomWalk<'g> {
                 cumulative[a] = acc;
             }
         }
-        WeightedRandomWalk { g, current: start, steps: 0, cumulative }
+        WeightedRandomWalk {
+            g,
+            current: start,
+            steps: 0,
+            cumulative,
+        }
     }
 }
 
@@ -155,7 +183,10 @@ impl<'g> WalkProcess for WeightedRandomWalk<'g> {
     fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
         let v = self.current;
         let range = self.g.arc_range(v);
-        assert!(!range.is_empty(), "random walk stuck at isolated vertex {v}");
+        assert!(
+            !range.is_empty(),
+            "random walk stuck at isolated vertex {v}"
+        );
         let total = self.cumulative[range.end - 1];
         let target = rng.gen_range(0.0..total);
         // Binary search the cumulative weights within the vertex range.
@@ -165,7 +196,12 @@ impl<'g> WalkProcess for WeightedRandomWalk<'g> {
         let to = self.g.arc_target(arc);
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(self.g.arc_edge(arc)), kind: StepKind::Red }
+        Step {
+            from: v,
+            to,
+            edge: Some(self.g.arc_edge(arc)),
+            kind: StepKind::Red,
+        }
     }
 }
 
@@ -213,10 +249,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut w = LazyRandomWalk::new(&g, 0);
         let t = 20_000;
-        let holds = (0..t).filter(|_| {
-            let s = w.advance(&mut rng);
-            s.from == s.to
-        }).count();
+        let holds = (0..t)
+            .filter(|_| {
+                let s = w.advance(&mut rng);
+                s.from == s.to
+            })
+            .count();
         let frac = holds as f64 / t as f64;
         assert!((frac - 0.5).abs() < 0.02, "hold fraction {frac}");
     }

@@ -87,9 +87,15 @@ impl<'g> WalkProcess for VProcess<'g> {
             }
         }
         let (arc, kind) = if self.scratch.is_empty() {
-            (self.g.arc_range(v).start + rng.gen_range(0..d), StepKind::Red)
+            (
+                self.g.arc_range(v).start + rng.gen_range(0..d),
+                StepKind::Red,
+            )
         } else {
-            (self.scratch[rng.gen_range(0..self.scratch.len())], StepKind::Blue)
+            (
+                self.scratch[rng.gen_range(0..self.scratch.len())],
+                StepKind::Blue,
+            )
         };
         let to = self.g.arc_target(arc);
         if !self.visited[to] {
@@ -98,7 +104,12 @@ impl<'g> WalkProcess for VProcess<'g> {
         }
         self.current = to;
         self.steps += 1;
-        Step { from: v, to, edge: Some(self.g.arc_edge(arc)), kind }
+        Step {
+            from: v,
+            to,
+            edge: Some(self.g.arc_edge(arc)),
+            kind,
+        }
     }
 }
 

@@ -1,0 +1,289 @@
+//! The unified `eproc` CLI: run, list and compare ensemble experiments.
+//!
+//! ```text
+//! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
+//!                  [--trials N] [--json PATH] [--csv PATH]
+//! eproc list
+//! eproc compare --graph G [--graph G ...] --process P[,P...]
+//!               [--trials N] [--target T] [--cap-nlogn F] [--seed N]
+//!               [--threads N] [--json PATH]
+//! ```
+
+use eproc_engine::builtin;
+use eproc_engine::executor::{run, RunOptions};
+use eproc_engine::report::{save_json, to_text_table};
+use eproc_engine::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, Scale, Target};
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "eproc — parallel ensemble-simulation engine for walk processes\n\
+         \n\
+         usage:\n\
+         \x20 eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]\n\
+         \x20                  [--trials N] [--json PATH] [--csv PATH]\n\
+         \x20 eproc list\n\
+         \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
+         \x20               [--trials N] [--target T] [--cap-nlogn F]\n\
+         \x20               [--seed N] [--threads N] [--json PATH]\n\
+         \n\
+         graph syntax   regular:<n>,<d> | lps:<p>,<q> | geometric:<n>[,factor] |\n\
+         \x20              hypercube:<dim> | torus:<w>,<h> | cycle:<n> | complete:<n>\n\
+         process syntax eprocess[:rule] | srw | lazy | weighted | rotor | rwc:<d> |\n\
+         \x20              oldest | leastused | vprocess\n\
+         target syntax  vertex | edge | both | blanket:<delta>\n\
+         \n\
+         built-in specs: {}",
+        builtin::names().join(", ")
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[derive(Debug, Default)]
+struct CommonFlags {
+    scale: Option<Scale>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    trials: Option<usize>,
+    json: Option<PathBuf>,
+    csv: Option<PathBuf>,
+}
+
+fn parse_u64(flag: &str, v: Option<String>) -> u64 {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs an integer")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage("missing command"));
+    match command.as_str() {
+        "run" => cmd_run(args),
+        "list" => cmd_list(),
+        "compare" => cmd_compare(args),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_list() {
+    let mut table = eproc_stats::TextTable::new(vec![
+        "spec",
+        "graphs",
+        "processes",
+        "trials",
+        "target",
+        "description",
+    ]);
+    for name in builtin::names() {
+        let s = builtin::spec(name, Scale::Quick).expect("listed specs exist");
+        table.push_row(vec![
+            name.to_string(),
+            s.graphs.len().to_string(),
+            s.processes.len().to_string(),
+            s.trials.to_string(),
+            s.target.label(),
+            s.description.clone(),
+        ]);
+    }
+    println!("{table}");
+    println!("run one with: eproc run <spec> [--scale quick|paper] [--threads N]");
+}
+
+fn parse_common(
+    flag: &str,
+    args: &mut impl Iterator<Item = String>,
+    flags: &mut CommonFlags,
+) -> bool {
+    match flag {
+        "--scale" => {
+            let v = args.next().unwrap_or_default();
+            flags.scale = Some(Scale::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
+        }
+        "--seed" => flags.seed = Some(parse_u64("--seed", args.next())),
+        "--threads" => {
+            let t = parse_u64("--threads", args.next()) as usize;
+            if t == 0 {
+                usage("--threads must be at least 1");
+            }
+            flags.threads = Some(t);
+        }
+        "--trials" => {
+            let t = parse_u64("--trials", args.next()) as usize;
+            if t == 0 {
+                usage("--trials must be at least 1");
+            }
+            flags.trials = Some(t);
+        }
+        "--json" => flags.json = Some(PathBuf::from(require_path("--json", args.next()))),
+        "--csv" => flags.csv = Some(PathBuf::from(require_path("--csv", args.next()))),
+        _ => return false,
+    }
+    true
+}
+
+/// Validates a path-valued flag eagerly, so a forgotten value fails here
+/// rather than after the whole experiment has run. A following flag
+/// (`--json --threads …`) counts as a missing value.
+fn require_path(flag: &str, v: Option<String>) -> String {
+    match v {
+        Some(p) if !p.is_empty() && !p.starts_with('-') => p,
+        _ => usage(&format!("{flag} needs a path")),
+    }
+}
+
+fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
+    if let Some(trials) = flags.trials {
+        spec.trials = trials;
+    }
+    let mut opts = RunOptions::auto();
+    if let Some(threads) = flags.threads {
+        opts.threads = threads;
+    }
+    if let Some(seed) = flags.seed {
+        opts.base_seed = seed;
+    }
+    eprintln!(
+        "running {:?}: {} jobs ({} graphs x {} processes x {} trials) on {} threads, seed {}",
+        spec.name,
+        spec.total_jobs(),
+        spec.graphs.len(),
+        spec.processes.len(),
+        spec.trials,
+        opts.threads,
+        opts.base_seed
+    );
+    let started = Instant::now();
+    let report = match run(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    let elapsed = started.elapsed();
+    println!(
+        "{}: {} ({})\n",
+        report.name,
+        report.description,
+        report.target.label()
+    );
+    let table = to_text_table(&report);
+    println!("{table}");
+    match save_json(&report, flags.json.as_deref()) {
+        Ok(path) => println!("json: {}", path.display()),
+        Err(e) => {
+            eprintln!("error writing json artifact: {e}");
+            exit(1);
+        }
+    }
+    if let Some(csv) = &flags.csv {
+        if let Some(parent) = csv.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(csv, table.to_csv()) {
+            Ok(()) => println!("csv: {}", csv.display()),
+            Err(e) => {
+                eprintln!("error writing csv artifact: {e}");
+                exit(1);
+            }
+        }
+    }
+    eprintln!("wall time: {:.2}s", elapsed.as_secs_f64());
+}
+
+fn cmd_run(mut args: impl Iterator<Item = String>) {
+    let mut name: Option<String> = None;
+    let mut flags = CommonFlags::default();
+    while let Some(arg) = args.next() {
+        if parse_common(&arg, &mut args, &mut flags) {
+            continue;
+        }
+        match arg.as_str() {
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other:?}")),
+            other => {
+                if name.replace(other.to_string()).is_some() {
+                    usage("run takes exactly one spec name");
+                }
+            }
+        }
+    }
+    let name = name.unwrap_or_else(|| usage("run needs a spec name"));
+    let scale = flags.scale.unwrap_or(Scale::Quick);
+    let spec = builtin::spec(&name, scale).unwrap_or_else(|| {
+        usage(&format!(
+            "unknown spec {name:?}; available: {}",
+            builtin::names().join(", ")
+        ))
+    });
+    execute(spec, &flags);
+}
+
+fn cmd_compare(mut args: impl Iterator<Item = String>) {
+    let mut graphs: Vec<GraphSpec> = Vec::new();
+    let mut processes: Vec<ProcessSpec> = Vec::new();
+    let mut target = Target::VertexCover;
+    let mut cap = CapSpec::Auto;
+    let mut flags = CommonFlags::default();
+    while let Some(arg) = args.next() {
+        if parse_common(&arg, &mut args, &mut flags) {
+            continue;
+        }
+        match arg.as_str() {
+            "--graph" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--graph needs a value"));
+                for part in v.split(';') {
+                    graphs.push(GraphSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())));
+                }
+            }
+            "--process" | "--processes" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--process needs a value"));
+                for part in v.split(',') {
+                    processes
+                        .push(ProcessSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())));
+                }
+            }
+            "--target" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--target needs a value"));
+                target = Target::parse(&v).unwrap_or_else(|e| usage(&e.to_string()));
+            }
+            "--cap-nlogn" => {
+                let v = args.next().unwrap_or_default();
+                let f: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--cap-nlogn needs a number"));
+                cap = CapSpec::NLogN(f);
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if graphs.is_empty() {
+        usage("compare needs at least one --graph");
+    }
+    if processes.is_empty() {
+        usage("compare needs at least one --process");
+    }
+    let spec = ExperimentSpec {
+        name: "compare".into(),
+        description: "ad-hoc comparison built from CLI flags".into(),
+        graphs,
+        processes,
+        trials: flags.trials.unwrap_or(5),
+        target,
+        cap,
+    };
+    execute(spec, &flags);
+}

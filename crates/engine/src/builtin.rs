@@ -1,0 +1,254 @@
+//! Built-in experiment specs reproducing the paper's headline tables.
+//!
+//! These are consumed by the `eproc` CLI (`eproc run <name>`) and by the
+//! thin `table_*` wrapper binaries in `eproc-bench`. Every spec is a pure
+//! function of the [`Scale`], so `quick` and `paper` runs of the same name
+//! are distinct but individually reproducible.
+
+use crate::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Scale, Target};
+
+/// Names of all built-in specs, in display order.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "comparison",
+        "theorem1",
+        "rules",
+        "lowerbound",
+        "hypercube",
+        "blanket",
+    ]
+}
+
+/// Resolves a built-in spec by name at the given scale.
+pub fn spec(name: &str, scale: Scale) -> Option<ExperimentSpec> {
+    match name {
+        "comparison" => Some(comparison(scale)),
+        "theorem1" => Some(theorem1(scale)),
+        "rules" => Some(rules(scale)),
+        "lowerbound" => Some(lowerbound(scale)),
+        "hypercube" => Some(hypercube(scale)),
+        "blanket" => Some(blanket(scale)),
+        _ => None,
+    }
+}
+
+/// **T-cmp** — the E-process against every related process from §1 (SRW,
+/// rotor-router, RWC(2), Oldest-First, Least-Used-First) on an even-degree
+/// expander, a torus and a random geometric graph.
+pub fn comparison(scale: Scale) -> ExperimentSpec {
+    let (reg_n, side, geo_n) = match scale {
+        Scale::Quick => (4_096, 32, 2_000),
+        Scale::Paper => (65_536, 128, 20_000),
+    };
+    ExperimentSpec {
+        name: "comparison".into(),
+        description: "E-process vs related processes from §1: mean vertex cover time".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: reg_n, d: 4 },
+            GraphSpec::Torus { w: side, h: side },
+            GraphSpec::Geometric {
+                n: geo_n,
+                radius_factor: 1.5,
+            },
+        ],
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+            ProcessSpec::RotorRouter,
+            ProcessSpec::Rwc { d: 2 },
+            ProcessSpec::OldestFirst,
+            ProcessSpec::LeastUsedFirst,
+        ],
+        trials: 5,
+        target: Target::VertexCover,
+        cap: CapSpec::NLogN(50_000.0),
+    }
+}
+
+/// **T-thm1** — Theorem 1's `CV = O(n + n log n / (ℓ(1−λmax)))` sweep over
+/// even-degree random regular graphs and LPS Ramanujan graphs. The engine
+/// measures the cover times; the `table_theorem1` wrapper adds the
+/// spectral-gap and bound columns.
+pub fn theorem1(scale: Scale) -> ExperimentSpec {
+    let regular_sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 4_000, 16_000],
+        Scale::Paper => vec![4_000, 16_000, 64_000, 256_000],
+    };
+    let lps_params: Vec<(u64, u64)> = match scale {
+        Scale::Quick => vec![(5, 13), (5, 17)],
+        Scale::Paper => vec![(5, 13), (5, 17), (5, 29)],
+    };
+    let mut graphs = Vec::new();
+    for &d in &[4usize, 6] {
+        for &n in &regular_sizes {
+            graphs.push(GraphSpec::Regular { n, d });
+        }
+    }
+    for &(p, q) in &lps_params {
+        graphs.push(GraphSpec::Lps { p, q });
+    }
+    ExperimentSpec {
+        name: "theorem1".into(),
+        description: "Theorem 1: E-process cover time on even-degree expanders".into(),
+        graphs,
+        processes: vec![ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        }],
+        trials: 5,
+        target: Target::VertexCover,
+        cap: CapSpec::NLogN(500.0),
+    }
+}
+
+/// **T-rules** — rule independence: the E-process under every rule `A`
+/// (uniform, first/last port, round-robin, two adversaries) covers in
+/// `Θ(n)` on even-degree expanders.
+pub fn rules(scale: Scale) -> ExperimentSpec {
+    let reg_n = match scale {
+        Scale::Quick => 4_000,
+        Scale::Paper => 64_000,
+    };
+    ExperimentSpec {
+        name: "rules".into(),
+        description: "Theorem 1 rule independence: every rule A covers in Θ(n)".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: reg_n, d: 4 },
+            GraphSpec::Lps { p: 5, q: 13 },
+        ],
+        processes: RuleSpec::all()
+            .into_iter()
+            .map(|rule| ProcessSpec::EProcess { rule })
+            .collect(),
+        trials: 5,
+        target: Target::VertexCover,
+        cap: CapSpec::NLogN(2_000.0),
+    }
+}
+
+/// **T-lb** — Theorem 5 flavour: the weighted random walk (whose cover
+/// time is `Ω(n log n)`) against the E-process and SRW on even-degree
+/// random regular graphs.
+pub fn lowerbound(scale: Scale) -> ExperimentSpec {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 2_000, 4_000],
+        Scale::Paper => vec![4_000, 16_000, 64_000],
+    };
+    ExperimentSpec {
+        name: "lowerbound".into(),
+        description: "Theorem 5 flavour: weighted SRW Ω(n log n) vs E-process Θ(n)".into(),
+        graphs: sizes
+            .into_iter()
+            .map(|n| GraphSpec::Regular { n, d: 4 })
+            .collect(),
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+            ProcessSpec::WeightedSrw,
+        ],
+        trials: 5,
+        target: Target::VertexCover,
+        cap: CapSpec::NLogN(5_000.0),
+    }
+}
+
+/// **T-hyp** — edge cover on hypercubes, where the paper's edge-cover
+/// sandwich (3) is tight while the Orenshtein–Shinkar bound (2) is not.
+pub fn hypercube(scale: Scale) -> ExperimentSpec {
+    let dims: Vec<usize> = match scale {
+        Scale::Quick => vec![6, 8, 10],
+        Scale::Paper => vec![10, 12, 14],
+    };
+    ExperimentSpec {
+        name: "hypercube".into(),
+        description: "Edge cover time of the E-process and SRW on hypercubes".into(),
+        graphs: dims
+            .into_iter()
+            .map(|dim| GraphSpec::Hypercube { dim })
+            .collect(),
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 5,
+        target: Target::EdgeCover,
+        cap: CapSpec::NLogN(50_000.0),
+    }
+}
+
+/// **T-bl** — blanket time `τ_bl(0.4)` of the E-process and SRW on an
+/// even-degree expander (Ding–Lee–Peres, §1 of the paper).
+pub fn blanket(scale: Scale) -> ExperimentSpec {
+    let n = match scale {
+        Scale::Quick => 2_048,
+        Scale::Paper => 16_384,
+    };
+    ExperimentSpec {
+        name: "blanket".into(),
+        description: "Blanket time τ_bl(0.4) on a random 4-regular graph".into(),
+        graphs: vec![GraphSpec::Regular { n, d: 4 }],
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 3,
+        target: Target::Blanket { delta: 0.4 },
+        cap: CapSpec::NLogN(50_000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_validates() {
+        for name in names() {
+            for scale in [Scale::Quick, Scale::Paper] {
+                let s = spec(name, scale).unwrap_or_else(|| panic!("missing spec {name}"));
+                assert_eq!(s.name, name);
+                s.validate()
+                    .unwrap_or_else(|e| panic!("spec {name} invalid: {e}"));
+                assert!(!s.description.is_empty());
+            }
+        }
+        assert!(spec("nonsense", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn comparison_matches_legacy_table_grid() {
+        let s = comparison(Scale::Quick);
+        assert_eq!(s.graphs.len(), 3);
+        assert_eq!(s.processes.len(), 6);
+        assert_eq!(s.trials, 5);
+        assert_eq!(s.total_jobs(), 90);
+    }
+
+    #[test]
+    fn rules_covers_all_rules() {
+        let s = rules(Scale::Quick);
+        assert_eq!(s.processes.len(), RuleSpec::all().len());
+    }
+
+    #[test]
+    fn paper_scale_is_strictly_larger() {
+        let q = comparison(Scale::Quick);
+        let p = comparison(Scale::Paper);
+        let size = |g: &GraphSpec| match *g {
+            GraphSpec::Regular { n, .. } => n,
+            GraphSpec::Torus { w, h } => w * h,
+            GraphSpec::Geometric { n, .. } => n,
+            _ => 0,
+        };
+        for (a, b) in q.graphs.iter().zip(&p.graphs) {
+            assert!(size(a) < size(b));
+        }
+    }
+}

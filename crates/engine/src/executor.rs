@@ -1,0 +1,503 @@
+//! Work-stealing parallel execution of [`ExperimentSpec`]s.
+//!
+//! Jobs — one per (graph, process, trial) — are pulled from a shared
+//! atomic index by scoped worker threads, so load-balancing needs no
+//! queues and no extra dependencies. Every trial derives its own RNG
+//! stream from [`SeedSequence`] keyed by the trial's grid coordinates, and
+//! aggregation folds trials in coordinate order, which makes the
+//! aggregate report **bit-identical for any thread count**.
+
+use crate::spec::{ExperimentSpec, SpecError, Target};
+use eproc_core::cover::{blanket_time, run_cover};
+use eproc_core::WalkProcess;
+use eproc_graphs::Graph;
+use eproc_stats::{OnlineStats, SeedSequence};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Seed-stream tag for graph construction.
+const GRAPH_STREAM: u64 = 0;
+/// Seed-stream tag for trial RNGs.
+const TRIAL_STREAM: u64 = 1;
+
+/// Execution options independent of the experiment itself.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Worker threads (`0` is rejected; see [`RunOptions::auto`]).
+    pub threads: usize,
+    /// Base seed: all graph and trial seeds derive from it.
+    pub base_seed: u64,
+}
+
+impl RunOptions {
+    /// Default options: all available cores, base seed `12345`.
+    pub fn auto() -> RunOptions {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        RunOptions {
+            threads,
+            base_seed: 12345,
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions::auto()
+    }
+}
+
+/// Execution failure.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// A graph family could not be constructed.
+    Graph {
+        /// Label of the failing family.
+        graph: String,
+        /// Underlying generator error.
+        source: eproc_graphs::GraphError,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Spec(e) => write!(f, "invalid spec: {e}"),
+            EngineError::Graph { graph, source } => {
+                write!(f, "building graph {graph}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> EngineError {
+        EngineError::Spec(e)
+    }
+}
+
+/// Everything measured in one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Steps to reach the target, if reached within the cap.
+    pub steps_to_target: Option<u64>,
+    /// Steps actually taken.
+    pub steps: u64,
+    /// Blue (unvisited-edge-preferring) transitions; `0` for blanket runs,
+    /// whose harness does not classify steps.
+    pub blue_steps: u64,
+    /// Red transitions; `0` for blanket runs.
+    pub red_steps: u64,
+}
+
+/// Aggregated statistics for one (graph, process) cell.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Graph family label.
+    pub graph: String,
+    /// Vertex count of the built graph.
+    pub n: usize,
+    /// Edge count of the built graph.
+    pub m: usize,
+    /// Process label.
+    pub process: String,
+    /// Trials attempted.
+    pub trials: usize,
+    /// Trials that reached the target within the cap.
+    pub completed: usize,
+    /// Streaming statistics over steps-to-target of completed trials.
+    pub steps: OnlineStats,
+    /// Streaming statistics over the per-trial blue-step fraction
+    /// (`blue / (blue + red)`); empty for blanket targets.
+    pub blue_fraction: OnlineStats,
+}
+
+/// The full result of running one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Spec name.
+    pub name: String,
+    /// Spec description.
+    pub description: String,
+    /// Target measured.
+    pub target: Target,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed used.
+    pub base_seed: u64,
+    /// One summary per (graph, process) pair, in grid order.
+    pub cells: Vec<CellSummary>,
+}
+
+/// The seed a graph at grid index `gi` is built from. Exposed so thin
+/// wrappers (e.g. `table_theorem1`) can rebuild the *identical* graph for
+/// per-graph enrichment columns.
+pub fn graph_seed(base_seed: u64, graph_index: usize) -> u64 {
+    SeedSequence::new(base_seed).derive(&[GRAPH_STREAM, graph_index as u64])
+}
+
+/// The seed for trial `t` of cell `(gi, pi)`.
+pub fn trial_seed(base_seed: u64, graph_index: usize, process_index: usize, trial: usize) -> u64 {
+    SeedSequence::new(base_seed).derive(&[
+        TRIAL_STREAM,
+        graph_index as u64,
+        process_index as u64,
+        trial as u64,
+    ])
+}
+
+/// Builds every graph in the spec deterministically from `base_seed`.
+pub fn build_graphs(spec: &ExperimentSpec, base_seed: u64) -> Result<Vec<Graph>, EngineError> {
+    spec.graphs
+        .iter()
+        .enumerate()
+        .map(|(gi, gs)| {
+            gs.build(graph_seed(base_seed, gi))
+                .map_err(|source| EngineError::Graph {
+                    graph: gs.label(),
+                    source,
+                })
+        })
+        .collect()
+}
+
+fn run_trial(spec: &ExperimentSpec, g: &Graph, process_index: usize, seed: u64) -> TrialOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut walk = spec.processes[process_index].build(g, 0);
+    let cap = spec.cap.resolve(g);
+    match spec.target {
+        Target::Blanket { delta } => {
+            let reached = blanket_time(&mut *walk, delta, cap, &mut rng);
+            TrialOutcome {
+                steps_to_target: reached,
+                steps: walk.steps(),
+                blue_steps: 0,
+                red_steps: 0,
+            }
+        }
+        _ => {
+            let ct = spec
+                .target
+                .cover_target()
+                .expect("non-blanket target is a cover target");
+            let run = run_cover(&mut *walk, ct, cap, &mut rng);
+            let steps_to_target = match spec.target {
+                Target::VertexCover => run.steps_to_vertex_cover,
+                Target::EdgeCover => run.steps_to_edge_cover,
+                Target::BothCover => run
+                    .steps_to_vertex_cover
+                    .and(run.steps_to_edge_cover)
+                    .map(|_| run.steps),
+                Target::Blanket { .. } => unreachable!(),
+            };
+            TrialOutcome {
+                steps_to_target,
+                steps: run.steps,
+                blue_steps: run.blue_steps,
+                red_steps: run.red_steps,
+            }
+        }
+    }
+}
+
+/// Runs the experiment on `opts.threads` worker threads.
+///
+/// # Determinism
+///
+/// The report is a pure function of `(spec, opts.base_seed)`: graphs are
+/// built from per-graph derived seeds, each trial owns an RNG derived from
+/// its grid coordinates, and aggregation folds outcomes in coordinate
+/// order. Thread count affects wall-clock time only.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the spec is invalid or a graph cannot be
+/// built.
+///
+/// # Panics
+///
+/// Panics if `opts.threads == 0` or a worker thread panics.
+pub fn run(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ExperimentReport, EngineError> {
+    let graphs = build_graphs(spec, opts.base_seed)?;
+    run_on_graphs(spec, opts, &graphs)
+}
+
+/// Like [`run`], but on graphs already built with [`build_graphs`] for the
+/// same `(spec, opts.base_seed)` — for wrappers that also need the graphs
+/// themselves (e.g. per-graph enrichment columns) without building every
+/// family twice.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the spec is invalid.
+///
+/// # Panics
+///
+/// Panics if `opts.threads == 0`, `graphs.len() != spec.graphs.len()`, or
+/// a worker thread panics.
+pub fn run_on_graphs(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    graphs: &[Graph],
+) -> Result<ExperimentReport, EngineError> {
+    assert!(opts.threads > 0, "need at least one worker thread");
+    assert_eq!(
+        graphs.len(),
+        spec.graphs.len(),
+        "graphs do not match the spec grid"
+    );
+    spec.validate()?;
+
+    let n_proc = spec.processes.len();
+    let trials = spec.trials;
+    let total = spec.total_jobs();
+    let jobs_per_graph = n_proc * trials;
+
+    let next = AtomicUsize::new(0);
+    let workers = opts.threads.min(total.max(1));
+    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; total];
+    let collected: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let graphs = &graphs;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, TrialOutcome)> = Vec::new();
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= total {
+                            break;
+                        }
+                        let gi = job / jobs_per_graph;
+                        let rest = job % jobs_per_graph;
+                        let pi = rest / trials;
+                        let t = rest % trials;
+                        let seed = trial_seed(opts.base_seed, gi, pi, t);
+                        local.push((job, run_trial(spec, &graphs[gi], pi, seed)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    for (job, outcome) in collected.into_iter().flatten() {
+        outcomes[job] = Some(outcome);
+    }
+
+    // Deterministic aggregation: cells in grid order, trials in index order.
+    let mut cells = Vec::with_capacity(graphs.len() * n_proc);
+    for (gi, g) in graphs.iter().enumerate() {
+        for (pi, ps) in spec.processes.iter().enumerate() {
+            let mut steps = OnlineStats::new();
+            let mut blue_fraction = OnlineStats::new();
+            let mut completed = 0usize;
+            for t in 0..trials {
+                let job = gi * jobs_per_graph + pi * trials + t;
+                let outcome = outcomes[job].expect("every job index was executed");
+                if let Some(s) = outcome.steps_to_target {
+                    steps.push(s as f64);
+                    completed += 1;
+                }
+                let classified = outcome.blue_steps + outcome.red_steps;
+                if classified > 0 {
+                    blue_fraction.push(outcome.blue_steps as f64 / classified as f64);
+                }
+            }
+            cells.push(CellSummary {
+                graph: spec.graphs[gi].label(),
+                n: g.n(),
+                m: g.m(),
+                process: ps.label(),
+                trials,
+                completed,
+                steps,
+                blue_fraction,
+            });
+        }
+    }
+    Ok(ExperimentReport {
+        name: spec.name.clone(),
+        description: spec.description.clone(),
+        target: spec.target,
+        trials,
+        base_seed: opts.base_seed,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CapSpec, GraphSpec, ProcessSpec, RuleSpec};
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "tiny".into(),
+            description: "unit-test spec".into(),
+            graphs: vec![GraphSpec::Cycle { n: 24 }, GraphSpec::Torus { w: 5, h: 5 }],
+            processes: vec![
+                ProcessSpec::EProcess {
+                    rule: RuleSpec::Uniform,
+                },
+                ProcessSpec::Srw,
+            ],
+            trials: 3,
+            target: Target::VertexCover,
+            cap: CapSpec::Auto,
+        }
+    }
+
+    #[test]
+    fn run_produces_grid_ordered_cells() {
+        let report = run(
+            &tiny_spec(),
+            &RunOptions {
+                threads: 2,
+                base_seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cells[0].graph, "cycle n=24");
+        assert_eq!(report.cells[0].process, "e-process(uniform)");
+        assert_eq!(report.cells[1].process, "srw");
+        assert_eq!(report.cells[2].graph, "torus 5x5");
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 3);
+            assert_eq!(
+                cell.completed, 3,
+                "{}/{} failed to cover",
+                cell.graph, cell.process
+            );
+            assert!(cell.steps.mean() >= (cell.n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn eprocess_on_cycle_covers_in_exactly_n_minus_1() {
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Cycle { n: 24 }],
+            processes: vec![ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            }],
+            ..tiny_spec()
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                base_seed: 5,
+            },
+        )
+        .unwrap();
+        let cell = &report.cells[0];
+        assert_eq!(cell.steps.mean(), 23.0);
+        assert_eq!(cell.steps.min(), 23.0);
+        assert_eq!(cell.steps.max(), 23.0);
+        // The blue walk never takes a red step before covering a cycle.
+        assert_eq!(cell.blue_fraction.mean(), 1.0);
+    }
+
+    #[test]
+    fn capped_runs_report_incomplete() {
+        let spec = ExperimentSpec {
+            cap: CapSpec::Absolute(3),
+            ..tiny_spec()
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                base_seed: 2,
+            },
+        )
+        .unwrap();
+        for cell in &report.cells {
+            assert_eq!(cell.completed, 0);
+            assert_eq!(cell.steps.count(), 0);
+        }
+    }
+
+    #[test]
+    fn blanket_target_runs() {
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Complete { n: 8 }],
+            processes: vec![ProcessSpec::Srw],
+            target: Target::Blanket { delta: 0.3 },
+            cap: CapSpec::Absolute(1_000_000),
+            trials: 2,
+            ..tiny_spec()
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                base_seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cells[0].completed, 2);
+        // Blanket runs do not classify steps.
+        assert_eq!(report.cells[0].blue_fraction.count(), 0);
+    }
+
+    #[test]
+    fn seeds_differ_across_grid_coordinates() {
+        let a = trial_seed(1, 0, 0, 0);
+        let b = trial_seed(1, 0, 0, 1);
+        let c = trial_seed(1, 0, 1, 0);
+        let d = trial_seed(1, 1, 0, 0);
+        let e = graph_seed(1, 0);
+        let all = [a, b, c, d, e];
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "seed collision between {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let mut spec = tiny_spec();
+        spec.processes.clear();
+        assert!(matches!(
+            run(
+                &spec,
+                &RunOptions {
+                    threads: 1,
+                    base_seed: 1
+                }
+            ),
+            Err(EngineError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_fine() {
+        let spec = ExperimentSpec {
+            trials: 2,
+            ..tiny_spec()
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 64,
+                base_seed: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.cells.iter().all(|c| c.completed == 2));
+    }
+}

@@ -1,0 +1,56 @@
+//! Parallel ensemble-simulation engine for the `eproc` workspace.
+//!
+//! The paper's claims — Theorem 1's `Θ(n)` cover time, the §5 star census,
+//! the Theorem 5 lower bound — are statements about **ensembles** of runs
+//! over (graph × process × seed) grids. This crate provides one shared
+//! execution subsystem for all of them, replacing the hand-rolled
+//! sequential trial loops of the `table_*` binaries:
+//!
+//! * [`spec`] — declarative experiment descriptions: a [`spec::GraphSpec`]
+//!   grid (random regular, LPS Ramanujan, geometric, hypercube, torus, …),
+//!   a [`spec::ProcessSpec`] grid (E-process rules, SRW variants,
+//!   rotor-router, RWC(d), locally fair walks), trial counts, and a
+//!   [`spec::Target`] (vertex/edge cover or blanket time);
+//! * [`executor`] — a work-stealing thread-pool executor (scoped threads
+//!   over a shared atomic job index) with deterministic per-trial seeding
+//!   derived from [`eproc_stats::SeedSequence`], so aggregate results are
+//!   **bit-identical regardless of thread count**;
+//! * [`report`] — streaming aggregation into [`eproc_stats::OnlineStats`]
+//!   summaries with plain-text table, CSV and JSON emitters;
+//! * [`builtin`] — named specs reproducing the paper's headline tables
+//!   (`comparison`, `theorem1`, `rules`, …), consumed by both the `eproc`
+//!   CLI binary and the thin `table_*` wrappers in `eproc-bench`.
+//!
+//! # Example
+//!
+//! ```
+//! use eproc_engine::executor::{run, RunOptions};
+//! use eproc_engine::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target};
+//!
+//! let spec = ExperimentSpec {
+//!     name: "demo".into(),
+//!     description: "E-process vs SRW on a small torus".into(),
+//!     graphs: vec![GraphSpec::Torus { w: 8, h: 8 }],
+//!     processes: vec![
+//!         ProcessSpec::EProcess { rule: RuleSpec::Uniform },
+//!         ProcessSpec::Srw,
+//!     ],
+//!     trials: 4,
+//!     target: Target::VertexCover,
+//!     cap: CapSpec::Auto,
+//! };
+//! let report = run(&spec, &RunOptions { threads: 2, base_seed: 7 }).unwrap();
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.cells.iter().all(|c| c.completed == 4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod executor;
+pub mod report;
+pub mod spec;
+
+pub use executor::{run, ExperimentReport, RunOptions};
+pub use spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Scale, Target};

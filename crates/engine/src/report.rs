@@ -1,0 +1,307 @@
+//! Rendering [`ExperimentReport`]s: aligned text tables, CSV and JSON.
+//!
+//! All emitters are pure functions of the report, so two runs that produce
+//! the same aggregates produce byte-identical artifacts — the property the
+//! engine's determinism test pins down across thread counts.
+
+use crate::executor::ExperimentReport;
+use eproc_stats::TextTable;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Renders the aggregate table shown by the CLI and the `table_*` wrappers.
+///
+/// Columns: graph, n, process, `done/trials`, mean/std/min/max of the
+/// steps-to-target distribution, the normalised `mean/n` and
+/// `mean/(n ln n)` (the paper's two candidate growth laws), and the mean
+/// blue-step fraction.
+pub fn to_text_table(report: &ExperimentReport) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "graph",
+        "n",
+        "process",
+        "done",
+        "mean",
+        "std",
+        "min",
+        "max",
+        "mean/n",
+        "mean/(n ln n)",
+        "blue%",
+    ]);
+    for cell in &report.cells {
+        let nf = cell.n.max(2) as f64;
+        let done = format!("{}/{}", cell.completed, cell.trials);
+        let (mean, std, min, max, over_n, over_nlogn) = if cell.completed > 0 {
+            let mean = cell.steps.mean();
+            (
+                format!("{mean:.0}"),
+                format!("{:.1}", cell.steps.std_dev()),
+                format!("{:.0}", cell.steps.min()),
+                format!("{:.0}", cell.steps.max()),
+                format!("{:.2}", mean / nf),
+                format!("{:.3}", mean / (nf * nf.ln())),
+            )
+        } else {
+            let dash = || "-".to_string();
+            (dash(), dash(), dash(), dash(), dash(), dash())
+        };
+        let blue = if cell.blue_fraction.count() > 0 {
+            format!("{:.1}", 100.0 * cell.blue_fraction.mean())
+        } else {
+            "-".into()
+        };
+        table.push_row(vec![
+            cell.graph.clone(),
+            cell.n.to_string(),
+            cell.process.clone(),
+            done,
+            mean,
+            std,
+            min,
+            max,
+            over_n,
+            over_nlogn,
+            blue,
+        ]);
+    }
+    table
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serialises the report as deterministic JSON (stable key order, no
+/// timestamps), suitable for artifact diffing across runs.
+pub fn to_json(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"{}\",\n",
+        json_escape(&report.name)
+    ));
+    out.push_str(&format!(
+        "  \"description\": \"{}\",\n",
+        json_escape(&report.description)
+    ));
+    out.push_str(&format!(
+        "  \"target\": \"{}\",\n",
+        json_escape(&report.target.label())
+    ));
+    out.push_str(&format!("  \"trials\": {},\n", report.trials));
+    out.push_str(&format!("  \"base_seed\": {},\n", report.base_seed));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"graph\": \"{}\",\n",
+            json_escape(&cell.graph)
+        ));
+        out.push_str(&format!("      \"n\": {},\n", cell.n));
+        out.push_str(&format!("      \"m\": {},\n", cell.m));
+        out.push_str(&format!(
+            "      \"process\": \"{}\",\n",
+            json_escape(&cell.process)
+        ));
+        out.push_str(&format!("      \"trials\": {},\n", cell.trials));
+        out.push_str(&format!("      \"completed\": {},\n", cell.completed));
+        if cell.completed > 0 {
+            let nf = cell.n.max(2) as f64;
+            out.push_str(&format!(
+                "      \"mean_steps\": {},\n",
+                json_num(cell.steps.mean())
+            ));
+            out.push_str(&format!(
+                "      \"std_dev\": {},\n",
+                json_num(cell.steps.std_dev())
+            ));
+            out.push_str(&format!(
+                "      \"min_steps\": {},\n",
+                json_num(cell.steps.min())
+            ));
+            out.push_str(&format!(
+                "      \"max_steps\": {},\n",
+                json_num(cell.steps.max())
+            ));
+            out.push_str(&format!(
+                "      \"mean_over_n\": {},\n",
+                json_num(cell.steps.mean() / nf)
+            ));
+            out.push_str(&format!(
+                "      \"mean_over_n_log_n\": {},\n",
+                json_num(cell.steps.mean() / (nf * nf.ln()))
+            ));
+        } else {
+            out.push_str("      \"mean_steps\": null,\n");
+            out.push_str("      \"std_dev\": null,\n");
+            out.push_str("      \"min_steps\": null,\n");
+            out.push_str("      \"max_steps\": null,\n");
+            out.push_str("      \"mean_over_n\": null,\n");
+            out.push_str("      \"mean_over_n_log_n\": null,\n");
+        }
+        let blue = if cell.blue_fraction.count() > 0 {
+            json_num(cell.blue_fraction.mean())
+        } else {
+            "null".into()
+        };
+        out.push_str(&format!("      \"mean_blue_fraction\": {blue}\n"));
+        out.push_str(if i + 1 < report.cells.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Default artifact directory: `<workspace>/target/experiments/`.
+pub fn default_artifact_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("target");
+    dir.push("experiments");
+    dir
+}
+
+/// Writes the JSON artifact to `path` (or
+/// `target/experiments/eproc_<name>.json` when `None`), creating parent
+/// directories. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_json(report: &ExperimentReport, path: Option<&Path>) -> std::io::Result<PathBuf> {
+    let path = match path {
+        Some(p) => p.to_path_buf(),
+        None => default_artifact_dir().join(format!("eproc_{}.json", report.name)),
+    };
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(to_json(report).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run, RunOptions};
+    use crate::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target};
+
+    fn demo_report() -> ExperimentReport {
+        let spec = ExperimentSpec {
+            name: "demo".into(),
+            description: "report unit test".into(),
+            graphs: vec![GraphSpec::Cycle { n: 16 }],
+            processes: vec![
+                ProcessSpec::EProcess {
+                    rule: RuleSpec::Uniform,
+                },
+                ProcessSpec::Srw,
+            ],
+            trials: 2,
+            target: Target::VertexCover,
+            cap: CapSpec::Auto,
+        };
+        run(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                base_seed: 9,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell() {
+        let report = demo_report();
+        let table = to_text_table(&report);
+        assert_eq!(table.len(), report.cells.len());
+        let rendered = table.to_string();
+        assert!(rendered.contains("e-process(uniform)"));
+        assert!(rendered.contains("mean/(n ln n)"));
+    }
+
+    #[test]
+    fn json_is_valid_enough_and_deterministic() {
+        let report = demo_report();
+        let a = to_json(&report);
+        let b = to_json(&report);
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.trim_end().ends_with('}'));
+        assert!(a.contains("\"experiment\": \"demo\""));
+        assert!(a.contains("\"mean_steps\": 15"));
+        // Balanced braces and brackets (cheap structural check).
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(2.5), "2.5");
+    }
+
+    #[test]
+    fn incomplete_cells_serialise_as_null() {
+        let spec = ExperimentSpec {
+            name: "capped".into(),
+            description: String::new(),
+            graphs: vec![GraphSpec::Cycle { n: 16 }],
+            processes: vec![ProcessSpec::Srw],
+            trials: 1,
+            target: Target::VertexCover,
+            cap: CapSpec::Absolute(1),
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                base_seed: 1,
+            },
+        )
+        .unwrap();
+        let json = to_json(&report);
+        assert!(json.contains("\"mean_steps\": null"));
+        let table = to_text_table(&report).to_string();
+        assert!(table.contains("0/1"));
+    }
+
+    #[test]
+    fn save_json_writes_artifact() {
+        let report = demo_report();
+        let dir = std::env::temp_dir().join("eproc_engine_report_test");
+        let path = dir.join("demo.json");
+        let written = save_json(&report, Some(&path)).unwrap();
+        assert_eq!(written, path);
+        let content = std::fs::read_to_string(&written).unwrap();
+        assert_eq!(content, to_json(&report));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,721 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] is a full description of an ensemble experiment:
+//! a grid of graph families, a grid of walk processes, a trial count and a
+//! stopping target. Specs are plain data — they can be built in code (see
+//! [`crate::builtin`]) or parsed from the compact CLI syntax accepted by
+//! [`GraphSpec::parse`] and [`ProcessSpec::parse`].
+
+use eproc_core::choice::RandomWalkWithChoice;
+use eproc_core::cover::CoverTarget;
+use eproc_core::fair::{LeastUsedFirst, OldestFirst};
+use eproc_core::rotor::RotorRouter;
+use eproc_core::rule::{
+    AdversarialRule, FirstPortRule, GreedyAdversary, LastPortRule, RoundRobinRule, RuleContext,
+    UniformRule,
+};
+use eproc_core::srw::{LazyRandomWalk, SimpleRandomWalk, WeightedRandomWalk};
+use eproc_core::vprocess::VProcess;
+use eproc_core::{EProcess, WalkProcess};
+use eproc_graphs::properties::connectivity;
+use eproc_graphs::{generators, Graph, GraphError, Vertex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Sweep scale used by the built-in specs: `quick` finishes in seconds,
+/// `paper` pushes sizes toward the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-quick sweep.
+    Quick,
+    /// Paper-scale sweep.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `quick` / `paper`.
+    pub fn parse(s: &str) -> Result<Scale, SpecError> {
+        match s {
+            "quick" => Ok(Scale::Quick),
+            "paper" => Ok(Scale::Paper),
+            other => Err(SpecError::new(format!(
+                "unknown scale {other:?} (quick|paper)"
+            ))),
+        }
+    }
+}
+
+/// Error constructing or parsing a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> SpecError {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One graph family in the experiment grid. Randomized families are built
+/// deterministically from the seed the executor derives for them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// Connected random `d`-regular graph on `n` vertices (Steger–Wormald).
+    Regular {
+        /// Vertex count.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Lubotzky–Phillips–Sarnak Ramanujan graph — the paper's canonical
+    /// high-girth even-degree expander.
+    Lps {
+        /// Prime `p` (degree is `p + 1`).
+        p: u64,
+        /// Prime modulus `q`.
+        q: u64,
+    },
+    /// Connected random geometric graph on `n` vertices with radius
+    /// `radius_factor` times the connectivity threshold
+    /// `sqrt(2 ln n / (π n))`.
+    Geometric {
+        /// Vertex count.
+        n: usize,
+        /// Multiple of the connectivity-threshold radius.
+        radius_factor: f64,
+    },
+    /// The `dim`-dimensional hypercube on `2^dim` vertices.
+    Hypercube {
+        /// Dimension.
+        dim: usize,
+    },
+    /// The `w × h` toroidal grid (4-regular for `w, h >= 3`).
+    Torus {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// The cycle `C_n`.
+    Cycle {
+        /// Vertex count.
+        n: usize,
+    },
+    /// The complete graph `K_n`.
+    Complete {
+        /// Vertex count.
+        n: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Human-readable family label used in tables and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            GraphSpec::Regular { n, d } => format!("random {d}-regular n={n}"),
+            GraphSpec::Lps { p, q } => format!("LPS({p},{q})"),
+            GraphSpec::Geometric { n, .. } => format!("geometric n={n}"),
+            GraphSpec::Hypercube { dim } => format!("hypercube H{dim}"),
+            GraphSpec::Torus { w, h } => format!("torus {w}x{h}"),
+            GraphSpec::Cycle { n } => format!("cycle n={n}"),
+            GraphSpec::Complete { n } => format!("complete n={n}"),
+        }
+    }
+
+    /// Compact CLI syntax for this spec (inverse of [`GraphSpec::parse`]).
+    pub fn to_cli(&self) -> String {
+        match self {
+            GraphSpec::Regular { n, d } => format!("regular:{n},{d}"),
+            GraphSpec::Lps { p, q } => format!("lps:{p},{q}"),
+            GraphSpec::Geometric { n, radius_factor } => format!("geometric:{n},{radius_factor}"),
+            GraphSpec::Hypercube { dim } => format!("hypercube:{dim}"),
+            GraphSpec::Torus { w, h } => format!("torus:{w},{h}"),
+            GraphSpec::Cycle { n } => format!("cycle:{n}"),
+            GraphSpec::Complete { n } => format!("complete:{n}"),
+        }
+    }
+
+    /// Parses the compact CLI syntax, e.g. `regular:4096,4`, `lps:5,13`,
+    /// `geometric:2000`, `hypercube:10`, `torus:32,32`, `cycle:100`,
+    /// `complete:50`.
+    pub fn parse(s: &str) -> Result<GraphSpec, SpecError> {
+        let (kind, args) = match s.split_once(':') {
+            Some((k, a)) => (k, a),
+            None => (s, ""),
+        };
+        let nums: Vec<&str> = if args.is_empty() {
+            vec![]
+        } else {
+            args.split(',').collect()
+        };
+        let usize_arg = |i: usize| -> Result<usize, SpecError> {
+            nums.get(i)
+                .ok_or_else(|| SpecError::new(format!("graph spec {s:?}: missing argument {i}")))?
+                .parse()
+                .map_err(|_| SpecError::new(format!("graph spec {s:?}: bad integer")))
+        };
+        let u64_arg = |i: usize| -> Result<u64, SpecError> { usize_arg(i).map(|v| v as u64) };
+        match kind {
+            "regular" => Ok(GraphSpec::Regular { n: usize_arg(0)?, d: usize_arg(1)? }),
+            "lps" => Ok(GraphSpec::Lps { p: u64_arg(0)?, q: u64_arg(1)? }),
+            "geometric" => {
+                let n = usize_arg(0)?;
+                let radius_factor = match nums.get(1) {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| SpecError::new(format!("graph spec {s:?}: bad factor")))?,
+                    None => 1.5,
+                };
+                Ok(GraphSpec::Geometric { n, radius_factor })
+            }
+            "hypercube" => Ok(GraphSpec::Hypercube { dim: usize_arg(0)? }),
+            "torus" => Ok(GraphSpec::Torus { w: usize_arg(0)?, h: usize_arg(1)? }),
+            "cycle" => Ok(GraphSpec::Cycle { n: usize_arg(0)? }),
+            "complete" => Ok(GraphSpec::Complete { n: usize_arg(0)? }),
+            other => Err(SpecError::new(format!(
+                "unknown graph family {other:?} (regular|lps|geometric|hypercube|torus|cycle|complete)"
+            ))),
+        }
+    }
+
+    /// Builds the graph deterministically from `seed`. Randomized families
+    /// retry until connected (advancing the seeded RNG), so the result is a
+    /// pure function of `(self, seed)`.
+    pub fn build(&self, seed: u64) -> Result<Graph, GraphError> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            GraphSpec::Regular { n, d } => generators::connected_random_regular(n, d, &mut rng),
+            GraphSpec::Lps { p, q } => generators::lps_ramanujan(p, q),
+            GraphSpec::Geometric { n, radius_factor } => {
+                let threshold = (2.0 * (n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt();
+                let radius = radius_factor * threshold;
+                loop {
+                    let gg = generators::random_geometric(n, radius, &mut rng)?;
+                    if connectivity::is_connected(&gg.graph) {
+                        return Ok(gg.graph);
+                    }
+                }
+            }
+            GraphSpec::Hypercube { dim } => Ok(generators::hypercube(dim)),
+            GraphSpec::Torus { w, h } => Ok(generators::torus2d(w, h)),
+            GraphSpec::Cycle { n } => Ok(generators::cycle(n)),
+            GraphSpec::Complete { n } => Ok(generators::complete(n)),
+        }
+    }
+}
+
+/// Rule `A` selection for [`ProcessSpec::EProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleSpec {
+    /// Uniform among unvisited edges (greedy random walk).
+    Uniform,
+    /// Deterministic lowest-port-first.
+    FirstPort,
+    /// Deterministic highest-port-first.
+    LastPort,
+    /// Per-vertex round robin over unvisited ports.
+    RoundRobin,
+    /// Adversary steering toward high-degree neighbours.
+    GreedyAdversary,
+    /// Adversary always picking the live arc with the largest id.
+    Spiteful,
+}
+
+impl RuleSpec {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuleSpec::Uniform => "uniform",
+            RuleSpec::FirstPort => "first-port",
+            RuleSpec::LastPort => "last-port",
+            RuleSpec::RoundRobin => "round-robin",
+            RuleSpec::GreedyAdversary => "greedy-adversary",
+            RuleSpec::Spiteful => "spiteful-adversary",
+        }
+    }
+
+    /// Parses a rule name (the labels above, hyphens optional).
+    pub fn parse(s: &str) -> Result<RuleSpec, SpecError> {
+        match s.replace('-', "").as_str() {
+            "uniform" => Ok(RuleSpec::Uniform),
+            "firstport" => Ok(RuleSpec::FirstPort),
+            "lastport" => Ok(RuleSpec::LastPort),
+            "roundrobin" => Ok(RuleSpec::RoundRobin),
+            "greedyadversary" | "greedy" => Ok(RuleSpec::GreedyAdversary),
+            "spitefuladversary" | "spiteful" => Ok(RuleSpec::Spiteful),
+            other => Err(SpecError::new(format!("unknown rule {other:?}"))),
+        }
+    }
+
+    /// All rules, for grid construction.
+    pub fn all() -> [RuleSpec; 6] {
+        [
+            RuleSpec::Uniform,
+            RuleSpec::FirstPort,
+            RuleSpec::LastPort,
+            RuleSpec::RoundRobin,
+            RuleSpec::GreedyAdversary,
+            RuleSpec::Spiteful,
+        ]
+    }
+}
+
+fn spiteful_choice(ctx: &RuleContext<'_>) -> usize {
+    ctx.live_arcs
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &a)| a)
+        .map(|(i, _)| i)
+        .expect("live_arcs is nonempty")
+}
+
+/// One walk process in the experiment grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessSpec {
+    /// The E-process with the given rule `A`.
+    EProcess {
+        /// Rule choosing among unvisited edges.
+        rule: RuleSpec,
+    },
+    /// Simple random walk.
+    Srw,
+    /// Lazy random walk (holds with probability 1/2).
+    LazySrw,
+    /// Weighted random walk with deterministic pseudo-random edge weights
+    /// in `[0.1, 10)` — the process class of Theorem 5's lower bound.
+    WeightedSrw,
+    /// Rotor-router (Propp machine).
+    RotorRouter,
+    /// Random walk with choice, RWC(d) of Avin–Krishnamachari.
+    Rwc {
+        /// Number of sampled neighbours per step.
+        d: usize,
+    },
+    /// Oldest-first locally fair exploration.
+    OldestFirst,
+    /// Least-used-first locally fair exploration.
+    LeastUsedFirst,
+    /// The vertex-process (V-process) baseline.
+    VProcess,
+}
+
+impl ProcessSpec {
+    /// Table label.
+    pub fn label(&self) -> String {
+        match self {
+            ProcessSpec::EProcess { rule } => format!("e-process({})", rule.label()),
+            ProcessSpec::Srw => "srw".into(),
+            ProcessSpec::LazySrw => "lazy-srw".into(),
+            ProcessSpec::WeightedSrw => "weighted-srw".into(),
+            ProcessSpec::RotorRouter => "rotor-router".into(),
+            ProcessSpec::Rwc { d } => format!("rwc({d})"),
+            ProcessSpec::OldestFirst => "oldest-first".into(),
+            ProcessSpec::LeastUsedFirst => "least-used-first".into(),
+            ProcessSpec::VProcess => "v-process".into(),
+        }
+    }
+
+    /// Compact CLI syntax for this spec (inverse of [`ProcessSpec::parse`]).
+    pub fn to_cli(&self) -> String {
+        match self {
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            } => "eprocess".into(),
+            ProcessSpec::EProcess { rule } => format!("eprocess:{}", rule.label()),
+            ProcessSpec::Srw => "srw".into(),
+            ProcessSpec::LazySrw => "lazy".into(),
+            ProcessSpec::WeightedSrw => "weighted".into(),
+            ProcessSpec::RotorRouter => "rotor".into(),
+            ProcessSpec::Rwc { d } => format!("rwc:{d}"),
+            ProcessSpec::OldestFirst => "oldest".into(),
+            ProcessSpec::LeastUsedFirst => "leastused".into(),
+            ProcessSpec::VProcess => "vprocess".into(),
+        }
+    }
+
+    /// Parses the compact CLI syntax, e.g. `eprocess`, `eprocess:firstport`,
+    /// `srw`, `lazy`, `weighted`, `rotor`, `rwc:2`, `oldest`, `leastused`,
+    /// `vprocess`.
+    pub fn parse(s: &str) -> Result<ProcessSpec, SpecError> {
+        let (kind, args) = match s.split_once(':') {
+            Some((k, a)) => (k, a),
+            None => (s, ""),
+        };
+        match kind {
+            "eprocess" | "e-process" => {
+                let rule =
+                    if args.is_empty() { RuleSpec::Uniform } else { RuleSpec::parse(args)? };
+                Ok(ProcessSpec::EProcess { rule })
+            }
+            "srw" => Ok(ProcessSpec::Srw),
+            "lazy" | "lazy-srw" => Ok(ProcessSpec::LazySrw),
+            "weighted" | "weighted-srw" => Ok(ProcessSpec::WeightedSrw),
+            "rotor" | "rotor-router" => Ok(ProcessSpec::RotorRouter),
+            "rwc" => {
+                let d: usize = if args.is_empty() {
+                    2
+                } else {
+                    args.parse()
+                        .map_err(|_| SpecError::new(format!("process spec {s:?}: bad d")))?
+                };
+                Ok(ProcessSpec::Rwc { d })
+            }
+            "oldest" | "oldest-first" => Ok(ProcessSpec::OldestFirst),
+            "leastused" | "least-used-first" => Ok(ProcessSpec::LeastUsedFirst),
+            "vprocess" | "v-process" => Ok(ProcessSpec::VProcess),
+            other => Err(SpecError::new(format!(
+                "unknown process {other:?} (eprocess[:rule]|srw|lazy|weighted|rotor|rwc:d|oldest|leastused|vprocess)"
+            ))),
+        }
+    }
+
+    /// Instantiates the process on `g` at `start`.
+    ///
+    /// Construction is deterministic: [`ProcessSpec::WeightedSrw`] draws
+    /// its edge weights from an RNG seeded purely by the graph shape, so
+    /// every trial on a given graph sees the same weights regardless of
+    /// scheduling.
+    pub fn build<'g>(&self, g: &'g Graph, start: Vertex) -> Box<dyn WalkProcess + 'g> {
+        match *self {
+            ProcessSpec::EProcess { rule } => match rule {
+                RuleSpec::Uniform => Box::new(EProcess::new(g, start, UniformRule::new())),
+                RuleSpec::FirstPort => Box::new(EProcess::new(g, start, FirstPortRule)),
+                RuleSpec::LastPort => Box::new(EProcess::new(g, start, LastPortRule)),
+                RuleSpec::RoundRobin => {
+                    Box::new(EProcess::new(g, start, RoundRobinRule::new(g.n())))
+                }
+                RuleSpec::GreedyAdversary => Box::new(EProcess::new(g, start, GreedyAdversary)),
+                RuleSpec::Spiteful => {
+                    let rule: AdversarialRule<fn(&RuleContext<'_>) -> usize> =
+                        AdversarialRule::new(spiteful_choice);
+                    Box::new(EProcess::new(g, start, rule))
+                }
+            },
+            ProcessSpec::Srw => Box::new(SimpleRandomWalk::new(g, start)),
+            ProcessSpec::LazySrw => Box::new(LazyRandomWalk::new(g, start)),
+            ProcessSpec::WeightedSrw => {
+                let mut wrng =
+                    SmallRng::seed_from_u64(0x0057_eed5 ^ (g.m() as u64).rotate_left(17));
+                let weights: Vec<f64> = (0..g.m()).map(|_| wrng.gen_range(0.1..10.0)).collect();
+                Box::new(WeightedRandomWalk::new(g, start, &weights))
+            }
+            ProcessSpec::RotorRouter => Box::new(RotorRouter::new(g, start)),
+            ProcessSpec::Rwc { d } => Box::new(RandomWalkWithChoice::new(g, start, d)),
+            ProcessSpec::OldestFirst => Box::new(OldestFirst::new(g, start)),
+            ProcessSpec::LeastUsedFirst => Box::new(LeastUsedFirst::new(g, start)),
+            ProcessSpec::VProcess => Box::new(VProcess::new(g, start)),
+        }
+    }
+}
+
+/// What each trial waits for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// Steps until every vertex has been visited.
+    VertexCover,
+    /// Steps until every edge has been traversed.
+    EdgeCover,
+    /// Steps until both vertices and edges are covered.
+    BothCover,
+    /// Ding–Lee–Peres blanket time with parameter `delta`.
+    Blanket {
+        /// Required visit fraction `δ ∈ (0, 1)`.
+        delta: f64,
+    },
+}
+
+impl Target {
+    /// Stable name used in tables and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            Target::VertexCover => "vertex-cover".into(),
+            Target::EdgeCover => "edge-cover".into(),
+            Target::BothCover => "both-cover".into(),
+            Target::Blanket { delta } => format!("blanket({delta})"),
+        }
+    }
+
+    /// Parses `vertex`, `edge`, `both` or `blanket:<delta>`.
+    pub fn parse(s: &str) -> Result<Target, SpecError> {
+        match s.split_once(':') {
+            None => match s {
+                "vertex" | "vertex-cover" => Ok(Target::VertexCover),
+                "edge" | "edge-cover" => Ok(Target::EdgeCover),
+                "both" | "both-cover" => Ok(Target::BothCover),
+                "blanket" => Ok(Target::Blanket { delta: 0.4 }),
+                other => Err(SpecError::new(format!(
+                    "unknown target {other:?} (vertex|edge|both|blanket:<delta>)"
+                ))),
+            },
+            Some(("blanket", d)) => {
+                let delta: f64 = d
+                    .parse()
+                    .map_err(|_| SpecError::new(format!("target {s:?}: bad delta")))?;
+                if !(0.0..1.0).contains(&delta) || delta == 0.0 {
+                    return Err(SpecError::new(format!(
+                        "target {s:?}: delta must be in (0,1)"
+                    )));
+                }
+                Ok(Target::Blanket { delta })
+            }
+            Some(_) => Err(SpecError::new(format!("unknown target {s:?}"))),
+        }
+    }
+
+    /// The underlying cover target, if this is a cover measurement.
+    pub fn cover_target(&self) -> Option<CoverTarget> {
+        match self {
+            Target::VertexCover => Some(CoverTarget::Vertices),
+            Target::EdgeCover => Some(CoverTarget::Edges),
+            Target::BothCover => Some(CoverTarget::Both),
+            Target::Blanket { .. } => None,
+        }
+    }
+}
+
+/// Per-trial step cap policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapSpec {
+    /// `factor · n ln n` steps — the convention of the `table_*` binaries.
+    NLogN(f64),
+    /// A fixed step count.
+    Absolute(u64),
+    /// [`eproc_core::cover::default_step_cap`]: `4n³ + 10⁶`, far above any
+    /// connected graph's expected cover time.
+    Auto,
+}
+
+impl CapSpec {
+    /// Resolves the cap for a concrete graph.
+    pub fn resolve(&self, g: &Graph) -> u64 {
+        match *self {
+            CapSpec::NLogN(factor) => {
+                let n = g.n().max(2) as f64;
+                (factor * n * n.ln()).ceil() as u64
+            }
+            CapSpec::Absolute(cap) => cap,
+            CapSpec::Auto => eproc_core::cover::default_step_cap(g),
+        }
+    }
+}
+
+/// A complete declarative experiment: run `trials` independent walks for
+/// every (graph, process) pair and aggregate steps-to-target statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Short identifier (used for artifact file names).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Graph grid.
+    pub graphs: Vec<GraphSpec>,
+    /// Process grid.
+    pub processes: Vec<ProcessSpec>,
+    /// Independent trials per (graph, process) cell.
+    pub trials: usize,
+    /// Stopping target measured per trial.
+    pub target: Target,
+    /// Per-trial step cap.
+    pub cap: CapSpec,
+}
+
+impl ExperimentSpec {
+    /// Total number of trials the executor will run.
+    pub fn total_jobs(&self) -> usize {
+        self.graphs.len() * self.processes.len() * self.trials
+    }
+
+    /// Validates the spec before execution.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.graphs.is_empty() {
+            return Err(SpecError::new("spec has no graphs"));
+        }
+        if self.processes.is_empty() {
+            return Err(SpecError::new("spec has no processes"));
+        }
+        if self.trials == 0 {
+            return Err(SpecError::new("spec has zero trials"));
+        }
+        if let Target::Blanket { delta } = self.target {
+            if !(delta > 0.0 && delta < 1.0) {
+                return Err(SpecError::new(format!(
+                    "blanket delta {delta} outside (0,1)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_spec_parse_round_trips() {
+        for s in [
+            "regular:128,4",
+            "lps:5,13",
+            "geometric:500,1.5",
+            "hypercube:6",
+            "torus:8,8",
+            "cycle:32",
+            "complete:9",
+        ] {
+            let spec = GraphSpec::parse(s).unwrap();
+            assert_eq!(
+                GraphSpec::parse(&spec.to_cli()).unwrap(),
+                spec,
+                "round trip {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_spec_rejects_junk() {
+        assert!(GraphSpec::parse("regular").is_err());
+        assert!(GraphSpec::parse("regular:10").is_err());
+        assert!(GraphSpec::parse("blorp:3").is_err());
+        assert!(GraphSpec::parse("torus:4,x").is_err());
+    }
+
+    #[test]
+    fn process_spec_parse_round_trips() {
+        for s in [
+            "eprocess",
+            "eprocess:first-port",
+            "eprocess:spiteful",
+            "srw",
+            "lazy",
+            "weighted",
+            "rotor",
+            "rwc:3",
+            "oldest",
+            "leastused",
+            "vprocess",
+        ] {
+            let spec = ProcessSpec::parse(s).unwrap();
+            assert_eq!(
+                ProcessSpec::parse(&spec.to_cli()).unwrap(),
+                spec,
+                "round trip {s}"
+            );
+        }
+        assert!(ProcessSpec::parse("quantum-walk").is_err());
+    }
+
+    #[test]
+    fn target_parse() {
+        assert_eq!(Target::parse("vertex").unwrap(), Target::VertexCover);
+        assert_eq!(Target::parse("edge").unwrap(), Target::EdgeCover);
+        assert_eq!(Target::parse("both").unwrap(), Target::BothCover);
+        assert_eq!(
+            Target::parse("blanket:0.3").unwrap(),
+            Target::Blanket { delta: 0.3 }
+        );
+        assert!(Target::parse("blanket:1.5").is_err());
+        assert!(Target::parse("nope").is_err());
+    }
+
+    #[test]
+    fn deterministic_graph_build() {
+        let spec = GraphSpec::Regular { n: 64, d: 4 };
+        let a = spec.build(7).unwrap();
+        let b = spec.build(7).unwrap();
+        assert_eq!(a.edge_list(), b.edge_list());
+        let c = spec.build(8).unwrap();
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn geometric_build_is_connected_and_deterministic() {
+        let spec = GraphSpec::Geometric {
+            n: 80,
+            radius_factor: 1.5,
+        };
+        let a = spec.build(3).unwrap();
+        let b = spec.build(3).unwrap();
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert!(connectivity::is_connected(&a));
+    }
+
+    #[test]
+    fn every_process_spec_builds_and_steps() {
+        let g = generators::torus2d(4, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let specs = [
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::EProcess {
+                rule: RuleSpec::FirstPort,
+            },
+            ProcessSpec::EProcess {
+                rule: RuleSpec::LastPort,
+            },
+            ProcessSpec::EProcess {
+                rule: RuleSpec::RoundRobin,
+            },
+            ProcessSpec::EProcess {
+                rule: RuleSpec::GreedyAdversary,
+            },
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Spiteful,
+            },
+            ProcessSpec::Srw,
+            ProcessSpec::LazySrw,
+            ProcessSpec::WeightedSrw,
+            ProcessSpec::RotorRouter,
+            ProcessSpec::Rwc { d: 2 },
+            ProcessSpec::OldestFirst,
+            ProcessSpec::LeastUsedFirst,
+            ProcessSpec::VProcess,
+        ];
+        for spec in &specs {
+            let mut walk = spec.build(&g, 0);
+            for _ in 0..50 {
+                let step = walk.advance(&mut rng);
+                assert!(step.to < g.n(), "{} stepped out of range", spec.label());
+            }
+            assert_eq!(walk.steps(), 50);
+        }
+    }
+
+    #[test]
+    fn cap_resolution() {
+        let g = generators::cycle(100);
+        let cap = CapSpec::NLogN(2.0).resolve(&g);
+        assert_eq!(cap, (2.0 * 100.0 * 100.0f64.ln()).ceil() as u64);
+        assert_eq!(CapSpec::Absolute(42).resolve(&g), 42);
+        assert!(CapSpec::Auto.resolve(&g) >= 4 * 100 * 100 * 100);
+    }
+
+    #[test]
+    fn spec_validation() {
+        let mut spec = ExperimentSpec {
+            name: "t".into(),
+            description: String::new(),
+            graphs: vec![GraphSpec::Cycle { n: 8 }],
+            processes: vec![ProcessSpec::Srw],
+            trials: 2,
+            target: Target::VertexCover,
+            cap: CapSpec::Auto,
+        };
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.total_jobs(), 2);
+        spec.trials = 0;
+        assert!(spec.validate().is_err());
+    }
+}

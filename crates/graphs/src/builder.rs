@@ -29,12 +29,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> GraphBuilder {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> GraphBuilder {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices the built graph will have.
@@ -55,10 +61,16 @@ impl GraphBuilder {
     /// [`GraphError::VertexOutOfRange`] if either endpoint is `>= n`.
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<usize, GraphError> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -137,7 +149,9 @@ pub fn from_adjacency_lists(adj: &[Vec<Vertex>]) -> Result<Graph, GraphError> {
         let count = mult[&key];
         if count % 2 != 0 {
             return Err(GraphError::InfeasibleDegrees {
-                reason: format!("edge {key:?} appears {count} times across adjacency lists (must be even)"),
+                reason: format!(
+                    "edge {key:?} appears {count} times across adjacency lists (must be even)"
+                ),
             });
         }
         for _ in 0..count / 2 {

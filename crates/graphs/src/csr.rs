@@ -91,8 +91,8 @@ impl Graph {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for v in 0..n {
-            acc += degree[v];
+        for &d in degree.iter().take(n) {
+            acc += d;
             offsets.push(acc);
         }
         debug_assert_eq!(acc, 2 * m);
@@ -113,7 +113,13 @@ impl Graph {
             edge_arcs[e] = (au as u32, av as u32);
             edge_endpoints.push((u as u32, v as u32));
         }
-        Ok(Graph { offsets, arc_targets, arc_edges, edge_endpoints, edge_arcs })
+        Ok(Graph {
+            offsets,
+            arc_targets,
+            arc_edges,
+            edge_endpoints,
+            edge_arcs,
+        })
     }
 
     /// Number of vertices.
@@ -199,7 +205,10 @@ impl Graph {
     #[inline]
     pub fn other_endpoint(&self, e: EdgeId, v: Vertex) -> Vertex {
         let (a, b) = self.endpoints(e);
-        debug_assert!(v == a || v == b, "vertex {v} is not an endpoint of edge {e}");
+        debug_assert!(
+            v == a || v == b,
+            "vertex {v} is not an endpoint of edge {e}"
+        );
         if v == a {
             b
         } else {
@@ -214,7 +223,9 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
-        self.arc_targets[self.arc_range(v)].iter().map(|&t| t as Vertex)
+        self.arc_targets[self.arc_range(v)]
+            .iter()
+            .map(|&t| t as Vertex)
     }
 
     /// Iterator over `(arc, target, edge)` triples of the ports of `v`.
@@ -262,7 +273,11 @@ impl Graph {
     ///
     /// Panics if `u >= n` or `v >= n`.
     pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
-        let (small, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (small, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(small).any(|w| w == other)
     }
 
@@ -272,7 +287,11 @@ impl Graph {
     ///
     /// Panics if `u >= n` or `v >= n`.
     pub fn edge_multiplicity(&self, u: Vertex, v: Vertex) -> usize {
-        let (small, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (small, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(small).filter(|&w| w == other).count()
     }
 

@@ -46,7 +46,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop at vertex {vertex} is not supported")
@@ -54,7 +57,10 @@ impl fmt::Display for GraphError {
             GraphError::InfeasibleDegrees { reason } => {
                 write!(f, "infeasible degree sequence: {reason}")
             }
-            GraphError::RetriesExhausted { generator, attempts } => {
+            GraphError::RetriesExhausted {
+                generator,
+                attempts,
+            } => {
                 write!(f, "generator {generator} exhausted {attempts} attempts")
             }
             GraphError::InvalidParameter { reason } => {
@@ -73,14 +79,24 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
-        assert_eq!(e.to_string(), "vertex 7 out of range for graph with 5 vertices");
+        assert_eq!(
+            e.to_string(),
+            "vertex 7 out of range for graph with 5 vertices"
+        );
         let e = GraphError::SelfLoop { vertex: 3 };
         assert!(e.to_string().contains("self-loop"));
-        let e = GraphError::InfeasibleDegrees { reason: "odd sum".into() };
+        let e = GraphError::InfeasibleDegrees {
+            reason: "odd sum".into(),
+        };
         assert!(e.to_string().contains("odd sum"));
-        let e = GraphError::RetriesExhausted { generator: "steger_wormald", attempts: 10 };
+        let e = GraphError::RetriesExhausted {
+            generator: "steger_wormald",
+            attempts: 10,
+        };
         assert!(e.to_string().contains("steger_wormald"));
-        let e = GraphError::InvalidParameter { reason: "p must be prime".into() };
+        let e = GraphError::InvalidParameter {
+            reason: "p must be prime".into(),
+        };
         assert!(e.to_string().contains("p must be prime"));
     }
 

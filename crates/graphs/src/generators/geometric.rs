@@ -49,7 +49,9 @@ pub fn random_geometric<R: Rng + ?Sized>(
             reason: format!("radius must be in (0, sqrt(2)], got {radius}"),
         });
     }
-    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cells = (1.0 / radius).floor().max(1.0) as usize;
     let cell_of = |x: f64| -> usize { ((x * cells as f64) as usize).min(cells - 1) };
     let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];

@@ -58,7 +58,9 @@ impl LpsParams {
             return reject(format!("q = {q} must exceed 2√p = 2√{p}"));
         }
         if q > u16::MAX as u64 {
-            return reject(format!("q = {q} too large (vertex count would exceed memory)"));
+            return reject(format!(
+                "q = {q} too large (vertex count would exceed memory)"
+            ));
         }
         Ok(LpsParams { p, q })
     }
@@ -103,12 +105,12 @@ fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut d = 3u64;
     while d * d <= x {
-        if x % d == 0 {
+        if x.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -131,13 +133,15 @@ fn mod_pow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
 
 /// Multiplicative inverse mod prime `q` via Fermat.
 fn mod_inv(x: u64, q: u64) -> u64 {
-    debug_assert!(x % q != 0);
+    debug_assert!(!x.is_multiple_of(q));
     mod_pow(x, q - 2, q)
 }
 
 /// Smallest `ι` with `ι² ≡ -1 (mod q)`; exists since `q ≡ 1 (mod 4)`.
 fn sqrt_minus_one(q: u64) -> u64 {
-    (2..q).find(|&x| x * x % q == q - 1).expect("q ≡ 1 (mod 4) has a square root of -1")
+    (2..q)
+        .find(|&x| x * x % q == q - 1)
+        .expect("q ≡ 1 (mod 4) has a square root of -1")
 }
 
 /// A matrix in `PGL(2, F_q)`, kept in canonical projective form: scaled so
@@ -153,20 +157,40 @@ struct ProjMat {
 impl ProjMat {
     fn canonical(a: u64, b: u64, c: u64, d: u64, q: u64) -> ProjMat {
         let entries = [a % q, b % q, c % q, d % q];
-        let pivot = entries.iter().copied().find(|&x| x != 0).expect("zero matrix is not projective");
+        let pivot = entries
+            .iter()
+            .copied()
+            .find(|&x| x != 0)
+            .expect("zero matrix is not projective");
         let inv = mod_inv(pivot, q);
         let s = |x: u64| (x * inv % q) as u16;
-        ProjMat { a: s(entries[0]), b: s(entries[1]), c: s(entries[2]), d: s(entries[3]) }
+        ProjMat {
+            a: s(entries[0]),
+            b: s(entries[1]),
+            c: s(entries[2]),
+            d: s(entries[3]),
+        }
     }
 
     fn mul(self, rhs: ProjMat, q: u64) -> ProjMat {
         let (a, b, c, d) = (self.a as u64, self.b as u64, self.c as u64, self.d as u64);
         let (e, f, g, h) = (rhs.a as u64, rhs.b as u64, rhs.c as u64, rhs.d as u64);
-        ProjMat::canonical(a * e + b * g, a * f + b * h, c * e + d * g, c * f + d * h, q)
+        ProjMat::canonical(
+            a * e + b * g,
+            a * f + b * h,
+            c * e + d * g,
+            c * f + d * h,
+            q,
+        )
     }
 
     fn identity() -> ProjMat {
-        ProjMat { a: 1, b: 0, c: 0, d: 1 }
+        ProjMat {
+            a: 1,
+            b: 0,
+            c: 0,
+            d: 1,
+        }
     }
 }
 
@@ -243,7 +267,11 @@ pub fn lps_ramanujan(p: u64, q: u64) -> Result<Graph, GraphError> {
     let quats = generator_quaternions(p as i64);
     if quats.len() != (p + 1) as usize {
         return Err(GraphError::InvalidParameter {
-            reason: format!("found {} generator quaternions for p = {p}, expected {}", quats.len(), p + 1),
+            reason: format!(
+                "found {} generator quaternions for p = {p}, expected {}",
+                quats.len(),
+                p + 1
+            ),
         });
     }
     // Map quaternions to PGL(2, F_q).
@@ -282,7 +310,9 @@ pub fn lps_ramanujan(p: u64, q: u64) -> Result<Graph, GraphError> {
             }) as usize;
             if u == v {
                 return Err(GraphError::InvalidParameter {
-                    reason: format!("LPS({p},{q}) produced a self-loop; parameters violate q > 2√p margin"),
+                    reason: format!(
+                        "LPS({p},{q}) produced a self-loop; parameters violate q > 2√p margin"
+                    ),
                 });
             }
             if u < v {
@@ -302,7 +332,10 @@ pub fn lps_ramanujan(p: u64, q: u64) -> Result<Graph, GraphError> {
     // Defensive regularity check: u < v dedup assumed no parallel arcs.
     if !(0..graph.n()).all(|v| graph.degree(v) == params.degree()) {
         return Err(GraphError::InvalidParameter {
-            reason: format!("LPS({p},{q}) is not {}-regular; construction invariant violated", params.degree()),
+            reason: format!(
+                "LPS({p},{q}) is not {}-regular; construction invariant violated",
+                params.degree()
+            ),
         });
     }
     Ok(graph)
@@ -365,7 +398,10 @@ mod tests {
         assert!(bipartite::is_bipartite(&g));
         let bound = LpsParams::new(5, 13).unwrap().girth_lower_bound().ceil() as usize;
         assert!(bound >= 6);
-        assert!(girth::girth_at_most(&g, bound - 1).is_none(), "no cycle shorter than {bound}");
+        assert!(
+            girth::girth_at_most(&g, bound - 1).is_none(),
+            "no cycle shorter than {bound}"
+        );
     }
 
     #[test]
@@ -392,6 +428,9 @@ mod tests {
     #[test]
     fn is_prime_small_cases() {
         let primes: Vec<u64> = (0..60).filter(|&x| is_prime(x)).collect();
-        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
     }
 }

@@ -160,9 +160,16 @@ pub fn grid2d(w: usize, h: usize) -> Graph {
 pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
     let mut seen = std::collections::HashSet::new();
     for &s in offsets {
-        assert!(s != 0 && s < n, "offset {s} out of range for circulant on {n} vertices");
+        assert!(
+            s != 0 && s < n,
+            "offset {s} out of range for circulant on {n} vertices"
+        );
         let canon = s.min(n - s);
-        assert!(seen.insert(canon), "offsets {s} and {} coincide modulo negation", n - s);
+        assert!(
+            seen.insert(canon),
+            "offsets {s} and {} coincide modulo negation",
+            n - s
+        );
     }
     let mut edges = Vec::new();
     for i in 0..n {

@@ -14,9 +14,15 @@ use std::collections::HashSet;
 /// # Errors
 ///
 /// [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
-pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) || p.is_nan() {
-        return Err(GraphError::InvalidParameter { reason: format!("p must be in [0,1], got {p}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("p must be in [0,1], got {p}"),
+        });
     }
     let mut edges = Vec::new();
     if p >= 1.0 {
@@ -56,7 +62,11 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result
 /// # Errors
 ///
 /// [`GraphError::InvalidParameter`] if `m > n(n-1)/2`.
-pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     let total = n.saturating_mul(n.saturating_sub(1)) / 2;
     if m > total {
         return Err(GraphError::InvalidParameter {
@@ -84,7 +94,8 @@ fn unrank_pair(idx: usize, n: usize) -> (usize, usize) {
     // Row u starts at offset u(n-1) - u(u-1)/2; invert approximately and
     // fix up by stepping.
     let disc = ((2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * idxf).max(0.0);
-    let mut u = (((2.0 * nf - 1.0 - disc.sqrt()) / 2.0).floor().max(0.0) as usize).min(n.saturating_sub(2));
+    let mut u =
+        (((2.0 * nf - 1.0 - disc.sqrt()) / 2.0).floor().max(0.0) as usize).min(n.saturating_sub(2));
     loop {
         let row_start = u * (n - 1) - u * (u.saturating_sub(1)) / 2;
         let row_len = n - 1 - u;
@@ -148,7 +159,10 @@ mod tests {
         let mean = total as f64 / trials as f64;
         let expected = p * (n * (n - 1) / 2) as f64;
         // Generous 10% tolerance; variance is tiny at this size.
-        assert!((mean - expected).abs() < 0.1 * expected, "mean {mean} vs expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.1 * expected,
+            "mean {mean} vs expected {expected}"
+        );
     }
 
     #[test]

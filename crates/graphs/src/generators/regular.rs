@@ -24,7 +24,7 @@ fn check_degree_sequence(n: usize, degrees: &[usize], simple: bool) -> Result<()
         });
     }
     let total: usize = degrees.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return Err(GraphError::InfeasibleDegrees {
             reason: format!("degree sum {total} is odd"),
         });
@@ -44,7 +44,7 @@ fn check_degree_sequence(n: usize, degrees: &[usize], simple: bool) -> Result<()
 fn pair_stubs<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> Option<Vec<(Vertex, Vertex)>> {
     let mut stubs: Vec<Vertex> = Vec::with_capacity(degrees.iter().sum());
     for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v).take(d));
+        stubs.extend(std::iter::repeat_n(v, d));
     }
     stubs.shuffle(rng);
     let mut edges = Vec::with_capacity(stubs.len() / 2);
@@ -79,7 +79,10 @@ pub fn pairing_model_multigraph<R: Rng + ?Sized>(
             return Graph::from_edges(n, &edges);
         }
     }
-    Err(GraphError::RetriesExhausted { generator: "pairing_model_multigraph", attempts: MAX_RESTARTS })
+    Err(GraphError::RetriesExhausted {
+        generator: "pairing_model_multigraph",
+        attempts: MAX_RESTARTS,
+    })
 }
 
 /// Uniform random `r`-regular *simple* graph via the configuration model
@@ -99,13 +102,13 @@ pub fn random_regular_pairing<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     let degrees = vec![r; n];
-    random_with_degree_sequence(&degrees, rng)
-        .map_err(|e| match e {
-            GraphError::RetriesExhausted { attempts, .. } => {
-                GraphError::RetriesExhausted { generator: "random_regular_pairing", attempts }
-            }
-            other => other,
-        })
+    random_with_degree_sequence(&degrees, rng).map_err(|e| match e {
+        GraphError::RetriesExhausted { attempts, .. } => GraphError::RetriesExhausted {
+            generator: "random_regular_pairing",
+            attempts,
+        },
+        other => other,
+    })
 }
 
 /// Uniform random simple graph with the given degree sequence
@@ -122,7 +125,9 @@ pub fn random_with_degree_sequence<R: Rng + ?Sized>(
     let n = degrees.len();
     check_degree_sequence(n, degrees, true)?;
     'attempt: for _ in 0..MAX_RESTARTS {
-        let Some(edges) = pair_stubs(degrees, rng) else { continue };
+        let Some(edges) = pair_stubs(degrees, rng) else {
+            continue;
+        };
         let mut seen = HashSet::with_capacity(edges.len());
         for &(u, v) in &edges {
             let key = if u < v { (u, v) } else { (v, u) };
@@ -164,7 +169,7 @@ pub fn steger_wormald<R: Rng + ?Sized>(
     'restart: for _ in 0..MAX_RESTARTS {
         let mut stubs: Vec<Vertex> = Vec::with_capacity(n * r);
         for v in 0..n {
-            stubs.extend(std::iter::repeat(v).take(r));
+            stubs.extend(std::iter::repeat_n(v, r));
         }
         let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(n * r / 2);
         let mut adjacent: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(n * r / 2);
@@ -198,7 +203,10 @@ pub fn steger_wormald<R: Rng + ?Sized>(
         }
         return Graph::from_edges(n, &edges);
     }
-    Err(GraphError::RetriesExhausted { generator: "steger_wormald", attempts: MAX_RESTARTS })
+    Err(GraphError::RetriesExhausted {
+        generator: "steger_wormald",
+        attempts: MAX_RESTARTS,
+    })
 }
 
 /// A *connected* random `r`-regular simple graph: draws with
@@ -219,7 +227,9 @@ pub fn connected_random_regular<R: Rng + ?Sized>(
 ) -> Result<Graph, GraphError> {
     if r < 3 && !(r == 2 && n >= 3) {
         return Err(GraphError::InvalidParameter {
-            reason: format!("connected_random_regular requires r >= 3 (or r = 2, n >= 3), got r = {r}"),
+            reason: format!(
+                "connected_random_regular requires r >= 3 (or r = 2, n >= 3), got r = {r}"
+            ),
         });
     }
     for _ in 0..MAX_RESTARTS {
@@ -228,7 +238,10 @@ pub fn connected_random_regular<R: Rng + ?Sized>(
             return Ok(g);
         }
     }
-    Err(GraphError::RetriesExhausted { generator: "connected_random_regular", attempts: MAX_RESTARTS })
+    Err(GraphError::RetriesExhausted {
+        generator: "connected_random_regular",
+        attempts: MAX_RESTARTS,
+    })
 }
 
 #[cfg(test)]

@@ -66,7 +66,9 @@ pub fn from_edge_list_text(text: &str) -> Result<Graph, GraphError> {
         }
         edges.push((u, v));
     }
-    let n = n.ok_or(GraphError::InvalidParameter { reason: "missing `n <count>` header".into() })?;
+    let n = n.ok_or(GraphError::InvalidParameter {
+        reason: "missing `n <count>` header".into(),
+    })?;
     Graph::from_edges(n, &edges)
 }
 
@@ -111,8 +113,14 @@ mod tests {
     fn malformed_inputs_rejected() {
         assert!(from_edge_list_text("0 1\n").is_err(), "missing header");
         assert!(from_edge_list_text("n 3\n0\n").is_err(), "missing endpoint");
-        assert!(from_edge_list_text("n 3\n0 1 2\n").is_err(), "trailing tokens");
-        assert!(from_edge_list_text("n 3\nn 3\n").is_err(), "duplicate header");
+        assert!(
+            from_edge_list_text("n 3\n0 1 2\n").is_err(),
+            "trailing tokens"
+        );
+        assert!(
+            from_edge_list_text("n 3\nn 3\n").is_err(),
+            "duplicate header"
+        );
         assert!(from_edge_list_text("n 2\n0 5\n").is_err(), "out of range");
         assert!(from_edge_list_text("n x\n").is_err(), "bad count");
     }

@@ -74,7 +74,9 @@ pub fn subdivide_edges(g: &Graph, targets: &[EdgeId]) -> Result<(Graph, Vec<Vert
             });
         }
         if chosen[e] {
-            return Err(GraphError::InvalidParameter { reason: format!("edge {e} listed twice") });
+            return Err(GraphError::InvalidParameter {
+                reason: format!("edge {e} listed twice"),
+            });
         }
         chosen[e] = true;
     }

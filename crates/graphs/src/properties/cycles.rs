@@ -44,7 +44,7 @@ pub fn count_cycles_up_to(g: &Graph, k_max: usize) -> Vec<u64> {
         on_path[root] = false;
     }
     for k in 3..=k_max {
-        debug_assert!(doubled[k] % 2 == 0);
+        debug_assert!(doubled[k].is_multiple_of(2));
         counts[k] = doubled[k] / 2;
     }
     counts

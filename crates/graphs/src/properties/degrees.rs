@@ -23,7 +23,7 @@ pub fn regularity(g: &Graph) -> Option<usize> {
 /// `true` if every vertex has even degree — the paper's standing
 /// assumption ("we will henceforth always assume this is the case").
 pub fn is_even_degree(g: &Graph) -> bool {
-    g.vertices().all(|v| g.degree(v) % 2 == 0)
+    g.vertices().all(|v| g.degree(v).is_multiple_of(2))
 }
 
 /// Histogram of degrees: `hist[d]` = number of vertices with degree `d`.

@@ -20,7 +20,9 @@ use crate::traversal;
 pub fn max_induced_edges_exact(g: &Graph, s: usize) -> Result<usize, String> {
     let n = g.n();
     if n > 64 {
-        return Err(format!("exact subset enumeration requires n <= 64, got {n}"));
+        return Err(format!(
+            "exact subset enumeration requires n <= 64, got {n}"
+        ));
     }
     if s > n {
         return Err(format!("subset size {s} exceeds n = {n}"));
@@ -95,11 +97,10 @@ pub fn ball_excess(g: &Graph, v: Vertex, radius: u32) -> i64 {
     }
     let mut edges = 0i64;
     for (_, u, w) in g.edges() {
-        if dist[u] != traversal::UNREACHED
-            && dist[w] != traversal::UNREACHED
-            // Both endpoints strictly inside the ball, or the edge might
-            // join two radius-boundary vertices: count it either way —
-            // the ball's *induced* subgraph includes it.
+        if dist[u] != traversal::UNREACHED && dist[w] != traversal::UNREACHED
+        // Both endpoints strictly inside the ball, or the edge might
+        // join two radius-boundary vertices: count it either way —
+        // the ball's *induced* subgraph includes it.
         {
             edges += 1;
         }
@@ -110,7 +111,10 @@ pub fn ball_excess(g: &Graph, v: Vertex, radius: u32) -> i64 {
 /// Maximum [`ball_excess`] over all vertices — a lower-bound witness for
 /// local density (`O(n·(m + n))`; use sampled variants for huge graphs).
 pub fn max_ball_excess(g: &Graph, radius: u32) -> i64 {
-    g.vertices().map(|v| ball_excess(g, v, radius)).max().unwrap_or(0)
+    g.vertices()
+        .map(|v| ball_excess(g, v, radius))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ pub fn eulerian_circuit(g: &Graph) -> Option<Vec<ArcId>> {
     if g.m() == 0 {
         return Some(Vec::new());
     }
-    if g.vertices().any(|v| g.degree(v) % 2 != 0) {
+    if g.vertices().any(|v| !g.degree(v).is_multiple_of(2)) {
         return None;
     }
     let start = g.vertices().find(|&v| g.degree(v) > 0)?;
@@ -160,10 +160,18 @@ mod tests {
         assert_eq!(circuit.len(), g.m());
         let mut seen = vec![false; g.m()];
         for w in circuit.windows(2) {
-            assert_eq!(g.arc_target(w[0]), arc_source(g, w[1]), "circuit must be contiguous");
+            assert_eq!(
+                g.arc_target(w[0]),
+                arc_source(g, w[1]),
+                "circuit must be contiguous"
+            );
         }
         if let (Some(&first), Some(&last)) = (circuit.first(), circuit.last()) {
-            assert_eq!(g.arc_target(last), arc_source(g, first), "circuit must close");
+            assert_eq!(
+                g.arc_target(last),
+                arc_source(g, first),
+                "circuit must close"
+            );
         }
         for &a in circuit {
             let e = g.arc_edge(a);
@@ -217,7 +225,10 @@ mod tests {
         let mut used = vec![false; g.m()];
         let mut covered = 0usize;
         for cycle in cycles {
-            assert!(cycle.len() >= 2, "cycles have length >= 2 (parallel pair) in multigraphs");
+            assert!(
+                cycle.len() >= 2,
+                "cycles have length >= 2 (parallel pair) in multigraphs"
+            );
             // Each cycle is a closed walk with distinct edges and distinct
             // vertices: every vertex it touches has exactly 2 cycle-edges.
             let mut deg = std::collections::HashMap::new();
@@ -230,10 +241,16 @@ mod tests {
                 *deg.entry(u).or_insert(0) += 1;
                 *deg.entry(v).or_insert(0) += 1;
             }
-            assert!(deg.values().all(|&d| d == 2), "not a simple cycle: {cycle:?}");
+            assert!(
+                deg.values().all(|&d| d == 2),
+                "not a simple cycle: {cycle:?}"
+            );
         }
         let alive_count = alive.iter().filter(|&&a| a).count();
-        assert_eq!(covered, alive_count, "decomposition must cover all alive edges");
+        assert_eq!(
+            covered, alive_count,
+            "decomposition must cover all alive edges"
+        );
     }
 
     #[test]
@@ -246,7 +263,11 @@ mod tests {
 
     #[test]
     fn decompose_even_families() {
-        for g in [generators::torus2d(3, 3), generators::hypercube(4), generators::complete(5)] {
+        for g in [
+            generators::torus2d(3, 3),
+            generators::hypercube(4),
+            generators::complete(5),
+        ] {
             let cycles = cycle_decomposition_full(&g).unwrap();
             verify_decomposition(&g, &vec![true; g.m()], &cycles);
         }
@@ -257,9 +278,7 @@ mod tests {
         let g = generators::figure_eight(3);
         // Keep only the first triangle (edges 0, 1, 2 by construction).
         let mut alive = vec![false; g.m()];
-        for e in 0..3 {
-            alive[e] = true;
-        }
+        alive[..3].fill(true);
         let cycles = cycle_decomposition(&g, &alive).unwrap();
         assert_eq!(cycles.len(), 1);
         verify_decomposition(&g, &alive, &cycles);

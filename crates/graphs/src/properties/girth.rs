@@ -37,7 +37,7 @@ fn bfs_candidate(
             }
             if stamp[w] == round {
                 let cand = (du + dist[w] + 1) as usize;
-                if best.map_or(true, |b| cand < b) {
+                if best.is_none_or(|b| cand < b) {
                     best = Some(cand);
                 }
             } else {
@@ -82,10 +82,16 @@ fn girth_bounded(g: &Graph, limit: usize) -> Option<usize> {
             break; // girth 2 is minimal possible (no self-loops)
         }
         let depth_bound = (current_cap as u32).div_ceil(2);
-        if let Some(cand) =
-            bfs_candidate(g, root, depth_bound, &mut dist, &mut stamp, round, &mut parent_edge)
-        {
-            if cand <= current_cap && best.map_or(true, |b| cand < b) {
+        if let Some(cand) = bfs_candidate(
+            g,
+            root,
+            depth_bound,
+            &mut dist,
+            &mut stamp,
+            round,
+            &mut parent_edge,
+        ) {
+            if cand <= current_cap && best.is_none_or(|b| cand < b) {
                 best = Some(cand);
             }
         }

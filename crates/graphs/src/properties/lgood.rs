@@ -47,7 +47,10 @@ pub struct MinEvenSubgraph {
 /// for exact search (`n > 64` or more than 22 free edges).
 pub fn min_even_subgraph_through(g: &Graph, v: Vertex) -> Result<Option<MinEvenSubgraph>, String> {
     if g.n() > 64 {
-        return Err(format!("exact l-good search requires n <= 64, got {}", g.n()));
+        return Err(format!(
+            "exact l-good search requires n <= 64, got {}",
+            g.n()
+        ));
     }
     let star: Vec<EdgeId> = g.arc_range(v).map(|a| g.arc_edge(a)).collect();
     let free: Vec<EdgeId> = (0..g.m()).filter(|e| !star.contains(e)).collect();
@@ -83,7 +86,7 @@ pub fn min_even_subgraph_through(g: &Graph, v: Vertex) -> Result<Option<MinEvenS
         }
         if parity == 0 {
             let count = presence.count_ones() as usize;
-            if best.map_or(true, |(b, _)| count < b) {
+            if best.is_none_or(|(b, _)| count < b) {
                 best = Some((count, subset));
             }
         }
@@ -96,7 +99,10 @@ pub fn min_even_subgraph_through(g: &Graph, v: Vertex) -> Result<Option<MinEvenS
             }
         }
         edges.sort_unstable();
-        MinEvenSubgraph { vertex_count: count, edges }
+        MinEvenSubgraph {
+            vertex_count: count,
+            edges,
+        }
     }))
 }
 
@@ -131,13 +137,16 @@ pub fn lgood_exact(g: &Graph) -> Result<Option<usize>, String> {
 /// has no connecting path edge-disjoint from the cycles already built);
 /// this does **not** imply `ℓ(v)` is undefined.
 pub fn even_subgraph_upper_bound(g: &Graph, v: Vertex) -> Option<usize> {
-    if g.degree(v) % 2 != 0 {
+    if !g.degree(v).is_multiple_of(2) {
         return None;
     }
     let mut used_edge = vec![false; g.m()];
     let mut present = vec![false; g.n()];
     present[v] = true;
-    let ports: Vec<(Vertex, EdgeId)> = g.arc_range(v).map(|a| (g.arc_target(a), g.arc_edge(a))).collect();
+    let ports: Vec<(Vertex, EdgeId)> = g
+        .arc_range(v)
+        .map(|a| (g.arc_target(a), g.arc_edge(a)))
+        .collect();
     let mut remaining: Vec<(Vertex, EdgeId)> = ports;
     while let Some((start, start_edge)) = remaining.pop() {
         used_edge[start_edge] = true;
@@ -166,7 +175,10 @@ pub fn even_subgraph_upper_bound(g: &Graph, v: Vertex) -> Option<usize> {
 /// upper bound on `ℓ(G)`. Returns `None` if the greedy construction failed
 /// at every probe.
 pub fn lgood_upper_bound(g: &Graph, probes: &[Vertex]) -> Option<usize> {
-    probes.iter().filter_map(|&v| even_subgraph_upper_bound(g, v)).min()
+    probes
+        .iter()
+        .filter_map(|&v| even_subgraph_upper_bound(g, v))
+        .min()
 }
 
 /// BFS from `start` to the nearest vertex in `targets`, avoiding vertex
@@ -211,7 +223,9 @@ fn bfs_avoiding(
 }
 
 fn find_free_edge(g: &Graph, u: Vertex, w: Vertex, used_edge: &[bool]) -> Option<EdgeId> {
-    g.ports(u).find(|&(_, t, e)| t == w && !used_edge[e]).map(|(_, _, e)| e)
+    g.ports(u)
+        .find(|&(_, t, e)| t == w && !used_edge[e])
+        .map(|(_, _, e)| e)
 }
 
 #[cfg(test)]
@@ -270,7 +284,11 @@ mod tests {
                 deg[b] += 1;
             }
             assert!(deg.iter().all(|&d| d % 2 == 0), "witness must be even");
-            assert_eq!(deg[v], g.degree(v), "witness must contain the full star of {v}");
+            assert_eq!(
+                deg[v],
+                g.degree(v),
+                "witness must contain the full star of {v}"
+            );
         }
     }
 
@@ -284,12 +302,22 @@ mod tests {
 
     #[test]
     fn upper_bound_dominates_exact() {
-        for g in [generators::figure_eight(3), generators::torus2d(3, 3), generators::complete(5)] {
+        for g in [
+            generators::figure_eight(3),
+            generators::torus2d(3, 3),
+            generators::complete(5),
+        ] {
             assert!(degrees::is_even_degree(&g));
             for v in g.vertices() {
-                let exact = min_even_subgraph_through(&g, v).unwrap().unwrap().vertex_count;
+                let exact = min_even_subgraph_through(&g, v)
+                    .unwrap()
+                    .unwrap()
+                    .vertex_count;
                 if let Some(ub) = even_subgraph_upper_bound(&g, v) {
-                    assert!(ub >= exact, "greedy {ub} must dominate exact {exact} at {v}");
+                    assert!(
+                        ub >= exact,
+                        "greedy {ub} must dominate exact {exact} at {v}"
+                    );
                 }
             }
         }
@@ -329,7 +357,10 @@ mod tests {
     #[test]
     fn torus_3x4_exact_vs_greedy() {
         let g = generators::torus2d(3, 4); // m = 24, d = 4: exact feasible
-        let exact = min_even_subgraph_through(&g, 0).unwrap().unwrap().vertex_count;
+        let exact = min_even_subgraph_through(&g, 0)
+            .unwrap()
+            .unwrap()
+            .vertex_count;
         // Wrap-triangle (3 vertices) + wrap-4-cycle (4 vertices) sharing v.
         assert_eq!(exact, 6);
         let ub = even_subgraph_upper_bound(&g, 0).unwrap();

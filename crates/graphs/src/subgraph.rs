@@ -64,7 +64,11 @@ pub fn induced_subgraph(g: &Graph, vertices: &[Vertex]) -> Subgraph {
         }
     }
     let graph = Graph::from_edges(vertex_map.len(), &edges).expect("valid by construction");
-    Subgraph { graph, vertex_map, edge_map }
+    Subgraph {
+        graph,
+        vertex_map,
+        edge_map,
+    }
 }
 
 /// The *edge-induced* subgraph: keeps the listed edges and exactly the
@@ -98,7 +102,11 @@ pub fn edge_subgraph(g: &Graph, edges: &[EdgeId]) -> Subgraph {
         new_edges.push((index[u], index[v]));
     }
     let graph = Graph::from_edges(vertex_map.len(), &new_edges).expect("valid by construction");
-    Subgraph { graph, vertex_map, edge_map: edges.to_vec() }
+    Subgraph {
+        graph,
+        vertex_map,
+        edge_map: edges.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +136,11 @@ mod tests {
         let g = generators::path(5);
         let sub = induced_subgraph(&g, &[0, 0, 2, 4]);
         assert_eq!(sub.graph.n(), 3);
-        assert_eq!(sub.graph.m(), 0, "0, 2, 4 are pairwise non-adjacent on a path");
+        assert_eq!(
+            sub.graph.m(),
+            0,
+            "0, 2, 4 are pairwise non-adjacent on a path"
+        );
     }
 
     #[test]

@@ -8,8 +8,11 @@ use rand::SeedableRng;
 
 /// Strategy: a random simple edge list on `n <= 24` vertices.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..24, proptest::collection::vec((0usize..24, 0usize..24), 0..60)).prop_map(
-        |(n, pairs)| {
+    (
+        2usize..24,
+        proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+    )
+        .prop_map(|(n, pairs)| {
             let mut edges = Vec::new();
             let mut seen = std::collections::HashSet::new();
             for (a, b) in pairs {
@@ -22,8 +25,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             Graph::from_edges(n, &edges).expect("valid by construction")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -25,11 +25,13 @@ pub fn conductance_exact(g: &Graph) -> Result<f64, String> {
     let m = g.m() as f64;
     let degrees: Vec<f64> = g.vertices().map(|v| g.degree(v) as f64).collect();
     // Edge endpoint masks for boundary counting with multiplicity.
-    let edge_masks: Vec<(u32, u32)> =
-        g.edges().map(|(_, u, v)| (1u32 << u, 1u32 << v)).collect();
+    let edge_masks: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (1u32 << u, 1u32 << v)).collect();
     let mut best = f64::INFINITY;
     for mask in 1u32..(1u32 << n) - 1 {
-        let d_x: f64 = (0..n).filter(|&v| mask & (1 << v) != 0).map(|v| degrees[v]).sum();
+        let d_x: f64 = (0..n)
+            .filter(|&v| mask & (1 << v) != 0)
+            .map(|v| degrees[v])
+            .sum();
         if d_x > m {
             continue; // the definition minimises over d(X) ≤ m(G)
         }
@@ -50,7 +52,10 @@ pub fn conductance_exact(g: &Graph) -> Result<f64, String> {
 /// `(λ_2 − (1 − 2Φ), (1 − Φ²/2) − λ_2)`, both nonnegative when the
 /// inequality holds.
 pub fn cheeger_slack(phi: f64, lambda_2: f64) -> (f64, f64) {
-    (lambda_2 - (1.0 - 2.0 * phi), (1.0 - phi * phi / 2.0) - lambda_2)
+    (
+        lambda_2 - (1.0 - 2.0 * phi),
+        (1.0 - phi * phi / 2.0) - lambda_2,
+    )
 }
 
 #[cfg(test)]
@@ -97,8 +102,14 @@ mod tests {
             let phi = conductance_exact(&g).unwrap();
             let lambda_2 = SymMatrix::from_graph(&g, false).eigenvalues()[1];
             let (lo, hi) = cheeger_slack(phi, lambda_2);
-            assert!(lo >= -1e-9, "lower Cheeger violated: λ2 = {lambda_2}, Φ = {phi}");
-            assert!(hi >= -1e-9, "upper Cheeger violated: λ2 = {lambda_2}, Φ = {phi}");
+            assert!(
+                lo >= -1e-9,
+                "lower Cheeger violated: λ2 = {lambda_2}, Φ = {phi}"
+            );
+            assert!(
+                hi >= -1e-9,
+                "upper Cheeger violated: λ2 = {lambda_2}, Φ = {phi}"
+            );
         }
     }
 

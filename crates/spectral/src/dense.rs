@@ -15,7 +15,10 @@ pub struct SymMatrix {
 impl SymMatrix {
     /// Creates the zero matrix of size `n × n`.
     pub fn zeros(n: usize) -> SymMatrix {
-        SymMatrix { n, data: vec![0.0; n * n] }
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -156,7 +159,10 @@ pub fn solve_linear_system(mut a: Vec<f64>, mut b: Vec<f64>) -> Option<Vec<f64>>
     for col in 0..n {
         // Pivot.
         let pivot_row = (col..n).max_by(|&i, &j| {
-            a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).expect("finite")
+            a[i * n + col]
+                .abs()
+                .partial_cmp(&a[j * n + col].abs())
+                .expect("finite")
         })?;
         if a[pivot_row * n + col].abs() < 1e-12 {
             return None;
@@ -223,8 +229,9 @@ mod tests {
         let n = 8;
         let m = SymMatrix::from_graph(&generators::cycle(n), false);
         let eigs = m.eigenvalues();
-        let mut expected: Vec<f64> =
-            (0..n).map(|k| (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos()).collect();
+        let mut expected: Vec<f64> = (0..n)
+            .map(|k| (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos())
+            .collect();
         expected.sort_by(|x, y| y.partial_cmp(x).unwrap());
         for (a, b) in eigs.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-9, "got {a}, want {b}");

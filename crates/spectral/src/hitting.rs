@@ -136,10 +136,10 @@ mod tests {
         let n = 8;
         let g = generators::cycle(n);
         let h = hitting_times_to(&g, 0).unwrap();
-        for u in 0..n {
+        for (u, &hu) in h.iter().enumerate() {
             let k = u.min(n - u) as f64;
             let expected = k * (n as f64 - k);
-            assert!((h[u] - expected).abs() < 1e-9, "h[{u}] = {} vs {expected}", h[u]);
+            assert!((hu - expected).abs() < 1e-9, "h[{u}] = {hu} vs {expected}");
         }
     }
 
@@ -149,20 +149,28 @@ mod tests {
         let n = 7;
         let g = generators::complete(n);
         let h = hitting_times_to(&g, 3).unwrap();
-        for u in 0..n {
+        for (u, &hu) in h.iter().enumerate() {
             let expected = if u == 3 { 0.0 } else { (n - 1) as f64 };
-            assert!((h[u] - expected).abs() < 1e-9);
+            assert!((hu - expected).abs() < 1e-9);
         }
     }
 
     #[test]
     fn return_time_identity() {
         // E_v T_v^+ = 1/π_v = 2m/d(v) (§2.2).
-        for g in [generators::lollipop(5, 3), generators::petersen(), generators::torus2d(3, 4)] {
+        for g in [
+            generators::lollipop(5, 3),
+            generators::petersen(),
+            generators::torus2d(3, 4),
+        ] {
             let pi = stationary_distribution(&g);
             for v in [0, g.n() / 2, g.n() - 1] {
                 let rt = expected_return_time(&g, v).unwrap();
-                assert!((rt - 1.0 / pi[v]).abs() < 1e-7, "E_v T_v^+ = {rt} vs 1/π = {}", 1.0 / pi[v]);
+                assert!(
+                    (rt - 1.0 / pi[v]).abs() < 1e-7,
+                    "E_v T_v^+ = {rt} vs 1/π = {}",
+                    1.0 / pi[v]
+                );
             }
         }
     }

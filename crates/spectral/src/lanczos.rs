@@ -51,7 +51,10 @@ impl LanczosResult {
 ///
 /// Panics if the graph has no edges or fewer than 2 vertices.
 pub fn lanczos(g: &Graph, steps: usize) -> LanczosResult {
-    assert!(g.m() > 0 && g.n() >= 2, "lanczos requires a graph with edges");
+    assert!(
+        g.m() > 0 && g.n() >= 2,
+        "lanczos requires a graph with edges"
+    );
     let n = g.n();
     let k = steps.clamp(1, n - 1);
     let phi = principal_eigenvector(g);
@@ -98,14 +101,19 @@ pub fn lanczos(g: &Graph, steps: usize) -> LanczosResult {
     for (i, &b) in betas.iter().take(dim.saturating_sub(1)).enumerate() {
         t.set(i, i + 1, b);
     }
-    LanczosResult { ritz_values: t.eigenvalues(), dimension: dim }
+    LanczosResult {
+        ritz_values: t.eigenvalues(),
+        dimension: dim,
+    }
 }
 
 fn seed_vector(n: usize, phi: &[f64]) -> Vec<f64> {
     let mut state = 0x853c49e6748fea9bu64;
     let mut x: Vec<f64> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         })
         .collect();
@@ -144,13 +152,22 @@ mod tests {
         let g = generators::cycle(10);
         let res = lanczos(&g, 9);
         let exact = SymMatrix::from_graph(&g, false).eigenvalues();
-        assert!((res.lambda_2() - exact[1]).abs() < 1e-8, "{} vs {}", res.lambda_2(), exact[1]);
+        assert!(
+            (res.lambda_2() - exact[1]).abs() < 1e-8,
+            "{} vs {}",
+            res.lambda_2(),
+            exact[1]
+        );
         assert!((res.lambda_n() - exact[9]).abs() < 1e-8);
     }
 
     #[test]
     fn agrees_with_jacobi_on_named_graphs() {
-        for g in [generators::petersen(), generators::lollipop(5, 4), generators::torus2d(3, 4)] {
+        for g in [
+            generators::petersen(),
+            generators::lollipop(5, 4),
+            generators::torus2d(3, 4),
+        ] {
             let res = lanczos(&g, g.n() - 1);
             let exact = SymMatrix::from_graph(&g, false).eigenvalues();
             assert!((res.lambda_2() - exact[1]).abs() < 1e-7);
@@ -165,8 +182,18 @@ mod tests {
         let g = generators::connected_random_regular(300, 6, &mut rng).unwrap();
         let lz = lanczos(&g, 120);
         let pw = spectral_gap(&g, PowerOptions::default());
-        assert!((lz.lambda_2() - pw.lambda_2).abs() < 1e-5, "{} vs {}", lz.lambda_2(), pw.lambda_2);
-        assert!((lz.lambda_n() - pw.lambda_n).abs() < 1e-5, "{} vs {}", lz.lambda_n(), pw.lambda_n);
+        assert!(
+            (lz.lambda_2() - pw.lambda_2).abs() < 1e-5,
+            "{} vs {}",
+            lz.lambda_2(),
+            pw.lambda_2
+        );
+        assert!(
+            (lz.lambda_n() - pw.lambda_n).abs() < 1e-5,
+            "{} vs {}",
+            lz.lambda_n(),
+            pw.lambda_n
+        );
     }
 
     #[test]
@@ -176,7 +203,10 @@ mod tests {
         // Ritz values interlace: λ2 estimate from below, λn from above.
         let exact_l2 = 1.0 - 2.0 / 6.0;
         assert!(res.lambda_2() <= exact_l2 + 1e-9);
-        assert!(res.lambda_2() > exact_l2 - 0.05, "30 steps should nearly converge");
+        assert!(
+            res.lambda_2() > exact_l2 - 0.05,
+            "30 steps should nearly converge"
+        );
         assert!(res.lambda_n() >= -1.0 - 1e-9);
     }
 

@@ -110,7 +110,11 @@ mod tests {
         // T = 6 log n / (1 − λ_max) must bring worst-case pointwise error
         // below n^{-3}; pointwise error is bounded by TV, so check TV at T
         // against the (weaker) threshold.
-        for g in [generators::petersen(), generators::lollipop(4, 2), generators::torus2d(3, 3)] {
+        for g in [
+            generators::petersen(),
+            generators::lollipop(4, 2),
+            generators::torus2d(3, 3),
+        ] {
             let lmax = SymMatrix::from_graph(&g, true).lambda_max_walk();
             let n = g.n() as f64;
             let t = (6.0 * n.ln() / (1.0 - lmax)).ceil() as usize;

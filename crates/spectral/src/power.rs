@@ -24,7 +24,10 @@ pub struct PowerOptions {
 
 impl Default for PowerOptions {
     fn default() -> PowerOptions {
-        PowerOptions { max_iterations: 20_000, tolerance: 1e-11 }
+        PowerOptions {
+            max_iterations: 20_000,
+            tolerance: 1e-11,
+        }
     }
 }
 
@@ -68,7 +71,12 @@ pub fn spectral_gap(g: &Graph, opts: PowerOptions) -> SpectralEstimates {
     assert!(g.m() > 0, "spectral gap undefined for an edgeless graph");
     let n = g.n();
     if n <= 1 {
-        return SpectralEstimates { lambda_2: 0.0, lambda_n: 0.0, lambda_max: 0.0, iterations: 0 };
+        return SpectralEstimates {
+            lambda_2: 0.0,
+            lambda_n: 0.0,
+            lambda_max: 0.0,
+            iterations: 0,
+        };
     }
     let phi = principal_eigenvector(g);
     // Dominant eigenvalue of x -> (S + shift·I) x, deflated against φ1.
@@ -106,7 +114,12 @@ pub fn spectral_gap(g: &Graph, opts: PowerOptions) -> SpectralEstimates {
     // dominant (in norm, sign-insensitive) = 1 - λ_n.
     let lambda_n = (1.0 - dominant(-1.0)).clamp(-1.0, 1.0);
     let lambda_max = lambda_2.max(lambda_n.abs());
-    SpectralEstimates { lambda_2, lambda_n, lambda_max, iterations: total_iters }
+    SpectralEstimates {
+        lambda_2,
+        lambda_n,
+        lambda_max,
+        iterations: total_iters,
+    }
 }
 
 /// Deterministic pseudo-random unit vector orthogonal to `phi` (fixed seed
@@ -176,8 +189,18 @@ mod tests {
         let n = 10;
         let g = generators::complete(n);
         let est = spectral_gap(&g, PowerOptions::default());
-        assert_close(est.lambda_2, -1.0 / (n as f64 - 1.0), 1e-7, "lambda_2 of K10");
-        assert_close(est.lambda_n, -1.0 / (n as f64 - 1.0), 1e-7, "lambda_n of K10");
+        assert_close(
+            est.lambda_2,
+            -1.0 / (n as f64 - 1.0),
+            1e-7,
+            "lambda_2 of K10",
+        );
+        assert_close(
+            est.lambda_n,
+            -1.0 / (n as f64 - 1.0),
+            1e-7,
+            "lambda_n of K10",
+        );
     }
 
     #[test]
@@ -213,7 +236,12 @@ mod tests {
 
     #[test]
     fn gap_accessors() {
-        let est = SpectralEstimates { lambda_2: 0.8, lambda_n: -0.9, lambda_max: 0.9, iterations: 0 };
+        let est = SpectralEstimates {
+            lambda_2: 0.8,
+            lambda_n: -0.9,
+            lambda_max: 0.9,
+            iterations: 0,
+        };
         assert_close(est.gap(), 0.1, 1e-12, "gap");
         assert_close(est.lazy_gap(), 0.1, 1e-12, "lazy gap");
     }
@@ -225,7 +253,15 @@ mod tests {
         let g = generators::connected_random_regular(200, 4, &mut rng).unwrap();
         let est = spectral_gap(&g, PowerOptions::default());
         // Friedman: λ ≈ 2√3/4 ≈ 0.866 for r = 4; allow slack for n = 200.
-        assert!(est.lambda_2 < 0.95, "random 4-regular should expand, λ2 = {}", est.lambda_2);
-        assert!(est.lambda_2 > 0.5, "λ2 = {} suspiciously small", est.lambda_2);
+        assert!(
+            est.lambda_2 < 0.95,
+            "random 4-regular should expand, λ2 = {}",
+            est.lambda_2
+        );
+        assert!(
+            est.lambda_2 > 0.5,
+            "λ2 = {} suspiciously small",
+            est.lambda_2
+        );
     }
 }

@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn foster_theorem() {
-        for g in [generators::cycle(9), generators::complete(6), generators::petersen()] {
+        for g in [
+            generators::cycle(9),
+            generators::complete(6),
+            generators::petersen(),
+        ] {
             let sum = foster_sum(&g).unwrap();
             assert!(
                 (sum - (g.n() as f64 - 1.0)).abs() < 1e-8,

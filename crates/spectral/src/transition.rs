@@ -12,7 +12,10 @@ use eproc_graphs::Graph;
 /// Panics if the graph has no edges (the stationary distribution is
 /// undefined).
 pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
-    assert!(g.m() > 0, "stationary distribution undefined for an edgeless graph");
+    assert!(
+        g.m() > 0,
+        "stationary distribution undefined for an edgeless graph"
+    );
     let total = g.total_degree() as f64;
     g.vertices().map(|v| g.degree(v) as f64 / total).collect()
 }
@@ -59,8 +62,16 @@ pub fn apply_transition(g: &Graph, x: &[f64], lazy: bool) -> Vec<f64> {
 /// Panics if `x.len() != g.n()`.
 pub fn apply_symmetric(g: &Graph, x: &[f64], lazy: bool) -> Vec<f64> {
     assert_eq!(x.len(), g.n(), "vector length mismatch");
-    let inv_sqrt_d: Vec<f64> =
-        g.vertices().map(|v| if g.degree(v) == 0 { 0.0 } else { 1.0 / (g.degree(v) as f64).sqrt() }).collect();
+    let inv_sqrt_d: Vec<f64> = g
+        .vertices()
+        .map(|v| {
+            if g.degree(v) == 0 {
+                0.0
+            } else {
+                1.0 / (g.degree(v) as f64).sqrt()
+            }
+        })
+        .collect();
     let mut out = vec![0.0; g.n()];
     for u in g.vertices() {
         if g.degree(u) == 0 {
@@ -87,7 +98,10 @@ pub fn apply_symmetric(g: &Graph, x: &[f64], lazy: bool) -> Vec<f64> {
 ///
 /// Panics if the graph has no edges.
 pub fn principal_eigenvector(g: &Graph) -> Vec<f64> {
-    assert!(g.m() > 0, "principal eigenvector undefined for an edgeless graph");
+    assert!(
+        g.m() > 0,
+        "principal eigenvector undefined for an edgeless graph"
+    );
     let mut phi: Vec<f64> = g.vertices().map(|v| (g.degree(v) as f64).sqrt()).collect();
     let norm = phi.iter().map(|x| x * x).sum::<f64>().sqrt();
     for x in &mut phi {
@@ -161,8 +175,12 @@ mod tests {
     fn symmetric_operator_is_symmetric() {
         // <Sx, y> == <x, Sy> on random-ish vectors.
         let g = generators::torus2d(3, 4);
-        let x: Vec<f64> = (0..g.n()).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
-        let y: Vec<f64> = (0..g.n()).map(|i| ((i * 5 + 1) % 13) as f64 - 6.0).collect();
+        let x: Vec<f64> = (0..g.n())
+            .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+            .collect();
+        let y: Vec<f64> = (0..g.n())
+            .map(|i| ((i * 5 + 1) % 13) as f64 - 6.0)
+            .collect();
         let sx = apply_symmetric(&g, &x, false);
         let sy = apply_symmetric(&g, &y, false);
         let lhs: f64 = sx.iter().zip(&y).map(|(a, b)| a * b).sum();

@@ -41,7 +41,12 @@ fn determinant(mut a: Vec<f64>, n: usize) -> f64 {
     let mut det = 1.0f64;
     for col in 0..n {
         let pivot_row = (col..n)
-            .max_by(|&i, &j| a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i * n + col]
+                    .abs()
+                    .partial_cmp(&a[j * n + col].abs())
+                    .expect("finite")
+            })
             .expect("nonempty");
         if a[pivot_row * n + col].abs() < 1e-10 {
             return 0.0;
@@ -75,14 +80,20 @@ mod tests {
 
     #[test]
     fn tree_has_one_spanning_tree() {
-        assert_eq!(spanning_tree_count(&generators::binary_tree(3)).round(), 1.0);
+        assert_eq!(
+            spanning_tree_count(&generators::binary_tree(3)).round(),
+            1.0
+        );
         assert_eq!(spanning_tree_count(&generators::path(7)).round(), 1.0);
     }
 
     #[test]
     fn cycle_has_n_spanning_trees() {
         for n in [3usize, 5, 9] {
-            assert_eq!(spanning_tree_count(&generators::cycle(n)).round() as usize, n);
+            assert_eq!(
+                spanning_tree_count(&generators::cycle(n)).round() as usize,
+                n
+            );
         }
     }
 
@@ -92,13 +103,19 @@ mod tests {
         for n in [3usize, 4, 5, 6, 7] {
             let expected = (n as f64).powi(n as i32 - 2);
             let got = spanning_tree_count(&generators::complete(n));
-            assert!((got - expected).abs() < expected * 1e-9, "K{n}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < expected * 1e-9,
+                "K{n}: {got} vs {expected}"
+            );
         }
     }
 
     #[test]
     fn petersen_has_2000() {
-        assert_eq!(spanning_tree_count(&generators::petersen()).round() as u64, 2000);
+        assert_eq!(
+            spanning_tree_count(&generators::petersen()).round() as u64,
+            2000
+        );
     }
 
     #[test]
@@ -138,6 +155,9 @@ mod tests {
         let t_minus = spanning_tree_count(&g_minus);
         let r = effective_resistance(&g, u, v).unwrap();
         let predicted = (t_g - t_minus) / t_g;
-        assert!((r - predicted).abs() < 1e-9, "R = {r} vs tree ratio {predicted}");
+        assert!(
+            (r - predicted).abs() < 1e-9,
+            "R = {r} vs tree ratio {predicted}"
+        );
     }
 }

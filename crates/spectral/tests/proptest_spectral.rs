@@ -49,7 +49,7 @@ proptest! {
         let eigs = SymMatrix::from_graph(&g, false).eigenvalues();
         prop_assert!((eigs[0] - 1.0).abs() < 1e-8, "top eigenvalue must be 1");
         for &e in &eigs {
-            prop_assert!(e <= 1.0 + 1e-8 && e >= -1.0 - 1e-8, "eig {e} outside [-1,1]");
+            prop_assert!((-1.0 - 1e-8..=1.0 + 1e-8).contains(&e), "eig {e} outside [-1,1]");
         }
         // Trace of S is 0 (no self-loops).
         let sum: f64 = eigs.iter().sum();

@@ -19,7 +19,11 @@ pub struct Fit {
 fn r_squared(y: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
     let mean = y.iter().sum::<f64>() / y.len() as f64;
     let ss_tot: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
-    let ss_res: f64 = y.iter().enumerate().map(|(i, v)| (v - predicted(i)).powi(2)).sum();
+    let ss_res: f64 = y
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v - predicted(i)).powi(2))
+        .sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             1.0
@@ -49,7 +53,11 @@ pub fn fit_linear(x: &[f64], y: &[f64]) -> Fit {
     let slope = (n * sxy - sx * sy) / denom;
     let intercept = (sy - slope * sx) / n;
     let rsq = r_squared(y, |i| intercept + slope * x[i]);
-    Fit { intercept, slope, r_squared: rsq }
+    Fit {
+        intercept,
+        slope,
+        r_squared: rsq,
+    }
 }
 
 /// Through-origin fit `y = c x` (used for the flat `C_V/n` series: fit
@@ -66,7 +74,11 @@ pub fn fit_proportional(x: &[f64], y: &[f64]) -> Fit {
     let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
     let c = sxy / sxx;
     let rsq = r_squared(y, |i| c * x[i]);
-    Fit { intercept: 0.0, slope: c, r_squared: rsq }
+    Fit {
+        intercept: 0.0,
+        slope: c,
+        r_squared: rsq,
+    }
 }
 
 /// Fits `y = c · n ln n` to `(n, y)` pairs — the model the paper draws over
@@ -119,7 +131,10 @@ mod tests {
     #[test]
     fn nlogn_fit_recovers_constant() {
         let ns = [1000usize, 2000, 4000, 8000, 16000];
-        let y: Vec<f64> = ns.iter().map(|&n| 0.93 * n as f64 * (n as f64).ln()).collect();
+        let y: Vec<f64> = ns
+            .iter()
+            .map(|&n| 0.93 * n as f64 * (n as f64).ln())
+            .collect();
         let fit = fit_c_nlogn(&ns, &y);
         assert!((fit.slope - 0.93).abs() < 1e-9, "c = {}", fit.slope);
         assert!(fit.r_squared > 1.0 - 1e-9);
@@ -136,7 +151,10 @@ mod tests {
             let x: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
             fit_proportional(&x, &y)
         };
-        assert!(linear_fit.r_squared > fit.r_squared, "linear model must win on linear data");
+        assert!(
+            linear_fit.r_squared > fit.r_squared,
+            "linear model must win on linear data"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn base_matters() {
-        assert_ne!(SeedSequence::new(1).derive(&[5]), SeedSequence::new(2).derive(&[5]));
+        assert_ne!(
+            SeedSequence::new(1).derive(&[5]),
+            SeedSequence::new(2).derive(&[5])
+        );
     }
 
     #[test]
@@ -66,6 +69,10 @@ mod tests {
         for i in 0..64 {
             low_bits.insert(s.derive(&[i]) & 0xff);
         }
-        assert!(low_bits.len() > 40, "only {} distinct low bytes", low_bits.len());
+        assert!(
+            low_bits.len() > 40,
+            "only {} distinct low bytes",
+            low_bits.len()
+        );
     }
 }

@@ -85,7 +85,10 @@ impl Summary {
 ///
 /// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!(!data.is_empty(), "cannot take a quantile of an empty sample");
+    assert!(
+        !data.is_empty(),
+        "cannot take a quantile of an empty sample"
+    );
     assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));

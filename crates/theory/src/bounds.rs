@@ -39,7 +39,13 @@ pub fn eq1_expander_vertex_cover_bound(n: usize, l: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `girth == 0`, `max_degree < 2` or `gap <= 0`.
-pub fn theorem3_edge_cover_bound(m: usize, n: usize, girth: usize, max_degree: usize, gap: f64) -> f64 {
+pub fn theorem3_edge_cover_bound(
+    m: usize,
+    n: usize,
+    girth: usize,
+    max_degree: usize,
+    gap: f64,
+) -> f64 {
     assert!(girth > 0, "girth must be positive");
     assert!(max_degree >= 2, "max degree must be at least 2");
     assert!(gap > 0.0, "eigenvalue gap must be positive");
@@ -194,7 +200,10 @@ mod tests {
         // ℓ = log n, gap = 1/2: bound = n + 2n = 3n exactly.
         let n = 1_000_000;
         let bound = theorem1_vertex_cover_bound(n, (n as f64).ln(), 0.5);
-        assert!((bound - 3.0 * n as f64).abs() < 1e-3, "Θ(n) when ℓ = log n: {bound}");
+        assert!(
+            (bound - 3.0 * n as f64).abs() < 1e-3,
+            "Θ(n) when ℓ = log n: {bound}"
+        );
     }
 
     #[test]
@@ -296,7 +305,10 @@ mod tests {
         let n = 100_000;
         let m = 2 * n;
         let tau = lemma15_tau_star(m, n, 4, 4, (n as f64).ln(), 0.5);
-        assert!((tau - 114.0 * n as f64).abs() < 1.0, "τ* should be 114n: {tau}");
+        assert!(
+            (tau - 114.0 * n as f64).abs() < 1.0,
+            "τ* should be 114n: {tau}"
+        );
     }
 
     #[test]

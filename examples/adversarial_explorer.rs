@@ -38,13 +38,18 @@ fn main() {
     race("degree-greedy adversary", &g, GreedyAdversary, 2);
     // An adversary that always returns fire toward the most recently
     // compacted slot (a worst-case-looking deterministic whim).
-    race("last-slot adversary", &g, AdversarialRule::new(|ctx: &RuleContext<'_>| ctx.live_arcs.len() - 1), 3);
+    race(
+        "last-slot adversary",
+        &g,
+        AdversarialRule::new(|ctx: &RuleContext<'_>| ctx.live_arcs.len() - 1),
+        3,
+    );
     // An adversary alternating between extremes based on the step parity.
     race(
         "alternating adversary",
         &g,
         AdversarialRule::new(|ctx: &RuleContext<'_>| {
-            if ctx.step % 2 == 0 {
+            if ctx.step.is_multiple_of(2) {
                 0
             } else {
                 ctx.live_arcs.len() - 1

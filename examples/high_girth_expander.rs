@@ -35,8 +35,14 @@ fn main() {
 
     let spec = lanczos(&g, 140);
     let ramanujan = theory::ramanujan_lambda_bound(p as usize);
-    println!("  lambda_2 = {:.4} (Ramanujan bound: {ramanujan:.4})", spec.lambda_2());
-    assert!(spec.lambda_2() <= ramanujan + 1e-6, "Ramanujan property violated");
+    println!(
+        "  lambda_2 = {:.4} (Ramanujan bound: {ramanujan:.4})",
+        spec.lambda_2()
+    );
+    assert!(
+        spec.lambda_2() <= ramanujan + 1e-6,
+        "Ramanujan property violated"
+    );
     let gap = if bipartite::is_bipartite(&g) {
         println!("  bipartite: using the lazy-walk gap (paper §2.1)");
         (1.0 - spec.lambda_2()) / 2.0
@@ -52,13 +58,25 @@ fn main() {
     let ce = run.steps_to_edge_cover.expect("covers");
 
     println!("E-process on X^({p},{q}):");
-    println!("  vertex cover: {cv} steps  (CV/n = {:.2})", cv as f64 / g.n() as f64);
-    println!("  edge cover  : {ce} steps  (CE/m = {:.2})", ce as f64 / g.m() as f64);
+    println!(
+        "  vertex cover: {cv} steps  (CV/n = {:.2})",
+        cv as f64 / g.n() as f64
+    );
+    println!(
+        "  edge cover  : {ce} steps  (CE/m = {:.2})",
+        ce as f64 / g.m() as f64
+    );
 
     let t1 = theory::theorem1_vertex_cover_bound(g.n(), measured_girth as f64, gap);
     let t3 = theory::theorem3_edge_cover_bound(g.m(), g.n(), measured_girth, 6, gap);
     println!("\nTheory:");
-    println!("  Theorem 1 expression: {t1:.0} (measured/bound = {:.3})", cv as f64 / t1);
-    println!("  Theorem 3 expression: {t3:.0} (measured/bound = {:.3})", ce as f64 / t3);
+    println!(
+        "  Theorem 1 expression: {t1:.0} (measured/bound = {:.3})",
+        cv as f64 / t1
+    );
+    println!(
+        "  Theorem 3 expression: {t3:.0} (measured/bound = {:.3})",
+        ce as f64 / t3
+    );
     println!("\nBoth covers are linear in the graph size — the title, realised.");
 }

@@ -28,7 +28,12 @@ struct PatrolReport {
     worst_staleness: u64,
 }
 
-fn patrol<W: WalkProcess>(walk: &mut W, g: &Graph, budget: u64, rng: &mut dyn RngCore) -> PatrolReport {
+fn patrol<W: WalkProcess>(
+    walk: &mut W,
+    g: &Graph,
+    budget: u64,
+    rng: &mut dyn RngCore,
+) -> PatrolReport {
     let mut last_seen = vec![0u64; g.m()];
     let mut seen = vec![false; g.m()];
     let mut remaining = g.m();
@@ -48,37 +53,60 @@ fn patrol<W: WalkProcess>(walk: &mut W, g: &Graph, budget: u64, rng: &mut dyn Rn
             }
         }
     }
-    for e in 0..g.m() {
-        worst = worst.max(budget - last_seen[e]);
+    for &seen in &last_seen {
+        worst = worst.max(budget - seen);
     }
-    PatrolReport { first_sweep, worst_staleness: worst }
+    PatrolReport {
+        first_sweep,
+        worst_staleness: worst,
+    }
 }
 
 fn main() {
     let side = 48;
     let g = generators::torus2d(side, side);
     let budget = 40 * g.m() as u64;
-    println!("Patrolling a {side}x{side} torus fabric: n = {}, m = {}", g.n(), g.m());
-    println!("step budget = {budget} ({}x the number of links)\n", budget / g.m() as u64);
+    println!(
+        "Patrolling a {side}x{side} torus fabric: n = {}, m = {}",
+        g.n(),
+        g.m()
+    );
+    println!(
+        "step budget = {budget} ({}x the number of links)\n",
+        budget / g.m() as u64
+    );
     let mut rng = SmallRng::seed_from_u64(2024);
 
     let report = |name: &str, r: PatrolReport| {
         println!("{name}:");
         match r.first_sweep {
-            Some(t) => println!("  first full sweep  : {t} steps ({:.2} x m)", t as f64 / g.m() as f64),
+            Some(t) => println!(
+                "  first full sweep  : {t} steps ({:.2} x m)",
+                t as f64 / g.m() as f64
+            ),
             None => println!("  first full sweep  : not within budget"),
         }
-        println!("  worst staleness   : {} steps ({:.1} x m)\n", r.worst_staleness, r.worst_staleness as f64 / g.m() as f64);
+        println!(
+            "  worst staleness   : {} steps ({:.1} x m)\n",
+            r.worst_staleness,
+            r.worst_staleness as f64 / g.m() as f64
+        );
     };
 
     let mut e_walk = EProcess::new(&g, 0, UniformRule::new());
-    report("E-process (prefers unvisited edges)", patrol(&mut e_walk, &g, budget, &mut rng));
+    report(
+        "E-process (prefers unvisited edges)",
+        patrol(&mut e_walk, &g, budget, &mut rng),
+    );
 
     let mut srw = SimpleRandomWalk::new(&g, 0);
     report("Simple random walk", patrol(&mut srw, &g, budget, &mut rng));
 
     let mut luf = LeastUsedFirst::new(&g, 0);
-    report("Least-Used-First (locally fair)", patrol(&mut luf, &g, budget, &mut rng));
+    report(
+        "Least-Used-First (locally fair)",
+        patrol(&mut luf, &g, budget, &mut rng),
+    );
 
     println!("The E-process sweeps once almost perfectly (CE ≈ m, eq. 3) and then");
     println!("behaves like a random walk; Least-Used-First keeps patrolling fair");

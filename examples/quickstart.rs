@@ -26,7 +26,10 @@ fn main() {
     let e_cover = run_to_vertex_cover(&mut eproc_walk, &g, &mut rng).expect("connected graph");
     println!("E-process (uniform rule A):");
     println!("  vertex cover time : {} steps", e_cover.steps);
-    println!("  normalised CV/n   : {:.2}", e_cover.steps as f64 / n as f64);
+    println!(
+        "  normalised CV/n   : {:.2}",
+        e_cover.steps as f64 / n as f64
+    );
     println!(
         "  blue/red split    : {} blue, {} red (blue <= m = {})",
         eproc_walk.blue_steps(),
@@ -38,11 +41,20 @@ fn main() {
     let s_cover = run_to_vertex_cover(&mut srw, &g, &mut rng).expect("connected graph");
     println!("\nSimple random walk:");
     println!("  vertex cover time : {} steps", s_cover.steps);
-    println!("  normalised CV/(n ln n): {:.2}", s_cover.steps as f64 / (n as f64 * (n as f64).ln()));
+    println!(
+        "  normalised CV/(n ln n): {:.2}",
+        s_cover.steps as f64 / (n as f64 * (n as f64).ln())
+    );
 
     println!("\nLower bounds for *any* reversible walk (Theorem 5 / Feige):");
-    println!("  Radzik (n/4)ln(n/2) = {:.0}", theory::radzik_lower_bound(n));
-    println!("  Feige n ln n        = {:.0}", theory::feige_lower_bound(n));
+    println!(
+        "  Radzik (n/4)ln(n/2) = {:.0}",
+        theory::radzik_lower_bound(n)
+    );
+    println!(
+        "  Feige n ln n        = {:.0}",
+        theory::feige_lower_bound(n)
+    );
     println!(
         "\nSpeed-up of the E-process over the SRW: {:.1}x (paper: Ω(min(log n, l)))",
         s_cover.steps as f64 / e_cover.steps as f64

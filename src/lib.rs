@@ -2,8 +2,9 @@
 //!
 //! Facade crate re-exporting the whole workspace: the E-process simulator
 //! and baselines ([`core`]), the graph substrate ([`graphs`]), the spectral
-//! toolkit ([`spectral`]), the paper's closed-form bounds ([`theory`]) and
-//! statistics helpers ([`stats`]).
+//! toolkit ([`spectral`]), the paper's closed-form bounds ([`theory`]),
+//! statistics helpers ([`stats`]) and the parallel ensemble-simulation
+//! engine ([`engine`]).
 //!
 //! This reproduces Berenbrink, Cooper, Friedetzky, *"Random walks which
 //! prefer unvisited edges: exploring high girth even degree expanders in
@@ -26,8 +27,35 @@
 //! assert!(result.steps < 20 * g.n() as u64);
 //! # Ok::<(), eproc::graphs::GraphError>(())
 //! ```
+//!
+//! ## Ensembles
+//!
+//! For grids of (graph × process × seed) runs — the shape of every claim
+//! in the paper — use the [`engine`]: declare an
+//! [`engine::ExperimentSpec`] and execute it on all cores with
+//! [`engine::run`]. Results are bit-identical for any thread count.
+//!
+//! ```
+//! use eproc::engine::{self, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target, CapSpec};
+//!
+//! let spec = ExperimentSpec {
+//!     name: "doc".into(),
+//!     description: "E-process vs SRW".into(),
+//!     graphs: vec![GraphSpec::Torus { w: 6, h: 6 }],
+//!     processes: vec![ProcessSpec::EProcess { rule: RuleSpec::Uniform }, ProcessSpec::Srw],
+//!     trials: 3,
+//!     target: Target::VertexCover,
+//!     cap: CapSpec::Auto,
+//! };
+//! let report = engine::run(&spec, &engine::RunOptions { threads: 2, base_seed: 1 }).unwrap();
+//! assert_eq!(report.cells.len(), 2);
+//! ```
+//!
+//! The same engine backs the `eproc` CLI binary
+//! (`cargo run --release --bin eproc -- run comparison --scale quick`).
 
 pub use eproc_core as core;
+pub use eproc_engine as engine;
 pub use eproc_graphs as graphs;
 pub use eproc_spectral as spectral;
 pub use eproc_stats as stats;

@@ -28,7 +28,10 @@ fn radzik_lower_bound_on_weighted_walks() {
         }
         let mean = Summary::from_u64(&covers).mean;
         let bound = theory::radzik_lower_bound(n);
-        assert!(mean > bound, "n = {n}: weighted walk covered in {mean} < Radzik {bound}");
+        assert!(
+            mean > bound,
+            "n = {n}: weighted walk covered in {mean} < Radzik {bound}"
+        );
     }
 }
 
@@ -52,7 +55,11 @@ fn edge_cover_sandwich_in_expectation() {
     let m = g.m() as f64;
     assert!(ce_mean >= m, "CE {ce_mean} below m {m}");
     // Allow 50% sampling slack on the upper side.
-    assert!(ce_mean <= m + 1.5 * cv_mean, "CE {ce_mean} above m + CV(SRW) = {}", m + cv_mean);
+    assert!(
+        ce_mean <= m + 1.5 * cv_mean,
+        "CE {ce_mean} above m + CV(SRW) = {}",
+        m + cv_mean
+    );
 }
 
 /// Theorem 1's expression dominates the measured cover time on a small
@@ -62,7 +69,9 @@ fn edge_cover_sandwich_in_expectation() {
 fn theorem1_dominates_measured_cover() {
     // 3x4 torus: exact ℓ = 6 (cycle(3) + cycle(4) through a vertex).
     let g = generators::torus2d(3, 4);
-    let l = eproc::graphs::properties::lgood::lgood_exact(&g).unwrap().unwrap() as f64;
+    let l = eproc::graphs::properties::lgood::lgood_exact(&g)
+        .unwrap()
+        .unwrap() as f64;
     let lambda = SymMatrix::from_graph(&g, true).lambda_max_walk();
     let gap = 1.0 - lambda;
     let bound = theory::theorem1_vertex_cover_bound(g.n(), l, gap);
@@ -75,7 +84,10 @@ fn theorem1_dominates_measured_cover() {
     let mean = Summary::from_u64(&covers).mean;
     // The Theorem-1 expression is an order bound; on this instance the
     // constant is comfortably below 1.
-    assert!(mean <= bound, "measured {mean} exceeds Theorem 1 expression {bound}");
+    assert!(
+        mean <= bound,
+        "measured {mean} exceeds Theorem 1 expression {bound}"
+    );
 }
 
 /// Lemma 6 and Corollary 9 against exact hitting times and the exact
@@ -99,13 +111,19 @@ fn lemma6_corollary9_exact() {
         for v in g.vertices() {
             let measured = hitting::hitting_from_stationary(&g, v).unwrap();
             let bound = theory::lemma6_hitting_bound(pi[v], gap);
-            assert!(measured <= bound + 1e-9, "Lemma 6 fails at {v}: {measured} > {bound}");
+            assert!(
+                measured <= bound + 1e-9,
+                "Lemma 6 fails at {v}: {measured} > {bound}"
+            );
         }
         let set = [0, g.n() - 1];
         let d_s: usize = set.iter().map(|&v| g.degree(v)).sum();
         let measured = hitting::set_hitting_from_stationary(&g, &set).unwrap();
         let bound = theory::corollary9_set_hitting_bound(g.m(), d_s, gap);
-        assert!(measured <= bound + 1e-9, "Corollary 9 fails: {measured} > {bound}");
+        assert!(
+            measured <= bound + 1e-9,
+            "Corollary 9 fails: {measured} > {bound}"
+        );
     }
 }
 
@@ -150,13 +168,17 @@ fn hypercube_edge_cover_improvement() {
     let mut s_ce = Vec::new();
     for _ in 0..3 {
         let mut e = EProcess::new(&g, 0, UniformRule::new());
-        e_ce.push(run_cover(&mut e, CoverTarget::Edges, u64::MAX >> 1, &mut rng)
-            .steps_to_edge_cover
-            .unwrap());
+        e_ce.push(
+            run_cover(&mut e, CoverTarget::Edges, u64::MAX >> 1, &mut rng)
+                .steps_to_edge_cover
+                .unwrap(),
+        );
         let mut s = SimpleRandomWalk::new(&g, 0);
-        s_ce.push(run_cover(&mut s, CoverTarget::Edges, u64::MAX >> 1, &mut rng)
-            .steps_to_edge_cover
-            .unwrap());
+        s_ce.push(
+            run_cover(&mut s, CoverTarget::Edges, u64::MAX >> 1, &mut rng)
+                .steps_to_edge_cover
+                .unwrap(),
+        );
     }
     let e_mean = Summary::from_u64(&e_ce).mean;
     let s_mean = Summary::from_u64(&s_ce).mean;

@@ -39,7 +39,10 @@ fn lps_spectral_pipeline() {
     let mut rng = SmallRng::seed_from_u64(1);
     let mut walk = EProcess::new(&g, 0, UniformRule::new());
     let cover = run_to_vertex_cover(&mut walk, &g, &mut rng).unwrap();
-    assert!(cover.steps < 10 * g.n() as u64, "linear-time exploration of the title graph");
+    assert!(
+        cover.steps < 10 * g.n() as u64,
+        "linear-time exploration of the title graph"
+    );
 }
 
 /// Stats crate consumes measurements produced by the core crate.

@@ -16,7 +16,10 @@ use rand::SeedableRng;
 /// Replays a fresh E-process until edge cover, asserting the paper's
 /// observations at every step.
 fn check_observations<A: eproc::core::rule::EdgeRule>(g: &Graph, rule: A, seed: u64) {
-    assert!(degrees::is_even_degree(g), "harness misuse: graph must be even-degree");
+    assert!(
+        degrees::is_even_degree(g),
+        "harness misuse: graph must be even-degree"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut walk = EProcess::new(g, 0, rule);
     let mut in_blue = false;
@@ -47,7 +50,7 @@ fn check_observations<A: eproc::core::rule::EdgeRule>(g: &Graph, rule: A, seed: 
                 // Observation 11(2): in a red phase all blue degrees even.
                 for v in g.vertices() {
                     assert!(
-                        walk.blue_degree(v) % 2 == 0,
+                        walk.blue_degree(v).is_multiple_of(2),
                         "odd blue degree at {v} during red phase"
                     );
                 }
@@ -60,7 +63,11 @@ fn check_observations<A: eproc::core::rule::EdgeRule>(g: &Graph, rule: A, seed: 
     // Once every edge is explored, the final blue phase must also have
     // closed at its start.
     if in_blue {
-        assert_eq!(walk.current(), phase_start, "final blue phase did not return to start");
+        assert_eq!(
+            walk.current(),
+            phase_start,
+            "final blue phase did not return to start"
+        );
     }
 }
 
