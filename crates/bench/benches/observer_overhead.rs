@@ -1,0 +1,107 @@
+//! Steps/second of the E-process with 0 vs 3 attached observers.
+//!
+//! The observer pipeline claims near-zero per-step overhead: feeding
+//! cover + blanket + phase observers from one walk must stay cheap
+//! relative to the walk's own bookkeeping. This bench pins that, and
+//! writes a machine-readable snapshot to
+//! `target/experiments/BENCH_observer.json` so CI can record the perf
+//! trajectory across commits.
+
+use criterion::black_box;
+use eproc_bench::{output_dir, rng_for};
+use eproc_core::cover::CoverTarget;
+use eproc_core::observe::{
+    run_observed, BlanketObserver, CoverObserver, Observer, PhaseObserver, StopWhen,
+};
+use eproc_core::rule::UniformRule;
+use eproc_core::{EProcess, WalkProcess};
+use eproc_graphs::generators;
+use eproc_graphs::Graph;
+use std::time::Instant;
+
+const STEPS: u64 = 200_000;
+const SAMPLES: usize = 7;
+
+/// Median seconds over `SAMPLES` timed runs of `f`.
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn bare_walk(g: &Graph) -> f64 {
+    median_secs(|| {
+        let mut rng = rng_for(2);
+        let mut w = EProcess::new(g, 0, UniformRule::new());
+        for _ in 0..STEPS {
+            black_box(w.advance(&mut rng));
+        }
+    })
+}
+
+fn observed_walk(g: &Graph) -> f64 {
+    // Observers are constructed once and re-armed per run, matching the
+    // executor's scratch reuse.
+    let mut cover = CoverObserver::new(CoverTarget::Both);
+    let mut blanket = BlanketObserver::new(0.4).expect("valid delta");
+    let mut phases = PhaseObserver::new();
+    median_secs(move || {
+        let mut rng = rng_for(2);
+        let mut w = EProcess::new(g, 0, UniformRule::new());
+        let run = run_observed(
+            &mut w,
+            &mut [&mut cover as &mut dyn Observer, &mut blanket, &mut phases],
+            StopWhen::Cap,
+            STEPS,
+            &mut rng,
+        );
+        black_box(run);
+    })
+}
+
+fn main() {
+    let mut graph_rng = rng_for(1);
+    let g = generators::connected_random_regular(10_000, 4, &mut graph_rng).unwrap();
+    let bare = bare_walk(&g);
+    let observed = observed_walk(&g);
+    let bare_rate = STEPS as f64 / bare;
+    let observed_rate = STEPS as f64 / observed;
+    println!(
+        "observer_overhead/bare_eprocess: {:.0} ns/iter  {:.2} Msteps/s",
+        bare * 1e9 / STEPS as f64,
+        bare_rate / 1e6
+    );
+    println!(
+        "observer_overhead/three_observers: {:.0} ns/iter  {:.2} Msteps/s",
+        observed * 1e9 / STEPS as f64,
+        observed_rate / 1e6
+    );
+    println!(
+        "observer_overhead/slowdown: {:.2}x",
+        bare_rate / observed_rate
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"observer_overhead\",\n  \"graph\": \"random 4-regular n={}\",\n  \
+         \"steps_per_run\": {},\n  \"samples\": {},\n  \
+         \"steps_per_sec_0_observers\": {:.0},\n  \
+         \"steps_per_sec_3_observers\": {:.0},\n  \
+         \"slowdown\": {:.4}\n}}\n",
+        g.n(),
+        STEPS,
+        SAMPLES,
+        bare_rate,
+        observed_rate,
+        bare_rate / observed_rate
+    );
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_observer.json");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("json: {}", path.display());
+}

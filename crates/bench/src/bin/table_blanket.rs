@@ -2,23 +2,20 @@
 //!
 //! §1: once every vertex `v` is visited `d(v)` times by the embedded
 //! random walk, all edges are explored, and Ding–Lee–Peres gives
-//! `t_bl(δ) = O(CV(SRW))`; hence `CE(E) = O(m + CV(SRW))`. We measure
-//! `τ_bl(δ)`, `CV(SRW)` and `CE(E)` side by side.
+//! `t_bl(δ) = O(CV(SRW))`; hence `CE(E) = O(m + CV(SRW))`.
+//!
+//! Thin engine wrapper: the built-in `blanket` spec stops each trial at
+//! the blanket time while a `cover` metric on the **same walk** records
+//! `CV` and `CE` — one ensemble, one pass per trial, three columns. This
+//! binary only reshapes the engine cells into the paper's presentation.
 
-use eproc_bench::{edge_cover_runs, mean_vertex_cover_steps, rng_for, save_table, Config, Scale};
-use eproc_core::cover::blanket_time;
-use eproc_core::rule::UniformRule;
-use eproc_core::srw::SimpleRandomWalk;
-use eproc_core::EProcess;
-use eproc_graphs::{generators, Graph};
-use eproc_stats::{SeedSequence, Summary, TextTable};
-
-const REPS: usize = 3;
+use eproc_bench::{metric_mean, run_engine_spec, save_table, Config};
+use eproc_stats::TextTable;
 
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
     println!("Equation (4): blanket time t_bl(1/2) = O(CV(SRW)) and CE(E) = O(m + CV(SRW))\n");
+    let (spec, graphs, report) = run_engine_spec("blanket", &config);
     let mut table = TextTable::new(vec![
         "graph",
         "n",
@@ -29,59 +26,35 @@ fn main() {
         "CE(E)",
         "(CE-m)/CV",
     ]);
-    let (reg_n, torus_side, hyp) = match config.scale {
-        Scale::Quick => (2_000, 24, 9),
-        Scale::Paper => (16_000, 64, 12),
-    };
-    let mut graph_rng = rng_for(seeds.derive(&[0]));
-    let graphs: Vec<(String, Graph)> = vec![
-        (
-            format!("random 4-regular({reg_n})"),
-            generators::connected_random_regular(reg_n, 4, &mut graph_rng).unwrap(),
-        ),
-        (
-            format!("torus {torus_side}x{torus_side}"),
-            generators::torus2d(torus_side, torus_side),
-        ),
-        (format!("hypercube({hyp})"), generators::hypercube(hyp)),
-    ];
-    for (name, g) in &graphs {
-        let n = g.n();
-        let m = g.m();
-        let cap = 500_000_000u64;
-        let mut rng = rng_for(seeds.derive(&[1, n as u64]));
-        let mut blankets = Vec::new();
-        for _ in 0..REPS {
-            let mut w = SimpleRandomWalk::new(g, 0);
-            blankets.push(blanket_time(&mut w, 0.5, cap, &mut rng).expect("blanket reached"));
+    // Cell grid order: (graph, process) with processes = [e-process, srw].
+    for (gi, (gspec, g)) in spec.graphs.iter().zip(&graphs).enumerate() {
+        let eproc_cell = &report.cells[gi * spec.processes.len()];
+        let srw_cell = &report.cells[gi * spec.processes.len() + 1];
+        for cell in [eproc_cell, srw_cell] {
+            assert_eq!(
+                cell.completed, cell.trials,
+                "{}/{}: blanket not reached in every trial",
+                cell.graph, cell.process
+            );
         }
-        let bl = Summary::from_u64(&blankets).mean;
-        let (cv, d) = mean_vertex_cover_steps(|_| SimpleRandomWalk::new(g, 0), REPS, cap, &mut rng);
-        assert_eq!(d, REPS);
-        let ce_runs = edge_cover_runs(
-            |_| EProcess::new(g, 0, UniformRule::new()),
-            REPS,
-            cap,
-            &mut rng,
-        );
-        let ce: Vec<u64> = ce_runs
-            .iter()
-            .filter_map(|x| x.steps_to_edge_cover)
-            .collect();
-        assert_eq!(ce.len(), REPS);
-        let ce_mean = Summary::from_u64(&ce).mean;
+        let bl = srw_cell.steps.mean();
+        let cv = metric_mean(srw_cell, "cover.c_v");
+        let ce = metric_mean(eproc_cell, "cover.c_e");
+        let m = g.m() as f64;
         table.push_row(vec![
-            name.clone(),
-            n.to_string(),
-            m.to_string(),
+            gspec.label(),
+            g.n().to_string(),
+            g.m().to_string(),
             format!("{bl:.0}"),
             format!("{cv:.0}"),
             format!("{:.2}", bl / cv),
-            format!("{ce_mean:.0}"),
-            format!("{:.3}", (ce_mean - m as f64) / cv),
+            format!("{ce:.0}"),
+            format!("{:.3}", (ce - m) / cv),
         ]);
     }
     println!("{table}");
     let p = save_table("table_blanket", &table).expect("write csv");
     println!("csv: {}", p.display());
+    let j = eproc_engine::report::save_json(&report, None).expect("write json");
+    println!("json: {}", j.display());
 }

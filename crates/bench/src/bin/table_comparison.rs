@@ -7,15 +7,10 @@
 //! Thin wrapper over the `eproc-engine` built-in spec of the same name:
 //! `eproc run comparison` is the CLI equivalent.
 
-use eproc_bench::{engine_scale, run_engine_table, Config};
+use eproc_bench::{run_engine_table, Config};
 
 fn main() {
     let config = Config::from_args();
     println!("Process comparison: mean vertex cover time (CV)\n");
-    run_engine_table(
-        "comparison",
-        engine_scale(config.scale),
-        config.seed,
-        "table_comparison",
-    );
+    run_engine_table("comparison", &config, "table_comparison");
 }

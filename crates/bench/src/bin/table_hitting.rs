@@ -1,21 +1,26 @@
 //! **T-hit**: Lemma 6 and Corollary 9 — stationary hitting times against
-//! their spectral bounds, exactly (linear solves) on mid-size graphs.
+//! their spectral bounds, exactly (linear solves) on mid-size graphs,
+//! next to *measured* hitting times from the engine ensemble.
 //!
 //! `E_π(H_v) ≤ 1/((1−λ_max) π_v)` and `E_π(H_S) ≤ 2m/(d(S)(1−λ_max))`.
 //! The ratio column shows how much slack the bound leaves on each family.
+//!
+//! Thin engine wrapper: the built-in `hitting` spec runs the SRW ensemble
+//! with a hitting observer (first visit of vertex `n-1` from start `0`)
+//! on the same graphs the exact columns are computed on — the engine owns
+//! the walking; this binary adds the linear solves and bounds.
 
-use eproc_bench::{rng_for, save_table, Config};
-use eproc_graphs::{generators, Graph};
+use eproc_bench::{metric_mean, run_engine_spec, save_table, Config};
 use eproc_spectral::dense::SymMatrix;
 use eproc_spectral::hitting::{hitting_from_stationary, set_hitting_from_stationary};
 use eproc_spectral::stationary_distribution;
-use eproc_stats::{SeedSequence, TextTable};
+use eproc_stats::TextTable;
 use eproc_theory::{corollary9_set_hitting_bound, lemma6_hitting_bound};
 
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
     println!("Lemma 6 / Corollary 9: worst-vertex stationary hitting times vs bounds\n");
+    let (spec, graphs, report) = run_engine_spec("hitting", &config);
     let mut table = TextTable::new(vec![
         "graph",
         "n",
@@ -25,23 +30,9 @@ fn main() {
         "ratio",
         "E_pi(H_S) |S|=4",
         "Cor. 9 bound",
+        "mean H(0,n-1)",
     ]);
-    let mut graph_rng = rng_for(seeds.derive(&[0]));
-    let graphs: Vec<(String, Graph)> = vec![
-        (
-            "random 4-regular(200)".into(),
-            generators::connected_random_regular(200, 4, &mut graph_rng).unwrap(),
-        ),
-        (
-            "random 6-regular(200)".into(),
-            generators::connected_random_regular(200, 6, &mut graph_rng).unwrap(),
-        ),
-        ("torus 10x9".into(), generators::torus2d(10, 9)),
-        ("lollipop(16,8)".into(), generators::lollipop(16, 8)),
-        ("petersen".into(), generators::petersen()),
-        ("figure-eight(7)".into(), generators::figure_eight(7)),
-    ];
-    for (name, g) in &graphs {
+    for (gi, (gspec, g)) in spec.graphs.iter().zip(&graphs).enumerate() {
         let lambda = SymMatrix::from_graph(g, false).lambda_max_walk();
         if lambda >= 1.0 - 1e-9 {
             // Bipartite: Lemma 6 applies to the lazy chain; skip here
@@ -50,25 +41,24 @@ fn main() {
         }
         let gap = 1.0 - lambda;
         let pi = stationary_distribution(g);
-        let mut worst_ratio_v = 0;
         let mut worst = (0.0f64, 0.0f64);
         for v in g.vertices() {
             let h = hitting_from_stationary(g, v).expect("connected");
             let b = lemma6_hitting_bound(pi[v], gap);
-            assert!(h <= b + 1e-6, "{name}: Lemma 6 violated at {v}");
+            assert!(h <= b + 1e-6, "{}: Lemma 6 violated at {v}", gspec.label());
             if h > worst.0 {
                 worst = (h, b);
-                worst_ratio_v = v;
             }
         }
-        let _ = worst_ratio_v;
         let set: Vec<usize> = (0..4).map(|i| i * (g.n() / 4)).collect();
         let d_s: usize = set.iter().map(|&v| g.degree(v)).sum();
         let h_s = set_hitting_from_stationary(g, &set).expect("connected");
         let b_s = corollary9_set_hitting_bound(g.m(), d_s, gap);
-        assert!(h_s <= b_s + 1e-6, "{name}: Corollary 9 violated");
+        assert!(h_s <= b_s + 1e-6, "{}: Corollary 9 violated", gspec.label());
+        let cell = &report.cells[gi];
+        let measured = metric_mean(cell, "hitting(last)");
         table.push_row(vec![
-            name.clone(),
+            gspec.label(),
             g.n().to_string(),
             format!("{gap:.4}"),
             format!("{:.1}", worst.0),
@@ -76,9 +66,12 @@ fn main() {
             format!("{:.3}", worst.0 / worst.1),
             format!("{h_s:.1}"),
             format!("{b_s:.1}"),
+            format!("{measured:.1}"),
         ]);
     }
     println!("{table}");
     let p = save_table("table_hitting", &table).expect("write csv");
     println!("csv: {}", p.display());
+    let j = eproc_engine::report::save_json(&report, None).expect("write json");
+    println!("json: {}", j.display());
 }

@@ -2,17 +2,24 @@
 //!
 //! Exact minimal even-degree subgraphs on small named graphs (the oracle),
 //! greedy upper bounds on random even-regular graphs, and §4.1's (P2)
-//! prediction `ℓ ≥ log n / (4 log(re))`.
+//! prediction `ℓ ≥ log n / (4 log(re))` — now computed on the **same**
+//! graphs whose E-process cover times the engine measures, so the table
+//! ties the `ℓ` estimates to the observed `Θ(n)` behaviour directly.
+//!
+//! Thin engine wrapper: the built-in `lgood` spec owns the cover-time
+//! ensemble (trial loops, seeding, parallelism, JSON artifact); this
+//! binary adds the exact small-graph oracle and the per-graph greedy /
+//! (P2) bound columns.
 
-use eproc_bench::{rng_for, save_table, Config, Scale};
+use eproc_bench::{run_engine_spec, save_table, Config};
+use eproc_engine::spec::GraphSpec;
 use eproc_graphs::generators;
 use eproc_graphs::properties::lgood::{even_subgraph_upper_bound, lgood_exact, lgood_upper_bound};
-use eproc_stats::{SeedSequence, TextTable};
+use eproc_stats::TextTable;
 use eproc_theory::p2_l_good_bound;
 
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
     println!("l-goodness: exact small-graph values and greedy upper bounds\n");
 
     let mut exact_table = TextTable::new(vec!["graph", "n", "m", "exact l"]);
@@ -34,42 +41,51 @@ fn main() {
     }
     println!("{exact_table}");
 
+    let (spec, graphs, report) = run_engine_spec("lgood", &config);
     let mut ub_table = TextTable::new(vec![
         "graph",
         "n",
         "greedy l ub (min/median over probes)",
         "P2 bound",
         "ln n",
+        "CV mean",
+        "CV/n",
     ]);
-    let sizes: Vec<usize> = match config.scale {
-        Scale::Quick => vec![1_000, 4_000, 16_000],
-        Scale::Paper => vec![4_000, 16_000, 64_000, 256_000],
-    };
     let probes = 40;
-    for &r in &[4usize, 6] {
-        for &n in &sizes {
-            let mut graph_rng = rng_for(seeds.derive(&[r as u64, n as u64]));
-            let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
-            let probe_vertices: Vec<usize> = (0..probes).map(|i| i * (n / probes)).collect();
-            let min_ub = lgood_upper_bound(&g, &probe_vertices).expect("greedy bound");
-            let mut ubs: Vec<f64> = probe_vertices
-                .iter()
-                .filter_map(|&v| even_subgraph_upper_bound(&g, v))
-                .map(|x| x as f64)
-                .collect();
-            ubs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let median = ubs[ubs.len() / 2];
-            ub_table.push_row(vec![
-                format!("random {r}-regular"),
-                n.to_string(),
-                format!("{min_ub}/{median:.0}"),
-                format!("{:.2}", p2_l_good_bound(n, r)),
-                format!("{:.2}", (n as f64).ln()),
-            ]);
-        }
+    for (gi, (gspec, g)) in spec.graphs.iter().zip(&graphs).enumerate() {
+        let GraphSpec::Regular { n, d: r } = *gspec else {
+            panic!("lgood spec contains only regular graphs")
+        };
+        let cell = &report.cells[gi];
+        assert_eq!(
+            cell.completed, cell.trials,
+            "{}: not every trial covered",
+            cell.graph
+        );
+        let probe_vertices: Vec<usize> = (0..probes).map(|i| i * (n / probes)).collect();
+        let min_ub = lgood_upper_bound(g, &probe_vertices).expect("greedy bound");
+        let mut ubs: Vec<f64> = probe_vertices
+            .iter()
+            .filter_map(|&v| even_subgraph_upper_bound(g, v))
+            .map(|x| x as f64)
+            .collect();
+        ubs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ubs[ubs.len() / 2];
+        let cv = cell.steps.mean();
+        ub_table.push_row(vec![
+            format!("random {r}-regular"),
+            n.to_string(),
+            format!("{min_ub}/{median:.0}"),
+            format!("{:.2}", p2_l_good_bound(n, r)),
+            format!("{:.2}", (n as f64).ln()),
+            format!("{cv:.0}"),
+            format!("{:.2}", cv / n as f64),
+        ]);
     }
     println!("{ub_table}");
     let p1 = save_table("table_lgood_exact", &exact_table).expect("write csv");
     let p2 = save_table("table_lgood_bounds", &ub_table).expect("write csv");
     println!("csv: {} and {}", p1.display(), p2.display());
+    let j = eproc_engine::report::save_json(&report, None).expect("write json");
+    println!("json: {}", j.display());
 }

@@ -5,21 +5,21 @@
 //! closes at the start); on odd-degree graphs the first blue phase dies at
 //! the first revisit of an exhausted vertex — a birthday-paradox `Θ(√n)`
 //! — which is why the E-process loses its linear-time behaviour there
-//! (§5). This table makes that mechanism visible.
+//! (§5). This table makes that mechanism visible, together with the §5
+//! isolated-star census (`stars/n → ≈ 1/8`-ish for `r = 3`).
+//!
+//! Thin engine wrapper: the built-in `phases` spec runs the ensemble with
+//! phase and blue-census observers on one walk per trial; this binary
+//! reshapes the metric columns into the paper's presentation.
 
-use eproc_bench::{rng_for, save_table, Config, Scale};
-use eproc_core::rule::UniformRule;
-use eproc_core::segments::trace_phases;
-use eproc_core::EProcess;
-use eproc_graphs::generators;
-use eproc_stats::{SeedSequence, Summary, TextTable};
-
-const REPS: usize = 5;
+use eproc_bench::{metric_mean, run_engine_spec, save_table, Config};
+use eproc_engine::spec::GraphSpec;
+use eproc_stats::TextTable;
 
 fn main() {
     let config = Config::from_args();
-    let seeds = SeedSequence::new(config.seed);
     println!("Blue/red phase structure of the E-process on random r-regular graphs\n");
+    let (spec, graphs, report) = run_engine_spec("phases", &config);
     let mut table = TextTable::new(vec![
         "r",
         "n",
@@ -28,51 +28,47 @@ fn main() {
         "first/m",
         "#blue phases",
         "total blue/m",
+        "stars/n",
         "closed (Obs 10)",
     ]);
-    let sizes: Vec<usize> = match config.scale {
-        Scale::Quick => vec![4_000, 16_000, 64_000],
-        Scale::Paper => vec![16_000, 64_000, 256_000],
-    };
-    for &r in &[3usize, 4, 5, 6] {
-        for &n in &sizes {
-            let mut graph_rng = rng_for(seeds.derive(&[r as u64, n as u64]));
-            let g = generators::connected_random_regular(n, r, &mut graph_rng).unwrap();
-            let cap = (2_000.0 * n as f64 * (n as f64).ln()) as u64;
-            let mut firsts = Vec::new();
-            let mut phase_counts = Vec::new();
-            let mut blue_fracs = Vec::new();
-            let mut all_closed = true;
-            for rep in 0..REPS {
-                let mut rng = rng_for(seeds.derive(&[r as u64, n as u64, rep as u64]));
-                let mut walk = EProcess::new(&g, 0, UniformRule::new());
-                let trace = trace_phases(&mut walk, cap, &mut rng);
-                firsts.push(trace.first_blue_length() as f64);
-                phase_counts.push(trace.blue_phase_count() as f64);
-                blue_fracs.push(trace.total_blue() as f64 / g.m() as f64);
-                if r % 2 == 0 && !trace.blue_phases_closed() {
-                    all_closed = false;
-                }
-            }
-            assert!(all_closed, "Observation 10 violated for even r = {r}");
-            let first = Summary::from_slice(&firsts).mean;
-            table.push_row(vec![
-                r.to_string(),
-                n.to_string(),
-                format!("{first:.0}"),
-                format!("{:.2}", first / (n as f64).sqrt()),
-                format!("{:.3}", first / g.m() as f64),
-                format!("{:.0}", Summary::from_slice(&phase_counts).mean),
-                format!("{:.3}", Summary::from_slice(&blue_fracs).mean),
-                if r % 2 == 0 {
-                    "yes".into()
-                } else {
-                    "n/a (odd)".into()
-                },
-            ]);
+    for (gi, (gspec, g)) in spec.graphs.iter().zip(&graphs).enumerate() {
+        let GraphSpec::Regular { n, d: r } = *gspec else {
+            panic!("phases spec contains only regular graphs")
+        };
+        let cell = &report.cells[gi];
+        assert_eq!(
+            cell.completed, cell.trials,
+            "{}: edge cover not reached in every trial",
+            cell.graph
+        );
+        let first = metric_mean(cell, "phases.first_blue");
+        let blue_count = metric_mean(cell, "phases.blue_count");
+        let total_blue = metric_mean(cell, "phases.total_blue");
+        let closed = metric_mean(cell, "phases.closed");
+        let stars = metric_mean(cell, "stars");
+        if r % 2 == 0 {
+            assert_eq!(closed, 1.0, "Observation 10 violated for even r = {r}");
         }
+        let m = g.m() as f64;
+        table.push_row(vec![
+            r.to_string(),
+            n.to_string(),
+            format!("{first:.0}"),
+            format!("{:.2}", first / (n as f64).sqrt()),
+            format!("{:.3}", first / m),
+            format!("{blue_count:.0}"),
+            format!("{:.3}", total_blue / m),
+            format!("{:.3}", stars / n as f64),
+            if r % 2 == 0 {
+                "yes".into()
+            } else {
+                "n/a (odd)".into()
+            },
+        ]);
     }
     println!("{table}");
     let p = save_table("table_phases", &table).expect("write csv");
     println!("csv: {}", p.display());
+    let j = eproc_engine::report::save_json(&report, None).expect("write json");
+    println!("json: {}", j.display());
 }

@@ -9,15 +9,10 @@
 //! Thin wrapper over the `eproc-engine` built-in spec of the same name:
 //! `eproc run rules` is the CLI equivalent.
 
-use eproc_bench::{engine_scale, run_engine_table, Config};
+use eproc_bench::{run_engine_table, Config};
 
 fn main() {
     let config = Config::from_args();
     println!("Rule independence (Theorem 1): CV(E)/n under different rules A\n");
-    run_engine_table(
-        "rules",
-        engine_scale(config.scale),
-        config.seed,
-        "table_rules",
-    );
+    run_engine_table("rules", &config, "table_rules");
 }

@@ -12,7 +12,7 @@
 
 use eproc_bench::{engine_scale, save_table, Config};
 use eproc_engine::builtin;
-use eproc_engine::executor::{build_graphs, run_on_graphs, RunOptions};
+use eproc_engine::executor::{build_graphs, run_on_graphs};
 use eproc_engine::spec::GraphSpec;
 use eproc_graphs::properties::{bipartite, girth};
 use eproc_graphs::Graph;
@@ -42,10 +42,7 @@ fn main() {
     let config = Config::from_args();
     println!("Theorem 1: CV(E) vs n + n*ln(n)/(l*(1-lambda_max)) on even-degree expanders\n");
     let spec = builtin::spec("theorem1", engine_scale(config.scale)).expect("builtin exists");
-    let opts = RunOptions {
-        base_seed: config.seed,
-        ..RunOptions::auto()
-    };
+    let opts = config.engine_opts();
     // Build the graphs once: the ensemble and the per-graph enrichment
     // columns below both use them.
     let graphs = build_graphs(&spec, opts.base_seed).expect("theorem1 graphs");

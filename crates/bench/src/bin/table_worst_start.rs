@@ -2,38 +2,31 @@
 //!
 //! The paper defines `C_V(Y, G) = max_v C_v`. On vertex-transitive or
 //! expander-like graphs the start barely matters; on the lollipop it
-//! matters enormously for the SRW. This table measures the spread
-//! (worst vs best vs fixed-start mean) for the E-process and the SRW.
+//! matters enormously. This table measures the spread (worst vs start-0
+//! mean) for the E-process and the SRW.
+//!
+//! Thin engine wrapper: the built-in `worststart` spec is one fixed-start
+//! ensemble cell; this binary sweeps [`ExperimentSpec::start`] over every
+//! vertex of each graph (one deterministic parallel engine run per start,
+//! seeded per `(graph, start)`) and takes the max — the per-start trial
+//! loops, seeding and aggregation all live in the engine. The composed
+//! report (per-cell statistics **over starts** of the per-start mean
+//! cover time) is saved as a standard JSON artifact, bit-identical for
+//! any thread count.
 
-use eproc_bench::{rng_for, save_table, Config};
-use eproc_core::cover::{run_cover, worst_start_cover, CoverTarget};
-use eproc_core::rule::UniformRule;
-use eproc_core::srw::SimpleRandomWalk;
-use eproc_core::{EProcess, WalkProcess};
-use eproc_graphs::{generators, Graph, Vertex};
-use eproc_stats::{SeedSequence, TextTable};
-
-const RUNS_PER_START: usize = 8;
-
-fn mean_from(g: &Graph, start: Vertex, srw: bool, rng: &mut rand::rngs::SmallRng) -> f64 {
-    let mut total = 0u64;
-    for _ in 0..RUNS_PER_START {
-        let steps = if srw {
-            let mut w = SimpleRandomWalk::new(g, start);
-            run_cover(&mut w, CoverTarget::Vertices, u64::MAX >> 1, rng)
-        } else {
-            let mut w = EProcess::new(g, start, UniformRule::new());
-            run_cover(&mut w, CoverTarget::Vertices, u64::MAX >> 1, rng)
-        };
-        total += steps.steps_to_vertex_cover.expect("covers");
-    }
-    total as f64 / RUNS_PER_START as f64
-}
+use eproc_bench::{engine_scale, save_table, Config};
+use eproc_engine::executor::{build_graphs, run_on_graphs, CellSummary, ExperimentReport};
+use eproc_engine::report::save_json;
+use eproc_engine::spec::ExperimentSpec;
+use eproc_engine::RunOptions;
+use eproc_stats::{OnlineStats, SeedSequence, TextTable};
 
 fn main() {
     let config = Config::from_args();
     let seeds = SeedSequence::new(config.seed);
     println!("Start-vertex sensitivity: CV = max_v C_v vs fixed-start means\n");
+    let base = eproc_engine::builtin::spec("worststart", engine_scale(config.scale))
+        .expect("builtin exists");
     let mut table = TextTable::new(vec![
         "graph",
         "process",
@@ -42,48 +35,70 @@ fn main() {
         "start-0 mean",
         "worst/start-0",
     ]);
-    let mut graph_rng = rng_for(seeds.derive(&[0]));
-    let graphs: Vec<(String, Graph)> = vec![
-        (
-            "random 4-regular(128)".into(),
-            generators::connected_random_regular(128, 4, &mut graph_rng).unwrap(),
-        ),
-        ("torus 12x12".into(), generators::torus2d(12, 12)),
-        ("lollipop(24,24)".into(), generators::lollipop(24, 24)),
-    ];
-    for (name, g) in &graphs {
-        for (process, srw) in [("E-process", false), ("SRW", true)] {
-            let mut rng = rng_for(seeds.derive(&[1, g.n() as u64, srw as u64]));
-            let (worst_v, worst_mean) = if srw {
-                worst_start_cover(
-                    g,
-                    |start, _| -> Box<dyn WalkProcess> {
-                        Box::new(SimpleRandomWalk::new(g, start))
-                    },
-                    RUNS_PER_START,
-                    u64::MAX >> 1,
-                    &mut rng,
-                )
-            } else {
-                worst_start_cover(
-                    g,
-                    |start, _| -> Box<dyn WalkProcess> {
-                        Box::new(EProcess::new(g, start, UniformRule::new()))
-                    },
-                    RUNS_PER_START,
-                    u64::MAX >> 1,
-                    &mut rng,
-                )
+    let mut composed_cells: Vec<CellSummary> = Vec::new();
+    for (gi, gspec) in base.graphs.iter().enumerate() {
+        // One single-graph spec per family; the graph is built once and
+        // shared by every per-start run.
+        let spec = ExperimentSpec {
+            graphs: vec![gspec.clone()],
+            ..base.clone()
+        };
+        let graph_seed = seeds.derive(&[gi as u64]);
+        let graphs = build_graphs(&spec, graph_seed).expect("graph builds");
+        let n = graphs[0].n();
+        // per_start[pi][start] = mean cover steps from that start.
+        let mut per_start: Vec<Vec<f64>> = vec![Vec::with_capacity(n); spec.processes.len()];
+        for start in 0..n {
+            let run_spec = ExperimentSpec {
+                start,
+                ..spec.clone()
             };
-            let from0 = mean_from(g, 0, srw, &mut rng);
+            let opts = RunOptions {
+                base_seed: seeds.derive(&[gi as u64, start as u64]),
+                ..config.engine_opts()
+            };
+            let report = run_on_graphs(&run_spec, &opts, &graphs).expect("engine run");
+            for (pi, cell) in report.cells.iter().enumerate() {
+                assert_eq!(
+                    cell.completed, cell.trials,
+                    "{}/{} from start {start}: not every trial covered",
+                    cell.graph, cell.process
+                );
+                per_start[pi].push(cell.steps.mean());
+            }
+        }
+        for (pi, process) in spec.processes.iter().enumerate() {
+            let means = &per_start[pi];
+            let (worst_v, worst_mean) = means
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("means are finite"))
+                .map(|(v, &m)| (v, m))
+                .expect("nonempty graph");
+            let from0 = means[0];
             table.push_row(vec![
-                name.clone(),
-                process.into(),
+                gspec.label(),
+                process.label(),
                 worst_v.to_string(),
                 format!("{worst_mean:.0}"),
                 format!("{from0:.0}"),
                 format!("{:.2}", worst_mean / from0),
             ]);
+            let mut over_starts = OnlineStats::new();
+            for &m in means {
+                over_starts.push(m);
+            }
+            composed_cells.push(CellSummary {
+                graph: gspec.label(),
+                n,
+                m: graphs[0].m(),
+                process: process.label(),
+                trials: n,
+                completed: n,
+                steps: over_starts,
+                blue_fraction: OnlineStats::new(),
+                metrics: vec![],
+            });
         }
     }
     println!("{table}");
@@ -97,4 +112,22 @@ fn main() {
     println!("E-process start-insensitive.");
     let p = save_table("table_worst_start", &table).expect("write csv");
     println!("csv: {}", p.display());
+    // Composed report: each cell's distribution is over start vertices
+    // (one entry per start = that start's mean cover time), so the
+    // artifact's own description spells out what `trials` means at each
+    // level rather than leaving the two counts looking contradictory.
+    let report = ExperimentReport {
+        name: "worst_start".into(),
+        description: format!(
+            "per-start mean vertex cover times: each cell aggregates one mean per start \
+             vertex (cell trials = start count), every mean over {} runs (report trials)",
+            base.trials
+        ),
+        target: base.target,
+        trials: base.trials,
+        base_seed: config.seed,
+        cells: composed_cells,
+    };
+    let j = save_json(&report, None).expect("write json");
+    println!("json: {}", j.display());
 }

@@ -40,14 +40,19 @@ pub struct Config {
     pub scale: Scale,
     /// Base seed; every cell derives its own stream from it.
     pub seed: u64,
+    /// Worker threads for engine-backed tables (`None` = all cores).
+    /// Results are bit-identical for any value — this flag exists to
+    /// demonstrate exactly that.
+    pub threads: Option<usize>,
 }
 
 impl Config {
-    /// Parses `--scale quick|paper` and `--seed N` from `std::env::args`.
-    /// Unknown arguments abort with a usage message.
+    /// Parses `--scale quick|paper`, `--seed N` and `--threads N` from
+    /// `std::env::args`. Unknown arguments abort with a usage message.
     pub fn from_args() -> Config {
         let mut scale = Scale::Quick;
         let mut seed = 12345u64;
+        let mut threads = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -65,11 +70,38 @@ impl Config {
                         .parse()
                         .unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
                 }
+                "--threads" => {
+                    let v = args.next().unwrap_or_default();
+                    let t: usize = v
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad thread count {v:?}")));
+                    if t == 0 {
+                        usage("--threads must be at least 1");
+                    }
+                    threads = Some(t);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
             }
         }
-        Config { scale, seed }
+        Config {
+            scale,
+            seed,
+            threads,
+        }
+    }
+
+    /// Engine [`RunOptions`](eproc_engine::RunOptions) for this config:
+    /// the configured seed and thread count (all cores when unset).
+    pub fn engine_opts(&self) -> eproc_engine::RunOptions {
+        let mut opts = eproc_engine::RunOptions {
+            base_seed: self.seed,
+            ..eproc_engine::RunOptions::auto()
+        };
+        if let Some(t) = self.threads {
+            opts.threads = t;
+        }
+        opts
     }
 }
 
@@ -77,7 +109,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <binary> [--scale quick|paper] [--seed N]");
+    eprintln!("usage: <binary> [--scale quick|paper] [--seed N] [--threads N]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -251,6 +283,57 @@ pub fn engine_scale(scale: Scale) -> eproc_engine::Scale {
     }
 }
 
+/// Runs the named built-in engine spec, returning the resolved spec, the
+/// graphs it was run on (for per-graph enrichment columns) and the
+/// report. The shared entry point of the ported `table_*` wrappers that
+/// need custom presentation on top of the engine ensemble.
+///
+/// # Panics
+///
+/// Panics if the spec name is unknown or execution fails.
+pub fn run_engine_spec(
+    name: &str,
+    config: &Config,
+) -> (
+    eproc_engine::ExperimentSpec,
+    Vec<Graph>,
+    eproc_engine::ExperimentReport,
+) {
+    let spec = eproc_engine::builtin::spec(name, engine_scale(config.scale))
+        .unwrap_or_else(|| panic!("unknown builtin spec {name:?}"));
+    let opts = config.engine_opts();
+    let graphs = eproc_engine::executor::build_graphs(&spec, opts.base_seed)
+        .unwrap_or_else(|e| panic!("building graphs for {name:?}: {e}"));
+    let report = eproc_engine::executor::run_on_graphs(&spec, &opts, &graphs)
+        .unwrap_or_else(|e| panic!("engine run {name:?} failed: {e}"));
+    (spec, graphs, report)
+}
+
+/// Mean of a named metric column in an engine cell.
+///
+/// # Panics
+///
+/// Panics if the cell has no such metric or no trial resolved it.
+pub fn metric_mean(cell: &eproc_engine::executor::CellSummary, name: &str) -> f64 {
+    let metric = cell
+        .metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| {
+            panic!(
+                "cell {}/{} has no metric {name:?}",
+                cell.graph, cell.process
+            )
+        });
+    assert!(
+        metric.stats.count() > 0,
+        "metric {name:?} never resolved for {}/{}",
+        cell.graph,
+        cell.process
+    );
+    metric.stats.mean()
+}
+
 /// Runs the named built-in engine spec and emits the standard artifacts:
 /// prints the aggregate table, writes `<csv_name>.csv` next to the other
 /// experiment tables, and writes the engine's JSON artifact.
@@ -264,13 +347,10 @@ pub fn engine_scale(scale: Scale) -> eproc_engine::Scale {
 /// Panics if the spec name is unknown, execution fails, or any trial
 /// capped out before covering (the reproduction tables claim every run
 /// finishes, so an incomplete cell is a regression, not data).
-pub fn run_engine_table(name: &str, scale: eproc_engine::Scale, seed: u64, csv_name: &str) {
-    let spec = eproc_engine::builtin::spec(name, scale)
+pub fn run_engine_table(name: &str, config: &Config, csv_name: &str) {
+    let spec = eproc_engine::builtin::spec(name, engine_scale(config.scale))
         .unwrap_or_else(|| panic!("unknown builtin spec {name:?}"));
-    let opts = eproc_engine::RunOptions {
-        base_seed: seed,
-        ..eproc_engine::RunOptions::auto()
-    };
+    let opts = config.engine_opts();
     let report = eproc_engine::run(&spec, &opts)
         .unwrap_or_else(|e| panic!("engine run {name:?} failed: {e}"));
     for cell in &report.cells {

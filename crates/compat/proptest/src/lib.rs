@@ -185,7 +185,7 @@ pub mod collection {
     use std::fmt;
     use std::ops::Range;
 
-    /// Admissible lengths for [`vec`].
+    /// Admissible lengths for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -219,7 +219,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

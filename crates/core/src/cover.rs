@@ -1,14 +1,39 @@
 //! Cover-time measurement for any [`WalkProcess`].
 //!
-//! The harness tracks visited vertices and edges itself (from the
-//! [`crate::process::Step`]
-//! records), so vertex cover time `C_V`, edge cover time `C_E` and blanket
-//! time can be measured uniformly for the E-process, SRW, rotor-router,
-//! RWC(d) and the locally fair explorers.
+//! Since the single-pass refactor these entry points are thin wrappers
+//! over the [`crate::observe`] pipeline: [`run_cover`] attaches a
+//! [`CoverObserver`] and [`blanket_time`] a
+//! [`crate::observe::BlanketObserver`] to the shared
+//! [`run_observed`] driver, so vertex cover time `C_V`, edge cover time
+//! `C_E` and blanket time are all measured uniformly — and composably —
+//! for the E-process, SRW, rotor-router, RWC(d) and the locally fair
+//! explorers. Callers wanting several metrics from one trajectory should
+//! use [`run_observed`] directly.
 
-use crate::process::{StepKind, WalkProcess};
+use crate::observe::{run_observed, BlanketObserver, CoverObserver, Observer, StopWhen};
+use crate::process::WalkProcess;
 use eproc_graphs::{Graph, Vertex};
 use rand::RngCore;
+use std::fmt;
+
+/// Error from a cover/blanket measurement entry point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoverError {
+    /// Blanket parameter `δ` outside `(0, 1)`.
+    InvalidDelta(f64),
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::InvalidDelta(delta) => {
+                write!(f, "blanket delta must be in (0,1), got {delta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
 
 /// What to wait for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,63 +74,46 @@ pub struct CoverRun {
 /// The walk may have already taken steps; counters here are relative to
 /// this call (fresh bitmaps, step counts starting at the walk's current
 /// position, which counts as visited).
+///
+/// Thin wrapper: allocates a fresh [`CoverObserver`] and delegates to
+/// [`run_cover_with`]. Repeated-measurement loops should hold one
+/// observer and call [`run_cover_with`] to reuse its bitmaps.
 pub fn run_cover<W: WalkProcess + ?Sized>(
     walk: &mut W,
     target: CoverTarget,
     max_steps: u64,
     rng: &mut dyn RngCore,
 ) -> CoverRun {
-    let g = walk.graph();
-    let n = g.n();
-    let m = g.m();
-    let mut vertex_seen = vec![false; n];
-    let mut edge_seen = vec![false; m];
-    let mut vertices_visited = 1usize;
-    vertex_seen[walk.current()] = true;
-    let mut edges_visited = 0usize;
-    let mut steps_to_vertex_cover = if vertices_visited == n { Some(0) } else { None };
-    let mut steps_to_edge_cover = if m == 0 { Some(0) } else { None };
-    let mut blue_steps = 0u64;
-    let mut red_steps = 0u64;
-    let mut t = 0u64;
-    let done = |v: Option<u64>, e: Option<u64>| match target {
-        CoverTarget::Vertices => v.is_some(),
-        CoverTarget::Edges => e.is_some(),
-        CoverTarget::Both => v.is_some() && e.is_some(),
-    };
-    while !done(steps_to_vertex_cover, steps_to_edge_cover) && t < max_steps {
-        let step = walk.advance(rng);
-        t += 1;
-        match step.kind {
-            StepKind::Blue => blue_steps += 1,
-            StepKind::Red => red_steps += 1,
-        }
-        if !vertex_seen[step.to] {
-            vertex_seen[step.to] = true;
-            vertices_visited += 1;
-            if vertices_visited == n {
-                steps_to_vertex_cover = Some(t);
-            }
-        }
-        if let Some(e) = step.edge {
-            if !edge_seen[e] {
-                edge_seen[e] = true;
-                edges_visited += 1;
-                if edges_visited == m {
-                    steps_to_edge_cover = Some(t);
-                }
-            }
-        }
-    }
+    let mut observer = CoverObserver::new(target);
+    run_cover_with(walk, &mut observer, max_steps, rng)
+}
+
+/// Like [`run_cover`], but reusing `observer`'s scratch bitmaps (they are
+/// re-armed, not reallocated). The observer's target decides the stop
+/// condition.
+pub fn run_cover_with<W: WalkProcess + ?Sized>(
+    walk: &mut W,
+    observer: &mut CoverObserver,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> CoverRun {
+    let run = run_observed(
+        walk,
+        &mut [observer as &mut dyn Observer],
+        StopWhen::AllSatisfied,
+        max_steps,
+        rng,
+    );
+    let m = observer.cover_metrics();
     CoverRun {
-        steps: t,
-        steps_to_vertex_cover,
-        steps_to_edge_cover,
-        blue_steps,
-        red_steps,
-        vertices_visited,
-        edges_visited,
-        final_vertex: walk.current(),
+        steps: run.steps,
+        steps_to_vertex_cover: m.steps_to_vertex_cover,
+        steps_to_edge_cover: m.steps_to_edge_cover,
+        blue_steps: m.blue_steps,
+        red_steps: m.red_steps,
+        vertices_visited: m.vertices_visited,
+        edges_visited: m.edges_visited,
+        final_vertex: run.final_vertex,
     }
 }
 
@@ -166,9 +174,12 @@ where
     F: FnMut(usize) -> W,
 {
     let mut out = Vec::with_capacity(runs);
+    // One observer for the whole ensemble: the per-trial bitmaps are
+    // re-armed, not reallocated.
+    let mut observer = CoverObserver::new(target);
     for i in 0..runs {
         let mut walk = make_walk(i);
-        let run = run_cover(&mut walk, target, max_steps, rng);
+        let run = run_cover_with(&mut walk, &mut observer, max_steps, rng);
         let steps = match target {
             CoverTarget::Vertices => run.steps_to_vertex_cover,
             CoverTarget::Edges => run.steps_to_edge_cover,
@@ -208,11 +219,12 @@ where
 {
     assert!(g.n() > 0, "empty graph has no cover time");
     let mut worst = (0, f64::NEG_INFINITY);
+    let mut observer = CoverObserver::new(CoverTarget::Vertices);
     for start in g.vertices() {
         let mut total = 0u64;
         for rep in 0..runs_per_start {
             let mut walk = make_walk(start, rep);
-            let run = run_cover(&mut walk, CoverTarget::Vertices, max_steps, rng);
+            let run = run_cover_with(&mut walk, &mut observer, max_steps, rng);
             total += run
                 .steps_to_vertex_cover
                 .expect("run must cover within max_steps; raise the cap");
@@ -228,44 +240,30 @@ where
 /// Measures the blanket time `τ_bl(δ)`: the first step `t` at which every
 /// vertex `v` has been visited at least `δ π_v t` times (Ding–Lee–Peres,
 /// §1 of the paper). The condition is checked every `g.n()` steps, so the
-/// result has additive granularity `n`. `None` if not reached within
+/// result has additive granularity `n`. `Ok(None)` if not reached within
 /// `max_steps`.
 ///
-/// # Panics
+/// Thin wrapper over a [`BlanketObserver`] on the [`run_observed`]
+/// driver.
 ///
-/// Panics if `delta` is not in `(0, 1)`.
+/// # Errors
+///
+/// Returns [`CoverError::InvalidDelta`] if `delta` is not in `(0, 1)`.
 pub fn blanket_time<W: WalkProcess + ?Sized>(
     walk: &mut W,
     delta: f64,
     max_steps: u64,
     rng: &mut dyn RngCore,
-) -> Option<u64> {
-    assert!(
-        delta > 0.0 && delta < 1.0,
-        "delta must be in (0,1), got {delta}"
+) -> Result<Option<u64>, CoverError> {
+    let mut observer = BlanketObserver::new(delta)?;
+    run_observed(
+        walk,
+        &mut [&mut observer as &mut dyn Observer],
+        StopWhen::AllSatisfied,
+        max_steps,
+        rng,
     );
-    let (n, pi) = {
-        let g = walk.graph();
-        let two_m = g.total_degree() as f64;
-        let pi: Vec<f64> = g.vertices().map(|v| g.degree(v) as f64 / two_m).collect();
-        (g.n(), pi)
-    };
-    let mut visits = vec![0u64; n];
-    visits[walk.current()] = 1;
-    let check_every = n.max(1) as u64;
-    let mut t = 0u64;
-    while t < max_steps {
-        let step = walk.advance(rng);
-        t += 1;
-        visits[step.to] += 1;
-        if t.is_multiple_of(check_every) {
-            let ok = (0..n).all(|v| visits[v] as f64 >= delta * pi[v] * t as f64);
-            if ok {
-                return Some(t);
-            }
-        }
-    }
-    None
+    Ok(observer.steps_to_blanket())
 }
 
 #[cfg(test)]
@@ -376,18 +374,26 @@ mod tests {
         let g = generators::complete(8);
         let mut rng = SmallRng::seed_from_u64(9);
         let mut w = SimpleRandomWalk::new(&g, 0);
-        let t = blanket_time(&mut w, 0.3, 1_000_000, &mut rng).unwrap();
+        let t = blanket_time(&mut w, 0.3, 1_000_000, &mut rng)
+            .expect("valid delta")
+            .expect("blanket reached");
         // K8 blanket time is a small multiple of n log n.
         assert!(t < 10_000, "blanket time {t} too large for K8");
     }
 
     #[test]
-    #[should_panic(expected = "delta")]
     fn blanket_rejects_bad_delta() {
         let g = generators::complete(4);
         let mut rng = SmallRng::seed_from_u64(10);
         let mut w = SimpleRandomWalk::new(&g, 0);
-        let _ = blanket_time(&mut w, 1.5, 100, &mut rng);
+        for delta in [1.5, 0.0, 1.0, -0.2] {
+            assert_eq!(
+                blanket_time(&mut w, delta, 100, &mut rng),
+                Err(CoverError::InvalidDelta(delta)),
+            );
+        }
+        let msg = CoverError::InvalidDelta(1.5).to_string();
+        assert!(msg.contains("delta") && msg.contains("1.5"));
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! * [`choice::RandomWalkWithChoice`] (Avin–Krishnamachari RWC(d));
 //! * [`fair::OldestFirst`] and [`fair::LeastUsedFirst`] (locally fair
 //!   exploration, Cooper–Ilcinkas–Klasing–Kosowski);
-//! * the [`cover`] harness measuring vertex/edge cover times and blanket
-//!   times for any [`WalkProcess`];
+//! * the [`observe`] single-pass pipeline: composable [`observe::Observer`]s
+//!   (cover, blanket, phases, blue census, hitting) fed by one generic
+//!   driver [`observe::run_observed`], so one trajectory yields every
+//!   requested metric; the [`cover`] and [`segments`] entry points are
+//!   thin wrappers over it;
 //! * [`blue`] — blue-subgraph analytics: even-degree component census
 //!   (Observation 11) and the isolated-star census behind the paper's §5
 //!   `n/8` prediction for 3-regular graphs;
@@ -49,6 +52,7 @@ pub mod cover;
 pub mod eprocess;
 pub mod fair;
 pub mod mt19937;
+pub mod observe;
 pub mod process;
 pub mod rotor;
 pub mod segments;

@@ -1,0 +1,795 @@
+//! The single-pass observer pipeline: one walk, every metric.
+//!
+//! Every quantity the paper reports — vertex/edge cover times (Theorem 1,
+//! Corollary 2), blanket time, the blue/red phase structure of §3–§5, the
+//! blue-subgraph star census behind the `n/8` prediction, and hitting
+//! times — is a function of the *same* step stream. This module factors
+//! that observation into code: an [`Observer`] consumes each
+//! [`Step`] of a trajectory and produces [`Metrics`] at the end, and the
+//! generic driver [`run_observed`] advances the walk **once** while feeding
+//! every attached observer, so a trial wanting several metrics no longer
+//! re-walks the graph once per metric.
+//!
+//! The legacy entry points ([`crate::cover::run_cover`],
+//! [`crate::cover::blanket_time`], [`crate::segments::trace_phases`]) are
+//! kept as thin wrappers over this pipeline.
+//!
+//! Observers are **reusable**: [`Observer::begin`] re-arms an observer for
+//! a fresh trajectory, resizing (not reallocating) its scratch buffers, so
+//! ensemble executors can amortise the `vec![false; n]` bitmaps across
+//! thousands of trials.
+//!
+//! # Example
+//!
+//! ```
+//! use eproc_core::observe::{run_observed, CoverObserver, Observer, PhaseObserver, StopWhen};
+//! use eproc_core::cover::CoverTarget;
+//! use eproc_core::{EProcess, rule::UniformRule};
+//! use eproc_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let g = generators::torus2d(6, 6);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let mut walk = EProcess::new(&g, 0, UniformRule::new());
+//! let mut cover = CoverObserver::new(CoverTarget::Both);
+//! let mut phases = PhaseObserver::new();
+//! // One trajectory feeds both observers.
+//! let run = run_observed(
+//!     &mut walk,
+//!     &mut [&mut cover, &mut phases],
+//!     StopWhen::AllSatisfied,
+//!     1_000_000,
+//!     &mut rng,
+//! );
+//! let cm = cover.cover_metrics();
+//! assert_eq!(cm.steps_to_edge_cover, Some(run.steps));
+//! assert_eq!(phases.trace().total_blue(), g.m() as u64);
+//! ```
+
+use crate::cover::{CoverError, CoverTarget};
+use crate::process::{Step, StepKind, WalkProcess};
+use crate::segments::{Phase, PhaseTrace};
+use eproc_graphs::{Graph, Vertex};
+use rand::RngCore;
+
+/// Everything a [`CoverObserver`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverMetrics {
+    /// Step at which the last vertex was first visited, if vertex cover
+    /// completed within the run.
+    pub steps_to_vertex_cover: Option<u64>,
+    /// Step at which the last edge was first traversed, if edge cover
+    /// completed within the run.
+    pub steps_to_edge_cover: Option<u64>,
+    /// Blue (unvisited-edge) transitions observed.
+    pub blue_steps: u64,
+    /// Red transitions observed.
+    pub red_steps: u64,
+    /// Distinct vertices visited (including the start).
+    pub vertices_visited: usize,
+    /// Distinct edges traversed.
+    pub edges_visited: usize,
+}
+
+/// What a [`BlanketObserver`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlanketMetrics {
+    /// First step `t` (a multiple of `n`) at which every vertex `v` had
+    /// been visited at least `δ π_v t` times; `None` if never within the
+    /// run.
+    pub steps_to_blanket: Option<u64>,
+}
+
+/// What a [`BlueCensusObserver`] measures (cf.
+/// [`crate::blue::track_isolated_stars`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlueCensusMetrics {
+    /// Vertices that at some point became isolated blue star centers,
+    /// sorted.
+    pub ever_star_centers: Vec<Vertex>,
+    /// Steps until vertex cover (`None` if the run ended first).
+    pub steps_to_vertex_cover: Option<u64>,
+}
+
+/// What a [`HittingObserver`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HittingMetrics {
+    /// The vertex whose first-visit time is measured.
+    pub target: Vertex,
+    /// Step of the first visit (`Some(0)` if the walk starts there).
+    pub steps_to_hit: Option<u64>,
+}
+
+/// The result of one observer, produced by [`Observer::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metrics {
+    /// Cover-time measurements.
+    Cover(CoverMetrics),
+    /// Blanket-time measurement.
+    Blanket(BlanketMetrics),
+    /// Blue/red phase segmentation.
+    Phases(PhaseTrace),
+    /// Isolated blue star census.
+    BlueCensus(BlueCensusMetrics),
+    /// First-visit (hitting) time of a fixed vertex.
+    Hitting(HittingMetrics),
+}
+
+/// A per-step metric accumulator fed by [`run_observed`].
+///
+/// Lifecycle: `begin` (re-)arms the observer for a trajectory starting at
+/// `start` on `g`; `on_step` is called once per transition with the
+/// 1-based step index; `satisfied` reports whether this observer's
+/// measurement has resolved (used by [`StopWhen::AllSatisfied`]);
+/// `finish` extracts the metrics (and may drain accumulated state).
+/// After `finish`, `begin` may be called again — buffers are reused, not
+/// reallocated.
+pub trait Observer {
+    /// Re-arms the observer for a fresh trajectory on `g` starting at
+    /// `start` (which counts as visited).
+    fn begin(&mut self, g: &Graph, start: Vertex);
+
+    /// Consumes one transition; `t` is the 1-based step index within the
+    /// current run.
+    fn on_step(&mut self, t: u64, step: &Step);
+
+    /// `true` once this observer's measurement has resolved.
+    fn satisfied(&self) -> bool;
+
+    /// Snapshots the metrics accumulated since the last `begin`.
+    fn finish(&mut self) -> Metrics;
+}
+
+/// When [`run_observed`] stops (the step cap always applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Stop as soon as every attached observer is satisfied.
+    AllSatisfied,
+    /// Run until the step cap regardless of observer satisfaction.
+    Cap,
+}
+
+/// Trajectory-level facts returned by [`run_observed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedRun {
+    /// Steps taken in this run (= the cap if the stop condition was not
+    /// reached).
+    pub steps: u64,
+    /// Where the walk stopped.
+    pub final_vertex: Vertex,
+}
+
+/// Advances `walk` once per step, feeding every observer, until `stop`
+/// resolves or `cap` steps elapse.
+///
+/// This single driver replaces the bodies of the legacy loops
+/// `run_cover`, `blanket_time` and `trace_phases`: attach the matching
+/// observers and every metric is measured from **one** trajectory. The
+/// walk may have already taken steps; observers are `begin`-armed at the
+/// walk's current position and all counters are relative to this call.
+pub fn run_observed<W: WalkProcess + ?Sized>(
+    walk: &mut W,
+    observers: &mut [&mut dyn Observer],
+    stop: StopWhen,
+    cap: u64,
+    rng: &mut dyn RngCore,
+) -> ObservedRun {
+    {
+        let g = walk.graph();
+        let start = walk.current();
+        for obs in observers.iter_mut() {
+            obs.begin(g, start);
+        }
+    }
+    let mut t = 0u64;
+    while t < cap {
+        let done = match stop {
+            StopWhen::AllSatisfied => observers.iter().all(|o| o.satisfied()),
+            StopWhen::Cap => false,
+        };
+        if done {
+            break;
+        }
+        let step = walk.advance(rng);
+        t += 1;
+        for obs in observers.iter_mut() {
+            obs.on_step(t, &step);
+        }
+    }
+    ObservedRun {
+        steps: t,
+        final_vertex: walk.current(),
+    }
+}
+
+/// Tracks vertex and edge cover (and the blue/red split) of a trajectory.
+#[derive(Debug, Clone)]
+pub struct CoverObserver {
+    target: CoverTarget,
+    n: usize,
+    m: usize,
+    vertex_seen: Vec<bool>,
+    edge_seen: Vec<bool>,
+    vertices_visited: usize,
+    edges_visited: usize,
+    steps_to_vertex_cover: Option<u64>,
+    steps_to_edge_cover: Option<u64>,
+    blue_steps: u64,
+    red_steps: u64,
+}
+
+impl CoverObserver {
+    /// Creates an unarmed observer for `target`; buffers are sized by
+    /// [`Observer::begin`].
+    pub fn new(target: CoverTarget) -> CoverObserver {
+        CoverObserver {
+            target,
+            n: 0,
+            m: 0,
+            vertex_seen: Vec::new(),
+            edge_seen: Vec::new(),
+            vertices_visited: 0,
+            edges_visited: 0,
+            steps_to_vertex_cover: None,
+            steps_to_edge_cover: None,
+            blue_steps: 0,
+            red_steps: 0,
+        }
+    }
+
+    /// Typed access to the accumulated metrics.
+    pub fn cover_metrics(&self) -> CoverMetrics {
+        CoverMetrics {
+            steps_to_vertex_cover: self.steps_to_vertex_cover,
+            steps_to_edge_cover: self.steps_to_edge_cover,
+            blue_steps: self.blue_steps,
+            red_steps: self.red_steps,
+            vertices_visited: self.vertices_visited,
+            edges_visited: self.edges_visited,
+        }
+    }
+}
+
+impl Observer for CoverObserver {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        self.n = g.n();
+        self.m = g.m();
+        self.vertex_seen.clear();
+        self.vertex_seen.resize(self.n, false);
+        self.edge_seen.clear();
+        self.edge_seen.resize(self.m, false);
+        self.vertex_seen[start] = true;
+        self.vertices_visited = 1;
+        self.edges_visited = 0;
+        self.steps_to_vertex_cover = if self.vertices_visited == self.n {
+            Some(0)
+        } else {
+            None
+        };
+        self.steps_to_edge_cover = if self.m == 0 { Some(0) } else { None };
+        self.blue_steps = 0;
+        self.red_steps = 0;
+    }
+
+    fn on_step(&mut self, t: u64, step: &Step) {
+        match step.kind {
+            StepKind::Blue => self.blue_steps += 1,
+            StepKind::Red => self.red_steps += 1,
+        }
+        if !self.vertex_seen[step.to] {
+            self.vertex_seen[step.to] = true;
+            self.vertices_visited += 1;
+            if self.vertices_visited == self.n {
+                self.steps_to_vertex_cover = Some(t);
+            }
+        }
+        if let Some(e) = step.edge {
+            if !self.edge_seen[e] {
+                self.edge_seen[e] = true;
+                self.edges_visited += 1;
+                if self.edges_visited == self.m {
+                    self.steps_to_edge_cover = Some(t);
+                }
+            }
+        }
+    }
+
+    fn satisfied(&self) -> bool {
+        match self.target {
+            CoverTarget::Vertices => self.steps_to_vertex_cover.is_some(),
+            CoverTarget::Edges => self.steps_to_edge_cover.is_some(),
+            CoverTarget::Both => {
+                self.steps_to_vertex_cover.is_some() && self.steps_to_edge_cover.is_some()
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Metrics {
+        Metrics::Cover(self.cover_metrics())
+    }
+}
+
+/// Measures the Ding–Lee–Peres blanket time `τ_bl(δ)`: the first step `t`
+/// at which every vertex `v` has been visited at least `δ π_v t` times.
+/// The condition is checked every `n` steps, so the result has additive
+/// granularity `n`.
+#[derive(Debug, Clone)]
+pub struct BlanketObserver {
+    delta: f64,
+    pi: Vec<f64>,
+    visits: Vec<u64>,
+    check_every: u64,
+    steps_to_blanket: Option<u64>,
+}
+
+impl BlanketObserver {
+    /// Creates an unarmed observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::InvalidDelta`] if `delta ∉ (0, 1)`.
+    pub fn new(delta: f64) -> Result<BlanketObserver, CoverError> {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CoverError::InvalidDelta(delta));
+        }
+        Ok(BlanketObserver {
+            delta,
+            pi: Vec::new(),
+            visits: Vec::new(),
+            check_every: 1,
+            steps_to_blanket: None,
+        })
+    }
+
+    /// The measured blanket time, if reached.
+    pub fn steps_to_blanket(&self) -> Option<u64> {
+        self.steps_to_blanket
+    }
+}
+
+impl Observer for BlanketObserver {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        let n = g.n();
+        let two_m = g.total_degree() as f64;
+        self.pi.clear();
+        self.pi
+            .extend(g.vertices().map(|v| g.degree(v) as f64 / two_m));
+        self.visits.clear();
+        self.visits.resize(n, 0);
+        self.visits[start] = 1;
+        self.check_every = n.max(1) as u64;
+        self.steps_to_blanket = None;
+    }
+
+    fn on_step(&mut self, t: u64, step: &Step) {
+        self.visits[step.to] += 1;
+        if self.steps_to_blanket.is_none() && t.is_multiple_of(self.check_every) {
+            let tf = t as f64;
+            let ok = self
+                .visits
+                .iter()
+                .zip(&self.pi)
+                .all(|(&v, &p)| v as f64 >= self.delta * p * tf);
+            if ok {
+                self.steps_to_blanket = Some(t);
+            }
+        }
+    }
+
+    fn satisfied(&self) -> bool {
+        self.steps_to_blanket.is_some()
+    }
+
+    fn finish(&mut self) -> Metrics {
+        Metrics::Blanket(BlanketMetrics {
+            steps_to_blanket: self.steps_to_blanket,
+        })
+    }
+}
+
+/// Segments the trajectory into maximal same-coloured [`Phase`]s (the
+/// blue/red structure of §3–§5). Satisfied once every edge has been
+/// traversed, matching the legacy `trace_phases` stop condition.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseObserver {
+    m: usize,
+    edge_seen: Vec<bool>,
+    edges_visited: usize,
+    phases: Vec<Phase>,
+    current: Option<Phase>,
+    steps: u64,
+}
+
+impl PhaseObserver {
+    /// Creates an unarmed observer.
+    pub fn new() -> PhaseObserver {
+        PhaseObserver::default()
+    }
+
+    /// The accumulated trace (closes the in-flight phase), leaving the
+    /// observer intact.
+    pub fn trace(&self) -> PhaseTrace {
+        let mut phases = self.phases.clone();
+        if let Some(cur) = self.current {
+            phases.push(cur);
+        }
+        PhaseTrace {
+            phases,
+            steps: self.steps,
+        }
+    }
+}
+
+impl Observer for PhaseObserver {
+    fn begin(&mut self, g: &Graph, _start: Vertex) {
+        self.m = g.m();
+        self.edge_seen.clear();
+        self.edge_seen.resize(self.m, false);
+        self.edges_visited = 0;
+        self.phases.clear();
+        self.current = None;
+        self.steps = 0;
+    }
+
+    fn on_step(&mut self, _t: u64, step: &Step) {
+        self.steps += 1;
+        if let Some(e) = step.edge {
+            if !self.edge_seen[e] {
+                self.edge_seen[e] = true;
+                self.edges_visited += 1;
+            }
+        }
+        match self.current.as_mut() {
+            Some(phase) if phase.kind == step.kind => {
+                phase.length += 1;
+                phase.end_vertex = step.to;
+            }
+            _ => {
+                if let Some(done) = self.current.take() {
+                    self.phases.push(done);
+                }
+                self.current = Some(Phase {
+                    kind: step.kind,
+                    start_vertex: step.from,
+                    end_vertex: step.to,
+                    length: 1,
+                });
+            }
+        }
+    }
+
+    fn satisfied(&self) -> bool {
+        self.edges_visited == self.m
+    }
+
+    /// Drains the accumulated phases instead of cloning them (the trace
+    /// can hold tens of thousands of phases on paper-scale odd-degree
+    /// graphs); re-arm with [`Observer::begin`] before reuse, or use
+    /// [`PhaseObserver::trace`] for a non-consuming snapshot.
+    fn finish(&mut self) -> Metrics {
+        let mut phases = std::mem::take(&mut self.phases);
+        if let Some(cur) = self.current.take() {
+            phases.push(cur);
+        }
+        Metrics::Phases(PhaseTrace {
+            phases,
+            steps: self.steps,
+        })
+    }
+}
+
+/// Tracks isolated blue star formation over a whole run — the §5 census
+/// behind the `n/8` prediction for random 3-regular graphs — from the
+/// step stream alone (its own visited bitmaps and blue degrees), so it
+/// composes with any walk in one pass. Event-driven: consuming the edge
+/// `{a, b}` can only complete stars centred at unvisited blue-neighbours
+/// of `a` or `b`, an `O(Δ²)` check per step.
+///
+/// Satisfied at vertex cover, matching the legacy
+/// [`crate::blue::track_isolated_stars`] run length.
+#[derive(Debug, Clone)]
+pub struct BlueCensusObserver<'g> {
+    g: &'g Graph,
+    vertex_seen: Vec<bool>,
+    edge_seen: Vec<bool>,
+    blue_deg: Vec<usize>,
+    is_star: Vec<bool>,
+    ever: Vec<Vertex>,
+    remaining: usize,
+    steps_to_vertex_cover: Option<u64>,
+}
+
+impl<'g> BlueCensusObserver<'g> {
+    /// Creates an unarmed observer bound to `g` (the census needs
+    /// adjacency access on every star check).
+    pub fn new(g: &'g Graph) -> BlueCensusObserver<'g> {
+        BlueCensusObserver {
+            g,
+            vertex_seen: Vec::new(),
+            edge_seen: Vec::new(),
+            blue_deg: Vec::new(),
+            is_star: Vec::new(),
+            ever: Vec::new(),
+            remaining: 0,
+            steps_to_vertex_cover: None,
+        }
+    }
+
+    /// `true` if the blue component around the unvisited vertex `v` is
+    /// exactly its star.
+    fn is_isolated_star_at(&self, v: Vertex) -> bool {
+        for (_, w, e) in self.g.ports(v) {
+            if self.edge_seen[e] {
+                return false;
+            }
+            let w_blue_to_v = self
+                .g
+                .ports(w)
+                .filter(|&(_, t, f)| !self.edge_seen[f] && t == v)
+                .count();
+            if self.blue_deg[w] != w_blue_to_v {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Observer for BlueCensusObserver<'_> {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        debug_assert!(
+            std::ptr::eq(self.g, g),
+            "BlueCensusObserver armed on a different graph"
+        );
+        let n = self.g.n();
+        self.vertex_seen.clear();
+        self.vertex_seen.resize(n, false);
+        self.edge_seen.clear();
+        self.edge_seen.resize(self.g.m(), false);
+        self.blue_deg.clear();
+        self.blue_deg
+            .extend(self.g.vertices().map(|v| self.g.degree(v)));
+        self.is_star.clear();
+        self.is_star.resize(n, false);
+        self.ever.clear();
+        self.vertex_seen[start] = true;
+        self.remaining = n - 1;
+        self.steps_to_vertex_cover = if self.remaining == 0 { Some(0) } else { None };
+    }
+
+    fn on_step(&mut self, t: u64, step: &Step) {
+        if !self.vertex_seen[step.to] {
+            self.vertex_seen[step.to] = true;
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                self.steps_to_vertex_cover = Some(t);
+            }
+        }
+        let Some(e) = step.edge else { return };
+        if self.edge_seen[e] {
+            return;
+        }
+        // A blue edge was consumed: update the blue subgraph and check the
+        // only vertices whose star status can have changed.
+        self.edge_seen[e] = true;
+        let (a, b) = self.g.endpoints(e);
+        self.blue_deg[a] -= 1;
+        self.blue_deg[b] -= 1;
+        for end in [a, b] {
+            for (_, cand, f) in self.g.ports(end) {
+                if self.edge_seen[f] || self.vertex_seen[cand] || self.is_star[cand] {
+                    continue;
+                }
+                if self.is_isolated_star_at(cand) {
+                    self.is_star[cand] = true;
+                    self.ever.push(cand);
+                }
+            }
+        }
+    }
+
+    fn satisfied(&self) -> bool {
+        self.steps_to_vertex_cover.is_some()
+    }
+
+    fn finish(&mut self) -> Metrics {
+        let mut ever = self.ever.clone();
+        ever.sort_unstable();
+        Metrics::BlueCensus(BlueCensusMetrics {
+            ever_star_centers: ever,
+            steps_to_vertex_cover: self.steps_to_vertex_cover,
+        })
+    }
+}
+
+/// Which vertex a [`HittingObserver`] waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitTarget {
+    /// A fixed vertex id.
+    Vertex(Vertex),
+    /// The highest-numbered vertex, `n - 1` (a convenient canonical
+    /// "far" vertex that exists on every non-empty graph).
+    LastVertex,
+}
+
+/// Records the first-visit (hitting) time of one target vertex.
+#[derive(Debug, Clone)]
+pub struct HittingObserver {
+    target_spec: HitTarget,
+    target: Vertex,
+    steps_to_hit: Option<u64>,
+}
+
+impl HittingObserver {
+    /// Creates an unarmed observer; the concrete vertex is resolved at
+    /// [`Observer::begin`].
+    pub fn new(target: HitTarget) -> HittingObserver {
+        HittingObserver {
+            target_spec: target,
+            target: 0,
+            steps_to_hit: None,
+        }
+    }
+
+    /// The measured hitting time, if the target was reached.
+    pub fn steps_to_hit(&self) -> Option<u64> {
+        self.steps_to_hit
+    }
+}
+
+impl Observer for HittingObserver {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        self.target = match self.target_spec {
+            HitTarget::Vertex(v) => {
+                assert!(v < g.n(), "hitting target {v} out of range");
+                v
+            }
+            HitTarget::LastVertex => g.n() - 1,
+        };
+        self.steps_to_hit = if start == self.target { Some(0) } else { None };
+    }
+
+    fn on_step(&mut self, t: u64, step: &Step) {
+        if self.steps_to_hit.is_none() && step.to == self.target {
+            self.steps_to_hit = Some(t);
+        }
+    }
+
+    fn satisfied(&self) -> bool {
+        self.steps_to_hit.is_some()
+    }
+
+    fn finish(&mut self) -> Metrics {
+        Metrics::Hitting(HittingMetrics {
+            target: self.target,
+            steps_to_hit: self.steps_to_hit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blue::track_isolated_stars;
+    use crate::eprocess::rule::UniformRule;
+    use crate::eprocess::EProcess;
+    use crate::srw::SimpleRandomWalk;
+    use eproc_graphs::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_walk_feeds_many_observers() {
+        let g = generators::hypercube(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let mut cover = CoverObserver::new(CoverTarget::Both);
+        let mut blanket = BlanketObserver::new(0.3).unwrap();
+        let mut phases = PhaseObserver::new();
+        let mut census = BlueCensusObserver::new(&g);
+        let mut hit = HittingObserver::new(HitTarget::LastVertex);
+        let run = run_observed(
+            &mut walk,
+            &mut [&mut cover, &mut blanket, &mut phases, &mut census, &mut hit],
+            StopWhen::AllSatisfied,
+            10_000_000,
+            &mut rng,
+        );
+        // The walk advanced exactly once per observed step.
+        assert_eq!(walk.steps(), run.steps);
+        let cm = cover.cover_metrics();
+        assert_eq!(cm.vertices_visited, g.n());
+        assert_eq!(cm.edges_visited, g.m());
+        assert!(blanket.steps_to_blanket().unwrap() <= run.steps);
+        assert_eq!(phases.trace().total_blue(), cm.blue_steps);
+        assert!(hit.steps_to_hit().unwrap() <= cm.steps_to_vertex_cover.unwrap());
+        assert!(matches!(census.finish(), Metrics::BlueCensus(_)));
+    }
+
+    #[test]
+    fn observers_are_reusable_across_runs() {
+        let g = generators::cycle(12);
+        let mut cover = CoverObserver::new(CoverTarget::Vertices);
+        for seed in 0..3 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut walk = EProcess::new(&g, 0, UniformRule::new());
+            let run = run_observed(
+                &mut walk,
+                &mut [&mut cover],
+                StopWhen::AllSatisfied,
+                1_000_000,
+                &mut rng,
+            );
+            assert_eq!(run.steps, 11);
+            assert_eq!(cover.cover_metrics().steps_to_vertex_cover, Some(11));
+        }
+    }
+
+    #[test]
+    fn stop_when_cap_runs_to_the_cap() {
+        let g = generators::complete(6);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut walk = SimpleRandomWalk::new(&g, 0);
+        let mut cover = CoverObserver::new(CoverTarget::Vertices);
+        let run = run_observed(&mut walk, &mut [&mut cover], StopWhen::Cap, 500, &mut rng);
+        assert_eq!(run.steps, 500);
+    }
+
+    #[test]
+    fn blanket_observer_rejects_bad_delta() {
+        assert_eq!(
+            BlanketObserver::new(1.5).unwrap_err(),
+            CoverError::InvalidDelta(1.5)
+        );
+        assert!(BlanketObserver::new(0.0).is_err());
+        assert!(BlanketObserver::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn census_observer_matches_walk_introspection() {
+        // The observer reconstructs the blue subgraph from the step stream
+        // alone; it must agree with the legacy routine that reads the
+        // E-process internals, on the same trajectory (same seed).
+        let mut seed_rng = SmallRng::seed_from_u64(7);
+        let g = generators::connected_random_regular(300, 3, &mut seed_rng).unwrap();
+        for seed in 0..3 {
+            let mut rng_a = SmallRng::seed_from_u64(100 + seed);
+            let mut walk_a = EProcess::new(&g, 0, UniformRule::new());
+            let legacy = track_isolated_stars(&mut walk_a, 10_000_000, &mut rng_a);
+
+            let mut rng_b = SmallRng::seed_from_u64(100 + seed);
+            let mut walk_b = EProcess::new(&g, 0, UniformRule::new());
+            let mut census = BlueCensusObserver::new(&g);
+            let run = run_observed(
+                &mut walk_b,
+                &mut [&mut census],
+                StopWhen::AllSatisfied,
+                10_000_000,
+                &mut rng_b,
+            );
+            let Metrics::BlueCensus(m) = census.finish() else {
+                unreachable!()
+            };
+            assert_eq!(m.ever_star_centers, legacy.ever_star_centers);
+            assert_eq!(m.steps_to_vertex_cover, legacy.steps_to_vertex_cover);
+            assert_eq!(run.steps, legacy.steps);
+        }
+    }
+
+    #[test]
+    fn hitting_observer_start_is_zero() {
+        let g = generators::cycle(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut walk = SimpleRandomWalk::new(&g, 3);
+        let mut hit = HittingObserver::new(HitTarget::Vertex(3));
+        let run = run_observed(
+            &mut walk,
+            &mut [&mut hit],
+            StopWhen::AllSatisfied,
+            1_000,
+            &mut rng,
+        );
+        assert_eq!(run.steps, 0);
+        assert_eq!(hit.steps_to_hit(), Some(0));
+    }
+}

@@ -2,12 +2,16 @@
 //!
 //! The paper's whole analysis is phase-based: maximal runs of blue
 //! transitions (walks on unvisited edges) alternate with red runs (the
-//! embedded simple random walk). This module segments a run into
-//! [`Phase`]s and computes the statistics the proofs reason about — phase
-//! counts, lengths, and the Observation-10 closure property.
+//! embedded simple random walk). This module defines the [`Phase`] and
+//! [`PhaseTrace`] data types and the statistics the proofs reason about —
+//! phase counts, lengths, and the Observation-10 closure property. The
+//! segmentation itself is performed by
+//! [`crate::observe::PhaseObserver`] on the shared single-pass driver;
+//! [`trace_phases`] is the thin compatibility wrapper.
 
 use crate::eprocess::rule::EdgeRule;
 use crate::eprocess::EProcess;
+use crate::observe::{run_observed, Observer, PhaseObserver, StopWhen};
 use crate::process::{StepKind, WalkProcess};
 use eproc_graphs::Vertex;
 use rand::RngCore;
@@ -26,7 +30,7 @@ pub struct Phase {
 }
 
 /// Trajectory-level phase statistics of a completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseTrace {
     /// All phases in order.
     pub phases: Vec<Phase>,
@@ -94,6 +98,11 @@ impl PhaseTrace {
 /// Runs a fresh E-process until every edge is visited (or `max_steps`),
 /// recording the phase structure.
 ///
+/// Thin wrapper: attaches a [`PhaseObserver`] to the shared
+/// [`run_observed`] driver (the observer's edge bitmap reproduces the
+/// legacy `unvisited_edge_count() > 0` stop condition exactly, since the
+/// E-process marks edges visited precisely when they are traversed).
+///
 /// # Panics
 ///
 /// Panics if the walk has already taken steps.
@@ -103,35 +112,15 @@ pub fn trace_phases<A: EdgeRule>(
     rng: &mut dyn RngCore,
 ) -> PhaseTrace {
     assert_eq!(walk.steps(), 0, "phase tracing requires a fresh walk");
-    let mut phases: Vec<Phase> = Vec::new();
-    let mut current: Option<Phase> = None;
-    let mut t = 0u64;
-    while walk.unvisited_edge_count() > 0 && t < max_steps {
-        let from = walk.current();
-        let step = walk.advance(rng);
-        t += 1;
-        match current.as_mut() {
-            Some(phase) if phase.kind == step.kind => {
-                phase.length += 1;
-                phase.end_vertex = step.to;
-            }
-            _ => {
-                if let Some(done) = current.take() {
-                    phases.push(done);
-                }
-                current = Some(Phase {
-                    kind: step.kind,
-                    start_vertex: from,
-                    end_vertex: step.to,
-                    length: 1,
-                });
-            }
-        }
-    }
-    if let Some(done) = current.take() {
-        phases.push(done);
-    }
-    PhaseTrace { phases, steps: t }
+    let mut observer = PhaseObserver::new();
+    run_observed(
+        walk,
+        &mut [&mut observer as &mut dyn Observer],
+        StopWhen::AllSatisfied,
+        max_steps,
+        rng,
+    );
+    observer.trace()
 }
 
 #[cfg(test)]

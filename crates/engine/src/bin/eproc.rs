@@ -2,17 +2,25 @@
 //!
 //! ```text
 //! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
-//!                  [--trials N] [--json PATH] [--csv PATH]
+//!                  [--trials N] [--metrics M[,M...]] [--json PATH]
+//!                  [--csv PATH]
 //! eproc list
 //! eproc compare --graph G [--graph G ...] --process P[,P...]
-//!               [--trials N] [--target T] [--cap-nlogn F] [--seed N]
-//!               [--threads N] [--json PATH]
+//!               [--trials N] [--target T] [--metrics M[,M...]]
+//!               [--start V] [--cap-nlogn F] [--seed N] [--threads N]
+//!               [--json PATH]
 //! ```
+//!
+//! `--metrics` attaches extra observers (`cover`, `blanket:<delta>`,
+//! `phases`, `bluecensus`, `hitting[:v]`) to the same walk as the
+//! target: each trial still walks the graph exactly once.
 
 use eproc_engine::builtin;
 use eproc_engine::executor::{run, RunOptions};
 use eproc_engine::report::{save_json, to_text_table};
-use eproc_engine::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, Scale, Target};
+use eproc_engine::spec::{
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, Scale, Target,
+};
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
@@ -26,17 +34,22 @@ fn usage(err: &str) -> ! {
          \n\
          usage:\n\
          \x20 eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]\n\
-         \x20                  [--trials N] [--json PATH] [--csv PATH]\n\
+         \x20                  [--trials N] [--metrics M[,M...]] [--json PATH]\n\
+         \x20                  [--csv PATH]\n\
          \x20 eproc list\n\
          \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
-         \x20               [--trials N] [--target T] [--cap-nlogn F]\n\
-         \x20               [--seed N] [--threads N] [--json PATH]\n\
+         \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
+         \x20               [--start V] [--cap-nlogn F] [--seed N]\n\
+         \x20               [--threads N] [--json PATH]\n\
          \n\
          graph syntax   regular:<n>,<d> | lps:<p>,<q> | geometric:<n>[,factor] |\n\
-         \x20              hypercube:<dim> | torus:<w>,<h> | cycle:<n> | complete:<n>\n\
+         \x20              hypercube:<dim> | torus:<w>,<h> | cycle:<n> | complete:<n> |\n\
+         \x20              lollipop:<clique>,<path> | petersen | figure8:<len>\n\
          process syntax eprocess[:rule] | srw | lazy | weighted | rotor | rwc:<d> |\n\
          \x20              oldest | leastused | vprocess\n\
          target syntax  vertex | edge | both | blanket:<delta>\n\
+         metric syntax  cover | blanket[:delta] | phases | bluecensus | hitting[:v]\n\
+         \x20              (all measured from the same walk: one pass per trial)\n\
          \n\
          built-in specs: {}",
         builtin::names().join(", ")
@@ -50,6 +63,7 @@ struct CommonFlags {
     seed: Option<u64>,
     threads: Option<usize>,
     trials: Option<usize>,
+    metrics: Option<Vec<MetricSpec>>,
     json: Option<PathBuf>,
     csv: Option<PathBuf>,
 }
@@ -120,6 +134,16 @@ fn parse_common(
             }
             flags.trials = Some(t);
         }
+        "--metrics" => {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("--metrics needs a value"));
+            let parsed: Vec<MetricSpec> = v
+                .split(',')
+                .map(|part| MetricSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())))
+                .collect();
+            flags.metrics = Some(parsed);
+        }
         "--json" => flags.json = Some(PathBuf::from(require_path("--json", args.next()))),
         "--csv" => flags.csv = Some(PathBuf::from(require_path("--csv", args.next()))),
         _ => return false,
@@ -140,6 +164,9 @@ fn require_path(flag: &str, v: Option<String>) -> String {
 fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
     if let Some(trials) = flags.trials {
         spec.trials = trials;
+    }
+    if let Some(metrics) = &flags.metrics {
+        spec.metrics = metrics.clone();
     }
     let mut opts = RunOptions::auto();
     if let Some(threads) = flags.threads {
@@ -230,6 +257,7 @@ fn cmd_compare(mut args: impl Iterator<Item = String>) {
     let mut processes: Vec<ProcessSpec> = Vec::new();
     let mut target = Target::VertexCover;
     let mut cap = CapSpec::Auto;
+    let mut start = 0usize;
     let mut flags = CommonFlags::default();
     while let Some(arg) = args.next() {
         if parse_common(&arg, &mut args, &mut flags) {
@@ -259,6 +287,9 @@ fn cmd_compare(mut args: impl Iterator<Item = String>) {
                     .unwrap_or_else(|| usage("--target needs a value"));
                 target = Target::parse(&v).unwrap_or_else(|e| usage(&e.to_string()));
             }
+            "--start" => {
+                start = parse_u64("--start", args.next()) as usize;
+            }
             "--cap-nlogn" => {
                 let v = args.next().unwrap_or_default();
                 let f: f64 = v
@@ -283,6 +314,8 @@ fn cmd_compare(mut args: impl Iterator<Item = String>) {
         processes,
         trials: flags.trials.unwrap_or(5),
         target,
+        metrics: flags.metrics.clone().unwrap_or_default(),
+        start,
         cap,
     };
     execute(spec, &flags);

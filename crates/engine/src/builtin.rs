@@ -5,7 +5,9 @@
 //! function of the [`Scale`], so `quick` and `paper` runs of the same name
 //! are distinct but individually reproducible.
 
-use crate::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Scale, Target};
+use crate::spec::{
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Scale, Target,
+};
 
 /// Names of all built-in specs, in display order.
 pub fn names() -> Vec<&'static str> {
@@ -16,6 +18,10 @@ pub fn names() -> Vec<&'static str> {
         "lowerbound",
         "hypercube",
         "blanket",
+        "phases",
+        "hitting",
+        "worststart",
+        "lgood",
     ]
 }
 
@@ -28,6 +34,10 @@ pub fn spec(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "lowerbound" => Some(lowerbound(scale)),
         "hypercube" => Some(hypercube(scale)),
         "blanket" => Some(blanket(scale)),
+        "phases" => Some(phases(scale)),
+        "hitting" => Some(hitting(scale)),
+        "worststart" => Some(worststart(scale)),
+        "lgood" => Some(lgood(scale)),
         _ => None,
     }
 }
@@ -63,6 +73,8 @@ pub fn comparison(scale: Scale) -> ExperimentSpec {
         ],
         trials: 5,
         target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
         cap: CapSpec::NLogN(50_000.0),
     }
 }
@@ -98,6 +110,8 @@ pub fn theorem1(scale: Scale) -> ExperimentSpec {
         }],
         trials: 5,
         target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
         cap: CapSpec::NLogN(500.0),
     }
 }
@@ -123,6 +137,8 @@ pub fn rules(scale: Scale) -> ExperimentSpec {
             .collect(),
         trials: 5,
         target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
         cap: CapSpec::NLogN(2_000.0),
     }
 }
@@ -151,6 +167,8 @@ pub fn lowerbound(scale: Scale) -> ExperimentSpec {
         ],
         trials: 5,
         target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
         cap: CapSpec::NLogN(5_000.0),
     }
 }
@@ -177,21 +195,32 @@ pub fn hypercube(scale: Scale) -> ExperimentSpec {
         ],
         trials: 5,
         target: Target::EdgeCover,
+        metrics: vec![],
+        start: 0,
         cap: CapSpec::NLogN(50_000.0),
     }
 }
 
-/// **T-bl** — blanket time `τ_bl(0.4)` of the E-process and SRW on an
-/// even-degree expander (Ding–Lee–Peres, §1 of the paper).
+/// **T-bl** — equation (4): the blanket-time route to edge cover. The
+/// blanket target stops each trial; a `cover` metric on the **same walk**
+/// also yields `CV` and `CE`, so the `table_blanket` wrapper can print
+/// `τ_bl(1/2)`, `CV(SRW)` and `CE(E)` from one ensemble.
 pub fn blanket(scale: Scale) -> ExperimentSpec {
-    let n = match scale {
-        Scale::Quick => 2_048,
-        Scale::Paper => 16_384,
+    let (reg_n, torus_side, hyp) = match scale {
+        Scale::Quick => (2_000, 24, 9),
+        Scale::Paper => (16_000, 64, 12),
     };
     ExperimentSpec {
         name: "blanket".into(),
-        description: "Blanket time τ_bl(0.4) on a random 4-regular graph".into(),
-        graphs: vec![GraphSpec::Regular { n, d: 4 }],
+        description: "Eq. (4): blanket time τ_bl(1/2), CV and CE from one walk per trial".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: reg_n, d: 4 },
+            GraphSpec::Torus {
+                w: torus_side,
+                h: torus_side,
+            },
+            GraphSpec::Hypercube { dim: hyp },
+        ],
         processes: vec![
             ProcessSpec::EProcess {
                 rule: RuleSpec::Uniform,
@@ -199,8 +228,136 @@ pub fn blanket(scale: Scale) -> ExperimentSpec {
             ProcessSpec::Srw,
         ],
         trials: 3,
-        target: Target::Blanket { delta: 0.4 },
-        cap: CapSpec::NLogN(50_000.0),
+        target: Target::Blanket { delta: 0.5 },
+        metrics: vec![MetricSpec::Cover],
+        start: 0,
+        cap: CapSpec::Absolute(500_000_000),
+    }
+}
+
+/// **T-phase** — the blue/red phase structure behind the proofs, plus the
+/// §5 isolated-star census, measured in one pass per trial on random
+/// `r`-regular graphs for `r ∈ {3,4,5,6}`.
+pub fn phases(scale: Scale) -> ExperimentSpec {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![4_000, 16_000, 64_000],
+        Scale::Paper => vec![16_000, 64_000, 256_000],
+    };
+    let mut graphs = Vec::new();
+    for &r in &[3usize, 4, 5, 6] {
+        for &n in &sizes {
+            graphs.push(GraphSpec::Regular { n, d: r });
+        }
+    }
+    ExperimentSpec {
+        name: "phases".into(),
+        description: "Blue/red phase structure and §5 star census of the E-process".into(),
+        graphs,
+        processes: vec![ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        }],
+        trials: 5,
+        target: Target::EdgeCover,
+        metrics: vec![MetricSpec::Phases, MetricSpec::BlueCensus],
+        start: 0,
+        cap: CapSpec::NLogN(2_000.0),
+    }
+}
+
+/// **T-hit** — empirical first-visit (hitting) times of the canonical far
+/// vertex `n-1` for the SRW on the Lemma 6 / Corollary 9 graph zoo; the
+/// `table_hitting` wrapper adds the exact linear-solve values and the
+/// spectral bounds.
+pub fn hitting(scale: Scale) -> ExperimentSpec {
+    let trials = match scale {
+        Scale::Quick => 10,
+        Scale::Paper => 50,
+    };
+    ExperimentSpec {
+        name: "hitting".into(),
+        description: "Empirical hitting times H(0 → n-1) on the spectral-bound graph zoo".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: 200, d: 4 },
+            GraphSpec::Regular { n: 200, d: 6 },
+            GraphSpec::Torus { w: 10, h: 9 },
+            GraphSpec::Lollipop {
+                clique: 16,
+                path: 8,
+            },
+            GraphSpec::Petersen,
+            GraphSpec::FigureEight { len: 7 },
+        ],
+        processes: vec![ProcessSpec::Srw],
+        trials,
+        target: Target::VertexCover,
+        metrics: vec![MetricSpec::Hitting { vertex: None }],
+        start: 0,
+        cap: CapSpec::Auto,
+    }
+}
+
+/// **T-wstart** — one cell of the start-vertex sensitivity sweep: the
+/// E-process and SRW from a fixed start. The `table_worst_start` wrapper
+/// re-runs this spec once per start vertex (setting
+/// [`ExperimentSpec::start`]) and takes the max over starts — the paper's
+/// `C_V = max_v C_v`.
+pub fn worststart(scale: Scale) -> ExperimentSpec {
+    let trials = match scale {
+        Scale::Quick => 8,
+        Scale::Paper => 24,
+    };
+    ExperimentSpec {
+        name: "worststart".into(),
+        description: "Start-vertex sensitivity: CV = max_v C_v building block".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: 128, d: 4 },
+            GraphSpec::Torus { w: 12, h: 12 },
+            GraphSpec::Lollipop {
+                clique: 24,
+                path: 24,
+            },
+        ],
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::Auto,
+    }
+}
+
+/// **T-lgood** — the ensemble half of the `ℓ`-goodness landscape: the
+/// E-process cover time on the random even-regular sweep whose greedy
+/// `ℓ` upper bounds and §4.1 (P2) predictions the `table_lgood` wrapper
+/// computes per graph.
+pub fn lgood(scale: Scale) -> ExperimentSpec {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 4_000, 16_000],
+        Scale::Paper => vec![4_000, 16_000, 64_000, 256_000],
+    };
+    let mut graphs = Vec::new();
+    for &r in &[4usize, 6] {
+        for &n in &sizes {
+            graphs.push(GraphSpec::Regular { n, d: r });
+        }
+    }
+    ExperimentSpec {
+        name: "lgood".into(),
+        description: "l-goodness sweep: E-process cover time on even-regular graphs".into(),
+        graphs,
+        processes: vec![ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        }],
+        trials: 3,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(500.0),
     }
 }
 

@@ -6,10 +6,16 @@
 //! stream from [`SeedSequence`] keyed by the trial's grid coordinates, and
 //! aggregation folds trials in coordinate order, which makes the
 //! aggregate report **bit-identical for any thread count**.
+//!
+//! Each trial walks the graph **once**: the spec's target and every
+//! requested [`MetricSpec`] attach [`Observer`]s to the same
+//! [`eproc_core::observe::run_observed`] trajectory, which runs until all
+//! of them resolve (or the cap). Workers keep their observer set between
+//! consecutive trials on the same graph, so the per-trial
+//! `vec![false; n]` scratch bitmaps are re-armed rather than reallocated.
 
-use crate::spec::{ExperimentSpec, SpecError, Target};
-use eproc_core::cover::{blanket_time, run_cover};
-use eproc_core::WalkProcess;
+use crate::spec::{ExperimentSpec, MetricSpec, SpecError, Target};
+use eproc_core::observe::{run_observed, Metrics, Observer, StopWhen};
 use eproc_graphs::Graph;
 use eproc_stats::{OnlineStats, SeedSequence};
 use rand::rngs::SmallRng;
@@ -84,17 +90,30 @@ impl From<SpecError> for EngineError {
 }
 
 /// Everything measured in one trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialOutcome {
     /// Steps to reach the target, if reached within the cap.
     pub steps_to_target: Option<u64>,
-    /// Steps actually taken.
+    /// Steps actually taken (may exceed the target step when extra
+    /// metrics keep the walk going).
     pub steps: u64,
     /// Blue (unvisited-edge-preferring) transitions; `0` for blanket runs,
-    /// whose harness does not classify steps.
+    /// whose target observer does not classify steps.
     pub blue_steps: u64,
     /// Red transitions; `0` for blanket runs.
     pub red_steps: u64,
+    /// One scalar per metric column (spec order; `None` = unresolved
+    /// within the cap).
+    pub metric_values: Vec<Option<f64>>,
+}
+
+/// Aggregate of one metric column over a cell's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Column name (see [`MetricSpec::columns`]).
+    pub name: String,
+    /// Streaming statistics over trials whose value resolved.
+    pub stats: OnlineStats,
 }
 
 /// Aggregated statistics for one (graph, process) cell.
@@ -117,6 +136,8 @@ pub struct CellSummary {
     /// Streaming statistics over the per-trial blue-step fraction
     /// (`blue / (blue + red)`); empty for blanket targets.
     pub blue_fraction: OnlineStats,
+    /// One aggregate per metric column, in spec order.
+    pub metrics: Vec<MetricSummary>,
 }
 
 /// The full result of running one experiment.
@@ -168,42 +189,75 @@ pub fn build_graphs(spec: &ExperimentSpec, base_seed: u64) -> Result<Vec<Graph>,
         .collect()
 }
 
-fn run_trial(spec: &ExperimentSpec, g: &Graph, process_index: usize, seed: u64) -> TrialOutcome {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut walk = spec.processes[process_index].build(g, 0);
-    let cap = spec.cap.resolve(g);
-    match spec.target {
-        Target::Blanket { delta } => {
-            let reached = blanket_time(&mut *walk, delta, cap, &mut rng);
-            TrialOutcome {
-                steps_to_target: reached,
-                steps: walk.steps(),
-                blue_steps: 0,
-                red_steps: 0,
-            }
+/// A worker's reusable observer set for one graph: the target observer
+/// plus one observer per metric. Re-armed (`begin`) for every trial;
+/// rebuilt only when the worker moves to a different graph.
+struct ObserverBank<'g> {
+    graph_index: usize,
+    target: Box<dyn Observer + 'g>,
+    metrics: Vec<Box<dyn Observer + 'g>>,
+}
+
+impl<'g> ObserverBank<'g> {
+    fn new(spec: &ExperimentSpec, g: &'g Graph, graph_index: usize) -> ObserverBank<'g> {
+        ObserverBank {
+            graph_index,
+            target: spec.target.build_observer(g),
+            metrics: spec.metrics.iter().map(|m| m.build_observer(g)).collect(),
         }
-        _ => {
-            let ct = spec
-                .target
-                .cover_target()
-                .expect("non-blanket target is a cover target");
-            let run = run_cover(&mut *walk, ct, cap, &mut rng);
-            let steps_to_target = match spec.target {
-                Target::VertexCover => run.steps_to_vertex_cover,
-                Target::EdgeCover => run.steps_to_edge_cover,
-                Target::BothCover => run
+    }
+}
+
+/// Runs one trial: **one** walk feeding the target observer and every
+/// metric observer, until all of them resolve or the cap.
+fn run_trial(
+    spec: &ExperimentSpec,
+    g: &Graph,
+    process_index: usize,
+    seed: u64,
+    bank: &mut ObserverBank<'_>,
+) -> TrialOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut walk = spec.processes[process_index].build(g, spec.start);
+    let cap = spec.cap.resolve(g);
+    let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(1 + bank.metrics.len());
+    observers.push(bank.target.as_mut());
+    for m in &mut bank.metrics {
+        observers.push(m.as_mut());
+    }
+    let run = run_observed(
+        &mut *walk,
+        &mut observers,
+        StopWhen::AllSatisfied,
+        cap,
+        &mut rng,
+    );
+    let (steps_to_target, blue_steps, red_steps) = match (spec.target, bank.target.finish()) {
+        (Target::Blanket { .. }, Metrics::Blanket(b)) => (b.steps_to_blanket, 0, 0),
+        (target, Metrics::Cover(c)) => {
+            let steps_to_target = match target {
+                Target::VertexCover => c.steps_to_vertex_cover,
+                Target::EdgeCover => c.steps_to_edge_cover,
+                Target::BothCover => c
                     .steps_to_vertex_cover
-                    .and(run.steps_to_edge_cover)
-                    .map(|_| run.steps),
+                    .and(c.steps_to_edge_cover)
+                    .map(|_| c.steps_to_vertex_cover.max(c.steps_to_edge_cover).unwrap()),
                 Target::Blanket { .. } => unreachable!(),
             };
-            TrialOutcome {
-                steps_to_target,
-                steps: run.steps,
-                blue_steps: run.blue_steps,
-                red_steps: run.red_steps,
-            }
+            (steps_to_target, c.blue_steps, c.red_steps)
         }
+        (target, metrics) => panic!("target {target:?} produced mismatched {metrics:?}"),
+    };
+    let mut metric_values = Vec::new();
+    for (ms, obs) in spec.metrics.iter().zip(&mut bank.metrics) {
+        metric_values.extend(ms.values(&obs.finish()));
+    }
+    TrialOutcome {
+        steps_to_target,
+        steps: run.steps,
+        blue_steps,
+        red_steps,
+        metric_values,
     }
 }
 
@@ -254,6 +308,28 @@ pub fn run_on_graphs(
         "graphs do not match the spec grid"
     );
     spec.validate()?;
+    for (gs, g) in spec.graphs.iter().zip(graphs) {
+        if spec.start >= g.n() {
+            return Err(EngineError::Spec(SpecError::new(format!(
+                "start vertex {} out of range for {} (n = {})",
+                spec.start,
+                gs.label(),
+                g.n()
+            ))));
+        }
+        for metric in &spec.metrics {
+            if let MetricSpec::Hitting { vertex: Some(v) } = metric {
+                if *v >= g.n() {
+                    return Err(EngineError::Spec(SpecError::new(format!(
+                        "hitting vertex {} out of range for {} (n = {})",
+                        v,
+                        gs.label(),
+                        g.n()
+                    ))));
+                }
+            }
+        }
+    }
 
     let n_proc = spec.processes.len();
     let trials = spec.trials;
@@ -270,6 +346,9 @@ pub fn run_on_graphs(
                 let graphs = &graphs;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, TrialOutcome)> = Vec::new();
+                    // Observer scratch is kept across trials; jobs are
+                    // graph-major, so rebuilds are rare.
+                    let mut bank: Option<ObserverBank<'_>> = None;
                     loop {
                         let job = next.fetch_add(1, Ordering::Relaxed);
                         if job >= total {
@@ -280,7 +359,11 @@ pub fn run_on_graphs(
                         let pi = rest / trials;
                         let t = rest % trials;
                         let seed = trial_seed(opts.base_seed, gi, pi, t);
-                        local.push((job, run_trial(spec, &graphs[gi], pi, seed)));
+                        let bank = match &mut bank {
+                            Some(b) if b.graph_index == gi => b,
+                            slot => slot.insert(ObserverBank::new(spec, &graphs[gi], gi)),
+                        };
+                        local.push((job, run_trial(spec, &graphs[gi], pi, seed, bank)));
                     }
                     local
                 })
@@ -296,15 +379,25 @@ pub fn run_on_graphs(
     }
 
     // Deterministic aggregation: cells in grid order, trials in index order.
+    let metric_columns = spec.metric_columns();
     let mut cells = Vec::with_capacity(graphs.len() * n_proc);
     for (gi, g) in graphs.iter().enumerate() {
         for (pi, ps) in spec.processes.iter().enumerate() {
             let mut steps = OnlineStats::new();
             let mut blue_fraction = OnlineStats::new();
+            let mut metrics: Vec<MetricSummary> = metric_columns
+                .iter()
+                .map(|name| MetricSummary {
+                    name: name.clone(),
+                    stats: OnlineStats::new(),
+                })
+                .collect();
             let mut completed = 0usize;
             for t in 0..trials {
                 let job = gi * jobs_per_graph + pi * trials + t;
-                let outcome = outcomes[job].expect("every job index was executed");
+                let outcome = outcomes[job]
+                    .as_ref()
+                    .expect("every job index was executed");
                 if let Some(s) = outcome.steps_to_target {
                     steps.push(s as f64);
                     completed += 1;
@@ -312,6 +405,11 @@ pub fn run_on_graphs(
                 let classified = outcome.blue_steps + outcome.red_steps;
                 if classified > 0 {
                     blue_fraction.push(outcome.blue_steps as f64 / classified as f64);
+                }
+                for (summary, value) in metrics.iter_mut().zip(&outcome.metric_values) {
+                    if let Some(v) = value {
+                        summary.stats.push(*v);
+                    }
                 }
             }
             cells.push(CellSummary {
@@ -323,6 +421,7 @@ pub fn run_on_graphs(
                 completed,
                 steps,
                 blue_fraction,
+                metrics,
             });
         }
     }
@@ -339,7 +438,7 @@ pub fn run_on_graphs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{CapSpec, GraphSpec, ProcessSpec, RuleSpec};
+    use crate::spec::{CapSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec};
 
     fn tiny_spec() -> ExperimentSpec {
         ExperimentSpec {
@@ -354,6 +453,8 @@ mod tests {
             ],
             trials: 3,
             target: Target::VertexCover,
+            metrics: vec![],
+            start: 0,
             cap: CapSpec::Auto,
         }
     }
@@ -481,6 +582,150 @@ mod tests {
             ),
             Err(EngineError::Spec(_))
         ));
+    }
+
+    #[test]
+    fn multi_metric_trial_walks_the_graph_exactly_once() {
+        // On a cycle the E-process is deterministic: it walks straight
+        // around, so vertex cover lands at n-1 and edge cover at n. A
+        // trial measuring the target plus cover AND phase metrics must
+        // take exactly n steps total — not a multiple of it, which is
+        // what re-walking per metric would produce.
+        let n = 16usize;
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Cycle { n }],
+            processes: vec![ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            }],
+            metrics: vec![MetricSpec::Cover, MetricSpec::Phases],
+            trials: 1,
+            ..tiny_spec()
+        };
+        let g = spec.graphs[0].build(1).unwrap();
+        let mut bank = ObserverBank::new(&spec, &g, 0);
+        let outcome = run_trial(&spec, &g, 0, 42, &mut bank);
+        assert_eq!(outcome.steps_to_target, Some((n - 1) as u64));
+        assert_eq!(
+            outcome.steps, n as u64,
+            "one walk must feed every observer: {} steps taken for target + 2 metrics",
+            outcome.steps
+        );
+        // Metric columns resolved from the same single pass.
+        assert_eq!(
+            outcome.metric_values,
+            vec![
+                Some((n - 1) as f64), // cover.c_v
+                Some(n as f64),       // cover.c_e
+                Some(n as f64),       // phases.first_blue
+                Some(1.0),            // phases.blue_count
+                Some(n as f64),       // phases.total_blue
+                Some(1.0),            // phases.closed
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_bank_reuse_matches_fresh_observers() {
+        // Consecutive trials through one reused bank must equal trials
+        // through fresh banks: begin() re-arms completely.
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Torus { w: 5, h: 5 }],
+            processes: vec![ProcessSpec::Srw],
+            metrics: vec![
+                MetricSpec::Cover,
+                MetricSpec::Blanket { delta: 0.3 },
+                MetricSpec::Hitting { vertex: None },
+            ],
+            ..tiny_spec()
+        };
+        let g = spec.graphs[0].build(2).unwrap();
+        let mut reused = ObserverBank::new(&spec, &g, 0);
+        for seed in [7u64, 8, 9] {
+            let a = run_trial(&spec, &g, 0, seed, &mut reused);
+            let mut fresh = ObserverBank::new(&spec, &g, 0);
+            let b = run_trial(&spec, &g, 0, seed, &mut fresh);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn metrics_aggregate_into_cells() {
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Cycle { n: 12 }],
+            processes: vec![ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            }],
+            metrics: vec![MetricSpec::Cover, MetricSpec::Hitting { vertex: Some(6) }],
+            ..tiny_spec()
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                base_seed: 3,
+            },
+        )
+        .unwrap();
+        let cell = &report.cells[0];
+        assert_eq!(cell.metrics.len(), 3);
+        assert_eq!(cell.metrics[0].name, "cover.c_v");
+        assert_eq!(cell.metrics[0].stats.mean(), 11.0);
+        assert_eq!(cell.metrics[1].name, "cover.c_e");
+        assert_eq!(cell.metrics[1].stats.mean(), 12.0);
+        assert_eq!(cell.metrics[2].name, "hitting(6)");
+        // Deterministic blue sweep reaches the antipode in 6 steps.
+        assert_eq!(cell.metrics[2].stats.mean(), 6.0);
+    }
+
+    #[test]
+    fn bad_start_and_hitting_vertices_are_rejected() {
+        let mut spec = tiny_spec();
+        spec.start = 1_000;
+        assert!(matches!(
+            run(
+                &spec,
+                &RunOptions {
+                    threads: 1,
+                    base_seed: 1
+                }
+            ),
+            Err(EngineError::Spec(_))
+        ));
+        let mut spec = tiny_spec();
+        spec.metrics = vec![MetricSpec::Hitting {
+            vertex: Some(10_000),
+        }];
+        assert!(matches!(
+            run(
+                &spec,
+                &RunOptions {
+                    threads: 1,
+                    base_seed: 1
+                }
+            ),
+            Err(EngineError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn nonzero_start_runs() {
+        let spec = ExperimentSpec {
+            start: 5,
+            graphs: vec![GraphSpec::Cycle { n: 10 }],
+            processes: vec![ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            }],
+            ..tiny_spec()
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                base_seed: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cells[0].steps.mean(), 9.0);
     }
 
     #[test]

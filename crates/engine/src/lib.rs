@@ -9,23 +9,40 @@
 //! * [`spec`] — declarative experiment descriptions: a [`spec::GraphSpec`]
 //!   grid (random regular, LPS Ramanujan, geometric, hypercube, torus, …),
 //!   a [`spec::ProcessSpec`] grid (E-process rules, SRW variants,
-//!   rotor-router, RWC(d), locally fair walks), trial counts, and a
-//!   [`spec::Target`] (vertex/edge cover or blanket time);
+//!   rotor-router, RWC(d), locally fair walks), trial counts, a
+//!   [`spec::Target`] (vertex/edge cover or blanket time), and any number
+//!   of extra [`spec::MetricSpec`]s;
 //! * [`executor`] — a work-stealing thread-pool executor (scoped threads
 //!   over a shared atomic job index) with deterministic per-trial seeding
 //!   derived from [`eproc_stats::SeedSequence`], so aggregate results are
 //!   **bit-identical regardless of thread count**;
 //! * [`report`] — streaming aggregation into [`eproc_stats::OnlineStats`]
-//!   summaries with plain-text table, CSV and JSON emitters;
+//!   summaries with plain-text table, CSV and JSON emitters, including
+//!   dynamic per-metric columns;
 //! * [`builtin`] — named specs reproducing the paper's headline tables
-//!   (`comparison`, `theorem1`, `rules`, …), consumed by both the `eproc`
-//!   CLI binary and the thin `table_*` wrappers in `eproc-bench`.
+//!   (`comparison`, `theorem1`, `rules`, `phases`, …), consumed by both
+//!   the `eproc` CLI binary and the thin `table_*` wrappers in
+//!   `eproc-bench`.
+//!
+//! # Metrics & observers
+//!
+//! Every quantity the paper reports is a function of the same step
+//! stream, so a trial wanting several metrics should not re-walk the
+//! graph once per metric. A spec's `metrics` field attaches extra
+//! [`eproc_core::observe::Observer`]s — cover times, blanket time, phase
+//! structure, the §5 blue star census, hitting times — to the **same**
+//! walk as the stopping target; the executor runs each
+//! (graph × process × seed) trial exactly once and the trial continues
+//! until the target *and* every metric have resolved (or the cap). On
+//! the CLI this is `eproc run blanket --metrics cover,blanket:0.5,phases`.
 //!
 //! # Example
 //!
 //! ```
 //! use eproc_engine::executor::{run, RunOptions};
-//! use eproc_engine::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target};
+//! use eproc_engine::spec::{
+//!     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Target,
+//! };
 //!
 //! let spec = ExperimentSpec {
 //!     name: "demo".into(),
@@ -37,11 +54,15 @@
 //!     ],
 //!     trials: 4,
 //!     target: Target::VertexCover,
+//!     // One walk per trial also measures edge cover and phase structure.
+//!     metrics: vec![MetricSpec::Cover, MetricSpec::Phases],
+//!     start: 0,
 //!     cap: CapSpec::Auto,
 //! };
 //! let report = run(&spec, &RunOptions { threads: 2, base_seed: 7 }).unwrap();
 //! assert_eq!(report.cells.len(), 2);
 //! assert!(report.cells.iter().all(|c| c.completed == 4));
+//! assert_eq!(report.cells[0].metrics.len(), 6); // c_v, c_e + 4 phase columns
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,4 +74,6 @@ pub mod report;
 pub mod spec;
 
 pub use executor::{run, ExperimentReport, RunOptions};
-pub use spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Scale, Target};
+pub use spec::{
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Scale, Target,
+};

@@ -13,22 +13,27 @@ use std::path::{Path, PathBuf};
 ///
 /// Columns: graph, n, process, `done/trials`, mean/std/min/max of the
 /// steps-to-target distribution, the normalised `mean/n` and
-/// `mean/(n ln n)` (the paper's two candidate growth laws), and the mean
-/// blue-step fraction.
+/// `mean/(n ln n)` (the paper's two candidate growth laws), the mean
+/// blue-step fraction — plus one dynamic column (the per-cell mean) for
+/// every metric the spec requested.
 pub fn to_text_table(report: &ExperimentReport) -> TextTable {
-    let mut table = TextTable::new(vec![
-        "graph",
-        "n",
-        "process",
-        "done",
-        "mean",
-        "std",
-        "min",
-        "max",
-        "mean/n",
-        "mean/(n ln n)",
-        "blue%",
-    ]);
+    let mut headers = vec![
+        "graph".to_string(),
+        "n".into(),
+        "process".into(),
+        "done".into(),
+        "mean".into(),
+        "std".into(),
+        "min".into(),
+        "max".into(),
+        "mean/n".into(),
+        "mean/(n ln n)".into(),
+        "blue%".into(),
+    ];
+    if let Some(cell) = report.cells.first() {
+        headers.extend(cell.metrics.iter().map(|m| m.name.clone()));
+    }
+    let mut table = TextTable::new(headers);
     for cell in &report.cells {
         let nf = cell.n.max(2) as f64;
         let done = format!("{}/{}", cell.completed, cell.trials);
@@ -51,7 +56,7 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
         } else {
             "-".into()
         };
-        table.push_row(vec![
+        let mut row = vec![
             cell.graph.clone(),
             cell.n.to_string(),
             cell.process.clone(),
@@ -63,7 +68,15 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
             over_n,
             over_nlogn,
             blue,
-        ]);
+        ];
+        for metric in &cell.metrics {
+            row.push(if metric.stats.count() > 0 {
+                format!("{:.1}", metric.stats.mean())
+            } else {
+                "-".into()
+            });
+        }
+        table.push_row(row);
     }
     table
 }
@@ -165,7 +178,29 @@ pub fn to_json(report: &ExperimentReport) -> String {
         } else {
             "null".into()
         };
-        out.push_str(&format!("      \"mean_blue_fraction\": {blue}\n"));
+        out.push_str(&format!("      \"mean_blue_fraction\": {blue},\n"));
+        out.push_str("      \"metrics\": {");
+        for (j, metric) in cell.metrics.iter().enumerate() {
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("        \"{}\": ", json_escape(&metric.name)));
+            if metric.stats.count() > 0 {
+                out.push_str(&format!(
+                    "{{\"count\": {}, \"mean\": {}, \"std\": {}, \"min\": {}, \"max\": {}}}",
+                    metric.stats.count(),
+                    json_num(metric.stats.mean()),
+                    json_num(metric.stats.std_dev()),
+                    json_num(metric.stats.min()),
+                    json_num(metric.stats.max()),
+                ));
+            } else {
+                out.push_str("null");
+            }
+        }
+        if cell.metrics.is_empty() {
+            out.push_str("}\n");
+        } else {
+            out.push_str("\n      }\n");
+        }
         out.push_str(if i + 1 < report.cells.len() {
             "    },\n"
         } else {
@@ -210,7 +245,9 @@ pub fn save_json(report: &ExperimentReport, path: Option<&Path>) -> std::io::Res
 mod tests {
     use super::*;
     use crate::executor::{run, RunOptions};
-    use crate::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target};
+    use crate::spec::{
+        CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Target,
+    };
 
     fn demo_report() -> ExperimentReport {
         let spec = ExperimentSpec {
@@ -225,6 +262,8 @@ mod tests {
             ],
             trials: 2,
             target: Target::VertexCover,
+            metrics: vec![],
+            start: 0,
             cap: CapSpec::Auto,
         };
         run(
@@ -277,6 +316,8 @@ mod tests {
             processes: vec![ProcessSpec::Srw],
             trials: 1,
             target: Target::VertexCover,
+            metrics: vec![],
+            start: 0,
             cap: CapSpec::Absolute(1),
         };
         let report = run(
@@ -291,6 +332,44 @@ mod tests {
         assert!(json.contains("\"mean_steps\": null"));
         let table = to_text_table(&report).to_string();
         assert!(table.contains("0/1"));
+    }
+
+    #[test]
+    fn metric_columns_render_in_table_and_json() {
+        let spec = ExperimentSpec {
+            name: "metrics".into(),
+            description: String::new(),
+            graphs: vec![GraphSpec::Cycle { n: 12 }],
+            processes: vec![ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            }],
+            trials: 2,
+            target: Target::VertexCover,
+            metrics: vec![MetricSpec::Cover, MetricSpec::Phases],
+            start: 0,
+            cap: CapSpec::Auto,
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                base_seed: 2,
+            },
+        )
+        .unwrap();
+        let table = to_text_table(&report).to_string();
+        for col in [
+            "cover.c_v",
+            "cover.c_e",
+            "phases.first_blue",
+            "phases.closed",
+        ] {
+            assert!(table.contains(col), "missing column {col}\n{table}");
+        }
+        let json = to_json(&report);
+        assert!(json.contains("\"cover.c_v\": {\"count\": 2, \"mean\": 11"));
+        assert!(json.contains("\"phases.closed\": {\"count\": 2, \"mean\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

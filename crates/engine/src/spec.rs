@@ -9,6 +9,10 @@
 use eproc_core::choice::RandomWalkWithChoice;
 use eproc_core::cover::CoverTarget;
 use eproc_core::fair::{LeastUsedFirst, OldestFirst};
+use eproc_core::observe::{
+    BlanketObserver, BlueCensusObserver, CoverObserver, HitTarget, HittingObserver, Metrics,
+    Observer, PhaseObserver,
+};
 use eproc_core::rotor::RotorRouter;
 use eproc_core::rule::{
     AdversarialRule, FirstPortRule, GreedyAdversary, LastPortRule, RoundRobinRule, RuleContext,
@@ -118,6 +122,21 @@ pub enum GraphSpec {
         /// Vertex count.
         n: usize,
     },
+    /// The lollipop: a `K_clique` with a path of `path` extra vertices.
+    Lollipop {
+        /// Clique size.
+        clique: usize,
+        /// Path length (extra vertices).
+        path: usize,
+    },
+    /// The Petersen graph (3-regular, girth 5, `n = 10`).
+    Petersen,
+    /// Two cycles of length `len` sharing one vertex (even-degree,
+    /// non-regular).
+    FigureEight {
+        /// Cycle length.
+        len: usize,
+    },
 }
 
 impl GraphSpec {
@@ -131,6 +150,9 @@ impl GraphSpec {
             GraphSpec::Torus { w, h } => format!("torus {w}x{h}"),
             GraphSpec::Cycle { n } => format!("cycle n={n}"),
             GraphSpec::Complete { n } => format!("complete n={n}"),
+            GraphSpec::Lollipop { clique, path } => format!("lollipop({clique},{path})"),
+            GraphSpec::Petersen => "petersen".into(),
+            GraphSpec::FigureEight { len } => format!("figure-eight({len})"),
         }
     }
 
@@ -144,6 +166,9 @@ impl GraphSpec {
             GraphSpec::Torus { w, h } => format!("torus:{w},{h}"),
             GraphSpec::Cycle { n } => format!("cycle:{n}"),
             GraphSpec::Complete { n } => format!("complete:{n}"),
+            GraphSpec::Lollipop { clique, path } => format!("lollipop:{clique},{path}"),
+            GraphSpec::Petersen => "petersen".into(),
+            GraphSpec::FigureEight { len } => format!("figure8:{len}"),
         }
     }
 
@@ -184,8 +209,14 @@ impl GraphSpec {
             "torus" => Ok(GraphSpec::Torus { w: usize_arg(0)?, h: usize_arg(1)? }),
             "cycle" => Ok(GraphSpec::Cycle { n: usize_arg(0)? }),
             "complete" => Ok(GraphSpec::Complete { n: usize_arg(0)? }),
+            "lollipop" => Ok(GraphSpec::Lollipop {
+                clique: usize_arg(0)?,
+                path: usize_arg(1)?,
+            }),
+            "petersen" => Ok(GraphSpec::Petersen),
+            "figure8" | "figure-eight" => Ok(GraphSpec::FigureEight { len: usize_arg(0)? }),
             other => Err(SpecError::new(format!(
-                "unknown graph family {other:?} (regular|lps|geometric|hypercube|torus|cycle|complete)"
+                "unknown graph family {other:?} (regular|lps|geometric|hypercube|torus|cycle|complete|lollipop|petersen|figure8)"
             ))),
         }
     }
@@ -212,6 +243,9 @@ impl GraphSpec {
             GraphSpec::Torus { w, h } => Ok(generators::torus2d(w, h)),
             GraphSpec::Cycle { n } => Ok(generators::cycle(n)),
             GraphSpec::Complete { n } => Ok(generators::complete(n)),
+            GraphSpec::Lollipop { clique, path } => Ok(generators::lollipop(clique, path)),
+            GraphSpec::Petersen => Ok(generators::petersen()),
+            GraphSpec::FigureEight { len } => Ok(generators::figure_eight(len)),
         }
     }
 }
@@ -483,6 +517,178 @@ impl Target {
             Target::Blanket { .. } => None,
         }
     }
+
+    /// Builds the observer that measures (and stops) this target.
+    pub(crate) fn build_observer<'g>(&self, _g: &'g Graph) -> Box<dyn Observer + 'g> {
+        match *self {
+            Target::Blanket { delta } => {
+                Box::new(BlanketObserver::new(delta).expect("spec validated delta"))
+            }
+            _ => Box::new(CoverObserver::new(
+                self.cover_target().expect("non-blanket is a cover target"),
+            )),
+        }
+    }
+}
+
+/// One additional per-trial metric, measured by an observer attached to
+/// the **same** walk as the target — a multi-metric trial still walks the
+/// graph exactly once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricSpec {
+    /// Vertex and edge cover times (`C_V`, `C_E`). Resolves when both are
+    /// covered.
+    Cover,
+    /// Ding–Lee–Peres blanket time `τ_bl(delta)`.
+    Blanket {
+        /// Required visit fraction `δ ∈ (0, 1)`.
+        delta: f64,
+    },
+    /// Blue/red phase structure: first blue phase length, blue phase
+    /// count, total blue steps, and the Observation-10 closure flag.
+    /// Resolves at edge cover.
+    Phases,
+    /// §5 isolated blue star census (count of vertices ever stranded as
+    /// star centers). Resolves at vertex cover.
+    BlueCensus,
+    /// First-visit (hitting) time of one vertex; `None` means the
+    /// canonical last vertex `n - 1`.
+    Hitting {
+        /// Target vertex (`None` = `n - 1`).
+        vertex: Option<usize>,
+    },
+}
+
+impl MetricSpec {
+    /// Stable name used in tables, JSON keys and the CLI.
+    pub fn label(&self) -> String {
+        match self {
+            MetricSpec::Cover => "cover".into(),
+            MetricSpec::Blanket { delta } => format!("blanket({delta})"),
+            MetricSpec::Phases => "phases".into(),
+            MetricSpec::BlueCensus => "blue-census".into(),
+            MetricSpec::Hitting { vertex: None } => "hitting(last)".into(),
+            MetricSpec::Hitting { vertex: Some(v) } => format!("hitting({v})"),
+        }
+    }
+
+    /// Compact CLI syntax (inverse of [`MetricSpec::parse`]).
+    pub fn to_cli(&self) -> String {
+        match self {
+            MetricSpec::Cover => "cover".into(),
+            MetricSpec::Blanket { delta } => format!("blanket:{delta}"),
+            MetricSpec::Phases => "phases".into(),
+            MetricSpec::BlueCensus => "bluecensus".into(),
+            MetricSpec::Hitting { vertex: None } => "hitting".into(),
+            MetricSpec::Hitting { vertex: Some(v) } => format!("hitting:{v}"),
+        }
+    }
+
+    /// Parses `cover`, `blanket[:delta]` (default `0.4`), `phases`,
+    /// `bluecensus` (aka `stars`), `hitting[:v]`.
+    pub fn parse(s: &str) -> Result<MetricSpec, SpecError> {
+        let (kind, args) = match s.split_once(':') {
+            Some((k, a)) => (k, a),
+            None => (s, ""),
+        };
+        match kind {
+            "cover" => Ok(MetricSpec::Cover),
+            "blanket" => {
+                let delta: f64 = if args.is_empty() {
+                    0.4
+                } else {
+                    args.parse()
+                        .map_err(|_| SpecError::new(format!("metric {s:?}: bad delta")))?
+                };
+                if !(delta > 0.0 && delta < 1.0) {
+                    return Err(SpecError::new(format!(
+                        "metric {s:?}: delta must be in (0,1)"
+                    )));
+                }
+                Ok(MetricSpec::Blanket { delta })
+            }
+            "phases" => Ok(MetricSpec::Phases),
+            "bluecensus" | "blue-census" | "stars" => Ok(MetricSpec::BlueCensus),
+            "hitting" => {
+                let vertex = if args.is_empty() {
+                    None
+                } else {
+                    Some(
+                        args.parse()
+                            .map_err(|_| SpecError::new(format!("metric {s:?}: bad vertex")))?,
+                    )
+                };
+                Ok(MetricSpec::Hitting { vertex })
+            }
+            other => Err(SpecError::new(format!(
+                "unknown metric {other:?} (cover|blanket:<delta>|phases|bluecensus|hitting[:v])"
+            ))),
+        }
+    }
+
+    /// Names of the per-trial scalar columns this metric contributes, in
+    /// the order the executor extracts their values.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            MetricSpec::Cover => vec!["cover.c_v".into(), "cover.c_e".into()],
+            MetricSpec::Blanket { .. } => vec![self.label()],
+            MetricSpec::Phases => vec![
+                "phases.first_blue".into(),
+                "phases.blue_count".into(),
+                "phases.total_blue".into(),
+                "phases.closed".into(),
+            ],
+            MetricSpec::BlueCensus => vec!["stars".into()],
+            MetricSpec::Hitting { .. } => vec![self.label()],
+        }
+    }
+
+    /// Builds the observer measuring this metric on `g`.
+    pub(crate) fn build_observer<'g>(&self, g: &'g Graph) -> Box<dyn Observer + 'g> {
+        match *self {
+            MetricSpec::Cover => Box::new(CoverObserver::new(CoverTarget::Both)),
+            MetricSpec::Blanket { delta } => {
+                Box::new(BlanketObserver::new(delta).expect("spec validated delta"))
+            }
+            MetricSpec::Phases => Box::new(PhaseObserver::new()),
+            MetricSpec::BlueCensus => Box::new(BlueCensusObserver::new(g)),
+            MetricSpec::Hitting { vertex } => Box::new(HittingObserver::new(match vertex {
+                Some(v) => HitTarget::Vertex(v),
+                None => HitTarget::LastVertex,
+            })),
+        }
+    }
+
+    /// Extracts this metric's per-trial scalars (aligned with
+    /// [`MetricSpec::columns`]; `None` = unresolved within the cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` came from a different observer kind.
+    pub(crate) fn values(&self, metrics: &Metrics) -> Vec<Option<f64>> {
+        match (self, metrics) {
+            (MetricSpec::Cover, Metrics::Cover(c)) => vec![
+                c.steps_to_vertex_cover.map(|s| s as f64),
+                c.steps_to_edge_cover.map(|s| s as f64),
+            ],
+            (MetricSpec::Blanket { .. }, Metrics::Blanket(b)) => {
+                vec![b.steps_to_blanket.map(|s| s as f64)]
+            }
+            (MetricSpec::Phases, Metrics::Phases(trace)) => vec![
+                Some(trace.first_blue_length() as f64),
+                Some(trace.blue_phase_count() as f64),
+                Some(trace.total_blue() as f64),
+                Some(if trace.blue_phases_closed() { 1.0 } else { 0.0 }),
+            ],
+            (MetricSpec::BlueCensus, Metrics::BlueCensus(c)) => {
+                vec![Some(c.ever_star_centers.len() as f64)]
+            }
+            (MetricSpec::Hitting { .. }, Metrics::Hitting(h)) => {
+                vec![h.steps_to_hit.map(|s| s as f64)]
+            }
+            (spec, got) => panic!("metric {spec:?} received mismatched metrics {got:?}"),
+        }
+    }
 }
 
 /// Per-trial step cap policy.
@@ -512,7 +718,9 @@ impl CapSpec {
 }
 
 /// A complete declarative experiment: run `trials` independent walks for
-/// every (graph, process) pair and aggregate steps-to-target statistics.
+/// every (graph, process) pair and aggregate steps-to-target statistics
+/// plus any extra [`MetricSpec`] columns — all measured from **one** walk
+/// per trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Short identifier (used for artifact file names).
@@ -527,6 +735,12 @@ pub struct ExperimentSpec {
     pub trials: usize,
     /// Stopping target measured per trial.
     pub target: Target,
+    /// Extra metrics measured per trial by observers on the same walk.
+    /// The trial runs until the target **and** every metric resolve (or
+    /// the cap).
+    pub metrics: Vec<MetricSpec>,
+    /// Start vertex of every trial (must exist in every graph).
+    pub start: Vertex,
     /// Per-trial step cap.
     pub cap: CapSpec,
 }
@@ -535,6 +749,11 @@ impl ExperimentSpec {
     /// Total number of trials the executor will run.
     pub fn total_jobs(&self) -> usize {
         self.graphs.len() * self.processes.len() * self.trials
+    }
+
+    /// Flattened names of all metric columns, in grid order.
+    pub fn metric_columns(&self) -> Vec<String> {
+        self.metrics.iter().flat_map(|m| m.columns()).collect()
     }
 
     /// Validates the spec before execution.
@@ -552,6 +771,21 @@ impl ExperimentSpec {
             if !(delta > 0.0 && delta < 1.0) {
                 return Err(SpecError::new(format!(
                     "blanket delta {delta} outside (0,1)"
+                )));
+            }
+        }
+        for (i, metric) in self.metrics.iter().enumerate() {
+            if let MetricSpec::Blanket { delta } = metric {
+                if !(*delta > 0.0 && *delta < 1.0) {
+                    return Err(SpecError::new(format!(
+                        "metric blanket delta {delta} outside (0,1)"
+                    )));
+                }
+            }
+            if self.metrics[..i].contains(metric) {
+                return Err(SpecError::new(format!(
+                    "duplicate metric {:?} (columns would collide)",
+                    metric.label()
                 )));
             }
         }
@@ -573,6 +807,9 @@ mod tests {
             "torus:8,8",
             "cycle:32",
             "complete:9",
+            "lollipop:16,8",
+            "petersen",
+            "figure8:7",
         ] {
             let spec = GraphSpec::parse(s).unwrap();
             assert_eq!(
@@ -711,11 +948,72 @@ mod tests {
             processes: vec![ProcessSpec::Srw],
             trials: 2,
             target: Target::VertexCover,
+            metrics: vec![],
+            start: 0,
             cap: CapSpec::Auto,
         };
         assert!(spec.validate().is_ok());
         assert_eq!(spec.total_jobs(), 2);
         spec.trials = 0;
         assert!(spec.validate().is_err());
+        spec.trials = 2;
+        spec.metrics = vec![MetricSpec::Phases, MetricSpec::Phases];
+        assert!(
+            spec.validate().is_err(),
+            "duplicate metrics must be rejected"
+        );
+        spec.metrics = vec![MetricSpec::Blanket { delta: 1.5 }];
+        assert!(
+            spec.validate().is_err(),
+            "bad metric delta must be rejected"
+        );
+    }
+
+    #[test]
+    fn metric_spec_parse_round_trips() {
+        for s in [
+            "cover",
+            "blanket:0.5",
+            "phases",
+            "bluecensus",
+            "hitting",
+            "hitting:7",
+        ] {
+            let m = MetricSpec::parse(s).unwrap();
+            assert_eq!(MetricSpec::parse(&m.to_cli()).unwrap(), m, "round trip {s}");
+            assert!(!m.columns().is_empty());
+            assert!(!m.label().is_empty());
+        }
+        assert_eq!(
+            MetricSpec::parse("blanket").unwrap(),
+            MetricSpec::Blanket { delta: 0.4 }
+        );
+        assert_eq!(MetricSpec::parse("stars").unwrap(), MetricSpec::BlueCensus);
+        assert!(MetricSpec::parse("blanket:2.0").is_err());
+        assert!(MetricSpec::parse("hitting:x").is_err());
+        assert!(MetricSpec::parse("entropy").is_err());
+    }
+
+    #[test]
+    fn metric_columns_flatten_in_order() {
+        let spec = ExperimentSpec {
+            name: "m".into(),
+            description: String::new(),
+            graphs: vec![GraphSpec::Cycle { n: 8 }],
+            processes: vec![ProcessSpec::Srw],
+            trials: 1,
+            target: Target::VertexCover,
+            metrics: vec![
+                MetricSpec::Cover,
+                MetricSpec::Blanket { delta: 0.4 },
+                MetricSpec::Hitting { vertex: None },
+            ],
+            start: 0,
+            cap: CapSpec::Auto,
+        };
+        assert_eq!(
+            spec.metric_columns(),
+            vec!["cover.c_v", "cover.c_e", "blanket(0.4)", "hitting(last)"]
+        );
     }
 }

@@ -6,7 +6,7 @@ use eproc_engine::builtin;
 use eproc_engine::executor::{run, RunOptions};
 use eproc_engine::report::to_json;
 use eproc_engine::spec::{
-    CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Scale, Target,
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Scale, Target,
 };
 
 fn mixed_spec() -> ExperimentSpec {
@@ -31,6 +31,14 @@ fn mixed_spec() -> ExperimentSpec {
         ],
         trials: 6,
         target: Target::VertexCover,
+        // Exercise the multi-metric single-pass path: every trial also
+        // resolves cover, phase and hitting observers on the same walk.
+        metrics: vec![
+            MetricSpec::Cover,
+            MetricSpec::Phases,
+            MetricSpec::Hitting { vertex: None },
+        ],
+        start: 0,
         cap: CapSpec::Auto,
     }
 }
@@ -68,6 +76,11 @@ fn one_thread_and_many_threads_agree_bit_for_bit() {
                 a.graph, a.process
             );
             assert_eq!(a.blue_fraction, b.blue_fraction);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "metric stats diverged for {}/{}",
+                a.graph, a.process
+            );
         }
     }
 }
@@ -140,6 +153,8 @@ fn blanket_target_is_thread_invariant_too() {
         ],
         trials: 4,
         target: Target::Blanket { delta: 0.3 },
+        metrics: vec![MetricSpec::Cover, MetricSpec::Blanket { delta: 0.5 }],
+        start: 0,
         cap: CapSpec::Absolute(2_000_000),
     };
     let a = run(

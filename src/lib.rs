@@ -35,8 +35,14 @@
 //! [`engine::ExperimentSpec`] and execute it on all cores with
 //! [`engine::run`]. Results are bit-identical for any thread count.
 //!
+//! Extra per-trial metrics (cover, blanket, phases, blue census,
+//! hitting) attach [`core::observe`] observers to the **same** walk as
+//! the target, so a multi-metric trial still walks the graph once.
+//!
 //! ```
-//! use eproc::engine::{self, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target, CapSpec};
+//! use eproc::engine::{
+//!     self, CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Target,
+//! };
 //!
 //! let spec = ExperimentSpec {
 //!     name: "doc".into(),
@@ -45,10 +51,13 @@
 //!     processes: vec![ProcessSpec::EProcess { rule: RuleSpec::Uniform }, ProcessSpec::Srw],
 //!     trials: 3,
 //!     target: Target::VertexCover,
+//!     metrics: vec![MetricSpec::Cover, MetricSpec::Hitting { vertex: None }],
+//!     start: 0,
 //!     cap: CapSpec::Auto,
 //! };
 //! let report = engine::run(&spec, &engine::RunOptions { threads: 2, base_seed: 1 }).unwrap();
 //! assert_eq!(report.cells.len(), 2);
+//! assert_eq!(report.cells[0].metrics.len(), 3); // cover.c_v, cover.c_e, hitting(last)
 //! ```
 //!
 //! The same engine backs the `eproc` CLI binary

@@ -155,7 +155,9 @@ fn blanket_time_comparable_to_cover_time() {
     let mut w = SimpleRandomWalk::new(&g, 0);
     let cv = run_to_vertex_cover(&mut w, &g, &mut rng).unwrap().steps;
     let mut w2 = SimpleRandomWalk::new(&g, 0);
-    let bl = blanket_time(&mut w2, 0.25, 100_000_000, &mut rng).unwrap();
+    let bl = blanket_time(&mut w2, 0.25, 100_000_000, &mut rng)
+        .expect("valid delta")
+        .expect("blanket reached");
     assert!(bl < 50 * cv, "blanket time {bl} should be O(CV) = O({cv})");
 }
 
