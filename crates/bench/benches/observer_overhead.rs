@@ -2,16 +2,20 @@
 //!
 //! The observer pipeline claims near-zero per-step overhead: feeding
 //! cover + blanket + phase observers from one walk must stay cheap
-//! relative to the walk's own bookkeeping. This bench pins that, and
-//! writes a machine-readable snapshot to
+//! relative to the walk's own bookkeeping. Both attachment shapes are
+//! measured — the monomorphized tuple `ObserverSet` the engine kernel
+//! uses, and the dyn-slice fallback (`run_observed_dyn`) — and a
+//! machine-readable snapshot goes to
 //! `target/experiments/BENCH_observer.json` so CI can record the perf
-//! trajectory across commits.
+//! trajectory across commits. (`BENCH_walk.json`, from the `walk_kernel`
+//! bench, tracks the kernel-vs-baseline speedup itself.)
 
 use criterion::black_box;
 use eproc_bench::{output_dir, rng_for};
 use eproc_core::cover::CoverTarget;
 use eproc_core::observe::{
-    run_observed, BlanketObserver, CoverObserver, Observer, PhaseObserver, StopWhen,
+    run_observed, run_observed_dyn, BlanketObserver, CoverObserver, Observer, PhaseObserver,
+    StopWhen,
 };
 use eproc_core::rule::UniformRule;
 use eproc_core::{EProcess, WalkProcess};
@@ -40,14 +44,15 @@ fn bare_walk(g: &Graph) -> f64 {
         let mut rng = rng_for(2);
         let mut w = EProcess::new(g, 0, UniformRule::new());
         for _ in 0..STEPS {
-            black_box(w.advance(&mut rng));
+            black_box(w.advance_rng(&mut rng));
         }
     })
 }
 
-fn observed_walk(g: &Graph) -> f64 {
-    // Observers are constructed once and re-armed per run, matching the
-    // executor's scratch reuse.
+/// Three observers attached through the monomorphized tuple kernel, as
+/// the engine executor runs trials. Observers are constructed once and
+/// re-armed per run, matching the executor's scratch reuse.
+fn observed_walk_mono(g: &Graph) -> f64 {
     let mut cover = CoverObserver::new(CoverTarget::Both);
     let mut blanket = BlanketObserver::new(0.4).expect("valid delta");
     let mut phases = PhaseObserver::new();
@@ -56,7 +61,7 @@ fn observed_walk(g: &Graph) -> f64 {
         let mut w = EProcess::new(g, 0, UniformRule::new());
         let run = run_observed(
             &mut w,
-            &mut [&mut cover as &mut dyn Observer, &mut blanket, &mut phases],
+            &mut (&mut cover, &mut blanket, &mut phases),
             StopWhen::Cap,
             STEPS,
             &mut rng,
@@ -65,39 +70,67 @@ fn observed_walk(g: &Graph) -> f64 {
     })
 }
 
+/// The same three observers through the dyn-slice fallback driver.
+fn observed_walk_dyn(g: &Graph) -> f64 {
+    let mut cover = CoverObserver::new(CoverTarget::Both);
+    let mut blanket = BlanketObserver::new(0.4).expect("valid delta");
+    let mut phases = PhaseObserver::new();
+    median_secs(move || {
+        let mut rng = rng_for(2);
+        let mut w = EProcess::new(g, 0, UniformRule::new());
+        let mut observers: [&mut dyn Observer; 3] =
+            black_box([&mut cover, &mut blanket, &mut phases]);
+        let run = run_observed_dyn(&mut w, &mut observers, StopWhen::Cap, STEPS, &mut rng);
+        black_box(run);
+    })
+}
+
 fn main() {
     let mut graph_rng = rng_for(1);
     let g = generators::connected_random_regular(10_000, 4, &mut graph_rng).unwrap();
     let bare = bare_walk(&g);
-    let observed = observed_walk(&g);
+    let mono = observed_walk_mono(&g);
+    let dyn_ = observed_walk_dyn(&g);
     let bare_rate = STEPS as f64 / bare;
-    let observed_rate = STEPS as f64 / observed;
+    let mono_rate = STEPS as f64 / mono;
+    let dyn_rate = STEPS as f64 / dyn_;
     println!(
         "observer_overhead/bare_eprocess: {:.0} ns/iter  {:.2} Msteps/s",
         bare * 1e9 / STEPS as f64,
         bare_rate / 1e6
     );
     println!(
-        "observer_overhead/three_observers: {:.0} ns/iter  {:.2} Msteps/s",
-        observed * 1e9 / STEPS as f64,
-        observed_rate / 1e6
+        "observer_overhead/three_observers_mono: {:.0} ns/iter  {:.2} Msteps/s  ({:.2}x slowdown)",
+        mono * 1e9 / STEPS as f64,
+        mono_rate / 1e6,
+        bare_rate / mono_rate
     );
     println!(
-        "observer_overhead/slowdown: {:.2}x",
-        bare_rate / observed_rate
+        "observer_overhead/three_observers_dyn:  {:.0} ns/iter  {:.2} Msteps/s  ({:.2}x slowdown)",
+        dyn_ * 1e9 / STEPS as f64,
+        dyn_rate / 1e6,
+        bare_rate / dyn_rate
     );
+    // Key continuity: `steps_per_sec_3_observers` / `slowdown` have
+    // recorded the dyn-slice driver since the file was introduced, so
+    // they keep that meaning; the monomorphized kernel gets new `_mono`
+    // keys alongside.
     let json = format!(
         "{{\n  \"bench\": \"observer_overhead\",\n  \"graph\": \"random 4-regular n={}\",\n  \
          \"steps_per_run\": {},\n  \"samples\": {},\n  \
          \"steps_per_sec_0_observers\": {:.0},\n  \
          \"steps_per_sec_3_observers\": {:.0},\n  \
-         \"slowdown\": {:.4}\n}}\n",
+         \"steps_per_sec_3_observers_mono\": {:.0},\n  \
+         \"slowdown\": {:.4},\n  \
+         \"slowdown_mono\": {:.4}\n}}\n",
         g.n(),
         STEPS,
         SAMPLES,
         bare_rate,
-        observed_rate,
-        bare_rate / observed_rate
+        dyn_rate,
+        mono_rate,
+        bare_rate / dyn_rate,
+        bare_rate / mono_rate
     );
     let dir = output_dir();
     std::fs::create_dir_all(&dir).expect("create output dir");

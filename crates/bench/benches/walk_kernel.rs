@@ -1,0 +1,232 @@
+//! Pre-kernel baseline vs monomorphized walk kernel, side by side.
+//!
+//! Three variants of the same hot path, measured in the same run on the
+//! same graph:
+//!
+//! * **baseline** — the pre-kernel step loop reproduced verbatim
+//!   ([`LegacyEProcess`]): `Box<dyn WalkProcess>` stepped through the
+//!   object-safe `advance(&mut dyn RngCore)`, modulo-based rejection
+//!   sampling (two 64-bit divisions per draw), `Vec<bool>` edge bitmap,
+//!   and — for the observed shape — `run_observed_dyn`'s dyn-observer
+//!   fan-out with its per-step all-observers `satisfied()` poll. This is
+//!   exactly what every engine trial paid before the kernel PR.
+//! * **dyn** — today's process code, still dispatched dynamically
+//!   (`Box<dyn WalkProcess>` + `run_observed_dyn`): isolates how much of
+//!   the win is dispatch/inlining vs the shared strength reductions.
+//! * **kernel** — the monomorphized path: concrete `EProcess`,
+//!   `advance_rng::<SmallRng>`, tuple `ObserverSet`, completion-token
+//!   stop check. One flat inlined loop.
+//!
+//! All three walk the identical trajectory for the identical seed
+//! (asserted before timing). Two shapes: **bare** (no observers) and
+//! **observed3** (cover + blanket + phases on one walk — the multi-metric
+//! trial). Writes `target/experiments/BENCH_walk.json`; the kernel PR's
+//! acceptance floor was ≥1.2× bare and ≥1.5× observed3, kernel vs
+//! baseline.
+
+use criterion::black_box;
+use eproc_bench::{output_dir, rng_for, LegacyEProcess};
+use eproc_core::cover::CoverTarget;
+use eproc_core::observe::{
+    run_observed, run_observed_dyn, BlanketObserver, CoverObserver, Observer, PhaseObserver,
+    StopWhen,
+};
+use eproc_core::rule::UniformRule;
+use eproc_core::{EProcess, WalkProcess};
+use eproc_graphs::generators;
+use eproc_graphs::Graph;
+use rand::RngCore;
+use std::time::Instant;
+
+const STEPS: u64 = 200_000;
+const SAMPLES: usize = 11;
+
+/// Minimum seconds over `SAMPLES` timed runs of `f` — the
+/// least-interference estimate, which is the right statistic when
+/// comparing code variants on a shared machine (noise only ever adds
+/// time).
+fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Boxes a walk with an opaque vtable: `black_box` stops LLVM from
+/// devirtualizing the loop, so the dyn variants genuinely pay per-step
+/// virtual dispatch like the engine's `ProcessSpec::build` path did.
+fn boxed<'g, W: WalkProcess + 'g>(w: W) -> Box<dyn WalkProcess + 'g> {
+    black_box(Box::new(w))
+}
+
+fn bare<F>(mut build: F) -> f64
+where
+    F: FnMut() -> BareRunner,
+{
+    best_secs(move || build().run())
+}
+
+/// One bare timed run: either dyn-stepped or kernel-stepped.
+enum BareRunner {
+    Dyn(Box<dyn WalkProcess + 'static>, rand::rngs::SmallRng),
+    Kernel(EProcess<'static, UniformRule>, rand::rngs::SmallRng),
+}
+
+impl BareRunner {
+    fn run(self) {
+        match self {
+            BareRunner::Dyn(mut w, mut rng) => {
+                let rng_dyn: &mut dyn RngCore = black_box(&mut rng);
+                for _ in 0..STEPS {
+                    black_box(w.advance(rng_dyn));
+                }
+            }
+            BareRunner::Kernel(mut w, mut rng) => {
+                for _ in 0..STEPS {
+                    black_box(w.advance_rng(&mut rng));
+                }
+            }
+        }
+    }
+}
+
+/// 3-observer trial through the dyn driver (baseline and dyn variants).
+fn observed_dyn_with<F>(g: &Graph, mut build: F) -> f64
+where
+    F: for<'g> FnMut(&'g Graph) -> Box<dyn WalkProcess + 'g>,
+{
+    let mut cover = CoverObserver::new(CoverTarget::Both);
+    let mut blanket = BlanketObserver::new(0.4).expect("valid delta");
+    let mut phases = PhaseObserver::new();
+    best_secs(move || {
+        let mut rng = rng_for(2);
+        let mut w = build(g);
+        let mut observers: [&mut dyn Observer; 3] =
+            black_box([&mut cover, &mut blanket, &mut phases]);
+        let run = run_observed_dyn(&mut *w, &mut observers, StopWhen::Cap, STEPS, &mut rng);
+        black_box(run);
+    })
+}
+
+/// 3-observer trial through the monomorphized kernel (tuple observers).
+fn observed_kernel(g: &Graph) -> f64 {
+    let mut cover = CoverObserver::new(CoverTarget::Both);
+    let mut blanket = BlanketObserver::new(0.4).expect("valid delta");
+    let mut phases = PhaseObserver::new();
+    best_secs(move || {
+        let mut rng = rng_for(2);
+        let mut w = EProcess::new(g, 0, UniformRule::new());
+        let run = run_observed(
+            &mut w,
+            &mut (&mut cover, &mut blanket, &mut phases),
+            StopWhen::Cap,
+            STEPS,
+            &mut rng,
+        );
+        black_box(run);
+    })
+}
+
+/// The three variants must walk the same trajectory before we compare
+/// their speeds.
+fn assert_trajectory_equivalence(g: &Graph) {
+    let mut rng_a = rng_for(3);
+    let mut rng_b = rng_for(3);
+    let mut legacy = LegacyEProcess::new(g, 0);
+    let mut kernel = EProcess::new(g, 0, UniformRule::new());
+    for _ in 0..10_000 {
+        assert_eq!(
+            legacy.advance(&mut rng_a),
+            kernel.advance_rng(&mut rng_b),
+            "baseline and kernel diverged"
+        );
+    }
+}
+
+fn rate(secs: f64) -> f64 {
+    STEPS as f64 / secs
+}
+
+fn main() {
+    let mut graph_rng = rng_for(1);
+    let g = generators::connected_random_regular(1_000, 4, &mut graph_rng).unwrap();
+    assert_trajectory_equivalence(&g);
+
+    // Leak the graph so the bare runners can hold 'static walks; a bench
+    // process exits immediately after.
+    let g: &'static Graph = Box::leak(Box::new(g));
+
+    let bare_base = rate(bare(|| {
+        BareRunner::Dyn(boxed(LegacyEProcess::new(g, 0)), rng_for(2))
+    }));
+    let bare_dyn = rate(bare(|| {
+        BareRunner::Dyn(boxed(EProcess::new(g, 0, UniformRule::new())), rng_for(2))
+    }));
+    let bare_kernel = rate(bare(|| {
+        BareRunner::Kernel(EProcess::new(g, 0, UniformRule::new()), rng_for(2))
+    }));
+    let obs_base = observed_dyn_with(g, |g| boxed(LegacyEProcess::new(g, 0)));
+    let obs_dyn = observed_dyn_with(g, |g| boxed(EProcess::new(g, 0, UniformRule::new())));
+    let (obs_base, obs_dyn) = (rate(obs_base), rate(obs_dyn));
+    let obs_kernel = rate(observed_kernel(g));
+
+    let bare_speedup = bare_kernel / bare_base;
+    let obs_speedup = obs_kernel / obs_base;
+
+    println!(
+        "walk_kernel/bare_baseline:      {:.2} Msteps/s",
+        bare_base / 1e6
+    );
+    println!(
+        "walk_kernel/bare_dyn:           {:.2} Msteps/s",
+        bare_dyn / 1e6
+    );
+    println!(
+        "walk_kernel/bare_kernel:        {:.2} Msteps/s  ({bare_speedup:.2}x vs baseline)",
+        bare_kernel / 1e6
+    );
+    println!(
+        "walk_kernel/observed3_baseline: {:.2} Msteps/s",
+        obs_base / 1e6
+    );
+    println!(
+        "walk_kernel/observed3_dyn:      {:.2} Msteps/s",
+        obs_dyn / 1e6
+    );
+    println!(
+        "walk_kernel/observed3_kernel:   {:.2} Msteps/s  ({obs_speedup:.2}x vs baseline)",
+        obs_kernel / 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"walk_kernel\",\n  \"graph\": \"random 4-regular n={}\",\n  \
+         \"steps_per_run\": {},\n  \"samples\": {},\n  \
+         \"steps_per_sec_bare_baseline\": {:.0},\n  \
+         \"steps_per_sec_bare_dyn\": {:.0},\n  \
+         \"steps_per_sec_bare_kernel\": {:.0},\n  \
+         \"steps_per_sec_3_observers_baseline\": {:.0},\n  \
+         \"steps_per_sec_3_observers_dyn\": {:.0},\n  \
+         \"steps_per_sec_3_observers_kernel\": {:.0},\n  \
+         \"bare_speedup\": {:.4},\n  \
+         \"observed_speedup\": {:.4}\n}}\n",
+        g.n(),
+        STEPS,
+        SAMPLES,
+        bare_base,
+        bare_dyn,
+        bare_kernel,
+        obs_base,
+        obs_dyn,
+        obs_kernel,
+        bare_speedup,
+        obs_speedup,
+    );
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_walk.json");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("json: {}", path.display());
+}

@@ -1,6 +1,15 @@
-//! Steps/second of each walk process on a fixed random 4-regular graph.
+//! Steps/second of each walk process on a fixed random 4-regular graph,
+//! dyn-dispatched vs monomorphized side by side.
+//!
+//! Every process is measured twice: `<name>/dyn` steps a
+//! `Box<dyn WalkProcess>` through the object-safe
+//! `advance(&mut dyn RngCore)` (vtable kept opaque with `black_box`, so
+//! LLVM cannot devirtualize), `<name>/mono` steps the concrete process
+//! through `advance_rng::<SmallRng>` — the kernel path the engine
+//! executor dispatches to. The gap is what per-step dynamic dispatch
+//! costs that process.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eproc_bench::rng_for;
 use eproc_core::choice::RandomWalkWithChoice;
 use eproc_core::fair::LeastUsedFirst;
@@ -9,8 +18,36 @@ use eproc_core::rule::UniformRule;
 use eproc_core::srw::SimpleRandomWalk;
 use eproc_core::{EProcess, WalkProcess};
 use eproc_graphs::generators;
+use rand::RngCore;
 
 const STEPS: u64 = 10_000;
+
+/// Benches one process both ways; `build` makes a fresh walk per sample.
+fn bench_pair<W, F>(group: &mut criterion::BenchmarkGroup<'_>, name: &str, param: usize, build: F)
+where
+    W: WalkProcess,
+    F: Fn() -> W + Copy,
+{
+    group.bench_function(BenchmarkId::new(format!("{name}/dyn"), param), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w: Box<dyn WalkProcess + '_> = black_box(Box::new(build()));
+            let rng_dyn: &mut dyn RngCore = black_box(&mut rng);
+            for _ in 0..STEPS {
+                black_box(w.advance(rng_dyn));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new(format!("{name}/mono"), param), |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            let mut w = build();
+            for _ in 0..STEPS {
+                black_box(w.advance_rng(&mut rng));
+            }
+        })
+    });
+}
 
 fn bench_walks(c: &mut Criterion) {
     let mut graph_rng = rng_for(1);
@@ -19,50 +56,18 @@ fn bench_walks(c: &mut Criterion) {
     group.throughput(Throughput::Elements(STEPS));
     group.sample_size(20);
 
-    group.bench_function(BenchmarkId::new("eprocess_uniform", g.n()), |b| {
-        b.iter(|| {
-            let mut rng = rng_for(2);
-            let mut w = EProcess::new(&g, 0, UniformRule::new());
-            for _ in 0..STEPS {
-                std::hint::black_box(w.advance(&mut rng));
-            }
-        })
+    bench_pair(&mut group, "eprocess_uniform", g.n(), || {
+        EProcess::new(&g, 0, UniformRule::new())
     });
-    group.bench_function(BenchmarkId::new("srw", g.n()), |b| {
-        b.iter(|| {
-            let mut rng = rng_for(2);
-            let mut w = SimpleRandomWalk::new(&g, 0);
-            for _ in 0..STEPS {
-                std::hint::black_box(w.advance(&mut rng));
-            }
-        })
+    bench_pair(&mut group, "srw", g.n(), || SimpleRandomWalk::new(&g, 0));
+    bench_pair(&mut group, "rotor_router", g.n(), || {
+        RotorRouter::new(&g, 0)
     });
-    group.bench_function(BenchmarkId::new("rotor_router", g.n()), |b| {
-        b.iter(|| {
-            let mut rng = rng_for(2);
-            let mut w = RotorRouter::new(&g, 0);
-            for _ in 0..STEPS {
-                std::hint::black_box(w.advance(&mut rng));
-            }
-        })
+    bench_pair(&mut group, "rwc2", g.n(), || {
+        RandomWalkWithChoice::new(&g, 0, 2)
     });
-    group.bench_function(BenchmarkId::new("rwc2", g.n()), |b| {
-        b.iter(|| {
-            let mut rng = rng_for(2);
-            let mut w = RandomWalkWithChoice::new(&g, 0, 2);
-            for _ in 0..STEPS {
-                std::hint::black_box(w.advance(&mut rng));
-            }
-        })
-    });
-    group.bench_function(BenchmarkId::new("least_used_first", g.n()), |b| {
-        b.iter(|| {
-            let mut rng = rng_for(2);
-            let mut w = LeastUsedFirst::new(&g, 0);
-            for _ in 0..STEPS {
-                std::hint::black_box(w.advance(&mut rng));
-            }
-        })
+    bench_pair(&mut group, "least_used_first", g.n(), || {
+        LeastUsedFirst::new(&g, 0)
     });
     group.finish();
 }

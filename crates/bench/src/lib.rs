@@ -270,6 +270,121 @@ impl<'g> WalkProcess for NaiveEProcess<'g> {
     }
 }
 
+/// Verbatim copy of the pre-kernel `rand` sampler: rejection sampling
+/// with two 64-bit divisions per draw (no power-of-two strength
+/// reduction), fed through `&mut dyn RngCore`. Draw-for-draw equivalent
+/// to the current sampler — only slower — so [`LegacyEProcess`] walks the
+/// exact trajectory of today's kernel while paying yesterday's cost.
+fn legacy_uniform(span: u64, rng: &mut dyn RngCore) -> u64 {
+    let zone = u64::MAX - u64::MAX % span;
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+/// The pre-kernel E-process hot path, reproduced verbatim as the measured
+/// baseline of the `walk_kernel` bench: the same `O(1)` live-prefix
+/// bookkeeping as [`eproc_core::EProcess`] with the uniform rule, but
+/// stepped exclusively through the object-safe
+/// [`WalkProcess::advance`]`(&mut dyn RngCore)` (it deliberately does
+/// **not** override `advance_rng`), sampling with the modulo-based
+/// `legacy_uniform` sampler and marking edges in a `Vec<bool>` — exactly what
+/// every engine trial paid per step before the monomorphized kernel.
+/// Trajectories are identical to `EProcess` with `UniformRule` for the
+/// same seed (asserted by the bench before timing).
+#[derive(Debug, Clone)]
+pub struct LegacyEProcess<'g> {
+    g: &'g Graph,
+    current: Vertex,
+    steps: u64,
+    visited_edge: Vec<bool>,
+    slots: Vec<usize>,
+    pos: Vec<u32>,
+    live: Vec<u32>,
+}
+
+impl<'g> LegacyEProcess<'g> {
+    /// Creates the baseline walk at `start` with all edges unvisited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= g.n()`.
+    pub fn new(g: &'g Graph, start: Vertex) -> LegacyEProcess<'g> {
+        assert!(start < g.n(), "start vertex {start} out of range");
+        LegacyEProcess {
+            g,
+            current: start,
+            steps: 0,
+            visited_edge: vec![false; g.m()],
+            slots: (0..2 * g.m()).collect(),
+            pos: (0..2 * g.m() as u32).collect(),
+            live: g.vertices().map(|v| g.degree(v) as u32).collect(),
+        }
+    }
+
+    fn unlink(&mut self, arc: usize, src: Vertex) {
+        let p = self.pos[arc] as usize;
+        let live = self.live[src] as usize;
+        let base = self.g.arc_range(src).start;
+        let last = base + live - 1;
+        let moved = self.slots[last];
+        self.slots[p] = moved;
+        self.slots[last] = arc;
+        self.pos[moved] = p as u32;
+        self.pos[arc] = last as u32;
+        self.live[src] -= 1;
+    }
+}
+
+impl<'g> WalkProcess for LegacyEProcess<'g> {
+    fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    fn current(&self) -> Vertex {
+        self.current
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+        let v = self.current;
+        let degree = self.g.degree(v);
+        assert!(degree > 0, "E-process stuck at isolated vertex {v}");
+        let live = self.live[v] as usize;
+        let base = self.g.arc_range(v).start;
+        let (arc, kind) = if live > 0 {
+            let idx = legacy_uniform(live as u64, rng) as usize;
+            (self.slots[base + idx], StepKind::Blue)
+        } else {
+            let idx = legacy_uniform(degree as u64, rng) as usize;
+            (self.slots[base + idx], StepKind::Red)
+        };
+        let e = self.g.arc_edge(arc);
+        let to = self.g.arc_target(arc);
+        if kind == StepKind::Blue {
+            self.visited_edge[e] = true;
+            let (a0, a1) = self.g.edge_arcs(e);
+            let (x, y) = self.g.endpoints(e);
+            self.unlink(a0, x);
+            self.unlink(a1, y);
+        }
+        self.current = to;
+        self.steps += 1;
+        Step {
+            from: v,
+            to,
+            edge: Some(e),
+            kind,
+        }
+    }
+}
+
 /// Builds a fresh deterministic RNG for a derived seed.
 pub fn rng_for(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
@@ -441,6 +556,23 @@ mod tests {
             (0.7..1.4).contains(&ratio),
             "means diverge: {mean_fast} vs {mean_naive}"
         );
+    }
+
+    #[test]
+    fn legacy_eprocess_matches_kernel_trajectory() {
+        // The walk_kernel bench baseline must walk the exact trajectory of
+        // the monomorphized kernel — it is the same process, only paying
+        // the pre-kernel per-step costs.
+        let mut seed_rng = rng_for(1);
+        let g = generators::connected_random_regular(120, 4, &mut seed_rng).unwrap();
+        let mut rng_a = rng_for(5);
+        let mut rng_b = rng_for(5);
+        let mut legacy = LegacyEProcess::new(&g, 0);
+        let mut kernel = EProcess::new(&g, 0, UniformRule::new());
+        for _ in 0..2_000 {
+            assert_eq!(legacy.advance(&mut rng_a), kernel.advance_rng(&mut rng_b));
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     #[test]

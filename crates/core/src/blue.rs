@@ -7,6 +7,7 @@
 //! (`≈ 1/8` for `r = 3`) is left behind as *isolated blue stars* by the
 //! first blue phase, which is why the cover time jumps to `Θ(n log n)`.
 
+use crate::bitset::BitSet;
 use crate::eprocess::rule::EdgeRule;
 use crate::eprocess::EProcess;
 use crate::process::WalkProcess;
@@ -27,11 +28,11 @@ pub struct BlueComponent {
 /// # Panics
 ///
 /// Panics if `edge_visited.len() != g.m()`.
-pub fn blue_degrees(g: &Graph, edge_visited: &[bool]) -> Vec<usize> {
+pub fn blue_degrees(g: &Graph, edge_visited: &BitSet) -> Vec<usize> {
     assert_eq!(edge_visited.len(), g.m(), "edge bitmap length mismatch");
     let mut deg = vec![0usize; g.n()];
     for (e, u, v) in g.edges() {
-        if !edge_visited[e] {
+        if !edge_visited.get(e) {
             deg[u] += 1;
             deg[v] += 1;
         }
@@ -44,7 +45,7 @@ pub fn blue_degrees(g: &Graph, edge_visited: &[bool]) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if `edge_visited.len() != g.m()`.
-pub fn blue_components(g: &Graph, edge_visited: &[bool]) -> Vec<BlueComponent> {
+pub fn blue_components(g: &Graph, edge_visited: &BitSet) -> Vec<BlueComponent> {
     assert_eq!(edge_visited.len(), g.m(), "edge bitmap length mismatch");
     let deg = blue_degrees(g, edge_visited);
     let mut assigned = vec![false; g.n()];
@@ -61,7 +62,7 @@ pub fn blue_components(g: &Graph, edge_visited: &[bool]) -> Vec<BlueComponent> {
             let u = vertices[head];
             head += 1;
             for (_, w, e) in g.ports(u) {
-                if edge_visited[e] {
+                if edge_visited.get(e) {
                     continue;
                 }
                 // Record each blue edge once, from its smaller endpoint
@@ -90,7 +91,7 @@ pub fn blue_components(g: &Graph, edge_visited: &[bool]) -> Vec<BlueComponent> {
 /// Panics if `edge_visited.len() != g.m()`.
 pub fn blue_degrees_even(
     g: &Graph,
-    edge_visited: &[bool],
+    edge_visited: &BitSet,
     odd_pair: Option<(Vertex, Vertex)>,
 ) -> bool {
     let deg = blue_degrees(g, edge_visited);
@@ -114,7 +115,7 @@ pub fn blue_degrees_even(
 /// Panics if the bitmap lengths do not match the graph.
 pub fn isolated_star_centers(
     g: &Graph,
-    edge_visited: &[bool],
+    edge_visited: &BitSet,
     vertex_visited: &[bool],
 ) -> Vec<Vertex> {
     assert_eq!(edge_visited.len(), g.m(), "edge bitmap length mismatch");
@@ -131,13 +132,13 @@ pub fn isolated_star_centers(
             "unvisited vertex must have all edges blue"
         );
         for (_, w, e) in g.ports(v) {
-            if edge_visited[e] {
+            if edge_visited.get(e) {
                 continue 'vertex; // not actually all blue: inconsistent input
             }
             // Every blue edge at w must lead back to v.
             let w_blue_to_v = g
                 .ports(w)
-                .filter(|&(_, t, f)| !edge_visited[f] && t == v)
+                .filter(|&(_, t, f)| !edge_visited.get(f) && t == v)
                 .count();
             if deg[w] != w_blue_to_v {
                 continue 'vertex;
@@ -309,7 +310,7 @@ mod tests {
     #[test]
     fn all_blue_initially_one_component() {
         let g = generators::torus2d(4, 4);
-        let visited = vec![false; g.m()];
+        let visited = BitSet::with_len(g.m());
         let comps = blue_components(&g, &visited);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].vertices.len(), g.n());
@@ -319,7 +320,7 @@ mod tests {
     #[test]
     fn all_red_no_components() {
         let g = generators::torus2d(4, 4);
-        let visited = vec![true; g.m()];
+        let visited: BitSet = (0..g.m()).map(|_| true).collect();
         assert!(blue_components(&g, &visited).is_empty());
     }
 
@@ -327,8 +328,8 @@ mod tests {
     fn components_split_correctly() {
         // figure_eight: removing one triangle's edges leaves the other.
         let g = generators::figure_eight(3);
-        let mut visited = vec![false; g.m()];
-        visited[..3].fill(true);
+        let mut visited = BitSet::with_len(g.m());
+        (0..3).for_each(|e| visited.set(e));
         let comps = blue_components(&g, &visited);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].edges.len(), 3);
@@ -424,12 +425,10 @@ mod tests {
         // Star K_{1,3} inside a larger graph: plant by marking everything
         // else visited.
         let g = generators::petersen();
-        let mut edge_visited = vec![true; g.m()];
-        let mut vertex_visited = vec![true; g.n()];
+        let star_edges: Vec<_> = g.ports(0).map(|(_, _, e)| e).collect();
         // Vertex 0's edges become blue, 0 unvisited.
-        for (_, _, e) in g.ports(0) {
-            edge_visited[e] = false;
-        }
+        let edge_visited: BitSet = (0..g.m()).map(|e| !star_edges.contains(&e)).collect();
+        let mut vertex_visited = vec![true; g.n()];
         vertex_visited[0] = false;
         let centers = isolated_star_centers(&g, &edge_visited, &vertex_visited);
         assert_eq!(centers, vec![0]);
@@ -439,7 +438,7 @@ mod tests {
     fn star_census_rejects_connected_blue_structure() {
         // All edges blue: no isolated stars (blue components are big).
         let g = generators::petersen();
-        let edge_visited = vec![false; g.m()];
+        let edge_visited = BitSet::with_len(g.m());
         let vertex_visited = vec![false; g.n()];
         let centers = isolated_star_centers(&g, &edge_visited, &vertex_visited);
         assert!(centers.is_empty());

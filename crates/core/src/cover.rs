@@ -10,7 +10,7 @@
 //! explorers. Callers wanting several metrics from one trajectory should
 //! use [`run_observed`] directly.
 
-use crate::observe::{run_observed, BlanketObserver, CoverObserver, Observer, StopWhen};
+use crate::observe::{run_observed, BlanketObserver, CoverObserver, StopWhen};
 use crate::process::WalkProcess;
 use eproc_graphs::{Graph, Vertex};
 use rand::RngCore;
@@ -95,14 +95,15 @@ pub fn run_cover_with<W: WalkProcess + ?Sized>(
     walk: &mut W,
     observer: &mut CoverObserver,
     max_steps: u64,
-    rng: &mut dyn RngCore,
+    mut rng: &mut dyn RngCore,
 ) -> CoverRun {
+    let mut walk = walk;
     let run = run_observed(
-        walk,
-        &mut [observer as &mut dyn Observer],
+        &mut walk,
+        &mut (&mut *observer,),
         StopWhen::AllSatisfied,
         max_steps,
-        rng,
+        &mut rng,
     );
     let m = observer.cover_metrics();
     CoverRun {
@@ -253,15 +254,16 @@ pub fn blanket_time<W: WalkProcess + ?Sized>(
     walk: &mut W,
     delta: f64,
     max_steps: u64,
-    rng: &mut dyn RngCore,
+    mut rng: &mut dyn RngCore,
 ) -> Result<Option<u64>, CoverError> {
     let mut observer = BlanketObserver::new(delta)?;
+    let mut walk = walk;
     run_observed(
-        walk,
-        &mut [&mut observer as &mut dyn Observer],
+        &mut walk,
+        &mut (&mut observer,),
         StopWhen::AllSatisfied,
         max_steps,
-        rng,
+        &mut rng,
     );
     Ok(observer.steps_to_blanket())
 }

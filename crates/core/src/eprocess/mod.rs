@@ -18,6 +18,7 @@
 
 pub mod rule;
 
+use crate::bitset::BitSet;
 use crate::process::{Step, StepKind, WalkProcess};
 use eproc_graphs::{ArcId, EdgeId, Graph, Vertex};
 use rand::{Rng, RngCore};
@@ -39,7 +40,7 @@ pub struct EProcess<'g, A> {
     steps: u64,
     blue_steps: u64,
     red_steps: u64,
-    visited_edge: Vec<bool>,
+    visited_edge: BitSet,
     unvisited_edges: usize,
     /// Arc ids grouped by source vertex; within each vertex's range the
     /// first `live[v]` entries are the unvisited (blue) arcs.
@@ -73,7 +74,7 @@ impl<'g, A: EdgeRule> EProcess<'g, A> {
             steps: 0,
             blue_steps: 0,
             red_steps: 0,
-            visited_edge: vec![false; g.m()],
+            visited_edge: BitSet::with_len(g.m()),
             unvisited_edges: g.m(),
             slots,
             pos,
@@ -103,11 +104,13 @@ impl<'g, A: EdgeRule> EProcess<'g, A> {
     ///
     /// Panics if `e >= g.m()`.
     pub fn edge_visited(&self, e: EdgeId) -> bool {
-        self.visited_edge[e]
+        self.visited_edge.get(e)
     }
 
-    /// The per-edge visited bitmap (red edges are `true`).
-    pub fn visited_edges(&self) -> &[bool] {
+    /// The per-edge visited bitmap (red edges are `true`), word-packed so
+    /// that per-trial resets touch `m / 64` words. The [`crate::blue`]
+    /// analytics consume it directly.
+    pub fn visited_edges(&self) -> &BitSet {
         &self.visited_edge
     }
 
@@ -143,9 +146,10 @@ impl<'g, A: EdgeRule> EProcess<'g, A> {
     }
 
     /// Resets the process to a fresh state at `start` — all edges
-    /// unvisited, counters zeroed — reusing the existing allocations.
-    /// Rule state is *not* reset (rules carry their own state; recreate
-    /// the process if the rule must also be fresh).
+    /// unvisited, counters zeroed, rule state re-armed via
+    /// [`EdgeRule::reset`] — reusing the existing allocations. The edge
+    /// bitmap is word-packed, so the per-reset cost is `m / 64` word
+    /// writes plus the `O(m)` slot/pos rebuild.
     ///
     /// # Panics
     ///
@@ -157,8 +161,9 @@ impl<'g, A: EdgeRule> EProcess<'g, A> {
         self.steps = 0;
         self.blue_steps = 0;
         self.red_steps = 0;
-        self.visited_edge.iter_mut().for_each(|v| *v = false);
+        self.visited_edge.clear();
         self.unvisited_edges = self.g.m();
+        self.rule.reset();
         for (i, slot) in self.slots.iter_mut().enumerate() {
             *slot = i;
         }
@@ -173,8 +178,8 @@ impl<'g, A: EdgeRule> EProcess<'g, A> {
     /// Marks edge `e` visited, unlinking both of its arcs from the live
     /// prefixes of their endpoints in `O(1)`.
     fn mark_visited(&mut self, e: EdgeId) {
-        debug_assert!(!self.visited_edge[e]);
-        self.visited_edge[e] = true;
+        debug_assert!(!self.visited_edge.get(e));
+        self.visited_edge.set(e);
         self.unvisited_edges -= 1;
         let (a0, a1) = self.g.edge_arcs(e);
         let (u, v) = self.g.endpoints(e);
@@ -213,27 +218,31 @@ impl<'g, A: EdgeRule> WalkProcess for EProcess<'g, A> {
         self.steps
     }
 
-    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+    fn advance(&mut self, mut rng: &mut dyn RngCore) -> Step {
+        self.advance_rng(&mut rng)
+    }
+
+    fn advance_rng<R: RngCore>(&mut self, rng: &mut R) -> Step {
         let v = self.current;
-        let degree = self.g.degree(v);
+        // One offsets fetch serves both the degree and the arc base.
+        let range = self.g.arc_range(v);
+        let (base, degree) = (range.start, range.len());
         assert!(degree > 0, "E-process stuck at isolated vertex {v}");
         let live = self.live[v] as usize;
         let (arc, kind) = if live > 0 {
-            let base = self.g.arc_range(v).start;
             let ctx = RuleContext {
                 graph: self.g,
                 vertex: v,
                 live_arcs: &self.slots[base..base + live],
                 step: self.steps,
             };
-            let idx = self.rule.choose(&ctx, rng);
+            let idx = self.rule.choose_rng(&ctx, rng);
             assert!(
                 idx < live,
                 "rule chose index {idx} among {live} unvisited edges"
             );
             (self.slots[base + idx], StepKind::Blue)
         } else {
-            let base = self.g.arc_range(v).start;
             (self.slots[base + rng.gen_range(0..degree)], StepKind::Red)
         };
         let e = self.g.arc_edge(arc);
@@ -257,7 +266,7 @@ impl<'g, A: EdgeRule> WalkProcess for EProcess<'g, A> {
 
 #[cfg(test)]
 mod tests {
-    use super::rule::{AdversarialRule, FirstPortRule, UniformRule};
+    use super::rule::{AdversarialRule, FirstPortRule, RoundRobinRule, UniformRule};
     use super::*;
     use eproc_graphs::generators;
     use rand::rngs::SmallRng;
@@ -406,6 +415,33 @@ mod tests {
         for _ in 0..200 {
             assert_eq!(walk.advance(&mut rng_a), fresh.advance(&mut rng_b));
         }
+    }
+
+    #[test]
+    fn reset_rearms_rule_state() {
+        let g = generators::torus2d(4, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Round-robin carries per-vertex counters: a reset walk must
+        // replay the exact trajectory of a freshly built process.
+        let mut walk = EProcess::new(&g, 0, RoundRobinRule::new(g.n()));
+        for _ in 0..50 {
+            walk.advance(&mut rng);
+        }
+        walk.reset(0);
+        let mut fresh = EProcess::new(&g, 0, RoundRobinRule::new(g.n()));
+        let mut rng_a = SmallRng::seed_from_u64(21);
+        let mut rng_b = SmallRng::seed_from_u64(21);
+        for _ in 0..100 {
+            assert_eq!(walk.advance(&mut rng_a), fresh.advance(&mut rng_b));
+        }
+        // Adversarial rule: the decision counter re-zeroes on reset.
+        let mut adv = EProcess::new(&g, 0, AdversarialRule::new(|_: &RuleContext<'_>| 0));
+        for _ in 0..10 {
+            adv.advance(&mut rng);
+        }
+        assert!(adv.rule().decisions() > 0);
+        adv.reset(0);
+        assert_eq!(adv.rule().decisions(), 0);
     }
 
     #[test]

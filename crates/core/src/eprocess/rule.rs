@@ -36,6 +36,25 @@ pub trait EdgeRule {
     /// Chooses the index of the arc to traverse.
     fn choose(&mut self, ctx: &RuleContext<'_>, rng: &mut dyn RngCore) -> usize;
 
+    /// Monomorphized variant of [`choose`](EdgeRule::choose): identical
+    /// decision and identical RNG draw sequence, but statically dispatched
+    /// on the RNG type so randomized rules inline into the
+    /// [`advance_rng`](crate::process::WalkProcess::advance_rng) kernel.
+    ///
+    /// The default forwards to the dyn method (correct for any rule);
+    /// the randomized in-crate rules override it.
+    fn choose_rng<R: RngCore>(&mut self, ctx: &RuleContext<'_>, rng: &mut R) -> usize
+    where
+        Self: Sized,
+    {
+        self.choose(ctx, rng)
+    }
+
+    /// Resets per-run rule state (decision counters, rotor positions, …)
+    /// so a process [`reset`](crate::EProcess::reset) behaves like a
+    /// freshly constructed one. Default: no-op, for stateless rules.
+    fn reset(&mut self) {}
+
     /// Human-readable name used in experiment tables.
     fn name(&self) -> &'static str {
         "custom"
@@ -56,7 +75,12 @@ impl UniformRule {
 }
 
 impl EdgeRule for UniformRule {
-    fn choose(&mut self, ctx: &RuleContext<'_>, rng: &mut dyn RngCore) -> usize {
+    fn choose(&mut self, ctx: &RuleContext<'_>, mut rng: &mut dyn RngCore) -> usize {
+        self.choose_rng(ctx, &mut rng)
+    }
+
+    #[inline]
+    fn choose_rng<R: RngCore>(&mut self, ctx: &RuleContext<'_>, rng: &mut R) -> usize {
         rng.gen_range(0..ctx.live_arcs.len())
     }
 
@@ -120,6 +144,10 @@ impl RoundRobinRule {
 }
 
 impl EdgeRule for RoundRobinRule {
+    fn reset(&mut self) {
+        self.next.iter_mut().for_each(|c| *c = 0);
+    }
+
     fn choose(&mut self, ctx: &RuleContext<'_>, _rng: &mut dyn RngCore) -> usize {
         let counter = &mut self.next[ctx.vertex];
         let k = (*counter as usize) % ctx.live_arcs.len();
@@ -166,6 +194,10 @@ impl<F: FnMut(&RuleContext<'_>) -> usize> AdversarialRule<F> {
 }
 
 impl<F: FnMut(&RuleContext<'_>) -> usize> EdgeRule for AdversarialRule<F> {
+    fn reset(&mut self) {
+        self.decisions = 0;
+    }
+
     fn choose(&mut self, ctx: &RuleContext<'_>, _rng: &mut dyn RngCore) -> usize {
         self.decisions += 1;
         (self.strategy)(ctx)
@@ -232,7 +264,11 @@ impl WeightedPortRule {
 }
 
 impl EdgeRule for WeightedPortRule {
-    fn choose(&mut self, ctx: &RuleContext<'_>, rng: &mut dyn RngCore) -> usize {
+    fn choose(&mut self, ctx: &RuleContext<'_>, mut rng: &mut dyn RngCore) -> usize {
+        self.choose_rng(ctx, &mut rng)
+    }
+
+    fn choose_rng<R: RngCore>(&mut self, ctx: &RuleContext<'_>, rng: &mut R) -> usize {
         let total: f64 = ctx
             .live_arcs
             .iter()

@@ -20,7 +20,12 @@
 //!   (cover, blanket, phases, blue census, hitting) fed by one generic
 //!   driver [`observe::run_observed`], so one trajectory yields every
 //!   requested metric; the [`cover`] and [`segments`] entry points are
-//!   thin wrappers over it;
+//!   thin wrappers over it. The driver is a fully **monomorphized
+//!   kernel** — generic over walk ([`WalkProcess::advance_rng`]), RNG and
+//!   observer set ([`observe::ObserverSet`] tuples) — with
+//!   [`observe::run_observed_dyn`] as the dynamic fallback;
+//! * [`bitset`] — the word-packed visited bitmap shared by the E-process
+//!   and the observers;
 //! * [`blue`] — blue-subgraph analytics: even-degree component census
 //!   (Observation 11) and the isolated-star census behind the paper's §5
 //!   `n/8` prediction for 3-regular graphs;
@@ -46,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod blue;
 pub mod choice;
 pub mod cover;

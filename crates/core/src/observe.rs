@@ -10,42 +10,74 @@
 //! every attached observer, so a trial wanting several metrics no longer
 //! re-walks the graph once per metric.
 //!
+//! # The monomorphized kernel and the `ObserverSet` tuple pattern
+//!
+//! [`run_observed`] is generic over the walk, the RNG **and** the observer
+//! set, so a call with concrete types compiles to one flat loop: the
+//! walk's [`WalkProcess::advance_rng`] and every observer's
+//! [`Observer::on_step`] inline with no per-step virtual dispatch.
+//! Observer sets are expressed through the [`ObserverSet`] trait, which is
+//! implemented for
+//!
+//! * **tuples** `(O1,)` through `(O1, O2, O3, O4, O5)` of (references to)
+//!   concrete observers — the preferred form whenever the metric set is
+//!   known at compile time, which is true for every caller measuring a
+//!   fixed set of quantities:
+//!
+//!   ```
+//!   # use eproc_core::observe::*;
+//!   # use eproc_core::cover::CoverTarget;
+//!   # use eproc_core::{EProcess, rule::UniformRule};
+//!   # use eproc_graphs::generators;
+//!   # use rand::SeedableRng;
+//!   # let g = generators::torus2d(4, 4);
+//!   # let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//!   # let mut walk = EProcess::new(&g, 0, UniformRule::new());
+//!   let mut cover = CoverObserver::new(CoverTarget::Both);
+//!   let mut phases = PhaseObserver::new();
+//!   let run = run_observed(
+//!       &mut walk,
+//!       &mut (&mut cover, &mut phases), // tuple => fully inlined kernel
+//!       StopWhen::AllSatisfied,
+//!       1_000_000,
+//!       &mut rng,
+//!   );
+//!   # assert!(run.steps > 0);
+//!   ```
+//!
+//! * **homogeneous slices / arrays / `Vec`s** `[O]` where `O: Observer` —
+//!   which covers enum-dispatched observers (the engine's observer bank)
+//!   *and*, because `&mut dyn Observer` itself implements [`Observer`],
+//!   the dynamic fallback `[&mut dyn Observer]`. Use the dyn form only
+//!   when the set of observers genuinely varies at runtime: it costs one
+//!   virtual call per observer per step.
+//!
+//! Per-step stop-condition polling is gone too: the driver arms a
+//! [`CompletionToken`] with the number of attached observers, each
+//! observer's resolution decrements it exactly once, and the
+//! [`StopWhen::AllSatisfied`] check is a single counter comparison.
+//! (Observer satisfaction must therefore be **monotone** within a run —
+//! true of every observer here, and of anything measuring a
+//! first-occurrence time.)
+//!
+//! [`run_observed_dyn`] preserves the fully dynamic pre-kernel driver —
+//! virtual `advance`, virtual observer fan-out, all-observers
+//! `satisfied()` poll — both as the compatibility entry point for
+//! `Box<dyn WalkProcess>` call sites and as the baseline the
+//! `walk_kernel` benchmark measures the monomorphized kernel against.
+//! Both drivers draw the identical RNG sequence and produce identical
+//! trajectories (pinned by `crates/core/tests/kernel_equivalence.rs`).
+//!
 //! The legacy entry points ([`crate::cover::run_cover`],
 //! [`crate::cover::blanket_time`], [`crate::segments::trace_phases`]) are
 //! kept as thin wrappers over this pipeline.
 //!
 //! Observers are **reusable**: [`Observer::begin`] re-arms an observer for
-//! a fresh trajectory, resizing (not reallocating) its scratch buffers, so
-//! ensemble executors can amortise the `vec![false; n]` bitmaps across
-//! thousands of trials.
-//!
-//! # Example
-//!
-//! ```
-//! use eproc_core::observe::{run_observed, CoverObserver, Observer, PhaseObserver, StopWhen};
-//! use eproc_core::cover::CoverTarget;
-//! use eproc_core::{EProcess, rule::UniformRule};
-//! use eproc_graphs::generators;
-//! use rand::SeedableRng;
-//!
-//! let g = generators::torus2d(6, 6);
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
-//! let mut walk = EProcess::new(&g, 0, UniformRule::new());
-//! let mut cover = CoverObserver::new(CoverTarget::Both);
-//! let mut phases = PhaseObserver::new();
-//! // One trajectory feeds both observers.
-//! let run = run_observed(
-//!     &mut walk,
-//!     &mut [&mut cover, &mut phases],
-//!     StopWhen::AllSatisfied,
-//!     1_000_000,
-//!     &mut rng,
-//! );
-//! let cm = cover.cover_metrics();
-//! assert_eq!(cm.steps_to_edge_cover, Some(run.steps));
-//! assert_eq!(phases.trace().total_blue(), g.m() as u64);
-//! ```
+//! a fresh trajectory, resizing (not reallocating) its scratch buffers —
+//! word-packed [`BitSet`]s, so a re-arm touches `m / 64` words — and
+//! ensemble executors amortise them across thousands of trials.
 
+use crate::bitset::BitSet;
 use crate::cover::{CoverError, CoverTarget};
 use crate::process::{Step, StepKind, WalkProcess};
 use crate::segments::{Phase, PhaseTrace};
@@ -124,6 +156,11 @@ pub enum Metrics {
 /// `finish` extracts the metrics (and may drain accumulated state).
 /// After `finish`, `begin` may be called again — buffers are reused, not
 /// reallocated.
+///
+/// `satisfied` must be **monotone** between `begin` and `finish`: once it
+/// returns `true` it keeps returning `true` for the rest of the run. The
+/// kernel driver latches satisfaction into a [`CompletionToken`] and
+/// stops polling a resolved observer.
 pub trait Observer {
     /// Re-arms the observer for a fresh trajectory on `g` starting at
     /// `start` (which counts as visited).
@@ -138,6 +175,42 @@ pub trait Observer {
 
     /// Snapshots the metrics accumulated since the last `begin`.
     fn finish(&mut self) -> Metrics;
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        (**self).begin(g, start)
+    }
+
+    fn on_step(&mut self, t: u64, step: &Step) {
+        (**self).on_step(t, step)
+    }
+
+    fn satisfied(&self) -> bool {
+        (**self).satisfied()
+    }
+
+    fn finish(&mut self) -> Metrics {
+        (**self).finish()
+    }
+}
+
+impl<O: Observer + ?Sized> Observer for Box<O> {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        (**self).begin(g, start)
+    }
+
+    fn on_step(&mut self, t: u64, step: &Step) {
+        (**self).on_step(t, step)
+    }
+
+    fn satisfied(&self) -> bool {
+        (**self).satisfied()
+    }
+
+    fn finish(&mut self) -> Metrics {
+        (**self).finish()
+    }
 }
 
 /// When [`run_observed`] stops (the step cap always applies).
@@ -159,16 +232,253 @@ pub struct ObservedRun {
     pub final_vertex: Vertex,
 }
 
-/// Advances `walk` once per step, feeding every observer, until `stop`
-/// resolves or `cap` steps elapse.
+/// The unsatisfied-observer counter threaded through an [`ObserverSet`].
 ///
-/// This single driver replaces the bodies of the legacy loops
-/// `run_cover`, `blanket_time` and `trace_phases`: attach the matching
-/// observers and every metric is measured from **one** trajectory. The
-/// walk may have already taken steps; observers are `begin`-armed at the
-/// walk's current position and all counters are relative to this call.
-pub fn run_observed<W: WalkProcess + ?Sized>(
+/// Armed with the number of attached observers; each observer's slot is
+/// completed at most once (completions latch), and
+/// [`CompletionToken::all_satisfied`] — the per-step stop check — is a
+/// single integer comparison instead of an all-observers `satisfied()`
+/// poll.
+#[derive(Debug, Clone)]
+pub struct CompletionToken {
+    /// Bit `i` set ⇔ observer `i` has not yet resolved.
+    pending: u128,
+}
+
+impl CompletionToken {
+    /// Most observers one driver call can track.
+    pub const MAX_OBSERVERS: usize = 128;
+
+    /// Arms a token for `count` observers, all pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 128`.
+    pub fn arm(count: usize) -> CompletionToken {
+        assert!(
+            count <= Self::MAX_OBSERVERS,
+            "at most {} observers per run (got {count})",
+            Self::MAX_OBSERVERS
+        );
+        CompletionToken {
+            pending: if count == Self::MAX_OBSERVERS {
+                u128::MAX
+            } else {
+                (1u128 << count) - 1
+            },
+        }
+    }
+
+    /// Marks observer `slot` as resolved; idempotent (a cleared bit stays
+    /// cleared, so the hot path needs no branch).
+    #[inline]
+    pub fn complete(&mut self, slot: usize) {
+        self.pending &= !(1u128 << slot);
+    }
+
+    /// `true` while observer `slot` has not resolved (i.e. it still needs
+    /// its `satisfied()` checked).
+    #[inline]
+    pub fn is_pending(&self, slot: usize) -> bool {
+        self.pending >> slot & 1 == 1
+    }
+
+    /// `true` once every observer has resolved.
+    #[inline]
+    pub fn all_satisfied(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Number of observers still unresolved.
+    pub fn unsatisfied(&self) -> usize {
+        self.pending.count_ones() as usize
+    }
+}
+
+/// A statically shaped collection of [`Observer`]s fed by [`run_observed`].
+///
+/// Implementations exist for tuples `(O1,)` … `(O1, O2, O3, O4, O5)` of
+/// concrete observers (the monomorphized fast path — every `on_step`
+/// inlines) and, as the dynamic fallback, for homogeneous slices, arrays
+/// and `Vec`s of any observer type — including `[&mut dyn Observer]`,
+/// since `&mut dyn Observer` implements [`Observer`].
+///
+/// An implementation must call [`CompletionToken::complete`] with an
+/// observer's slot index when (and only when) that observer's
+/// [`Observer::satisfied`] first turns `true`; the provided
+/// implementations do this by polling `satisfied()` while the slot is
+/// still pending and never again afterwards.
+pub trait ObserverSet {
+    /// Number of observers in the set.
+    fn count(&self) -> usize;
+
+    /// Arms every observer for a fresh trajectory and records
+    /// already-satisfied ones (e.g. a hitting observer whose target is the
+    /// start vertex) in `token`.
+    fn begin_all(&mut self, g: &Graph, start: Vertex, token: &mut CompletionToken);
+
+    /// Feeds one transition to every observer, completing newly resolved
+    /// slots in `token`.
+    fn on_step_all(&mut self, t: u64, step: &Step, token: &mut CompletionToken);
+}
+
+macro_rules! impl_observer_set_for_tuple {
+    ($(($idx:tt, $name:ident)),+) => {
+        impl<$($name: Observer),+> ObserverSet for ($($name,)+) {
+            fn count(&self) -> usize {
+                [$($idx as usize),+].len()
+            }
+
+            fn begin_all(&mut self, g: &Graph, start: Vertex, token: &mut CompletionToken) {
+                $(
+                    self.$idx.begin(g, start);
+                    if self.$idx.satisfied() {
+                        token.complete($idx);
+                    }
+                )+
+            }
+
+            #[inline]
+            fn on_step_all(&mut self, t: u64, step: &Step, token: &mut CompletionToken) {
+                $(
+                    self.$idx.on_step(t, step);
+                    if token.is_pending($idx) && self.$idx.satisfied() {
+                        token.complete($idx);
+                    }
+                )+
+            }
+        }
+    };
+}
+
+impl_observer_set_for_tuple!((0, O1));
+impl_observer_set_for_tuple!((0, O1), (1, O2));
+impl_observer_set_for_tuple!((0, O1), (1, O2), (2, O3));
+impl_observer_set_for_tuple!((0, O1), (1, O2), (2, O3), (3, O4));
+impl_observer_set_for_tuple!((0, O1), (1, O2), (2, O3), (3, O4), (4, O5));
+
+impl<O: Observer> ObserverSet for [O] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn begin_all(&mut self, g: &Graph, start: Vertex, token: &mut CompletionToken) {
+        for (i, obs) in self.iter_mut().enumerate() {
+            obs.begin(g, start);
+            if obs.satisfied() {
+                token.complete(i);
+            }
+        }
+    }
+
+    #[inline]
+    fn on_step_all(&mut self, t: u64, step: &Step, token: &mut CompletionToken) {
+        for (i, obs) in self.iter_mut().enumerate() {
+            obs.on_step(t, step);
+            if token.is_pending(i) && obs.satisfied() {
+                token.complete(i);
+            }
+        }
+    }
+}
+
+impl<O: Observer, const N: usize> ObserverSet for [O; N] {
+    fn count(&self) -> usize {
+        N
+    }
+
+    fn begin_all(&mut self, g: &Graph, start: Vertex, token: &mut CompletionToken) {
+        self[..].begin_all(g, start, token)
+    }
+
+    #[inline]
+    fn on_step_all(&mut self, t: u64, step: &Step, token: &mut CompletionToken) {
+        self[..].on_step_all(t, step, token)
+    }
+}
+
+impl<O: Observer> ObserverSet for Vec<O> {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn begin_all(&mut self, g: &Graph, start: Vertex, token: &mut CompletionToken) {
+        self[..].begin_all(g, start, token)
+    }
+
+    #[inline]
+    fn on_step_all(&mut self, t: u64, step: &Step, token: &mut CompletionToken) {
+        self[..].on_step_all(t, step, token)
+    }
+}
+
+/// Advances `walk` once per step, feeding every observer in `observers`,
+/// until `stop` resolves or `cap` steps elapse — the monomorphized walk
+/// kernel.
+///
+/// Generic over the walk, the observer set and the RNG: with concrete
+/// types (`EProcess<UniformRule>`, a tuple of observers, `SmallRng`) the
+/// whole per-step body — [`WalkProcess::advance_rng`], each
+/// [`Observer::on_step`], the [`CompletionToken`] stop check — inlines
+/// into one flat loop. Pass a `[&mut dyn Observer]` slice (or call a
+/// dyn-typed walk through `&mut`) to fall back to dynamic dispatch where
+/// runtime flexibility is worth the per-step cost; [`run_observed_dyn`]
+/// bundles that fully dynamic shape.
+///
+/// The walk may have already taken steps; observers are `begin`-armed at
+/// the walk's current position and all counters are relative to this
+/// call. Both this kernel and [`run_observed_dyn`] draw the identical RNG
+/// sequence for the same seed.
+///
+/// # Panics
+///
+/// Panics if more than [`CompletionToken::MAX_OBSERVERS`] observers are
+/// attached.
+pub fn run_observed<W, O, R>(
     walk: &mut W,
+    observers: &mut O,
+    stop: StopWhen,
+    cap: u64,
+    rng: &mut R,
+) -> ObservedRun
+where
+    W: WalkProcess,
+    O: ObserverSet + ?Sized,
+    R: RngCore,
+{
+    let mut token = CompletionToken::arm(observers.count());
+    {
+        let g = walk.graph();
+        let start = walk.current();
+        observers.begin_all(g, start, &mut token);
+    }
+    let check_satisfied = matches!(stop, StopWhen::AllSatisfied);
+    let mut t = 0u64;
+    while t < cap {
+        if check_satisfied && token.all_satisfied() {
+            break;
+        }
+        let step = walk.advance_rng(rng);
+        t += 1;
+        observers.on_step_all(t, &step, &mut token);
+    }
+    ObservedRun {
+        steps: t,
+        final_vertex: walk.current(),
+    }
+}
+
+/// The fully dynamic driver: virtual `advance`, dyn-observer fan-out and
+/// an all-observers `satisfied()` poll per step — exactly the pre-kernel
+/// hot path.
+///
+/// Kept for two reasons: third-party code holding `Box<dyn WalkProcess>` /
+/// heterogeneous observer lists gets a zero-friction entry point, and the
+/// `walk_kernel` benchmark uses it as the baseline the monomorphized
+/// [`run_observed`] is measured against. Trajectories are identical to
+/// [`run_observed`]'s for the same seed.
+pub fn run_observed_dyn(
+    walk: &mut dyn WalkProcess,
     observers: &mut [&mut dyn Observer],
     stop: StopWhen,
     cap: u64,
@@ -208,8 +518,8 @@ pub struct CoverObserver {
     target: CoverTarget,
     n: usize,
     m: usize,
-    vertex_seen: Vec<bool>,
-    edge_seen: Vec<bool>,
+    vertex_seen: BitSet,
+    edge_seen: BitSet,
     vertices_visited: usize,
     edges_visited: usize,
     steps_to_vertex_cover: Option<u64>,
@@ -226,8 +536,8 @@ impl CoverObserver {
             target,
             n: 0,
             m: 0,
-            vertex_seen: Vec::new(),
-            edge_seen: Vec::new(),
+            vertex_seen: BitSet::new(),
+            edge_seen: BitSet::new(),
             vertices_visited: 0,
             edges_visited: 0,
             steps_to_vertex_cover: None,
@@ -254,11 +564,9 @@ impl Observer for CoverObserver {
     fn begin(&mut self, g: &Graph, start: Vertex) {
         self.n = g.n();
         self.m = g.m();
-        self.vertex_seen.clear();
-        self.vertex_seen.resize(self.n, false);
-        self.edge_seen.clear();
-        self.edge_seen.resize(self.m, false);
-        self.vertex_seen[start] = true;
+        self.vertex_seen.clear_and_resize(self.n);
+        self.edge_seen.clear_and_resize(self.m);
+        self.vertex_seen.set(start);
         self.vertices_visited = 1;
         self.edges_visited = 0;
         self.steps_to_vertex_cover = if self.vertices_visited == self.n {
@@ -271,21 +579,20 @@ impl Observer for CoverObserver {
         self.red_steps = 0;
     }
 
+    #[inline]
     fn on_step(&mut self, t: u64, step: &Step) {
         match step.kind {
             StepKind::Blue => self.blue_steps += 1,
             StepKind::Red => self.red_steps += 1,
         }
-        if !self.vertex_seen[step.to] {
-            self.vertex_seen[step.to] = true;
+        if self.vertex_seen.test_and_set(step.to) {
             self.vertices_visited += 1;
             if self.vertices_visited == self.n {
                 self.steps_to_vertex_cover = Some(t);
             }
         }
         if let Some(e) = step.edge {
-            if !self.edge_seen[e] {
-                self.edge_seen[e] = true;
+            if self.edge_seen.test_and_set(e) {
                 self.edges_visited += 1;
                 if self.edges_visited == self.m {
                     self.steps_to_edge_cover = Some(t);
@@ -319,6 +626,9 @@ pub struct BlanketObserver {
     pi: Vec<f64>,
     visits: Vec<u64>,
     check_every: u64,
+    /// Steps until the next blanket check — a countdown so the hot path
+    /// needs no per-step division (`t % n`), only a decrement.
+    until_check: u64,
     steps_to_blanket: Option<u64>,
 }
 
@@ -337,6 +647,7 @@ impl BlanketObserver {
             pi: Vec::new(),
             visits: Vec::new(),
             check_every: 1,
+            until_check: 1,
             steps_to_blanket: None,
         })
     }
@@ -358,20 +669,27 @@ impl Observer for BlanketObserver {
         self.visits.resize(n, 0);
         self.visits[start] = 1;
         self.check_every = n.max(1) as u64;
+        self.until_check = self.check_every;
         self.steps_to_blanket = None;
     }
 
+    #[inline]
     fn on_step(&mut self, t: u64, step: &Step) {
         self.visits[step.to] += 1;
-        if self.steps_to_blanket.is_none() && t.is_multiple_of(self.check_every) {
-            let tf = t as f64;
-            let ok = self
-                .visits
-                .iter()
-                .zip(&self.pi)
-                .all(|(&v, &p)| v as f64 >= self.delta * p * tf);
-            if ok {
-                self.steps_to_blanket = Some(t);
+        self.until_check -= 1;
+        if self.until_check == 0 {
+            // `t` is a multiple of `check_every` here, by construction.
+            self.until_check = self.check_every;
+            if self.steps_to_blanket.is_none() {
+                let tf = t as f64;
+                let ok = self
+                    .visits
+                    .iter()
+                    .zip(&self.pi)
+                    .all(|(&v, &p)| v as f64 >= self.delta * p * tf);
+                if ok {
+                    self.steps_to_blanket = Some(t);
+                }
             }
         }
     }
@@ -393,7 +711,7 @@ impl Observer for BlanketObserver {
 #[derive(Debug, Clone, Default)]
 pub struct PhaseObserver {
     m: usize,
-    edge_seen: Vec<bool>,
+    edge_seen: BitSet,
     edges_visited: usize,
     phases: Vec<Phase>,
     current: Option<Phase>,
@@ -423,19 +741,18 @@ impl PhaseObserver {
 impl Observer for PhaseObserver {
     fn begin(&mut self, g: &Graph, _start: Vertex) {
         self.m = g.m();
-        self.edge_seen.clear();
-        self.edge_seen.resize(self.m, false);
+        self.edge_seen.clear_and_resize(self.m);
         self.edges_visited = 0;
         self.phases.clear();
         self.current = None;
         self.steps = 0;
     }
 
+    #[inline]
     fn on_step(&mut self, _t: u64, step: &Step) {
         self.steps += 1;
         if let Some(e) = step.edge {
-            if !self.edge_seen[e] {
-                self.edge_seen[e] = true;
+            if self.edge_seen.test_and_set(e) {
                 self.edges_visited += 1;
             }
         }
@@ -490,10 +807,10 @@ impl Observer for PhaseObserver {
 #[derive(Debug, Clone)]
 pub struct BlueCensusObserver<'g> {
     g: &'g Graph,
-    vertex_seen: Vec<bool>,
-    edge_seen: Vec<bool>,
+    vertex_seen: BitSet,
+    edge_seen: BitSet,
     blue_deg: Vec<usize>,
-    is_star: Vec<bool>,
+    is_star: BitSet,
     ever: Vec<Vertex>,
     remaining: usize,
     steps_to_vertex_cover: Option<u64>,
@@ -505,10 +822,10 @@ impl<'g> BlueCensusObserver<'g> {
     pub fn new(g: &'g Graph) -> BlueCensusObserver<'g> {
         BlueCensusObserver {
             g,
-            vertex_seen: Vec::new(),
-            edge_seen: Vec::new(),
+            vertex_seen: BitSet::new(),
+            edge_seen: BitSet::new(),
             blue_deg: Vec::new(),
-            is_star: Vec::new(),
+            is_star: BitSet::new(),
             ever: Vec::new(),
             remaining: 0,
             steps_to_vertex_cover: None,
@@ -519,13 +836,13 @@ impl<'g> BlueCensusObserver<'g> {
     /// exactly its star.
     fn is_isolated_star_at(&self, v: Vertex) -> bool {
         for (_, w, e) in self.g.ports(v) {
-            if self.edge_seen[e] {
+            if self.edge_seen.get(e) {
                 return false;
             }
             let w_blue_to_v = self
                 .g
                 .ports(w)
-                .filter(|&(_, t, f)| !self.edge_seen[f] && t == v)
+                .filter(|&(_, t, f)| !self.edge_seen.get(f) && t == v)
                 .count();
             if self.blue_deg[w] != w_blue_to_v {
                 return false;
@@ -542,46 +859,42 @@ impl Observer for BlueCensusObserver<'_> {
             "BlueCensusObserver armed on a different graph"
         );
         let n = self.g.n();
-        self.vertex_seen.clear();
-        self.vertex_seen.resize(n, false);
-        self.edge_seen.clear();
-        self.edge_seen.resize(self.g.m(), false);
+        self.vertex_seen.clear_and_resize(n);
+        self.edge_seen.clear_and_resize(self.g.m());
         self.blue_deg.clear();
         self.blue_deg
             .extend(self.g.vertices().map(|v| self.g.degree(v)));
-        self.is_star.clear();
-        self.is_star.resize(n, false);
+        self.is_star.clear_and_resize(n);
         self.ever.clear();
-        self.vertex_seen[start] = true;
+        self.vertex_seen.set(start);
         self.remaining = n - 1;
         self.steps_to_vertex_cover = if self.remaining == 0 { Some(0) } else { None };
     }
 
     fn on_step(&mut self, t: u64, step: &Step) {
-        if !self.vertex_seen[step.to] {
-            self.vertex_seen[step.to] = true;
+        if self.vertex_seen.test_and_set(step.to) {
             self.remaining -= 1;
             if self.remaining == 0 {
                 self.steps_to_vertex_cover = Some(t);
             }
         }
         let Some(e) = step.edge else { return };
-        if self.edge_seen[e] {
+        if self.edge_seen.get(e) {
             return;
         }
         // A blue edge was consumed: update the blue subgraph and check the
         // only vertices whose star status can have changed.
-        self.edge_seen[e] = true;
+        self.edge_seen.set(e);
         let (a, b) = self.g.endpoints(e);
         self.blue_deg[a] -= 1;
         self.blue_deg[b] -= 1;
         for end in [a, b] {
             for (_, cand, f) in self.g.ports(end) {
-                if self.edge_seen[f] || self.vertex_seen[cand] || self.is_star[cand] {
+                if self.edge_seen.get(f) || self.vertex_seen.get(cand) || self.is_star.get(cand) {
                     continue;
                 }
                 if self.is_isolated_star_at(cand) {
-                    self.is_star[cand] = true;
+                    self.is_star.set(cand);
                     self.ever.push(cand);
                 }
             }
@@ -649,6 +962,7 @@ impl Observer for HittingObserver {
         self.steps_to_hit = if start == self.target { Some(0) } else { None };
     }
 
+    #[inline]
     fn on_step(&mut self, t: u64, step: &Step) {
         if self.steps_to_hit.is_none() && step.to == self.target {
             self.steps_to_hit = Some(t);
@@ -690,7 +1004,7 @@ mod tests {
         let mut hit = HittingObserver::new(HitTarget::LastVertex);
         let run = run_observed(
             &mut walk,
-            &mut [&mut cover, &mut blanket, &mut phases, &mut census, &mut hit],
+            &mut (&mut cover, &mut blanket, &mut phases, &mut census, &mut hit),
             StopWhen::AllSatisfied,
             10_000_000,
             &mut rng,
@@ -715,7 +1029,7 @@ mod tests {
             let mut walk = EProcess::new(&g, 0, UniformRule::new());
             let run = run_observed(
                 &mut walk,
-                &mut [&mut cover],
+                &mut (&mut cover,),
                 StopWhen::AllSatisfied,
                 1_000_000,
                 &mut rng,
@@ -731,8 +1045,80 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut walk = SimpleRandomWalk::new(&g, 0);
         let mut cover = CoverObserver::new(CoverTarget::Vertices);
-        let run = run_observed(&mut walk, &mut [&mut cover], StopWhen::Cap, 500, &mut rng);
+        let run = run_observed(&mut walk, &mut (&mut cover,), StopWhen::Cap, 500, &mut rng);
         assert_eq!(run.steps, 500);
+    }
+
+    #[test]
+    fn dyn_fallback_slice_works_through_the_generic_driver() {
+        // The compatibility shape: a heterogeneous dyn-observer slice fed
+        // to the same generic driver.
+        let g = generators::torus2d(4, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut walk = EProcess::new(&g, 0, UniformRule::new());
+        let mut cover = CoverObserver::new(CoverTarget::Both);
+        let mut phases = PhaseObserver::new();
+        let mut observers: Vec<&mut dyn Observer> = vec![&mut cover, &mut phases];
+        let run = run_observed(
+            &mut walk,
+            &mut observers,
+            StopWhen::AllSatisfied,
+            1_000_000,
+            &mut rng,
+        );
+        assert_eq!(walk.steps(), run.steps);
+        assert_eq!(cover.cover_metrics().edges_visited, g.m());
+    }
+
+    #[test]
+    fn mono_and_dyn_drivers_agree_step_for_step() {
+        let g = generators::torus2d(5, 5);
+        for seed in 0..4 {
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut walk_a = EProcess::new(&g, 0, UniformRule::new());
+            let mut cover_a = CoverObserver::new(CoverTarget::Both);
+            let run_a = run_observed(
+                &mut walk_a,
+                &mut (&mut cover_a,),
+                StopWhen::AllSatisfied,
+                1_000_000,
+                &mut rng_a,
+            );
+
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let mut walk_b = EProcess::new(&g, 0, UniformRule::new());
+            let mut cover_b = CoverObserver::new(CoverTarget::Both);
+            let run_b = run_observed_dyn(
+                &mut walk_b,
+                &mut [&mut cover_b],
+                StopWhen::AllSatisfied,
+                1_000_000,
+                &mut rng_b,
+            );
+            assert_eq!(run_a, run_b, "seed {seed}");
+            assert_eq!(cover_a.cover_metrics(), cover_b.cover_metrics());
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
+    }
+
+    #[test]
+    fn completion_token_latches_and_counts() {
+        let mut token = CompletionToken::arm(3);
+        assert_eq!(token.unsatisfied(), 3);
+        assert!(token.is_pending(1));
+        token.complete(1);
+        assert!(!token.is_pending(1));
+        token.complete(1); // idempotent
+        assert_eq!(token.unsatisfied(), 2);
+        token.complete(0);
+        token.complete(2);
+        assert!(token.all_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn completion_token_rejects_oversized_sets() {
+        let _ = CompletionToken::arm(CompletionToken::MAX_OBSERVERS + 1);
     }
 
     #[test]
@@ -762,7 +1148,7 @@ mod tests {
             let mut census = BlueCensusObserver::new(&g);
             let run = run_observed(
                 &mut walk_b,
-                &mut [&mut census],
+                &mut (&mut census,),
                 StopWhen::AllSatisfied,
                 10_000_000,
                 &mut rng_b,
@@ -784,7 +1170,7 @@ mod tests {
         let mut hit = HittingObserver::new(HitTarget::Vertex(3));
         let run = run_observed(
             &mut walk,
-            &mut [&mut hit],
+            &mut (&mut hit,),
             StopWhen::AllSatisfied,
             1_000,
             &mut rng,

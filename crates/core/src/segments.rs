@@ -11,7 +11,7 @@
 
 use crate::eprocess::rule::EdgeRule;
 use crate::eprocess::EProcess;
-use crate::observe::{run_observed, Observer, PhaseObserver, StopWhen};
+use crate::observe::{run_observed, PhaseObserver, StopWhen};
 use crate::process::{StepKind, WalkProcess};
 use eproc_graphs::Vertex;
 use rand::RngCore;
@@ -109,16 +109,16 @@ impl PhaseTrace {
 pub fn trace_phases<A: EdgeRule>(
     walk: &mut EProcess<'_, A>,
     max_steps: u64,
-    rng: &mut dyn RngCore,
+    mut rng: &mut dyn RngCore,
 ) -> PhaseTrace {
     assert_eq!(walk.steps(), 0, "phase tracing requires a fresh walk");
     let mut observer = PhaseObserver::new();
     run_observed(
         walk,
-        &mut [&mut observer as &mut dyn Observer],
+        &mut (&mut observer,),
         StopWhen::AllSatisfied,
         max_steps,
-        rng,
+        &mut rng,
     );
     observer.trace()
 }

@@ -41,7 +41,11 @@ impl<'g> WalkProcess for SimpleRandomWalk<'g> {
         self.steps
     }
 
-    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+    fn advance(&mut self, mut rng: &mut dyn RngCore) -> Step {
+        self.advance_rng(&mut rng)
+    }
+
+    fn advance_rng<R: RngCore>(&mut self, rng: &mut R) -> Step {
         let v = self.current;
         let d = self.g.degree(v);
         assert!(d > 0, "random walk stuck at isolated vertex {v}");
@@ -97,7 +101,11 @@ impl<'g> WalkProcess for LazyRandomWalk<'g> {
         self.steps
     }
 
-    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+    fn advance(&mut self, mut rng: &mut dyn RngCore) -> Step {
+        self.advance_rng(&mut rng)
+    }
+
+    fn advance_rng<R: RngCore>(&mut self, rng: &mut R) -> Step {
         let v = self.current;
         self.steps += 1;
         if rng.gen_bool(0.5) {
@@ -180,7 +188,11 @@ impl<'g> WalkProcess for WeightedRandomWalk<'g> {
         self.steps
     }
 
-    fn advance(&mut self, rng: &mut dyn RngCore) -> Step {
+    fn advance(&mut self, mut rng: &mut dyn RngCore) -> Step {
+        self.advance_rng(&mut rng)
+    }
+
+    fn advance_rng<R: RngCore>(&mut self, rng: &mut R) -> Step {
         let v = self.current;
         let range = self.g.arc_range(v);
         assert!(

@@ -111,7 +111,7 @@ proptest! {
             walk.advance(&mut rng);
             let visited = walk.visited_edges();
             for v in g.vertices() {
-                let expect = g.ports(v).filter(|&(_, _, e)| !visited[e]).count();
+                let expect = g.ports(v).filter(|&(_, _, e)| !visited.get(e)).count();
                 prop_assert_eq!(walk.blue_degree(v), expect);
             }
             if walk.unvisited_edge_count() == 0 {

@@ -10,11 +10,16 @@
 //! Each trial walks the graph **once**: the spec's target and every
 //! requested [`MetricSpec`] attach [`Observer`]s to the same
 //! [`eproc_core::observe::run_observed`] trajectory, which runs until all
-//! of them resolve (or the cap). Workers keep their observer set between
-//! consecutive trials on the same graph, so the per-trial
-//! `vec![false; n]` scratch bitmaps are re-armed rather than reallocated.
+//! of them resolve (or the cap). The trial is dispatched through the
+//! (process × metric-set) enum pair [`crate::spec::WalkKernel`] ×
+//! [`AnyObserver`], so the per-step loop is monomorphized — no boxed
+//! walk, no dyn-observer fan-out. Workers keep their observer set
+//! between consecutive trials on the same graph, so the word-packed
+//! [`eproc_core::bitset::BitSet`] scratch bitmaps are re-armed (`m / 64`
+//! word writes) rather than reallocated.
 
-use crate::spec::{ExperimentSpec, MetricSpec, SpecError, Target};
+use crate::spec::{AnyObserver, ExperimentSpec, MetricSpec, SpecError, Target};
+use crate::with_kernel;
 use eproc_core::observe::{run_observed, Metrics, Observer, StopWhen};
 use eproc_graphs::Graph;
 use eproc_stats::{OnlineStats, SeedSequence};
@@ -189,27 +194,39 @@ pub fn build_graphs(spec: &ExperimentSpec, base_seed: u64) -> Result<Vec<Graph>,
         .collect()
 }
 
-/// A worker's reusable observer set for one graph: the target observer
-/// plus one observer per metric. Re-armed (`begin`) for every trial;
-/// rebuilt only when the worker moves to a different graph.
+/// A worker's reusable observer set for one graph: slot 0 is the target
+/// observer, slots 1.. are the metric observers, all stored as
+/// [`AnyObserver`] enum variants (static dispatch, no boxing). Re-armed
+/// (`begin`) for every trial; rebuilt only when the worker moves to a
+/// different graph.
 struct ObserverBank<'g> {
     graph_index: usize,
-    target: Box<dyn Observer + 'g>,
-    metrics: Vec<Box<dyn Observer + 'g>>,
+    /// `[target, metric_0, metric_1, …]` — a homogeneous `Vec` so the
+    /// whole bank feeds `run_observed` through the slice `ObserverSet`.
+    observers: Vec<AnyObserver<'g>>,
 }
 
 impl<'g> ObserverBank<'g> {
     fn new(spec: &ExperimentSpec, g: &'g Graph, graph_index: usize) -> ObserverBank<'g> {
+        let mut observers = Vec::with_capacity(1 + spec.metrics.len());
+        observers.push(spec.target.build_observer(g));
+        observers.extend(spec.metrics.iter().map(|m| m.build_observer(g)));
         ObserverBank {
             graph_index,
-            target: spec.target.build_observer(g),
-            metrics: spec.metrics.iter().map(|m| m.build_observer(g)).collect(),
+            observers,
         }
     }
 }
 
 /// Runs one trial: **one** walk feeding the target observer and every
 /// metric observer, until all of them resolve or the cap.
+///
+/// This is the engine's (process × metric-set) monomorphization point:
+/// the [`with_kernel!`] match binds the concrete process type once per
+/// trial, so each arm instantiates [`run_observed`] with a concrete walk
+/// and the enum-dispatched observer bank — no per-step virtual calls.
+/// Trial outcomes (and hence all aggregates and JSON artifacts) are
+/// bit-identical to the old boxed path: both draw the same RNG sequence.
 fn run_trial(
     spec: &ExperimentSpec,
     g: &Graph,
@@ -218,21 +235,16 @@ fn run_trial(
     bank: &mut ObserverBank<'_>,
 ) -> TrialOutcome {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut walk = spec.processes[process_index].build(g, spec.start);
+    let kernel = spec.processes[process_index].build_kernel(g, spec.start);
     let cap = spec.cap.resolve(g);
-    let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(1 + bank.metrics.len());
-    observers.push(bank.target.as_mut());
-    for m in &mut bank.metrics {
-        observers.push(m.as_mut());
-    }
-    let run = run_observed(
-        &mut *walk,
-        &mut observers,
+    let run = with_kernel!(kernel, walk => run_observed(
+        &mut walk,
+        &mut bank.observers,
         StopWhen::AllSatisfied,
         cap,
         &mut rng,
-    );
-    let (steps_to_target, blue_steps, red_steps) = match (spec.target, bank.target.finish()) {
+    ));
+    let (steps_to_target, blue_steps, red_steps) = match (spec.target, bank.observers[0].finish()) {
         (Target::Blanket { .. }, Metrics::Blanket(b)) => (b.steps_to_blanket, 0, 0),
         (target, Metrics::Cover(c)) => {
             let steps_to_target = match target {
@@ -249,7 +261,7 @@ fn run_trial(
         (target, metrics) => panic!("target {target:?} produced mismatched {metrics:?}"),
     };
     let mut metric_values = Vec::new();
-    for (ms, obs) in spec.metrics.iter().zip(&mut bank.metrics) {
+    for (ms, obs) in spec.metrics.iter().zip(&mut bank.observers[1..]) {
         metric_values.extend(ms.values(&obs.finish()));
     }
     TrialOutcome {

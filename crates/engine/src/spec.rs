@@ -20,11 +20,11 @@ use eproc_core::rule::{
 };
 use eproc_core::srw::{LazyRandomWalk, SimpleRandomWalk, WeightedRandomWalk};
 use eproc_core::vprocess::VProcess;
-use eproc_core::{EProcess, WalkProcess};
+use eproc_core::{EProcess, Step, WalkProcess};
 use eproc_graphs::properties::connectivity;
 use eproc_graphs::{generators, Graph, GraphError, Vertex};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::fmt;
 
 /// Sweep scale used by the built-in specs: `quick` finishes in seconds,
@@ -415,42 +415,177 @@ impl ProcessSpec {
         }
     }
 
-    /// Instantiates the process on `g` at `start`.
+    /// Instantiates the process on `g` at `start` behind a trait object
+    /// (dyn-dispatched stepping — the compatibility shape). The executor's
+    /// hot path uses [`ProcessSpec::build_kernel`] instead.
+    pub fn build<'g>(&self, g: &'g Graph, start: Vertex) -> Box<dyn WalkProcess + 'g> {
+        Box::new(self.build_kernel(g, start))
+    }
+
+    /// Instantiates the process on `g` at `start` as a [`WalkKernel`]
+    /// variant, so callers can dispatch **once per trial** to a fully
+    /// monomorphized step loop (see [`with_kernel!`](crate::with_kernel)).
     ///
     /// Construction is deterministic: [`ProcessSpec::WeightedSrw`] draws
     /// its edge weights from an RNG seeded purely by the graph shape, so
     /// every trial on a given graph sees the same weights regardless of
     /// scheduling.
-    pub fn build<'g>(&self, g: &'g Graph, start: Vertex) -> Box<dyn WalkProcess + 'g> {
+    pub fn build_kernel<'g>(&self, g: &'g Graph, start: Vertex) -> WalkKernel<'g> {
         match *self {
             ProcessSpec::EProcess { rule } => match rule {
-                RuleSpec::Uniform => Box::new(EProcess::new(g, start, UniformRule::new())),
-                RuleSpec::FirstPort => Box::new(EProcess::new(g, start, FirstPortRule)),
-                RuleSpec::LastPort => Box::new(EProcess::new(g, start, LastPortRule)),
-                RuleSpec::RoundRobin => {
-                    Box::new(EProcess::new(g, start, RoundRobinRule::new(g.n())))
+                RuleSpec::Uniform => {
+                    WalkKernel::EProcessUniform(EProcess::new(g, start, UniformRule::new()))
                 }
-                RuleSpec::GreedyAdversary => Box::new(EProcess::new(g, start, GreedyAdversary)),
+                RuleSpec::FirstPort => {
+                    WalkKernel::EProcessFirstPort(EProcess::new(g, start, FirstPortRule))
+                }
+                RuleSpec::LastPort => {
+                    WalkKernel::EProcessLastPort(EProcess::new(g, start, LastPortRule))
+                }
+                RuleSpec::RoundRobin => WalkKernel::EProcessRoundRobin(EProcess::new(
+                    g,
+                    start,
+                    RoundRobinRule::new(g.n()),
+                )),
+                RuleSpec::GreedyAdversary => {
+                    WalkKernel::EProcessGreedyAdversary(EProcess::new(g, start, GreedyAdversary))
+                }
                 RuleSpec::Spiteful => {
                     let rule: AdversarialRule<fn(&RuleContext<'_>) -> usize> =
                         AdversarialRule::new(spiteful_choice);
-                    Box::new(EProcess::new(g, start, rule))
+                    WalkKernel::EProcessSpiteful(EProcess::new(g, start, rule))
                 }
             },
-            ProcessSpec::Srw => Box::new(SimpleRandomWalk::new(g, start)),
-            ProcessSpec::LazySrw => Box::new(LazyRandomWalk::new(g, start)),
+            ProcessSpec::Srw => WalkKernel::Srw(SimpleRandomWalk::new(g, start)),
+            ProcessSpec::LazySrw => WalkKernel::LazySrw(LazyRandomWalk::new(g, start)),
             ProcessSpec::WeightedSrw => {
                 let mut wrng =
                     SmallRng::seed_from_u64(0x0057_eed5 ^ (g.m() as u64).rotate_left(17));
                 let weights: Vec<f64> = (0..g.m()).map(|_| wrng.gen_range(0.1..10.0)).collect();
-                Box::new(WeightedRandomWalk::new(g, start, &weights))
+                WalkKernel::WeightedSrw(WeightedRandomWalk::new(g, start, &weights))
             }
-            ProcessSpec::RotorRouter => Box::new(RotorRouter::new(g, start)),
-            ProcessSpec::Rwc { d } => Box::new(RandomWalkWithChoice::new(g, start, d)),
-            ProcessSpec::OldestFirst => Box::new(OldestFirst::new(g, start)),
-            ProcessSpec::LeastUsedFirst => Box::new(LeastUsedFirst::new(g, start)),
-            ProcessSpec::VProcess => Box::new(VProcess::new(g, start)),
+            ProcessSpec::RotorRouter => WalkKernel::RotorRouter(RotorRouter::new(g, start)),
+            ProcessSpec::Rwc { d } => WalkKernel::Rwc(RandomWalkWithChoice::new(g, start, d)),
+            ProcessSpec::OldestFirst => WalkKernel::OldestFirst(OldestFirst::new(g, start)),
+            ProcessSpec::LeastUsedFirst => {
+                WalkKernel::LeastUsedFirst(LeastUsedFirst::new(g, start))
+            }
+            ProcessSpec::VProcess => WalkKernel::VProcess(VProcess::new(g, start)),
         }
+    }
+}
+
+/// The function-pointer adversary used by [`RuleSpec::Spiteful`].
+pub type SpitefulRule = AdversarialRule<fn(&RuleContext<'_>) -> usize>;
+
+/// One concrete walk process per built-in [`ProcessSpec`] variant.
+///
+/// This is the "process half" of the executor's (process × metric-set)
+/// dispatch: a trial matches on the kernel **once**, and each arm runs
+/// [`eproc_core::observe::run_observed`] with the concrete process type,
+/// so the per-step loop is fully monomorphized — no `Box<dyn WalkProcess>`
+/// and no per-step virtual `advance`. The enum also implements
+/// [`WalkProcess`] itself (one predictable match per call) for callers
+/// that don't need the flat loop.
+#[derive(Debug)]
+pub enum WalkKernel<'g> {
+    /// E-process, uniform rule.
+    EProcessUniform(EProcess<'g, UniformRule>),
+    /// E-process, first-port rule.
+    EProcessFirstPort(EProcess<'g, FirstPortRule>),
+    /// E-process, last-port rule.
+    EProcessLastPort(EProcess<'g, LastPortRule>),
+    /// E-process, round-robin rule.
+    EProcessRoundRobin(EProcess<'g, RoundRobinRule>),
+    /// E-process, greedy adversary.
+    EProcessGreedyAdversary(EProcess<'g, GreedyAdversary>),
+    /// E-process, spiteful adversary.
+    EProcessSpiteful(EProcess<'g, SpitefulRule>),
+    /// Simple random walk.
+    Srw(SimpleRandomWalk<'g>),
+    /// Lazy random walk.
+    LazySrw(LazyRandomWalk<'g>),
+    /// Weighted random walk.
+    WeightedSrw(WeightedRandomWalk<'g>),
+    /// Rotor-router.
+    RotorRouter(RotorRouter<'g>),
+    /// Random walk with choice.
+    Rwc(RandomWalkWithChoice<'g>),
+    /// Oldest-first locally fair explorer.
+    OldestFirst(OldestFirst<'g>),
+    /// Least-used-first locally fair explorer.
+    LeastUsedFirst(LeastUsedFirst<'g>),
+    /// V-process.
+    VProcess(VProcess<'g>),
+}
+
+/// Matches a [`WalkKernel`] once and runs `$body` with `$walk` bound to
+/// the **concrete** process inside — the per-trial monomorphization point
+/// of the executor: every expansion of `$body` compiles against a
+/// concrete walk type, so a `run_observed` call inside it becomes a flat
+/// inlined loop.
+#[macro_export]
+macro_rules! with_kernel {
+    ($kernel:expr, $walk:ident => $body:expr) => {
+        match $kernel {
+            $crate::spec::WalkKernel::EProcessUniform(mut $walk) => $body,
+            $crate::spec::WalkKernel::EProcessFirstPort(mut $walk) => $body,
+            $crate::spec::WalkKernel::EProcessLastPort(mut $walk) => $body,
+            $crate::spec::WalkKernel::EProcessRoundRobin(mut $walk) => $body,
+            $crate::spec::WalkKernel::EProcessGreedyAdversary(mut $walk) => $body,
+            $crate::spec::WalkKernel::EProcessSpiteful(mut $walk) => $body,
+            $crate::spec::WalkKernel::Srw(mut $walk) => $body,
+            $crate::spec::WalkKernel::LazySrw(mut $walk) => $body,
+            $crate::spec::WalkKernel::WeightedSrw(mut $walk) => $body,
+            $crate::spec::WalkKernel::RotorRouter(mut $walk) => $body,
+            $crate::spec::WalkKernel::Rwc(mut $walk) => $body,
+            $crate::spec::WalkKernel::OldestFirst(mut $walk) => $body,
+            $crate::spec::WalkKernel::LeastUsedFirst(mut $walk) => $body,
+            $crate::spec::WalkKernel::VProcess(mut $walk) => $body,
+        }
+    };
+}
+
+macro_rules! kernel_delegate {
+    ($self:expr, $walk:ident => $body:expr) => {
+        match $self {
+            WalkKernel::EProcessUniform($walk) => $body,
+            WalkKernel::EProcessFirstPort($walk) => $body,
+            WalkKernel::EProcessLastPort($walk) => $body,
+            WalkKernel::EProcessRoundRobin($walk) => $body,
+            WalkKernel::EProcessGreedyAdversary($walk) => $body,
+            WalkKernel::EProcessSpiteful($walk) => $body,
+            WalkKernel::Srw($walk) => $body,
+            WalkKernel::LazySrw($walk) => $body,
+            WalkKernel::WeightedSrw($walk) => $body,
+            WalkKernel::RotorRouter($walk) => $body,
+            WalkKernel::Rwc($walk) => $body,
+            WalkKernel::OldestFirst($walk) => $body,
+            WalkKernel::LeastUsedFirst($walk) => $body,
+            WalkKernel::VProcess($walk) => $body,
+        }
+    };
+}
+
+impl WalkProcess for WalkKernel<'_> {
+    fn graph(&self) -> &Graph {
+        kernel_delegate!(self, w => w.graph())
+    }
+
+    fn current(&self) -> Vertex {
+        kernel_delegate!(self, w => w.current())
+    }
+
+    fn steps(&self) -> u64 {
+        kernel_delegate!(self, w => w.steps())
+    }
+
+    fn advance(&mut self, mut rng: &mut dyn RngCore) -> Step {
+        self.advance_rng(&mut rng)
+    }
+
+    fn advance_rng<R: RngCore>(&mut self, rng: &mut R) -> Step {
+        kernel_delegate!(self, w => w.advance_rng(rng))
     }
 }
 
@@ -519,15 +654,68 @@ impl Target {
     }
 
     /// Builds the observer that measures (and stops) this target.
-    pub(crate) fn build_observer<'g>(&self, _g: &'g Graph) -> Box<dyn Observer + 'g> {
+    pub(crate) fn build_observer<'g>(&self, _g: &'g Graph) -> AnyObserver<'g> {
         match *self {
             Target::Blanket { delta } => {
-                Box::new(BlanketObserver::new(delta).expect("spec validated delta"))
+                AnyObserver::Blanket(BlanketObserver::new(delta).expect("spec validated delta"))
             }
-            _ => Box::new(CoverObserver::new(
+            _ => AnyObserver::Cover(CoverObserver::new(
                 self.cover_target().expect("non-blanket is a cover target"),
             )),
         }
+    }
+}
+
+/// One concrete observer per metric kind — the "metric-set half" of the
+/// executor's (process × metric-set) dispatch. An observer bank is a
+/// `Vec<AnyObserver>`, which feeds [`eproc_core::observe::run_observed`]
+/// through the homogeneous-slice [`ObserverSet`](eproc_core::observe::ObserverSet)
+/// implementation: per step, each observer costs one predictable `match`
+/// with the measurement body inlined, instead of a virtual call through
+/// `Box<dyn Observer>`.
+#[derive(Debug)]
+pub enum AnyObserver<'g> {
+    /// Vertex/edge cover observer.
+    Cover(CoverObserver),
+    /// Blanket-time observer.
+    Blanket(BlanketObserver),
+    /// Phase-structure observer.
+    Phases(PhaseObserver),
+    /// Blue star census observer (borrows the graph).
+    BlueCensus(BlueCensusObserver<'g>),
+    /// Hitting-time observer.
+    Hitting(HittingObserver),
+}
+
+macro_rules! any_observer_delegate {
+    ($self:expr, $obs:ident => $body:expr) => {
+        match $self {
+            AnyObserver::Cover($obs) => $body,
+            AnyObserver::Blanket($obs) => $body,
+            AnyObserver::Phases($obs) => $body,
+            AnyObserver::BlueCensus($obs) => $body,
+            AnyObserver::Hitting($obs) => $body,
+        }
+    };
+}
+
+impl Observer for AnyObserver<'_> {
+    fn begin(&mut self, g: &Graph, start: Vertex) {
+        any_observer_delegate!(self, o => o.begin(g, start))
+    }
+
+    #[inline]
+    fn on_step(&mut self, t: u64, step: &Step) {
+        any_observer_delegate!(self, o => o.on_step(t, step))
+    }
+
+    #[inline]
+    fn satisfied(&self) -> bool {
+        any_observer_delegate!(self, o => o.satisfied())
+    }
+
+    fn finish(&mut self) -> Metrics {
+        any_observer_delegate!(self, o => o.finish())
     }
 }
 
@@ -644,18 +832,20 @@ impl MetricSpec {
     }
 
     /// Builds the observer measuring this metric on `g`.
-    pub(crate) fn build_observer<'g>(&self, g: &'g Graph) -> Box<dyn Observer + 'g> {
+    pub(crate) fn build_observer<'g>(&self, g: &'g Graph) -> AnyObserver<'g> {
         match *self {
-            MetricSpec::Cover => Box::new(CoverObserver::new(CoverTarget::Both)),
+            MetricSpec::Cover => AnyObserver::Cover(CoverObserver::new(CoverTarget::Both)),
             MetricSpec::Blanket { delta } => {
-                Box::new(BlanketObserver::new(delta).expect("spec validated delta"))
+                AnyObserver::Blanket(BlanketObserver::new(delta).expect("spec validated delta"))
             }
-            MetricSpec::Phases => Box::new(PhaseObserver::new()),
-            MetricSpec::BlueCensus => Box::new(BlueCensusObserver::new(g)),
-            MetricSpec::Hitting { vertex } => Box::new(HittingObserver::new(match vertex {
-                Some(v) => HitTarget::Vertex(v),
-                None => HitTarget::LastVertex,
-            })),
+            MetricSpec::Phases => AnyObserver::Phases(PhaseObserver::new()),
+            MetricSpec::BlueCensus => AnyObserver::BlueCensus(BlueCensusObserver::new(g)),
+            MetricSpec::Hitting { vertex } => {
+                AnyObserver::Hitting(HittingObserver::new(match vertex {
+                    Some(v) => HitTarget::Vertex(v),
+                    None => HitTarget::LastVertex,
+                }))
+            }
         }
     }
 
