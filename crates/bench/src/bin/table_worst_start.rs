@@ -97,6 +97,7 @@ fn main() {
                 completed: n,
                 steps: over_starts,
                 blue_fraction: OnlineStats::new(),
+                steps_split: None,
                 metrics: vec![],
             });
         }
@@ -126,6 +127,7 @@ fn main() {
         target: base.target,
         trials: base.trials,
         base_seed: config.seed,
+        resample: None,
         cells: composed_cells,
     };
     let j = save_json(&report, None).expect("write json");

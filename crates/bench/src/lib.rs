@@ -403,6 +403,11 @@ pub fn engine_scale(scale: Scale) -> eproc_engine::Scale {
 /// report. The shared entry point of the ported `table_*` wrappers that
 /// need custom presentation on top of the engine ensemble.
 ///
+/// For resampled builtins (`cubicensemble`, `odddegree`) there is no
+/// shared graph to enrich — every trial group samples its own — so the
+/// returned graph list is empty and the run goes through
+/// [`eproc_engine::executor::run`].
+///
 /// # Panics
 ///
 /// Panics if the spec name is unknown or execution fails.
@@ -417,6 +422,11 @@ pub fn run_engine_spec(
     let spec = eproc_engine::builtin::spec(name, engine_scale(config.scale))
         .unwrap_or_else(|| panic!("unknown builtin spec {name:?}"));
     let opts = config.engine_opts();
+    if spec.resample.is_some() {
+        let report = eproc_engine::executor::run(&spec, &opts)
+            .unwrap_or_else(|e| panic!("engine run {name:?} failed: {e}"));
+        return (spec, Vec::new(), report);
+    }
     let graphs = eproc_engine::executor::build_graphs(&spec, opts.base_seed)
         .unwrap_or_else(|e| panic!("building graphs for {name:?}: {e}"));
     let report = eproc_engine::executor::run_on_graphs(&spec, &opts, &graphs)

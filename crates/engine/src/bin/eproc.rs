@@ -2,25 +2,32 @@
 //!
 //! ```text
 //! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
-//!                  [--trials N] [--metrics M[,M...]] [--json PATH]
-//!                  [--csv PATH]
+//!                  [--trials N] [--metrics M[,M...]] [--resample [W]]
+//!                  [--json PATH] [--csv PATH]
 //! eproc list
 //! eproc compare --graph G [--graph G ...] --process P[,P...]
 //!               [--trials N] [--target T] [--metrics M[,M...]]
-//!               [--start V] [--cap-nlogn F] [--seed N] [--threads N]
-//!               [--json PATH]
+//!               [--start V] [--cap-nlogn F] [--resample [W]]
+//!               [--seed N] [--threads N] [--json PATH]
 //! ```
 //!
 //! `--metrics` attaches extra observers (`cover`, `blanket:<delta>`,
 //! `phases`, `bluecensus`, `hitting[:v]`) to the same walk as the
 //! target: each trial still walks the graph exactly once.
+//!
+//! `--resample [W]` — or a `~` marker in a `--graph` argument
+//! (`regular:~1000,4`) — turns on per-trial graph resampling: each group
+//! of `W` consecutive trials (default 1) gets its own freshly sampled
+//! graph, and the report splits variance into pooled, across-graph and
+//! within-graph components.
 
 use eproc_engine::builtin;
 use eproc_engine::executor::{run, RunOptions};
 use eproc_engine::report::{save_json, to_text_table};
 use eproc_engine::spec::{
-    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, Scale, Target,
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, Scale, Target,
 };
+use std::iter::Peekable;
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
@@ -34,22 +41,27 @@ fn usage(err: &str) -> ! {
          \n\
          usage:\n\
          \x20 eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]\n\
-         \x20                  [--trials N] [--metrics M[,M...]] [--json PATH]\n\
-         \x20                  [--csv PATH]\n\
+         \x20                  [--trials N] [--metrics M[,M...]] [--resample [W]]\n\
+         \x20                  [--json PATH] [--csv PATH]\n\
          \x20 eproc list\n\
          \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
-         \x20               [--start V] [--cap-nlogn F] [--seed N]\n\
-         \x20               [--threads N] [--json PATH]\n\
+         \x20               [--start V] [--cap-nlogn F] [--resample [W]]\n\
+         \x20               [--seed N] [--threads N] [--json PATH]\n\
          \n\
          graph syntax   regular:<n>,<d> | lps:<p>,<q> | geometric:<n>[,factor] |\n\
          \x20              hypercube:<dim> | torus:<w>,<h> | cycle:<n> | complete:<n> |\n\
          \x20              lollipop:<clique>,<path> | petersen | figure8:<len>\n\
+         \x20              (a ~ before the arguments, e.g. regular:~1000,4, marks\n\
+         \x20               the run for per-trial graph resampling)\n\
          process syntax eprocess[:rule] | srw | lazy | weighted | rotor | rwc:<d> |\n\
          \x20              oldest | leastused | vprocess\n\
          target syntax  vertex | edge | both | blanket:<delta>\n\
          metric syntax  cover | blanket[:delta] | phases | bluecensus | hitting[:v]\n\
          \x20              (all measured from the same walk: one pass per trial)\n\
+         resampling     --resample [W]: every W consecutive trials (default 1)\n\
+         \x20              share one freshly sampled graph; reports pooled,\n\
+         \x20              across-graph and within-graph variance components\n\
          \n\
          built-in specs: {}",
         builtin::names().join(", ")
@@ -64,6 +76,7 @@ struct CommonFlags {
     threads: Option<usize>,
     trials: Option<usize>,
     metrics: Option<Vec<MetricSpec>>,
+    resample: Option<ResamplePlan>,
     json: Option<PathBuf>,
     csv: Option<PathBuf>,
 }
@@ -109,9 +122,9 @@ fn cmd_list() {
     println!("run one with: eproc run <spec> [--scale quick|paper] [--threads N]");
 }
 
-fn parse_common(
+fn parse_common<I: Iterator<Item = String>>(
     flag: &str,
-    args: &mut impl Iterator<Item = String>,
+    args: &mut Peekable<I>,
     flags: &mut CommonFlags,
 ) -> bool {
     match flag {
@@ -144,6 +157,25 @@ fn parse_common(
                 .collect();
             flags.metrics = Some(parsed);
         }
+        "--resample" => {
+            // Optional value: `--resample 3` groups every 3 trials on one
+            // sampled graph; bare `--resample` resamples per trial. A
+            // following non-integer token (the next flag, a spec name) is
+            // left untouched.
+            let walks = match args.peek().and_then(|v| v.parse::<usize>().ok()) {
+                Some(w) => {
+                    args.next();
+                    if w == 0 {
+                        usage("--resample walks-per-graph must be at least 1");
+                    }
+                    w
+                }
+                None => 1,
+            };
+            flags.resample = Some(ResamplePlan {
+                walks_per_graph: walks,
+            });
+        }
         "--json" => flags.json = Some(PathBuf::from(require_path("--json", args.next()))),
         "--csv" => flags.csv = Some(PathBuf::from(require_path("--csv", args.next()))),
         _ => return false,
@@ -168,6 +200,9 @@ fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
     if let Some(metrics) = &flags.metrics {
         spec.metrics = metrics.clone();
     }
+    if let Some(plan) = flags.resample {
+        spec.resample = Some(plan);
+    }
     let mut opts = RunOptions::auto();
     if let Some(threads) = flags.threads {
         opts.threads = threads;
@@ -185,6 +220,13 @@ fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
         opts.threads,
         opts.base_seed
     );
+    if let Some(plan) = spec.resample {
+        eprintln!(
+            "resampling graphs per trial group: {} graph sample(s) per family, {} walk(s) each",
+            plan.groups(spec.trials),
+            plan.walks_per_graph
+        );
+    }
     let started = Instant::now();
     let report = match run(&spec, &opts) {
         Ok(r) => r,
@@ -224,7 +266,8 @@ fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
     eprintln!("wall time: {:.2}s", elapsed.as_secs_f64());
 }
 
-fn cmd_run(mut args: impl Iterator<Item = String>) {
+fn cmd_run(args: impl Iterator<Item = String>) {
+    let mut args = args.peekable();
     let mut name: Option<String> = None;
     let mut flags = CommonFlags::default();
     while let Some(arg) = args.next() {
@@ -252,9 +295,11 @@ fn cmd_run(mut args: impl Iterator<Item = String>) {
     execute(spec, &flags);
 }
 
-fn cmd_compare(mut args: impl Iterator<Item = String>) {
+fn cmd_compare(args: impl Iterator<Item = String>) {
+    let mut args = args.peekable();
     let mut graphs: Vec<GraphSpec> = Vec::new();
     let mut processes: Vec<ProcessSpec> = Vec::new();
+    let mut marked_resample = false;
     let mut target = Target::VertexCover;
     let mut cap = CapSpec::Auto;
     let mut start = 0usize;
@@ -269,7 +314,10 @@ fn cmd_compare(mut args: impl Iterator<Item = String>) {
                     .next()
                     .unwrap_or_else(|| usage("--graph needs a value"));
                 for part in v.split(';') {
-                    graphs.push(GraphSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())));
+                    let (spec, marked) = GraphSpec::parse_with_resample(part)
+                        .unwrap_or_else(|e| usage(&e.to_string()));
+                    marked_resample |= marked;
+                    graphs.push(spec);
                 }
             }
             "--process" | "--processes" => {
@@ -317,6 +365,10 @@ fn cmd_compare(mut args: impl Iterator<Item = String>) {
         metrics: flags.metrics.clone().unwrap_or_default(),
         start,
         cap,
+        // `--resample [W]` wins; a bare `~` graph marker means per-trial.
+        resample: flags
+            .resample
+            .or(marked_resample.then(ResamplePlan::per_trial)),
     };
     execute(spec, &flags);
 }

@@ -6,7 +6,8 @@
 //! are distinct but individually reproducible.
 
 use crate::spec::{
-    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Scale, Target,
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
+    Target,
 };
 
 /// Names of all built-in specs, in display order.
@@ -22,6 +23,8 @@ pub fn names() -> Vec<&'static str> {
         "hitting",
         "worststart",
         "lgood",
+        "cubicensemble",
+        "odddegree",
     ]
 }
 
@@ -38,6 +41,8 @@ pub fn spec(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "hitting" => Some(hitting(scale)),
         "worststart" => Some(worststart(scale)),
         "lgood" => Some(lgood(scale)),
+        "cubicensemble" => Some(cubicensemble(scale)),
+        "odddegree" => Some(odddegree(scale)),
         _ => None,
     }
 }
@@ -76,6 +81,7 @@ pub fn comparison(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::NLogN(50_000.0),
+        resample: None,
     }
 }
 
@@ -113,6 +119,7 @@ pub fn theorem1(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::NLogN(500.0),
+        resample: None,
     }
 }
 
@@ -140,6 +147,7 @@ pub fn rules(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::NLogN(2_000.0),
+        resample: None,
     }
 }
 
@@ -170,6 +178,7 @@ pub fn lowerbound(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::NLogN(5_000.0),
+        resample: None,
     }
 }
 
@@ -198,6 +207,7 @@ pub fn hypercube(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::NLogN(50_000.0),
+        resample: None,
     }
 }
 
@@ -232,6 +242,7 @@ pub fn blanket(scale: Scale) -> ExperimentSpec {
         metrics: vec![MetricSpec::Cover],
         start: 0,
         cap: CapSpec::Absolute(500_000_000),
+        resample: None,
     }
 }
 
@@ -261,6 +272,7 @@ pub fn phases(scale: Scale) -> ExperimentSpec {
         metrics: vec![MetricSpec::Phases, MetricSpec::BlueCensus],
         start: 0,
         cap: CapSpec::NLogN(2_000.0),
+        resample: None,
     }
 }
 
@@ -293,6 +305,7 @@ pub fn hitting(scale: Scale) -> ExperimentSpec {
         metrics: vec![MetricSpec::Hitting { vertex: None }],
         start: 0,
         cap: CapSpec::Auto,
+        resample: None,
     }
 }
 
@@ -328,6 +341,7 @@ pub fn worststart(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::Auto,
+        resample: None,
     }
 }
 
@@ -358,6 +372,74 @@ pub fn lgood(scale: Scale) -> ExperimentSpec {
         metrics: vec![],
         start: 0,
         cap: CapSpec::NLogN(500.0),
+        resample: None,
+    }
+}
+
+/// **T-cubic** — the Cooper–Frieze–Johansson scenario: cover time of
+/// walk processes on the **ensemble** of random cubic (3-regular)
+/// graphs, with a fresh graph sampled per trial group so the cell
+/// statistics estimate the whp-over-the-graph claim rather than
+/// conditioning on one sample. Two walks per graph split the variance
+/// into its across-graph and within-graph components.
+pub fn cubicensemble(scale: Scale) -> ExperimentSpec {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![500, 1_000, 2_000],
+        Scale::Paper => vec![4_000, 16_000, 64_000],
+    };
+    ExperimentSpec {
+        name: "cubicensemble".into(),
+        description: "Random cubic graph ensemble: cover time whp over the graph (CFJ scenario)"
+            .into(),
+        graphs: sizes
+            .into_iter()
+            .map(|n| GraphSpec::Regular { n, d: 3 })
+            .collect(),
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 6,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(5_000.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
+/// **T-odd** — the Johansson scenario: the E-process on random regular
+/// graphs of **odd** degree `r ∈ {3, 5, 7}`, outside the paper's
+/// even-degree assumption, resampled per trial group. Odd degree breaks
+/// the Eulerian local structure behind Theorem 1, so the interesting
+/// quantity is exactly the across-graph ensemble behaviour.
+pub fn odddegree(scale: Scale) -> ExperimentSpec {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 4_000],
+        Scale::Paper => vec![16_000, 64_000],
+    };
+    let mut graphs = Vec::new();
+    for &r in &[3usize, 5, 7] {
+        for &n in &sizes {
+            graphs.push(GraphSpec::Regular { n, d: r });
+        }
+    }
+    ExperimentSpec {
+        name: "odddegree".into(),
+        description: "Odd-degree random regular ensemble: E-process cover time for r in {3,5,7}"
+            .into(),
+        graphs,
+        processes: vec![ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        }],
+        trials: 6,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(2_000.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
     }
 }
 
@@ -392,6 +474,30 @@ mod tests {
     fn rules_covers_all_rules() {
         let s = rules(Scale::Quick);
         assert_eq!(s.processes.len(), RuleSpec::all().len());
+    }
+
+    #[test]
+    fn ensemble_specs_resample_random_families() {
+        for name in ["cubicensemble", "odddegree"] {
+            let s = spec(name, Scale::Quick).unwrap();
+            let plan = s.resample.expect("ensemble specs resample");
+            assert!(plan.walks_per_graph >= 2, "{name} must split variance");
+            assert!(
+                s.graphs.iter().all(|g| g.is_randomized()),
+                "{name} must sweep randomized families"
+            );
+        }
+        // Every legacy spec stays in shared-graph mode: goldens are pinned.
+        for name in names() {
+            if name != "cubicensemble" && name != "odddegree" {
+                assert!(spec(name, Scale::Quick).unwrap().resample.is_none());
+            }
+        }
+        let odd = odddegree(Scale::Quick);
+        assert!(odd
+            .graphs
+            .iter()
+            .all(|g| matches!(g, GraphSpec::Regular { d, .. } if d % 2 == 1)));
     }
 
     #[test]

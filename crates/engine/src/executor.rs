@@ -17,8 +17,18 @@
 //! between consecutive trials on the same graph, so the word-packed
 //! [`eproc_core::bitset::BitSet`] scratch bitmaps are re-armed (`m / 64`
 //! word writes) rather than reallocated.
+//!
+//! Under a [`ResamplePlan`] the work unit changes from one trial to one
+//! *(family, group)* block: the worker claiming a block samples that
+//! group's graph from its [`resample_graph_seed`] — blocks partition the
+//! samples, so graph generation parallelises across the pool exactly
+//! like the walks — and runs all of the block's trials on it.
+//! Outcomes still land at their canonical `(graph, process, trial)`
+//! index, and aggregation additionally folds per-group statistics into
+//! pooled / across-graph / within-graph [`VarianceSplit`]s — all of it
+//! remaining bit-identical for any thread count.
 
-use crate::spec::{AnyObserver, ExperimentSpec, MetricSpec, SpecError, Target};
+use crate::spec::{AnyObserver, ExperimentSpec, MetricSpec, ResamplePlan, SpecError, Target};
 use crate::with_kernel;
 use eproc_core::observe::{run_observed, Metrics, Observer, StopWhen};
 use eproc_graphs::Graph;
@@ -32,6 +42,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 const GRAPH_STREAM: u64 = 0;
 /// Seed-stream tag for trial RNGs.
 const TRIAL_STREAM: u64 = 1;
+/// Seed-stream tag for resampled per-group graphs.
+const RESAMPLE_STREAM: u64 = 2;
 
 /// Execution options independent of the experiment itself.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +124,48 @@ pub struct TrialOutcome {
     pub metric_values: Vec<Option<f64>>,
 }
 
+/// Across/within decomposition of one column's trial values under graph
+/// resampling — the one-way random-effects layout with graph samples as
+/// groups. `pooled` lives on the owning summary; this struct carries the
+/// two components it splits into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceSplit {
+    /// Graph samples that contributed at least one resolved value.
+    pub graph_samples: usize,
+    /// Statistics over per-graph means — their variance is the
+    /// across-graph component the whp-over-the-graph theorems speak to.
+    pub across: OnlineStats,
+    /// Pooled within-graph sample variance — walk-to-walk noise on a
+    /// fixed graph. `None` when no graph sample had two resolved values
+    /// (e.g. `walks_per_graph = 1`).
+    pub within_variance: Option<f64>,
+}
+
+/// Folds per-group statistics into a [`VarianceSplit`]. Pure and
+/// order-deterministic: groups are visited in index order.
+fn variance_split(groups: &[OnlineStats]) -> VarianceSplit {
+    let mut across = OnlineStats::new();
+    let mut within_ss = 0.0;
+    let mut within_dof = 0u64;
+    let mut graph_samples = 0usize;
+    for g in groups {
+        if g.count() == 0 {
+            continue;
+        }
+        graph_samples += 1;
+        across.push(g.mean());
+        if g.count() >= 2 {
+            within_ss += g.variance() * (g.count() - 1) as f64;
+            within_dof += g.count() - 1;
+        }
+    }
+    VarianceSplit {
+        graph_samples,
+        across,
+        within_variance: (within_dof > 0).then(|| within_ss / within_dof as f64),
+    }
+}
+
 /// Aggregate of one metric column over a cell's trials.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSummary {
@@ -119,6 +173,9 @@ pub struct MetricSummary {
     pub name: String,
     /// Streaming statistics over trials whose value resolved.
     pub stats: OnlineStats,
+    /// Variance decomposition under resampling (`None` in shared-graph
+    /// mode).
+    pub split: Option<VarianceSplit>,
 }
 
 /// Aggregated statistics for one (graph, process) cell.
@@ -141,6 +198,9 @@ pub struct CellSummary {
     /// Streaming statistics over the per-trial blue-step fraction
     /// (`blue / (blue + red)`); empty for blanket targets.
     pub blue_fraction: OnlineStats,
+    /// Variance decomposition of steps-to-target under resampling
+    /// (`None` in shared-graph mode).
+    pub steps_split: Option<VarianceSplit>,
     /// One aggregate per metric column, in spec order.
     pub metrics: Vec<MetricSummary>,
 }
@@ -158,7 +218,12 @@ pub struct ExperimentReport {
     pub trials: usize,
     /// Base seed used.
     pub base_seed: u64,
-    /// One summary per (graph, process) pair, in grid order.
+    /// The resample plan the trials ran under (`None` = shared graphs).
+    pub resample: Option<ResamplePlan>,
+    /// One summary per (graph, process) pair, in grid order. Under
+    /// resampling, `n`/`m` describe the family's **group-0 sample** as a
+    /// representative (the per-trial samples of a geometric family vary
+    /// in `m`; `n` is identical across samples).
     pub cells: Vec<CellSummary>,
 }
 
@@ -177,6 +242,14 @@ pub fn trial_seed(base_seed: u64, graph_index: usize, process_index: usize, tria
         process_index as u64,
         trial as u64,
     ])
+}
+
+/// The seed the `group`-th resampled graph of family `gi` is built from
+/// (see [`ResamplePlan`]). Deliberately **not** keyed by process index:
+/// every process in a cell walks the same ensemble member, so process
+/// comparisons stay paired sample by sample.
+pub fn resample_graph_seed(base_seed: u64, graph_index: usize, group: usize) -> u64 {
+    SeedSequence::new(base_seed).derive(&[RESAMPLE_STREAM, graph_index as u64, group as u64])
 }
 
 /// Builds every graph in the spec deterministically from `base_seed`.
@@ -291,8 +364,20 @@ fn run_trial(
 ///
 /// Panics if `opts.threads == 0` or a worker thread panics.
 pub fn run(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ExperimentReport, EngineError> {
-    let graphs = build_graphs(spec, opts.base_seed)?;
-    run_on_graphs(spec, opts, &graphs)
+    // Validate before building: an infeasible family is a spec error the
+    // caller should see immediately, not a generator failure. (`execute`
+    // revalidates for direct `run_on_graphs` callers; the checks are
+    // cheap and side-effect free.)
+    spec.validate()?;
+    if spec.resample.is_some() {
+        // Resampled runs never touch a shared graph: every sample —
+        // including the group-0 representative the report describes — is
+        // generated inside the worker pool.
+        execute(spec, opts, None)
+    } else {
+        let graphs = build_graphs(spec, opts.base_seed)?;
+        execute(spec, opts, Some(&graphs))
+    }
 }
 
 /// Like [`run`], but on graphs already built with [`build_graphs`] for the
@@ -302,7 +387,9 @@ pub fn run(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ExperimentReport,
 ///
 /// # Errors
 ///
-/// Returns [`EngineError`] if the spec is invalid.
+/// Returns [`EngineError`] if the spec is invalid, including any spec
+/// with a [`ResamplePlan`]: resampled trials generate their own samples
+/// in the worker pool, so prebuilt graphs cannot be honoured.
 ///
 /// # Panics
 ///
@@ -313,30 +400,62 @@ pub fn run_on_graphs(
     opts: &RunOptions,
     graphs: &[Graph],
 ) -> Result<ExperimentReport, EngineError> {
-    assert!(opts.threads > 0, "need at least one worker thread");
     assert_eq!(
         graphs.len(),
         spec.graphs.len(),
         "graphs do not match the spec grid"
     );
+    // A resample spec would not walk the supplied graphs at all — the
+    // workers generate their own samples — so per-graph enrichment
+    // columns computed from `graphs` would describe graphs the report
+    // never touched. Refuse rather than mislead; resampled runs go
+    // through [`run`].
+    if spec.resample.is_some() {
+        return Err(EngineError::Spec(SpecError::new(
+            "run_on_graphs cannot honour prebuilt graphs under resampling; use run()",
+        )));
+    }
+    execute(spec, opts, Some(graphs))
+}
+
+/// Shared core of [`run`] and [`run_on_graphs`]: validates, runs every
+/// trial on the worker pool and aggregates. `prebuilt` is `Some` in
+/// shared-graph mode; `None` means resample mode, where the reported
+/// `n`/`m` are harvested from each family's group-0 sample.
+fn execute(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    prebuilt: Option<&[Graph]>,
+) -> Result<ExperimentReport, EngineError> {
+    assert!(opts.threads > 0, "need at least one worker thread");
+    assert!(
+        prebuilt.is_some() || spec.resample.is_some(),
+        "shared-graph execution needs prebuilt graphs"
+    );
     spec.validate()?;
-    for (gs, g) in spec.graphs.iter().zip(graphs) {
-        if spec.start >= g.n() {
+    for (gi, gs) in spec.graphs.iter().enumerate() {
+        // Every sample of a family has the same vertex count, so range
+        // checks need no generated graph.
+        let n = match prebuilt {
+            Some(graphs) => graphs[gi].n(),
+            None => gs.vertex_count().map_err(EngineError::Spec)?,
+        };
+        if spec.start >= n {
             return Err(EngineError::Spec(SpecError::new(format!(
                 "start vertex {} out of range for {} (n = {})",
                 spec.start,
                 gs.label(),
-                g.n()
+                n
             ))));
         }
         for metric in &spec.metrics {
             if let MetricSpec::Hitting { vertex: Some(v) } = metric {
-                if *v >= g.n() {
+                if *v >= n {
                     return Err(EngineError::Spec(SpecError::new(format!(
                         "hitting vertex {} out of range for {} (n = {})",
                         v,
                         gs.label(),
-                        g.n()
+                        n
                     ))));
                 }
             }
@@ -351,33 +470,93 @@ pub fn run_on_graphs(
     let next = AtomicUsize::new(0);
     let workers = opts.threads.min(total.max(1));
     let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; total];
-    let collected: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
+    // Per-family representative dimensions `(n, m)` for the report: the
+    // prebuilt graphs in shared mode, harvested from each family's
+    // group-0 sample in resample mode.
+    let mut dims: Vec<Option<(usize, usize)>> = match prebuilt {
+        Some(graphs) => graphs.iter().map(|g| Some((g.n(), g.m()))).collect(),
+        None => vec![None; spec.graphs.len()],
+    };
+    struct WorkerOutput {
+        outcomes: Vec<(usize, TrialOutcome)>,
+        /// `(family, n, m)` of group-0 samples this worker built.
+        rep_dims: Vec<(usize, usize, usize)>,
+    }
+    type WorkerResult = Result<WorkerOutput, EngineError>;
+    let collected: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
-                let graphs = &graphs;
-                scope.spawn(move || {
+                scope.spawn(move || -> WorkerResult {
                     let mut local: Vec<(usize, TrialOutcome)> = Vec::new();
-                    // Observer scratch is kept across trials; jobs are
-                    // graph-major, so rebuilds are rare.
-                    let mut bank: Option<ObserverBank<'_>> = None;
-                    loop {
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= total {
-                            break;
+                    let mut rep_dims: Vec<(usize, usize, usize)> = Vec::new();
+                    match spec.resample {
+                        None => {
+                            // Shared-graph mode: one job = one trial.
+                            // Observer scratch is kept across trials; jobs
+                            // are graph-major, so rebuilds are rare.
+                            let graphs = prebuilt.expect("shared mode has prebuilt graphs");
+                            let mut bank: Option<ObserverBank<'_>> = None;
+                            loop {
+                                let job = next.fetch_add(1, Ordering::Relaxed);
+                                if job >= total {
+                                    break;
+                                }
+                                let gi = job / jobs_per_graph;
+                                let rest = job % jobs_per_graph;
+                                let pi = rest / trials;
+                                let t = rest % trials;
+                                let seed = trial_seed(opts.base_seed, gi, pi, t);
+                                let bank = match &mut bank {
+                                    Some(b) if b.graph_index == gi => b,
+                                    slot => slot.insert(ObserverBank::new(spec, &graphs[gi], gi)),
+                                };
+                                local.push((job, run_trial(spec, &graphs[gi], pi, seed, bank)));
+                            }
                         }
-                        let gi = job / jobs_per_graph;
-                        let rest = job % jobs_per_graph;
-                        let pi = rest / trials;
-                        let t = rest % trials;
-                        let seed = trial_seed(opts.base_seed, gi, pi, t);
-                        let bank = match &mut bank {
-                            Some(b) if b.graph_index == gi => b,
-                            slot => slot.insert(ObserverBank::new(spec, &graphs[gi], gi)),
-                        };
-                        local.push((job, run_trial(spec, &graphs[gi], pi, seed, bank)));
+                        Some(plan) => {
+                            // Resample mode: one job = one (family, group)
+                            // block — all processes × the group's trials on
+                            // one freshly sampled graph, generated exactly
+                            // once by whichever worker claims the block.
+                            // Blocks partition the samples, so generation is
+                            // spread across the pool like the walks, with no
+                            // up-front serial build.
+                            let w = plan.walks_per_graph;
+                            let groups = plan.groups(trials);
+                            let total_blocks = spec.graphs.len() * groups;
+                            loop {
+                                let block = next.fetch_add(1, Ordering::Relaxed);
+                                if block >= total_blocks {
+                                    break;
+                                }
+                                let gi = block / groups;
+                                let group = block % groups;
+                                let seed = resample_graph_seed(opts.base_seed, gi, group);
+                                let g = spec.graphs[gi].build(seed).map_err(|source| {
+                                    EngineError::Graph {
+                                        graph: spec.graphs[gi].label(),
+                                        source,
+                                    }
+                                })?;
+                                if group == 0 {
+                                    rep_dims.push((gi, g.n(), g.m()));
+                                }
+                                let mut bank = ObserverBank::new(spec, &g, gi);
+                                for pi in 0..n_proc {
+                                    for t in group * w..((group + 1) * w).min(trials) {
+                                        let seed = trial_seed(opts.base_seed, gi, pi, t);
+                                        let job = gi * jobs_per_graph + pi * trials + t;
+                                        local.push((job, run_trial(spec, &g, pi, seed, &mut bank)));
+                                    }
+                                }
+                            }
+                        }
                     }
-                    local
+                    Ok(WorkerOutput {
+                        outcomes: local,
+                        rep_dims,
+                    })
                 })
             })
             .collect();
@@ -386,14 +565,22 @@ pub fn run_on_graphs(
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
-    for (job, outcome) in collected.into_iter().flatten() {
-        outcomes[job] = Some(outcome);
+    for worker in collected {
+        let output = worker?;
+        for (job, outcome) in output.outcomes {
+            outcomes[job] = Some(outcome);
+        }
+        for (gi, n, m) in output.rep_dims {
+            dims[gi] = Some((n, m));
+        }
     }
 
     // Deterministic aggregation: cells in grid order, trials in index order.
     let metric_columns = spec.metric_columns();
-    let mut cells = Vec::with_capacity(graphs.len() * n_proc);
-    for (gi, g) in graphs.iter().enumerate() {
+    let group_count = spec.resample.map_or(0, |plan| plan.groups(trials));
+    let mut cells = Vec::with_capacity(spec.graphs.len() * n_proc);
+    for (gi, dim) in dims.iter().enumerate() {
+        let (rep_n, rep_m) = dim.expect("every family ran its group-0 block");
         for (pi, ps) in spec.processes.iter().enumerate() {
             let mut steps = OnlineStats::new();
             let mut blue_fraction = OnlineStats::new();
@@ -402,37 +589,58 @@ pub fn run_on_graphs(
                 .map(|name| MetricSummary {
                     name: name.clone(),
                     stats: OnlineStats::new(),
+                    split: None,
                 })
                 .collect();
+            // Per graph-sample accumulators feeding the variance splits
+            // (empty in shared-graph mode).
+            let mut group_steps = vec![OnlineStats::new(); group_count];
+            let mut group_metrics = vec![vec![OnlineStats::new(); group_count]; metrics.len()];
             let mut completed = 0usize;
             for t in 0..trials {
                 let job = gi * jobs_per_graph + pi * trials + t;
                 let outcome = outcomes[job]
                     .as_ref()
                     .expect("every job index was executed");
+                let group = spec.resample.map(|plan| t / plan.walks_per_graph);
                 if let Some(s) = outcome.steps_to_target {
                     steps.push(s as f64);
                     completed += 1;
+                    if let Some(grp) = group {
+                        group_steps[grp].push(s as f64);
+                    }
                 }
                 let classified = outcome.blue_steps + outcome.red_steps;
                 if classified > 0 {
                     blue_fraction.push(outcome.blue_steps as f64 / classified as f64);
                 }
-                for (summary, value) in metrics.iter_mut().zip(&outcome.metric_values) {
+                for (ci, (summary, value)) in
+                    metrics.iter_mut().zip(&outcome.metric_values).enumerate()
+                {
                     if let Some(v) = value {
                         summary.stats.push(*v);
+                        if let Some(grp) = group {
+                            group_metrics[ci][grp].push(*v);
+                        }
                     }
+                }
+            }
+            let steps_split = spec.resample.map(|_| variance_split(&group_steps));
+            if spec.resample.is_some() {
+                for (summary, groups) in metrics.iter_mut().zip(&group_metrics) {
+                    summary.split = Some(variance_split(groups));
                 }
             }
             cells.push(CellSummary {
                 graph: spec.graphs[gi].label(),
-                n: g.n(),
-                m: g.m(),
+                n: rep_n,
+                m: rep_m,
                 process: ps.label(),
                 trials,
                 completed,
                 steps,
                 blue_fraction,
+                steps_split,
                 metrics,
             });
         }
@@ -443,6 +651,7 @@ pub fn run_on_graphs(
         target: spec.target,
         trials,
         base_seed: opts.base_seed,
+        resample: spec.resample,
         cells,
     })
 }
@@ -468,6 +677,7 @@ mod tests {
             metrics: vec![],
             start: 0,
             cap: CapSpec::Auto,
+            resample: None,
         }
     }
 

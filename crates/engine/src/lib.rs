@@ -36,6 +36,18 @@
 //! until the target *and* every metric have resolved (or the cap). On
 //! the CLI this is `eproc run blanket --metrics cover,blanket:0.5,phases`.
 //!
+//! # Ensembles over graphs
+//!
+//! A [`spec::ResamplePlan`] (CLI `--resample [W]`, or a `~` marker in
+//! the graph syntax: `regular:~1000,4`) switches a randomized family
+//! from one shared sample to a fresh graph per group of `W` trials,
+//! generated inside the worker pool from `(family, group)`-keyed seeds.
+//! The report then decomposes every column's variance into pooled,
+//! across-graph and within-graph components
+//! ([`executor::VarianceSplit`]) — the shape of the paper's
+//! whp-over-the-random-graph statements. The `cubicensemble` and
+//! `odddegree` builtins replicate the related-work ensemble scenarios.
+//!
 //! # Example
 //!
 //! ```
@@ -58,6 +70,7 @@
 //!     metrics: vec![MetricSpec::Cover, MetricSpec::Phases],
 //!     start: 0,
 //!     cap: CapSpec::Auto,
+//!     resample: None,
 //! };
 //! let report = run(&spec, &RunOptions { threads: 2, base_seed: 7 }).unwrap();
 //! assert_eq!(report.cells.len(), 2);
@@ -75,5 +88,6 @@ pub mod spec;
 
 pub use executor::{run, ExperimentReport, RunOptions};
 pub use spec::{
-    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, RuleSpec, Scale, Target,
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
+    Target,
 };

@@ -4,8 +4,8 @@
 //! the same aggregates produce byte-identical artifacts — the property the
 //! engine's determinism test pins down across thread counts.
 
-use crate::executor::ExperimentReport;
-use eproc_stats::TextTable;
+use crate::executor::{ExperimentReport, VarianceSplit};
+use eproc_stats::{OnlineStats, TextTable};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -15,8 +15,12 @@ use std::path::{Path, PathBuf};
 /// steps-to-target distribution, the normalised `mean/n` and
 /// `mean/(n ln n)` (the paper's two candidate growth laws), the mean
 /// blue-step fraction — plus one dynamic column (the per-cell mean) for
-/// every metric the spec requested.
+/// every metric the spec requested. Under resampling, three more
+/// columns decompose the steps column: `graphs` (distinct samples),
+/// `sd(across)` (std dev of per-graph means) and `sd(within)`
+/// (walk-to-walk std dev on a fixed graph).
 pub fn to_text_table(report: &ExperimentReport) -> TextTable {
+    let resampled = report.resample.is_some();
     let mut headers = vec![
         "graph".to_string(),
         "n".into(),
@@ -30,6 +34,11 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
         "mean/(n ln n)".into(),
         "blue%".into(),
     ];
+    if resampled {
+        headers.push("graphs".into());
+        headers.push("sd(across)".into());
+        headers.push("sd(within)".into());
+    }
     if let Some(cell) = report.cells.first() {
         headers.extend(cell.metrics.iter().map(|m| m.name.clone()));
     }
@@ -69,6 +78,23 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
             over_nlogn,
             blue,
         ];
+        if resampled {
+            match &cell.steps_split {
+                Some(split) => {
+                    row.push(split.graph_samples.to_string());
+                    row.push(if split.graph_samples >= 2 {
+                        format!("{:.1}", split.across.std_dev())
+                    } else {
+                        "-".into()
+                    });
+                    row.push(match split.within_variance {
+                        Some(v) => format!("{:.1}", v.sqrt()),
+                        None => "-".into(),
+                    });
+                }
+                None => row.extend(["-".to_string(), "-".into(), "-".into()]),
+            }
+        }
         for metric in &cell.metrics {
             row.push(if metric.stats.count() > 0 {
                 format!("{:.1}", metric.stats.mean())
@@ -105,6 +131,32 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// One `variance_components` entry: the column's pooled variance next to
+/// its across-graph / within-graph decomposition. Components that cannot
+/// be estimated from the data (a single graph sample, no replicate
+/// walks) serialise as `null` rather than a misleading `0`.
+fn json_split(split: &VarianceSplit, pooled: &OnlineStats) -> String {
+    let pooled = if pooled.count() > 0 {
+        json_num(pooled.variance())
+    } else {
+        "null".into()
+    };
+    let across = if split.graph_samples >= 2 {
+        json_num(split.across.variance())
+    } else {
+        "null".into()
+    };
+    let within = match split.within_variance {
+        Some(v) => json_num(v),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"graph_samples\": {}, \"pooled_variance\": {pooled}, \
+         \"across_graph_variance\": {across}, \"within_graph_variance\": {within}}}",
+        split.graph_samples
+    )
+}
+
 /// Serialises the report as deterministic JSON (stable key order, no
 /// timestamps), suitable for artifact diffing across runs.
 pub fn to_json(report: &ExperimentReport) -> String {
@@ -124,6 +176,12 @@ pub fn to_json(report: &ExperimentReport) -> String {
     ));
     out.push_str(&format!("  \"trials\": {},\n", report.trials));
     out.push_str(&format!("  \"base_seed\": {},\n", report.base_seed));
+    if let Some(plan) = report.resample {
+        out.push_str(&format!(
+            "  \"resample\": {{\"walks_per_graph\": {}}},\n",
+            plan.walks_per_graph
+        ));
+    }
     out.push_str("  \"cells\": [\n");
     for (i, cell) in report.cells.iter().enumerate() {
         out.push_str("    {\n");
@@ -179,6 +237,23 @@ pub fn to_json(report: &ExperimentReport) -> String {
             "null".into()
         };
         out.push_str(&format!("      \"mean_blue_fraction\": {blue},\n"));
+        if let Some(split) = &cell.steps_split {
+            out.push_str("      \"variance_components\": {\n");
+            out.push_str(&format!(
+                "        \"steps\": {}",
+                json_split(split, &cell.steps)
+            ));
+            for metric in &cell.metrics {
+                if let Some(msplit) = &metric.split {
+                    out.push_str(&format!(
+                        ",\n        \"{}\": {}",
+                        json_escape(&metric.name),
+                        json_split(msplit, &metric.stats)
+                    ));
+                }
+            }
+            out.push_str("\n      },\n");
+        }
         out.push_str("      \"metrics\": {");
         for (j, metric) in cell.metrics.iter().enumerate() {
             out.push_str(if j == 0 { "\n" } else { ",\n" });
@@ -265,6 +340,7 @@ mod tests {
             metrics: vec![],
             start: 0,
             cap: CapSpec::Auto,
+            resample: None,
         };
         run(
             &spec,
@@ -319,6 +395,7 @@ mod tests {
             metrics: vec![],
             start: 0,
             cap: CapSpec::Absolute(1),
+            resample: None,
         };
         let report = run(
             &spec,
@@ -348,6 +425,7 @@ mod tests {
             metrics: vec![MetricSpec::Cover, MetricSpec::Phases],
             start: 0,
             cap: CapSpec::Auto,
+            resample: None,
         };
         let report = run(
             &spec,

@@ -21,7 +21,6 @@ use eproc_core::rule::{
 use eproc_core::srw::{LazyRandomWalk, SimpleRandomWalk, WeightedRandomWalk};
 use eproc_core::vprocess::VProcess;
 use eproc_core::{EProcess, Step, WalkProcess};
-use eproc_graphs::properties::connectivity;
 use eproc_graphs::{generators, Graph, GraphError, Vertex};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -175,55 +174,241 @@ impl GraphSpec {
     /// Parses the compact CLI syntax, e.g. `regular:4096,4`, `lps:5,13`,
     /// `geometric:2000`, `hypercube:10`, `torus:32,32`, `cycle:100`,
     /// `complete:50`.
+    ///
+    /// Parsing is strict: every argument must be well-formed and trailing
+    /// arguments are rejected, naming the offending token
+    /// (`regular:100,3,junk` is an error, not silently `regular:100,3`).
+    /// A `~` resample marker (see [`GraphSpec::parse_with_resample`]) is
+    /// rejected here — plain `parse` sites have no resample dimension to
+    /// attach it to.
     pub fn parse(s: &str) -> Result<GraphSpec, SpecError> {
+        let (spec, resample) = GraphSpec::parse_with_resample(s)?;
+        if resample {
+            return Err(SpecError::new(format!(
+                "graph spec {s:?}: resample marker `~` is not accepted here"
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Like [`GraphSpec::parse`], but also accepts a `~` immediately after
+    /// the colon (`regular:~1000,4`) marking the family for per-trial
+    /// graph resampling; returns whether the marker was present. The
+    /// marker only changes anything for randomized families — resampling
+    /// a deterministic family regenerates the identical graph.
+    pub fn parse_with_resample(s: &str) -> Result<(GraphSpec, bool), SpecError> {
         let (kind, args) = match s.split_once(':') {
             Some((k, a)) => (k, a),
             None => (s, ""),
+        };
+        let (resample, args) = match args.strip_prefix('~') {
+            Some(rest) => (true, rest),
+            None => (false, args),
         };
         let nums: Vec<&str> = if args.is_empty() {
             vec![]
         } else {
             args.split(',').collect()
         };
-        let usize_arg = |i: usize| -> Result<usize, SpecError> {
-            nums.get(i)
-                .ok_or_else(|| SpecError::new(format!("graph spec {s:?}: missing argument {i}")))?
-                .parse()
-                .map_err(|_| SpecError::new(format!("graph spec {s:?}: bad integer")))
+        fn int_arg<T: std::str::FromStr>(s: &str, nums: &[&str], i: usize) -> Result<T, SpecError> {
+            let tok = nums
+                .get(i)
+                .ok_or_else(|| SpecError::new(format!("graph spec {s:?}: missing argument {i}")))?;
+            tok.parse()
+                .map_err(|_| SpecError::new(format!("graph spec {s:?}: bad integer {tok:?}")))
+        }
+        let usize_arg = |i: usize| int_arg::<usize>(s, &nums, i);
+        let u64_arg = |i: usize| int_arg::<u64>(s, &nums, i);
+        // Rejects anything beyond the family's arity, naming the first
+        // offending token.
+        let at_most = |expected: usize| -> Result<(), SpecError> {
+            match nums.get(expected) {
+                Some(tok) => Err(SpecError::new(format!(
+                    "graph spec {s:?}: unexpected trailing argument {tok:?}"
+                ))),
+                None => Ok(()),
+            }
         };
-        let u64_arg = |i: usize| -> Result<u64, SpecError> { usize_arg(i).map(|v| v as u64) };
-        match kind {
-            "regular" => Ok(GraphSpec::Regular { n: usize_arg(0)?, d: usize_arg(1)? }),
-            "lps" => Ok(GraphSpec::Lps { p: u64_arg(0)?, q: u64_arg(1)? }),
+        let spec = match kind {
+            "regular" => {
+                at_most(2)?;
+                GraphSpec::Regular { n: usize_arg(0)?, d: usize_arg(1)? }
+            }
+            "lps" => {
+                at_most(2)?;
+                GraphSpec::Lps { p: u64_arg(0)?, q: u64_arg(1)? }
+            }
             "geometric" => {
+                at_most(2)?;
                 let n = usize_arg(0)?;
                 let radius_factor = match nums.get(1) {
-                    Some(v) => v
-                        .parse()
-                        .map_err(|_| SpecError::new(format!("graph spec {s:?}: bad factor")))?,
+                    Some(tok) => tok.parse().map_err(|_| {
+                        SpecError::new(format!("graph spec {s:?}: bad factor {tok:?}"))
+                    })?,
                     None => 1.5,
                 };
-                Ok(GraphSpec::Geometric { n, radius_factor })
+                GraphSpec::Geometric { n, radius_factor }
             }
-            "hypercube" => Ok(GraphSpec::Hypercube { dim: usize_arg(0)? }),
-            "torus" => Ok(GraphSpec::Torus { w: usize_arg(0)?, h: usize_arg(1)? }),
-            "cycle" => Ok(GraphSpec::Cycle { n: usize_arg(0)? }),
-            "complete" => Ok(GraphSpec::Complete { n: usize_arg(0)? }),
-            "lollipop" => Ok(GraphSpec::Lollipop {
-                clique: usize_arg(0)?,
-                path: usize_arg(1)?,
-            }),
-            "petersen" => Ok(GraphSpec::Petersen),
-            "figure8" | "figure-eight" => Ok(GraphSpec::FigureEight { len: usize_arg(0)? }),
-            other => Err(SpecError::new(format!(
-                "unknown graph family {other:?} (regular|lps|geometric|hypercube|torus|cycle|complete|lollipop|petersen|figure8)"
-            ))),
+            "hypercube" => {
+                at_most(1)?;
+                GraphSpec::Hypercube { dim: usize_arg(0)? }
+            }
+            "torus" => {
+                at_most(2)?;
+                GraphSpec::Torus { w: usize_arg(0)?, h: usize_arg(1)? }
+            }
+            "cycle" => {
+                at_most(1)?;
+                GraphSpec::Cycle { n: usize_arg(0)? }
+            }
+            "complete" => {
+                at_most(1)?;
+                GraphSpec::Complete { n: usize_arg(0)? }
+            }
+            "lollipop" => {
+                at_most(2)?;
+                GraphSpec::Lollipop {
+                    clique: usize_arg(0)?,
+                    path: usize_arg(1)?,
+                }
+            }
+            "petersen" => {
+                at_most(0)?;
+                GraphSpec::Petersen
+            }
+            "figure8" | "figure-eight" => {
+                at_most(1)?;
+                GraphSpec::FigureEight { len: usize_arg(0)? }
+            }
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown graph family {other:?} (regular|lps|geometric|hypercube|torus|cycle|complete|lollipop|petersen|figure8)"
+                )))
+            }
+        };
+        Ok((spec, resample))
+    }
+
+    /// `true` for families whose samples genuinely depend on the seed —
+    /// the families for which per-trial resampling changes the ensemble.
+    pub fn is_randomized(&self) -> bool {
+        matches!(
+            self,
+            GraphSpec::Regular { .. } | GraphSpec::Geometric { .. }
+        )
+    }
+
+    /// Exact vertex count of the family, without generating a sample —
+    /// identical for **every** sample, so the resampling executor can
+    /// validate start and hitting vertices before any graph exists.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] for LPS parameters outside the construction's domain
+    /// (the count comes from the group order, which needs valid `p, q`).
+    pub fn vertex_count(&self) -> Result<usize, SpecError> {
+        match *self {
+            GraphSpec::Regular { n, .. } => Ok(n),
+            GraphSpec::Lps { p, q } => generators::LpsParams::new(p, q)
+                .map(|params| params.vertex_count())
+                .map_err(|e| SpecError::new(format!("graph spec \"{}\": {e}", self.to_cli()))),
+            GraphSpec::Geometric { n, .. } => Ok(n),
+            GraphSpec::Hypercube { dim } => Ok(1usize << dim),
+            GraphSpec::Torus { w, h } => Ok(w * h),
+            GraphSpec::Cycle { n } => Ok(n),
+            GraphSpec::Complete { n } => Ok(n),
+            GraphSpec::Lollipop { clique, path } => Ok(clique + path),
+            GraphSpec::Petersen => Ok(10),
+            // Saturating: `len = 0` is invalid (caught by `validate`),
+            // but this method must not underflow when probed directly.
+            GraphSpec::FigureEight { len } => Ok((2 * len).saturating_sub(1)),
         }
     }
 
+    /// Checks family feasibility without generating anything, so an
+    /// impossible spec (`regular:0,4`, `regular:10,0`, a non-positive
+    /// geometric radius factor, …) fails **once at validation time** with
+    /// a [`SpecError`] naming the family, instead of surfacing as a
+    /// per-trial generator failure — or a panic — deep inside the
+    /// executor.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let fail = |reason: String| -> Result<(), SpecError> {
+            Err(SpecError::new(format!(
+                "graph spec \"{}\": {reason}",
+                self.to_cli()
+            )))
+        };
+        match *self {
+            GraphSpec::Regular { n, d } => {
+                if n == 0 {
+                    return fail("no vertices".into());
+                }
+                if !(d >= 3 || (d == 2 && n >= 3)) {
+                    return fail(format!(
+                        "connected regular graphs need degree >= 3 (or degree 2 with n >= 3), got degree {d}"
+                    ));
+                }
+                if d >= n {
+                    return fail(format!("degree {d} >= n = {n}: simple graph impossible"));
+                }
+                if (n * d) % 2 != 0 {
+                    return fail(format!("n * d = {} is odd: no such graph", n * d));
+                }
+            }
+            GraphSpec::Geometric { n, radius_factor } => {
+                if n < 2 {
+                    return fail(format!("need n >= 2 vertices, got {n}"));
+                }
+                if !(radius_factor.is_finite() && radius_factor > 0.0) {
+                    return fail(format!(
+                        "radius factor must be finite and positive, got {radius_factor}"
+                    ));
+                }
+            }
+            GraphSpec::Hypercube { dim } => {
+                if dim == 0 || dim >= usize::BITS as usize {
+                    return fail(format!("dimension {dim} outside [1, {})", usize::BITS));
+                }
+            }
+            GraphSpec::Torus { w, h } => {
+                if w < 2 || h < 2 {
+                    return fail(format!("torus needs w, h >= 2, got {w}x{h}"));
+                }
+            }
+            GraphSpec::Cycle { n } => {
+                if n < 3 {
+                    return fail(format!("cycle needs n >= 3, got {n}"));
+                }
+            }
+            GraphSpec::Complete { n } => {
+                if n < 2 {
+                    return fail(format!("complete graph needs n >= 2, got {n}"));
+                }
+            }
+            GraphSpec::Lollipop { clique, .. } => {
+                if clique == 0 {
+                    return fail("lollipop needs a nonempty clique".into());
+                }
+            }
+            GraphSpec::FigureEight { len } => {
+                if len < 3 {
+                    return fail(format!("figure-eight needs cycle length >= 3, got {len}"));
+                }
+            }
+            // LPS parameter arithmetic (primality, quadratic residues) is
+            // checked by the generator itself; repeating it here would
+            // duplicate nontrivial number theory.
+            GraphSpec::Lps { .. } | GraphSpec::Petersen => {}
+        }
+        Ok(())
+    }
+
     /// Builds the graph deterministically from `seed`. Randomized families
-    /// retry until connected (advancing the seeded RNG), so the result is a
-    /// pure function of `(self, seed)`.
+    /// retry until connected (advancing the seeded RNG) within the
+    /// generators' bounded restart budget, so the result is a pure
+    /// function of `(self, seed)` and a family that cannot produce a
+    /// connected sample (e.g. a tiny geometric radius factor) fails fast
+    /// with [`GraphError::RetriesExhausted`] instead of looping forever.
     pub fn build(&self, seed: u64) -> Result<Graph, GraphError> {
         let mut rng = SmallRng::seed_from_u64(seed);
         match *self {
@@ -232,12 +417,7 @@ impl GraphSpec {
             GraphSpec::Geometric { n, radius_factor } => {
                 let threshold = (2.0 * (n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt();
                 let radius = radius_factor * threshold;
-                loop {
-                    let gg = generators::random_geometric(n, radius, &mut rng)?;
-                    if connectivity::is_connected(&gg.graph) {
-                        return Ok(gg.graph);
-                    }
-                }
+                generators::connected_random_geometric(n, radius, &mut rng).map(|gg| gg.graph)
             }
             GraphSpec::Hypercube { dim } => Ok(generators::hypercube(dim)),
             GraphSpec::Torus { w, h } => Ok(generators::torus2d(w, h)),
@@ -387,16 +567,27 @@ impl ProcessSpec {
             Some((k, a)) => (k, a),
             None => (s, ""),
         };
+        // Everything except `eprocess:<rule>` and `rwc:<d>` is argument-free;
+        // stray arguments are rejected rather than silently dropped.
+        let no_args = |spec: ProcessSpec| -> Result<ProcessSpec, SpecError> {
+            if args.is_empty() {
+                Ok(spec)
+            } else {
+                Err(SpecError::new(format!(
+                    "process spec {s:?}: unexpected argument {args:?}"
+                )))
+            }
+        };
         match kind {
             "eprocess" | "e-process" => {
                 let rule =
                     if args.is_empty() { RuleSpec::Uniform } else { RuleSpec::parse(args)? };
                 Ok(ProcessSpec::EProcess { rule })
             }
-            "srw" => Ok(ProcessSpec::Srw),
-            "lazy" | "lazy-srw" => Ok(ProcessSpec::LazySrw),
-            "weighted" | "weighted-srw" => Ok(ProcessSpec::WeightedSrw),
-            "rotor" | "rotor-router" => Ok(ProcessSpec::RotorRouter),
+            "srw" => no_args(ProcessSpec::Srw),
+            "lazy" | "lazy-srw" => no_args(ProcessSpec::LazySrw),
+            "weighted" | "weighted-srw" => no_args(ProcessSpec::WeightedSrw),
+            "rotor" | "rotor-router" => no_args(ProcessSpec::RotorRouter),
             "rwc" => {
                 let d: usize = if args.is_empty() {
                     2
@@ -406,9 +597,9 @@ impl ProcessSpec {
                 };
                 Ok(ProcessSpec::Rwc { d })
             }
-            "oldest" | "oldest-first" => Ok(ProcessSpec::OldestFirst),
-            "leastused" | "least-used-first" => Ok(ProcessSpec::LeastUsedFirst),
-            "vprocess" | "v-process" => Ok(ProcessSpec::VProcess),
+            "oldest" | "oldest-first" => no_args(ProcessSpec::OldestFirst),
+            "leastused" | "least-used-first" => no_args(ProcessSpec::LeastUsedFirst),
+            "vprocess" | "v-process" => no_args(ProcessSpec::VProcess),
             other => Err(SpecError::new(format!(
                 "unknown process {other:?} (eprocess[:rule]|srw|lazy|weighted|rotor|rwc:d|oldest|leastused|vprocess)"
             ))),
@@ -779,8 +970,17 @@ impl MetricSpec {
             Some((k, a)) => (k, a),
             None => (s, ""),
         };
+        let no_args = |spec: MetricSpec| -> Result<MetricSpec, SpecError> {
+            if args.is_empty() {
+                Ok(spec)
+            } else {
+                Err(SpecError::new(format!(
+                    "metric {s:?}: unexpected argument {args:?}"
+                )))
+            }
+        };
         match kind {
-            "cover" => Ok(MetricSpec::Cover),
+            "cover" => no_args(MetricSpec::Cover),
             "blanket" => {
                 let delta: f64 = if args.is_empty() {
                     0.4
@@ -795,8 +995,8 @@ impl MetricSpec {
                 }
                 Ok(MetricSpec::Blanket { delta })
             }
-            "phases" => Ok(MetricSpec::Phases),
-            "bluecensus" | "blue-census" | "stars" => Ok(MetricSpec::BlueCensus),
+            "phases" => no_args(MetricSpec::Phases),
+            "bluecensus" | "blue-census" | "stars" => no_args(MetricSpec::BlueCensus),
             "hitting" => {
                 let vertex = if args.is_empty() {
                     None
@@ -907,6 +1107,41 @@ impl CapSpec {
     }
 }
 
+/// Per-trial graph resampling for randomized families.
+///
+/// Without a plan the executor builds **one** graph per family and runs
+/// every trial on it, so cell statistics mix within-graph walk variance
+/// with nothing — the graph is a constant. The paper's Theorem 1 and the
+/// related ensemble results (Cooper–Frieze–Johansson's random cubic cover
+/// time, Johansson's odd-degree random regular graphs) are statements
+/// **whp over the random graph**, so replicating them faithfully needs a
+/// fresh sample per trial. With a plan, each group of `walks_per_graph`
+/// consecutive trials of a cell shares one freshly sampled graph (keyed
+/// by `(family, group)` [`eproc_stats::SeedSequence`] coordinates, shared
+/// across the cell's processes so process comparisons stay paired), and
+/// the report splits every column's variance into pooled, across-graph
+/// and within-graph components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResamplePlan {
+    /// Consecutive trials sharing one sampled graph (`>= 1`). `1` gives
+    /// every trial its own graph (pure resampling; the within-graph
+    /// component is then inestimable and reported as `null`); `>= 2`
+    /// estimates both variance components.
+    pub walks_per_graph: usize,
+}
+
+impl ResamplePlan {
+    /// The default plan: one fresh graph per trial.
+    pub fn per_trial() -> ResamplePlan {
+        ResamplePlan { walks_per_graph: 1 }
+    }
+
+    /// Number of graph samples needed for `trials` trials per cell.
+    pub fn groups(&self, trials: usize) -> usize {
+        trials.div_ceil(self.walks_per_graph.max(1))
+    }
+}
+
 /// A complete declarative experiment: run `trials` independent walks for
 /// every (graph, process) pair and aggregate steps-to-target statistics
 /// plus any extra [`MetricSpec`] columns — all measured from **one** walk
@@ -933,6 +1168,9 @@ pub struct ExperimentSpec {
     pub start: Vertex,
     /// Per-trial step cap.
     pub cap: CapSpec,
+    /// Per-trial graph resampling (`None` = share one graph per family,
+    /// the legacy mode; artifacts are unchanged byte for byte).
+    pub resample: Option<ResamplePlan>,
 }
 
 impl ExperimentSpec {
@@ -946,7 +1184,9 @@ impl ExperimentSpec {
         self.metrics.iter().flat_map(|m| m.columns()).collect()
     }
 
-    /// Validates the spec before execution.
+    /// Validates the spec before execution. Infeasible graph families
+    /// (see [`GraphSpec::validate`]) fail here, before anything is built
+    /// or any worker starts.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.graphs.is_empty() {
             return Err(SpecError::new("spec has no graphs"));
@@ -956,6 +1196,28 @@ impl ExperimentSpec {
         }
         if self.trials == 0 {
             return Err(SpecError::new("spec has zero trials"));
+        }
+        for gs in &self.graphs {
+            gs.validate()?;
+        }
+        if let Some(plan) = self.resample {
+            if plan.walks_per_graph == 0 {
+                return Err(SpecError::new(
+                    "resample walks_per_graph must be at least 1",
+                ));
+            }
+            // Resampling a purely deterministic grid regenerates identical
+            // graphs and dresses walk noise up as across-graph spread —
+            // reject it. Mixed grids are allowed: the randomized families
+            // genuinely resample, and a deterministic cell's across-graph
+            // component honestly reads ~0.
+            if !self.graphs.iter().any(GraphSpec::is_randomized) {
+                return Err(SpecError::new(
+                    "resampling needs at least one randomized graph family \
+                     (regular or geometric): deterministic families regenerate \
+                     the identical graph every group",
+                ));
+            }
         }
         if let Target::Blanket { delta } = self.target {
             if !(delta > 0.0 && delta < 1.0) {
@@ -986,6 +1248,7 @@ impl ExperimentSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eproc_graphs::properties::connectivity;
 
     #[test]
     fn graph_spec_parse_round_trips() {
@@ -1016,6 +1279,141 @@ mod tests {
         assert!(GraphSpec::parse("regular:10").is_err());
         assert!(GraphSpec::parse("blorp:3").is_err());
         assert!(GraphSpec::parse("torus:4,x").is_err());
+    }
+
+    #[test]
+    fn graph_spec_rejects_trailing_arguments() {
+        // Trailing junk used to parse fine — every extra token must now be
+        // rejected, and the error must name the offending token.
+        let err = GraphSpec::parse("regular:100,3,junk").unwrap_err();
+        assert!(err.to_string().contains("\"junk\""), "{err}");
+        assert!(GraphSpec::parse("petersen:5").is_err());
+        assert!(GraphSpec::parse("cycle:10,11").is_err());
+        assert!(GraphSpec::parse("hypercube:6,7").is_err());
+        assert!(GraphSpec::parse("geometric:100,1.5,x").is_err());
+        assert!(GraphSpec::parse("lps:5,13,17").is_err());
+        let err = GraphSpec::parse("torus:4,x").unwrap_err();
+        assert!(err.to_string().contains("\"x\""), "{err}");
+    }
+
+    #[test]
+    fn lps_params_parse_as_genuine_u64() {
+        // Values above u32 must survive; parsing must not round-trip
+        // through a narrower type.
+        let spec = GraphSpec::parse("lps:4294967311,13").unwrap();
+        assert_eq!(
+            spec,
+            GraphSpec::Lps {
+                p: 4_294_967_311,
+                q: 13
+            }
+        );
+        let err = GraphSpec::parse("lps:-5,13").unwrap_err();
+        assert!(err.to_string().contains("\"-5\""), "{err}");
+    }
+
+    #[test]
+    fn resample_marker_parses_only_where_accepted() {
+        let (spec, resample) = GraphSpec::parse_with_resample("regular:~1000,4").unwrap();
+        assert_eq!(spec, GraphSpec::Regular { n: 1000, d: 4 });
+        assert!(resample);
+        let (spec, resample) = GraphSpec::parse_with_resample("regular:1000,4").unwrap();
+        assert_eq!(spec, GraphSpec::Regular { n: 1000, d: 4 });
+        assert!(!resample);
+        // Plain parse sites have no resample dimension: reject the marker.
+        assert!(GraphSpec::parse("regular:~1000,4").is_err());
+    }
+
+    #[test]
+    fn process_and_metric_specs_reject_stray_arguments() {
+        assert!(ProcessSpec::parse("srw:junk").is_err());
+        assert!(ProcessSpec::parse("rotor:1").is_err());
+        assert!(ProcessSpec::parse("vprocess:x").is_err());
+        assert!(MetricSpec::parse("cover:junk").is_err());
+        assert!(MetricSpec::parse("phases:2").is_err());
+        assert!(MetricSpec::parse("bluecensus:0").is_err());
+    }
+
+    #[test]
+    fn graph_spec_validation_catches_infeasible_families() {
+        assert!(GraphSpec::Regular { n: 100, d: 4 }.validate().is_ok());
+        assert!(GraphSpec::Regular { n: 3, d: 2 }.validate().is_ok());
+        // d = 0 / n = 0: no spinning through generator restarts, a
+        // first-class SpecError instead.
+        assert!(GraphSpec::Regular { n: 0, d: 4 }.validate().is_err());
+        assert!(GraphSpec::Regular { n: 10, d: 0 }.validate().is_err());
+        assert!(GraphSpec::Regular { n: 10, d: 1 }.validate().is_err());
+        assert!(GraphSpec::Regular { n: 4, d: 4 }.validate().is_err());
+        assert!(
+            GraphSpec::Regular { n: 5, d: 3 }.validate().is_err(),
+            "odd n*d"
+        );
+        assert!(GraphSpec::Geometric {
+            n: 100,
+            radius_factor: 1.5
+        }
+        .validate()
+        .is_ok());
+        assert!(GraphSpec::Geometric {
+            n: 0,
+            radius_factor: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(GraphSpec::Geometric {
+            n: 100,
+            radius_factor: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(GraphSpec::Geometric {
+            n: 100,
+            radius_factor: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(GraphSpec::Cycle { n: 2 }.validate().is_err());
+        assert!(GraphSpec::Torus { w: 1, h: 5 }.validate().is_err());
+        assert!(GraphSpec::Hypercube { dim: 0 }.validate().is_err());
+        assert!(GraphSpec::Petersen.validate().is_ok());
+    }
+
+    #[test]
+    fn vertex_count_matches_built_graphs() {
+        for s in [
+            "regular:64,4",
+            "lps:5,13",
+            "geometric:80,1.5",
+            "hypercube:5",
+            "torus:4,6",
+            "cycle:9",
+            "complete:7",
+            "lollipop:5,4",
+            "petersen",
+            "figure8:6",
+        ] {
+            let spec = GraphSpec::parse(s).unwrap();
+            assert_eq!(
+                spec.build(3).unwrap().n(),
+                spec.vertex_count().unwrap(),
+                "{s}"
+            );
+        }
+        assert!(GraphSpec::Lps { p: 6, q: 13 }.vertex_count().is_err());
+        // Invalid-but-parseable degenerate sizes must not underflow.
+        assert_eq!(GraphSpec::FigureEight { len: 0 }.vertex_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn randomized_families_are_flagged() {
+        assert!(GraphSpec::Regular { n: 10, d: 4 }.is_randomized());
+        assert!(GraphSpec::Geometric {
+            n: 10,
+            radius_factor: 1.5
+        }
+        .is_randomized());
+        assert!(!GraphSpec::Petersen.is_randomized());
+        assert!(!GraphSpec::Hypercube { dim: 4 }.is_randomized());
     }
 
     #[test]
@@ -1141,6 +1539,7 @@ mod tests {
             metrics: vec![],
             start: 0,
             cap: CapSpec::Auto,
+            resample: None,
         };
         assert!(spec.validate().is_ok());
         assert_eq!(spec.total_jobs(), 2);
@@ -1157,6 +1556,37 @@ mod tests {
             spec.validate().is_err(),
             "bad metric delta must be rejected"
         );
+        spec.metrics = vec![];
+        spec.graphs = vec![GraphSpec::Regular { n: 10, d: 0 }];
+        assert!(
+            spec.validate().is_err(),
+            "infeasible graph family must fail at validation time"
+        );
+        spec.graphs = vec![GraphSpec::Regular { n: 16, d: 4 }];
+        spec.resample = Some(ResamplePlan { walks_per_graph: 0 });
+        assert!(spec.validate().is_err(), "zero walks per graph is invalid");
+        spec.resample = Some(ResamplePlan::per_trial());
+        assert!(spec.validate().is_ok());
+        spec.graphs = vec![GraphSpec::Cycle { n: 8 }];
+        assert!(
+            spec.validate().is_err(),
+            "resampling a purely deterministic grid must be rejected"
+        );
+        spec.graphs = vec![
+            GraphSpec::Cycle { n: 8 },
+            GraphSpec::Regular { n: 16, d: 4 },
+        ];
+        assert!(spec.validate().is_ok(), "mixed grids may resample");
+    }
+
+    #[test]
+    fn resample_plan_group_arithmetic() {
+        let plan = ResamplePlan::per_trial();
+        assert_eq!(plan.groups(5), 5);
+        let plan = ResamplePlan { walks_per_graph: 2 };
+        assert_eq!(plan.groups(6), 3);
+        assert_eq!(plan.groups(5), 3, "last group may be smaller");
+        assert_eq!(plan.groups(0), 0);
     }
 
     #[test]
@@ -1200,6 +1630,7 @@ mod tests {
             ],
             start: 0,
             cap: CapSpec::Auto,
+            resample: None,
         };
         assert_eq!(
             spec.metric_columns(),

@@ -40,6 +40,7 @@ fn mixed_spec() -> ExperimentSpec {
         ],
         start: 0,
         cap: CapSpec::Auto,
+        resample: None,
     }
 }
 
@@ -156,6 +157,7 @@ fn blanket_target_is_thread_invariant_too() {
         metrics: vec![MetricSpec::Cover, MetricSpec::Blanket { delta: 0.5 }],
         start: 0,
         cap: CapSpec::Absolute(2_000_000),
+        resample: None,
     };
     let a = run(
         &spec,
@@ -181,10 +183,16 @@ fn blanket_target_is_thread_invariant_too() {
 fn builtin_quick_specs_run_scaled_down() {
     // Shrink each builtin to a trivial size by replacing graphs with a small
     // stand-in, keeping the process grids intact: exercises every process
-    // spec the builtins reference through the full executor path.
+    // spec the builtins reference through the full executor path. The
+    // resampled builtins need a randomized stand-in (a resampled grid of
+    // deterministic families is rejected at validation).
     for name in builtin::names() {
         let mut spec = builtin::spec(name, Scale::Quick).unwrap();
-        spec.graphs = vec![GraphSpec::Torus { w: 4, h: 4 }];
+        spec.graphs = if spec.resample.is_some() {
+            vec![GraphSpec::Regular { n: 16, d: 4 }]
+        } else {
+            vec![GraphSpec::Torus { w: 4, h: 4 }]
+        };
         spec.trials = 2;
         spec.cap = CapSpec::Auto;
         let a = run(

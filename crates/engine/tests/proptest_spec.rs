@@ -1,0 +1,145 @@
+//! Property tests for the spec grammar: `parse` and `to_cli` must be
+//! exact inverses for every variant, and strict parsing must reject
+//! malformed input rather than silently dropping it.
+
+use eproc_engine::spec::{GraphSpec, MetricSpec, ProcessSpec, RuleSpec};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary [`GraphSpec`] covering every variant. The
+/// variant selector and the parameter draws are independent so shrinking
+/// stays meaningful.
+fn arb_graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (0usize..10, 1usize..10_000, 1usize..64, 1u64..1_000).prop_map(|(variant, n, small, prime)| {
+        match variant {
+            0 => GraphSpec::Regular {
+                n: n.max(small + 1),
+                d: small,
+            },
+            1 => GraphSpec::Lps {
+                p: prime,
+                q: prime + 4,
+            },
+            2 => GraphSpec::Geometric {
+                n,
+                // Factors with an exact decimal representation survive the
+                // float round trip through `format!("{}")` + `parse`.
+                radius_factor: (small as f64) / 4.0,
+            },
+            3 => GraphSpec::Hypercube {
+                dim: (small % 20) + 1,
+            },
+            4 => GraphSpec::Torus {
+                w: small + 2,
+                h: (n % 50) + 2,
+            },
+            5 => GraphSpec::Cycle { n: n + 2 },
+            6 => GraphSpec::Complete { n: small + 1 },
+            7 => GraphSpec::Lollipop {
+                clique: small,
+                path: n % 100,
+            },
+            8 => GraphSpec::Petersen,
+            _ => GraphSpec::FigureEight { len: small + 2 },
+        }
+    })
+}
+
+fn arb_process_spec() -> impl Strategy<Value = ProcessSpec> {
+    (0usize..14, 1usize..8).prop_map(|(variant, d)| match variant {
+        0 => ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        },
+        1 => ProcessSpec::EProcess {
+            rule: RuleSpec::FirstPort,
+        },
+        2 => ProcessSpec::EProcess {
+            rule: RuleSpec::LastPort,
+        },
+        3 => ProcessSpec::EProcess {
+            rule: RuleSpec::RoundRobin,
+        },
+        4 => ProcessSpec::EProcess {
+            rule: RuleSpec::GreedyAdversary,
+        },
+        5 => ProcessSpec::EProcess {
+            rule: RuleSpec::Spiteful,
+        },
+        6 => ProcessSpec::Srw,
+        7 => ProcessSpec::LazySrw,
+        8 => ProcessSpec::WeightedSrw,
+        9 => ProcessSpec::RotorRouter,
+        10 => ProcessSpec::Rwc { d },
+        11 => ProcessSpec::OldestFirst,
+        12 => ProcessSpec::LeastUsedFirst,
+        _ => ProcessSpec::VProcess,
+    })
+}
+
+fn arb_metric_spec() -> impl Strategy<Value = MetricSpec> {
+    (0usize..5, 1usize..1_000, 1u32..99).prop_map(|(variant, v, delta)| match variant {
+        0 => MetricSpec::Cover,
+        1 => MetricSpec::Blanket {
+            delta: delta as f64 / 100.0,
+        },
+        2 => MetricSpec::Phases,
+        3 => MetricSpec::BlueCensus,
+        _ => MetricSpec::Hitting {
+            vertex: if v % 2 == 0 { None } else { Some(v) },
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn graph_spec_round_trips(spec in arb_graph_spec()) {
+        let cli = spec.to_cli();
+        prop_assert_eq!(GraphSpec::parse(&cli).unwrap(), spec.clone());
+        // The resample-marked form parses to the same spec with the flag.
+        if let Some((kind, args)) = cli.split_once(':') {
+            let marked = format!("{kind}:~{args}");
+            let (parsed, resample) = GraphSpec::parse_with_resample(&marked).unwrap();
+            prop_assert_eq!(parsed, spec);
+            prop_assert!(resample);
+        }
+    }
+
+    #[test]
+    fn graph_spec_rejects_trailing_junk(spec in arb_graph_spec(), junk in 0usize..1_000) {
+        let cli = spec.to_cli();
+        // Appending one more argument always exceeds the family's arity.
+        let with_junk = if cli.contains(':') {
+            format!("{cli},{junk}")
+        } else {
+            format!("{cli}:{junk}")
+        };
+        prop_assert!(
+            GraphSpec::parse(&with_junk).is_err(),
+            "trailing argument accepted: {}",
+            with_junk
+        );
+    }
+
+    #[test]
+    fn process_spec_round_trips(spec in arb_process_spec()) {
+        let cli = spec.to_cli();
+        prop_assert_eq!(ProcessSpec::parse(&cli).unwrap(), spec);
+    }
+
+    #[test]
+    fn metric_spec_round_trips(spec in arb_metric_spec()) {
+        let cli = spec.to_cli();
+        prop_assert_eq!(MetricSpec::parse(&cli).unwrap(), spec);
+    }
+
+    #[test]
+    fn validated_randomized_specs_build(n in 3usize..40) {
+        // Validation admitting a spec implies the generator succeeds.
+        let d = 3 + (n % 2); // keep n*d even: odd n forces d = 4
+        let spec = GraphSpec::Regular { n: n.max(d + 1), d };
+        prop_assert!(spec.validate().is_ok(), "{:?}", spec);
+        let g = spec.build(n as u64).unwrap();
+        prop_assert_eq!(g.n(), n.max(d + 1));
+    }
+}

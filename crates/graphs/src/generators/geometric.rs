@@ -4,8 +4,10 @@
 //! evaluate the random walk with choice; we provide them as a workload for
 //! the comparison experiments.
 
+use super::MAX_RESTARTS;
 use crate::csr::Graph;
 use crate::error::GraphError;
+use crate::properties::connectivity;
 use rand::Rng;
 
 /// A random geometric graph together with the sampled positions.
@@ -86,6 +88,37 @@ pub fn random_geometric<R: Rng + ?Sized>(
     Ok(GeometricGraph { graph, positions })
 }
 
+/// A *connected* random geometric graph: draws with [`random_geometric`]
+/// until connected, giving up after [`MAX_RESTARTS`] attempts.
+///
+/// Connectivity of a random geometric graph is sharply concentrated
+/// around the threshold radius `sqrt(ln n / (π n))`: above it nearly
+/// every sample is connected, below it essentially none is. The bounded
+/// restart budget turns "radius too small" from an infinite rejection
+/// loop into a fast, reportable failure.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] for an out-of-range radius (via
+/// [`random_geometric`]); [`GraphError::RetriesExhausted`] if no
+/// connected sample appeared within [`MAX_RESTARTS`] draws.
+pub fn connected_random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Result<GeometricGraph, GraphError> {
+    for _ in 0..MAX_RESTARTS {
+        let gg = random_geometric(n, radius, rng)?;
+        if connectivity::is_connected(&gg.graph) {
+            return Ok(gg);
+        }
+    }
+    Err(GraphError::RetriesExhausted {
+        generator: "connected_random_geometric",
+        attempts: MAX_RESTARTS,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +180,37 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let gg = random_geometric(0, 0.5, &mut rng).unwrap();
         assert_eq!(gg.graph.n(), 0);
+    }
+
+    #[test]
+    fn connected_variant_is_connected_and_deterministic() {
+        let a = connected_random_geometric(80, 0.25, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert!(connectivity::is_connected(&a.graph));
+        let b = connected_random_geometric(80, 0.25, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+    }
+
+    #[test]
+    fn connected_variant_exhausts_retries_on_tiny_radius() {
+        // 60 points at radius 0.005: essentially every vertex is isolated,
+        // so no sample is ever connected — the generator must give up
+        // instead of looping forever.
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(matches!(
+            connected_random_geometric(60, 0.005, &mut rng),
+            Err(GraphError::RetriesExhausted {
+                generator: "connected_random_geometric",
+                attempts: MAX_RESTARTS,
+            })
+        ));
+    }
+
+    #[test]
+    fn connected_variant_propagates_parameter_errors() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(matches!(
+            connected_random_geometric(10, -1.0, &mut rng),
+            Err(GraphError::InvalidParameter { .. })
+        ));
     }
 }

@@ -15,7 +15,13 @@ pub mod lps;
 pub mod random;
 pub mod regular;
 
-pub use geometric::random_geometric;
+/// Maximum restarts before a randomized generator reports
+/// [`GraphError::RetriesExhausted`](crate::error::GraphError::RetriesExhausted).
+/// Shared by every rejection-sampling generator so "give up" means the
+/// same thing across the crate.
+pub const MAX_RESTARTS: usize = 1000;
+
+pub use geometric::{connected_random_geometric, random_geometric};
 pub use incidence::projective_plane_incidence;
 pub use lps::{lps_ramanujan, LpsParams};
 pub use random::{erdos_renyi_gnm, erdos_renyi_gnp};

@@ -6,16 +6,12 @@
 //! classic configuration (pairing) model and the Steger–Wormald algorithm;
 //! the latter is what the Figure 1 harness uses.
 
+use super::MAX_RESTARTS;
 use crate::csr::{Graph, Vertex};
 use crate::error::GraphError;
 use crate::properties::connectivity;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
-
-/// Maximum restarts before a randomized generator reports
-/// [`GraphError::RetriesExhausted`].
-const MAX_RESTARTS: usize = 1000;
 
 fn check_degree_sequence(n: usize, degrees: &[usize], simple: bool) -> Result<(), GraphError> {
     if degrees.len() != n {
@@ -124,16 +120,20 @@ pub fn random_with_degree_sequence<R: Rng + ?Sized>(
 ) -> Result<Graph, GraphError> {
     let n = degrees.len();
     check_degree_sequence(n, degrees, true)?;
-    'attempt: for _ in 0..MAX_RESTARTS {
+    for _ in 0..MAX_RESTARTS {
         let Some(edges) = pair_stubs(degrees, rng) else {
             continue;
         };
-        let mut seen = HashSet::with_capacity(edges.len());
-        for &(u, v) in &edges {
-            let key = if u < v { (u, v) } else { (v, u) };
-            if !seen.insert(key) {
-                continue 'attempt; // parallel edge: reject
-            }
+        // Whole-pairing rejection is all-or-nothing and draws no RNG, so
+        // a sort-based duplicate scan is interchangeable with (and much
+        // cheaper than) hashing every key.
+        let mut keys: Vec<(Vertex, Vertex)> = edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            continue; // parallel edge: reject
         }
         return Graph::from_edges(n, &edges);
     }
@@ -172,7 +172,13 @@ pub fn steger_wormald<R: Rng + ?Sized>(
             stubs.extend(std::iter::repeat_n(v, r));
         }
         let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(n * r / 2);
-        let mut adjacent: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(n * r / 2);
+        // Adjacency as per-vertex neighbour lists: each holds at most `r`
+        // entries, so the suitability probe is a short linear scan —
+        // several times faster than hashing an edge key, and the
+        // generator's cost is pure adjacency probes. The accept/reject
+        // decisions (and hence the RNG draw sequence and the output
+        // graph) are identical to the hash-set formulation.
+        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
         while !stubs.is_empty() {
             // If only unsuitable pairs remain we must restart; detect by
             // bounding consecutive failures (suitable pairs are abundant
@@ -186,8 +192,9 @@ pub fn steger_wormald<R: Rng + ?Sized>(
                 }
                 let (u, v) = (stubs[i], stubs[j]);
                 let key = if u < v { (u, v) } else { (v, u) };
-                if u != v && !adjacent.contains(&key) {
-                    adjacent.insert(key);
+                if u != v && !adj[u].contains(&v) {
+                    adj[u].push(v);
+                    adj[v].push(u);
                     edges.push(key);
                     // Remove the two stubs (higher index first).
                     let (hi, lo) = if i > j { (i, j) } else { (j, i) };

@@ -54,6 +54,7 @@
 //!     metrics: vec![MetricSpec::Cover, MetricSpec::Hitting { vertex: None }],
 //!     start: 0,
 //!     cap: CapSpec::Auto,
+//!     resample: None,
 //! };
 //! let report = engine::run(&spec, &engine::RunOptions { threads: 2, base_seed: 1 }).unwrap();
 //! assert_eq!(report.cells.len(), 2);
