@@ -1,0 +1,125 @@
+//! Wall-clock cost of the `eproc scale` sweep subsystem against the
+//! baseline it replaces: one engine run per size.
+//!
+//! A sweep expands into one (family, group) block per (size, group) and
+//! runs them all through a single worker pool, so it should cost no more
+//! than the sum of per-size standalone runs — the shared pool amortises
+//! thread spin-up and keeps every core busy across sizes, where N
+//! separate runs serialise their stragglers. The growth-model fitting on
+//! top is pure arithmetic on the aggregates and should price in
+//! microseconds. This bench measures all three and writes
+//! `target/experiments/BENCH_scaling.json`.
+
+use eproc_bench::output_dir;
+use eproc_engine::executor::{run, RunOptions};
+use eproc_engine::scaling::analyze;
+use eproc_engine::spec::{
+    CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, ResamplePlan, RuleSpec, SweepRange, SweepStep,
+    Target,
+};
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+/// Minimum seconds over `SAMPLES` timed runs — the least-interference
+/// estimate when comparing variants on a shared machine.
+fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn spec_for(sizes: &[usize]) -> ExperimentSpec {
+    ExperimentSpec {
+        name: "scaling-overhead".into(),
+        description: "sweep overhead bench".into(),
+        graphs: sizes
+            .iter()
+            .map(|&n| GraphSpec::Regular { n, d: 4 })
+            .collect(),
+        processes: vec![ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        }],
+        trials: 4,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(500.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
+fn main() {
+    let opts = RunOptions {
+        base_seed: 12345,
+        ..RunOptions::auto()
+    };
+    let range = SweepRange {
+        start: 500,
+        end: 8_000,
+        step: SweepStep::Factor(2),
+    };
+    let sizes = range.points().expect("valid range");
+    let sweep_spec = spec_for(&sizes);
+    let per_size_specs: Vec<ExperimentSpec> = sizes.iter().map(|&n| spec_for(&[n])).collect();
+
+    // Warm-up, then time.
+    run(&sweep_spec, &opts).expect("warm-up sweep");
+    let sweep_secs = best_secs(|| {
+        run(&sweep_spec, &opts).expect("timed sweep");
+    });
+    let per_size_secs = best_secs(|| {
+        for spec in &per_size_specs {
+            run(spec, &opts).expect("timed per-size run");
+        }
+    });
+    let report = run(&sweep_spec, &opts).expect("report for fit timing");
+    let fit_secs = best_secs(|| {
+        analyze(&report).expect("fit");
+    });
+    let overhead = sweep_secs / per_size_secs;
+
+    println!(
+        "scaling_overhead/sweep:    {:>8.2} ms ({} sizes {:?}, one pool; {overhead:.2}x of per-size, target <= ~1.05x)",
+        sweep_secs * 1e3,
+        sizes.len(),
+        sizes
+    );
+    println!(
+        "scaling_overhead/per_size: {:>8.2} ms ({} standalone engine runs)",
+        per_size_secs * 1e3,
+        sizes.len()
+    );
+    println!(
+        "scaling_overhead/fit:      {:>8.3} ms (3-model growth-law selection)",
+        fit_secs * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scaling_overhead\",\n  \
+         \"spec\": \"random 4-regular n=500..8000,x2, e-process, 4 trials, 2 walks/graph\",\n  \
+         \"samples\": {},\n  \
+         \"threads\": {},\n  \
+         \"sizes\": {},\n  \
+         \"sweep_secs\": {:.6},\n  \
+         \"per_size_secs\": {:.6},\n  \
+         \"sweep_overhead\": {:.4},\n  \
+         \"fit_secs\": {:.9}\n}}\n",
+        SAMPLES,
+        opts.threads,
+        sizes.len(),
+        sweep_secs,
+        per_size_secs,
+        overhead,
+        fit_secs,
+    );
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_scaling.json");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("json: {}", path.display());
+}

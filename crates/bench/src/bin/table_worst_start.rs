@@ -90,6 +90,7 @@ fn main() {
             }
             composed_cells.push(CellSummary {
                 graph: gspec.label(),
+                family: gspec.family_label(),
                 n,
                 m: graphs[0].m(),
                 process: process.label(),

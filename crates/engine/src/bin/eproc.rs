@@ -23,9 +23,11 @@
 
 use eproc_engine::builtin;
 use eproc_engine::executor::{run, RunOptions};
-use eproc_engine::report::{save_json, to_text_table};
+use eproc_engine::report::{save_json, save_json_with_scaling, scaling_table, to_text_table};
+use eproc_engine::scaling::analyze;
 use eproc_engine::spec::{
-    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, Scale, Target,
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, Scale, SweepRange,
+    Target,
 };
 use std::iter::Peekable;
 use std::path::PathBuf;
@@ -48,23 +50,36 @@ fn usage(err: &str) -> ! {
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
          \x20               [--start V] [--cap-nlogn F] [--resample [W]]\n\
          \x20               [--seed N] [--threads N] [--json PATH]\n\
+         \x20 eproc scale <spec> | --graph G --process P[,P...] [--sweep n=RANGE]\n\
+         \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
+         \x20               [--start V] [--cap-nlogn F] [--resample [W]]\n\
+         \x20               [--scale quick|paper] [--seed N] [--threads N] [--json PATH]\n\
          \n\
          graph syntax   regular:<n>,<d> | lps:<p>,<q> | geometric:<n>[,factor] |\n\
          \x20              hypercube:<dim> | torus:<w>,<h> | cycle:<n> | complete:<n> |\n\
          \x20              lollipop:<clique>,<path> | petersen | figure8:<len>\n\
          \x20              (a ~ before the arguments, e.g. regular:~1000,4, marks\n\
-         \x20               the run for per-trial graph resampling)\n\
+         \x20               the run for per-trial graph resampling; under `scale`\n\
+         \x20               a size may be a sweep range: regular:~{{1k..256k,x2}},4)\n\
          process syntax eprocess[:rule] | srw | lazy | weighted | rotor | rwc:<d> |\n\
          \x20              oldest | leastused | vprocess\n\
          target syntax  vertex | edge | both | blanket:<delta>\n\
          metric syntax  cover | blanket[:delta] | phases | bluecensus | hitting[:v]\n\
          \x20              (all measured from the same walk: one pass per trial)\n\
+         sweep syntax   [n=]<start>..<end>[,x<factor>|,+<stride>] (default x2);\n\
+         \x20              sizes accept k/m suffixes: --sweep n=1k..256k,x2\n\
          resampling     --resample [W]: every W consecutive trials (default 1)\n\
          \x20              share one freshly sampled graph; reports pooled,\n\
          \x20              across-graph and within-graph variance components\n\
          \n\
-         built-in specs: {}",
-        builtin::names().join(", ")
+         `scale` runs a size sweep and fits each (process x metric) series\n\
+         against c*m, a+b*m and c*n*ln(n), selecting the growth model by\n\
+         residual score — the paper's linear-vs-n-log-n dichotomy, end to end.\n\
+         \n\
+         built-in specs: {}\n\
+         scaling sweeps: {}",
+        builtin::names().join(", "),
+        builtin::scaling_names().join(", ")
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -93,6 +108,7 @@ fn main() {
         "run" => cmd_run(args),
         "list" => cmd_list(),
         "compare" => cmd_compare(args),
+        "scale" => cmd_scale(args),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
@@ -193,7 +209,16 @@ fn require_path(flag: &str, v: Option<String>) -> String {
     }
 }
 
-fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
+fn execute(spec: ExperimentSpec, flags: &CommonFlags) {
+    execute_inner(spec, flags, false);
+}
+
+/// Runs `spec` and emits the standard artifacts. With `fit_growth_laws`
+/// (the `scale` subcommand) the run is followed by growth-model fitting:
+/// a degenerate sweep surfaces as a CLI error, the growth-law table is
+/// printed under the ensemble table, and the JSON artifact carries a
+/// `growth_laws` section.
+fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws: bool) {
     if let Some(trials) = flags.trials {
         spec.trials = trials;
     }
@@ -236,6 +261,11 @@ fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
         }
     };
     let elapsed = started.elapsed();
+    // A degenerate sweep must not discard the (possibly expensive)
+    // ensemble it just measured: on a fit error the table is still
+    // printed and the artifact still written — without the growth_laws
+    // section — and the CLI exits nonzero at the end.
+    let scaling = fit_growth_laws.then(|| analyze(&report));
     println!(
         "{}: {} ({})\n",
         report.name,
@@ -244,7 +274,34 @@ fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
     );
     let table = to_text_table(&report);
     println!("{table}");
-    match save_json(&report, flags.json.as_deref()) {
+    match &scaling {
+        Some(Ok(scaling)) => {
+            println!("growth laws (lowest residual score wins):\n");
+            println!("{}", scaling_table(scaling));
+            for series in &scaling.series {
+                let fit = series.selection.preferred_fit();
+                println!(
+                    "{} / {} / {}: prefers {} (R^2 = {:.5})",
+                    series.family,
+                    series.process,
+                    series.series,
+                    series.selection.preferred.label(),
+                    fit.fit.r_squared
+                );
+            }
+            println!();
+        }
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            eprintln!("(the ensemble report is kept: saving the artifact without growth_laws)");
+        }
+        None => {}
+    }
+    let written = match &scaling {
+        Some(Ok(s)) => save_json_with_scaling(&report, s, flags.json.as_deref()),
+        _ => save_json(&report, flags.json.as_deref()),
+    };
+    match written {
         Ok(path) => println!("json: {}", path.display()),
         Err(e) => {
             eprintln!("error writing json artifact: {e}");
@@ -264,6 +321,9 @@ fn execute(mut spec: ExperimentSpec, flags: &CommonFlags) {
         }
     }
     eprintln!("wall time: {:.2}s", elapsed.as_secs_f64());
+    if matches!(scaling, Some(Err(_))) {
+        exit(1);
+    }
 }
 
 fn cmd_run(args: impl Iterator<Item = String>) {
@@ -295,17 +355,37 @@ fn cmd_run(args: impl Iterator<Item = String>) {
     execute(spec, &flags);
 }
 
-fn cmd_compare(args: impl Iterator<Item = String>) {
+/// The ad-hoc-spec flags `compare` and `scale` share. `target`, `cap`
+/// and `start` stay `None` until explicitly set, so `scale <name>` can
+/// reject flags that would otherwise be silently ignored.
+#[derive(Default)]
+struct AdhocSpec {
+    /// Positional spec name (accepted by `scale` only).
+    name: Option<String>,
+    graphs: Vec<GraphSpec>,
+    processes: Vec<ProcessSpec>,
+    target: Option<Target>,
+    cap: Option<CapSpec>,
+    start: Option<usize>,
+    marked_resample: bool,
+    /// `--sweep` range (accepted by `scale` only).
+    sweep: Option<SweepRange>,
+    saw_inline_sweep: bool,
+}
+
+/// Shared flag loop of `compare` and `scale`. With `sweeps` (the `scale`
+/// shape) a `--graph` value may carry an inline `{range}`, `--sweep` is
+/// accepted, and a positional spec name is collected; without it
+/// (`compare`) those are rejected exactly as before.
+fn parse_adhoc(
+    args: impl Iterator<Item = String>,
+    sweeps: bool,
+    flags: &mut CommonFlags,
+) -> AdhocSpec {
     let mut args = args.peekable();
-    let mut graphs: Vec<GraphSpec> = Vec::new();
-    let mut processes: Vec<ProcessSpec> = Vec::new();
-    let mut marked_resample = false;
-    let mut target = Target::VertexCover;
-    let mut cap = CapSpec::Auto;
-    let mut start = 0usize;
-    let mut flags = CommonFlags::default();
+    let mut spec = AdhocSpec::default();
     while let Some(arg) = args.next() {
-        if parse_common(&arg, &mut args, &mut flags) {
+        if parse_common(&arg, &mut args, flags) {
             continue;
         }
         match arg.as_str() {
@@ -314,10 +394,18 @@ fn cmd_compare(args: impl Iterator<Item = String>) {
                     .next()
                     .unwrap_or_else(|| usage("--graph needs a value"));
                 for part in v.split(';') {
-                    let (spec, marked) = GraphSpec::parse_with_resample(part)
-                        .unwrap_or_else(|e| usage(&e.to_string()));
-                    marked_resample |= marked;
-                    graphs.push(spec);
+                    if sweeps {
+                        let (expanded, marked, range) = GraphSpec::parse_with_sweep(part)
+                            .unwrap_or_else(|e| usage(&e.to_string()));
+                        spec.marked_resample |= marked;
+                        spec.saw_inline_sweep |= range.is_some();
+                        spec.graphs.extend(expanded);
+                    } else {
+                        let (graph, marked) = GraphSpec::parse_with_resample(part)
+                            .unwrap_or_else(|e| usage(&e.to_string()));
+                        spec.marked_resample |= marked;
+                        spec.graphs.push(graph);
+                    }
                 }
             }
             "--process" | "--processes" => {
@@ -325,50 +413,145 @@ fn cmd_compare(args: impl Iterator<Item = String>) {
                     .next()
                     .unwrap_or_else(|| usage("--process needs a value"));
                 for part in v.split(',') {
-                    processes
+                    spec.processes
                         .push(ProcessSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())));
                 }
+            }
+            "--sweep" if sweeps => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--sweep needs a range, e.g. n=1k..256k,x2"));
+                spec.sweep = Some(SweepRange::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
             }
             "--target" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage("--target needs a value"));
-                target = Target::parse(&v).unwrap_or_else(|e| usage(&e.to_string()));
+                spec.target = Some(Target::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
             }
             "--start" => {
-                start = parse_u64("--start", args.next()) as usize;
+                spec.start = Some(parse_u64("--start", args.next()) as usize);
             }
             "--cap-nlogn" => {
                 let v = args.next().unwrap_or_default();
                 let f: f64 = v
                     .parse()
                     .unwrap_or_else(|_| usage("--cap-nlogn needs a number"));
-                cap = CapSpec::NLogN(f);
+                spec.cap = Some(CapSpec::NLogN(f));
             }
             "--help" | "-h" => usage(""),
-            other => usage(&format!("unknown flag {other:?}")),
+            other if other.starts_with('-') || !sweeps => usage(&format!("unknown flag {other:?}")),
+            other => {
+                if spec.name.replace(other.to_string()).is_some() {
+                    usage("scale takes at most one spec name");
+                }
+            }
         }
     }
-    if graphs.is_empty() {
+    spec
+}
+
+fn cmd_compare(args: impl Iterator<Item = String>) {
+    let mut flags = CommonFlags::default();
+    let adhoc = parse_adhoc(args, false, &mut flags);
+    if adhoc.graphs.is_empty() {
         usage("compare needs at least one --graph");
     }
-    if processes.is_empty() {
+    if adhoc.processes.is_empty() {
         usage("compare needs at least one --process");
     }
     let spec = ExperimentSpec {
         name: "compare".into(),
         description: "ad-hoc comparison built from CLI flags".into(),
-        graphs,
-        processes,
+        graphs: adhoc.graphs,
+        processes: adhoc.processes,
         trials: flags.trials.unwrap_or(5),
-        target,
+        target: adhoc.target.unwrap_or(Target::VertexCover),
         metrics: flags.metrics.clone().unwrap_or_default(),
-        start,
-        cap,
+        start: adhoc.start.unwrap_or(0),
+        cap: adhoc.cap.unwrap_or(CapSpec::Auto),
         // `--resample [W]` wins; a bare `~` graph marker means per-trial.
         resample: flags
             .resample
-            .or(marked_resample.then(ResamplePlan::per_trial)),
+            .or(adhoc.marked_resample.then(ResamplePlan::per_trial)),
     };
     execute(spec, &flags);
+}
+
+fn cmd_scale(args: impl Iterator<Item = String>) {
+    let mut flags = CommonFlags::default();
+    let mut adhoc = parse_adhoc(args, true, &mut flags);
+    if let Some(name) = adhoc.name.take() {
+        if !adhoc.graphs.is_empty() || adhoc.sweep.is_some() {
+            usage("scale takes either a spec name or --graph/--sweep flags, not both");
+        }
+        // A named spec already fixes its grid; honouring only some of
+        // these flags would silently run a different experiment than the
+        // one asked for, so reject them outright (--trials, --metrics
+        // and --resample are honoured as overrides, like `run`).
+        if !adhoc.processes.is_empty()
+            || adhoc.target.is_some()
+            || adhoc.start.is_some()
+            || adhoc.cap.is_some()
+        {
+            usage(
+                "scale <name> runs the named spec as-is: --process/--target/--start/--cap-nlogn \
+                 only apply to --graph sweeps (--trials/--metrics/--resample do override)",
+            );
+        }
+        let scale = flags.scale.unwrap_or(Scale::Quick);
+        let spec = builtin::spec(&name, scale).unwrap_or_else(|| {
+            usage(&format!(
+                "unknown spec {name:?}; scaling sweeps: {} (any built-in spec with >= 3 sizes works)",
+                builtin::scaling_names().join(", ")
+            ))
+        });
+        execute_inner(spec, &flags, true);
+        return;
+    }
+    if adhoc.graphs.is_empty() {
+        usage("scale needs a spec name or at least one --graph");
+    }
+    if adhoc.processes.is_empty() {
+        usage("scale needs at least one --process");
+    }
+    let mut graphs = adhoc.graphs;
+    if let Some(range) = adhoc.sweep {
+        if adhoc.saw_inline_sweep {
+            usage("use either an inline {range} in --graph or --sweep, not both");
+        }
+        // Each --graph becomes a size template: re-instantiate it at
+        // every sweep point.
+        let templates = std::mem::take(&mut graphs);
+        let points = range.points().unwrap_or_else(|e| usage(&e.to_string()));
+        for template in &templates {
+            for &n in &points {
+                graphs.push(
+                    template
+                        .with_primary_size(n)
+                        .unwrap_or_else(|e| usage(&e.to_string())),
+                );
+            }
+        }
+    }
+    // `--resample [W]` wins; otherwise randomized sweeps default to a
+    // fresh graph per trial so each size estimates the ensemble law, and
+    // purely deterministic sweeps stay in shared mode.
+    let any_randomized = graphs.iter().any(GraphSpec::is_randomized);
+    let resample = flags
+        .resample
+        .or((adhoc.marked_resample || any_randomized).then(ResamplePlan::per_trial));
+    let spec = ExperimentSpec {
+        name: "scale".into(),
+        description: "ad-hoc size sweep built from CLI flags".into(),
+        graphs,
+        processes: adhoc.processes,
+        trials: flags.trials.unwrap_or(4),
+        target: adhoc.target.unwrap_or(Target::VertexCover),
+        metrics: flags.metrics.clone().unwrap_or_default(),
+        start: adhoc.start.unwrap_or(0),
+        cap: adhoc.cap.unwrap_or(CapSpec::Auto),
+        resample,
+    };
+    execute_inner(spec, &flags, true);
 }

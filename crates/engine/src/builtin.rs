@@ -7,7 +7,7 @@
 
 use crate::spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
-    Target,
+    SweepRange, SweepStep, Target,
 };
 
 /// Names of all built-in specs, in display order.
@@ -25,7 +25,16 @@ pub fn names() -> Vec<&'static str> {
         "lgood",
         "cubicensemble",
         "odddegree",
+        "scaling-even",
+        "scaling-srw",
     ]
+}
+
+/// Names of the size-sweep builtins — the specs `eproc scale` fits
+/// growth laws to. They also run under `eproc run` (as plain ensembles,
+/// without the fits).
+pub fn scaling_names() -> Vec<&'static str> {
+    vec!["scaling-even", "scaling-srw"]
 }
 
 /// Resolves a built-in spec by name at the given scale.
@@ -43,6 +52,8 @@ pub fn spec(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "lgood" => Some(lgood(scale)),
         "cubicensemble" => Some(cubicensemble(scale)),
         "odddegree" => Some(odddegree(scale)),
+        "scaling-even" => Some(scaling_even(scale)),
+        "scaling-srw" => Some(scaling_srw(scale)),
         _ => None,
     }
 }
@@ -443,6 +454,88 @@ pub fn odddegree(scale: Scale) -> ExperimentSpec {
     }
 }
 
+fn regular_sweep(range: SweepRange, d: usize) -> Vec<GraphSpec> {
+    range
+        .points()
+        .expect("builtin sweep ranges are well-formed")
+        .into_iter()
+        .map(|n| GraphSpec::Regular { n, d })
+        .collect()
+}
+
+/// **T-scale-even** — the paper's headline growth law, end to end: the
+/// E-process on random 4-regular graphs swept across decades of `n`,
+/// each size resampled per trial group. `eproc scale scaling-even` fits
+/// the steps/`C_V`/`C_E` series against `c·m`, `a+b·m` and `c·n ln n` —
+/// the linear models must win (Theorem 1: `Θ(m)` cover on even-degree
+/// expanders).
+pub fn scaling_even(scale: Scale) -> ExperimentSpec {
+    let range = match scale {
+        Scale::Quick => SweepRange {
+            start: 500,
+            end: 8_000,
+            step: SweepStep::Factor(2),
+        },
+        Scale::Paper => SweepRange {
+            start: 4_000,
+            end: 256_000,
+            step: SweepStep::Factor(2),
+        },
+    };
+    ExperimentSpec {
+        name: "scaling-even".into(),
+        description: "Scaling law: E-process on random 4-regular graphs covers in Θ(m)".into(),
+        graphs: regular_sweep(range, 4),
+        processes: vec![ProcessSpec::EProcess {
+            rule: RuleSpec::Uniform,
+        }],
+        trials: 4,
+        target: Target::VertexCover,
+        metrics: vec![MetricSpec::Cover],
+        start: 0,
+        cap: CapSpec::NLogN(500.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
+/// **T-scale-srw** — the `n log n` contrast on the same even-degree
+/// family: SRW next to the E-process across the sweep, so one
+/// `eproc scale scaling-srw` artifact shows the linear law for the
+/// E-process and `c·n ln n` winning for the SRW (cf. the
+/// Cooper–Frieze–Johansson / Johansson asymptotics for odd degree).
+pub fn scaling_srw(scale: Scale) -> ExperimentSpec {
+    let range = match scale {
+        Scale::Quick => SweepRange {
+            start: 250,
+            end: 8_000,
+            step: SweepStep::Factor(2),
+        },
+        Scale::Paper => SweepRange {
+            start: 4_000,
+            end: 256_000,
+            step: SweepStep::Factor(2),
+        },
+    };
+    ExperimentSpec {
+        name: "scaling-srw".into(),
+        description: "Scaling contrast: SRW grows as c·n ln n where the E-process stays linear"
+            .into(),
+        graphs: regular_sweep(range, 4),
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 6,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(50.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,7 +571,8 @@ mod tests {
 
     #[test]
     fn ensemble_specs_resample_random_families() {
-        for name in ["cubicensemble", "odddegree"] {
+        let resampled = ["cubicensemble", "odddegree", "scaling-even", "scaling-srw"];
+        for name in resampled {
             let s = spec(name, Scale::Quick).unwrap();
             let plan = s.resample.expect("ensemble specs resample");
             assert!(plan.walks_per_graph >= 2, "{name} must split variance");
@@ -489,7 +583,7 @@ mod tests {
         }
         // Every legacy spec stays in shared-graph mode: goldens are pinned.
         for name in names() {
-            if name != "cubicensemble" && name != "odddegree" {
+            if !resampled.contains(&name) {
                 assert!(spec(name, Scale::Quick).unwrap().resample.is_none());
             }
         }
@@ -498,6 +592,33 @@ mod tests {
             .graphs
             .iter()
             .all(|g| matches!(g, GraphSpec::Regular { d, .. } if d % 2 == 1)));
+    }
+
+    #[test]
+    fn scaling_builtins_sweep_enough_sizes_for_model_selection() {
+        for name in scaling_names() {
+            assert!(names().contains(&name), "{name} must be listed");
+            for scale in [Scale::Quick, Scale::Paper] {
+                let s = spec(name, scale).unwrap();
+                let sizes: Vec<usize> =
+                    s.graphs.iter().map(|g| g.vertex_count().unwrap()).collect();
+                assert!(
+                    sizes.len() >= eproc_stats::scaling::MIN_SWEEP_POINTS,
+                    "{name} at {scale:?} has only {} sizes",
+                    sizes.len()
+                );
+                assert!(
+                    sizes.windows(2).all(|w| w[0] * 2 == w[1]),
+                    "{name} must sweep geometrically: {sizes:?}"
+                );
+                assert!(
+                    s.graphs
+                        .iter()
+                        .all(|g| matches!(g, GraphSpec::Regular { d: 4, .. })),
+                    "{name} sweeps the even-degree d=4 family"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,10 +23,16 @@
 //! group's graph from its [`resample_graph_seed`] — blocks partition the
 //! samples, so graph generation parallelises across the pool exactly
 //! like the walks — and runs all of the block's trials on it.
-//! Outcomes still land at their canonical `(graph, process, trial)`
-//! index, and aggregation additionally folds per-group statistics into
-//! pooled / across-graph / within-graph [`VarianceSplit`]s — all of it
-//! remaining bit-identical for any thread count.
+//! Block aggregation is **streamed**: the claiming worker folds each
+//! trial straight into per-(block, process) [`OnlineStats`] accumulators
+//! and drops the trial, so a block contributes `O(processes × columns)`
+//! memory no matter how many trials it runs or how large its graph is —
+//! the property that lets the `eproc scale` size sweeps push
+//! million-vertex points through the same machinery. The main thread
+//! merges blocks in canonical *(family, group)* order (Welford parallel
+//! combination), and the per-block accumulators double as the groups of
+//! the pooled / across-graph / within-graph [`VarianceSplit`]s — all of
+//! it remaining bit-identical for any thread count.
 
 use crate::spec::{AnyObserver, ExperimentSpec, MetricSpec, ResamplePlan, SpecError, Target};
 use crate::with_kernel;
@@ -183,6 +189,10 @@ pub struct MetricSummary {
 pub struct CellSummary {
     /// Graph family label.
     pub graph: String,
+    /// Size-free family key (see [`crate::spec::GraphSpec::family_label`])
+    /// — what the scaling subsystem groups sweep series by. Not
+    /// serialised into artifacts.
+    pub family: String,
     /// Vertex count of the built graph.
     pub n: usize,
     /// Edge count of the built graph.
@@ -265,6 +275,60 @@ pub fn build_graphs(spec: &ExperimentSpec, base_seed: u64) -> Result<Vec<Graph>,
                 })
         })
         .collect()
+}
+
+/// Streamed aggregates of one process's trials within one *(family,
+/// group)* block — the executor's unit of resample-mode aggregation.
+/// Folding happens inside the worker that ran the block, so no per-trial
+/// vector outlives the block.
+#[derive(Debug, Clone)]
+struct ProcAgg {
+    /// Trials that reached the target within the cap.
+    completed: usize,
+    /// Steps-to-target of completed trials.
+    steps: OnlineStats,
+    /// Per-trial blue fraction (trials with classified steps).
+    blue_fraction: OnlineStats,
+    /// One accumulator per metric column (resolved values only).
+    metrics: Vec<OnlineStats>,
+}
+
+impl ProcAgg {
+    fn new(metric_columns: usize) -> ProcAgg {
+        ProcAgg {
+            completed: 0,
+            steps: OnlineStats::new(),
+            blue_fraction: OnlineStats::new(),
+            metrics: vec![OnlineStats::new(); metric_columns],
+        }
+    }
+
+    /// Folds one trial, consuming it — the streaming step.
+    fn fold(&mut self, outcome: TrialOutcome) {
+        if let Some(s) = outcome.steps_to_target {
+            self.steps.push(s as f64);
+            self.completed += 1;
+        }
+        let classified = outcome.blue_steps + outcome.red_steps;
+        if classified > 0 {
+            self.blue_fraction
+                .push(outcome.blue_steps as f64 / classified as f64);
+        }
+        for (acc, value) in self.metrics.iter_mut().zip(&outcome.metric_values) {
+            if let Some(v) = value {
+                acc.push(*v);
+            }
+        }
+    }
+}
+
+/// All processes' streamed aggregates for one *(family, group)* block.
+#[derive(Debug, Clone)]
+struct BlockAgg {
+    /// Canonical block index `family * groups + group`.
+    block: usize,
+    /// One aggregate per process, in grid order.
+    procs: Vec<ProcAgg>,
 }
 
 /// A worker's reusable observer set for one graph: slot 0 is the target
@@ -469,7 +533,18 @@ fn execute(
 
     let next = AtomicUsize::new(0);
     let workers = opts.threads.min(total.max(1));
-    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; total];
+    let metric_columns = spec.metric_columns();
+    let n_cols = metric_columns.len();
+    let group_count = spec.resample.map_or(0, |plan| plan.groups(trials));
+    let total_blocks = spec.graphs.len() * group_count;
+    // Shared mode retains one outcome per trial (the legacy layout the
+    // committed goldens pin); resample mode streams into per-block
+    // aggregates instead and never materialises a per-trial vector.
+    let mut outcomes: Vec<Option<TrialOutcome>> = match spec.resample {
+        None => vec![None; total],
+        Some(_) => Vec::new(),
+    };
+    let mut blocks: Vec<Option<BlockAgg>> = vec![None; total_blocks];
     // Per-family representative dimensions `(n, m)` for the report: the
     // prebuilt graphs in shared mode, harvested from each family's
     // group-0 sample in resample mode.
@@ -479,6 +554,7 @@ fn execute(
     };
     struct WorkerOutput {
         outcomes: Vec<(usize, TrialOutcome)>,
+        blocks: Vec<BlockAgg>,
         /// `(family, n, m)` of group-0 samples this worker built.
         rep_dims: Vec<(usize, usize, usize)>,
     }
@@ -489,6 +565,7 @@ fn execute(
                 let next = &next;
                 scope.spawn(move || -> WorkerResult {
                     let mut local: Vec<(usize, TrialOutcome)> = Vec::new();
+                    let mut local_blocks: Vec<BlockAgg> = Vec::new();
                     let mut rep_dims: Vec<(usize, usize, usize)> = Vec::new();
                     match spec.resample {
                         None => {
@@ -521,10 +598,12 @@ fn execute(
                             // once by whichever worker claims the block.
                             // Blocks partition the samples, so generation is
                             // spread across the pool like the walks, with no
-                            // up-front serial build.
+                            // up-front serial build. Each trial is folded
+                            // straight into the block's streaming aggregates
+                            // and dropped — the graph, the observer bank and
+                            // the trials all die with the block.
                             let w = plan.walks_per_graph;
                             let groups = plan.groups(trials);
-                            let total_blocks = spec.graphs.len() * groups;
                             loop {
                                 let block = next.fetch_add(1, Ordering::Relaxed);
                                 if block >= total_blocks {
@@ -543,18 +622,20 @@ fn execute(
                                     rep_dims.push((gi, g.n(), g.m()));
                                 }
                                 let mut bank = ObserverBank::new(spec, &g, gi);
-                                for pi in 0..n_proc {
+                                let mut procs = vec![ProcAgg::new(n_cols); n_proc];
+                                for (pi, agg) in procs.iter_mut().enumerate() {
                                     for t in group * w..((group + 1) * w).min(trials) {
                                         let seed = trial_seed(opts.base_seed, gi, pi, t);
-                                        let job = gi * jobs_per_graph + pi * trials + t;
-                                        local.push((job, run_trial(spec, &g, pi, seed, &mut bank)));
+                                        agg.fold(run_trial(spec, &g, pi, seed, &mut bank));
                                     }
                                 }
+                                local_blocks.push(BlockAgg { block, procs });
                             }
                         }
                     }
                     Ok(WorkerOutput {
                         outcomes: local,
+                        blocks: local_blocks,
                         rep_dims,
                     })
                 })
@@ -570,14 +651,19 @@ fn execute(
         for (job, outcome) in output.outcomes {
             outcomes[job] = Some(outcome);
         }
+        for block in output.blocks {
+            let slot = block.block;
+            blocks[slot] = Some(block);
+        }
         for (gi, n, m) in output.rep_dims {
             dims[gi] = Some((n, m));
         }
     }
 
-    // Deterministic aggregation: cells in grid order, trials in index order.
-    let metric_columns = spec.metric_columns();
-    let group_count = spec.resample.map_or(0, |plan| plan.groups(trials));
+    // Deterministic aggregation: cells in grid order; shared mode folds
+    // trials in index order (the exact push order the committed goldens
+    // pin), resample mode merges the streamed block aggregates in
+    // canonical (family, group) order.
     let mut cells = Vec::with_capacity(spec.graphs.len() * n_proc);
     for (gi, dim) in dims.iter().enumerate() {
         let (rep_n, rep_m) = dim.expect("every family ran its group-0 block");
@@ -592,47 +678,59 @@ fn execute(
                     split: None,
                 })
                 .collect();
-            // Per graph-sample accumulators feeding the variance splits
-            // (empty in shared-graph mode).
-            let mut group_steps = vec![OnlineStats::new(); group_count];
-            let mut group_metrics = vec![vec![OnlineStats::new(); group_count]; metrics.len()];
             let mut completed = 0usize;
-            for t in 0..trials {
-                let job = gi * jobs_per_graph + pi * trials + t;
-                let outcome = outcomes[job]
-                    .as_ref()
-                    .expect("every job index was executed");
-                let group = spec.resample.map(|plan| t / plan.walks_per_graph);
-                if let Some(s) = outcome.steps_to_target {
-                    steps.push(s as f64);
-                    completed += 1;
-                    if let Some(grp) = group {
-                        group_steps[grp].push(s as f64);
-                    }
-                }
-                let classified = outcome.blue_steps + outcome.red_steps;
-                if classified > 0 {
-                    blue_fraction.push(outcome.blue_steps as f64 / classified as f64);
-                }
-                for (ci, (summary, value)) in
-                    metrics.iter_mut().zip(&outcome.metric_values).enumerate()
-                {
-                    if let Some(v) = value {
-                        summary.stats.push(*v);
-                        if let Some(grp) = group {
-                            group_metrics[ci][grp].push(*v);
+            let mut steps_split = None;
+            match spec.resample {
+                None => {
+                    for t in 0..trials {
+                        let job = gi * jobs_per_graph + pi * trials + t;
+                        let outcome = outcomes[job]
+                            .as_ref()
+                            .expect("every job index was executed");
+                        if let Some(s) = outcome.steps_to_target {
+                            steps.push(s as f64);
+                            completed += 1;
+                        }
+                        let classified = outcome.blue_steps + outcome.red_steps;
+                        if classified > 0 {
+                            blue_fraction.push(outcome.blue_steps as f64 / classified as f64);
+                        }
+                        for (summary, value) in metrics.iter_mut().zip(&outcome.metric_values) {
+                            if let Some(v) = value {
+                                summary.stats.push(*v);
+                            }
                         }
                     }
                 }
-            }
-            let steps_split = spec.resample.map(|_| variance_split(&group_steps));
-            if spec.resample.is_some() {
-                for (summary, groups) in metrics.iter_mut().zip(&group_metrics) {
-                    summary.split = Some(variance_split(groups));
+                Some(_) => {
+                    // The per-block accumulators double as the groups of
+                    // the variance splits: one Welford merge per group,
+                    // no per-trial state.
+                    let mut group_steps = Vec::with_capacity(group_count);
+                    let mut group_metrics = vec![Vec::with_capacity(group_count); n_cols];
+                    for group in 0..group_count {
+                        let block = blocks[gi * group_count + group]
+                            .as_ref()
+                            .expect("every block index was executed");
+                        let agg = &block.procs[pi];
+                        completed += agg.completed;
+                        steps.merge(&agg.steps);
+                        blue_fraction.merge(&agg.blue_fraction);
+                        group_steps.push(agg.steps);
+                        for (ci, summary) in metrics.iter_mut().enumerate() {
+                            summary.stats.merge(&agg.metrics[ci]);
+                            group_metrics[ci].push(agg.metrics[ci]);
+                        }
+                    }
+                    steps_split = Some(variance_split(&group_steps));
+                    for (summary, groups) in metrics.iter_mut().zip(&group_metrics) {
+                        summary.split = Some(variance_split(groups));
+                    }
                 }
             }
             cells.push(CellSummary {
                 graph: spec.graphs[gi].label(),
+                family: spec.graphs[gi].family_label(),
                 n: rep_n,
                 m: rep_m,
                 process: ps.label(),

@@ -48,6 +48,22 @@
 //! whp-over-the-random-graph statements. The `cubicensemble` and
 //! `odddegree` builtins replicate the related-work ensemble scenarios.
 //!
+//! # Scaling laws
+//!
+//! The paper's headline claim is a *growth rate* — `Θ(m)` cover time on
+//! even-degree high-girth expanders versus `Θ(n log n)` for the SRW. The
+//! [`scaling`] module turns a size-sweep report (one cell per size,
+//! expanded from the `{start..end,step}` sweep grammar or the CLI's
+//! `--sweep n=…` flag) into per-(process × series) growth-law fits:
+//! [`eproc_stats::scaling`] fits `c·m`, `a+b·m` and `c·n ln n` and
+//! selects by residual score, and [`report::scaling_table`] /
+//! [`report::to_json_with_scaling`] render the verdict. Sweep cells run
+//! through the resample executor's *(family, group)* blocks with
+//! streamed per-block statistics, so large sweep points never
+//! materialise per-trial vectors. On the CLI this is `eproc scale
+//! scaling-even` (the paper's linear claim) and `eproc scale
+//! scaling-srw` (the `n log n` contrast).
+//!
 //! # Example
 //!
 //! ```
@@ -84,10 +100,12 @@
 pub mod builtin;
 pub mod executor;
 pub mod report;
+pub mod scaling;
 pub mod spec;
 
 pub use executor::{run, ExperimentReport, RunOptions};
+pub use scaling::{analyze, ScalingError, ScalingReport, SeriesFit};
 pub use spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
-    Target,
+    SweepRange, SweepStep, Target,
 };

@@ -5,16 +5,36 @@
 //! engine's determinism test pins down across thread counts.
 
 use crate::executor::{ExperimentReport, VarianceSplit};
+use crate::scaling::ScalingReport;
 use eproc_stats::{OnlineStats, TextTable};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// The single source of truth for the normalised `mean/n` and
+/// `mean/(n ln n)` columns, shared by the text table and the JSON
+/// emitter: `mean/n` needs `n >= 1`, and `mean/(n ln n)` needs `n >= 3`
+/// — `n ln n` is 0 at `n = 1` (a division yielding ±inf/NaN, which is
+/// not valid JSON) and within rounding noise of `n` at `n = 2`, so both
+/// renderings degrade to `-`/`null` there.
+fn normalised_means(cell: &crate::executor::CellSummary) -> (Option<f64>, Option<f64>) {
+    if cell.completed == 0 {
+        return (None, None);
+    }
+    let mean = cell.steps.mean();
+    let nf = cell.n as f64;
+    (
+        (cell.n >= 1).then(|| mean / nf),
+        (cell.n >= 3).then(|| mean / (nf * nf.ln())),
+    )
+}
 
 /// Renders the aggregate table shown by the CLI and the `table_*` wrappers.
 ///
 /// Columns: graph, n, process, `done/trials`, mean/std/min/max of the
 /// steps-to-target distribution, the normalised `mean/n` and
-/// `mean/(n ln n)` (the paper's two candidate growth laws), the mean
-/// blue-step fraction — plus one dynamic column (the per-cell mean) for
+/// `mean/(n ln n)` (the paper's two candidate growth laws; dashed out
+/// where degenerate, i.e. `n <= 2`), the mean blue-step
+/// fraction — plus one dynamic column (the per-cell mean) for
 /// every metric the spec requested. Under resampling, three more
 /// columns decompose the steps column: `graphs` (distinct samples),
 /// `sd(across)` (std dev of per-graph means) and `sd(within)`
@@ -44,8 +64,8 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
     }
     let mut table = TextTable::new(headers);
     for cell in &report.cells {
-        let nf = cell.n.max(2) as f64;
         let done = format!("{}/{}", cell.completed, cell.trials);
+        let (raw_over_n, raw_over_nlogn) = normalised_means(cell);
         let (mean, std, min, max, over_n, over_nlogn) = if cell.completed > 0 {
             let mean = cell.steps.mean();
             (
@@ -53,8 +73,8 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
                 format!("{:.1}", cell.steps.std_dev()),
                 format!("{:.0}", cell.steps.min()),
                 format!("{:.0}", cell.steps.max()),
-                format!("{:.2}", mean / nf),
-                format!("{:.3}", mean / (nf * nf.ln())),
+                raw_over_n.map_or("-".into(), |v| format!("{v:.2}")),
+                raw_over_nlogn.map_or("-".into(), |v| format!("{v:.3}")),
             )
         } else {
             let dash = || "-".to_string();
@@ -160,6 +180,15 @@ fn json_split(split: &VarianceSplit, pooled: &OnlineStats) -> String {
 /// Serialises the report as deterministic JSON (stable key order, no
 /// timestamps), suitable for artifact diffing across runs.
 pub fn to_json(report: &ExperimentReport) -> String {
+    to_json_with_scaling(report, None)
+}
+
+/// Like [`to_json`], but when `scaling` is given the artifact also
+/// carries a `growth_laws` array — one entry per (process × series) with
+/// the sweep points, every candidate model's constants, `R²` and
+/// residual score, and the preferred model. Non-finite statistics
+/// serialise as `null`, never as bare `inf`/`NaN` tokens.
+pub fn to_json_with_scaling(report: &ExperimentReport, scaling: Option<&ScalingReport>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
@@ -198,7 +227,6 @@ pub fn to_json(report: &ExperimentReport) -> String {
         out.push_str(&format!("      \"trials\": {},\n", cell.trials));
         out.push_str(&format!("      \"completed\": {},\n", cell.completed));
         if cell.completed > 0 {
-            let nf = cell.n.max(2) as f64;
             out.push_str(&format!(
                 "      \"mean_steps\": {},\n",
                 json_num(cell.steps.mean())
@@ -215,13 +243,12 @@ pub fn to_json(report: &ExperimentReport) -> String {
                 "      \"max_steps\": {},\n",
                 json_num(cell.steps.max())
             ));
-            out.push_str(&format!(
-                "      \"mean_over_n\": {},\n",
-                json_num(cell.steps.mean() / nf)
-            ));
+            let (over_n, over_nlogn) = normalised_means(cell);
+            let emit = |v: Option<f64>| v.map_or("null".to_string(), json_num);
+            out.push_str(&format!("      \"mean_over_n\": {},\n", emit(over_n)));
             out.push_str(&format!(
                 "      \"mean_over_n_log_n\": {},\n",
-                json_num(cell.steps.mean() / (nf * nf.ln()))
+                emit(over_nlogn)
             ));
         } else {
             out.push_str("      \"mean_steps\": null,\n");
@@ -282,8 +309,121 @@ pub fn to_json(report: &ExperimentReport) -> String {
             "    }\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    match scaling {
+        None => out.push_str("  ]\n}\n"),
+        Some(scaling) => {
+            out.push_str("  ],\n");
+            out.push_str("  \"growth_laws\": [\n");
+            for (i, series) in scaling.series.iter().enumerate() {
+                out.push_str("    {\n");
+                out.push_str(&format!(
+                    "      \"family\": \"{}\",\n",
+                    json_escape(&series.family)
+                ));
+                out.push_str(&format!(
+                    "      \"process\": \"{}\",\n",
+                    json_escape(&series.process)
+                ));
+                out.push_str(&format!(
+                    "      \"series\": \"{}\",\n",
+                    json_escape(&series.series)
+                ));
+                out.push_str("      \"points\": [");
+                for (j, p) in series.points.iter().enumerate() {
+                    out.push_str(if j == 0 { "" } else { ", " });
+                    out.push_str(&format!(
+                        "{{\"n\": {}, \"m\": {}, \"mean\": {}}}",
+                        p.n,
+                        p.m,
+                        json_num(p.y)
+                    ));
+                }
+                out.push_str("],\n");
+                out.push_str("      \"models\": [\n");
+                for (j, mf) in series.selection.fits.iter().enumerate() {
+                    out.push_str(&format!(
+                        "        {{\"model\": \"{}\", \"params\": {}, \"intercept\": {}, \
+                         \"slope\": {}, \"r_squared\": {}, \"ssr\": {}, \"aic\": {}, \
+                         \"preferred\": {}}}{}\n",
+                        json_escape(mf.model.label()),
+                        mf.model.params(),
+                        json_num(mf.fit.intercept),
+                        json_num(mf.fit.slope),
+                        json_num(mf.fit.r_squared),
+                        json_num(mf.ssr),
+                        json_num(mf.aic),
+                        mf.model == series.selection.preferred,
+                        if j + 1 < series.selection.fits.len() {
+                            ","
+                        } else {
+                            ""
+                        },
+                    ));
+                }
+                out.push_str("      ],\n");
+                out.push_str(&format!(
+                    "      \"preferred\": \"{}\"\n",
+                    json_escape(series.selection.preferred.label())
+                ));
+                out.push_str(if i + 1 < scaling.series.len() {
+                    "    },\n"
+                } else {
+                    "    }\n"
+                });
+            }
+            out.push_str("  ]\n}\n");
+        }
+    }
     out
+}
+
+/// Renders the growth-law table of a sweep analysis: one row per
+/// (family × process × series × candidate model) with the fitted
+/// constants, `R²` and residual score, and a `<-` marker on each
+/// series' preferred model.
+pub fn scaling_table(scaling: &ScalingReport) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "family".to_string(),
+        "process".into(),
+        "series".into(),
+        "model".into(),
+        "intercept".into(),
+        "slope".into(),
+        "R^2".into(),
+        "score".into(),
+        "preferred".into(),
+    ]);
+    let fmt_num = |x: f64, digits: usize| -> String {
+        if x.is_finite() {
+            format!("{x:.digits$}")
+        } else {
+            "-".into()
+        }
+    };
+    for series in &scaling.series {
+        for mf in &series.selection.fits {
+            table.push_row(vec![
+                series.family.clone(),
+                series.process.clone(),
+                series.series.clone(),
+                mf.model.label().to_string(),
+                if mf.model.params() > 1 {
+                    fmt_num(mf.fit.intercept, 1)
+                } else {
+                    "-".into()
+                },
+                fmt_num(mf.fit.slope, 4),
+                fmt_num(mf.fit.r_squared, 5),
+                fmt_num(mf.aic, 1),
+                if mf.model == series.selection.preferred {
+                    "<-".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    table
 }
 
 /// Default artifact directory: `<workspace>/target/experiments/`.
@@ -313,6 +453,28 @@ pub fn save_json(report: &ExperimentReport, path: Option<&Path>) -> std::io::Res
     }
     let mut f = std::fs::File::create(&path)?;
     f.write_all(to_json(report).as_bytes())?;
+    Ok(path)
+}
+
+/// Like [`save_json`], but writes the artifact with its `growth_laws`
+/// section (see [`to_json_with_scaling`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_json_with_scaling(
+    report: &ExperimentReport,
+    scaling: &ScalingReport,
+    path: Option<&Path>,
+) -> std::io::Result<PathBuf> {
+    let path = match path {
+        Some(p) => p.to_path_buf(),
+        None => default_artifact_dir().join(format!("eproc_{}.json", report.name)),
+    };
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, to_json_with_scaling(report, Some(scaling)))?;
     Ok(path)
 }
 

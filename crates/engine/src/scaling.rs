@@ -1,0 +1,325 @@
+//! Growth-law analysis of size-sweep reports — the engine half of the
+//! `eproc scale` subsystem.
+//!
+//! A sweep run produces an [`ExperimentReport`] with one cell per
+//! (size, process). This module regroups those cells into per-process
+//! series — the steps-to-target series plus one series per metric
+//! column — and hands each to
+//! [`eproc_stats::scaling::fit_growth_models`], which fits the competing
+//! growth models (`c·m`, `a+b·m`, `c·n ln n`) and selects one by
+//! residual score. The result is pure data; rendering lives in
+//! [`crate::report`] (`scaling_table`, `to_json_with_scaling`).
+//!
+//! Analysis is a pure function of the report, so a thread-count-invariant
+//! report yields a byte-identical growth-law artifact for any `--threads`
+//! value.
+
+use crate::executor::ExperimentReport;
+use eproc_stats::regression::FitError;
+use eproc_stats::scaling::{fit_growth_models, GrowthSelection, ScalingPoint};
+use std::fmt;
+
+/// The name of the primary series: the target's steps-to-completion.
+pub const STEPS_SERIES: &str = "steps";
+
+/// One fitted (process × series) growth law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesFit {
+    /// Size-free graph family key the series sweeps over (see
+    /// [`crate::spec::GraphSpec::family_label`]). Growth laws are
+    /// per-family: a multi-family sweep yields one series per
+    /// (family × process × column), never a mixed curve.
+    pub family: String,
+    /// Process label the series belongs to.
+    pub process: String,
+    /// Series name: [`STEPS_SERIES`] or a metric column name.
+    pub series: String,
+    /// The sweep points the models were fitted to (sizes with at least
+    /// one resolved trial), in cell order.
+    pub points: Vec<ScalingPoint>,
+    /// Candidate fits and the preferred model.
+    pub selection: GrowthSelection,
+}
+
+/// The full growth-law analysis of one sweep report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingReport {
+    /// One entry per (family × process × series), families then
+    /// processes in first-appearance order, the steps series first
+    /// within each group.
+    pub series: Vec<SeriesFit>,
+}
+
+/// Why a report could not be analysed for growth laws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalingError {
+    /// A series could not be fitted (too few resolved sizes, identical
+    /// sizes, non-finite data, …).
+    Series {
+        /// Family key of the failing series.
+        family: String,
+        /// Process label of the failing series.
+        process: String,
+        /// Series name.
+        series: String,
+        /// Underlying fit error.
+        source: FitError,
+    },
+    /// The report has no cells at all.
+    Empty,
+}
+
+impl fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalingError::Series {
+                family,
+                process,
+                series,
+                source,
+            } => write!(
+                f,
+                "growth-law fit for {family}/{process}/{series}: {source} \
+                 (a sweep needs >= 3 completed sizes per series)"
+            ),
+            ScalingError::Empty => write!(f, "report has no cells to analyse"),
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+/// Fits growth laws to every (family × process × series) of a sweep
+/// report. Cells are grouped by the size-free
+/// [`family_label`](crate::spec::GraphSpec::family_label) first, so a
+/// sweep over several families (`--graph "regular:{…},4;cycle:{…}"`)
+/// fits each family's curve separately instead of silently mixing them.
+///
+/// # Errors
+///
+/// [`ScalingError`] when the report is empty or any series cannot support
+/// the fits — too few sizes with resolved values, all sizes identical, or
+/// non-finite aggregates. This is the path by which a degenerate sweep
+/// spec surfaces as a CLI error instead of a worker panic.
+pub fn analyze(report: &ExperimentReport) -> Result<ScalingReport, ScalingError> {
+    if report.cells.is_empty() {
+        return Err(ScalingError::Empty);
+    }
+    let mut groups: Vec<(&str, &str)> = Vec::new();
+    for cell in &report.cells {
+        let key = (cell.family.as_str(), cell.process.as_str());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    let metric_names: Vec<String> = report.cells[0]
+        .metrics
+        .iter()
+        .map(|m| m.name.clone())
+        .collect();
+    let mut series = Vec::new();
+    for (family, process) in groups {
+        let cells: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.family == family && c.process == process)
+            .collect();
+        let fit_series = |name: &str,
+                          points: Vec<ScalingPoint>|
+         -> Result<SeriesFit, ScalingError> {
+            let selection = fit_growth_models(&points).map_err(|source| ScalingError::Series {
+                family: family.to_string(),
+                process: process.to_string(),
+                series: name.to_string(),
+                source,
+            })?;
+            Ok(SeriesFit {
+                family: family.to_string(),
+                process: process.to_string(),
+                series: name.to_string(),
+                points,
+                selection,
+            })
+        };
+        let steps_points: Vec<ScalingPoint> = cells
+            .iter()
+            .filter(|c| c.completed > 0)
+            .map(|c| ScalingPoint {
+                n: c.n,
+                m: c.m,
+                y: c.steps.mean(),
+            })
+            .collect();
+        series.push(fit_series(STEPS_SERIES, steps_points)?);
+        for (mi, name) in metric_names.iter().enumerate() {
+            let points: Vec<ScalingPoint> = cells
+                .iter()
+                .filter(|c| c.metrics[mi].stats.count() > 0)
+                .map(|c| ScalingPoint {
+                    n: c.n,
+                    m: c.m,
+                    y: c.metrics[mi].stats.mean(),
+                })
+                .collect();
+            series.push(fit_series(name, points)?);
+        }
+    }
+    Ok(ScalingReport { series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run, RunOptions};
+    use crate::spec::{
+        CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, ResamplePlan, RuleSpec, Target,
+    };
+    use eproc_stats::scaling::GrowthModel;
+
+    fn sweep_spec(sizes: &[usize]) -> ExperimentSpec {
+        ExperimentSpec {
+            name: "scale-test".into(),
+            description: "unit-test sweep".into(),
+            graphs: sizes
+                .iter()
+                .map(|&n| GraphSpec::Regular { n, d: 4 })
+                .collect(),
+            processes: vec![
+                ProcessSpec::EProcess {
+                    rule: RuleSpec::Uniform,
+                },
+                ProcessSpec::Srw,
+            ],
+            trials: 3,
+            target: Target::VertexCover,
+            metrics: vec![],
+            start: 0,
+            cap: CapSpec::NLogN(5_000.0),
+            resample: Some(ResamplePlan { walks_per_graph: 3 }),
+        }
+    }
+
+    #[test]
+    fn analyze_produces_one_series_per_process() {
+        let report = run(
+            &sweep_spec(&[64, 128, 256, 512]),
+            &RunOptions {
+                threads: 2,
+                base_seed: 5,
+            },
+        )
+        .unwrap();
+        let scaling = analyze(&report).unwrap();
+        assert_eq!(scaling.series.len(), 2);
+        assert_eq!(scaling.series[0].process, "e-process(uniform)");
+        assert_eq!(scaling.series[0].series, STEPS_SERIES);
+        assert_eq!(scaling.series[1].process, "srw");
+        for s in &scaling.series {
+            assert_eq!(s.points.len(), 4);
+            assert!(!s.selection.fits.is_empty());
+            // The e-process on an even-degree expander grows linearly.
+            if s.process.starts_with("e-process") {
+                assert!(
+                    s.selection.preferred.is_linear(),
+                    "e-process preferred {:?}",
+                    s.selection.preferred
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_is_a_pure_function_of_the_report() {
+        let report = run(
+            &sweep_spec(&[64, 128, 256]),
+            &RunOptions {
+                threads: 3,
+                base_seed: 9,
+            },
+        )
+        .unwrap();
+        assert_eq!(analyze(&report).unwrap(), analyze(&report).unwrap());
+    }
+
+    #[test]
+    fn degenerate_sweeps_surface_errors_not_panics() {
+        // Two sizes only: below MIN_SWEEP_POINTS.
+        let report = run(
+            &sweep_spec(&[64, 128]),
+            &RunOptions {
+                threads: 1,
+                base_seed: 1,
+            },
+        )
+        .unwrap();
+        let err = analyze(&report).unwrap_err();
+        assert!(matches!(err, ScalingError::Series { .. }), "{err}");
+        assert!(err.to_string().contains("growth-law fit"), "{err}");
+
+        // Identical sizes: no growth information.
+        let report = run(
+            &sweep_spec(&[64, 64, 64]),
+            &RunOptions {
+                threads: 1,
+                base_seed: 2,
+            },
+        )
+        .unwrap();
+        assert!(analyze(&report).is_err());
+
+        // Nothing completes within a 1-step cap: zero resolved sizes.
+        let mut capped = sweep_spec(&[64, 128, 256]);
+        capped.cap = CapSpec::Absolute(1);
+        let report = run(
+            &capped,
+            &RunOptions {
+                threads: 1,
+                base_seed: 3,
+            },
+        )
+        .unwrap();
+        let err = analyze(&report).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ScalingError::Series {
+                    source: FitError::TooFewPoints { .. },
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_cycle_sweep_is_exactly_linear() {
+        // The E-process walks a cycle deterministically: CV = n - 1 and
+        // m = n, so the affine model a + b·m fits with zero residual and
+        // must be preferred over c·m (which cannot absorb the -1).
+        let spec = ExperimentSpec {
+            graphs: [32usize, 64, 128, 256]
+                .iter()
+                .map(|&n| GraphSpec::Cycle { n })
+                .collect(),
+            processes: vec![ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            }],
+            resample: None,
+            ..sweep_spec(&[64])
+        };
+        let report = run(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                base_seed: 7,
+            },
+        )
+        .unwrap();
+        let scaling = analyze(&report).unwrap();
+        let sel = &scaling.series[0].selection;
+        assert_eq!(sel.preferred, GrowthModel::AffineEdges);
+        let fit = sel.preferred_fit();
+        assert!((fit.fit.slope - 1.0).abs() < 1e-9);
+        assert!((fit.fit.intercept + 1.0).abs() < 1e-6);
+    }
+}

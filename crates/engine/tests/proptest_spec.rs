@@ -2,7 +2,9 @@
 //! exact inverses for every variant, and strict parsing must reject
 //! malformed input rather than silently dropping it.
 
-use eproc_engine::spec::{GraphSpec, MetricSpec, ProcessSpec, RuleSpec};
+use eproc_engine::spec::{
+    GraphSpec, MetricSpec, ProcessSpec, RuleSpec, SweepRange, SweepStep, MAX_SWEEP_POINTS,
+};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary [`GraphSpec`] covering every variant. The
@@ -75,6 +77,40 @@ fn arb_process_spec() -> impl Strategy<Value = ProcessSpec> {
     })
 }
 
+/// Strategy: a valid [`SweepRange`] whose end is exactly the last point,
+/// so the expected point count is known in closed form.
+fn arb_sweep_range() -> impl Strategy<Value = SweepRange> {
+    (1usize..10_000, 2usize..6, 1usize..7, 1usize..500, 0usize..2).prop_map(
+        |(start, factor, npoints, stride, kind)| match kind {
+            0 => SweepRange {
+                start,
+                end: start * factor.pow(npoints as u32 - 1),
+                step: SweepStep::Factor(factor),
+            },
+            _ => SweepRange {
+                start,
+                end: start + stride * (npoints - 1),
+                step: SweepStep::Stride(stride),
+            },
+        },
+    )
+}
+
+fn expected_points(r: &SweepRange) -> usize {
+    match r.step {
+        SweepStep::Factor(f) => {
+            let mut k = 0;
+            let mut cur = r.start;
+            while cur <= r.end {
+                k += 1;
+                cur *= f;
+            }
+            k
+        }
+        SweepStep::Stride(d) => (r.end - r.start) / d + 1,
+    }
+}
+
 fn arb_metric_spec() -> impl Strategy<Value = MetricSpec> {
     (0usize..5, 1usize..1_000, 1u32..99).prop_map(|(variant, v, delta)| match variant {
         0 => MetricSpec::Cover,
@@ -131,6 +167,53 @@ proptest! {
     fn metric_spec_round_trips(spec in arb_metric_spec()) {
         let cli = spec.to_cli();
         prop_assert_eq!(MetricSpec::parse(&cli).unwrap(), spec);
+    }
+
+    #[test]
+    fn sweep_range_round_trips(range in arb_sweep_range()) {
+        let cli = range.to_cli();
+        prop_assert_eq!(SweepRange::parse(&cli).unwrap(), range);
+        let points = range.points().unwrap();
+        prop_assert_eq!(points.len(), expected_points(&range));
+        prop_assert_eq!(points[0], range.start);
+        prop_assert!(points.iter().all(|&p| p >= range.start && p <= range.end));
+        prop_assert!(points.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        prop_assert!(points.len() <= MAX_SWEEP_POINTS);
+    }
+
+    #[test]
+    fn descending_sweep_ranges_are_rejected(lo in 1usize..10_000, delta in 1usize..10_000) {
+        let s = format!("{}..{},x2", lo + delta, lo);
+        prop_assert!(SweepRange::parse(&s).is_err(), "accepted descending {}", s);
+    }
+
+    #[test]
+    fn non_advancing_or_empty_sweeps_are_rejected(lo in 1usize..10_000) {
+        prop_assert!(SweepRange::parse(&format!("{lo}..{},x1", lo * 4)).is_err());
+        prop_assert!(SweepRange::parse(&format!("{lo}..{},+0", lo * 4)).is_err());
+        prop_assert!(SweepRange::parse(&format!("0..{lo},x2")).is_err());
+        prop_assert!(SweepRange::parse("").is_err());
+    }
+
+    #[test]
+    fn overflowing_sweep_sizes_are_rejected(digits in 20usize..40) {
+        // A size literal with 20+ digits overflows usize on every target.
+        let huge = "9".repeat(digits);
+        prop_assert!(SweepRange::parse(&format!("1..{huge},x2")).is_err());
+        prop_assert!(SweepRange::parse(&format!("{huge}..{huge},x2")).is_err());
+    }
+
+    #[test]
+    fn swept_graph_specs_expand_sizes(range in arb_sweep_range(), d in 3usize..7) {
+        let s = format!("regular:~{{{}}},{d}", range.to_cli());
+        let (specs, resample, parsed) = GraphSpec::parse_with_sweep(&s).unwrap();
+        prop_assert!(resample);
+        prop_assert_eq!(parsed.unwrap(), range);
+        let points = range.points().unwrap();
+        prop_assert_eq!(specs.len(), points.len());
+        for (spec, &n) in specs.iter().zip(&points) {
+            prop_assert_eq!(spec.clone(), GraphSpec::Regular { n, d });
+        }
     }
 
     #[test]

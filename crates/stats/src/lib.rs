@@ -4,6 +4,9 @@
 //! * [`online`] — Welford streaming accumulator;
 //! * [`regression`] — least-squares fits, in particular `y = c · n ln n`
 //!   (the model the paper fits to Figure 1's odd-degree series);
+//! * [`scaling`] — competing growth-model fits (`c·m`, `a+b·m`,
+//!   `c·n ln n`) with residual-based model selection, the statistical
+//!   core of the `eproc scale` size-sweep subsystem;
 //! * [`table`] — plain-text/CSV table rendering for the experiment
 //!   binaries;
 //! * [`seeds`] — SplitMix64 seed derivation so every table cell is
@@ -15,13 +18,18 @@
 pub mod histogram;
 pub mod online;
 pub mod regression;
+pub mod scaling;
 pub mod seeds;
 pub mod summary;
 pub mod table;
 
 pub use histogram::Histogram;
 pub use online::OnlineStats;
-pub use regression::{fit_c_nlogn, fit_linear, fit_proportional};
+pub use regression::{
+    fit_c_nlogn, fit_linear, fit_proportional, try_fit_c_nlogn, try_fit_linear,
+    try_fit_proportional, FitError,
+};
+pub use scaling::{fit_growth_models, GrowthModel, GrowthSelection, ModelFit, ScalingPoint};
 pub use seeds::SeedSequence;
 pub use summary::Summary;
 pub use table::TextTable;

@@ -4,6 +4,65 @@
 //! E-process series ("The constant c used to draw the curve was determined
 //! by inspection"); we determine it by least squares instead, plus a plain
 //! proportional fit `y = c·x` for the flat even-degree series.
+//!
+//! Every fit comes in two shapes: a fallible `try_fit_*` returning
+//! [`Result<Fit, FitError>`] — the form the scaling subsystem uses, so a
+//! degenerate sweep (identical sizes, an empty series, `n < 2` under the
+//! `n ln n` model) surfaces as a CLI error instead of a worker panic —
+//! and a thin panicking `fit_*` wrapper for call sites that have already
+//! validated their input.
+
+use std::fmt;
+
+/// Why a least-squares fit could not be computed from the given data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// `x` and `y` have different lengths.
+    LengthMismatch {
+        /// Number of `x` values.
+        x: usize,
+        /// Number of `y` values.
+        y: usize,
+    },
+    /// Fewer points than the model can be identified from.
+    TooFewPoints {
+        /// Minimum points the model needs.
+        needed: usize,
+        /// Points actually supplied.
+        got: usize,
+    },
+    /// The predictor carries no information: all `x` values are identical
+    /// (ordinary least squares) or identically zero (through-origin fit).
+    DegenerateX,
+    /// The `c·n ln n` model is undefined for `n < 2` (`ln 1 = 0`,
+    /// `ln 0` diverges).
+    SmallN {
+        /// The offending size.
+        n: usize,
+    },
+    /// A non-finite (`NaN`/`±∞`) value appeared in the input.
+    NonFinite,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FitError::LengthMismatch { x, y } => {
+                write!(f, "x/y length mismatch ({x} x values, {y} y values)")
+            }
+            FitError::TooFewPoints { needed, got } => {
+                write!(f, "need at least {needed} point(s), got {got}")
+            }
+            FitError::DegenerateX => {
+                write!(f, "all x values are identical or zero: slope is undefined")
+            }
+            FitError::SmallN { n } => write!(f, "n ln n model needs n >= 2, got n = {n}"),
+            FitError::NonFinite => write!(f, "non-finite value in fit input"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
 
 /// A fitted model with its coefficient of determination.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,64 +94,137 @@ fn r_squared(y: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
     }
 }
 
+fn check_finite(x: &[f64], y: &[f64]) -> Result<(), FitError> {
+    if x.iter().chain(y).all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(FitError::NonFinite)
+    }
+}
+
 /// Ordinary least squares `y = a + b x`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than 2 points or mismatched lengths, or all `x` equal.
-pub fn fit_linear(x: &[f64], y: &[f64]) -> Fit {
-    assert_eq!(x.len(), y.len(), "x/y length mismatch");
-    assert!(x.len() >= 2, "need at least two points");
+/// [`FitError`] on mismatched lengths, fewer than 2 points, non-finite
+/// input, or all `x` identical.
+pub fn try_fit_linear(x: &[f64], y: &[f64]) -> Result<Fit, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(FitError::TooFewPoints {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    check_finite(x, y)?;
     let n = x.len() as f64;
     let sx: f64 = x.iter().sum();
     let sy: f64 = y.iter().sum();
     let sxx: f64 = x.iter().map(|v| v * v).sum();
     let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
     let denom = n * sxx - sx * sx;
-    assert!(denom.abs() > 1e-300, "all x values are identical");
+    if denom.abs() <= 1e-300 {
+        return Err(FitError::DegenerateX);
+    }
     let slope = (n * sxy - sx * sy) / denom;
     let intercept = (sy - slope * sx) / n;
     let rsq = r_squared(y, |i| intercept + slope * x[i]);
-    Fit {
+    Ok(Fit {
         intercept,
         slope,
         r_squared: rsq,
-    }
+    })
 }
 
 /// Through-origin fit `y = c x` (used for the flat `C_V/n` series: fit
 /// cover time proportional to `n`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on mismatched lengths, empty input, or all-zero `x`.
-pub fn fit_proportional(x: &[f64], y: &[f64]) -> Fit {
-    assert_eq!(x.len(), y.len(), "x/y length mismatch");
-    assert!(!x.is_empty(), "need at least one point");
+/// [`FitError`] on mismatched lengths, empty input, non-finite values, or
+/// all-zero `x`.
+pub fn try_fit_proportional(x: &[f64], y: &[f64]) -> Result<Fit, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
+    }
+    if x.is_empty() {
+        return Err(FitError::TooFewPoints { needed: 1, got: 0 });
+    }
+    check_finite(x, y)?;
     let sxx: f64 = x.iter().map(|v| v * v).sum();
-    assert!(sxx > 0.0, "x must not be identically zero");
+    if sxx <= 0.0 {
+        return Err(FitError::DegenerateX);
+    }
     let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
     let c = sxy / sxx;
     let rsq = r_squared(y, |i| c * x[i]);
-    Fit {
+    Ok(Fit {
         intercept: 0.0,
         slope: c,
         r_squared: rsq,
-    }
+    })
 }
 
 /// Fits `y = c · n ln n` to `(n, y)` pairs — the model the paper draws over
 /// Figure 1's odd-degree series.
 ///
+/// # Errors
+///
+/// [`FitError`] on mismatched lengths, empty input, non-finite `y`, or any
+/// `n < 2`.
+pub fn try_fit_c_nlogn(ns: &[usize], y: &[f64]) -> Result<Fit, FitError> {
+    if ns.len() != y.len() {
+        return Err(FitError::LengthMismatch {
+            x: ns.len(),
+            y: y.len(),
+        });
+    }
+    if ns.is_empty() {
+        return Err(FitError::TooFewPoints { needed: 1, got: 0 });
+    }
+    if let Some(&n) = ns.iter().find(|&&n| n < 2) {
+        return Err(FitError::SmallN { n });
+    }
+    let x: Vec<f64> = ns.iter().map(|&n| n as f64 * (n as f64).ln()).collect();
+    try_fit_proportional(&x, y)
+}
+
+/// Ordinary least squares `y = a + b x`.
+///
 /// # Panics
 ///
-/// Panics on mismatched lengths, empty input, or any `n < 2`.
+/// Panics where [`try_fit_linear`] would error (fewer than 2 points,
+/// mismatched lengths, all `x` identical, non-finite input).
+pub fn fit_linear(x: &[f64], y: &[f64]) -> Fit {
+    try_fit_linear(x, y).unwrap_or_else(|e| panic!("fit_linear: {e}"))
+}
+
+/// Through-origin fit `y = c x`.
+///
+/// # Panics
+///
+/// Panics where [`try_fit_proportional`] would error (mismatched lengths,
+/// empty input, all-zero `x`, non-finite input).
+pub fn fit_proportional(x: &[f64], y: &[f64]) -> Fit {
+    try_fit_proportional(x, y).unwrap_or_else(|e| panic!("fit_proportional: {e}"))
+}
+
+/// Fits `y = c · n ln n` to `(n, y)` pairs.
+///
+/// # Panics
+///
+/// Panics where [`try_fit_c_nlogn`] would error (mismatched lengths,
+/// empty input, any `n < 2`, non-finite `y`).
 pub fn fit_c_nlogn(ns: &[usize], y: &[f64]) -> Fit {
-    assert_eq!(ns.len(), y.len(), "n/y length mismatch");
-    assert!(!ns.is_empty(), "need at least one point");
-    assert!(ns.iter().all(|&n| n >= 2), "n ln n model needs n >= 2");
-    let x: Vec<f64> = ns.iter().map(|&n| n as f64 * (n as f64).ln()).collect();
-    fit_proportional(&x, y)
+    try_fit_c_nlogn(ns, y).unwrap_or_else(|e| panic!("fit_c_nlogn: {e}"))
 }
 
 #[cfg(test)]
@@ -167,5 +299,69 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_rejected() {
         let _ = fit_proportional(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_fits_return_typed_errors() {
+        assert_eq!(
+            try_fit_linear(&[2.0, 2.0], &[1.0, 5.0]),
+            Err(FitError::DegenerateX)
+        );
+        assert_eq!(
+            try_fit_linear(&[1.0], &[1.0]),
+            Err(FitError::TooFewPoints { needed: 2, got: 1 })
+        );
+        assert_eq!(
+            try_fit_proportional(&[1.0], &[1.0, 2.0]),
+            Err(FitError::LengthMismatch { x: 1, y: 2 })
+        );
+        assert_eq!(
+            try_fit_proportional(&[], &[]),
+            Err(FitError::TooFewPoints { needed: 1, got: 0 })
+        );
+        assert_eq!(
+            try_fit_proportional(&[0.0, 0.0], &[1.0, 2.0]),
+            Err(FitError::DegenerateX)
+        );
+        assert_eq!(
+            try_fit_c_nlogn(&[1, 100], &[1.0, 2.0]),
+            Err(FitError::SmallN { n: 1 })
+        );
+        assert_eq!(
+            try_fit_c_nlogn(&[], &[]),
+            Err(FitError::TooFewPoints { needed: 1, got: 0 })
+        );
+        assert_eq!(
+            try_fit_linear(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(FitError::NonFinite)
+        );
+        assert_eq!(
+            try_fit_proportional(&[1.0, 2.0], &[f64::INFINITY, 2.0]),
+            Err(FitError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn try_fit_matches_panicking_wrapper_on_valid_input() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.1, 4.9, 7.2, 8.8];
+        assert_eq!(try_fit_linear(&x, &y).unwrap(), fit_linear(&x, &y));
+        assert_eq!(
+            try_fit_proportional(&x, &y).unwrap(),
+            fit_proportional(&x, &y)
+        );
+        let ns = [10usize, 20, 40];
+        let yy = [5.0, 11.0, 25.0];
+        assert_eq!(try_fit_c_nlogn(&ns, &yy).unwrap(), fit_c_nlogn(&ns, &yy));
+    }
+
+    #[test]
+    fn fit_error_messages_name_the_problem() {
+        assert!(FitError::DegenerateX.to_string().contains("identical"));
+        assert!(FitError::LengthMismatch { x: 1, y: 2 }
+            .to_string()
+            .contains("length mismatch"));
+        assert!(FitError::SmallN { n: 1 }.to_string().contains("n >= 2"));
+        assert!(FitError::NonFinite.to_string().contains("non-finite"));
     }
 }

@@ -1,0 +1,336 @@
+//! Growth-model fitting and selection for size sweeps.
+//!
+//! The paper's headline claim is a *growth rate*: the E-process covers
+//! high-girth even-degree expanders in `Θ(m)` steps, versus `Θ(n log n)`
+//! for the simple random walk (and for the odd-degree case of
+//! Cooper–Frieze–Johansson / Johansson). Reproducing that end to end
+//! means sweeping `n` across decades and *selecting* the growth model
+//! that explains the measured series — not just fitting one model by
+//! fiat. This module fits each series against the three competing models
+//!
+//! * [`GrowthModel::ProportionalEdges`] — `y = c·m` (the paper's linear
+//!   claim, through the edge count),
+//! * [`GrowthModel::AffineEdges`] — `y = a + b·m` (linear with offset),
+//! * [`GrowthModel::NLogN`] — `y = c·n ln n` (the SRW / odd-degree law),
+//!
+//! via the least-squares core in [`crate::regression`], then selects by a
+//! residual-based criterion: the AIC-style score `k·ln(SSR/k) + 2p`
+//! (`k` points, `p` parameters), lowest wins. The `2p` term is what keeps
+//! the affine model from winning on pure `c·m` data merely by carrying a
+//! spare intercept — it must *earn* the extra parameter with an
+//! `e^{2/k}`-fold residual reduction.
+
+use crate::regression::{try_fit_c_nlogn, try_fit_linear, try_fit_proportional, Fit, FitError};
+
+/// Minimum sweep points for model selection: with fewer than 3 sizes the
+/// two-parameter affine model interpolates anything and the comparison is
+/// vacuous.
+pub const MIN_SWEEP_POINTS: usize = 3;
+
+/// Floor applied to SSR before the logarithm in the AIC score, so an
+/// exact fit yields a huge-but-finite negative score instead of `-∞`
+/// (which would not survive JSON serialisation).
+const SSR_FLOOR: f64 = 1e-300;
+
+/// One candidate growth law for a steps-vs-size series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthModel {
+    /// `y = c·m`: linear in the edge count — the paper's Θ(m) claim for
+    /// even-degree high-girth expanders.
+    ProportionalEdges,
+    /// `y = a + b·m`: linear in the edge count with an offset.
+    AffineEdges,
+    /// `y = c·n ln n`: the simple-random-walk / odd-degree law.
+    NLogN,
+}
+
+impl GrowthModel {
+    /// All models, in the canonical report order.
+    pub fn all() -> [GrowthModel; 3] {
+        [
+            GrowthModel::ProportionalEdges,
+            GrowthModel::AffineEdges,
+            GrowthModel::NLogN,
+        ]
+    }
+
+    /// Stable ASCII label used in tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GrowthModel::ProportionalEdges => "c*m",
+            GrowthModel::AffineEdges => "a+b*m",
+            GrowthModel::NLogN => "c*n*ln(n)",
+        }
+    }
+
+    /// Number of free parameters (the `p` in the selection score).
+    pub fn params(&self) -> usize {
+        match self {
+            GrowthModel::ProportionalEdges | GrowthModel::NLogN => 1,
+            GrowthModel::AffineEdges => 2,
+        }
+    }
+
+    /// `true` for the models whose growth is linear in the graph size —
+    /// the paper-side of the linear-vs-`n log n` dichotomy.
+    pub fn is_linear(&self) -> bool {
+        matches!(
+            self,
+            GrowthModel::ProportionalEdges | GrowthModel::AffineEdges
+        )
+    }
+
+    /// Predicted value at a sweep point under `fit`.
+    pub fn predict(&self, fit: &Fit, n: usize, m: usize) -> f64 {
+        match self {
+            GrowthModel::ProportionalEdges => fit.slope * m as f64,
+            GrowthModel::AffineEdges => fit.intercept + fit.slope * m as f64,
+            GrowthModel::NLogN => fit.slope * n as f64 * (n as f64).ln(),
+        }
+    }
+}
+
+/// One measured point of a size sweep: graph dimensions and the series
+/// value (typically a mean steps-to-target) at that size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Vertex count of the sweep cell.
+    pub n: usize,
+    /// Edge count of the sweep cell.
+    pub m: usize,
+    /// Series value at this size.
+    pub y: f64,
+}
+
+/// One fitted candidate model with its residual diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelFit {
+    /// The model fitted.
+    pub model: GrowthModel,
+    /// Fitted constants and `R²`.
+    pub fit: Fit,
+    /// Sum of squared residuals over the sweep points.
+    pub ssr: f64,
+    /// Selection score `k·ln(max(SSR, floor)/k) + 2p`; lower is better.
+    pub aic: f64,
+}
+
+/// The outcome of fitting every candidate model to one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthSelection {
+    /// Successfully fitted models, in [`GrowthModel::all`] order.
+    pub fits: Vec<ModelFit>,
+    /// The model the residual criterion prefers.
+    pub preferred: GrowthModel,
+}
+
+impl GrowthSelection {
+    /// The preferred model's fit.
+    ///
+    /// # Panics
+    ///
+    /// Never: construction guarantees `preferred` is one of `fits`.
+    pub fn preferred_fit(&self) -> &ModelFit {
+        self.fits
+            .iter()
+            .find(|f| f.model == self.preferred)
+            .expect("preferred model is always one of the fitted models")
+    }
+}
+
+fn ssr(model: GrowthModel, fit: &Fit, points: &[ScalingPoint]) -> f64 {
+    points
+        .iter()
+        .map(|p| {
+            let r = p.y - model.predict(fit, p.n, p.m);
+            r * r
+        })
+        .sum()
+}
+
+/// Fits every candidate [`GrowthModel`] to `points` and selects the one
+/// with the lowest residual score.
+///
+/// A model that cannot be fitted to this particular series (e.g.
+/// [`GrowthModel::NLogN`] when a point has `n < 2`) is silently dropped
+/// from the candidate set; the call errors only when *no* model survives
+/// or when the series itself is degenerate.
+///
+/// # Errors
+///
+/// [`FitError`] for fewer than [`MIN_SWEEP_POINTS`] points, a series
+/// without at least two distinct sizes, non-finite values, or when every
+/// candidate model fails to fit.
+pub fn fit_growth_models(points: &[ScalingPoint]) -> Result<GrowthSelection, FitError> {
+    if points.len() < MIN_SWEEP_POINTS {
+        return Err(FitError::TooFewPoints {
+            needed: MIN_SWEEP_POINTS,
+            got: points.len(),
+        });
+    }
+    let first_n = points[0].n;
+    if points.iter().all(|p| p.n == first_n) {
+        return Err(FitError::DegenerateX);
+    }
+    if points.iter().any(|p| !p.y.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+    let k = points.len() as f64;
+    let ms: Vec<f64> = points.iter().map(|p| p.m as f64).collect();
+    let ns: Vec<usize> = points.iter().map(|p| p.n).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    let mut fits = Vec::with_capacity(3);
+    let mut first_err = None;
+    for model in GrowthModel::all() {
+        let fitted = match model {
+            GrowthModel::ProportionalEdges => try_fit_proportional(&ms, &ys),
+            GrowthModel::AffineEdges => try_fit_linear(&ms, &ys),
+            GrowthModel::NLogN => try_fit_c_nlogn(&ns, &ys),
+        };
+        match fitted {
+            Ok(fit) => {
+                let ssr = ssr(model, &fit, points);
+                let aic = k * (ssr.max(SSR_FLOOR) / k).ln() + 2.0 * model.params() as f64;
+                fits.push(ModelFit {
+                    model,
+                    fit,
+                    ssr,
+                    aic,
+                });
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    let preferred = fits
+        .iter()
+        .min_by(|a, b| {
+            a.aic
+                .partial_cmp(&b.aic)
+                .expect("aic is finite by construction")
+                .then(a.model.params().cmp(&b.model.params()))
+        })
+        .map(|f| f.model);
+    match preferred {
+        Some(preferred) => Ok(GrowthSelection { fits, preferred }),
+        None => Err(first_err.expect("no fits implies at least one error")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(ns: &[usize], f: impl Fn(usize) -> f64) -> Vec<ScalingPoint> {
+        ns.iter()
+            .map(|&n| ScalingPoint {
+                n,
+                m: 2 * n,
+                y: f(n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proportional_data_prefers_proportional_model() {
+        // y = 1.1·m exactly: the affine model matches the residuals but
+        // must lose on the parameter penalty.
+        let points = sweep(&[500, 1000, 2000, 4000, 8000], |n| 1.1 * (2 * n) as f64);
+        let sel = fit_growth_models(&points).unwrap();
+        assert_eq!(sel.preferred, GrowthModel::ProportionalEdges);
+        assert!(sel.preferred.is_linear());
+        let fit = sel.preferred_fit();
+        assert!((fit.fit.slope - 1.1).abs() < 1e-9);
+        assert!(fit.fit.r_squared > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn noisy_linear_data_still_prefers_a_linear_model() {
+        // ±2% multiplicative wobble on y = 0.9·m.
+        let noise = [1.01, 0.98, 1.02, 0.99, 1.015, 0.985];
+        let ns = [500usize, 1000, 2000, 4000, 8000, 16000];
+        let points: Vec<ScalingPoint> = ns
+            .iter()
+            .zip(noise)
+            .map(|(&n, w)| ScalingPoint {
+                n,
+                m: 2 * n,
+                y: 0.9 * (2 * n) as f64 * w,
+            })
+            .collect();
+        let sel = fit_growth_models(&points).unwrap();
+        assert!(sel.preferred.is_linear(), "preferred {:?}", sel.preferred);
+    }
+
+    #[test]
+    fn nlogn_data_prefers_nlogn_model() {
+        let points = sweep(&[500, 1000, 2000, 4000, 8000], |n| {
+            1.5 * n as f64 * (n as f64).ln()
+        });
+        let sel = fit_growth_models(&points).unwrap();
+        assert_eq!(sel.preferred, GrowthModel::NLogN);
+        assert!(!sel.preferred.is_linear());
+        assert!((sel.preferred_fit().fit.slope - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affine_data_earns_its_intercept() {
+        // A genuine offset: y = 5000 + 0.5·m. Proportional misfits it,
+        // affine nails it.
+        let points = sweep(&[500, 1000, 2000, 4000], |n| 5000.0 + 0.5 * (2 * n) as f64);
+        let sel = fit_growth_models(&points).unwrap();
+        assert_eq!(sel.preferred, GrowthModel::AffineEdges);
+        let fit = sel.preferred_fit();
+        assert!((fit.fit.intercept - 5000.0).abs() < 1e-6);
+        assert!((fit.fit.slope - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_series_error_out() {
+        assert_eq!(
+            fit_growth_models(&[]),
+            Err(FitError::TooFewPoints { needed: 3, got: 0 })
+        );
+        let two = sweep(&[100, 200], |n| n as f64);
+        assert_eq!(
+            fit_growth_models(&two),
+            Err(FitError::TooFewPoints { needed: 3, got: 2 })
+        );
+        let same = sweep(&[100, 100, 100], |n| n as f64);
+        assert_eq!(fit_growth_models(&same), Err(FitError::DegenerateX));
+        let mut bad = sweep(&[100, 200, 400], |n| n as f64);
+        bad[1].y = f64::NAN;
+        assert_eq!(fit_growth_models(&bad), Err(FitError::NonFinite));
+    }
+
+    #[test]
+    fn tiny_sizes_drop_the_nlogn_candidate() {
+        // n = 1 breaks the n ln n model; the linear models still fit and
+        // one of them is selected.
+        let points = sweep(&[1, 10, 100], |n| n as f64);
+        let sel = fit_growth_models(&points).unwrap();
+        assert!(sel.fits.iter().all(|f| f.model != GrowthModel::NLogN));
+        assert!(sel.preferred.is_linear());
+    }
+
+    #[test]
+    fn model_metadata_is_consistent() {
+        for model in GrowthModel::all() {
+            assert!(!model.label().is_empty());
+            assert!(model.params() >= 1);
+        }
+        assert_eq!(GrowthModel::AffineEdges.params(), 2);
+        let fit = Fit {
+            intercept: 1.0,
+            slope: 2.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(GrowthModel::ProportionalEdges.predict(&fit, 10, 20), 40.0);
+        assert_eq!(GrowthModel::AffineEdges.predict(&fit, 10, 20), 41.0);
+        let nl = GrowthModel::NLogN.predict(&fit, 10, 20);
+        assert!((nl - 2.0 * 10.0 * 10.0f64.ln()).abs() < 1e-12);
+    }
+}
