@@ -1,0 +1,114 @@
+//! Cost of the telemetry layer on an end-to-end engine run.
+//!
+//! Three variants on an identical spec: the plain `run` entry point
+//! (pre-telemetry baseline), `run_with_sink(&NullSink)` (the disabled
+//! path every uninstrumented caller now takes — must be free, the
+//! `enabled()` latch skips event construction and clock reads
+//! wholesale), and `run_with_sink(&SummarySink)` (a live sink folding
+//! every event, the per-block overhead an instrumented run pays).
+//! Writes `target/experiments/BENCH_telemetry.json`; the CI gate on the
+//! walk kernel itself lives in `walk_kernel.rs` — this bench prices the
+//! executor-level instrumentation around it.
+
+use eproc_bench::output_dir;
+use eproc_engine::executor::{run, run_with_sink, RunOptions};
+use eproc_engine::spec::{
+    CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, ResamplePlan, RuleSpec, Target,
+};
+use eproc_telemetry::{NullSink, SummarySink};
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+/// Minimum seconds over `SAMPLES` timed runs — the least-interference
+/// estimate when comparing variants on a shared machine.
+fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "telemetry-overhead".into(),
+        description: "sink overhead bench".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: 2_000, d: 3 },
+            GraphSpec::Regular { n: 2_000, d: 4 },
+        ],
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 6,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(5_000.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
+fn main() {
+    let spec = bench_spec();
+    let opts = RunOptions {
+        base_seed: 12345,
+        ..RunOptions::auto()
+    };
+
+    run(&spec, &opts).expect("warm-up run");
+    let baseline_secs = best_secs(|| {
+        run(&spec, &opts).expect("timed run");
+    });
+    let null_secs = best_secs(|| {
+        run_with_sink(&spec, &opts, &NullSink).expect("timed run");
+    });
+    let live_secs = best_secs(|| {
+        let sink = SummarySink::new();
+        let report = run_with_sink(&spec, &opts, &sink).expect("timed run");
+        // Consume the roll-up so the fold cannot be optimised away.
+        assert_eq!(
+            sink.summary().total_trials,
+            report.cells.iter().map(|c| c.completed as u64).sum::<u64>()
+        );
+    });
+    let null_overhead = null_secs / baseline_secs;
+    let live_overhead = live_secs / baseline_secs;
+
+    println!(
+        "telemetry_overhead/baseline:  {:>8.2} ms (run, pre-telemetry path)",
+        baseline_secs * 1e3
+    );
+    println!(
+        "telemetry_overhead/null_sink: {:>8.2} ms ({null_overhead:.3}x, target ~1.0x)",
+        null_secs * 1e3
+    );
+    println!(
+        "telemetry_overhead/live_sink: {:>8.2} ms ({live_overhead:.3}x, SummarySink)",
+        live_secs * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \
+         \"spec\": \"2x random cubic/quartic n=2000, 2 processes, 6 trials, resample 2\",\n  \
+         \"samples\": {},\n  \
+         \"threads\": {},\n  \
+         \"baseline_secs\": {:.6},\n  \
+         \"null_sink_secs\": {:.6},\n  \
+         \"live_sink_secs\": {:.6},\n  \
+         \"null_sink_overhead\": {:.4},\n  \
+         \"live_sink_overhead\": {:.4}\n}}\n",
+        SAMPLES, opts.threads, baseline_secs, null_secs, live_secs, null_overhead, live_overhead,
+    );
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_telemetry.json");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("json: {}", path.display());
+}

@@ -20,19 +20,43 @@
 //! of `W` consecutive trials (default 1) gets its own freshly sampled
 //! graph, and the report splits variance into pooled, across-graph and
 //! within-graph components.
+//!
+//! Observability: `--progress` renders a live status line to stderr,
+//! `--telemetry PATH` writes a JSONL event log, and either flag also
+//! writes a `<artifact>.telemetry.json` sidecar with the wall-time
+//! breakdown. `--quiet` silences informational stderr chatter (errors
+//! always print). None of these affect the computed artifacts.
 
 use eproc_engine::builtin;
-use eproc_engine::executor::{run, RunOptions};
+use eproc_engine::executor::{run_with_sink, RunOptions};
 use eproc_engine::report::{save_json, save_json_with_scaling, scaling_table, to_text_table};
 use eproc_engine::scaling::analyze;
 use eproc_engine::spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, Scale, SweepRange,
     Target,
 };
+use eproc_telemetry::{JsonlSink, ProgressSink, SummarySink, Tee, TelemetrySink};
 use std::iter::Peekable;
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Set once by `--quiet` before any experiment runs: suppresses the
+/// CLI's informational stderr lines. Errors always print.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Prints an informational line to stderr unless `--quiet` is in effect.
+/// This is the CLI's one logging gate — everything that is not an error
+/// or a primary artifact (tables and paths go to stdout) flows through
+/// here.
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if !QUIET.load(Ordering::Relaxed) {
+            eprintln!($($arg)*);
+        }
+    };
+}
 
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
@@ -44,7 +68,8 @@ fn usage(err: &str) -> ! {
          usage:\n\
          \x20 eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]\n\
          \x20                  [--trials N] [--metrics M[,M...]] [--resample [W]]\n\
-         \x20                  [--json PATH] [--csv PATH]\n\
+         \x20                  [--json PATH] [--csv PATH] [--progress]\n\
+         \x20                  [--telemetry PATH] [--quiet]\n\
          \x20 eproc list\n\
          \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
@@ -71,6 +96,13 @@ fn usage(err: &str) -> ! {
          resampling     --resample [W]: every W consecutive trials (default 1)\n\
          \x20              share one freshly sampled graph; reports pooled,\n\
          \x20              across-graph and within-graph variance components\n\
+         telemetry      --progress: live status line on stderr (blocks, trial and\n\
+         \x20              step throughput, ETA); --telemetry PATH: structured JSONL\n\
+         \x20              event log; either flag also writes a\n\
+         \x20              <artifact>.telemetry.json wall-time/utilization sidecar.\n\
+         \x20              --quiet: suppress informational stderr (errors still\n\
+         \x20              print). All three apply to run, compare and scale and\n\
+         \x20              never change the computed artifacts.\n\
          \n\
          `scale` runs a size sweep and fits each (process x metric) series\n\
          against c*m, a+b*m and c*n*ln(n), selecting the growth model by\n\
@@ -94,6 +126,8 @@ struct CommonFlags {
     resample: Option<ResamplePlan>,
     json: Option<PathBuf>,
     csv: Option<PathBuf>,
+    progress: bool,
+    telemetry: Option<PathBuf>,
 }
 
 fn parse_u64(flag: &str, v: Option<String>) -> u64 {
@@ -194,6 +228,11 @@ fn parse_common<I: Iterator<Item = String>>(
         }
         "--json" => flags.json = Some(PathBuf::from(require_path("--json", args.next()))),
         "--csv" => flags.csv = Some(PathBuf::from(require_path("--csv", args.next()))),
+        "--progress" => flags.progress = true,
+        "--telemetry" => {
+            flags.telemetry = Some(PathBuf::from(require_path("--telemetry", args.next())));
+        }
+        "--quiet" => QUIET.store(true, Ordering::Relaxed),
         _ => return false,
     }
     true
@@ -235,7 +274,7 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
     if let Some(seed) = flags.seed {
         opts.base_seed = seed;
     }
-    eprintln!(
+    info!(
         "running {:?}: {} jobs ({} graphs x {} processes x {} trials) on {} threads, seed {}",
         spec.name,
         spec.total_jobs(),
@@ -246,14 +285,38 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         opts.base_seed
     );
     if let Some(plan) = spec.resample {
-        eprintln!(
+        info!(
             "resampling graphs per trial group: {} graph sample(s) per family, {} walk(s) each",
             plan.groups(spec.trials),
             plan.walks_per_graph
         );
     }
+    // Telemetry sinks: a live progress line, a JSONL event log, and — as
+    // soon as either is requested — a summary collector for the sidecar.
+    // All of them observe the run from outside the deterministic path;
+    // with none requested the tee is disabled and the executor takes its
+    // zero-cost NullSink path.
+    let progress = flags.progress.then(ProgressSink::new);
+    let jsonl = flags.telemetry.as_deref().map(|path| {
+        JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create telemetry log {}: {e}", path.display());
+            exit(1);
+        })
+    });
+    let summary = (progress.is_some() || jsonl.is_some()).then(SummarySink::new);
+    let mut sinks: Vec<&dyn TelemetrySink> = Vec::new();
+    if let Some(s) = &progress {
+        sinks.push(s);
+    }
+    if let Some(s) = &jsonl {
+        sinks.push(s);
+    }
+    if let Some(s) = &summary {
+        sinks.push(s);
+    }
+    let tee = Tee::new(sinks);
     let started = Instant::now();
-    let report = match run(&spec, &opts) {
+    let report = match run_with_sink(&spec, &opts, &tee) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -301,13 +364,16 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         Some(Ok(s)) => save_json_with_scaling(&report, s, flags.json.as_deref()),
         _ => save_json(&report, flags.json.as_deref()),
     };
-    match written {
-        Ok(path) => println!("json: {}", path.display()),
+    let artifact = match written {
+        Ok(path) => {
+            println!("json: {}", path.display());
+            path
+        }
         Err(e) => {
             eprintln!("error writing json artifact: {e}");
             exit(1);
         }
-    }
+    };
     if let Some(csv) = &flags.csv {
         if let Some(parent) = csv.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -320,7 +386,31 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
             }
         }
     }
-    eprintln!("wall time: {:.2}s", elapsed.as_secs_f64());
+    if let Some(jsonl) = &jsonl {
+        // Surface any write error the sink swallowed mid-run: a truncated
+        // event log must not pass silently as a complete one.
+        match jsonl.finish() {
+            Ok(()) => println!("telemetry: {}", jsonl.path().display()),
+            Err(e) => {
+                eprintln!(
+                    "error writing telemetry log {}: {e}",
+                    jsonl.path().display()
+                );
+                exit(1);
+            }
+        }
+    }
+    if let Some(summary) = &summary {
+        let sidecar = artifact.with_extension("telemetry.json");
+        match summary.summary().save(&sidecar) {
+            Ok(()) => println!("telemetry sidecar: {}", sidecar.display()),
+            Err(e) => {
+                eprintln!("error writing telemetry sidecar {}: {e}", sidecar.display());
+                exit(1);
+            }
+        }
+    }
+    info!("wall time: {:.2}s", elapsed.as_secs_f64());
     if matches!(scaling, Some(Err(_))) {
         exit(1);
     }

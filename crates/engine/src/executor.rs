@@ -39,6 +39,7 @@ use crate::with_kernel;
 use eproc_core::observe::{run_observed, Metrics, Observer, StopWhen};
 use eproc_graphs::Graph;
 use eproc_stats::{OnlineStats, SeedSequence};
+use eproc_telemetry::{Event, EventKind, NullSink, Stopwatch, TelemetrySink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -84,10 +85,25 @@ impl Default for RunOptions {
 pub enum EngineError {
     /// The spec failed validation.
     Spec(SpecError),
-    /// A graph family could not be constructed.
+    /// A graph family could not be constructed (shared-graph mode builds
+    /// every family up front, before the worker pool starts).
     Graph {
         /// Label of the failing family.
         graph: String,
+        /// Underlying generator error.
+        source: eproc_graphs::GraphError,
+    },
+    /// A resampled *(family, group)* block failed inside the worker pool:
+    /// the worker that claimed the block could not generate the group's
+    /// graph sample. Carries the full block context so a failure deep in
+    /// a long sweep names exactly which work unit died and where.
+    Block {
+        /// Label of the failing family.
+        graph: String,
+        /// Resample group whose sample failed.
+        group: usize,
+        /// Index of the worker that claimed the block.
+        worker: usize,
         /// Underlying generator error.
         source: eproc_graphs::GraphError,
     },
@@ -100,11 +116,30 @@ impl fmt::Display for EngineError {
             EngineError::Graph { graph, source } => {
                 write!(f, "building graph {graph}: {source}")
             }
+            EngineError::Block {
+                graph,
+                group,
+                worker,
+                source,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} failed to sample graph {graph} for trial group {group}: \
+                     {source}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Spec(e) => Some(e),
+            EngineError::Graph { source, .. } | EngineError::Block { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<SpecError> for EngineError {
     fn from(e: SpecError) -> EngineError {
@@ -264,15 +299,68 @@ pub fn resample_graph_seed(base_seed: u64, graph_index: usize, group: usize) -> 
 
 /// Builds every graph in the spec deterministically from `base_seed`.
 pub fn build_graphs(spec: &ExperimentSpec, base_seed: u64) -> Result<Vec<Graph>, EngineError> {
+    build_graphs_observed(spec, base_seed, &Telemetry::new(&NullSink))
+}
+
+/// The executor's telemetry context: the sink, the run clock every event
+/// is stamped with, and the `enabled()` answer latched once — workers
+/// test one boolean and skip event construction (and all clock reads)
+/// entirely when nobody is listening, so an uninstrumented run pays
+/// nothing on the hot path.
+struct Telemetry<'a> {
+    sink: &'a dyn TelemetrySink,
+    clock: Stopwatch,
+    live: bool,
+}
+
+impl<'a> Telemetry<'a> {
+    fn new(sink: &'a dyn TelemetrySink) -> Telemetry<'a> {
+        Telemetry {
+            sink,
+            clock: Stopwatch::start(),
+            live: sink.enabled(),
+        }
+    }
+
+    /// Stamps `kind` with the run clock and emits it. Callers guard with
+    /// `self.live` so disabled runs never construct an [`EventKind`].
+    fn emit(&self, kind: EventKind) {
+        self.sink.emit(&Event {
+            t_ns: self.clock.elapsed_ns(),
+            kind,
+        });
+    }
+}
+
+/// [`build_graphs`] with telemetry: emits one `graph_built` event per
+/// family when the sink is live. The builds (and their RNG draws) are
+/// identical either way.
+fn build_graphs_observed(
+    spec: &ExperimentSpec,
+    base_seed: u64,
+    tel: &Telemetry<'_>,
+) -> Result<Vec<Graph>, EngineError> {
     spec.graphs
         .iter()
         .enumerate()
         .map(|(gi, gs)| {
-            gs.build(graph_seed(base_seed, gi))
+            let gen = tel.live.then(Stopwatch::start);
+            let (g, attempts) = gs
+                .build_counted(graph_seed(base_seed, gi))
                 .map_err(|source| EngineError::Graph {
                     graph: gs.label(),
                     source,
-                })
+                })?;
+            if let Some(gen) = gen {
+                tel.emit(EventKind::GraphBuilt {
+                    graph: gs.label(),
+                    n: g.n(),
+                    m: g.m(),
+                    gen_ns: gen.elapsed_ns(),
+                    gen_attempts: attempts as u64,
+                });
+            }
+            Ok(g)
         })
         .collect()
 }
@@ -428,19 +516,51 @@ fn run_trial(
 ///
 /// Panics if `opts.threads == 0` or a worker thread panics.
 pub fn run(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ExperimentReport, EngineError> {
+    run_with_sink(spec, opts, &NullSink)
+}
+
+/// [`run`] with telemetry: emits structured [`Event`]s to `sink` as the
+/// run progresses — `run_started`, per-family `graph_built` (shared
+/// mode), per-block `block_claimed` / `block_completed`,
+/// `aggregation_merged` and `run_finished`.
+///
+/// # Determinism
+///
+/// The report is **byte-identical** to [`run`]'s for the same `(spec,
+/// opts.base_seed)` whatever the sink does: events carry labels and
+/// integers measured *around* the deterministic work, never feed back
+/// into it, and no RNG draw depends on the sink. A disabled sink (one
+/// whose [`TelemetrySink::enabled`] is `false`, like [`NullSink`]) skips
+/// event construction and clock reads entirely.
+///
+/// # Errors
+///
+/// As [`run`]; a graph failing *inside* the resample pool additionally
+/// carries its block context as [`EngineError::Block`].
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_with_sink(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    sink: &dyn TelemetrySink,
+) -> Result<ExperimentReport, EngineError> {
     // Validate before building: an infeasible family is a spec error the
     // caller should see immediately, not a generator failure. (`execute`
     // revalidates for direct `run_on_graphs` callers; the checks are
     // cheap and side-effect free.)
     spec.validate()?;
+    let tel = Telemetry::new(sink);
+    emit_run_started(spec, opts, &tel);
     if spec.resample.is_some() {
         // Resampled runs never touch a shared graph: every sample —
         // including the group-0 representative the report describes — is
         // generated inside the worker pool.
-        execute(spec, opts, None)
+        execute(spec, opts, None, &tel)
     } else {
-        let graphs = build_graphs(spec, opts.base_seed)?;
-        execute(spec, opts, Some(&graphs))
+        let graphs = build_graphs_observed(spec, opts.base_seed, &tel)?;
+        execute(spec, opts, Some(&graphs), &tel)
     }
 }
 
@@ -464,6 +584,26 @@ pub fn run_on_graphs(
     opts: &RunOptions,
     graphs: &[Graph],
 ) -> Result<ExperimentReport, EngineError> {
+    run_on_graphs_with_sink(spec, opts, graphs, &NullSink)
+}
+
+/// [`run_on_graphs`] with telemetry — see [`run_with_sink`] for the event
+/// contract. No `graph_built` events are emitted: the caller built the
+/// graphs.
+///
+/// # Errors
+///
+/// As [`run_on_graphs`].
+///
+/// # Panics
+///
+/// As [`run_on_graphs`].
+pub fn run_on_graphs_with_sink(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    graphs: &[Graph],
+    sink: &dyn TelemetrySink,
+) -> Result<ExperimentReport, EngineError> {
     assert_eq!(
         graphs.len(),
         spec.graphs.len(),
@@ -479,17 +619,49 @@ pub fn run_on_graphs(
             "run_on_graphs cannot honour prebuilt graphs under resampling; use run()",
         )));
     }
-    execute(spec, opts, Some(graphs))
+    spec.validate()?;
+    let tel = Telemetry::new(sink);
+    emit_run_started(spec, opts, &tel);
+    execute(spec, opts, Some(graphs), &tel)
+}
+
+/// Announces the full shape of the work ahead. Emitted by the public
+/// entry points *before* any graph is built, so `run_started` is always
+/// the stream's first event (the shape is a pure function of the
+/// validated spec and options — nothing here runs).
+fn emit_run_started(spec: &ExperimentSpec, opts: &RunOptions, tel: &Telemetry<'_>) {
+    if !tel.live {
+        return;
+    }
+    let total = spec.total_jobs();
+    let group_count = spec.resample.map_or(0, |plan| plan.groups(spec.trials));
+    tel.emit(EventKind::RunStarted {
+        name: spec.name.clone(),
+        graphs: spec.graphs.len(),
+        processes: spec.processes.len(),
+        trials: spec.trials,
+        blocks: if spec.resample.is_some() {
+            spec.graphs.len() * group_count
+        } else {
+            total
+        },
+        total_trials: total as u64,
+        workers: opts.threads.min(total.max(1)),
+        resampled: spec.resample.is_some(),
+    });
 }
 
 /// Shared core of [`run`] and [`run_on_graphs`]: validates, runs every
 /// trial on the worker pool and aggregates. `prebuilt` is `Some` in
 /// shared-graph mode; `None` means resample mode, where the reported
-/// `n`/`m` are harvested from each family's group-0 sample.
+/// `n`/`m` are harvested from each family's group-0 sample. `tel` is the
+/// run's telemetry context; all instrumentation is keyed off `tel.live`
+/// so a [`NullSink`] run takes the exact uninstrumented path.
 fn execute(
     spec: &ExperimentSpec,
     opts: &RunOptions,
     prebuilt: Option<&[Graph]>,
+    tel: &Telemetry<'_>,
 ) -> Result<ExperimentReport, EngineError> {
     assert!(opts.threads > 0, "need at least one worker thread");
     assert!(
@@ -557,16 +729,26 @@ fn execute(
         blocks: Vec<BlockAgg>,
         /// `(family, n, m)` of group-0 samples this worker built.
         rep_dims: Vec<(usize, usize, usize)>,
+        /// Trials this worker ran — kept by the worker (not a sink) so
+        /// the `run_finished` totals never depend on what a sink did.
+        trials_run: u64,
+        /// Walk steps this worker simulated.
+        steps_run: u64,
     }
     type WorkerResult = Result<WorkerOutput, EngineError>;
     let collected: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
                 scope.spawn(move || -> WorkerResult {
                     let mut local: Vec<(usize, TrialOutcome)> = Vec::new();
                     let mut local_blocks: Vec<BlockAgg> = Vec::new();
                     let mut rep_dims: Vec<(usize, usize, usize)> = Vec::new();
+                    let mut trials_run = 0u64;
+                    let mut steps_run = 0u64;
+                    // Latch the sink's liveness once per worker: a dead
+                    // sink costs the hot loop nothing beyond this bool.
+                    let live = tel.live;
                     match spec.resample {
                         None => {
                             // Shared-graph mode: one job = one trial.
@@ -588,7 +770,25 @@ fn execute(
                                     Some(b) if b.graph_index == gi => b,
                                     slot => slot.insert(ObserverBank::new(spec, &graphs[gi], gi)),
                                 };
-                                local.push((job, run_trial(spec, &graphs[gi], pi, seed, bank)));
+                                let walk = live.then(Stopwatch::start);
+                                let outcome = run_trial(spec, &graphs[gi], pi, seed, bank);
+                                trials_run += 1;
+                                steps_run += outcome.steps;
+                                if let Some(walk) = walk {
+                                    tel.emit(EventKind::BlockCompleted {
+                                        block: job,
+                                        family: spec.graphs[gi].label(),
+                                        group: t,
+                                        process: Some(spec.processes[pi].label()),
+                                        worker,
+                                        trials: 1,
+                                        steps: outcome.steps,
+                                        gen_ns: 0,
+                                        gen_attempts: 0,
+                                        walk_ns: walk.elapsed_ns(),
+                                    });
+                                }
+                                local.push((job, outcome));
                             }
                         }
                         Some(plan) => {
@@ -611,23 +811,58 @@ fn execute(
                                 }
                                 let gi = block / groups;
                                 let group = block % groups;
+                                if live {
+                                    tel.emit(EventKind::BlockClaimed {
+                                        block,
+                                        family: spec.graphs[gi].label(),
+                                        group,
+                                        worker,
+                                    });
+                                }
                                 let seed = resample_graph_seed(opts.base_seed, gi, group);
-                                let g = spec.graphs[gi].build(seed).map_err(|source| {
-                                    EngineError::Graph {
-                                        graph: spec.graphs[gi].label(),
-                                        source,
-                                    }
-                                })?;
+                                let gen = live.then(Stopwatch::start);
+                                let (g, attempts) =
+                                    spec.graphs[gi].build_counted(seed).map_err(|source| {
+                                        EngineError::Block {
+                                            graph: spec.graphs[gi].label(),
+                                            group,
+                                            worker,
+                                            source,
+                                        }
+                                    })?;
+                                let gen_ns = gen.map_or(0, |gen| gen.elapsed_ns());
                                 if group == 0 {
                                     rep_dims.push((gi, g.n(), g.m()));
                                 }
                                 let mut bank = ObserverBank::new(spec, &g, gi);
                                 let mut procs = vec![ProcAgg::new(n_cols); n_proc];
+                                let walk = live.then(Stopwatch::start);
+                                let mut block_trials = 0u64;
+                                let mut block_steps = 0u64;
                                 for (pi, agg) in procs.iter_mut().enumerate() {
                                     for t in group * w..((group + 1) * w).min(trials) {
                                         let seed = trial_seed(opts.base_seed, gi, pi, t);
-                                        agg.fold(run_trial(spec, &g, pi, seed, &mut bank));
+                                        let outcome = run_trial(spec, &g, pi, seed, &mut bank);
+                                        block_trials += 1;
+                                        block_steps += outcome.steps;
+                                        agg.fold(outcome);
                                     }
+                                }
+                                trials_run += block_trials;
+                                steps_run += block_steps;
+                                if let Some(walk) = walk {
+                                    tel.emit(EventKind::BlockCompleted {
+                                        block,
+                                        family: spec.graphs[gi].label(),
+                                        group,
+                                        process: None,
+                                        worker,
+                                        trials: block_trials,
+                                        steps: block_steps,
+                                        gen_ns,
+                                        gen_attempts: attempts as u64,
+                                        walk_ns: walk.elapsed_ns(),
+                                    });
                                 }
                                 local_blocks.push(BlockAgg { block, procs });
                             }
@@ -637,6 +872,8 @@ fn execute(
                         outcomes: local,
                         blocks: local_blocks,
                         rep_dims,
+                        trials_run,
+                        steps_run,
                     })
                 })
             })
@@ -646,8 +883,12 @@ fn execute(
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
+    let mut total_trials_run = 0u64;
+    let mut total_steps_run = 0u64;
     for worker in collected {
         let output = worker?;
+        total_trials_run += output.trials_run;
+        total_steps_run += output.steps_run;
         for (job, outcome) in output.outcomes {
             outcomes[job] = Some(outcome);
         }
@@ -659,6 +900,7 @@ fn execute(
             dims[gi] = Some((n, m));
         }
     }
+    let agg = tel.live.then(Stopwatch::start);
 
     // Deterministic aggregation: cells in grid order; shared mode folds
     // trials in index order (the exact push order the committed goldens
@@ -742,6 +984,22 @@ fn execute(
                 metrics,
             });
         }
+    }
+    if let Some(agg) = agg {
+        tel.emit(EventKind::AggregationMerged {
+            blocks: if spec.resample.is_some() {
+                total_blocks
+            } else {
+                total
+            },
+            cells: cells.len(),
+            agg_ns: agg.elapsed_ns(),
+        });
+        tel.emit(EventKind::RunFinished {
+            wall_ns: tel.clock.elapsed_ns(),
+            total_trials: total_trials_run,
+            total_steps: total_steps_run,
+        });
     }
     Ok(ExperimentReport {
         name: spec.name.clone(),

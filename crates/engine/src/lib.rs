@@ -64,6 +64,24 @@
 //! scaling-even` (the paper's linear claim) and `eproc scale
 //! scaling-srw` (the `n log n` contrast).
 //!
+//! # Observability
+//!
+//! [`executor::run_with_sink`] is [`executor::run`] plus telemetry: it
+//! emits structured [`eproc_telemetry::Event`]s (`run_started`,
+//! `graph_built`, `block_claimed`/`block_completed`,
+//! `aggregation_merged`, `run_finished`) to any
+//! [`eproc_telemetry::TelemetrySink`] as the run progresses. Telemetry
+//! is a **pure observer**: events carry labels and integers measured
+//! around the deterministic work, never feed back into it, so the
+//! report stays byte-identical with any sink — or none
+//! ([`eproc_telemetry::NullSink`], the disabled default `run` uses,
+//! skips event construction and clock reads entirely). The `eproc` CLI
+//! wires the stock sinks: `--progress` (live stderr status),
+//! `--telemetry PATH` (strict-JSONL event log) and the
+//! `<artifact>.telemetry.json` sidecar
+//! ([`eproc_telemetry::SummarySink`]'s per-stage wall-time and
+//! per-worker utilization roll-up).
+//!
 //! # Example
 //!
 //! ```
@@ -103,7 +121,7 @@ pub mod report;
 pub mod scaling;
 pub mod spec;
 
-pub use executor::{run, ExperimentReport, RunOptions};
+pub use executor::{run, run_with_sink, ExperimentReport, RunOptions};
 pub use scaling::{analyze, ScalingError, ScalingReport, SeriesFit};
 pub use spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,

@@ -629,22 +629,38 @@ impl GraphSpec {
     /// connected sample (e.g. a tiny geometric radius factor) fails fast
     /// with [`GraphError::RetriesExhausted`] instead of looping forever.
     pub fn build(&self, seed: u64) -> Result<Graph, GraphError> {
+        self.build_counted(seed).map(|(g, _)| g)
+    }
+
+    /// [`GraphSpec::build`], additionally reporting how many generator
+    /// attempts the build consumed — `1` for deterministic families and
+    /// for randomized draws whose first sample was accepted. The RNG
+    /// sequence and the built graph are identical to [`GraphSpec::build`];
+    /// the count feeds generation telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As [`GraphSpec::build`].
+    pub fn build_counted(&self, seed: u64) -> Result<(Graph, usize), GraphError> {
         let mut rng = SmallRng::seed_from_u64(seed);
         match *self {
-            GraphSpec::Regular { n, d } => generators::connected_random_regular(n, d, &mut rng),
-            GraphSpec::Lps { p, q } => generators::lps_ramanujan(p, q),
+            GraphSpec::Regular { n, d } => {
+                generators::connected_random_regular_counted(n, d, &mut rng)
+            }
+            GraphSpec::Lps { p, q } => generators::lps_ramanujan(p, q).map(|g| (g, 1)),
             GraphSpec::Geometric { n, radius_factor } => {
                 let threshold = (2.0 * (n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt();
                 let radius = radius_factor * threshold;
-                generators::connected_random_geometric(n, radius, &mut rng).map(|gg| gg.graph)
+                generators::connected_random_geometric_counted(n, radius, &mut rng)
+                    .map(|(gg, attempts)| (gg.graph, attempts))
             }
-            GraphSpec::Hypercube { dim } => Ok(generators::hypercube(dim)),
-            GraphSpec::Torus { w, h } => Ok(generators::torus2d(w, h)),
-            GraphSpec::Cycle { n } => Ok(generators::cycle(n)),
-            GraphSpec::Complete { n } => Ok(generators::complete(n)),
-            GraphSpec::Lollipop { clique, path } => Ok(generators::lollipop(clique, path)),
-            GraphSpec::Petersen => Ok(generators::petersen()),
-            GraphSpec::FigureEight { len } => Ok(generators::figure_eight(len)),
+            GraphSpec::Hypercube { dim } => Ok((generators::hypercube(dim), 1)),
+            GraphSpec::Torus { w, h } => Ok((generators::torus2d(w, h), 1)),
+            GraphSpec::Cycle { n } => Ok((generators::cycle(n), 1)),
+            GraphSpec::Complete { n } => Ok((generators::complete(n), 1)),
+            GraphSpec::Lollipop { clique, path } => Ok((generators::lollipop(clique, path), 1)),
+            GraphSpec::Petersen => Ok((generators::petersen(), 1)),
+            GraphSpec::FigureEight { len } => Ok((generators::figure_eight(len), 1)),
         }
     }
 }

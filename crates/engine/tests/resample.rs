@@ -249,9 +249,8 @@ fn geometric_retry_exhaustion_fails_fast_through_engine_error() {
         other => panic!("expected EngineError::Graph, got {other}"),
     }
     // Resample mode hits the same failure inside a worker thread; it must
-    // propagate as an error, not a panic (validation needs a buildable
-    // representative graph, so the shared build fails first — either way
-    // the caller sees EngineError::Graph).
+    // propagate as an error, not a panic, and the error names the block
+    // that died — family, trial group and claiming worker.
     let err = run(
         &spec,
         &RunOptions {
@@ -260,7 +259,26 @@ fn geometric_retry_exhaustion_fails_fast_through_engine_error() {
         },
     )
     .unwrap_err();
-    assert!(matches!(err, EngineError::Graph { .. }), "{err}");
+    match err {
+        EngineError::Block {
+            ref graph,
+            group,
+            worker,
+            ref source,
+        } => {
+            assert!(graph.contains("geometric"), "{graph}");
+            assert_eq!(group, 0, "the first block claimed must be group 0");
+            assert!(worker < 2, "worker id {worker} out of pool range");
+            assert!(
+                matches!(source, eproc_graphs::GraphError::RetriesExhausted { .. }),
+                "{source}"
+            );
+        }
+        ref other => panic!("expected EngineError::Block, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("worker"), "{msg}");
+    assert!(msg.contains("group 0"), "{msg}");
 }
 
 #[test]

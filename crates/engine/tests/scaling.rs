@@ -15,179 +15,8 @@ use eproc_engine::spec::{
 };
 use eproc_stats::scaling::GrowthModel;
 
-/// Strict JSON validator (subset of RFC 8259, no external crates): the
-/// artifact contract is "parses anywhere", so `inf`, `NaN`, trailing
-/// commas and friends must all fail here.
-mod json {
-    pub fn validate(s: &str) -> Result<(), String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0usize;
-        skip_ws(bytes, &mut pos);
-        value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(())
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => string(b, pos),
-            Some(b't') => literal(b, pos, b"true"),
-            Some(b'f') => literal(b, pos, b"false"),
-            Some(b'n') => literal(b, pos, b"null"),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
-            other => Err(format!("unexpected {other:?} at byte {pos}")),
-        }
-    }
-
-    fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
-        if b[*pos..].starts_with(lit) {
-            *pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at byte {pos} (inf/NaN are not JSON)"))
-        }
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        let start = *pos;
-        if b.get(*pos) == Some(&b'-') {
-            *pos += 1;
-        }
-        let digits = |b: &[u8], pos: &mut usize| -> usize {
-            let s = *pos;
-            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
-                *pos += 1;
-            }
-            *pos - s
-        };
-        if digits(b, pos) == 0 {
-            return Err(format!("bad number at byte {start} (inf/NaN are not JSON)"));
-        }
-        if b.get(*pos) == Some(&b'.') {
-            *pos += 1;
-            if digits(b, pos) == 0 {
-                return Err(format!("bad fraction at byte {start}"));
-            }
-        }
-        if matches!(b.get(*pos), Some(b'e' | b'E')) {
-            *pos += 1;
-            if matches!(b.get(*pos), Some(b'+' | b'-')) {
-                *pos += 1;
-            }
-            if digits(b, pos) == 0 {
-                return Err(format!("bad exponent at byte {start}"));
-            }
-        }
-        Ok(())
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        *pos += 1; // opening quote
-        loop {
-            match b.get(*pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match b.get(*pos) {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
-                        Some(b'u') => {
-                            if b.len() < *pos + 5
-                                || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                            {
-                                return Err(format!("bad \\u escape at byte {pos}"));
-                            }
-                            *pos += 5;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                }
-                Some(c) if *c < 0x20 => return Err("raw control char in string".into()),
-                Some(_) => *pos += 1,
-            }
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        *pos += 1;
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(());
-        }
-        loop {
-            skip_ws(b, pos);
-            if b.get(*pos) != Some(&b'"') {
-                return Err(format!("expected key at byte {pos}"));
-            }
-            string(b, pos)?;
-            skip_ws(b, pos);
-            if b.get(*pos) != Some(&b':') {
-                return Err(format!("expected ':' at byte {pos}"));
-            }
-            *pos += 1;
-            skip_ws(b, pos);
-            value(b, pos)?;
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("expected ',' or '}}', got {other:?}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        *pos += 1;
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(());
-        }
-        loop {
-            skip_ws(b, pos);
-            value(b, pos)?;
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("expected ',' or ']', got {other:?}")),
-            }
-        }
-    }
-
-    #[test]
-    fn validator_rejects_non_json() {
-        assert!(validate("{\"a\": 1}").is_ok());
-        assert!(validate("{\"a\": [1.5e-3, null, true]}").is_ok());
-        assert!(validate("{\"a\": inf}").is_err());
-        assert!(validate("{\"a\": -inf}").is_err());
-        assert!(validate("{\"a\": NaN}").is_err());
-        assert!(validate("{\"a\": 1,}").is_err());
-        assert!(validate("{\"a\": 1} x").is_err());
-        assert!(validate("{\"a\" 1}").is_err());
-    }
-}
+mod common;
+use common::json;
 
 /// The exact spec the committed scaling golden (and the CI scale smoke)
 /// was built from — the ad-hoc CLI equivalent:

@@ -61,7 +61,12 @@ impl fmt::Display for GraphError {
                 generator,
                 attempts,
             } => {
-                write!(f, "generator {generator} exhausted {attempts} attempts")
+                write!(
+                    f,
+                    "generator {generator} exhausted {attempts} attempts \
+                     (restart budget MAX_RESTARTS = {})",
+                    crate::generators::MAX_RESTARTS
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid parameter: {reason}")
@@ -94,6 +99,9 @@ mod tests {
             attempts: 10,
         };
         assert!(e.to_string().contains("steger_wormald"));
+        // The message names the budget the attempts count ran against.
+        assert!(e.to_string().contains("10 attempts"));
+        assert!(e.to_string().contains("MAX_RESTARTS = 1000"));
         let e = GraphError::InvalidParameter {
             reason: "p must be prime".into(),
         };

@@ -107,10 +107,26 @@ pub fn connected_random_geometric<R: Rng + ?Sized>(
     radius: f64,
     rng: &mut R,
 ) -> Result<GeometricGraph, GraphError> {
-    for _ in 0..MAX_RESTARTS {
+    connected_random_geometric_counted(n, radius, rng).map(|(gg, _)| gg)
+}
+
+/// [`connected_random_geometric`], additionally reporting how many draws
+/// the sample consumed (`1` = the first draw was connected). The RNG
+/// sequence and the output graph are identical to the uncounted variant —
+/// callers wanting generation telemetry get it for free.
+///
+/// # Errors
+///
+/// As [`connected_random_geometric`].
+pub fn connected_random_geometric_counted<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Result<(GeometricGraph, usize), GraphError> {
+    for attempt in 1..=MAX_RESTARTS {
         let gg = random_geometric(n, radius, rng)?;
         if connectivity::is_connected(&gg.graph) {
-            return Ok(gg);
+            return Ok((gg, attempt));
         }
     }
     Err(GraphError::RetriesExhausted {
@@ -188,6 +204,15 @@ mod tests {
         assert!(connectivity::is_connected(&a.graph));
         let b = connected_random_geometric(80, 0.25, &mut SmallRng::seed_from_u64(4)).unwrap();
         assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+    }
+
+    #[test]
+    fn counted_variant_matches_uncounted_draws() {
+        let a = connected_random_geometric(80, 0.25, &mut SmallRng::seed_from_u64(4)).unwrap();
+        let (b, attempts) =
+            connected_random_geometric_counted(80, 0.25, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+        assert!(attempts >= 1);
     }
 
     #[test]

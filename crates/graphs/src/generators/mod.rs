@@ -21,13 +21,15 @@ pub mod regular;
 /// same thing across the crate.
 pub const MAX_RESTARTS: usize = 1000;
 
-pub use geometric::{connected_random_geometric, random_geometric};
+pub use geometric::{
+    connected_random_geometric, connected_random_geometric_counted, random_geometric,
+};
 pub use incidence::projective_plane_incidence;
 pub use lps::{lps_ramanujan, LpsParams};
 pub use random::{erdos_renyi_gnm, erdos_renyi_gnp};
 pub use regular::{
-    connected_random_regular, pairing_model_multigraph, random_regular_pairing,
-    random_with_degree_sequence, steger_wormald,
+    connected_random_regular, connected_random_regular_counted, pairing_model_multigraph,
+    random_regular_pairing, random_with_degree_sequence, steger_wormald, steger_wormald_counted,
 };
 
 use crate::csr::{Graph, Vertex};

@@ -161,12 +161,28 @@ pub fn steger_wormald<R: Rng + ?Sized>(
     r: usize,
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
+    steger_wormald_counted(n, r, rng).map(|(g, _)| g)
+}
+
+/// [`steger_wormald`], additionally reporting how many phase attempts the
+/// draw consumed (`1` = the first phase succeeded). The RNG sequence and
+/// the output graph are identical to the uncounted variant — callers
+/// wanting generation telemetry get it for free.
+///
+/// # Errors
+///
+/// As [`steger_wormald`].
+pub fn steger_wormald_counted<R: Rng + ?Sized>(
+    n: usize,
+    r: usize,
+    rng: &mut R,
+) -> Result<(Graph, usize), GraphError> {
     let degrees = vec![r; n];
     check_degree_sequence(n, &degrees, true)?;
     if r == 0 {
-        return Graph::from_edges(n, &[]);
+        return Graph::from_edges(n, &[]).map(|g| (g, 1));
     }
-    'restart: for _ in 0..MAX_RESTARTS {
+    'restart: for attempt in 1..=MAX_RESTARTS {
         let mut stubs: Vec<Vertex> = Vec::with_capacity(n * r);
         for v in 0..n {
             stubs.extend(std::iter::repeat_n(v, r));
@@ -208,7 +224,7 @@ pub fn steger_wormald<R: Rng + ?Sized>(
                 }
             }
         }
-        return Graph::from_edges(n, &edges);
+        return Graph::from_edges(n, &edges).map(|g| (g, attempt));
     }
     Err(GraphError::RetriesExhausted {
         generator: "steger_wormald",
@@ -232,6 +248,23 @@ pub fn connected_random_regular<R: Rng + ?Sized>(
     r: usize,
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
+    connected_random_regular_counted(n, r, rng).map(|(g, _)| g)
+}
+
+/// [`connected_random_regular`], additionally reporting how many
+/// Steger–Wormald phase attempts the draw consumed across connectivity
+/// rejections (`1` = the first phase produced a connected graph). The
+/// RNG sequence and the output graph are identical to the uncounted
+/// variant.
+///
+/// # Errors
+///
+/// As [`connected_random_regular`].
+pub fn connected_random_regular_counted<R: Rng + ?Sized>(
+    n: usize,
+    r: usize,
+    rng: &mut R,
+) -> Result<(Graph, usize), GraphError> {
     if r < 3 && !(r == 2 && n >= 3) {
         return Err(GraphError::InvalidParameter {
             reason: format!(
@@ -239,10 +272,12 @@ pub fn connected_random_regular<R: Rng + ?Sized>(
             ),
         });
     }
+    let mut attempts = 0usize;
     for _ in 0..MAX_RESTARTS {
-        let g = steger_wormald(n, r, rng)?;
+        let (g, a) = steger_wormald_counted(n, r, rng)?;
+        attempts += a;
         if connectivity::is_connected(&g) {
-            return Ok(g);
+            return Ok((g, attempts));
         }
     }
     Err(GraphError::RetriesExhausted {
@@ -359,6 +394,22 @@ mod tests {
         assert!(degrees::is_regular(&g, 2));
         assert!(connectivity::is_connected(&g));
         assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn counted_variants_match_uncounted_draws() {
+        // Same seed → same graph: counting attempts must not perturb the
+        // RNG sequence. A successful connected draw uses >= 1 attempt.
+        let a = steger_wormald(40, 4, &mut SmallRng::seed_from_u64(21)).unwrap();
+        let (b, attempts) =
+            steger_wormald_counted(40, 4, &mut SmallRng::seed_from_u64(21)).unwrap();
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert!(attempts >= 1);
+        let a = connected_random_regular(40, 3, &mut SmallRng::seed_from_u64(22)).unwrap();
+        let (b, attempts) =
+            connected_random_regular_counted(40, 3, &mut SmallRng::seed_from_u64(22)).unwrap();
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert!(attempts >= 1);
     }
 
     #[test]

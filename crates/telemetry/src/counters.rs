@@ -1,0 +1,91 @@
+//! Lock-free tallies shared between workers and renderers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A set of atomic run counters. One instance serves as a global tally
+/// (the progress renderer's source of truth) or as one worker's slot in
+/// a per-worker array (the summary's utilization breakdown); either way
+/// writers only ever add, so `Relaxed` ordering is sufficient — readers
+/// render a slightly stale but internally plausible snapshot.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Work units completed.
+    pub blocks: AtomicU64,
+    /// Trials completed.
+    pub trials: AtomicU64,
+    /// Walk steps simulated.
+    pub steps: AtomicU64,
+    /// Nanoseconds spent generating graphs.
+    pub gen_ns: AtomicU64,
+    /// Nanoseconds spent walking.
+    pub walk_ns: AtomicU64,
+    /// Generator attempts consumed (restarts + 1 per generated graph).
+    pub gen_attempts: AtomicU64,
+}
+
+/// A point-in-time copy of a [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Work units completed.
+    pub blocks: u64,
+    /// Trials completed.
+    pub trials: u64,
+    /// Walk steps simulated.
+    pub steps: u64,
+    /// Nanoseconds spent generating graphs.
+    pub gen_ns: u64,
+    /// Nanoseconds spent walking.
+    pub walk_ns: u64,
+    /// Generator attempts consumed.
+    pub gen_attempts: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Folds one completed block into the tally.
+    pub fn record_block(&self, trials: u64, steps: u64, gen_ns: u64, walk_ns: u64, attempts: u64) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+        self.trials.fetch_add(trials, Ordering::Relaxed);
+        self.steps.fetch_add(steps, Ordering::Relaxed);
+        self.gen_ns.fetch_add(gen_ns, Ordering::Relaxed);
+        self.walk_ns.fetch_add(walk_ns, Ordering::Relaxed);
+        self.gen_attempts.fetch_add(attempts, Ordering::Relaxed);
+    }
+
+    /// Reads every counter (individually atomic; the set is only
+    /// approximately consistent while workers are live, exact once the
+    /// pool has joined).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            blocks: self.blocks.load(Ordering::Relaxed),
+            trials: self.trials.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            gen_ns: self.gen_ns.load(Ordering::Relaxed),
+            walk_ns: self.walk_ns.load(Ordering::Relaxed),
+            gen_attempts: self.gen_attempts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let c = Counters::new();
+        c.record_block(4, 100, 10, 90, 2);
+        c.record_block(2, 50, 5, 45, 1);
+        let s = c.snapshot();
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.trials, 6);
+        assert_eq!(s.steps, 150);
+        assert_eq!(s.gen_ns, 15);
+        assert_eq!(s.walk_ns, 135);
+        assert_eq!(s.gen_attempts, 3);
+    }
+}

@@ -1,0 +1,326 @@
+//! The structured run events and their JSONL serialisation.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a strict-JSON number, degrading non-finite values
+/// (which JSON cannot represent) to `null`.
+pub(crate) fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// One telemetry event, stamped with the monotonic time since the run
+/// started (`t_ns`, from the emitter's [`crate::Stopwatch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the run's telemetry clock started.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary. Fields are plain labels and integers so every
+/// event serialises to one strict-JSON line with no knowledge of the
+/// producer's types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A run began: the full shape of the work ahead.
+    RunStarted {
+        /// Experiment name.
+        name: String,
+        /// Graph families in the grid.
+        graphs: usize,
+        /// Processes in the grid.
+        processes: usize,
+        /// Trials per cell.
+        trials: usize,
+        /// Work units the pool will claim (see [`EventKind::BlockCompleted`]).
+        blocks: usize,
+        /// Total trials across the whole grid.
+        total_trials: u64,
+        /// Worker threads.
+        workers: usize,
+        /// Whether graphs are resampled per trial group.
+        resampled: bool,
+    },
+    /// A shared-mode graph was built up front (before the pool starts).
+    GraphBuilt {
+        /// Family label of the built graph.
+        graph: String,
+        /// Vertex count.
+        n: usize,
+        /// Edge count.
+        m: usize,
+        /// Wall time spent generating, in nanoseconds.
+        gen_ns: u64,
+        /// Generator attempts consumed (restarts + 1; `1` for
+        /// deterministic constructions).
+        gen_attempts: u64,
+    },
+    /// A worker claimed a block and is about to generate/walk it.
+    BlockClaimed {
+        /// Canonical block index.
+        block: usize,
+        /// Graph family label.
+        family: String,
+        /// Resample group within the family.
+        group: usize,
+        /// Claiming worker id.
+        worker: usize,
+    },
+    /// A worker finished a block: the per-unit-of-work record. Under
+    /// resampling one block is one *(family, group)* unit (all processes
+    /// × the group's trials on one freshly generated graph); in
+    /// shared-graph mode one block is one trial and `process` names it.
+    BlockCompleted {
+        /// Canonical block index.
+        block: usize,
+        /// Graph family label.
+        family: String,
+        /// Resample group (resample mode) or trial index (shared mode).
+        group: usize,
+        /// Process label for shared-mode single-trial blocks; `None` for
+        /// resample blocks, which span every process.
+        process: Option<String>,
+        /// Completing worker id.
+        worker: usize,
+        /// Trials run in this block.
+        trials: u64,
+        /// Walk steps simulated in this block (all trials).
+        steps: u64,
+        /// Nanoseconds spent generating the block's graph (`0` in shared
+        /// mode, where graphs are prebuilt).
+        gen_ns: u64,
+        /// Generator attempts consumed (`0` in shared mode).
+        gen_attempts: u64,
+        /// Nanoseconds spent walking (all the block's trials).
+        walk_ns: u64,
+    },
+    /// The main thread merged every block into the report cells.
+    AggregationMerged {
+        /// Work units merged.
+        blocks: usize,
+        /// Report cells produced.
+        cells: usize,
+        /// Nanoseconds the merge took.
+        agg_ns: u64,
+    },
+    /// The run completed.
+    RunFinished {
+        /// Total wall time, in nanoseconds.
+        wall_ns: u64,
+        /// Total trials executed.
+        total_trials: u64,
+        /// Total walk steps simulated.
+        total_steps: u64,
+    },
+}
+
+impl EventKind {
+    /// The event's schema tag — the `"event"` field of its JSONL form.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::RunStarted { .. } => "run_started",
+            EventKind::GraphBuilt { .. } => "graph_built",
+            EventKind::BlockClaimed { .. } => "block_claimed",
+            EventKind::BlockCompleted { .. } => "block_completed",
+            EventKind::AggregationMerged { .. } => "aggregation_merged",
+            EventKind::RunFinished { .. } => "run_finished",
+        }
+    }
+}
+
+impl Event {
+    /// Serialises the event as one strict RFC-8259 JSON object (no
+    /// trailing newline). Every value is a string, an integer or a
+    /// boolean — non-finite floats cannot occur by construction.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"event\": \"{}\", \"t_ns\": {}",
+            self.kind.label(),
+            self.t_ns
+        );
+        match &self.kind {
+            EventKind::RunStarted {
+                name,
+                graphs,
+                processes,
+                trials,
+                blocks,
+                total_trials,
+                workers,
+                resampled,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"name\": \"{}\", \"graphs\": {graphs}, \"processes\": {processes}, \
+                     \"trials\": {trials}, \"blocks\": {blocks}, \"total_trials\": {total_trials}, \
+                     \"workers\": {workers}, \"resampled\": {resampled}",
+                    json_escape(name)
+                );
+            }
+            EventKind::GraphBuilt {
+                graph,
+                n,
+                m,
+                gen_ns,
+                gen_attempts,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"graph\": \"{}\", \"n\": {n}, \"m\": {m}, \"gen_ns\": {gen_ns}, \
+                     \"gen_attempts\": {gen_attempts}",
+                    json_escape(graph)
+                );
+            }
+            EventKind::BlockClaimed {
+                block,
+                family,
+                group,
+                worker,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"block\": {block}, \"family\": \"{}\", \"group\": {group}, \
+                     \"worker\": {worker}",
+                    json_escape(family)
+                );
+            }
+            EventKind::BlockCompleted {
+                block,
+                family,
+                group,
+                process,
+                worker,
+                trials,
+                steps,
+                gen_ns,
+                gen_attempts,
+                walk_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"block\": {block}, \"family\": \"{}\", \"group\": {group}",
+                    json_escape(family)
+                );
+                if let Some(p) = process {
+                    let _ = write!(out, ", \"process\": \"{}\"", json_escape(p));
+                }
+                let _ = write!(
+                    out,
+                    ", \"worker\": {worker}, \"trials\": {trials}, \"steps\": {steps}, \
+                     \"gen_ns\": {gen_ns}, \"gen_attempts\": {gen_attempts}, \"walk_ns\": {walk_ns}"
+                );
+            }
+            EventKind::AggregationMerged {
+                blocks,
+                cells,
+                agg_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"blocks\": {blocks}, \"cells\": {cells}, \"agg_ns\": {agg_ns}"
+                );
+            }
+            EventKind::RunFinished {
+                wall_ns,
+                total_trials,
+                total_steps,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"wall_ns\": {wall_ns}, \"total_trials\": {total_trials}, \
+                     \"total_steps\": {total_steps}"
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_have_the_schema_tag_first() {
+        let e = Event {
+            t_ns: 42,
+            kind: EventKind::RunFinished {
+                wall_ns: 100,
+                total_trials: 7,
+                total_steps: 900,
+            },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"event\": \"run_finished\", \"t_ns\": 42, \"wall_ns\": 100, \
+             \"total_trials\": 7, \"total_steps\": 900}"
+        );
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let e = Event {
+            t_ns: 0,
+            kind: EventKind::BlockClaimed {
+                block: 0,
+                family: "weird \"family\"\n".into(),
+                group: 1,
+                worker: 2,
+            },
+        };
+        let line = e.to_jsonl();
+        assert!(line.contains("weird \\\"family\\\"\\n"), "{line}");
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+    }
+
+    #[test]
+    fn optional_process_field_is_omitted_when_absent() {
+        let kind = EventKind::BlockCompleted {
+            block: 3,
+            family: "cycle n=8".into(),
+            group: 0,
+            process: None,
+            worker: 1,
+            trials: 4,
+            steps: 32,
+            gen_ns: 5,
+            gen_attempts: 1,
+            walk_ns: 6,
+        };
+        let line = Event { t_ns: 1, kind }.to_jsonl();
+        assert!(!line.contains("\"process\""), "{line}");
+        assert!(line.contains("\"gen_attempts\": 1"), "{line}");
+    }
+
+    #[test]
+    fn json_num_degrades_non_finite_to_null() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+}

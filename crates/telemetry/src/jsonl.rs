@@ -1,0 +1,110 @@
+//! The JSONL event-log writer.
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A [`TelemetrySink`] appending every event as one strict-JSON line to
+/// a file. Writes are buffered; call [`JsonlSink::finish`] after the run
+/// to flush and surface any I/O error that occurred mid-run ([`emit`]
+/// itself never panics and never disturbs the run).
+///
+/// [`emit`]: TelemetrySink::emit
+pub struct JsonlSink {
+    path: PathBuf,
+    state: Mutex<WriterState>,
+}
+
+struct WriterState {
+    writer: BufWriter<File>,
+    /// First write/flush error, kept until `finish` reports it.
+    error: Option<io::Error>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the log file at `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory or file creation.
+    pub fn create(path: &Path) -> io::Result<JsonlSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let writer = BufWriter::new(File::create(path)?);
+        Ok(JsonlSink {
+            path: path.to_path_buf(),
+            state: Mutex::new(WriterState {
+                writer,
+                error: None,
+            }),
+        })
+    }
+
+    /// The path the log is written to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes the buffer and returns the first error encountered over
+    /// the sink's lifetime, if any.
+    ///
+    /// # Errors
+    ///
+    /// The sticky mid-run write error, or the flush error.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("jsonl mutex poisoned");
+        if let Some(e) = state.error.take() {
+            return Err(e);
+        }
+        state.writer.flush()
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut state = self.state.lock().expect("jsonl mutex poisoned");
+        if state.error.is_some() {
+            return; // already failed; keep the first error, drop the rest
+        }
+        let line = event.to_jsonl();
+        if let Err(e) = writeln!(state.writer, "{line}") {
+            state.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn writes_one_line_per_event_and_flushes_on_finish() {
+        let dir = std::env::temp_dir().join("eproc_telemetry_jsonl_test");
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for t in 0..3u64 {
+            sink.emit(&Event {
+                t_ns: t,
+                kind: EventKind::AggregationMerged {
+                    blocks: 1,
+                    cells: 2,
+                    agg_ns: 3,
+                },
+            });
+        }
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"event\": \"aggregation_merged\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,123 @@
+//! The sink trait and its structural combinators.
+
+use crate::event::Event;
+
+/// A consumer of telemetry [`Event`]s.
+///
+/// Sinks are shared by reference across the executor's worker threads,
+/// so implementations must be `Sync` and take `&self`; stateful sinks
+/// use interior mutability (atomics or a mutex — events are per-block,
+/// never per-step, so a mutex is not on any hot path).
+///
+/// The contract with instrumented code: callers check [`enabled`] once
+/// (per worker, per run) and skip event *construction* entirely when it
+/// returns `false`. That is what makes the default [`NullSink`] free —
+/// an uninstrumented run never formats a label or reads a clock.
+///
+/// [`enabled`]: TelemetrySink::enabled
+pub trait TelemetrySink: Sync {
+    /// Whether this sink wants events at all. Defaults to `true`;
+    /// [`NullSink`] returns `false` so producers can skip instrumentation
+    /// work wholesale.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event. Must be cheap and must never panic: telemetry
+    /// failures (e.g. a full disk under a log writer) are recorded
+    /// internally and surfaced by the sink's own finish/summary API, not
+    /// by disrupting the run.
+    fn emit(&self, event: &Event);
+}
+
+/// The no-op default sink: disabled, consumes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Fans one event stream out to several sinks (progress + log + summary
+/// in one run). Disabled sinks are skipped; an empty or all-disabled tee
+/// reports itself disabled, so it composes with the [`NullSink`] fast
+/// path.
+pub struct Tee<'a> {
+    sinks: Vec<&'a dyn TelemetrySink>,
+}
+
+impl<'a> Tee<'a> {
+    /// Builds a tee over `sinks` (order = delivery order).
+    pub fn new(sinks: Vec<&'a dyn TelemetrySink>) -> Tee<'a> {
+        Tee { sinks }
+    }
+}
+
+impl TelemetrySink for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn emit(&self, event: &Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.emit(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counting(AtomicUsize);
+
+    impl TelemetrySink for Counting {
+        fn emit(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn probe() -> Event {
+        Event {
+            t_ns: 0,
+            kind: EventKind::AggregationMerged {
+                blocks: 1,
+                cells: 1,
+                agg_ns: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn tee_fans_out_and_skips_disabled() {
+        let a = Counting(AtomicUsize::new(0));
+        let b = Counting(AtomicUsize::new(0));
+        let null = NullSink;
+        let tee = Tee::new(vec![&a, &null, &b]);
+        assert!(tee.enabled());
+        tee.emit(&probe());
+        tee.emit(&probe());
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_tee_is_disabled() {
+        assert!(!Tee::new(vec![]).enabled());
+        let null = NullSink;
+        assert!(!Tee::new(vec![&null as &dyn TelemetrySink]).enabled());
+    }
+}

@@ -1,0 +1,36 @@
+//! Monotonic span/stage timing.
+
+use std::time::Instant;
+
+/// A monotonic stopwatch: started once, read many times. This is both
+/// the run clock every [`crate::Event`] is stamped with (`t_ns`) and the
+/// span timer around individual stages (graph generation, a block's
+/// walks, the aggregation merge).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the clock now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`]. Saturates at
+    /// `u64::MAX` (≈ 584 years), so the cast is safe for any real run.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -63,10 +63,20 @@
 //!
 //! The same engine backs the `eproc` CLI binary
 //! (`cargo run --release --bin eproc -- run comparison --scale quick`).
+//!
+//! ## Observability
+//!
+//! [`engine::run_with_sink`] is [`engine::run`] plus telemetry: it
+//! streams structured [`telemetry::Event`]s to any
+//! [`telemetry::TelemetrySink`] — live progress, a strict-JSONL event
+//! log, a per-stage wall-time summary — without perturbing the
+//! deterministic artifacts. On the CLI: `--progress`,
+//! `--telemetry PATH`, `--quiet`.
 
 pub use eproc_core as core;
 pub use eproc_engine as engine;
 pub use eproc_graphs as graphs;
 pub use eproc_spectral as spectral;
 pub use eproc_stats as stats;
+pub use eproc_telemetry as telemetry;
 pub use eproc_theory as theory;
