@@ -23,7 +23,10 @@
 //!   thin wrappers over it. The driver is a fully **monomorphized
 //!   kernel** — generic over walk ([`WalkProcess::advance_rng`]), RNG and
 //!   observer set ([`observe::ObserverSet`] tuples) — with
-//!   [`observe::run_observed_dyn`] as the dynamic fallback;
+//!   [`observe::run_observed_dyn`] as the dynamic fallback, and
+//!   [`interleave::run_observed_interleaved`] as the lockstep multi-trial
+//!   variant that overlaps independent trials' CSR row fetches on one
+//!   shared graph (bit-identical per-trial streams);
 //! * [`bitset`] — the word-packed visited bitmap shared by the E-process
 //!   and the observers;
 //! * [`blue`] — blue-subgraph analytics: even-degree component census
@@ -57,6 +60,7 @@ pub mod choice;
 pub mod cover;
 pub mod eprocess;
 pub mod fair;
+pub mod interleave;
 pub mod mt19937;
 pub mod observe;
 pub mod process;

@@ -3,7 +3,8 @@
 //! ```text
 //! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
 //!                  [--trials N] [--metrics M[,M...]] [--resample [W]]
-//!                  [--json PATH] [--csv PATH]
+//!                  [--shard I/K] [--json PATH] [--csv PATH]
+//! eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]
 //! eproc list
 //! eproc compare --graph G [--graph G ...] --process P[,P...]
 //!               [--trials N] [--target T] [--metrics M[,M...]]
@@ -21,6 +22,12 @@
 //! graph, and the report splits variance into pooled, across-graph and
 //! within-graph components.
 //!
+//! `--shard I/K` (resampled runs only) executes just the resample blocks
+//! with canonical index `≡ I (mod K)` and writes a shard artifact;
+//! `eproc merge` recombines a complete set of K shard artifacts into the
+//! report the unsharded run would have produced, byte-identical at any
+//! thread count.
+//!
 //! Observability: `--progress` renders a live status line to stderr,
 //! `--telemetry PATH` writes a JSONL event log, and either flag also
 //! writes a `<artifact>.telemetry.json` sidecar with the wall-time
@@ -31,13 +38,14 @@ use eproc_engine::builtin;
 use eproc_engine::executor::{run_with_sink, RunOptions};
 use eproc_engine::report::{save_json, save_json_with_scaling, scaling_table, to_text_table};
 use eproc_engine::scaling::analyze;
+use eproc_engine::shard::{merge_shards_with_sink, run_shard_with_sink, ShardReport, ShardSpec};
 use eproc_engine::spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, Scale, SweepRange,
     Target,
 };
 use eproc_telemetry::{JsonlSink, ProgressSink, SummarySink, Tee, TelemetrySink};
 use std::iter::Peekable;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -68,8 +76,10 @@ fn usage(err: &str) -> ! {
          usage:\n\
          \x20 eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]\n\
          \x20                  [--trials N] [--metrics M[,M...]] [--resample [W]]\n\
-         \x20                  [--json PATH] [--csv PATH] [--progress]\n\
+         \x20                  [--shard I/K] [--json PATH] [--csv PATH] [--progress]\n\
          \x20                  [--telemetry PATH] [--quiet]\n\
+         \x20 eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]\n\
+         \x20               [--telemetry PATH] [--quiet]\n\
          \x20 eproc list\n\
          \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
@@ -96,6 +106,11 @@ fn usage(err: &str) -> ! {
          resampling     --resample [W]: every W consecutive trials (default 1)\n\
          \x20              share one freshly sampled graph; reports pooled,\n\
          \x20              across-graph and within-graph variance components\n\
+         sharding       --shard I/K (resampled runs only): execute only the\n\
+         \x20              (family, group) blocks with index = I (mod K) and write a\n\
+         \x20              shard artifact instead of a report; `eproc merge` then\n\
+         \x20              recombines the K artifacts into a report byte-identical\n\
+         \x20              to the unsharded run's, at any thread count\n\
          telemetry      --progress: live status line on stderr (blocks, trial and\n\
          \x20              step throughput, ETA); --telemetry PATH: structured JSONL\n\
          \x20              event log; either flag also writes a\n\
@@ -124,6 +139,7 @@ struct CommonFlags {
     trials: Option<usize>,
     metrics: Option<Vec<MetricSpec>>,
     resample: Option<ResamplePlan>,
+    shard: Option<ShardSpec>,
     json: Option<PathBuf>,
     csv: Option<PathBuf>,
     progress: bool,
@@ -143,6 +159,7 @@ fn main() {
         "list" => cmd_list(),
         "compare" => cmd_compare(args),
         "scale" => cmd_scale(args),
+        "merge" => cmd_merge(args),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
@@ -226,6 +243,12 @@ fn parse_common<I: Iterator<Item = String>>(
                 walks_per_graph: walks,
             });
         }
+        "--shard" => {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("--shard needs <i>/<k>, e.g. 0/4"));
+            flags.shard = Some(ShardSpec::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
+        }
         "--json" => flags.json = Some(PathBuf::from(require_path("--json", args.next()))),
         "--csv" => flags.csv = Some(PathBuf::from(require_path("--csv", args.next()))),
         "--progress" => flags.progress = true,
@@ -266,6 +289,14 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
     }
     if let Some(plan) = flags.resample {
         spec.resample = Some(plan);
+    }
+    if flags.shard.is_some() {
+        if fit_growth_laws {
+            usage("--shard does not apply to scale: growth-law fits need every sweep cell");
+        }
+        if flags.csv.is_some() {
+            usage("--shard writes a shard artifact, not a report: merge the shards, then --csv");
+        }
     }
     let mut opts = RunOptions::auto();
     if let Some(threads) = flags.threads {
@@ -316,6 +347,31 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
     }
     let tee = Tee::new(sinks);
     let started = Instant::now();
+    if let Some(shard) = flags.shard {
+        info!(
+            "shard {shard}: executing only the resample blocks with index = {} (mod {})",
+            shard.index, shard.count
+        );
+        let report = match run_shard_with_sink(&spec, &opts, shard, &tee) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        };
+        let path = flags
+            .json
+            .clone()
+            .unwrap_or_else(|| default_shard_path(&report));
+        if let Err(e) = report.save(&path) {
+            eprintln!("error writing shard artifact {}: {e}", path.display());
+            exit(1);
+        }
+        println!("shard artifact: {}", path.display());
+        write_telemetry_artifacts(jsonl.as_ref(), summary.as_ref(), &path);
+        info!("wall time: {:.2}s", started.elapsed().as_secs_f64());
+        return;
+    }
     let report = match run_with_sink(&spec, &opts, &tee) {
         Ok(r) => r,
         Err(e) => {
@@ -386,9 +442,37 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
             }
         }
     }
-    if let Some(jsonl) = &jsonl {
-        // Surface any write error the sink swallowed mid-run: a truncated
-        // event log must not pass silently as a complete one.
+    write_telemetry_artifacts(jsonl.as_ref(), summary.as_ref(), &artifact);
+    info!("wall time: {:.2}s", elapsed.as_secs_f64());
+    if matches!(scaling, Some(Err(_))) {
+        exit(1);
+    }
+}
+
+/// The `<artifact>.telemetry.json` sidecar path. A plain
+/// `Path::with_extension("telemetry.json")` clobbers everything after
+/// the last dot of the file name — `run-2.5x` would become
+/// `run-2.telemetry.json` — so instead strip one trailing `.json` (when
+/// present) and append the sidecar suffix to the whole remaining name.
+fn telemetry_sidecar_path(artifact: &Path) -> PathBuf {
+    let name = artifact
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default();
+    let stem = name.strip_suffix(".json").unwrap_or(name);
+    artifact.with_file_name(format!("{stem}.telemetry.json"))
+}
+
+/// Flushes the JSONL event log (surfacing any write error the sink
+/// swallowed mid-run: a truncated log must not pass silently as a
+/// complete one) and writes the summary sidecar next to `artifact`.
+/// Exits nonzero on either failure.
+fn write_telemetry_artifacts(
+    jsonl: Option<&JsonlSink>,
+    summary: Option<&SummarySink>,
+    artifact: &Path,
+) {
+    if let Some(jsonl) = jsonl {
         match jsonl.finish() {
             Ok(()) => println!("telemetry: {}", jsonl.path().display()),
             Err(e) => {
@@ -400,8 +484,8 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
             }
         }
     }
-    if let Some(summary) = &summary {
-        let sidecar = artifact.with_extension("telemetry.json");
+    if let Some(summary) = summary {
+        let sidecar = telemetry_sidecar_path(artifact);
         match summary.summary().save(&sidecar) {
             Ok(()) => println!("telemetry sidecar: {}", sidecar.display()),
             Err(e) => {
@@ -410,10 +494,15 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
             }
         }
     }
-    info!("wall time: {:.2}s", elapsed.as_secs_f64());
-    if matches!(scaling, Some(Err(_))) {
-        exit(1);
-    }
+}
+
+/// Default artifact path for a shard run, parallel to `save_json`'s
+/// `target/experiments/eproc_<name>.json` convention.
+fn default_shard_path(report: &ShardReport) -> PathBuf {
+    PathBuf::from(format!(
+        "target/experiments/eproc_{}.shard{}of{}.json",
+        report.name, report.shard.index, report.shard.count
+    ))
 }
 
 fn cmd_run(args: impl Iterator<Item = String>) {
@@ -644,4 +733,135 @@ fn cmd_scale(args: impl Iterator<Item = String>) {
         resample,
     };
     execute_inner(spec, &flags, true);
+}
+
+/// `eproc merge <shard.json> ...` — recombine a complete shard set into
+/// the unsharded run's report, byte-identical to running unsharded.
+fn cmd_merge(args: impl Iterator<Item = String>) {
+    let mut args = args.peekable();
+    let mut flags = CommonFlags::default();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        if parse_common(&arg, &mut args, &mut flags) {
+            continue;
+        }
+        match arg.as_str() {
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other:?}")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    // Merging replays no trials, so every run-shaped flag would be
+    // silently ignored; reject them outright, like `scale <name>` does.
+    if flags.scale.is_some()
+        || flags.seed.is_some()
+        || flags.threads.is_some()
+        || flags.trials.is_some()
+        || flags.metrics.is_some()
+        || flags.resample.is_some()
+        || flags.shard.is_some()
+        || flags.progress
+    {
+        usage(
+            "merge recombines existing shard artifacts: only --json/--csv/--telemetry/--quiet \
+             apply (run parameters are fixed by the shards themselves)",
+        );
+    }
+    if paths.is_empty() {
+        usage("merge needs at least one shard artifact path");
+    }
+    let shards: Vec<ShardReport> = paths
+        .iter()
+        .map(|p| {
+            ShardReport::load(p).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            })
+        })
+        .collect();
+    let jsonl = flags.telemetry.as_deref().map(|path| {
+        JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create telemetry log {}: {e}", path.display());
+            exit(1);
+        })
+    });
+    let summary = jsonl.is_some().then(SummarySink::new);
+    let mut sinks: Vec<&dyn TelemetrySink> = Vec::new();
+    if let Some(s) = &jsonl {
+        sinks.push(s);
+    }
+    if let Some(s) = &summary {
+        sinks.push(s);
+    }
+    let tee = Tee::new(sinks);
+    info!("merging {} shard artifact(s)", shards.len());
+    let report = match merge_shards_with_sink(&shards, &tee) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "{}: {} ({})\n",
+        report.name,
+        report.description,
+        report.target.label()
+    );
+    let table = to_text_table(&report);
+    println!("{table}");
+    let artifact = match save_json(&report, flags.json.as_deref()) {
+        Ok(path) => {
+            println!("json: {}", path.display());
+            path
+        }
+        Err(e) => {
+            eprintln!("error writing json artifact: {e}");
+            exit(1);
+        }
+    };
+    if let Some(csv) = &flags.csv {
+        if let Some(parent) = csv.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(csv, table.to_csv()) {
+            Ok(()) => println!("csv: {}", csv.display()),
+            Err(e) => {
+                eprintln!("error writing csv artifact: {e}");
+                exit(1);
+            }
+        }
+    }
+    write_telemetry_artifacts(jsonl.as_ref(), summary.as_ref(), &artifact);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::telemetry_sidecar_path;
+    use std::path::Path;
+
+    #[test]
+    fn sidecar_path_replaces_a_json_suffix() {
+        assert_eq!(
+            telemetry_sidecar_path(Path::new("target/experiments/eproc_comparison.json")),
+            Path::new("target/experiments/eproc_comparison.telemetry.json")
+        );
+    }
+
+    #[test]
+    fn sidecar_path_keeps_dotted_names_without_a_json_suffix() {
+        // `with_extension` would truncate this to `run-2.telemetry.json`.
+        assert_eq!(
+            telemetry_sidecar_path(Path::new("out/run-2.5x")),
+            Path::new("out/run-2.5x.telemetry.json")
+        );
+    }
+
+    #[test]
+    fn sidecar_path_strips_only_one_json_suffix() {
+        assert_eq!(
+            telemetry_sidecar_path(Path::new("a.json.json")),
+            Path::new("a.json.telemetry.json")
+        );
+    }
 }

@@ -35,7 +35,8 @@
 //! it remaining bit-identical for any thread count.
 
 use crate::spec::{AnyObserver, ExperimentSpec, MetricSpec, ResamplePlan, SpecError, Target};
-use crate::with_kernel;
+use crate::{with_kernel, with_kernel_lanes};
+use eproc_core::interleave::{run_observed_interleaved, Lane};
 use eproc_core::observe::{run_observed, Metrics, Observer, StopWhen};
 use eproc_graphs::Graph;
 use eproc_stats::{OnlineStats, SeedSequence};
@@ -307,14 +308,14 @@ pub fn build_graphs(spec: &ExperimentSpec, base_seed: u64) -> Result<Vec<Graph>,
 /// test one boolean and skip event construction (and all clock reads)
 /// entirely when nobody is listening, so an uninstrumented run pays
 /// nothing on the hot path.
-struct Telemetry<'a> {
-    sink: &'a dyn TelemetrySink,
-    clock: Stopwatch,
-    live: bool,
+pub(crate) struct Telemetry<'a> {
+    pub(crate) sink: &'a dyn TelemetrySink,
+    pub(crate) clock: Stopwatch,
+    pub(crate) live: bool,
 }
 
 impl<'a> Telemetry<'a> {
-    fn new(sink: &'a dyn TelemetrySink) -> Telemetry<'a> {
+    pub(crate) fn new(sink: &'a dyn TelemetrySink) -> Telemetry<'a> {
         Telemetry {
             sink,
             clock: Stopwatch::start(),
@@ -324,7 +325,7 @@ impl<'a> Telemetry<'a> {
 
     /// Stamps `kind` with the run clock and emits it. Callers guard with
     /// `self.live` so disabled runs never construct an [`EventKind`].
-    fn emit(&self, kind: EventKind) {
+    pub(crate) fn emit(&self, kind: EventKind) {
         self.sink.emit(&Event {
             t_ns: self.clock.elapsed_ns(),
             kind,
@@ -368,21 +369,22 @@ fn build_graphs_observed(
 /// Streamed aggregates of one process's trials within one *(family,
 /// group)* block — the executor's unit of resample-mode aggregation.
 /// Folding happens inside the worker that ran the block, so no per-trial
-/// vector outlives the block.
+/// vector outlives the block. `pub(crate)` because shard artifacts
+/// ([`crate::shard`]) persist these accumulators verbatim.
 #[derive(Debug, Clone)]
-struct ProcAgg {
+pub(crate) struct ProcAgg {
     /// Trials that reached the target within the cap.
-    completed: usize,
+    pub(crate) completed: usize,
     /// Steps-to-target of completed trials.
-    steps: OnlineStats,
+    pub(crate) steps: OnlineStats,
     /// Per-trial blue fraction (trials with classified steps).
-    blue_fraction: OnlineStats,
+    pub(crate) blue_fraction: OnlineStats,
     /// One accumulator per metric column (resolved values only).
-    metrics: Vec<OnlineStats>,
+    pub(crate) metrics: Vec<OnlineStats>,
 }
 
 impl ProcAgg {
-    fn new(metric_columns: usize) -> ProcAgg {
+    pub(crate) fn new(metric_columns: usize) -> ProcAgg {
         ProcAgg {
             completed: 0,
             steps: OnlineStats::new(),
@@ -412,11 +414,11 @@ impl ProcAgg {
 
 /// All processes' streamed aggregates for one *(family, group)* block.
 #[derive(Debug, Clone)]
-struct BlockAgg {
+pub(crate) struct BlockAgg {
     /// Canonical block index `family * groups + group`.
-    block: usize,
+    pub(crate) block: usize,
     /// One aggregate per process, in grid order.
-    procs: Vec<ProcAgg>,
+    pub(crate) procs: Vec<ProcAgg>,
 }
 
 /// A worker's reusable observer set for one graph: slot 0 is the target
@@ -469,6 +471,14 @@ fn run_trial(
         cap,
         &mut rng,
     ));
+    extract_outcome(spec, run.steps, bank)
+}
+
+/// Harvests one trial's [`TrialOutcome`] from its finished observer bank —
+/// the target-extraction half of a trial, shared verbatim by the
+/// sequential ([`run_trial`]) and interleaved ([`run_trials_interleaved`])
+/// paths so both produce identical outcomes from identical walks.
+fn extract_outcome(spec: &ExperimentSpec, steps: u64, bank: &mut ObserverBank<'_>) -> TrialOutcome {
     let (steps_to_target, blue_steps, red_steps) = match (spec.target, bank.observers[0].finish()) {
         (Target::Blanket { .. }, Metrics::Blanket(b)) => (b.steps_to_blanket, 0, 0),
         (target, Metrics::Cover(c)) => {
@@ -491,11 +501,88 @@ fn run_trial(
     }
     TrialOutcome {
         steps_to_target,
-        steps: run.steps,
+        steps,
         blue_steps,
         red_steps,
         metric_values,
     }
+}
+
+/// Most trials one interleaved lane set runs: beyond ~8 independent
+/// pointer-chases the memory system's miss-handling capacity is saturated
+/// and extra lanes only grow the working set.
+pub const MAX_INTERLEAVE: usize = 8;
+
+/// Which step-loop the executor dispatches a group of same-cell trials
+/// through (see [`select_kernel_path`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// One trial at a time through [`eproc_core::observe::run_observed`].
+    Sequential,
+    /// `width` trials per lockstep lane set through
+    /// [`eproc_core::interleave::run_observed_interleaved`].
+    Interleaved {
+        /// Concurrent lanes per set (`2..=MAX_INTERLEAVE`).
+        width: usize,
+    },
+}
+
+/// Picks the kernel path for a group of `group_trials` independent trials
+/// sharing one graph. Pure cell-shape policy: two or more trials engage
+/// the interleaved kernel (lane width capped at [`MAX_INTERLEAVE`]);
+/// single-trial groups keep the sequential loop. Because the interleaved
+/// per-trial streams are bit-identical to the sequential kernel's, the
+/// choice is free — it never perturbs artifacts.
+pub fn select_kernel_path(group_trials: usize) -> KernelPath {
+    if group_trials >= 2 {
+        KernelPath::Interleaved {
+            width: group_trials.min(MAX_INTERLEAVE),
+        }
+    } else {
+        KernelPath::Sequential
+    }
+}
+
+/// Runs `seeds.len()` same-cell trials as one interleaved lane set (one
+/// lane per seed, one observer bank per lane) and returns their outcomes
+/// in seed order.
+///
+/// The [`with_kernel_lanes!`] dispatch binds the concrete process type
+/// once for the whole set, so the lockstep loop is exactly as
+/// monomorphized as the sequential kernel. Per-trial RNG streams, step
+/// sequences and observer outputs are bit-identical to calling
+/// [`run_trial`] per seed — pinned by `interleaved_trials_match_sequential`
+/// below and the core `interleave_equivalence` proptests.
+fn run_trials_interleaved(
+    spec: &ExperimentSpec,
+    g: &Graph,
+    process_index: usize,
+    seeds: &[u64],
+    banks: &mut [ObserverBank<'_>],
+) -> Vec<TrialOutcome> {
+    assert!(seeds.len() <= banks.len(), "one bank per lane");
+    let cap = spec.cap.resolve(g);
+    let rngs: Vec<SmallRng> = seeds
+        .iter()
+        .map(|&seed| SmallRng::seed_from_u64(seed))
+        .collect();
+    let kernels: Vec<_> = seeds
+        .iter()
+        .map(|_| spec.processes[process_index].build_kernel(g, spec.start))
+        .collect();
+    let runs = with_kernel_lanes!(kernels, walks => {
+        let mut lanes: Vec<Lane<'_, _, _, SmallRng>> = walks
+            .into_iter()
+            .zip(banks.iter_mut())
+            .zip(rngs)
+            .map(|((walk, bank), rng)| Lane::new(walk, &mut bank.observers, rng))
+            .collect();
+        run_observed_interleaved(&mut lanes, StopWhen::AllSatisfied, cap)
+    });
+    runs.iter()
+        .zip(banks.iter_mut())
+        .map(|(run, bank)| extract_outcome(spec, run.steps, bank))
+        .collect()
 }
 
 /// Runs the experiment on `opts.threads` worker threads.
@@ -648,30 +735,21 @@ fn emit_run_started(spec: &ExperimentSpec, opts: &RunOptions, tel: &Telemetry<'_
         total_trials: total as u64,
         workers: opts.threads.min(total.max(1)),
         resampled: spec.resample.is_some(),
+        shard: None,
     });
 }
 
-/// Shared core of [`run`] and [`run_on_graphs`]: validates, runs every
-/// trial on the worker pool and aggregates. `prebuilt` is `Some` in
-/// shared-graph mode; `None` means resample mode, where the reported
-/// `n`/`m` are harvested from each family's group-0 sample. `tel` is the
-/// run's telemetry context; all instrumentation is keyed off `tel.live`
-/// so a [`NullSink`] run takes the exact uninstrumented path.
-fn execute(
+/// Range checks every start and hitting vertex against every family —
+/// shared by [`execute`] and the sharded runner ([`crate::shard`]), so a
+/// bad spec fails identically whether or not the run is partitioned.
+/// `prebuilt` supplies exact vertex counts in shared-graph mode; under
+/// resampling every sample of a family has the same count, so the checks
+/// need no generated graph.
+pub(crate) fn validate_vertices(
     spec: &ExperimentSpec,
-    opts: &RunOptions,
     prebuilt: Option<&[Graph]>,
-    tel: &Telemetry<'_>,
-) -> Result<ExperimentReport, EngineError> {
-    assert!(opts.threads > 0, "need at least one worker thread");
-    assert!(
-        prebuilt.is_some() || spec.resample.is_some(),
-        "shared-graph execution needs prebuilt graphs"
-    );
-    spec.validate()?;
+) -> Result<(), EngineError> {
     for (gi, gs) in spec.graphs.iter().enumerate() {
-        // Every sample of a family has the same vertex count, so range
-        // checks need no generated graph.
         let n = match prebuilt {
             Some(graphs) => graphs[gi].n(),
             None => gs.vertex_count().map_err(EngineError::Spec)?,
@@ -697,6 +775,242 @@ fn execute(
             }
         }
     }
+    Ok(())
+}
+
+/// Everything one resample block produced.
+pub(crate) struct BlockResult {
+    /// The block's streamed per-process aggregates.
+    pub(crate) agg: BlockAgg,
+    /// `(family, n, m)` when this was the family's group-0 block — the
+    /// representative dimensions the report describes the family with.
+    pub(crate) rep: Option<(usize, usize, usize)>,
+    /// Trials the block ran.
+    pub(crate) trials: u64,
+    /// Walk steps the block simulated.
+    pub(crate) steps: u64,
+}
+
+/// Runs one *(family, group)* resample block: samples the group's graph,
+/// runs all of the block's trials on it (dispatching each process's trial
+/// group through [`select_kernel_path`] — the interleaved lane set when
+/// the group has two or more trials) and streams every trial into
+/// per-process [`ProcAgg`]s. Emits `block_claimed` / `block_completed`
+/// when `tel` is live. Deterministic: the result is a pure function of
+/// `(spec, base_seed, block)` — worker id and telemetry only label
+/// events — which is what lets sharded runs farm blocks out by residue
+/// class and still merge byte-identically.
+pub(crate) fn run_resample_block(
+    spec: &ExperimentSpec,
+    base_seed: u64,
+    block: usize,
+    worker: usize,
+    n_cols: usize,
+    tel: &Telemetry<'_>,
+) -> Result<BlockResult, EngineError> {
+    let plan = spec.resample.expect("resample block requires a plan");
+    let w = plan.walks_per_graph;
+    let trials = spec.trials;
+    let groups = plan.groups(trials);
+    let gi = block / groups;
+    let group = block % groups;
+    let live = tel.live;
+    if live {
+        tel.emit(EventKind::BlockClaimed {
+            block,
+            family: spec.graphs[gi].label(),
+            group,
+            worker,
+        });
+    }
+    let seed = resample_graph_seed(base_seed, gi, group);
+    let gen = live.then(Stopwatch::start);
+    let (g, attempts) =
+        spec.graphs[gi]
+            .build_counted(seed)
+            .map_err(|source| EngineError::Block {
+                graph: spec.graphs[gi].label(),
+                group,
+                worker,
+                source,
+            })?;
+    let gen_ns = gen.map_or(0, |gen| gen.elapsed_ns());
+    let rep = (group == 0).then(|| (gi, g.n(), g.m()));
+    let lo = group * w;
+    let hi = ((group + 1) * w).min(trials);
+    let path = select_kernel_path(hi - lo);
+    // One observer bank per lane, built once per block and re-armed
+    // across processes and chunks (`begin` re-arms completely — pinned by
+    // `observer_bank_reuse_matches_fresh_observers`).
+    let lanes = match path {
+        KernelPath::Sequential => 1,
+        KernelPath::Interleaved { width } => width,
+    };
+    let mut banks: Vec<ObserverBank<'_>> = (0..lanes)
+        .map(|_| ObserverBank::new(spec, &g, gi))
+        .collect();
+    let mut procs = vec![ProcAgg::new(n_cols); spec.processes.len()];
+    let walk = live.then(Stopwatch::start);
+    let mut block_trials = 0u64;
+    let mut block_steps = 0u64;
+    for (pi, agg) in procs.iter_mut().enumerate() {
+        match path {
+            KernelPath::Sequential => {
+                for t in lo..hi {
+                    let seed = trial_seed(base_seed, gi, pi, t);
+                    let outcome = run_trial(spec, &g, pi, seed, &mut banks[0]);
+                    block_trials += 1;
+                    block_steps += outcome.steps;
+                    agg.fold(outcome);
+                }
+            }
+            KernelPath::Interleaved { width } => {
+                // Outcomes fold in trial-index order — chunk by chunk,
+                // lane order within a chunk — the exact order the
+                // sequential loop folds them.
+                let mut t = lo;
+                while t < hi {
+                    let chunk = (hi - t).min(width);
+                    let seeds: Vec<u64> = (t..t + chunk)
+                        .map(|t| trial_seed(base_seed, gi, pi, t))
+                        .collect();
+                    for outcome in run_trials_interleaved(spec, &g, pi, &seeds, &mut banks[..chunk])
+                    {
+                        block_trials += 1;
+                        block_steps += outcome.steps;
+                        agg.fold(outcome);
+                    }
+                    t += chunk;
+                }
+            }
+        }
+    }
+    if let Some(walk) = walk {
+        tel.emit(EventKind::BlockCompleted {
+            block,
+            family: spec.graphs[gi].label(),
+            group,
+            process: None,
+            worker,
+            trials: block_trials,
+            steps: block_steps,
+            gen_ns,
+            gen_attempts: attempts as u64,
+            walk_ns: walk.elapsed_ns(),
+        });
+    }
+    Ok(BlockResult {
+        agg: BlockAgg { block, procs },
+        rep,
+        trials: block_trials,
+        steps: block_steps,
+    })
+}
+
+/// The spec-shaped context [`aggregate_resample_cells`] needs — split
+/// from [`ExperimentSpec`] so `eproc merge` can aggregate from shard
+/// headers alone, through the **same** code path (and hence the same
+/// floating-point operation order) as an unsharded run.
+pub(crate) struct ResampleCellInputs<'a> {
+    /// `(label, family_label)` per graph family, in grid order.
+    pub(crate) graphs: &'a [(String, String)],
+    /// Process labels, in grid order.
+    pub(crate) processes: &'a [String],
+    /// Flattened metric column names.
+    pub(crate) metric_columns: &'a [String],
+    /// Trials per cell.
+    pub(crate) trials: usize,
+    /// Resample groups per family.
+    pub(crate) group_count: usize,
+}
+
+/// Merges streamed block aggregates into grid-ordered [`CellSummary`]s —
+/// the resample-mode aggregation tail of [`execute`], factored out so
+/// `eproc merge` reassembles shard artifacts through the identical
+/// Welford merges in the identical canonical *(family, group)* order.
+/// `dims` holds each family's representative `(n, m)`; `blocks` is
+/// indexed `gi * group_count + group`.
+pub(crate) fn aggregate_resample_cells(
+    inputs: &ResampleCellInputs<'_>,
+    dims: &[(usize, usize)],
+    blocks: &[BlockAgg],
+) -> Vec<CellSummary> {
+    let group_count = inputs.group_count;
+    let n_cols = inputs.metric_columns.len();
+    let mut cells = Vec::with_capacity(inputs.graphs.len() * inputs.processes.len());
+    for (gi, (label, family)) in inputs.graphs.iter().enumerate() {
+        let (rep_n, rep_m) = dims[gi];
+        for (pi, process) in inputs.processes.iter().enumerate() {
+            let mut steps = OnlineStats::new();
+            let mut blue_fraction = OnlineStats::new();
+            let mut metrics: Vec<MetricSummary> = inputs
+                .metric_columns
+                .iter()
+                .map(|name| MetricSummary {
+                    name: name.clone(),
+                    stats: OnlineStats::new(),
+                    split: None,
+                })
+                .collect();
+            let mut completed = 0usize;
+            // The per-block accumulators double as the groups of the
+            // variance splits: one Welford merge per group, no per-trial
+            // state.
+            let mut group_steps = Vec::with_capacity(group_count);
+            let mut group_metrics = vec![Vec::with_capacity(group_count); n_cols];
+            for group in 0..group_count {
+                let block = &blocks[gi * group_count + group];
+                let agg = &block.procs[pi];
+                completed += agg.completed;
+                steps.merge(&agg.steps);
+                blue_fraction.merge(&agg.blue_fraction);
+                group_steps.push(agg.steps);
+                for (ci, summary) in metrics.iter_mut().enumerate() {
+                    summary.stats.merge(&agg.metrics[ci]);
+                    group_metrics[ci].push(agg.metrics[ci]);
+                }
+            }
+            let steps_split = Some(variance_split(&group_steps));
+            for (summary, groups) in metrics.iter_mut().zip(&group_metrics) {
+                summary.split = Some(variance_split(groups));
+            }
+            cells.push(CellSummary {
+                graph: label.clone(),
+                family: family.clone(),
+                n: rep_n,
+                m: rep_m,
+                process: process.clone(),
+                trials: inputs.trials,
+                completed,
+                steps,
+                blue_fraction,
+                steps_split,
+                metrics,
+            });
+        }
+    }
+    cells
+}
+
+/// Shared core of [`run`] and [`run_on_graphs`]: validates, runs every
+/// trial on the worker pool and aggregates. `prebuilt` is `Some` in
+/// shared-graph mode; `None` means resample mode, where the reported
+/// `n`/`m` are harvested from each family's group-0 sample. `tel` is the
+/// run's telemetry context; all instrumentation is keyed off `tel.live`
+/// so a [`NullSink`] run takes the exact uninstrumented path.
+fn execute(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    prebuilt: Option<&[Graph]>,
+    tel: &Telemetry<'_>,
+) -> Result<ExperimentReport, EngineError> {
+    assert!(opts.threads > 0, "need at least one worker thread");
+    assert!(
+        prebuilt.is_some() || spec.resample.is_some(),
+        "shared-graph execution needs prebuilt graphs"
+    );
+    spec.validate()?;
+    validate_vertices(spec, prebuilt)?;
 
     let n_proc = spec.processes.len();
     let trials = spec.trials;
@@ -791,7 +1105,7 @@ fn execute(
                                 local.push((job, outcome));
                             }
                         }
-                        Some(plan) => {
+                        Some(_) => {
                             // Resample mode: one job = one (family, group)
                             // block — all processes × the group's trials on
                             // one freshly sampled graph, generated exactly
@@ -800,71 +1114,29 @@ fn execute(
                             // spread across the pool like the walks, with no
                             // up-front serial build. Each trial is folded
                             // straight into the block's streaming aggregates
-                            // and dropped — the graph, the observer bank and
-                            // the trials all die with the block.
-                            let w = plan.walks_per_graph;
-                            let groups = plan.groups(trials);
+                            // and dropped — the graph, the observer banks
+                            // and the trials all die with the block (see
+                            // `run_resample_block`, shared with the sharded
+                            // runner).
                             loop {
                                 let block = next.fetch_add(1, Ordering::Relaxed);
                                 if block >= total_blocks {
                                     break;
                                 }
-                                let gi = block / groups;
-                                let group = block % groups;
-                                if live {
-                                    tel.emit(EventKind::BlockClaimed {
-                                        block,
-                                        family: spec.graphs[gi].label(),
-                                        group,
-                                        worker,
-                                    });
+                                let result = run_resample_block(
+                                    spec,
+                                    opts.base_seed,
+                                    block,
+                                    worker,
+                                    n_cols,
+                                    tel,
+                                )?;
+                                trials_run += result.trials;
+                                steps_run += result.steps;
+                                if let Some(rep) = result.rep {
+                                    rep_dims.push(rep);
                                 }
-                                let seed = resample_graph_seed(opts.base_seed, gi, group);
-                                let gen = live.then(Stopwatch::start);
-                                let (g, attempts) =
-                                    spec.graphs[gi].build_counted(seed).map_err(|source| {
-                                        EngineError::Block {
-                                            graph: spec.graphs[gi].label(),
-                                            group,
-                                            worker,
-                                            source,
-                                        }
-                                    })?;
-                                let gen_ns = gen.map_or(0, |gen| gen.elapsed_ns());
-                                if group == 0 {
-                                    rep_dims.push((gi, g.n(), g.m()));
-                                }
-                                let mut bank = ObserverBank::new(spec, &g, gi);
-                                let mut procs = vec![ProcAgg::new(n_cols); n_proc];
-                                let walk = live.then(Stopwatch::start);
-                                let mut block_trials = 0u64;
-                                let mut block_steps = 0u64;
-                                for (pi, agg) in procs.iter_mut().enumerate() {
-                                    for t in group * w..((group + 1) * w).min(trials) {
-                                        let seed = trial_seed(opts.base_seed, gi, pi, t);
-                                        let outcome = run_trial(spec, &g, pi, seed, &mut bank);
-                                        block_trials += 1;
-                                        block_steps += outcome.steps;
-                                        agg.fold(outcome);
-                                    }
-                                }
-                                trials_run += block_trials;
-                                steps_run += block_steps;
-                                if let Some(walk) = walk {
-                                    tel.emit(EventKind::BlockCompleted {
-                                        block,
-                                        family: spec.graphs[gi].label(),
-                                        group,
-                                        process: None,
-                                        worker,
-                                        trials: block_trials,
-                                        steps: block_steps,
-                                        gen_ns,
-                                        gen_attempts: attempts as u64,
-                                        walk_ns: walk.elapsed_ns(),
-                                    });
-                                }
-                                local_blocks.push(BlockAgg { block, procs });
+                                local_blocks.push(result.agg);
                             }
                         }
                     }
@@ -905,25 +1177,25 @@ fn execute(
     // Deterministic aggregation: cells in grid order; shared mode folds
     // trials in index order (the exact push order the committed goldens
     // pin), resample mode merges the streamed block aggregates in
-    // canonical (family, group) order.
-    let mut cells = Vec::with_capacity(spec.graphs.len() * n_proc);
-    for (gi, dim) in dims.iter().enumerate() {
-        let (rep_n, rep_m) = dim.expect("every family ran its group-0 block");
-        for (pi, ps) in spec.processes.iter().enumerate() {
-            let mut steps = OnlineStats::new();
-            let mut blue_fraction = OnlineStats::new();
-            let mut metrics: Vec<MetricSummary> = metric_columns
-                .iter()
-                .map(|name| MetricSummary {
-                    name: name.clone(),
-                    stats: OnlineStats::new(),
-                    split: None,
-                })
-                .collect();
-            let mut completed = 0usize;
-            let mut steps_split = None;
-            match spec.resample {
-                None => {
+    // canonical (family, group) order via `aggregate_resample_cells` —
+    // the same function `eproc merge` reassembles shard artifacts with.
+    let cells = match spec.resample {
+        None => {
+            let mut cells = Vec::with_capacity(spec.graphs.len() * n_proc);
+            for (gi, dim) in dims.iter().enumerate() {
+                let (rep_n, rep_m) = dim.expect("every family ran its group-0 block");
+                for (pi, ps) in spec.processes.iter().enumerate() {
+                    let mut steps = OnlineStats::new();
+                    let mut blue_fraction = OnlineStats::new();
+                    let mut metrics: Vec<MetricSummary> = metric_columns
+                        .iter()
+                        .map(|name| MetricSummary {
+                            name: name.clone(),
+                            stats: OnlineStats::new(),
+                            split: None,
+                        })
+                        .collect();
+                    let mut completed = 0usize;
                     for t in 0..trials {
                         let job = gi * jobs_per_graph + pi * trials + t;
                         let outcome = outcomes[job]
@@ -943,48 +1215,51 @@ fn execute(
                             }
                         }
                     }
-                }
-                Some(_) => {
-                    // The per-block accumulators double as the groups of
-                    // the variance splits: one Welford merge per group,
-                    // no per-trial state.
-                    let mut group_steps = Vec::with_capacity(group_count);
-                    let mut group_metrics = vec![Vec::with_capacity(group_count); n_cols];
-                    for group in 0..group_count {
-                        let block = blocks[gi * group_count + group]
-                            .as_ref()
-                            .expect("every block index was executed");
-                        let agg = &block.procs[pi];
-                        completed += agg.completed;
-                        steps.merge(&agg.steps);
-                        blue_fraction.merge(&agg.blue_fraction);
-                        group_steps.push(agg.steps);
-                        for (ci, summary) in metrics.iter_mut().enumerate() {
-                            summary.stats.merge(&agg.metrics[ci]);
-                            group_metrics[ci].push(agg.metrics[ci]);
-                        }
-                    }
-                    steps_split = Some(variance_split(&group_steps));
-                    for (summary, groups) in metrics.iter_mut().zip(&group_metrics) {
-                        summary.split = Some(variance_split(groups));
-                    }
+                    cells.push(CellSummary {
+                        graph: spec.graphs[gi].label(),
+                        family: spec.graphs[gi].family_label(),
+                        n: rep_n,
+                        m: rep_m,
+                        process: ps.label(),
+                        trials,
+                        completed,
+                        steps,
+                        blue_fraction,
+                        steps_split: None,
+                        metrics,
+                    });
                 }
             }
-            cells.push(CellSummary {
-                graph: spec.graphs[gi].label(),
-                family: spec.graphs[gi].family_label(),
-                n: rep_n,
-                m: rep_m,
-                process: ps.label(),
-                trials,
-                completed,
-                steps,
-                blue_fraction,
-                steps_split,
-                metrics,
-            });
+            cells
         }
-    }
+        Some(_) => {
+            let graph_meta: Vec<(String, String)> = spec
+                .graphs
+                .iter()
+                .map(|gs| (gs.label(), gs.family_label()))
+                .collect();
+            let proc_labels: Vec<String> = spec.processes.iter().map(|ps| ps.label()).collect();
+            let rep_dims: Vec<(usize, usize)> = dims
+                .iter()
+                .map(|dim| dim.expect("every family ran its group-0 block"))
+                .collect();
+            let block_aggs: Vec<BlockAgg> = blocks
+                .into_iter()
+                .map(|b| b.expect("every block index was executed"))
+                .collect();
+            aggregate_resample_cells(
+                &ResampleCellInputs {
+                    graphs: &graph_meta,
+                    processes: &proc_labels,
+                    metric_columns: &metric_columns,
+                    trials,
+                    group_count,
+                },
+                &rep_dims,
+                &block_aggs,
+            )
+        }
+    };
     if let Some(agg) = agg {
         tel.emit(EventKind::AggregationMerged {
             blocks: if spec.resample.is_some() {
@@ -1304,6 +1579,95 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.cells[0].steps.mean(), 9.0);
+    }
+
+    #[test]
+    fn kernel_path_selection_by_cell_shape() {
+        assert_eq!(select_kernel_path(0), KernelPath::Sequential);
+        assert_eq!(select_kernel_path(1), KernelPath::Sequential);
+        assert_eq!(select_kernel_path(2), KernelPath::Interleaved { width: 2 });
+        assert_eq!(select_kernel_path(8), KernelPath::Interleaved { width: 8 });
+        assert_eq!(
+            select_kernel_path(100),
+            KernelPath::Interleaved {
+                width: MAX_INTERLEAVE
+            }
+        );
+    }
+
+    #[test]
+    fn interleaved_trials_match_sequential() {
+        // The executor-level pin: run_trials_interleaved over a full
+        // observer bank (target + metrics) must reproduce run_trial's
+        // outcomes exactly, per seed, for every width the selector picks.
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Regular { n: 60, d: 4 }],
+            processes: vec![
+                ProcessSpec::EProcess {
+                    rule: RuleSpec::Uniform,
+                },
+                ProcessSpec::Srw,
+                ProcessSpec::RotorRouter,
+            ],
+            metrics: vec![MetricSpec::Cover, MetricSpec::Hitting { vertex: None }],
+            trials: 8,
+            ..tiny_spec()
+        };
+        let g = spec.graphs[0].build(11).unwrap();
+        for pi in 0..spec.processes.len() {
+            for width in [2usize, 3, 8] {
+                let seeds: Vec<u64> = (0..width).map(|t| trial_seed(99, 0, pi, t)).collect();
+                let expected: Vec<TrialOutcome> = seeds
+                    .iter()
+                    .map(|&seed| {
+                        let mut bank = ObserverBank::new(&spec, &g, 0);
+                        run_trial(&spec, &g, pi, seed, &mut bank)
+                    })
+                    .collect();
+                let mut banks: Vec<ObserverBank<'_>> = (0..width)
+                    .map(|_| ObserverBank::new(&spec, &g, 0))
+                    .collect();
+                let got = run_trials_interleaved(&spec, &g, pi, &seeds, &mut banks);
+                assert_eq!(got, expected, "process {pi} width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn resampled_report_is_identical_across_thread_counts() {
+        // The interleaved path engages inside resample blocks; the
+        // report must stay a pure function of (spec, base_seed).
+        let spec = ExperimentSpec {
+            graphs: vec![GraphSpec::Regular { n: 24, d: 3 }],
+            processes: vec![
+                ProcessSpec::EProcess {
+                    rule: RuleSpec::Uniform,
+                },
+                ProcessSpec::Srw,
+            ],
+            trials: 6,
+            resample: Some(ResamplePlan { walks_per_graph: 4 }),
+            ..tiny_spec()
+        };
+        let run_with = |threads: usize| {
+            run(
+                &spec,
+                &RunOptions {
+                    threads,
+                    base_seed: 21,
+                },
+            )
+            .unwrap()
+        };
+        let a = run_with(1);
+        let b = run_with(4);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.completed, cb.completed);
+            assert_eq!(ca.steps, cb.steps);
+            assert_eq!(ca.blue_fraction, cb.blue_fraction);
+            assert_eq!(ca.steps_split, cb.steps_split);
+        }
     }
 
     #[test]

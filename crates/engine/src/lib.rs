@@ -82,6 +82,21 @@
 //! ([`eproc_telemetry::SummarySink`]'s per-stage wall-time and
 //! per-worker utilization roll-up).
 //!
+//! # Sharded execution
+//!
+//! A resampled run's *(family, group)* blocks are independent, so the
+//! [`shard`] module can partition them across machines: `eproc run …
+//! --shard i/k` ([`shard::run_shard`]) executes only the blocks whose
+//! canonical index is `≡ i (mod k)` and persists their streamed
+//! accumulators bit-exactly ([`shard::ShardReport`]); `eproc merge`
+//! ([`shard::merge_shards`]) recombines the `k` artifacts — parallel
+//! Welford merges in canonical block order, through the executor's own
+//! aggregation code — into a report **byte-identical** to the unsharded
+//! run's. Inside each block, groups of two or more same-cell trials are
+//! dispatched through [`eproc_core::interleave::run_observed_interleaved`]
+//! ([`executor::select_kernel_path`]), which overlaps the independent
+//! trials' CSR row fetches without perturbing any per-trial stream.
+//!
 //! # Example
 //!
 //! ```
@@ -119,10 +134,12 @@ pub mod builtin;
 pub mod executor;
 pub mod report;
 pub mod scaling;
+pub mod shard;
 pub mod spec;
 
 pub use executor::{run, run_with_sink, ExperimentReport, RunOptions};
 pub use scaling::{analyze, ScalingError, ScalingReport, SeriesFit};
+pub use shard::{merge_shards, run_shard, run_shard_with_sink, ShardReport, ShardSpec};
 pub use spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
     SweepRange, SweepStep, Target,

@@ -127,7 +127,7 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
     table
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -972,6 +972,81 @@ macro_rules! with_kernel {
     };
 }
 
+/// Matches a `Vec<WalkKernel>` of **identical variant** once and runs
+/// `$body` with `$walks` bound to a `Vec` of the concrete process type —
+/// the interleaved counterpart of [`with_kernel!`]: one group's lanes all
+/// come from the same [`crate::spec::ProcessSpec`], so a single dispatch
+/// on the first kernel monomorphizes the whole lockstep loop
+/// ([`eproc_core::interleave::run_observed_interleaved`]) against the
+/// concrete walk type, exactly like the sequential kernel.
+///
+/// # Panics
+///
+/// Panics if the set is empty or mixes kernel variants (the executor
+/// builds every lane of a group from one `ProcessSpec`, so either is a
+/// caller bug).
+#[macro_export]
+macro_rules! with_kernel_lanes {
+    (@arm $kernels:ident, $variant:ident, $walks:ident => $body:expr) => {{
+        let $walks: ::std::vec::Vec<_> = $kernels
+            .into_iter()
+            .map(|k| match k {
+                $crate::spec::WalkKernel::$variant(w) => w,
+                _ => unreachable!("mixed kernel variants in one lane set"),
+            })
+            .collect();
+        $body
+    }};
+    ($kernels:expr, $walks:ident => $body:expr) => {{
+        let kernels: ::std::vec::Vec<$crate::spec::WalkKernel<'_>> = $kernels;
+        match kernels.first() {
+            None => panic!("with_kernel_lanes! needs at least one kernel"),
+            Some($crate::spec::WalkKernel::EProcessUniform(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, EProcessUniform, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::EProcessFirstPort(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, EProcessFirstPort, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::EProcessLastPort(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, EProcessLastPort, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::EProcessRoundRobin(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, EProcessRoundRobin, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::EProcessGreedyAdversary(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, EProcessGreedyAdversary, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::EProcessSpiteful(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, EProcessSpiteful, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::Srw(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, Srw, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::LazySrw(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, LazySrw, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::WeightedSrw(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, WeightedSrw, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::RotorRouter(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, RotorRouter, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::Rwc(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, Rwc, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::OldestFirst(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, OldestFirst, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::LeastUsedFirst(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, LeastUsedFirst, $walks => $body)
+            }
+            Some($crate::spec::WalkKernel::VProcess(_)) => {
+                $crate::with_kernel_lanes!(@arm kernels, VProcess, $walks => $body)
+            }
+        }
+    }};
+}
+
 macro_rules! kernel_delegate {
     ($self:expr, $walk:ident => $body:expr) => {
         match $self {
@@ -1039,6 +1114,20 @@ impl Target {
             Target::EdgeCover => "edge-cover".into(),
             Target::BothCover => "both-cover".into(),
             Target::Blanket { delta } => format!("blanket({delta})"),
+        }
+    }
+
+    /// Compact CLI syntax (inverse of [`Target::parse`]): `vertex`,
+    /// `edge`, `both`, `blanket:<delta>`. The blanket delta renders via
+    /// `f64`'s shortest-round-trip formatting, so `parse(to_cli())`
+    /// reproduces the value bit for bit — the property shard headers
+    /// rely on.
+    pub fn to_cli(&self) -> String {
+        match self {
+            Target::VertexCover => "vertex".into(),
+            Target::EdgeCover => "edge".into(),
+            Target::BothCover => "both".into(),
+            Target::Blanket { delta } => format!("blanket:{delta}"),
         }
     }
 
@@ -1687,6 +1776,21 @@ mod tests {
         );
         assert!(Target::parse("blanket:1.5").is_err());
         assert!(Target::parse("nope").is_err());
+    }
+
+    #[test]
+    fn target_to_cli_round_trips_exactly() {
+        for t in [
+            Target::VertexCover,
+            Target::EdgeCover,
+            Target::BothCover,
+            Target::Blanket { delta: 0.4 },
+            Target::Blanket {
+                delta: 0.123456789012345,
+            },
+        ] {
+            assert_eq!(Target::parse(&t.to_cli()).unwrap(), t, "{}", t.to_cli());
+        }
     }
 
     #[test]

@@ -228,6 +228,29 @@ impl Graph {
             .map(|&t| t as Vertex)
     }
 
+    /// Issues an early load of `v`'s CSR port row — the offset word and
+    /// the leading `arc_targets` / `arc_edges` entries — discarding the
+    /// values through [`std::hint::black_box`].
+    ///
+    /// This is the crate's safe-code stand-in for a prefetch hint
+    /// (`#![forbid(unsafe_code)]` rules out the intrinsic): the loads
+    /// cannot be optimised away, so the row's cache lines are requested
+    /// *now* and their memory latency overlaps whatever the caller does
+    /// next. The interleaved multi-trial driver calls this for the lane it
+    /// will advance next while the current lane's step executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn prefetch_ports(&self, v: Vertex) {
+        let lo = self.offsets[v];
+        if let (Some(&t), Some(&e)) = (self.arc_targets.get(lo), self.arc_edges.get(lo)) {
+            std::hint::black_box(t);
+            std::hint::black_box(e);
+        }
+    }
+
     /// Iterator over `(arc, target, edge)` triples of the ports of `v`.
     ///
     /// # Panics

@@ -88,6 +88,39 @@ impl OnlineStats {
         self.max
     }
 
+    /// Snapshots the raw accumulator state as `(count, [mean, m2, min,
+    /// max])` with the floats as IEEE-754 bit patterns.
+    ///
+    /// This is the **bit-exact** serialisation: `m2` is not recoverable
+    /// from [`variance`](OnlineStats::variance) without rounding, and the
+    /// `±∞` sentinels of an empty accumulator have no decimal form, so
+    /// anything that persists an accumulator and later
+    /// [`merge`](OnlineStats::merge)s it (e.g. shard artifacts combined
+    /// by `eproc merge`) must round-trip the bits, not the values.
+    pub fn to_raw(&self) -> (u64, [u64; 4]) {
+        (
+            self.count,
+            [
+                self.mean.to_bits(),
+                self.m2.to_bits(),
+                self.min.to_bits(),
+                self.max.to_bits(),
+            ],
+        )
+    }
+
+    /// Reconstructs an accumulator from a [`to_raw`](OnlineStats::to_raw)
+    /// snapshot, bit for bit.
+    pub fn from_raw(count: u64, bits: [u64; 4]) -> OnlineStats {
+        OnlineStats {
+            count,
+            mean: f64::from_bits(bits[0]),
+            m2: f64::from_bits(bits[1]),
+            min: f64::from_bits(bits[2]),
+            max: f64::from_bits(bits[3]),
+        }
+    }
+
     /// Merges another accumulator (parallel Welford combination).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -153,6 +186,25 @@ mod tests {
         assert_eq!(a.count(), seq.count());
         assert!((a.mean() - seq.mean()).abs() < 1e-12);
         assert!((a.variance() - seq.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_round_trip_is_bit_exact() {
+        let mut acc = OnlineStats::new();
+        for x in [0.1, 0.2, 0.3000000004, 1e17, -3.5] {
+            acc.push(x);
+        }
+        let (count, bits) = acc.to_raw();
+        let back = OnlineStats::from_raw(count, bits);
+        assert_eq!(back, acc);
+        assert_eq!(back.mean().to_bits(), acc.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), acc.variance().to_bits());
+        // The empty accumulator's ±∞ sentinels survive too.
+        let (count, bits) = OnlineStats::new().to_raw();
+        let empty = OnlineStats::from_raw(count, bits);
+        assert_eq!(empty, OnlineStats::new());
+        assert_eq!(empty.min(), f64::INFINITY);
+        assert_eq!(empty.max(), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -31,6 +31,19 @@ pub(crate) fn json_num(x: f64) -> String {
     }
 }
 
+/// Which shard of a deterministically partitioned run a stream of events
+/// belongs to: shard `index` of `count` owns the blocks congruent to
+/// `index` mod `count`. Stamped onto [`EventKind::RunStarted`] by sharded
+/// executors (`--shard i/k`); absent for ordinary runs, whose event
+/// streams are byte-identical to pre-shard ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardId {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total shards the run is partitioned into.
+    pub count: usize,
+}
+
 /// One telemetry event, stamped with the monotonic time since the run
 /// started (`t_ns`, from the emitter's [`crate::Stopwatch`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +77,10 @@ pub enum EventKind {
         workers: usize,
         /// Whether graphs are resampled per trial group.
         resampled: bool,
+        /// Which shard of a partitioned run this is (`None` for
+        /// unsharded runs; the field is then omitted from the JSONL form,
+        /// keeping pre-shard streams byte-identical).
+        shard: Option<ShardId>,
     },
     /// A shared-mode graph was built up front (before the pool starts).
     GraphBuilt {
@@ -136,6 +153,18 @@ pub enum EventKind {
         /// Total walk steps simulated.
         total_steps: u64,
     },
+    /// Shard artifacts were combined into one report (`eproc merge`) —
+    /// the merge stage of a sharded run.
+    MergeCompleted {
+        /// Shard artifacts merged.
+        shards: usize,
+        /// Blocks reassembled across all shards.
+        blocks: usize,
+        /// Report cells produced.
+        cells: usize,
+        /// Nanoseconds the merge took.
+        merge_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -148,6 +177,7 @@ impl EventKind {
             EventKind::BlockCompleted { .. } => "block_completed",
             EventKind::AggregationMerged { .. } => "aggregation_merged",
             EventKind::RunFinished { .. } => "run_finished",
+            EventKind::MergeCompleted { .. } => "merge_completed",
         }
     }
 }
@@ -172,6 +202,7 @@ impl Event {
                 total_trials,
                 workers,
                 resampled,
+                shard,
             } => {
                 let _ = write!(
                     out,
@@ -180,6 +211,13 @@ impl Event {
                      \"workers\": {workers}, \"resampled\": {resampled}",
                     json_escape(name)
                 );
+                if let Some(shard) = shard {
+                    let _ = write!(
+                        out,
+                        ", \"shard_index\": {}, \"shard_count\": {}",
+                        shard.index, shard.count
+                    );
+                }
             }
             EventKind::GraphBuilt {
                 graph,
@@ -255,6 +293,18 @@ impl Event {
                      \"total_steps\": {total_steps}"
                 );
             }
+            EventKind::MergeCompleted {
+                shards,
+                blocks,
+                cells,
+                merge_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"shards\": {shards}, \"blocks\": {blocks}, \"cells\": {cells}, \
+                     \"merge_ns\": {merge_ns}"
+                );
+            }
         }
         out.push('}');
         out
@@ -315,6 +365,54 @@ mod tests {
         let line = Event { t_ns: 1, kind }.to_jsonl();
         assert!(!line.contains("\"process\""), "{line}");
         assert!(line.contains("\"gen_attempts\": 1"), "{line}");
+    }
+
+    #[test]
+    fn shard_id_is_omitted_for_unsharded_runs() {
+        let kind = |shard| EventKind::RunStarted {
+            name: "sweep".into(),
+            graphs: 1,
+            processes: 2,
+            trials: 6,
+            blocks: 6,
+            total_trials: 12,
+            workers: 3,
+            resampled: true,
+            shard,
+        };
+        let plain = Event {
+            t_ns: 0,
+            kind: kind(None),
+        }
+        .to_jsonl();
+        assert!(!plain.contains("shard"), "{plain}");
+        let sharded = Event {
+            t_ns: 0,
+            kind: kind(Some(ShardId { index: 1, count: 4 })),
+        }
+        .to_jsonl();
+        assert!(
+            sharded.contains("\"shard_index\": 1, \"shard_count\": 4"),
+            "{sharded}"
+        );
+    }
+
+    #[test]
+    fn merge_completed_serialises() {
+        let e = Event {
+            t_ns: 9,
+            kind: EventKind::MergeCompleted {
+                shards: 2,
+                blocks: 12,
+                cells: 4,
+                merge_ns: 777,
+            },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"event\": \"merge_completed\", \"t_ns\": 9, \"shards\": 2, \"blocks\": 12, \
+             \"cells\": 4, \"merge_ns\": 777}"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod summary;
 mod timer;
 
 pub use counters::{Counters, CountersSnapshot};
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, ShardId};
 pub use jsonl::JsonlSink;
 pub use progress::ProgressSink;
 pub use sink::{NullSink, Tee, TelemetrySink};

@@ -141,7 +141,7 @@ fn render_line(
     };
     let tail = if finished {
         format!("done in {}", human_secs(secs))
-    } else if done > 0 && total > done {
+    } else if secs > 0.0 && done > 0 && total > done {
         let eta = secs * (total - done) as f64 / done as f64;
         format!("ETA {}", human_secs(eta))
     } else {
@@ -177,6 +177,16 @@ mod tests {
         let line = render_line(0, 8, 0, 0, 0, false);
         assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
         assert!(line.contains("ETA ?"), "{line}");
+    }
+
+    #[test]
+    fn zero_elapsed_with_completed_blocks_has_no_eta() {
+        // Blocks can complete inside the first clock tick (t_ns still 0):
+        // a 0-second extrapolation must render "ETA ?", not 0.0s or NaN.
+        let line = render_line(2, 8, 10, 1_000, 0, false);
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        assert!(line.contains("ETA ?"), "{line}");
+        assert!(!line.contains("ETA 0"), "{line}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub struct SummarySink {
     meta: Mutex<Meta>,
     per_worker: Mutex<BTreeMap<usize, WorkerTally>>,
     agg_ns: AtomicU64,
+    merge_ns: AtomicU64,
     wall_ns: AtomicU64,
 }
 
@@ -78,6 +79,7 @@ impl SummarySink {
             generation_ns: totals.gen_ns,
             walking_ns: totals.walk_ns,
             aggregation_ns: self.agg_ns.load(Ordering::Relaxed),
+            merge_ns: self.merge_ns.load(Ordering::Relaxed),
             per_worker,
         }
     }
@@ -131,6 +133,12 @@ impl TelemetrySink for SummarySink {
             }
             EventKind::AggregationMerged { cells, agg_ns, .. } => {
                 self.agg_ns.store(*agg_ns, Ordering::Relaxed);
+                self.meta.lock().expect("summary mutex poisoned").cells = *cells;
+            }
+            EventKind::MergeCompleted {
+                cells, merge_ns, ..
+            } => {
+                self.merge_ns.store(*merge_ns, Ordering::Relaxed);
                 self.meta.lock().expect("summary mutex poisoned").cells = *cells;
             }
             EventKind::RunFinished { wall_ns, .. } => {
@@ -190,6 +198,9 @@ pub struct TelemetrySummary {
     pub walking_ns: u64,
     /// Nanoseconds merging blocks into cells (main thread).
     pub aggregation_ns: u64,
+    /// Nanoseconds combining shard artifacts (`eproc merge`; 0 unless
+    /// the run was a merge).
+    pub merge_ns: u64,
     /// Per-worker breakdown, sorted by worker id.
     pub per_worker: Vec<WorkerSummary>,
 }
@@ -221,8 +232,9 @@ impl TelemetrySummary {
         let _ = writeln!(out, "  \"wall_ns\": {},", self.wall_ns);
         let _ = writeln!(
             out,
-            "  \"stages\": {{\"generation_ns\": {}, \"walking_ns\": {}, \"aggregation_ns\": {}}},",
-            self.generation_ns, self.walking_ns, self.aggregation_ns
+            "  \"stages\": {{\"generation_ns\": {}, \"walking_ns\": {}, \"aggregation_ns\": {}, \
+             \"merge_ns\": {}}},",
+            self.generation_ns, self.walking_ns, self.aggregation_ns, self.merge_ns
         );
         let _ = writeln!(
             out,
@@ -285,6 +297,7 @@ mod tests {
                     total_trials: 6,
                     workers: 2,
                     resampled: true,
+                    shard: None,
                 },
             },
             Event {
