@@ -1,0 +1,131 @@
+//! Cost of the crash-safety layer on an end-to-end engine run.
+//!
+//! Three variants on an identical spec: the plain `run` entry point
+//! (the PR 7 baseline), `run_recoverable` with every feature disabled
+//! (the path a `--retry-blocks`-only run takes — must be free: the
+//! empty `FaultPlan` is one `is_empty` check and the stop latch one
+//! relaxed load per block), and `run_recoverable` with per-block
+//! checkpointing to a temp file (the durability price an interruptible
+//! run pays). Writes `target/experiments/BENCH_recovery.json`.
+
+use eproc_bench::output_dir;
+use eproc_engine::executor::{run, RunOptions};
+use eproc_engine::recovery::{run_recoverable, CheckpointPlan, RecoveryOptions, RunOutcome};
+use eproc_engine::spec::{
+    CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, ResamplePlan, RuleSpec, Target,
+};
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+/// Minimum seconds over `SAMPLES` timed runs — the least-interference
+/// estimate when comparing variants on a shared machine.
+fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "recovery-overhead".into(),
+        description: "crash-safety overhead bench".into(),
+        graphs: vec![
+            GraphSpec::Regular { n: 2_000, d: 3 },
+            GraphSpec::Regular { n: 2_000, d: 4 },
+        ],
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 6,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(5_000.0),
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
+fn main() {
+    let spec = bench_spec();
+    let opts = RunOptions {
+        base_seed: 12345,
+        ..RunOptions::auto()
+    };
+    let expect_completed = |outcome: RunOutcome| match outcome {
+        RunOutcome::Completed(report) => report,
+        RunOutcome::Interrupted { .. } => unreachable!("nothing interrupts the bench"),
+    };
+
+    let golden = run(&spec, &opts).expect("warm-up run");
+    let baseline_secs = best_secs(|| {
+        run(&spec, &opts).expect("timed run");
+    });
+    let disabled_secs = best_secs(|| {
+        let report = expect_completed(
+            run_recoverable(&spec, &opts, &RecoveryOptions::default()).expect("timed run"),
+        );
+        assert_eq!(report.cells.len(), golden.cells.len());
+    });
+    let ckpt_path = std::env::temp_dir().join(format!(
+        "eproc-bench-recovery-{}.checkpoint.json",
+        std::process::id()
+    ));
+    let checkpoint_secs = best_secs(|| {
+        let rec = RecoveryOptions {
+            checkpoint: Some(CheckpointPlan {
+                path: ckpt_path.clone(),
+                every: 1,
+            }),
+            ..RecoveryOptions::default()
+        };
+        expect_completed(run_recoverable(&spec, &opts, &rec).expect("timed run"));
+    });
+    let _ = std::fs::remove_file(&ckpt_path);
+    let disabled_overhead = disabled_secs / baseline_secs;
+    let checkpoint_overhead = checkpoint_secs / baseline_secs;
+
+    println!(
+        "recovery_overhead/baseline:     {:>8.2} ms (run, plain executor)",
+        baseline_secs * 1e3
+    );
+    println!(
+        "recovery_overhead/disabled:     {:>8.2} ms ({disabled_overhead:.3}x, target ~1.0x)",
+        disabled_secs * 1e3
+    );
+    println!(
+        "recovery_overhead/checkpointed: {:>8.2} ms ({checkpoint_overhead:.3}x, every block)",
+        checkpoint_secs * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"recovery_overhead\",\n  \
+         \"spec\": \"2x random cubic/quartic n=2000, 2 processes, 6 trials, resample 2\",\n  \
+         \"samples\": {},\n  \
+         \"threads\": {},\n  \
+         \"baseline_secs\": {:.6},\n  \
+         \"disabled_secs\": {:.6},\n  \
+         \"checkpointed_secs\": {:.6},\n  \
+         \"disabled_overhead\": {:.4},\n  \
+         \"checkpointed_overhead\": {:.4}\n}}\n",
+        SAMPLES,
+        opts.threads,
+        baseline_secs,
+        disabled_secs,
+        checkpoint_secs,
+        disabled_overhead,
+        checkpoint_overhead,
+    );
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_recovery.json");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("json: {}", path.display());
+}

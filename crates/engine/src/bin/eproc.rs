@@ -4,6 +4,8 @@
 //! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
 //!                  [--trials N] [--metrics M[,M...]] [--resample [W]]
 //!                  [--shard I/K] [--json PATH] [--csv PATH]
+//!                  [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
+//!                  [--max-wall SECS] [--retry-blocks N] [--inject-faults SPEC]
 //! eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]
 //! eproc list
 //! eproc compare --graph G [--graph G ...] --process P[,P...]
@@ -33,9 +35,22 @@
 //! writes a `<artifact>.telemetry.json` sidecar with the wall-time
 //! breakdown. `--quiet` silences informational stderr chatter (errors
 //! always print). None of these affect the computed artifacts.
+//!
+//! Crash safety (resampled runs): `--checkpoint PATH` persists completed
+//! blocks atomically every `--checkpoint-every N` completions;
+//! SIGINT/SIGTERM or `--max-wall SECS` interrupt gracefully (exit code
+//! 75, resumable); `--resume PATH` recomputes only the missing blocks
+//! and produces the byte-identical artifact; `--retry-blocks N` re-runs
+//! failed blocks deterministically; `--inject-faults SPEC` (or
+//! `EPROC_FAULTS`) arms the deterministic fault harness for testing.
 
 use eproc_engine::builtin;
+use eproc_engine::checkpoint::RunCheckpoint;
 use eproc_engine::executor::{run_with_sink, RunOptions};
+use eproc_engine::fault::FaultPlan;
+use eproc_engine::recovery::{
+    run_recoverable_with_sink, CheckpointPlan, RecoveryOptions, RunOutcome,
+};
 use eproc_engine::report::{save_json, save_json_with_scaling, scaling_table, to_text_table};
 use eproc_engine::scaling::analyze;
 use eproc_engine::shard::{merge_shards_with_sink, run_shard_with_sink, ShardReport, ShardSpec};
@@ -48,7 +63,12 @@ use std::iter::Peekable;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Exit code for a gracefully interrupted, resumable run (BSD
+/// `EX_TEMPFAIL`): distinct from 1 (error) so scripts can tell "resume
+/// me" apart from "something broke".
+const EXIT_INTERRUPTED: i32 = 75;
 
 /// Set once by `--quiet` before any experiment runs: suppresses the
 /// CLI's informational stderr lines. Errors always print.
@@ -78,6 +98,8 @@ fn usage(err: &str) -> ! {
          \x20                  [--trials N] [--metrics M[,M...]] [--resample [W]]\n\
          \x20                  [--shard I/K] [--json PATH] [--csv PATH] [--progress]\n\
          \x20                  [--telemetry PATH] [--quiet]\n\
+         \x20                  [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]\n\
+         \x20                  [--max-wall SECS] [--retry-blocks N] [--inject-faults SPEC]\n\
          \x20 eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]\n\
          \x20               [--telemetry PATH] [--quiet]\n\
          \x20 eproc list\n\
@@ -111,6 +133,16 @@ fn usage(err: &str) -> ! {
          \x20              shard artifact instead of a report; `eproc merge` then\n\
          \x20              recombines the K artifacts into a report byte-identical\n\
          \x20              to the unsharded run's, at any thread count\n\
+         crash safety   (resampled runs) --checkpoint PATH: atomically persist\n\
+         \x20              completed blocks every --checkpoint-every N completions\n\
+         \x20              (default 1); SIGINT/SIGTERM or --max-wall SECS interrupt\n\
+         \x20              gracefully and exit 75 (resumable); --resume PATH runs\n\
+         \x20              only the missing blocks and yields the byte-identical\n\
+         \x20              artifact at any thread count; --retry-blocks N re-runs a\n\
+         \x20              failed block deterministically (same seeds, same bits);\n\
+         \x20              --inject-faults kind@family.group.attempt[,...] (or the\n\
+         \x20              EPROC_FAULTS env var) injects panic/graphfail faults for\n\
+         \x20              testing the above\n\
          telemetry      --progress: live status line on stderr (blocks, trial and\n\
          \x20              step throughput, ETA); --telemetry PATH: structured JSONL\n\
          \x20              event log; either flag also writes a\n\
@@ -144,6 +176,27 @@ struct CommonFlags {
     csv: Option<PathBuf>,
     progress: bool,
     telemetry: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: Option<PathBuf>,
+    max_wall: Option<f64>,
+    retry_blocks: Option<usize>,
+    inject_faults: Option<String>,
+}
+
+impl CommonFlags {
+    /// Whether any crash-safety flag routes this run through
+    /// [`run_recoverable_with_sink`] instead of the plain executor. The
+    /// `EPROC_FAULTS` environment variable counts: it arms the fault
+    /// harness without touching the command line.
+    fn wants_recovery(&self) -> bool {
+        self.checkpoint.is_some()
+            || self.resume.is_some()
+            || self.max_wall.is_some()
+            || self.retry_blocks.is_some()
+            || self.inject_faults.is_some()
+            || std::env::var_os("EPROC_FAULTS").is_some()
+    }
 }
 
 fn parse_u64(flag: &str, v: Option<String>) -> u64 {
@@ -255,6 +308,40 @@ fn parse_common<I: Iterator<Item = String>>(
         "--telemetry" => {
             flags.telemetry = Some(PathBuf::from(require_path("--telemetry", args.next())));
         }
+        "--checkpoint" => {
+            flags.checkpoint = Some(PathBuf::from(require_path("--checkpoint", args.next())));
+        }
+        "--checkpoint-every" => {
+            let n = parse_u64("--checkpoint-every", args.next()) as usize;
+            if n == 0 {
+                usage("--checkpoint-every must be at least 1");
+            }
+            flags.checkpoint_every = Some(n);
+        }
+        "--resume" => {
+            flags.resume = Some(PathBuf::from(require_path("--resume", args.next())));
+        }
+        "--max-wall" => {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("--max-wall needs seconds"));
+            let secs: f64 = v
+                .parse()
+                .unwrap_or_else(|_| usage("--max-wall needs seconds (fractions allowed)"));
+            if !secs.is_finite() || secs <= 0.0 {
+                usage("--max-wall must be a positive number of seconds");
+            }
+            flags.max_wall = Some(secs);
+        }
+        "--retry-blocks" => {
+            flags.retry_blocks = Some(parse_u64("--retry-blocks", args.next()) as usize);
+        }
+        "--inject-faults" => {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("--inject-faults needs a fault spec"));
+            flags.inject_faults = Some(v);
+        }
         "--quiet" => QUIET.store(true, Ordering::Relaxed),
         _ => return false,
     }
@@ -296,6 +383,13 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         }
         if flags.csv.is_some() {
             usage("--shard writes a shard artifact, not a report: merge the shards, then --csv");
+        }
+        if flags.wants_recovery() {
+            usage(
+                "--shard is already restartable per shard: re-run the missing shard instead \
+                 (--checkpoint/--resume/--max-wall/--retry-blocks/--inject-faults apply to \
+                 unsharded runs)",
+            );
         }
     }
     let mut opts = RunOptions::auto();
@@ -372,11 +466,15 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         info!("wall time: {:.2}s", started.elapsed().as_secs_f64());
         return;
     }
-    let report = match run_with_sink(&spec, &opts, &tee) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            exit(1);
+    let report = if flags.wants_recovery() {
+        run_crash_safe(&spec, &opts, flags, &tee, jsonl.as_ref(), summary.as_ref())
+    } else {
+        match run_with_sink(&spec, &opts, &tee) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
         }
     };
     let elapsed = started.elapsed();
@@ -431,10 +529,7 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         }
     };
     if let Some(csv) = &flags.csv {
-        if let Some(parent) = csv.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        match std::fs::write(csv, table.to_csv()) {
+        match eproc_telemetry::write_atomic(csv, &table.to_csv()) {
             Ok(()) => println!("csv: {}", csv.display()),
             Err(e) => {
                 eprintln!("error writing csv artifact: {e}");
@@ -447,6 +542,105 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
     if matches!(scaling, Some(Err(_))) {
         exit(1);
     }
+}
+
+/// The crash-safe execution path: engaged whenever any of
+/// `--checkpoint`, `--resume`, `--max-wall`, `--retry-blocks` or
+/// `--inject-faults` (or the `EPROC_FAULTS` environment variable) is
+/// present. Installs the SIGINT/SIGTERM latch when interruption can be
+/// made graceful (a checkpoint or wall budget is configured), runs
+/// through [`run_recoverable_with_sink`], and on interruption writes the
+/// telemetry artifacts and exits with code 75 (`EX_TEMPFAIL`) so callers
+/// can distinguish "resume me" from failure.
+fn run_crash_safe(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    flags: &CommonFlags,
+    tee: &dyn TelemetrySink,
+    jsonl: Option<&JsonlSink>,
+    summary: Option<&SummarySink>,
+) -> eproc_engine::ExperimentReport {
+    // The command-line fault spec wins over the environment variable.
+    let faults = match &flags.inject_faults {
+        Some(spec) => FaultPlan::parse(spec),
+        None => FaultPlan::from_env(),
+    }
+    .unwrap_or_else(|e| usage(&e.to_string()));
+    let resume = flags.resume.as_deref().map(|path| {
+        let ckpt = RunCheckpoint::load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1);
+        });
+        info!(
+            "resuming from {}: {}/{} blocks already complete",
+            path.display(),
+            ckpt.completed_blocks(),
+            ckpt.total_blocks()
+        );
+        ckpt
+    });
+    let checkpoint = flags.checkpoint.as_ref().map(|path| CheckpointPlan {
+        path: path.clone(),
+        every: flags.checkpoint_every.unwrap_or(1),
+    });
+    // Graceful Ctrl-C only makes sense when there is somewhere to drain
+    // to: a checkpoint to persist, or a wall budget already promising a
+    // clean stop. Otherwise leave the default (abrupt) signal behavior.
+    let cancel = (checkpoint.is_some() || flags.max_wall.is_some()).then(eproc_signal::install);
+    let rec = RecoveryOptions {
+        checkpoint,
+        resume,
+        max_wall: flags.max_wall.map(Duration::from_secs_f64),
+        retry_blocks: flags.retry_blocks.unwrap_or(0),
+        faults,
+        cancel,
+    };
+    match run_recoverable_with_sink(spec, opts, &rec, tee) {
+        Ok(RunOutcome::Completed(report)) => report,
+        Ok(RunOutcome::Interrupted {
+            reason,
+            completed,
+            total,
+            checkpoint,
+        }) => {
+            match &checkpoint {
+                Some(path) => info!(
+                    "interrupted ({reason}): {completed}/{total} blocks complete; \
+                     resume with --resume {}",
+                    path.display()
+                ),
+                None => info!(
+                    "interrupted ({reason}): {completed}/{total} blocks complete \
+                     (no --checkpoint configured, progress not persisted)"
+                ),
+            }
+            // The sidecar still lands next to where the artifact would
+            // have gone, so an interrupted run's wall-time breakdown is
+            // not lost with it.
+            let anchor = flags
+                .json
+                .clone()
+                .unwrap_or_else(|| default_artifact_path(&spec.name));
+            write_telemetry_artifacts(jsonl, summary, &anchor);
+            exit(EXIT_INTERRUPTED);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if let Some(path) = &flags.checkpoint {
+                info!(
+                    "completed blocks were checkpointed to {}; fix the cause and --resume",
+                    path.display()
+                );
+            }
+            exit(1);
+        }
+    }
+}
+
+/// Where `save_json` would put the artifact for `name` — used as the
+/// telemetry sidecar anchor when an interrupted run never writes one.
+fn default_artifact_path(name: &str) -> PathBuf {
+    eproc_engine::report::default_artifact_dir().join(format!("eproc_{name}.json"))
 }
 
 /// The `<artifact>.telemetry.json` sidecar path. A plain
@@ -761,6 +955,12 @@ fn cmd_merge(args: impl Iterator<Item = String>) {
         || flags.resample.is_some()
         || flags.shard.is_some()
         || flags.progress
+        || flags.checkpoint.is_some()
+        || flags.checkpoint_every.is_some()
+        || flags.resume.is_some()
+        || flags.max_wall.is_some()
+        || flags.retry_blocks.is_some()
+        || flags.inject_faults.is_some()
     {
         usage(
             "merge recombines existing shard artifacts: only --json/--csv/--telemetry/--quiet \
@@ -821,10 +1021,7 @@ fn cmd_merge(args: impl Iterator<Item = String>) {
         }
     };
     if let Some(csv) = &flags.csv {
-        if let Some(parent) = csv.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        match std::fs::write(csv, table.to_csv()) {
+        match eproc_telemetry::write_atomic(csv, &table.to_csv()) {
             Ok(()) => println!("csv: {}", csv.display()),
             Err(e) => {
                 eprintln!("error writing csv artifact: {e}");

@@ -96,18 +96,51 @@ pub enum EngineError {
     },
     /// A resampled *(family, group)* block failed inside the worker pool:
     /// the worker that claimed the block could not generate the group's
-    /// graph sample. Carries the full block context so a failure deep in
-    /// a long sweep names exactly which work unit died and where.
+    /// graph sample, or its trial loop panicked (caught at the block
+    /// isolation boundary, leaving the pool unpoisoned). Carries the full
+    /// block context so a failure deep in a long sweep names exactly
+    /// which work unit died and where.
     Block {
         /// Label of the failing family.
         graph: String,
-        /// Resample group whose sample failed.
+        /// Resample group whose block failed.
         group: usize,
         /// Index of the worker that claimed the block.
         worker: usize,
-        /// Underlying generator error.
-        source: eproc_graphs::GraphError,
+        /// What killed the block.
+        source: BlockError,
     },
+}
+
+/// What killed a single resampled block: the group's graph sample could
+/// not be generated, or the block's trial loop panicked. Panics are
+/// caught per block (`catch_unwind` in the worker loop), so one bad
+/// block surfaces as an error value instead of tearing down the pool —
+/// and `--retry-blocks` can deterministically re-run it.
+#[derive(Debug)]
+pub enum BlockError {
+    /// Graph generation for the block's group failed.
+    Graph(eproc_graphs::GraphError),
+    /// The block panicked; carries the panic payload rendered as text.
+    Panic(String),
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::Graph(e) => write!(f, "{e}"),
+            BlockError::Panic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockError::Graph(e) => Some(e),
+            BlockError::Panic(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -125,7 +158,7 @@ impl fmt::Display for EngineError {
             } => {
                 write!(
                     f,
-                    "worker {worker} failed to sample graph {graph} for trial group {group}: \
+                    "block (family {graph}, resample group {group}) failed on worker {worker}: \
                      {source}"
                 )
             }
@@ -137,7 +170,8 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Spec(e) => Some(e),
-            EngineError::Graph { source, .. } | EngineError::Block { source, .. } => Some(source),
+            EngineError::Graph { source, .. } => Some(source),
+            EngineError::Block { source, .. } => Some(source),
         }
     }
 }
@@ -832,7 +866,7 @@ pub(crate) fn run_resample_block(
                 graph: spec.graphs[gi].label(),
                 group,
                 worker,
-                source,
+                source: BlockError::Graph(source),
             })?;
     let gen_ns = gen.map_or(0, |gen| gen.elapsed_ns());
     let rep = (group == 0).then(|| (gi, g.n(), g.m()));
@@ -904,6 +938,52 @@ pub(crate) fn run_resample_block(
         rep,
         trials: block_trials,
         steps: block_steps,
+    })
+}
+
+/// Renders a caught panic payload as text: `&str` and `String` payloads
+/// (everything `panic!` produces) verbatim, anything else a placeholder.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_resample_block`] behind a per-block `catch_unwind` isolation
+/// boundary: a panic anywhere in the block — graph sampling, the walk
+/// kernel, an observer — is caught and surfaced as
+/// [`EngineError::Block`] with a [`BlockError::Panic`] source, instead
+/// of unwinding through the worker and poisoning the pool. Every
+/// in-pool block runner (plain runs, sharded runs, recoverable runs)
+/// goes through this wrapper, so one bad block is always a reportable,
+/// retryable error value.
+pub(crate) fn run_resample_block_isolated(
+    spec: &ExperimentSpec,
+    base_seed: u64,
+    block: usize,
+    worker: usize,
+    n_cols: usize,
+    tel: &Telemetry<'_>,
+) -> Result<BlockResult, EngineError> {
+    // AssertUnwindSafe: on Err every captured reference is dropped
+    // without further use — the worker reports the error and stops — so
+    // no closure state is observed in a broken intermediate state.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_resample_block(spec, base_seed, block, worker, n_cols, tel)
+    }))
+    .unwrap_or_else(|payload| {
+        let plan = spec.resample.expect("resample block requires a plan");
+        let groups = plan.groups(spec.trials);
+        Err(EngineError::Block {
+            graph: spec.graphs[block / groups].label(),
+            group: block % groups,
+            worker,
+            source: BlockError::Panic(panic_message(payload)),
+        })
     })
 }
 
@@ -1123,7 +1203,7 @@ fn execute(
                                 if block >= total_blocks {
                                     break;
                                 }
-                                let result = run_resample_block(
+                                let result = run_resample_block_isolated(
                                     spec,
                                     opts.base_seed,
                                     block,

@@ -97,6 +97,26 @@
 //! ([`executor::select_kernel_path`]), which overlaps the independent
 //! trials' CSR row fetches without perturbing any per-trial stream.
 //!
+//! # Fault tolerance
+//!
+//! [`recovery::run_recoverable`] makes resampled runs crash-safe.
+//! Completed *(family, group)* blocks stream to an atomically-written
+//! checkpoint ([`checkpoint::RunCheckpoint`], format `eproc-checkpoint`
+//! v1, the same bit-exact codec as shard artifacts); SIGINT/SIGTERM
+//! (via the `eproc-signal` latch), a caller-owned cancellation flag, or
+//! a `--max-wall` deadline interrupt the run *gracefully* — in-flight
+//! blocks drain, a final checkpoint lands, and the CLI exits with the
+//! distinct "interrupted, resumable" code 75. `--resume` validates the
+//! checkpoint against the spec, recomputes only the missing blocks, and
+//! produces a report **byte-identical to an uninterrupted run at any
+//! thread count**. Each block runs under `catch_unwind`
+//! ([`executor::BlockError`]): a panicking worker is reported — naming
+//! family, resample group and worker — without poisoning the pool, and
+//! `--retry-blocks` re-runs failed blocks from the same derived seeds.
+//! A deterministic [`fault::FaultPlan`] harness (`--inject-faults`,
+//! `EPROC_FAULTS`; off by default at zero cost) drives the proptests
+//! that pin all of these guarantees.
+//!
 //! # Example
 //!
 //! ```
@@ -131,13 +151,23 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod checkpoint;
 pub mod executor;
+pub mod fault;
+mod persist;
+pub mod recovery;
 pub mod report;
 pub mod scaling;
 pub mod shard;
 pub mod spec;
 
-pub use executor::{run, run_with_sink, ExperimentReport, RunOptions};
+pub use checkpoint::{CheckpointError, RunCheckpoint};
+pub use executor::{run, run_with_sink, BlockError, ExperimentReport, RunOptions};
+pub use fault::{FaultKind, FaultPlan};
+pub use recovery::{
+    run_recoverable, run_recoverable_with_sink, CheckpointPlan, RecoveryError, RecoveryOptions,
+    RunOutcome,
+};
 pub use scaling::{analyze, ScalingError, ScalingReport, SeriesFit};
 pub use shard::{merge_shards, run_shard, run_shard_with_sink, ShardReport, ShardSpec};
 pub use spec::{

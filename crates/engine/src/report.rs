@@ -7,7 +7,6 @@
 use crate::executor::{ExperimentReport, VarianceSplit};
 use crate::scaling::ScalingReport;
 use eproc_stats::{OnlineStats, TextTable};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// The single source of truth for the normalised `mean/n` and
@@ -438,7 +437,9 @@ pub fn default_artifact_dir() -> PathBuf {
 
 /// Writes the JSON artifact to `path` (or
 /// `target/experiments/eproc_<name>.json` when `None`), creating parent
-/// directories. Returns the path written.
+/// directories. The write is atomic (temp sibling + rename,
+/// [`eproc_telemetry::write_atomic`]): a crash mid-write never leaves a
+/// truncated artifact. Returns the path written.
 ///
 /// # Errors
 ///
@@ -448,11 +449,7 @@ pub fn save_json(report: &ExperimentReport, path: Option<&Path>) -> std::io::Res
         Some(p) => p.to_path_buf(),
         None => default_artifact_dir().join(format!("eproc_{}.json", report.name)),
     };
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut f = std::fs::File::create(&path)?;
-    f.write_all(to_json(report).as_bytes())?;
+    eproc_telemetry::write_atomic(&path, &to_json(report))?;
     Ok(path)
 }
 
@@ -471,10 +468,7 @@ pub fn save_json_with_scaling(
         Some(p) => p.to_path_buf(),
         None => default_artifact_dir().join(format!("eproc_{}.json", report.name)),
     };
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(&path, to_json_with_scaling(report, Some(scaling)))?;
+    eproc_telemetry::write_atomic(&path, &to_json_with_scaling(report, Some(scaling)))?;
     Ok(path)
 }
 

@@ -12,8 +12,10 @@
 //! coordination and no overlap.
 //!
 //! The shard artifact ([`ShardReport`]) persists each block's streamed
-//! [`OnlineStats`] accumulators **bit-exactly**: the floats are written
-//! as IEEE-754 bit patterns ([`OnlineStats::to_raw`]), because the `m2`
+//! [`OnlineStats`](eproc_stats::OnlineStats) accumulators **bit-exactly**
+//! (via the crate-internal `persist` codec): the floats are written as IEEE-754 bit
+//! patterns ([`OnlineStats::to_raw`](eproc_stats::OnlineStats::to_raw)),
+//! because the `m2`
 //! sum of squares is not recoverable from a rounded variance and the
 //! `±∞` sentinels of an empty accumulator have no decimal form.
 //! [`merge_shards`] then validates the shards form one complete run
@@ -26,12 +28,13 @@
 //! (pinned by the `shard_merge` proptests).
 
 use crate::executor::{
-    aggregate_resample_cells, run_resample_block, validate_vertices, BlockAgg, EngineError,
-    ExperimentReport, ProcAgg, ResampleCellInputs, RunOptions, Telemetry,
+    aggregate_resample_cells, run_resample_block_isolated, validate_vertices, BlockAgg,
+    EngineError, ExperimentReport, ResampleCellInputs, RunOptions, Telemetry,
 };
-use crate::report::json_escape;
+use crate::persist::{
+    json, parse_blocks, parse_rep_dims, write_blocks, write_rep_dims, PersistError, RunHeader,
+};
 use crate::spec::{ExperimentSpec, ResamplePlan, SpecError, Target};
-use eproc_stats::OnlineStats;
 use eproc_telemetry::{EventKind, NullSink, ShardId, Stopwatch, TelemetrySink};
 use std::fmt;
 use std::fmt::Write as _;
@@ -92,6 +95,12 @@ impl fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
+impl From<PersistError> for ShardError {
+    fn from(e: PersistError) -> ShardError {
+        ShardError::new(e.to_string())
+    }
+}
+
 /// One shard's persisted share of a resampled run: the experiment header
 /// (everything [`merge_shards`] needs to validate compatibility and
 /// aggregate without the original spec) plus the owned blocks' streamed
@@ -125,6 +134,25 @@ pub struct ShardReport {
     pub rep_dims: Vec<(usize, usize, usize)>,
     /// The owned blocks' aggregates, sorted by canonical block index.
     pub(crate) blocks: Vec<BlockAgg>,
+}
+
+impl ShardReport {
+    /// The canonical [`RunHeader`] this artifact embeds — the shared
+    /// identity checked at merge and resume time.
+    pub(crate) fn header(&self) -> RunHeader {
+        RunHeader {
+            name: self.name.clone(),
+            description: self.description.clone(),
+            target: self.target,
+            trials: self.trials,
+            base_seed: self.base_seed,
+            walks_per_graph: self.walks_per_graph,
+            group_count: self.group_count,
+            graphs: self.graphs.clone(),
+            processes: self.processes.clone(),
+            metric_columns: self.metric_columns.clone(),
+        }
+    }
 }
 
 /// [`run_shard_with_sink`] without telemetry.
@@ -241,7 +269,7 @@ pub fn run_shard_with_sink(
                         if idx >= owned.len() {
                             break;
                         }
-                        let result = run_resample_block(
+                        let result = run_resample_block_isolated(
                             spec,
                             opts.base_seed,
                             owned[idx],
@@ -351,6 +379,7 @@ pub fn merge_shards_with_sink(
             shards.len()
         )));
     }
+    let first_header = first.header();
     let mut seen = vec![false; count];
     for s in shards {
         if s.shard.count != count {
@@ -365,42 +394,12 @@ pub fn merge_shards_with_sink(
                 s.shard.index
             )));
         }
-        let mismatch = |field: &str| {
-            ShardError::new(format!(
+        if let Some(field) = s.header().first_mismatch(&first_header) {
+            return Err(ShardError::new(format!(
                 "shard {} disagrees with shard {} on {field}: the artifacts come from \
                  different runs",
                 s.shard.index, first.shard.index
-            ))
-        };
-        if s.name != first.name {
-            return Err(mismatch("experiment name"));
-        }
-        if s.description != first.description {
-            return Err(mismatch("description"));
-        }
-        if s.target != first.target {
-            return Err(mismatch("target"));
-        }
-        if s.trials != first.trials {
-            return Err(mismatch("trials"));
-        }
-        if s.base_seed != first.base_seed {
-            return Err(mismatch("base_seed"));
-        }
-        if s.walks_per_graph != first.walks_per_graph {
-            return Err(mismatch("walks_per_graph"));
-        }
-        if s.group_count != first.group_count {
-            return Err(mismatch("group count"));
-        }
-        if s.graphs != first.graphs {
-            return Err(mismatch("graph grid"));
-        }
-        if s.processes != first.processes {
-            return Err(mismatch("process grid"));
-        }
-        if s.metric_columns != first.metric_columns {
-            return Err(mismatch("metric columns"));
+            )));
         }
     }
     let total_blocks = first.graphs.len() * first.group_count;
@@ -510,17 +509,6 @@ pub fn merge_shards_with_sink(
 
 // --- shard artifact serialisation ----------------------------------------
 
-/// Renders one accumulator as its bit-exact raw form: `[count, mean_bits,
-/// m2_bits, min_bits, max_bits]` with the floats as decimal `u64` bit
-/// patterns.
-fn stats_to_json(stats: &OnlineStats) -> String {
-    let (count, bits) = stats.to_raw();
-    format!(
-        "[{count}, {}, {}, {}, {}]",
-        bits[0], bits[1], bits[2], bits[3]
-    )
-}
-
 impl ShardReport {
     /// Serialises the shard artifact as deterministic strict JSON.
     /// Accumulator floats are written as IEEE-754 bit patterns (see the
@@ -533,104 +521,21 @@ impl ShardReport {
         let _ = writeln!(out, "  \"version\": 1,");
         let _ = writeln!(out, "  \"shard_index\": {},", self.shard.index);
         let _ = writeln!(out, "  \"shard_count\": {},", self.shard.count);
-        let _ = writeln!(out, "  \"experiment\": \"{}\",", json_escape(&self.name));
-        let _ = writeln!(
-            out,
-            "  \"description\": \"{}\",",
-            json_escape(&self.description)
-        );
-        let _ = writeln!(
-            out,
-            "  \"target\": \"{}\",",
-            json_escape(&self.target.to_cli())
-        );
-        let _ = writeln!(out, "  \"trials\": {},", self.trials);
-        let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
-        let _ = writeln!(out, "  \"walks_per_graph\": {},", self.walks_per_graph);
-        let _ = writeln!(out, "  \"groups\": {},", self.group_count);
-        out.push_str("  \"graphs\": [");
-        for (i, (label, family)) in self.graphs.iter().enumerate() {
-            out.push_str(if i == 0 { "\n" } else { ",\n" });
-            let _ = write!(
-                out,
-                "    {{\"label\": \"{}\", \"family\": \"{}\"}}",
-                json_escape(label),
-                json_escape(family)
-            );
-        }
-        out.push_str(if self.graphs.is_empty() {
-            "],\n"
-        } else {
-            "\n  ],\n"
-        });
-        out.push_str("  \"processes\": [");
-        for (i, p) in self.processes.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, "\"{}\"", json_escape(p));
-        }
-        out.push_str("],\n");
-        out.push_str("  \"metric_columns\": [");
-        for (i, c) in self.metric_columns.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, "\"{}\"", json_escape(c));
-        }
-        out.push_str("],\n");
-        out.push_str("  \"rep_dims\": [");
-        for (i, (gi, n, m)) in self.rep_dims.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, "[{gi}, {n}, {m}]");
-        }
-        out.push_str("],\n");
-        out.push_str("  \"blocks\": [");
-        for (i, block) in self.blocks.iter().enumerate() {
-            out.push_str(if i == 0 { "\n" } else { ",\n" });
-            let _ = write!(out, "    {{\"block\": {}, \"procs\": [", block.block);
-            for (pi, proc) in block.procs.iter().enumerate() {
-                out.push_str(if pi == 0 { "\n" } else { ",\n" });
-                let _ = write!(
-                    out,
-                    "      {{\"completed\": {}, \"steps\": {}, \"blue\": {}, \"metrics\": [",
-                    proc.completed,
-                    stats_to_json(&proc.steps),
-                    stats_to_json(&proc.blue_fraction)
-                );
-                for (ci, acc) in proc.metrics.iter().enumerate() {
-                    if ci > 0 {
-                        out.push_str(", ");
-                    }
-                    out.push_str(&stats_to_json(acc));
-                }
-                out.push_str("]}");
-            }
-            out.push_str("\n    ]}");
-        }
-        out.push_str(if self.blocks.is_empty() {
-            "]\n"
-        } else {
-            "\n  ]\n"
-        });
-        out.push_str("}\n");
+        self.header().write_fields(&mut out);
+        write_rep_dims(&mut out, &self.rep_dims);
+        write_blocks(&mut out, &self.blocks);
         out
     }
 
-    /// Writes the artifact to `path`, creating parent directories.
+    /// Writes the artifact to `path`, creating parent directories. The
+    /// write is atomic (temp sibling + rename): a crash mid-write never
+    /// leaves a truncated artifact for `eproc merge` to choke on.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.to_json())
+        eproc_telemetry::write_atomic(path, &self.to_json())
     }
 
     /// Reads and parses a shard artifact.
@@ -675,385 +580,24 @@ impl ShardReport {
                 shard.index, shard.count
             )));
         }
-        let target_str = root.str_field("target")?;
-        let target = Target::parse(&target_str)
-            .map_err(|e| ShardError::new(format!("target field: {e}")))?;
-        let graphs = root
-            .arr_field("graphs")?
-            .iter()
-            .map(|v| {
-                let obj = v.as_obj("graphs entry")?;
-                Ok((obj.str_field("label")?, obj.str_field("family")?))
-            })
-            .collect::<Result<Vec<_>, ShardError>>()?;
-        let processes = root
-            .arr_field("processes")?
-            .iter()
-            .map(|v| v.as_str("processes entry"))
-            .collect::<Result<Vec<_>, _>>()?;
-        let metric_columns = root
-            .arr_field("metric_columns")?
-            .iter()
-            .map(|v| v.as_str("metric_columns entry"))
-            .collect::<Result<Vec<_>, _>>()?;
-        let rep_dims = root
-            .arr_field("rep_dims")?
-            .iter()
-            .map(|v| {
-                let triple = v.as_arr("rep_dims entry")?;
-                if triple.len() != 3 {
-                    return Err(ShardError::new("rep_dims entry is not a [gi, n, m] triple"));
-                }
-                Ok((
-                    triple[0].as_usize("rep_dims gi")?,
-                    triple[1].as_usize("rep_dims n")?,
-                    triple[2].as_usize("rep_dims m")?,
-                ))
-            })
-            .collect::<Result<Vec<_>, ShardError>>()?;
-        let blocks = root
-            .arr_field("blocks")?
-            .iter()
-            .map(|v| {
-                let obj = v.as_obj("blocks entry")?;
-                let procs = obj
-                    .arr_field("procs")?
-                    .iter()
-                    .map(|p| {
-                        let proc = p.as_obj("procs entry")?;
-                        Ok(ProcAgg {
-                            completed: proc.usize_field("completed")?,
-                            steps: stats_from_json(proc.field("steps")?)?,
-                            blue_fraction: stats_from_json(proc.field("blue")?)?,
-                            metrics: proc
-                                .arr_field("metrics")?
-                                .iter()
-                                .map(stats_from_json)
-                                .collect::<Result<Vec<_>, _>>()?,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, ShardError>>()?;
-                Ok(BlockAgg {
-                    block: obj.usize_field("block")?,
-                    procs,
-                })
-            })
-            .collect::<Result<Vec<_>, ShardError>>()?;
+        let header = RunHeader::parse(&root)?;
+        let rep_dims = parse_rep_dims(&root)?;
+        let blocks = parse_blocks(&root)?;
         Ok(ShardReport {
             shard,
-            name: root.str_field("experiment")?,
-            description: root.str_field("description")?,
-            target,
-            trials: root.usize_field("trials")?,
-            base_seed: root.u64_field("base_seed")?,
-            walks_per_graph: root.usize_field("walks_per_graph")?,
-            group_count: root.usize_field("groups")?,
-            graphs,
-            processes,
-            metric_columns,
+            name: header.name,
+            description: header.description,
+            target: header.target,
+            trials: header.trials,
+            base_seed: header.base_seed,
+            walks_per_graph: header.walks_per_graph,
+            group_count: header.group_count,
+            graphs: header.graphs,
+            processes: header.processes,
+            metric_columns: header.metric_columns,
             rep_dims,
             blocks,
         })
-    }
-}
-
-/// Parses one [`stats_to_json`] array back into a bit-identical
-/// accumulator.
-fn stats_from_json(v: &json::Value) -> Result<OnlineStats, ShardError> {
-    let arr = v.as_arr("stats accumulator")?;
-    if arr.len() != 5 {
-        return Err(ShardError::new(
-            "stats accumulator is not a [count, mean, m2, min, max] bit array",
-        ));
-    }
-    let count = arr[0].as_u64("stats count")?;
-    let mut bits = [0u64; 4];
-    for (i, slot) in bits.iter_mut().enumerate() {
-        *slot = arr[i + 1].as_u64("stats bit pattern")?;
-    }
-    Ok(OnlineStats::from_raw(count, bits))
-}
-
-/// A minimal strict-JSON reader for shard artifacts: recursive descent,
-/// numbers kept as raw text so `u64` bit patterns round-trip without a
-/// lossy trip through `f64`.
-mod json {
-    use super::ShardError;
-
-    /// One parsed JSON value. Numbers stay as their raw source text.
-    /// Shard artifacts never carry booleans or nulls, so those parse to
-    /// payload-less variants the accessors simply mistype.
-    #[derive(Debug, Clone)]
-    pub(super) enum Value {
-        Null,
-        Bool,
-        Num(String),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    /// An object's fields, with typed accessors that name the missing or
-    /// mistyped field in their error.
-    pub(super) struct Obj<'a>(&'a [(String, Value)]);
-
-    impl Value {
-        pub(super) fn as_obj(&self, what: &str) -> Result<Obj<'_>, ShardError> {
-            match self {
-                Value::Obj(fields) => Ok(Obj(fields)),
-                _ => Err(ShardError::new(format!("{what}: expected an object"))),
-            }
-        }
-
-        pub(super) fn as_arr(&self, what: &str) -> Result<&[Value], ShardError> {
-            match self {
-                Value::Arr(items) => Ok(items),
-                _ => Err(ShardError::new(format!("{what}: expected an array"))),
-            }
-        }
-
-        pub(super) fn as_str(&self, what: &str) -> Result<String, ShardError> {
-            match self {
-                Value::Str(s) => Ok(s.clone()),
-                _ => Err(ShardError::new(format!("{what}: expected a string"))),
-            }
-        }
-
-        pub(super) fn as_u64(&self, what: &str) -> Result<u64, ShardError> {
-            match self {
-                Value::Num(raw) => raw
-                    .parse()
-                    .map_err(|_| ShardError::new(format!("{what}: {raw:?} is not a u64"))),
-                _ => Err(ShardError::new(format!("{what}: expected a number"))),
-            }
-        }
-
-        pub(super) fn as_usize(&self, what: &str) -> Result<usize, ShardError> {
-            self.as_u64(what).and_then(|v| {
-                usize::try_from(v)
-                    .map_err(|_| ShardError::new(format!("{what}: {v} overflows usize")))
-            })
-        }
-    }
-
-    impl<'a> Obj<'a> {
-        pub(super) fn field(&self, key: &str) -> Result<&'a Value, ShardError> {
-            self.0
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| ShardError::new(format!("missing field {key:?}")))
-        }
-
-        pub(super) fn str_field(&self, key: &str) -> Result<String, ShardError> {
-            self.field(key)?.as_str(key)
-        }
-
-        pub(super) fn u64_field(&self, key: &str) -> Result<u64, ShardError> {
-            self.field(key)?.as_u64(key)
-        }
-
-        pub(super) fn usize_field(&self, key: &str) -> Result<usize, ShardError> {
-            self.field(key)?.as_usize(key)
-        }
-
-        pub(super) fn arr_field(&self, key: &str) -> Result<&'a [Value], ShardError> {
-            self.field(key)?.as_arr(key)
-        }
-    }
-
-    /// Parses `text` as one JSON document (trailing whitespace only).
-    pub(super) fn parse(text: &str) -> Result<Value, ShardError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.fail("trailing content after the document"));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn fail(&self, message: &str) -> ShardError {
-            ShardError::new(format!("invalid JSON at byte {}: {message}", self.pos))
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), ShardError> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(self.fail(&format!("expected {:?}", b as char)))
-            }
-        }
-
-        fn literal(&mut self, lit: &str, value: Value) -> Result<Value, ShardError> {
-            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-                self.pos += lit.len();
-                Ok(value)
-            } else {
-                Err(self.fail(&format!("expected {lit}")))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, ShardError> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::Str(self.string()?)),
-                Some(b't') => self.literal("true", Value::Bool),
-                Some(b'f') => self.literal("false", Value::Bool),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-                _ => Err(self.fail("expected a value")),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, ShardError> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let value = self.value()?;
-                fields.push((key, value));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(self.fail("expected ',' or '}'")),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, ShardError> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(self.fail("expected ',' or ']'")),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, ShardError> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err(self.fail("unterminated string")),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'b') => out.push('\u{8}'),
-                            Some(b'f') => out.push('\u{c}'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .ok_or_else(|| self.fail("truncated \\u escape"))?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| self.fail("bad \\u escape"))?;
-                                // Artifact strings never contain surrogate
-                                // pairs (the writer escapes only control
-                                // characters below 0x20); reject rather
-                                // than decode them wrongly.
-                                let c = char::from_u32(code)
-                                    .ok_or_else(|| self.fail("\\u escape is not a scalar"))?;
-                                out.push(c);
-                                self.pos += 4;
-                            }
-                            _ => return Err(self.fail("bad escape")),
-                        }
-                        self.pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one full UTF-8 scalar from the source.
-                        let rest = &self.bytes[self.pos..];
-                        let s =
-                            std::str::from_utf8(rest).map_err(|_| self.fail("invalid UTF-8"))?;
-                        let c = s.chars().next().expect("non-empty by peek");
-                        if (c as u32) < 0x20 {
-                            return Err(self.fail("raw control character in string"));
-                        }
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, ShardError> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-            {
-                self.pos += 1;
-            }
-            if self.pos == start {
-                return Err(self.fail("expected a number"));
-            }
-            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-                .expect("ASCII digits are UTF-8")
-                .to_string();
-            Ok(Value::Num(raw))
-        }
     }
 }
 

@@ -1,0 +1,355 @@
+//! Crash-safety contracts: a run killed at *any* block and resumed from
+//! its checkpoint, and a run whose blocks panic or lose their graphs and
+//! get retried, must all reproduce the uninterrupted artifact
+//! **byte-for-byte**, at any thread count — `cmp` would pass on the
+//! files. This is the recovery analogue of `shard_merge.rs`.
+
+mod common;
+
+use eproc_engine::checkpoint::RunCheckpoint;
+use eproc_engine::executor::{run, BlockError, EngineError, RunOptions};
+use eproc_engine::fault::FaultPlan;
+use eproc_engine::recovery::{
+    run_recoverable, run_recoverable_with_sink, CheckpointPlan, RecoveryError, RecoveryOptions,
+    RunOutcome,
+};
+use eproc_engine::report::to_json;
+use eproc_engine::spec::{
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Target,
+};
+use eproc_telemetry::{Event, EventKind, TelemetrySink};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Injected panics unwind through `catch_unwind` by design; the default
+/// hook would spray their backtraces over the test output. Installed
+/// once, and only filters the harness's own marker string — real panics
+/// still print.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("injected fault:"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A small but varied resampled spec: optionally two graph families, a
+/// ragged last group when `trials` is odd — 2 or 4 blocks total.
+fn spec_for(trials: usize, both_families: bool) -> ExperimentSpec {
+    let mut graphs = vec![GraphSpec::Regular { n: 20, d: 3 }];
+    if both_families {
+        graphs.push(GraphSpec::Torus { w: 4, h: 5 });
+    }
+    ExperimentSpec {
+        name: "recovery-prop".into(),
+        description: "crash-safety property-test spec".into(),
+        graphs,
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials,
+        target: Target::VertexCover,
+        metrics: vec![MetricSpec::Cover],
+        start: 0,
+        cap: CapSpec::Auto,
+        resample: Some(ResamplePlan { walks_per_graph: 2 }),
+    }
+}
+
+/// A unique temp path per test invocation (tests in this binary run
+/// concurrently).
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "eproc-recovery-{}-{tag}-{n}.json",
+        std::process::id()
+    ))
+}
+
+/// A sink that flips a cancellation flag after the `k`-th completed
+/// block — the deterministic stand-in for SIGINT arriving mid-run.
+struct CancelAfter<'a> {
+    cancel: &'a AtomicBool,
+    completed: AtomicUsize,
+    k: usize,
+}
+
+impl TelemetrySink for CancelAfter<'_> {
+    fn emit(&self, event: &Event) {
+        if matches!(event.kind, EventKind::BlockCompleted { .. })
+            && self.completed.fetch_add(1, Ordering::Relaxed) + 1 >= self.k
+        {
+            self.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Interrupts a run after `kill_after` blocks (checkpointing every
+/// completion), then resumes from the written checkpoint, and returns
+/// the final artifact JSON. Either phase may also complete outright —
+/// in-flight blocks drain past the cancellation point by design.
+fn killed_and_resumed_json(
+    spec: &ExperimentSpec,
+    seed: u64,
+    kill_after: usize,
+    threads_a: usize,
+    threads_b: usize,
+) -> String {
+    let path = temp_checkpoint("kill");
+    let cancel = AtomicBool::new(false);
+    let sink = CancelAfter {
+        cancel: &cancel,
+        completed: AtomicUsize::new(0),
+        k: kill_after,
+    };
+    let rec = RecoveryOptions {
+        checkpoint: Some(CheckpointPlan {
+            path: path.clone(),
+            every: 1,
+        }),
+        cancel: Some(&cancel),
+        ..RecoveryOptions::default()
+    };
+    let opts_a = RunOptions {
+        threads: threads_a,
+        base_seed: seed,
+    };
+    let first = run_recoverable_with_sink(spec, &opts_a, &rec, &sink).expect("first phase runs");
+    let report = match first {
+        RunOutcome::Completed(report) => report,
+        RunOutcome::Interrupted {
+            reason,
+            completed,
+            total,
+            checkpoint,
+        } => {
+            assert_eq!(reason, "signal");
+            assert!(completed < total);
+            let ckpt_path = checkpoint.expect("checkpointing was configured");
+            let ckpt = RunCheckpoint::load(&ckpt_path).expect("final checkpoint is readable");
+            // The final checkpoint must hold exactly the completed prefix.
+            assert_eq!(ckpt.completed_blocks(), completed);
+            common::json::validate(&ckpt.to_json()).expect("checkpoint is strict JSON");
+            let rec = RecoveryOptions {
+                resume: Some(ckpt),
+                ..RecoveryOptions::default()
+            };
+            let opts_b = RunOptions {
+                threads: threads_b,
+                base_seed: seed,
+            };
+            match run_recoverable(spec, &opts_b, &rec).expect("resume runs") {
+                RunOutcome::Completed(report) => report,
+                RunOutcome::Interrupted { .. } => unreachable!("nothing interrupts the resume"),
+            }
+        }
+    };
+    let _ = std::fs::remove_file(&path);
+    to_json(&report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline contract: kill at any block, resume on a different
+    /// thread count, and the artifact matches an uninterrupted run's
+    /// byte-for-byte.
+    #[test]
+    fn killed_and_resumed_runs_reproduce_the_artifact(
+        seed in 0u64..1_000_000,
+        trials in 3usize..8,
+        kill_after in 0usize..4,
+        threads_draw in 0usize..4,
+    ) {
+        // Exercise the {1, 4}-thread grid across both phases.
+        let threads_a = if threads_draw % 2 == 0 { 1 } else { 4 };
+        let threads_b = if threads_draw / 2 == 0 { 1 } else { 4 };
+        let spec = spec_for(trials, true);
+        let golden = to_json(&run(&spec, &RunOptions { threads: 2, base_seed: seed }).unwrap());
+        let resumed = killed_and_resumed_json(&spec, seed, kill_after, threads_a, threads_b);
+        prop_assert_eq!(&resumed, &golden);
+    }
+
+    /// Injected faults — a panic and a lost graph, on different blocks —
+    /// are retried from the same derived seeds and leave no trace in the
+    /// artifact.
+    #[test]
+    fn retried_blocks_contribute_bit_identical_results(
+        seed in 0u64..1_000_000,
+        trials in 3usize..8,
+    ) {
+        quiet_injected_panics();
+        let spec = spec_for(trials, true);
+        let golden = to_json(&run(&spec, &RunOptions { threads: 2, base_seed: seed }).unwrap());
+        let rec = RecoveryOptions {
+            retry_blocks: 1,
+            faults: FaultPlan::parse("panic@0.1.0,graphfail@1.0.0").unwrap(),
+            ..RecoveryOptions::default()
+        };
+        let opts = RunOptions { threads: 4, base_seed: seed };
+        let outcome = run_recoverable(&spec, &opts, &rec).expect("faults are retried away");
+        let report = match outcome {
+            RunOutcome::Completed(report) => report,
+            RunOutcome::Interrupted { .. } => unreachable!("nothing interrupts this run"),
+        };
+        prop_assert_eq!(&to_json(&report), &golden);
+    }
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_a_different_run() {
+    let spec = spec_for(4, true);
+    let path = temp_checkpoint("mismatch");
+    let cancel = AtomicBool::new(false);
+    let sink = CancelAfter {
+        cancel: &cancel,
+        completed: AtomicUsize::new(0),
+        k: 1,
+    };
+    let rec = RecoveryOptions {
+        checkpoint: Some(CheckpointPlan {
+            path: path.clone(),
+            every: 1,
+        }),
+        cancel: Some(&cancel),
+        ..RecoveryOptions::default()
+    };
+    let opts = RunOptions {
+        threads: 1,
+        base_seed: 7,
+    };
+    // threads=1 with k=1: the run reliably interrupts before finishing.
+    let outcome = run_recoverable_with_sink(&spec, &opts, &rec, &sink).expect("first phase runs");
+    assert!(matches!(outcome, RunOutcome::Interrupted { .. }));
+    let ckpt = RunCheckpoint::load(&path).expect("checkpoint written");
+
+    // Same spec, different seed: a different run.
+    let rec = RecoveryOptions {
+        resume: Some(ckpt),
+        ..RecoveryOptions::default()
+    };
+    let wrong_seed = RunOptions {
+        threads: 1,
+        base_seed: 8,
+    };
+    let err = run_recoverable(&spec, &wrong_seed, &rec).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, RecoveryError::Checkpoint(_)),
+        "wrong error kind: {err:?}"
+    );
+    assert!(
+        msg.contains("base_seed") && msg.contains("different run"),
+        "{msg}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn exhausted_retries_name_the_block_and_keep_the_checkpoint() {
+    quiet_injected_panics();
+    let spec = spec_for(4, true);
+    let path = temp_checkpoint("exhaust");
+    let rec = RecoveryOptions {
+        checkpoint: Some(CheckpointPlan {
+            path: path.clone(),
+            every: 1,
+        }),
+        // Every attempt of (family 1, group 1) panics: retries exhaust.
+        retry_blocks: 2,
+        faults: FaultPlan::parse("panic@1.1.0,panic@1.1.1,panic@1.1.2").unwrap(),
+        ..RecoveryOptions::default()
+    };
+    let opts = RunOptions {
+        threads: 2,
+        base_seed: 3,
+    };
+    let err = run_recoverable(&spec, &opts, &rec).unwrap_err();
+    let msg = err.to_string();
+    assert!(matches!(
+        &err,
+        RecoveryError::Engine(EngineError::Block {
+            source: BlockError::Panic(_),
+            ..
+        })
+    ));
+    // The message names the family by label, the group, and the worker.
+    assert!(msg.contains("family torus 4x5"), "{msg}");
+    assert!(msg.contains("resample group 1"), "{msg}");
+    assert!(msg.contains("worker"), "{msg}");
+    assert!(msg.contains("injected fault"), "{msg}");
+
+    // The completed blocks were still checkpointed, and resuming with
+    // the faults disarmed finishes the run to the golden artifact.
+    let ckpt = RunCheckpoint::load(&path).expect("failure still checkpoints completed blocks");
+    let rec = RecoveryOptions {
+        resume: Some(ckpt),
+        ..RecoveryOptions::default()
+    };
+    let golden = to_json(&run(&spec, &opts).unwrap());
+    match run_recoverable(&spec, &opts, &rec).expect("resume runs") {
+        RunOutcome::Completed(report) => assert_eq!(to_json(&report), golden),
+        RunOutcome::Interrupted { .. } => unreachable!("nothing interrupts the resume"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shared_graph_runs_are_rejected_with_an_explanation() {
+    let mut spec = spec_for(4, false);
+    spec.resample = None;
+    let err = run_recoverable(
+        &spec,
+        &RunOptions {
+            threads: 1,
+            base_seed: 1,
+        },
+        &RecoveryOptions::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("resampled run"), "{msg}");
+    assert!(msg.contains("checkpoint"), "{msg}");
+}
+
+#[test]
+fn max_wall_deadline_interrupts_gracefully() {
+    let spec = spec_for(6, true);
+    let rec = RecoveryOptions {
+        max_wall: Some(std::time::Duration::ZERO),
+        ..RecoveryOptions::default()
+    };
+    let opts = RunOptions {
+        threads: 2,
+        base_seed: 5,
+    };
+    match run_recoverable(&spec, &opts, &rec).expect("deadline is not an error") {
+        RunOutcome::Interrupted {
+            reason,
+            completed,
+            total,
+            checkpoint,
+        } => {
+            assert_eq!(reason, "deadline");
+            assert_eq!(completed, 0, "an already-expired deadline claims nothing");
+            // 2 families x ceil(6 trials / 2 walks) = 6 blocks.
+            assert_eq!(total, 6);
+            assert!(checkpoint.is_none(), "no checkpoint was configured");
+        }
+        RunOutcome::Completed(_) => panic!("a zero deadline cannot complete"),
+    }
+}

@@ -4,7 +4,7 @@
 //! family cannot produce a connected sample.
 
 use eproc_engine::executor::{
-    build_graphs, resample_graph_seed, run, run_on_graphs, EngineError, RunOptions,
+    build_graphs, resample_graph_seed, run, run_on_graphs, BlockError, EngineError, RunOptions,
 };
 use eproc_engine::report::to_json;
 use eproc_engine::spec::{
@@ -270,7 +270,10 @@ fn geometric_retry_exhaustion_fails_fast_through_engine_error() {
             assert_eq!(group, 0, "the first block claimed must be group 0");
             assert!(worker < 2, "worker id {worker} out of pool range");
             assert!(
-                matches!(source, eproc_graphs::GraphError::RetriesExhausted { .. }),
+                matches!(
+                    source,
+                    BlockError::Graph(eproc_graphs::GraphError::RetriesExhausted { .. })
+                ),
                 "{source}"
             );
         }
@@ -278,7 +281,8 @@ fn geometric_retry_exhaustion_fails_fast_through_engine_error() {
     }
     let msg = err.to_string();
     assert!(msg.contains("worker"), "{msg}");
-    assert!(msg.contains("group 0"), "{msg}");
+    assert!(msg.contains("family"), "{msg}");
+    assert!(msg.contains("resample group 0"), "{msg}");
 }
 
 #[test]

@@ -33,6 +33,11 @@ pub enum GraphError {
         generator: &'static str,
         /// Number of attempts made.
         attempts: usize,
+        /// Human-readable description of what was being generated
+        /// (e.g. "a connected 4-regular graph on 24 vertices"), so that a
+        /// failure deep inside a 64-point sweep is locatable without
+        /// decoding raw indices.
+        what: String,
     },
     /// Parameters outside the domain of a deterministic construction
     /// (e.g. LPS requires distinct primes `p, q ≡ 1 (mod 4)`).
@@ -60,11 +65,12 @@ impl fmt::Display for GraphError {
             GraphError::RetriesExhausted {
                 generator,
                 attempts,
+                what,
             } => {
                 write!(
                     f,
                     "generator {generator} exhausted {attempts} attempts \
-                     (restart budget MAX_RESTARTS = {})",
+                     building {what} (restart budget MAX_RESTARTS = {})",
                     crate::generators::MAX_RESTARTS
                 )
             }
@@ -97,10 +103,15 @@ mod tests {
         let e = GraphError::RetriesExhausted {
             generator: "steger_wormald",
             attempts: 10,
+            what: "a 3-regular simple graph on 8 vertices".into(),
         };
         assert!(e.to_string().contains("steger_wormald"));
-        // The message names the budget the attempts count ran against.
+        // The message names the budget the attempts count ran against and
+        // the generation target, so sweep failures are locatable.
         assert!(e.to_string().contains("10 attempts"));
+        assert!(e
+            .to_string()
+            .contains("a 3-regular simple graph on 8 vertices"));
         assert!(e.to_string().contains("MAX_RESTARTS = 1000"));
         let e = GraphError::InvalidParameter {
             reason: "p must be prime".into(),

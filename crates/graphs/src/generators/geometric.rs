@@ -132,6 +132,7 @@ pub fn connected_random_geometric_counted<R: Rng + ?Sized>(
     Err(GraphError::RetriesExhausted {
         generator: "connected_random_geometric",
         attempts: MAX_RESTARTS,
+        what: format!("a connected geometric graph on {n} vertices at radius {radius}"),
     })
 }
 
@@ -226,6 +227,7 @@ mod tests {
             Err(GraphError::RetriesExhausted {
                 generator: "connected_random_geometric",
                 attempts: MAX_RESTARTS,
+                ..
             })
         ));
     }

@@ -78,6 +78,7 @@ pub fn pairing_model_multigraph<R: Rng + ?Sized>(
     Err(GraphError::RetriesExhausted {
         generator: "pairing_model_multigraph",
         attempts: MAX_RESTARTS,
+        what: format!("an {r}-regular multigraph on {n} vertices"),
     })
 }
 
@@ -102,6 +103,7 @@ pub fn random_regular_pairing<R: Rng + ?Sized>(
         GraphError::RetriesExhausted { attempts, .. } => GraphError::RetriesExhausted {
             generator: "random_regular_pairing",
             attempts,
+            what: format!("an {r}-regular simple graph on {n} vertices"),
         },
         other => other,
     })
@@ -140,6 +142,7 @@ pub fn random_with_degree_sequence<R: Rng + ?Sized>(
     Err(GraphError::RetriesExhausted {
         generator: "random_with_degree_sequence",
         attempts: MAX_RESTARTS,
+        what: format!("a simple graph on {n} vertices with the given degree sequence"),
     })
 }
 
@@ -229,6 +232,7 @@ pub fn steger_wormald_counted<R: Rng + ?Sized>(
     Err(GraphError::RetriesExhausted {
         generator: "steger_wormald",
         attempts: MAX_RESTARTS,
+        what: format!("an {r}-regular simple graph on {n} vertices"),
     })
 }
 
@@ -283,6 +287,7 @@ pub fn connected_random_regular_counted<R: Rng + ?Sized>(
     Err(GraphError::RetriesExhausted {
         generator: "connected_random_regular",
         attempts: MAX_RESTARTS,
+        what: format!("a connected {r}-regular simple graph on {n} vertices"),
     })
 }
 

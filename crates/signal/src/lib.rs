@@ -1,0 +1,114 @@
+//! A minimal async-signal-safe SIGINT/SIGTERM latch.
+//!
+//! The `eproc` CLI wants exactly one thing from POSIX signals: when the
+//! user presses Ctrl-C (or the scheduler sends SIGTERM), flip a boolean
+//! that the work-stealing executor polls between blocks, so in-flight
+//! work drains, a final checkpoint is written, and the process exits
+//! cleanly with a "resumable" status instead of dying mid-write.
+//!
+//! This is the only crate in the workspace that is not
+//! `#![forbid(unsafe_code)]`: registering a signal handler requires two
+//! `extern "C"` calls (`signal`, plus `raise` for the self-test). The
+//! unsafe surface is kept deliberately tiny and the handler body is
+//! async-signal-safe — it performs a single relaxed store into a
+//! `static AtomicBool` and nothing else (no allocation, no locks, no
+//! formatting).
+//!
+//! On non-Unix targets [`install`] is a no-op that still hands back the
+//! latch, so callers need no platform gates of their own.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide interruption latch. `false` until a handled signal
+/// arrives; never reset (a latched interruption stays latched).
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{AtomicBool, Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `signal(2)` and `raise(3)` from libc, which std already links.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        #[cfg(test)]
+        fn raise(sig: i32) -> i32;
+    }
+
+    /// The registered handler: one relaxed store, nothing else. Every
+    /// operation here must be async-signal-safe.
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() -> &'static AtomicBool {
+        // Idempotent: re-registering the same handler is harmless, so no
+        // once-guard is needed.
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+        &INTERRUPTED
+    }
+
+    #[cfg(test)]
+    pub(super) fn raise_sigint() {
+        unsafe {
+            raise(SIGINT);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{AtomicBool, INTERRUPTED};
+
+    pub(super) fn install() -> &'static AtomicBool {
+        // No signal(2) on this target; the latch simply never fires.
+        &INTERRUPTED
+    }
+}
+
+/// Registers handlers for SIGINT and SIGTERM (on Unix; a no-op
+/// elsewhere) and returns the shared latch they flip.
+///
+/// Safe to call more than once. The returned reference is `'static`, so
+/// it can be handed to scoped worker threads without lifetime plumbing.
+pub fn install() -> &'static AtomicBool {
+    imp::install()
+}
+
+/// Reports whether a handled signal has arrived since [`install`].
+///
+/// Always `false` if [`install`] was never called (or on non-Unix
+/// targets, where no handler exists to flip the latch).
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn sigint_flips_the_latch() {
+        let latch = install();
+        assert!(!latch.load(Ordering::Relaxed));
+        imp::raise_sigint();
+        assert!(interrupted());
+        assert!(latch.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    #[cfg(not(unix))]
+    fn install_is_a_quiet_no_op() {
+        let latch = install();
+        assert!(!latch.load(Ordering::Relaxed));
+        assert!(!interrupted());
+    }
+}

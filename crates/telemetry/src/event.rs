@@ -165,6 +165,45 @@ pub enum EventKind {
         /// Nanoseconds the merge took.
         merge_ns: u64,
     },
+    /// A run checkpoint was persisted (`--checkpoint`): every block
+    /// completed so far is now durable.
+    CheckpointWritten {
+        /// Blocks the checkpoint holds.
+        blocks: usize,
+        /// Total blocks the run schedules.
+        total: usize,
+        /// Bytes the checkpoint artifact serialised to.
+        bytes: u64,
+        /// Nanoseconds spent serialising and writing.
+        checkpoint_ns: u64,
+    },
+    /// A block attempt failed (panic or graph-generation error) and the
+    /// executor is deterministically re-running it (`--retry-blocks`).
+    BlockRetried {
+        /// Canonical block index.
+        block: usize,
+        /// Graph family label.
+        family: String,
+        /// Resample group within the family.
+        group: usize,
+        /// Worker id re-running the block.
+        worker: usize,
+        /// The attempt that failed (0-based; the retry is `attempt + 1`).
+        attempt: usize,
+        /// Human-readable description of the failure.
+        error: String,
+    },
+    /// The run stopped early at a block boundary — SIGINT/SIGTERM or the
+    /// `--max-wall` deadline — after draining in-flight blocks and
+    /// writing a final checkpoint. The run is resumable.
+    RunInterrupted {
+        /// Why the run stopped (`"signal"` or `"deadline"`).
+        reason: String,
+        /// Blocks completed (and checkpointed) before the stop.
+        completed: usize,
+        /// Total blocks the run schedules.
+        total: usize,
+    },
 }
 
 impl EventKind {
@@ -178,6 +217,9 @@ impl EventKind {
             EventKind::AggregationMerged { .. } => "aggregation_merged",
             EventKind::RunFinished { .. } => "run_finished",
             EventKind::MergeCompleted { .. } => "merge_completed",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::BlockRetried { .. } => "block_retried",
+            EventKind::RunInterrupted { .. } => "run_interrupted",
         }
     }
 }
@@ -305,6 +347,45 @@ impl Event {
                      \"merge_ns\": {merge_ns}"
                 );
             }
+            EventKind::CheckpointWritten {
+                blocks,
+                total,
+                bytes,
+                checkpoint_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"blocks\": {blocks}, \"total\": {total}, \"bytes\": {bytes}, \
+                     \"checkpoint_ns\": {checkpoint_ns}"
+                );
+            }
+            EventKind::BlockRetried {
+                block,
+                family,
+                group,
+                worker,
+                attempt,
+                error,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"block\": {block}, \"family\": \"{}\", \"group\": {group}, \
+                     \"worker\": {worker}, \"attempt\": {attempt}, \"error\": \"{}\"",
+                    json_escape(family),
+                    json_escape(error)
+                );
+            }
+            EventKind::RunInterrupted {
+                reason,
+                completed,
+                total,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"reason\": \"{}\", \"completed\": {completed}, \"total\": {total}",
+                    json_escape(reason)
+                );
+            }
         }
         out.push('}');
         out
@@ -412,6 +493,55 @@ mod tests {
             e.to_jsonl(),
             "{\"event\": \"merge_completed\", \"t_ns\": 9, \"shards\": 2, \"blocks\": 12, \
              \"cells\": 4, \"merge_ns\": 777}"
+        );
+    }
+
+    #[test]
+    fn recovery_events_serialise() {
+        let cp = Event {
+            t_ns: 3,
+            kind: EventKind::CheckpointWritten {
+                blocks: 4,
+                total: 12,
+                bytes: 2048,
+                checkpoint_ns: 555,
+            },
+        };
+        assert_eq!(
+            cp.to_jsonl(),
+            "{\"event\": \"checkpoint_written\", \"t_ns\": 3, \"blocks\": 4, \"total\": 12, \
+             \"bytes\": 2048, \"checkpoint_ns\": 555}"
+        );
+        let retry = Event {
+            t_ns: 5,
+            kind: EventKind::BlockRetried {
+                block: 7,
+                family: "regular n=24 d=3".into(),
+                group: 1,
+                worker: 2,
+                attempt: 0,
+                error: "injected \"panic\"".into(),
+            },
+        };
+        let line = retry.to_jsonl();
+        assert!(
+            line.starts_with("{\"event\": \"block_retried\", \"t_ns\": 5"),
+            "{line}"
+        );
+        assert!(line.contains("\"attempt\": 0"), "{line}");
+        assert!(line.contains("injected \\\"panic\\\""), "{line}");
+        let int = Event {
+            t_ns: 9,
+            kind: EventKind::RunInterrupted {
+                reason: "signal".into(),
+                completed: 3,
+                total: 12,
+            },
+        };
+        assert_eq!(
+            int.to_jsonl(),
+            "{\"event\": \"run_interrupted\", \"t_ns\": 9, \"reason\": \"signal\", \
+             \"completed\": 3, \"total\": 12}"
         );
     }
 

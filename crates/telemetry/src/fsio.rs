@@ -1,0 +1,97 @@
+//! Crash-safe artifact writes: write a temporary sibling, then rename.
+//!
+//! Every artifact the workspace persists — report JSON, CSV, shard
+//! artifacts, telemetry sidecars, run checkpoints — goes through
+//! [`write_atomic`], so a crash (or SIGKILL) mid-write can never leave a
+//! truncated or half-written file at the destination path: the rename is
+//! atomic on POSIX filesystems, and the destination either keeps its old
+//! contents or receives the complete new ones.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: parent directories are
+/// created, the bytes are written to a `<name>.tmp` sibling in the same
+/// directory (same filesystem, so the rename cannot degrade to a copy)
+/// and the sibling is renamed over `path` only after the write completed.
+///
+/// Concurrent writers of the *same* path race on the sibling name — the
+/// workspace's single-process CLIs never do that — but readers of `path`
+/// always see a complete document.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on failure the temporary sibling is
+/// removed (best effort) and `path` is untouched.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cannot write to {}: no file name", path.display()),
+            )
+        })?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Flush file contents to disk before the rename makes them
+        // visible: a rename that survives a crash must not point at
+        // buffered-but-unwritten data.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eproc_fsio_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_contents_and_creates_parents() {
+        let dir = scratch("parents");
+        let path = dir.join("a/b/out.json");
+        write_atomic(&path, "{\"ok\": true}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaces_existing_files_and_leaves_no_temp_sibling() {
+        let dir = scratch("replace");
+        let path = dir.join("out.json");
+        write_atomic(&path, "old").unwrap();
+        write_atomic(&path, "new").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries, vec![std::ffi::OsString::from("out.json")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pathological_paths_error_rather_than_panic() {
+        assert!(write_atomic(Path::new("/"), "x").is_err());
+    }
+}

@@ -26,9 +26,13 @@
 //!   trials/sec, steps/sec, ETA) writing to stderr.
 //! * [`JsonlSink`] — an append-only JSONL event-log writer.
 //! * [`SummarySink`] / [`TelemetrySummary`] — a post-run roll-up:
-//!   wall-time breakdown by stage, per-worker utilization and block
-//!   counts, total trials and steps — written as the
+//!   wall-time breakdown by stage (including checkpoint I/O), per-worker
+//!   utilization and block counts, total trials and steps, and blocks
+//!   retried after isolated failures — written as the
 //!   `<artifact>.telemetry.json` sidecar.
+//! * [`write_atomic`] — the crash-safe write-temp-then-rename helper
+//!   every persisted artifact in the workspace goes through, so an
+//!   interrupted process never leaves a truncated file behind.
 //!
 //! The crate is intentionally dependency-free (std only) and knows
 //! nothing about graphs or walks: events carry plain labels and
@@ -41,6 +45,7 @@
 
 mod counters;
 mod event;
+mod fsio;
 mod jsonl;
 mod progress;
 mod sink;
@@ -49,6 +54,7 @@ mod timer;
 
 pub use counters::{Counters, CountersSnapshot};
 pub use event::{Event, EventKind, ShardId};
+pub use fsio::write_atomic;
 pub use jsonl::JsonlSink;
 pub use progress::ProgressSink;
 pub use sink::{NullSink, Tee, TelemetrySink};

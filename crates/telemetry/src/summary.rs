@@ -21,6 +21,8 @@ pub struct SummarySink {
     per_worker: Mutex<BTreeMap<usize, WorkerTally>>,
     agg_ns: AtomicU64,
     merge_ns: AtomicU64,
+    checkpoint_ns: AtomicU64,
+    blocks_retried: AtomicU64,
     wall_ns: AtomicU64,
 }
 
@@ -80,6 +82,8 @@ impl SummarySink {
             walking_ns: totals.walk_ns,
             aggregation_ns: self.agg_ns.load(Ordering::Relaxed),
             merge_ns: self.merge_ns.load(Ordering::Relaxed),
+            checkpoint_ns: self.checkpoint_ns.load(Ordering::Relaxed),
+            blocks_retried: self.blocks_retried.load(Ordering::Relaxed),
             per_worker,
         }
     }
@@ -144,7 +148,15 @@ impl TelemetrySink for SummarySink {
             EventKind::RunFinished { wall_ns, .. } => {
                 self.wall_ns.store(*wall_ns, Ordering::Relaxed);
             }
-            EventKind::BlockClaimed { .. } => {}
+            EventKind::CheckpointWritten { checkpoint_ns, .. } => {
+                // Cumulative: a run may checkpoint many times.
+                self.checkpoint_ns
+                    .fetch_add(*checkpoint_ns, Ordering::Relaxed);
+            }
+            EventKind::BlockRetried { .. } => {
+                self.blocks_retried.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::BlockClaimed { .. } | EventKind::RunInterrupted { .. } => {}
         }
     }
 }
@@ -201,6 +213,12 @@ pub struct TelemetrySummary {
     /// Nanoseconds combining shard artifacts (`eproc merge`; 0 unless
     /// the run was a merge).
     pub merge_ns: u64,
+    /// Cumulative nanoseconds serialising and writing run checkpoints
+    /// (`--checkpoint`; 0 for uncheckpointed runs).
+    pub checkpoint_ns: u64,
+    /// Block attempts that failed and were deterministically re-run
+    /// (`--retry-blocks`).
+    pub blocks_retried: u64,
     /// Per-worker breakdown, sorted by worker id.
     pub per_worker: Vec<WorkerSummary>,
 }
@@ -233,9 +251,14 @@ impl TelemetrySummary {
         let _ = writeln!(
             out,
             "  \"stages\": {{\"generation_ns\": {}, \"walking_ns\": {}, \"aggregation_ns\": {}, \
-             \"merge_ns\": {}}},",
-            self.generation_ns, self.walking_ns, self.aggregation_ns, self.merge_ns
+             \"merge_ns\": {}, \"checkpoint_ns\": {}}},",
+            self.generation_ns,
+            self.walking_ns,
+            self.aggregation_ns,
+            self.merge_ns,
+            self.checkpoint_ns
         );
+        let _ = writeln!(out, "  \"blocks_retried\": {},", self.blocks_retried);
         let _ = writeln!(
             out,
             "  \"throughput\": {{\"trials_per_sec\": {}, \"steps_per_sec\": {}}},",
@@ -266,17 +289,14 @@ impl TelemetrySummary {
     }
 
     /// Writes the sidecar JSON to `path`, creating parent directories.
+    /// The write is atomic (temp sibling + rename, [`crate::write_atomic`]):
+    /// a crash mid-write never leaves a truncated sidecar.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.to_json())
+        crate::write_atomic(path, &self.to_json())
     }
 }
 

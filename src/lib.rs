@@ -72,10 +72,19 @@
 //! log, a per-stage wall-time summary — without perturbing the
 //! deterministic artifacts. On the CLI: `--progress`,
 //! `--telemetry PATH`, `--quiet`.
+//!
+//! ## Crash safety
+//!
+//! [`engine::run_recoverable`] executes resampled runs with atomic
+//! checkpointing, graceful SIGINT/SIGTERM interruption (the [`signal`]
+//! latch), deadline budgets and deterministic per-block retries; a
+//! resumed run reproduces the uninterrupted artifact byte-for-byte. On
+//! the CLI: `--checkpoint`, `--resume`, `--max-wall`, `--retry-blocks`.
 
 pub use eproc_core as core;
 pub use eproc_engine as engine;
 pub use eproc_graphs as graphs;
+pub use eproc_signal as signal;
 pub use eproc_spectral as spectral;
 pub use eproc_stats as stats;
 pub use eproc_telemetry as telemetry;
