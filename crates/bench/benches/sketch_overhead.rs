@@ -1,0 +1,173 @@
+//! Cost of streaming quantile sketches versus per-trial buffering.
+//!
+//! Two measurements back the PR 9 aggregation refactor:
+//!
+//! 1. **Micro**: feed 2M values through the old shared-mode shape
+//!    (buffer every value in a `Vec`, Welford moments, sort once at the
+//!    end for exact quantiles) and through the streamed shape (Welford +
+//!    [`QuantileSketch`] push, quantiles from the sketch). The streamed
+//!    path must stay within ~1.1x of buffered wall clock — the sketch
+//!    amortises its compactions to O(1) per push.
+//! 2. **End-to-end**: a shared-mode engine run (the path the refactor
+//!    migrated off `Vec<TrialOutcome>`), reporting wall clock and the
+//!    sketches' actual memory: per-cell `retained()` is O(k·log(n/k)),
+//!    not O(trials), and the whole report holds one sketch per
+//!    (cell, column) — O(processes × columns × sketch), independent of
+//!    the trial count.
+//!
+//! Writes `target/experiments/BENCH_sketch.json`.
+
+use eproc_bench::output_dir;
+use eproc_engine::executor::{run, RunOptions};
+use eproc_engine::spec::{CapSpec, ExperimentSpec, GraphSpec, ProcessSpec, RuleSpec, Target};
+use eproc_stats::{summary, OnlineStats, QuantileSketch};
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+const N_VALUES: usize = 2_000_000;
+const QS: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Minimum seconds over `SAMPLES` timed runs — the least-interference
+/// estimate when comparing variants on a shared machine.
+fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// A fixed pseudo-random value stream (SplitMix64-shaped), so both
+/// variants digest identical inputs.
+fn values() -> impl Iterator<Item = f64> {
+    let mut state = 0x8badf00d_u64;
+    (0..N_VALUES).map(move |_| {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % 1_000_000) as f64
+    })
+}
+
+fn shared_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "sketch-overhead".into(),
+        description: "streamed shared-mode aggregation bench".into(),
+        graphs: vec![GraphSpec::Regular { n: 500, d: 3 }],
+        processes: vec![
+            ProcessSpec::EProcess {
+                rule: RuleSpec::Uniform,
+            },
+            ProcessSpec::Srw,
+        ],
+        trials: 256,
+        target: Target::VertexCover,
+        metrics: vec![],
+        start: 0,
+        cap: CapSpec::NLogN(5_000.0),
+        resample: None,
+    }
+}
+
+fn main() {
+    // Micro: buffered (Vec + Welford + one final sort) vs streamed
+    // (Welford + sketch). `std::hint::black_box` keeps either variant's
+    // summary from being optimised away.
+    let buffered_secs = best_secs(|| {
+        let mut stats = OnlineStats::new();
+        let mut buf: Vec<f64> = Vec::new();
+        for x in values() {
+            stats.push(x);
+            buf.push(x);
+        }
+        let qs: Vec<f64> = QS
+            .iter()
+            .map(|&q| summary::quantile(&buf, q).expect("nonempty"))
+            .collect();
+        std::hint::black_box((stats.mean(), qs));
+    });
+    let streamed_secs = best_secs(|| {
+        let mut stats = OnlineStats::new();
+        let mut sketch = QuantileSketch::new(777);
+        for x in values() {
+            stats.push(x);
+            sketch.push(x);
+        }
+        let qs: Vec<f64> = QS
+            .iter()
+            .map(|&q| sketch.quantile(q).expect("nonempty"))
+            .collect();
+        std::hint::black_box((stats.mean(), qs));
+    });
+    let streamed_overhead = streamed_secs / buffered_secs;
+
+    println!(
+        "sketch_overhead/buffered: {:>8.2} ms (Vec of {N_VALUES} + final sort)",
+        buffered_secs * 1e3
+    );
+    println!(
+        "sketch_overhead/streamed: {:>8.2} ms ({streamed_overhead:.3}x, target <1.1x)",
+        streamed_secs * 1e3
+    );
+
+    // End-to-end: a shared-mode run on the streamed aggregation path.
+    let spec = shared_spec();
+    let opts = RunOptions {
+        base_seed: 12345,
+        ..RunOptions::auto()
+    };
+    let report = run(&spec, &opts).expect("warm-up run");
+    let engine_secs = best_secs(|| {
+        run(&spec, &opts).expect("timed run");
+    });
+    // Memory shape: every cell keeps one steps sketch (this spec has no
+    // extra metric columns), and each retains O(k·log(n/k)) items — far
+    // below the trial count the old path buffered outcome-by-outcome.
+    let sketches = report.cells.len();
+    let retained_max = report
+        .cells
+        .iter()
+        .map(|c| c.steps_sketch.retained())
+        .max()
+        .expect("nonempty report");
+    let retained_total: usize = report.cells.iter().map(|c| c.steps_sketch.retained()).sum();
+    assert!(
+        retained_max <= spec.trials,
+        "a sketch may never retain more than it was fed"
+    );
+    println!(
+        "sketch_overhead/engine:   {:>8.2} ms (shared mode, {} trials x {} cells)",
+        engine_secs * 1e3,
+        spec.trials,
+        sketches
+    );
+    println!(
+        "sketch_overhead/memory:   {retained_max} items retained max per sketch \
+         ({} trials fed), {retained_total} across {sketches} sketches",
+        spec.trials
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sketch_overhead\",\n  \
+         \"n_values\": {N_VALUES},\n  \
+         \"samples\": {SAMPLES},\n  \
+         \"threads\": {},\n  \
+         \"buffered_secs\": {:.6},\n  \
+         \"streamed_secs\": {:.6},\n  \
+         \"streamed_overhead\": {:.4},\n  \
+         \"engine_shared_secs\": {:.6},\n  \
+         \"engine_trials\": {},\n  \
+         \"sketches\": {sketches},\n  \
+         \"retained_max\": {retained_max},\n  \
+         \"retained_total\": {retained_total}\n}}\n",
+        opts.threads, buffered_secs, streamed_secs, streamed_overhead, engine_secs, spec.trials,
+    );
+    let dir = output_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_sketch.json");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("json: {}", path.display());
+}

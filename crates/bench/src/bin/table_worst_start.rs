@@ -19,7 +19,7 @@ use eproc_engine::executor::{build_graphs, run_on_graphs, CellSummary, Experimen
 use eproc_engine::report::save_json;
 use eproc_engine::spec::ExperimentSpec;
 use eproc_engine::RunOptions;
-use eproc_stats::{OnlineStats, SeedSequence, TextTable};
+use eproc_stats::{OnlineStats, QuantileSketch, SeedSequence, TextTable};
 
 fn main() {
     let config = Config::from_args();
@@ -85,8 +85,13 @@ fn main() {
                 format!("{:.2}", worst_mean / from0),
             ]);
             let mut over_starts = OnlineStats::new();
+            // Sketch stream 3 mirrors the engine's sketch-seed convention
+            // and stays clear of the per-(graph, start) run seeds above.
+            let mut over_starts_sketch =
+                QuantileSketch::new(seeds.derive(&[3, gi as u64, pi as u64]));
             for &m in means {
                 over_starts.push(m);
+                over_starts_sketch.push(m);
             }
             composed_cells.push(CellSummary {
                 graph: gspec.label(),
@@ -97,6 +102,7 @@ fn main() {
                 trials: n,
                 completed: n,
                 steps: over_starts,
+                steps_sketch: over_starts_sketch,
                 blue_fraction: OnlineStats::new(),
                 steps_split: None,
                 metrics: vec![],

@@ -4,6 +4,7 @@
 //! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
 //!                  [--trials N] [--metrics M[,M...]] [--resample [W]]
 //!                  [--shard I/K] [--json PATH] [--csv PATH]
+//!                  [--quantiles Q[,Q...]]
 //!                  [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
 //!                  [--max-wall SECS] [--retry-blocks N] [--inject-faults SPEC]
 //! eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]
@@ -17,6 +18,12 @@
 //! `--metrics` attaches extra observers (`cover`, `blanket:<delta>`,
 //! `phases`, `bluecensus`, `hitting[:v]`) to the same walk as the
 //! target: each trial still walks the graph exactly once.
+//!
+//! `--quantiles Q[,Q...]` picks the quantile columns/keys rendered from
+//! the streamed sketches (default `p50,p90,p99`; accepts `0.9` or `p90`
+//! forms). The quantiles are estimates from mergeable KLL-style
+//! sketches, deterministic for a given `(spec, seed)` at any thread
+//! count, shard split, or resume point.
 //!
 //! `--resample [W]` — or a `~` marker in a `--graph` argument
 //! (`regular:~1000,4`) — turns on per-trial graph resampling: each group
@@ -51,7 +58,7 @@ use eproc_engine::fault::FaultPlan;
 use eproc_engine::recovery::{
     run_recoverable_with_sink, CheckpointPlan, RecoveryOptions, RunOutcome,
 };
-use eproc_engine::report::{save_json, save_json_with_scaling, scaling_table, to_text_table};
+use eproc_engine::report::{save_json_with, scaling_table, to_text_table_with, DEFAULT_QUANTILES};
 use eproc_engine::scaling::analyze;
 use eproc_engine::shard::{merge_shards_with_sink, run_shard_with_sink, ShardReport, ShardSpec};
 use eproc_engine::spec::{
@@ -97,11 +104,11 @@ fn usage(err: &str) -> ! {
          \x20 eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]\n\
          \x20                  [--trials N] [--metrics M[,M...]] [--resample [W]]\n\
          \x20                  [--shard I/K] [--json PATH] [--csv PATH] [--progress]\n\
-         \x20                  [--telemetry PATH] [--quiet]\n\
+         \x20                  [--telemetry PATH] [--quiet] [--quantiles Q[,Q...]]\n\
          \x20                  [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]\n\
          \x20                  [--max-wall SECS] [--retry-blocks N] [--inject-faults SPEC]\n\
          \x20 eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]\n\
-         \x20               [--telemetry PATH] [--quiet]\n\
+         \x20               [--telemetry PATH] [--quiet] [--quantiles Q[,Q...]]\n\
          \x20 eproc list\n\
          \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
@@ -123,6 +130,9 @@ fn usage(err: &str) -> ! {
          target syntax  vertex | edge | both | blanket:<delta>\n\
          metric syntax  cover | blanket[:delta] | phases | bluecensus | hitting[:v]\n\
          \x20              (all measured from the same walk: one pass per trial)\n\
+         quantiles      --quantiles Q[,Q...]: quantile columns/keys rendered from\n\
+         \x20              the streamed sketches (default p50,p90,p99; accepts 0.9\n\
+         \x20              or p90 forms; applies to run, compare, scale and merge)\n\
          sweep syntax   [n=]<start>..<end>[,x<factor>|,+<stride>] (default x2);\n\
          \x20              sizes accept k/m suffixes: --sweep n=1k..256k,x2\n\
          resampling     --resample [W]: every W consecutive trials (default 1)\n\
@@ -182,6 +192,7 @@ struct CommonFlags {
     max_wall: Option<f64>,
     retry_blocks: Option<usize>,
     inject_faults: Option<String>,
+    quantiles: Option<Vec<f64>>,
 }
 
 impl CommonFlags {
@@ -196,6 +207,12 @@ impl CommonFlags {
             || self.retry_blocks.is_some()
             || self.inject_faults.is_some()
             || std::env::var_os("EPROC_FAULTS").is_some()
+    }
+
+    /// The quantile columns/keys to render: `--quantiles` if given,
+    /// otherwise p50/p90/p99.
+    fn report_quantiles(&self) -> &[f64] {
+        self.quantiles.as_deref().unwrap_or(&DEFAULT_QUANTILES)
     }
 }
 
@@ -341,6 +358,28 @@ fn parse_common<I: Iterator<Item = String>>(
                 .next()
                 .unwrap_or_else(|| usage("--inject-faults needs a fault spec"));
             flags.inject_faults = Some(v);
+        }
+        "--quantiles" => {
+            let v = args.next().unwrap_or_else(|| {
+                usage("--quantiles needs a comma-separated list, e.g. 0.5,0.9,0.99 or p50,p90,p99")
+            });
+            let parsed: Vec<f64> = v
+                .split(',')
+                .map(|part| {
+                    let part = part.trim();
+                    let q = match part.strip_prefix('p') {
+                        Some(pct) => pct.parse::<f64>().map(|p| p / 100.0),
+                        None => part.parse::<f64>(),
+                    };
+                    match q {
+                        Ok(q) if (0.0..=1.0).contains(&q) => q,
+                        _ => usage(&format!(
+                            "--quantiles: {part:?} is not a quantile in [0,1] (use 0.9 or p90)"
+                        )),
+                    }
+                })
+                .collect();
+            flags.quantiles = Some(parsed);
         }
         "--quiet" => QUIET.store(true, Ordering::Relaxed),
         _ => return false,
@@ -489,7 +528,7 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         report.description,
         report.target.label()
     );
-    let table = to_text_table(&report);
+    let table = to_text_table_with(&report, flags.report_quantiles());
     println!("{table}");
     match &scaling {
         Some(Ok(scaling)) => {
@@ -515,8 +554,18 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         None => {}
     }
     let written = match &scaling {
-        Some(Ok(s)) => save_json_with_scaling(&report, s, flags.json.as_deref()),
-        _ => save_json(&report, flags.json.as_deref()),
+        Some(Ok(s)) => save_json_with(
+            &report,
+            Some(s),
+            flags.report_quantiles(),
+            flags.json.as_deref(),
+        ),
+        _ => save_json_with(
+            &report,
+            None,
+            flags.report_quantiles(),
+            flags.json.as_deref(),
+        ),
     };
     let artifact = match written {
         Ok(path) => {
@@ -963,8 +1012,8 @@ fn cmd_merge(args: impl Iterator<Item = String>) {
         || flags.inject_faults.is_some()
     {
         usage(
-            "merge recombines existing shard artifacts: only --json/--csv/--telemetry/--quiet \
-             apply (run parameters are fixed by the shards themselves)",
+            "merge recombines existing shard artifacts: only --json/--csv/--telemetry/--quiet/\
+             --quantiles apply (run parameters are fixed by the shards themselves)",
         );
     }
     if paths.is_empty() {
@@ -1008,9 +1057,14 @@ fn cmd_merge(args: impl Iterator<Item = String>) {
         report.description,
         report.target.label()
     );
-    let table = to_text_table(&report);
+    let table = to_text_table_with(&report, flags.report_quantiles());
     println!("{table}");
-    let artifact = match save_json(&report, flags.json.as_deref()) {
+    let artifact = match save_json_with(
+        &report,
+        None,
+        flags.report_quantiles(),
+        flags.json.as_deref(),
+    ) {
         Ok(path) => {
             println!("json: {}", path.display());
             path

@@ -1,5 +1,6 @@
 //! Run checkpoints: the crash-safe persistence behind `--checkpoint` /
-//! `--resume` (checkpoint format `eproc-checkpoint`, version 1).
+//! `--resume` (checkpoint format `eproc-checkpoint`, version 2 — the
+//! version bump added per-block quantile sketches to the codec).
 //!
 //! A checkpoint is a prefix of a run: the canonical run header
 //! identifying the `(spec, base_seed)` run plus every *completed*
@@ -106,7 +107,7 @@ impl RunCheckpoint {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"format\": \"eproc-checkpoint\",");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         self.header.write_fields(&mut out);
         write_rep_dims(&mut out, &self.rep_dims);
         write_blocks(&mut out, &self.blocks);
@@ -154,7 +155,7 @@ impl RunCheckpoint {
             )));
         }
         let version = root.u64_field("version")?;
-        if version != 1 {
+        if version != 2 {
             return Err(CheckpointError::new(format!(
                 "unsupported checkpoint version {version}"
             )));

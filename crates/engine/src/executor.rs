@@ -18,33 +18,44 @@
 //! [`eproc_core::bitset::BitSet`] scratch bitmaps are re-armed (`m / 64`
 //! word writes) rather than reallocated.
 //!
-//! Under a [`ResamplePlan`] the work unit changes from one trial to one
-//! *(family, group)* block: the worker claiming a block samples that
-//! group's graph from its [`resample_graph_seed`] — blocks partition the
-//! samples, so graph generation parallelises across the pool exactly
-//! like the walks — and runs all of the block's trials on it.
-//! Block aggregation is **streamed**: the claiming worker folds each
-//! trial straight into per-(block, process) [`OnlineStats`] accumulators
-//! and drops the trial, so a block contributes `O(processes × columns)`
-//! memory no matter how many trials it runs or how large its graph is —
-//! the property that lets the `eproc scale` size sweeps push
-//! million-vertex points through the same machinery. The main thread
-//! merges blocks in canonical *(family, group)* order (Welford parallel
-//! combination), and the per-block accumulators double as the groups of
-//! the pooled / across-graph / within-graph [`VarianceSplit`]s — all of
-//! it remaining bit-identical for any thread count.
+//! The work unit is always one *(family, group)* block. Under a
+//! [`ResamplePlan`] a group is `walks_per_graph` consecutive trials and
+//! the worker claiming the block samples the group's graph from its
+//! [`resample_graph_seed`] — blocks partition the samples, so graph
+//! generation parallelises across the pool exactly like the walks. In
+//! shared-graph mode a group is a `SHARED_BLOCK_WALKS`-trial chunk of
+//! the family's prebuilt graph, so both modes run the **same** block
+//! runner and the same aggregation tail — there is exactly one
+//! aggregation path and no per-trial vector anywhere.
+//!
+//! Aggregation is **streamed twice over**. Inside a block the claiming
+//! worker folds each trial straight into per-(block, process)
+//! [`OnlineStats`] + [`QuantileSketch`] accumulators and drops the
+//! trial, so a block contributes `O(processes × columns)` memory no
+//! matter how many trials it runs or how large its graph is. Completed
+//! blocks stream back to the main thread over a channel and fold into
+//! the per-cell `CellFolder` in canonical *(family, group)* order —
+//! workers are back-pressured a bounded window ahead of the fold — so
+//! the run's aggregation state is `O(cells × columns)` independent of
+//! the trial count: the property that unlocks billion-trial runs. The
+//! per-block accumulators double as the groups of the pooled /
+//! across-graph / within-graph [`VarianceSplit`]s, and every sketch's
+//! compaction coins derive from [`SeedSequence`] streams keyed by grid
+//! coordinates — all of it bit-identical for any thread count.
 
 use crate::spec::{AnyObserver, ExperimentSpec, MetricSpec, ResamplePlan, SpecError, Target};
 use crate::{with_kernel, with_kernel_lanes};
 use eproc_core::interleave::{run_observed_interleaved, Lane};
 use eproc_core::observe::{run_observed, Metrics, Observer, StopWhen};
 use eproc_graphs::Graph;
-use eproc_stats::{OnlineStats, SeedSequence};
+use eproc_stats::{OnlineStats, QuantileSketch, SeedSequence};
 use eproc_telemetry::{Event, EventKind, NullSink, Stopwatch, TelemetrySink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// Seed-stream tag for graph construction.
 const GRAPH_STREAM: u64 = 0;
@@ -52,6 +63,18 @@ const GRAPH_STREAM: u64 = 0;
 const TRIAL_STREAM: u64 = 1;
 /// Seed-stream tag for resampled per-group graphs.
 const RESAMPLE_STREAM: u64 = 2;
+/// Seed-stream tag for per-block quantile-sketch compaction coins.
+const SKETCH_STREAM: u64 = 3;
+/// Seed-stream tag for per-cell quantile-sketch compaction coins (the
+/// accumulators block sketches merge into).
+const CELL_SKETCH_STREAM: u64 = 4;
+
+/// Trials per *(family, group)* block in shared-graph mode. Shared runs
+/// have no resample plan to set a group width, so the executor chunks
+/// each family's trials into blocks of this many — large enough that
+/// per-block costs (observer banks, channel sends) amortise away, small
+/// enough that huge-trial runs still stream block by block.
+pub(crate) const SHARED_BLOCK_WALKS: usize = 64;
 
 /// Execution options independent of the experiment itself.
 #[derive(Debug, Clone, Copy)]
@@ -94,12 +117,12 @@ pub enum EngineError {
         /// Underlying generator error.
         source: eproc_graphs::GraphError,
     },
-    /// A resampled *(family, group)* block failed inside the worker pool:
-    /// the worker that claimed the block could not generate the group's
-    /// graph sample, or its trial loop panicked (caught at the block
-    /// isolation boundary, leaving the pool unpoisoned). Carries the full
-    /// block context so a failure deep in a long sweep names exactly
-    /// which work unit died and where.
+    /// A *(family, group)* block failed inside the worker pool: the
+    /// worker that claimed the block could not generate the group's
+    /// graph sample (resample mode), or its trial loop panicked (caught
+    /// at the block isolation boundary, leaving the pool unpoisoned).
+    /// Carries the full block context so a failure deep in a long sweep
+    /// names exactly which work unit died and where.
     Block {
         /// Label of the failing family.
         graph: String,
@@ -112,8 +135,8 @@ pub enum EngineError {
     },
 }
 
-/// What killed a single resampled block: the group's graph sample could
-/// not be generated, or the block's trial loop panicked. Panics are
+/// What killed a single block: the group's graph sample could not be
+/// generated (resample mode), or the block's trial loop panicked. Panics are
 /// caught per block (`catch_unwind` in the worker loop), so one bad
 /// block surfaces as an error value instead of tearing down the pool —
 /// and `--retry-blocks` can deterministically re-run it.
@@ -217,28 +240,39 @@ pub struct VarianceSplit {
     pub within_variance: Option<f64>,
 }
 
-/// Folds per-group statistics into a [`VarianceSplit`]. Pure and
-/// order-deterministic: groups are visited in index order.
-fn variance_split(groups: &[OnlineStats]) -> VarianceSplit {
-    let mut across = OnlineStats::new();
-    let mut within_ss = 0.0;
-    let mut within_dof = 0u64;
-    let mut graph_samples = 0usize;
-    for g in groups {
+/// Streaming builder of a [`VarianceSplit`]: feeds per-group statistics
+/// one group at a time (canonical group order), so the split needs no
+/// retained group list. The floating-point operation order is exactly
+/// the old collect-then-fold order — `across` pushes and the within-SS
+/// additions happen once per group, in group order.
+#[derive(Debug, Clone, Default)]
+struct SplitAcc {
+    graph_samples: usize,
+    across: OnlineStats,
+    within_ss: f64,
+    within_dof: u64,
+}
+
+impl SplitAcc {
+    /// Folds one group's statistics (skipping empty groups).
+    fn feed(&mut self, g: &OnlineStats) {
         if g.count() == 0 {
-            continue;
+            return;
         }
-        graph_samples += 1;
-        across.push(g.mean());
+        self.graph_samples += 1;
+        self.across.push(g.mean());
         if g.count() >= 2 {
-            within_ss += g.variance() * (g.count() - 1) as f64;
-            within_dof += g.count() - 1;
+            self.within_ss += g.variance() * (g.count() - 1) as f64;
+            self.within_dof += g.count() - 1;
         }
     }
-    VarianceSplit {
-        graph_samples,
-        across,
-        within_variance: (within_dof > 0).then(|| within_ss / within_dof as f64),
+
+    fn finish(self) -> VarianceSplit {
+        VarianceSplit {
+            graph_samples: self.graph_samples,
+            across: self.across,
+            within_variance: (self.within_dof > 0).then(|| self.within_ss / self.within_dof as f64),
+        }
     }
 }
 
@@ -249,6 +283,8 @@ pub struct MetricSummary {
     pub name: String,
     /// Streaming statistics over trials whose value resolved.
     pub stats: OnlineStats,
+    /// Mergeable quantile sketch over the same resolved values.
+    pub sketch: QuantileSketch,
     /// Variance decomposition under resampling (`None` in shared-graph
     /// mode).
     pub split: Option<VarianceSplit>,
@@ -275,6 +311,9 @@ pub struct CellSummary {
     pub completed: usize,
     /// Streaming statistics over steps-to-target of completed trials.
     pub steps: OnlineStats,
+    /// Mergeable quantile sketch over the same steps-to-target values —
+    /// what the report's `p50`/`p90`/`p99` columns read.
+    pub steps_sketch: QuantileSketch,
     /// Streaming statistics over the per-trial blue-step fraction
     /// (`blue / (blue + red)`); empty for blanket targets.
     pub blue_fraction: OnlineStats,
@@ -330,6 +369,52 @@ pub fn trial_seed(base_seed: u64, graph_index: usize, process_index: usize, tria
 /// comparisons stay paired sample by sample.
 pub fn resample_graph_seed(base_seed: u64, graph_index: usize, group: usize) -> u64 {
     SeedSequence::new(base_seed).derive(&[RESAMPLE_STREAM, graph_index as u64, group as u64])
+}
+
+/// The coin-stream seed for the block-level [`QuantileSketch`] of column
+/// `col` (0 = steps-to-target, `i + 1` = metric column `i`) in block
+/// *(family `gi`, group, process `pi`)*. Keyed by the full grid
+/// coordinate — never wall clock or thread schedule — so every block
+/// sketch is a pure function of `(base_seed, block)` and artifacts stay
+/// byte-identical across thread counts, shards and resume.
+pub(crate) fn block_sketch_seed(
+    base_seed: u64,
+    gi: usize,
+    group: usize,
+    pi: usize,
+    col: usize,
+) -> u64 {
+    SeedSequence::new(base_seed).derive(&[
+        SKETCH_STREAM,
+        gi as u64,
+        group as u64,
+        pi as u64,
+        col as u64,
+    ])
+}
+
+/// The coin-stream seed for the *cell-level* sketch accumulator of
+/// column `col` in cell `(gi, pi)` — the sketch block sketches merge
+/// into, in canonical group order. A separate stream from
+/// [`block_sketch_seed`] so the accumulator never collides with the
+/// group-0 block sketch it first absorbs.
+pub(crate) fn cell_sketch_seed(base_seed: u64, gi: usize, pi: usize, col: usize) -> u64 {
+    SeedSequence::new(base_seed).derive(&[CELL_SKETCH_STREAM, gi as u64, pi as u64, col as u64])
+}
+
+/// Trials per *(family, group)* block: the plan's `walks_per_graph`
+/// under resampling, [`SHARED_BLOCK_WALKS`] on a shared graph.
+pub(crate) fn block_width(spec: &ExperimentSpec) -> usize {
+    match spec.resample {
+        Some(plan) => plan.walks_per_graph.max(1),
+        None => SHARED_BLOCK_WALKS,
+    }
+}
+
+/// Blocks per family — `ceil(trials / block_width)` in both modes (and
+/// exactly [`ResamplePlan::groups`] under resampling).
+pub(crate) fn block_group_count(spec: &ExperimentSpec) -> usize {
+    spec.trials.div_ceil(block_width(spec))
 }
 
 /// Builds every graph in the spec deterministically from `base_seed`.
@@ -401,29 +486,49 @@ fn build_graphs_observed(
 }
 
 /// Streamed aggregates of one process's trials within one *(family,
-/// group)* block — the executor's unit of resample-mode aggregation.
-/// Folding happens inside the worker that ran the block, so no per-trial
-/// vector outlives the block. `pub(crate)` because shard artifacts
-/// ([`crate::shard`]) persist these accumulators verbatim.
+/// group)* block — the executor's unit of aggregation in **both**
+/// modes. Folding happens inside the worker that ran the block, so no
+/// per-trial vector outlives the block. `pub(crate)` because shard
+/// artifacts ([`crate::shard`]) and checkpoints persist these
+/// accumulators (moments *and* sketches) verbatim.
 #[derive(Debug, Clone)]
 pub(crate) struct ProcAgg {
     /// Trials that reached the target within the cap.
     pub(crate) completed: usize,
     /// Steps-to-target of completed trials.
     pub(crate) steps: OnlineStats,
-    /// Per-trial blue fraction (trials with classified steps).
+    /// Quantile sketch over the same steps-to-target values.
+    pub(crate) steps_sketch: QuantileSketch,
+    /// Per-trial blue fraction (trials with classified steps). No
+    /// sketch: the fraction is a bounded diagnostic, not a tail
+    /// statistic the report quantiles.
     pub(crate) blue_fraction: OnlineStats,
     /// One accumulator per metric column (resolved values only).
     pub(crate) metrics: Vec<OnlineStats>,
+    /// One quantile sketch per metric column, same resolved values.
+    pub(crate) metric_sketches: Vec<QuantileSketch>,
 }
 
 impl ProcAgg {
-    pub(crate) fn new(metric_columns: usize) -> ProcAgg {
+    /// An empty aggregate for block *(family `gi`, `group`, process
+    /// `pi`)*, its sketches seeded from the block's grid coordinate (see
+    /// [`block_sketch_seed`]).
+    pub(crate) fn seeded(
+        base_seed: u64,
+        gi: usize,
+        group: usize,
+        pi: usize,
+        metric_columns: usize,
+    ) -> ProcAgg {
         ProcAgg {
             completed: 0,
             steps: OnlineStats::new(),
+            steps_sketch: QuantileSketch::new(block_sketch_seed(base_seed, gi, group, pi, 0)),
             blue_fraction: OnlineStats::new(),
             metrics: vec![OnlineStats::new(); metric_columns],
+            metric_sketches: (0..metric_columns)
+                .map(|ci| QuantileSketch::new(block_sketch_seed(base_seed, gi, group, pi, ci + 1)))
+                .collect(),
         }
     }
 
@@ -431,6 +536,7 @@ impl ProcAgg {
     fn fold(&mut self, outcome: TrialOutcome) {
         if let Some(s) = outcome.steps_to_target {
             self.steps.push(s as f64);
+            self.steps_sketch.push(s as f64);
             self.completed += 1;
         }
         let classified = outcome.blue_steps + outcome.red_steps;
@@ -441,6 +547,11 @@ impl ProcAgg {
         for (acc, value) in self.metrics.iter_mut().zip(&outcome.metric_values) {
             if let Some(v) = value {
                 acc.push(*v);
+            }
+        }
+        for (sk, value) in self.metric_sketches.iter_mut().zip(&outcome.metric_values) {
+            if let Some(v) = value {
+                sk.push(*v);
             }
         }
     }
@@ -461,21 +572,17 @@ pub(crate) struct BlockAgg {
 /// (`begin`) for every trial; rebuilt only when the worker moves to a
 /// different graph.
 struct ObserverBank<'g> {
-    graph_index: usize,
     /// `[target, metric_0, metric_1, …]` — a homogeneous `Vec` so the
     /// whole bank feeds `run_observed` through the slice `ObserverSet`.
     observers: Vec<AnyObserver<'g>>,
 }
 
 impl<'g> ObserverBank<'g> {
-    fn new(spec: &ExperimentSpec, g: &'g Graph, graph_index: usize) -> ObserverBank<'g> {
+    fn new(spec: &ExperimentSpec, g: &'g Graph) -> ObserverBank<'g> {
         let mut observers = Vec::with_capacity(1 + spec.metrics.len());
         observers.push(spec.target.build_observer(g));
         observers.extend(spec.metrics.iter().map(|m| m.build_observer(g)));
-        ObserverBank {
-            graph_index,
-            observers,
-        }
+        ObserverBank { observers }
     }
 }
 
@@ -755,19 +862,15 @@ fn emit_run_started(spec: &ExperimentSpec, opts: &RunOptions, tel: &Telemetry<'_
         return;
     }
     let total = spec.total_jobs();
-    let group_count = spec.resample.map_or(0, |plan| plan.groups(spec.trials));
+    let total_blocks = spec.graphs.len() * block_group_count(spec);
     tel.emit(EventKind::RunStarted {
         name: spec.name.clone(),
         graphs: spec.graphs.len(),
         processes: spec.processes.len(),
         trials: spec.trials,
-        blocks: if spec.resample.is_some() {
-            spec.graphs.len() * group_count
-        } else {
-            total
-        },
+        blocks: total_blocks,
         total_trials: total as u64,
-        workers: opts.threads.min(total.max(1)),
+        workers: opts.threads.min(total_blocks.max(1)),
         resampled: spec.resample.is_some(),
         shard: None,
     });
@@ -825,27 +928,29 @@ pub(crate) struct BlockResult {
     pub(crate) steps: u64,
 }
 
-/// Runs one *(family, group)* resample block: samples the group's graph,
-/// runs all of the block's trials on it (dispatching each process's trial
-/// group through [`select_kernel_path`] — the interleaved lane set when
-/// the group has two or more trials) and streams every trial into
-/// per-process [`ProcAgg`]s. Emits `block_claimed` / `block_completed`
-/// when `tel` is live. Deterministic: the result is a pure function of
-/// `(spec, base_seed, block)` — worker id and telemetry only label
-/// events — which is what lets sharded runs farm blocks out by residue
-/// class and still merge byte-identically.
-pub(crate) fn run_resample_block(
+/// Runs one *(family, group)* block: obtains the block's graph — the
+/// family's prebuilt graph in shared mode, a freshly sampled group graph
+/// under resampling — runs all of the block's trials on it (dispatching
+/// each process's trial group through [`select_kernel_path`] — the
+/// interleaved lane set when the group has two or more trials) and
+/// streams every trial into per-process [`ProcAgg`]s. Emits
+/// `block_claimed` / `block_completed` when `tel` is live.
+/// Deterministic: the result is a pure function of `(spec, base_seed,
+/// block)` — worker id and telemetry only label events — which is what
+/// lets sharded runs farm blocks out by residue class and still merge
+/// byte-identically.
+pub(crate) fn run_block(
     spec: &ExperimentSpec,
     base_seed: u64,
     block: usize,
     worker: usize,
     n_cols: usize,
+    prebuilt: Option<&Graph>,
     tel: &Telemetry<'_>,
 ) -> Result<BlockResult, EngineError> {
-    let plan = spec.resample.expect("resample block requires a plan");
-    let w = plan.walks_per_graph;
+    let w = block_width(spec);
     let trials = spec.trials;
-    let groups = plan.groups(trials);
+    let groups = block_group_count(spec);
     let gi = block / groups;
     let group = block % groups;
     let live = tel.live;
@@ -857,19 +962,26 @@ pub(crate) fn run_resample_block(
             worker,
         });
     }
-    let seed = resample_graph_seed(base_seed, gi, group);
-    let gen = live.then(Stopwatch::start);
-    let (g, attempts) =
-        spec.graphs[gi]
-            .build_counted(seed)
-            .map_err(|source| EngineError::Block {
-                graph: spec.graphs[gi].label(),
-                group,
-                worker,
-                source: BlockError::Graph(source),
-            })?;
-    let gen_ns = gen.map_or(0, |gen| gen.elapsed_ns());
-    let rep = (group == 0).then(|| (gi, g.n(), g.m()));
+    let mut owned: Option<Graph> = None;
+    let (g, attempts, gen_ns): (&Graph, u64, u64) = match prebuilt {
+        Some(g) => (g, 0, 0),
+        None => {
+            let seed = resample_graph_seed(base_seed, gi, group);
+            let gen = live.then(Stopwatch::start);
+            let (g, attempts) =
+                spec.graphs[gi]
+                    .build_counted(seed)
+                    .map_err(|source| EngineError::Block {
+                        graph: spec.graphs[gi].label(),
+                        group,
+                        worker,
+                        source: BlockError::Graph(source),
+                    })?;
+            let gen_ns = gen.map_or(0, |gen| gen.elapsed_ns());
+            (owned.insert(g), attempts as u64, gen_ns)
+        }
+    };
+    let rep = (prebuilt.is_none() && group == 0).then(|| (gi, g.n(), g.m()));
     let lo = group * w;
     let hi = ((group + 1) * w).min(trials);
     let path = select_kernel_path(hi - lo);
@@ -880,10 +992,10 @@ pub(crate) fn run_resample_block(
         KernelPath::Sequential => 1,
         KernelPath::Interleaved { width } => width,
     };
-    let mut banks: Vec<ObserverBank<'_>> = (0..lanes)
-        .map(|_| ObserverBank::new(spec, &g, gi))
+    let mut banks: Vec<ObserverBank<'_>> = (0..lanes).map(|_| ObserverBank::new(spec, g)).collect();
+    let mut procs: Vec<ProcAgg> = (0..spec.processes.len())
+        .map(|pi| ProcAgg::seeded(base_seed, gi, group, pi, n_cols))
         .collect();
-    let mut procs = vec![ProcAgg::new(n_cols); spec.processes.len()];
     let walk = live.then(Stopwatch::start);
     let mut block_trials = 0u64;
     let mut block_steps = 0u64;
@@ -892,7 +1004,7 @@ pub(crate) fn run_resample_block(
             KernelPath::Sequential => {
                 for t in lo..hi {
                     let seed = trial_seed(base_seed, gi, pi, t);
-                    let outcome = run_trial(spec, &g, pi, seed, &mut banks[0]);
+                    let outcome = run_trial(spec, g, pi, seed, &mut banks[0]);
                     block_trials += 1;
                     block_steps += outcome.steps;
                     agg.fold(outcome);
@@ -908,7 +1020,7 @@ pub(crate) fn run_resample_block(
                     let seeds: Vec<u64> = (t..t + chunk)
                         .map(|t| trial_seed(base_seed, gi, pi, t))
                         .collect();
-                    for outcome in run_trials_interleaved(spec, &g, pi, &seeds, &mut banks[..chunk])
+                    for outcome in run_trials_interleaved(spec, g, pi, &seeds, &mut banks[..chunk])
                     {
                         block_trials += 1;
                         block_steps += outcome.steps;
@@ -929,7 +1041,7 @@ pub(crate) fn run_resample_block(
             trials: block_trials,
             steps: block_steps,
             gen_ns,
-            gen_attempts: attempts as u64,
+            gen_attempts: attempts,
             walk_ns: walk.elapsed_ns(),
         });
     }
@@ -953,31 +1065,30 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// [`run_resample_block`] behind a per-block `catch_unwind` isolation
-/// boundary: a panic anywhere in the block — graph sampling, the walk
-/// kernel, an observer — is caught and surfaced as
-/// [`EngineError::Block`] with a [`BlockError::Panic`] source, instead
-/// of unwinding through the worker and poisoning the pool. Every
-/// in-pool block runner (plain runs, sharded runs, recoverable runs)
-/// goes through this wrapper, so one bad block is always a reportable,
-/// retryable error value.
-pub(crate) fn run_resample_block_isolated(
+/// [`run_block`] behind a per-block `catch_unwind` isolation boundary:
+/// a panic anywhere in the block — graph sampling, the walk kernel, an
+/// observer — is caught and surfaced as [`EngineError::Block`] with a
+/// [`BlockError::Panic`] source, instead of unwinding through the
+/// worker and poisoning the pool. Every in-pool block runner (plain
+/// runs, sharded runs, recoverable runs) goes through this wrapper, so
+/// one bad block is always a reportable, retryable error value.
+pub(crate) fn run_block_isolated(
     spec: &ExperimentSpec,
     base_seed: u64,
     block: usize,
     worker: usize,
     n_cols: usize,
+    prebuilt: Option<&Graph>,
     tel: &Telemetry<'_>,
 ) -> Result<BlockResult, EngineError> {
     // AssertUnwindSafe: on Err every captured reference is dropped
     // without further use — the worker reports the error and stops — so
     // no closure state is observed in a broken intermediate state.
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_resample_block(spec, base_seed, block, worker, n_cols, tel)
+        run_block(spec, base_seed, block, worker, n_cols, prebuilt, tel)
     }))
     .unwrap_or_else(|payload| {
-        let plan = spec.resample.expect("resample block requires a plan");
-        let groups = plan.groups(spec.trials);
+        let groups = block_group_count(spec);
         Err(EngineError::Block {
             graph: spec.graphs[block / groups].label(),
             group: block % groups,
@@ -987,11 +1098,11 @@ pub(crate) fn run_resample_block_isolated(
     })
 }
 
-/// The spec-shaped context [`aggregate_resample_cells`] needs — split
-/// from [`ExperimentSpec`] so `eproc merge` can aggregate from shard
-/// headers alone, through the **same** code path (and hence the same
+/// The spec-shaped context cell aggregation needs — split from
+/// [`ExperimentSpec`] so `eproc merge` can aggregate from shard headers
+/// alone, through the **same** code path (and hence the same
 /// floating-point operation order) as an unsharded run.
-pub(crate) struct ResampleCellInputs<'a> {
+pub(crate) struct CellInputs<'a> {
     /// `(label, family_label)` per graph family, in grid order.
     pub(crate) graphs: &'a [(String, String)],
     /// Process labels, in grid order.
@@ -1000,76 +1111,181 @@ pub(crate) struct ResampleCellInputs<'a> {
     pub(crate) metric_columns: &'a [String],
     /// Trials per cell.
     pub(crate) trials: usize,
-    /// Resample groups per family.
+    /// Blocks per family (see [`block_group_count`]).
     pub(crate) group_count: usize,
+    /// The run's base seed — cell sketch accumulators derive their coin
+    /// streams from it (see [`cell_sketch_seed`]).
+    pub(crate) base_seed: u64,
+    /// Whether the blocks are resampled graph groups. Drives the
+    /// variance splits: shared-mode chunks all walk one graph, so an
+    /// across/within decomposition over them would be meaningless.
+    pub(crate) resampled: bool,
 }
 
-/// Merges streamed block aggregates into grid-ordered [`CellSummary`]s —
-/// the resample-mode aggregation tail of [`execute`], factored out so
-/// `eproc merge` reassembles shard artifacts through the identical
-/// Welford merges in the identical canonical *(family, group)* order.
-/// `dims` holds each family's representative `(n, m)`; `blocks` is
+/// One cell's streaming accumulators inside a [`CellFolder`].
+struct CellAcc {
+    completed: usize,
+    steps: OnlineStats,
+    steps_sketch: QuantileSketch,
+    steps_split: SplitAcc,
+    blue_fraction: OnlineStats,
+    metrics: Vec<OnlineStats>,
+    metric_sketches: Vec<QuantileSketch>,
+    metric_splits: Vec<SplitAcc>,
+}
+
+/// The engine's **single** aggregation tail: folds streamed block
+/// aggregates into grid-ordered cell accumulators, one block at a time,
+/// strictly in canonical *(family, group)* order. Both execution modes,
+/// `eproc merge` and `--resume` all feed it the same way, so every
+/// recombination performs the identical Welford merges, sketch merges
+/// and split feeds in the identical order — the whole byte-identity
+/// story reduces to this one type. Memory is `O(cells × columns)`,
+/// independent of both the trial count and the block count.
+pub(crate) struct CellFolder<'a> {
+    inputs: &'a CellInputs<'a>,
+    cells: Vec<CellAcc>,
+    fed: usize,
+}
+
+impl<'a> CellFolder<'a> {
+    /// Empty accumulators for every `(family, process)` cell, sketch
+    /// coin streams seeded from the cell's grid coordinate.
+    pub(crate) fn new(inputs: &'a CellInputs<'a>) -> CellFolder<'a> {
+        let n_cols = inputs.metric_columns.len();
+        let mut cells = Vec::with_capacity(inputs.graphs.len() * inputs.processes.len());
+        for gi in 0..inputs.graphs.len() {
+            for pi in 0..inputs.processes.len() {
+                cells.push(CellAcc {
+                    completed: 0,
+                    steps: OnlineStats::new(),
+                    steps_sketch: QuantileSketch::new(cell_sketch_seed(
+                        inputs.base_seed,
+                        gi,
+                        pi,
+                        0,
+                    )),
+                    steps_split: SplitAcc::default(),
+                    blue_fraction: OnlineStats::new(),
+                    metrics: vec![OnlineStats::new(); n_cols],
+                    metric_sketches: (0..n_cols)
+                        .map(|ci| {
+                            QuantileSketch::new(cell_sketch_seed(inputs.base_seed, gi, pi, ci + 1))
+                        })
+                        .collect(),
+                    metric_splits: vec![SplitAcc::default(); n_cols],
+                });
+            }
+        }
+        CellFolder {
+            inputs,
+            cells,
+            fed: 0,
+        }
+    }
+
+    /// The next canonical block index this folder expects.
+    pub(crate) fn fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Folds the next block. The per-block accumulators double as the
+    /// groups of the variance splits: one Welford merge and one split
+    /// feed per (block, process, column), no per-trial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agg` is not the block the canonical order expects —
+    /// out-of-order folding would silently change sketch coin streams
+    /// and Welford float bits.
+    pub(crate) fn feed(&mut self, agg: &BlockAgg) {
+        assert_eq!(agg.block, self.fed, "blocks must fold in canonical order");
+        let gi = agg.block / self.inputs.group_count;
+        let n_proc = self.inputs.processes.len();
+        for (pi, proc_agg) in agg.procs.iter().enumerate() {
+            let cell = &mut self.cells[gi * n_proc + pi];
+            cell.completed += proc_agg.completed;
+            cell.steps.merge(&proc_agg.steps);
+            cell.steps_sketch.merge(&proc_agg.steps_sketch);
+            cell.blue_fraction.merge(&proc_agg.blue_fraction);
+            for (acc, part) in cell.metrics.iter_mut().zip(&proc_agg.metrics) {
+                acc.merge(part);
+            }
+            for (sk, part) in cell
+                .metric_sketches
+                .iter_mut()
+                .zip(&proc_agg.metric_sketches)
+            {
+                sk.merge(part);
+            }
+            if self.inputs.resampled {
+                cell.steps_split.feed(&proc_agg.steps);
+                for (split, part) in cell.metric_splits.iter_mut().zip(&proc_agg.metrics) {
+                    split.feed(part);
+                }
+            }
+        }
+        self.fed += 1;
+    }
+
+    /// Renders the folded accumulators as grid-ordered [`CellSummary`]s.
+    /// `dims` holds each family's representative `(n, m)`.
+    pub(crate) fn finish(self, dims: &[(usize, usize)]) -> Vec<CellSummary> {
+        let inputs = self.inputs;
+        let mut out = Vec::with_capacity(self.cells.len());
+        let mut accs = self.cells.into_iter();
+        for (gi, (label, family)) in inputs.graphs.iter().enumerate() {
+            let (rep_n, rep_m) = dims[gi];
+            for process in inputs.processes {
+                let acc = accs.next().expect("one accumulator per cell");
+                let metrics = inputs
+                    .metric_columns
+                    .iter()
+                    .zip(acc.metrics)
+                    .zip(acc.metric_sketches)
+                    .zip(acc.metric_splits)
+                    .map(|(((name, stats), sketch), split)| MetricSummary {
+                        name: name.clone(),
+                        stats,
+                        sketch,
+                        split: inputs.resampled.then(|| split.finish()),
+                    })
+                    .collect();
+                out.push(CellSummary {
+                    graph: label.clone(),
+                    family: family.clone(),
+                    n: rep_n,
+                    m: rep_m,
+                    process: process.clone(),
+                    trials: inputs.trials,
+                    completed: acc.completed,
+                    steps: acc.steps,
+                    steps_sketch: acc.steps_sketch,
+                    blue_fraction: acc.blue_fraction,
+                    steps_split: inputs.resampled.then(|| acc.steps_split.finish()),
+                    metrics,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Folds a complete, canonically ordered block slice into grid-ordered
+/// [`CellSummary`]s — the batch convenience over [`CellFolder`] used by
+/// `eproc merge` and the recoverable runner, which retain their blocks
+/// anyway (shard artifacts and checkpoints persist them). `blocks` is
 /// indexed `gi * group_count + group`.
-pub(crate) fn aggregate_resample_cells(
-    inputs: &ResampleCellInputs<'_>,
+pub(crate) fn aggregate_cells(
+    inputs: &CellInputs<'_>,
     dims: &[(usize, usize)],
     blocks: &[BlockAgg],
 ) -> Vec<CellSummary> {
-    let group_count = inputs.group_count;
-    let n_cols = inputs.metric_columns.len();
-    let mut cells = Vec::with_capacity(inputs.graphs.len() * inputs.processes.len());
-    for (gi, (label, family)) in inputs.graphs.iter().enumerate() {
-        let (rep_n, rep_m) = dims[gi];
-        for (pi, process) in inputs.processes.iter().enumerate() {
-            let mut steps = OnlineStats::new();
-            let mut blue_fraction = OnlineStats::new();
-            let mut metrics: Vec<MetricSummary> = inputs
-                .metric_columns
-                .iter()
-                .map(|name| MetricSummary {
-                    name: name.clone(),
-                    stats: OnlineStats::new(),
-                    split: None,
-                })
-                .collect();
-            let mut completed = 0usize;
-            // The per-block accumulators double as the groups of the
-            // variance splits: one Welford merge per group, no per-trial
-            // state.
-            let mut group_steps = Vec::with_capacity(group_count);
-            let mut group_metrics = vec![Vec::with_capacity(group_count); n_cols];
-            for group in 0..group_count {
-                let block = &blocks[gi * group_count + group];
-                let agg = &block.procs[pi];
-                completed += agg.completed;
-                steps.merge(&agg.steps);
-                blue_fraction.merge(&agg.blue_fraction);
-                group_steps.push(agg.steps);
-                for (ci, summary) in metrics.iter_mut().enumerate() {
-                    summary.stats.merge(&agg.metrics[ci]);
-                    group_metrics[ci].push(agg.metrics[ci]);
-                }
-            }
-            let steps_split = Some(variance_split(&group_steps));
-            for (summary, groups) in metrics.iter_mut().zip(&group_metrics) {
-                summary.split = Some(variance_split(groups));
-            }
-            cells.push(CellSummary {
-                graph: label.clone(),
-                family: family.clone(),
-                n: rep_n,
-                m: rep_m,
-                process: process.clone(),
-                trials: inputs.trials,
-                completed,
-                steps,
-                blue_fraction,
-                steps_split,
-                metrics,
-            });
-        }
+    let mut folder = CellFolder::new(inputs);
+    for block in blocks {
+        folder.feed(block);
     }
-    cells
+    folder.finish(dims)
 }
 
 /// Shared core of [`run`] and [`run_on_graphs`]: validates, runs every
@@ -1092,25 +1308,12 @@ fn execute(
     spec.validate()?;
     validate_vertices(spec, prebuilt)?;
 
-    let n_proc = spec.processes.len();
     let trials = spec.trials;
-    let total = spec.total_jobs();
-    let jobs_per_graph = n_proc * trials;
-
-    let next = AtomicUsize::new(0);
-    let workers = opts.threads.min(total.max(1));
     let metric_columns = spec.metric_columns();
     let n_cols = metric_columns.len();
-    let group_count = spec.resample.map_or(0, |plan| plan.groups(trials));
+    let group_count = block_group_count(spec);
     let total_blocks = spec.graphs.len() * group_count;
-    // Shared mode retains one outcome per trial (the legacy layout the
-    // committed goldens pin); resample mode streams into per-block
-    // aggregates instead and never materialises a per-trial vector.
-    let mut outcomes: Vec<Option<TrialOutcome>> = match spec.resample {
-        None => vec![None; total],
-        Some(_) => Vec::new(),
-    };
-    let mut blocks: Vec<Option<BlockAgg>> = vec![None; total_blocks];
+    let workers = opts.threads.min(total_blocks.max(1));
     // Per-family representative dimensions `(n, m)` for the report: the
     // prebuilt graphs in shared mode, harvested from each family's
     // group-0 sample in resample mode.
@@ -1118,237 +1321,145 @@ fn execute(
         Some(graphs) => graphs.iter().map(|g| Some((g.n(), g.m()))).collect(),
         None => vec![None; spec.graphs.len()],
     };
-    struct WorkerOutput {
-        outcomes: Vec<(usize, TrialOutcome)>,
-        blocks: Vec<BlockAgg>,
-        /// `(family, n, m)` of group-0 samples this worker built.
-        rep_dims: Vec<(usize, usize, usize)>,
-        /// Trials this worker ran — kept by the worker (not a sink) so
-        /// the `run_finished` totals never depend on what a sink did.
-        trials_run: u64,
-        /// Walk steps this worker simulated.
-        steps_run: u64,
+
+    let graph_meta: Vec<(String, String)> = spec
+        .graphs
+        .iter()
+        .map(|gs| (gs.label(), gs.family_label()))
+        .collect();
+    let proc_labels: Vec<String> = spec.processes.iter().map(|ps| ps.label()).collect();
+    let inputs = CellInputs {
+        graphs: &graph_meta,
+        processes: &proc_labels,
+        metric_columns: &metric_columns,
+        trials,
+        group_count,
+        base_seed: opts.base_seed,
+        resampled: spec.resample.is_some(),
+    };
+    let mut folder = CellFolder::new(&inputs);
+    // Workers claim canonical block indices from the shared atomic and
+    // stream each completed block straight back over a channel; the main
+    // thread folds arrivals into `folder` the moment the canonical order
+    // allows. A bounded claim window back-pressures the pool so the
+    // out-of-order `pending` buffer (and hence total aggregation state)
+    // stays `O(workers)` blocks — never `O(blocks)`, never `O(trials)`.
+    enum WorkerMsg {
+        Done(Box<BlockResult>),
+        Failed(Box<EngineError>),
     }
-    type WorkerResult = Result<WorkerOutput, EngineError>;
-    let collected: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|worker| {
-                let next = &next;
-                scope.spawn(move || -> WorkerResult {
-                    let mut local: Vec<(usize, TrialOutcome)> = Vec::new();
-                    let mut local_blocks: Vec<BlockAgg> = Vec::new();
-                    let mut rep_dims: Vec<(usize, usize, usize)> = Vec::new();
-                    let mut trials_run = 0u64;
-                    let mut steps_run = 0u64;
-                    // Latch the sink's liveness once per worker: a dead
-                    // sink costs the hot loop nothing beyond this bool.
-                    let live = tel.live;
-                    match spec.resample {
-                        None => {
-                            // Shared-graph mode: one job = one trial.
-                            // Observer scratch is kept across trials; jobs
-                            // are graph-major, so rebuilds are rare.
-                            let graphs = prebuilt.expect("shared mode has prebuilt graphs");
-                            let mut bank: Option<ObserverBank<'_>> = None;
-                            loop {
-                                let job = next.fetch_add(1, Ordering::Relaxed);
-                                if job >= total {
-                                    break;
-                                }
-                                let gi = job / jobs_per_graph;
-                                let rest = job % jobs_per_graph;
-                                let pi = rest / trials;
-                                let t = rest % trials;
-                                let seed = trial_seed(opts.base_seed, gi, pi, t);
-                                let bank = match &mut bank {
-                                    Some(b) if b.graph_index == gi => b,
-                                    slot => slot.insert(ObserverBank::new(spec, &graphs[gi], gi)),
-                                };
-                                let walk = live.then(Stopwatch::start);
-                                let outcome = run_trial(spec, &graphs[gi], pi, seed, bank);
-                                trials_run += 1;
-                                steps_run += outcome.steps;
-                                if let Some(walk) = walk {
-                                    tel.emit(EventKind::BlockCompleted {
-                                        block: job,
-                                        family: spec.graphs[gi].label(),
-                                        group: t,
-                                        process: Some(spec.processes[pi].label()),
-                                        worker,
-                                        trials: 1,
-                                        steps: outcome.steps,
-                                        gen_ns: 0,
-                                        gen_attempts: 0,
-                                        walk_ns: walk.elapsed_ns(),
-                                    });
-                                }
-                                local.push((job, outcome));
-                            }
-                        }
-                        Some(_) => {
-                            // Resample mode: one job = one (family, group)
-                            // block — all processes × the group's trials on
-                            // one freshly sampled graph, generated exactly
-                            // once by whichever worker claims the block.
-                            // Blocks partition the samples, so generation is
-                            // spread across the pool like the walks, with no
-                            // up-front serial build. Each trial is folded
-                            // straight into the block's streaming aggregates
-                            // and dropped — the graph, the observer banks
-                            // and the trials all die with the block (see
-                            // `run_resample_block`, shared with the sharded
-                            // runner).
-                            loop {
-                                let block = next.fetch_add(1, Ordering::Relaxed);
-                                if block >= total_blocks {
-                                    break;
-                                }
-                                let result = run_resample_block_isolated(
-                                    spec,
-                                    opts.base_seed,
-                                    block,
-                                    worker,
-                                    n_cols,
-                                    tel,
-                                )?;
-                                trials_run += result.trials;
-                                steps_run += result.steps;
-                                if let Some(rep) = result.rep {
-                                    rep_dims.push(rep);
-                                }
-                                local_blocks.push(result.agg);
-                            }
-                        }
-                    }
-                    Ok(WorkerOutput {
-                        outcomes: local,
-                        blocks: local_blocks,
-                        rep_dims,
-                        trials_run,
-                        steps_run,
-                    })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let fed_floor = Mutex::new(0usize);
+    let may_run = Condvar::new();
+    let window = (workers * 2).max(8);
+    let (send, recv) = mpsc::channel::<WorkerMsg>();
+
+    let mut pending: BTreeMap<usize, BlockAgg> = BTreeMap::new();
+    let mut first_error: Option<EngineError> = None;
     let mut total_trials_run = 0u64;
     let mut total_steps_run = 0u64;
-    for worker in collected {
-        let output = worker?;
-        total_trials_run += output.trials_run;
-        total_steps_run += output.steps_run;
-        for (job, outcome) in output.outcomes {
-            outcomes[job] = Some(outcome);
-        }
-        for block in output.blocks {
-            let slot = block.block;
-            blocks[slot] = Some(block);
-        }
-        for (gi, n, m) in output.rep_dims {
-            dims[gi] = Some((n, m));
-        }
-    }
-    let agg = tel.live.then(Stopwatch::start);
+    let mut agg_ns = 0u64;
 
-    // Deterministic aggregation: cells in grid order; shared mode folds
-    // trials in index order (the exact push order the committed goldens
-    // pin), resample mode merges the streamed block aggregates in
-    // canonical (family, group) order via `aggregate_resample_cells` —
-    // the same function `eproc merge` reassembles shard artifacts with.
-    let cells = match spec.resample {
-        None => {
-            let mut cells = Vec::with_capacity(spec.graphs.len() * n_proc);
-            for (gi, dim) in dims.iter().enumerate() {
-                let (rep_n, rep_m) = dim.expect("every family ran its group-0 block");
-                for (pi, ps) in spec.processes.iter().enumerate() {
-                    let mut steps = OnlineStats::new();
-                    let mut blue_fraction = OnlineStats::new();
-                    let mut metrics: Vec<MetricSummary> = metric_columns
-                        .iter()
-                        .map(|name| MetricSummary {
-                            name: name.clone(),
-                            stats: OnlineStats::new(),
-                            split: None,
-                        })
-                        .collect();
-                    let mut completed = 0usize;
-                    for t in 0..trials {
-                        let job = gi * jobs_per_graph + pi * trials + t;
-                        let outcome = outcomes[job]
-                            .as_ref()
-                            .expect("every job index was executed");
-                        if let Some(s) = outcome.steps_to_target {
-                            steps.push(s as f64);
-                            completed += 1;
-                        }
-                        let classified = outcome.blue_steps + outcome.red_steps;
-                        if classified > 0 {
-                            blue_fraction.push(outcome.blue_steps as f64 / classified as f64);
-                        }
-                        for (summary, value) in metrics.iter_mut().zip(&outcome.metric_values) {
-                            if let Some(v) = value {
-                                summary.stats.push(*v);
-                            }
-                        }
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let send = send.clone();
+            let next = &next;
+            let stop = &stop;
+            let fed_floor = &fed_floor;
+            let may_run = &may_run;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let block = next.fetch_add(1, Ordering::Relaxed);
+                if block >= total_blocks {
+                    break;
+                }
+                // Back-pressure: claims are handed out in canonical
+                // order, so waiting until the fold floor is within
+                // `window` of this claim cannot deadlock — the floor
+                // block's owner always holds an earlier (unwaited or
+                // already-satisfied) claim.
+                {
+                    let mut fed = fed_floor.lock().expect("fold floor lock");
+                    while block >= *fed + window && !stop.load(Ordering::Relaxed) {
+                        fed = may_run.wait(fed).expect("fold floor lock");
                     }
-                    cells.push(CellSummary {
-                        graph: spec.graphs[gi].label(),
-                        family: spec.graphs[gi].family_label(),
-                        n: rep_n,
-                        m: rep_m,
-                        process: ps.label(),
-                        trials,
-                        completed,
-                        steps,
-                        blue_fraction,
-                        steps_split: None,
-                        metrics,
-                    });
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let graph = prebuilt.map(|graphs| &graphs[block / group_count]);
+                let msg = match run_block_isolated(
+                    spec,
+                    opts.base_seed,
+                    block,
+                    worker,
+                    n_cols,
+                    graph,
+                    tel,
+                ) {
+                    Ok(result) => WorkerMsg::Done(Box::new(result)),
+                    Err(e) => WorkerMsg::Failed(Box::new(e)),
+                };
+                let failed = matches!(msg, WorkerMsg::Failed(_));
+                if send.send(msg).is_err() || failed {
+                    break;
+                }
+            });
+        }
+        drop(send);
+        for msg in recv {
+            match msg {
+                WorkerMsg::Done(result) => {
+                    total_trials_run += result.trials;
+                    total_steps_run += result.steps;
+                    if let Some((gi, n, m)) = result.rep {
+                        dims[gi] = Some((n, m));
+                    }
+                    pending.insert(result.agg.block, result.agg);
+                    let mut advanced = false;
+                    while let Some(agg) = pending.remove(&folder.fed()) {
+                        let fold = tel.live.then(Stopwatch::start);
+                        folder.feed(&agg);
+                        if let Some(fold) = fold {
+                            agg_ns += fold.elapsed_ns();
+                        }
+                        advanced = true;
+                    }
+                    if advanced {
+                        *fed_floor.lock().expect("fold floor lock") = folder.fed();
+                        may_run.notify_all();
+                    }
+                }
+                WorkerMsg::Failed(e) => {
+                    // First failure wins; wake waiting workers so the
+                    // pool drains instead of parking on the window.
+                    if first_error.is_none() {
+                        first_error = Some(*e);
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                    may_run.notify_all();
                 }
             }
-            cells
         }
-        Some(_) => {
-            let graph_meta: Vec<(String, String)> = spec
-                .graphs
-                .iter()
-                .map(|gs| (gs.label(), gs.family_label()))
-                .collect();
-            let proc_labels: Vec<String> = spec.processes.iter().map(|ps| ps.label()).collect();
-            let rep_dims: Vec<(usize, usize)> = dims
-                .iter()
-                .map(|dim| dim.expect("every family ran its group-0 block"))
-                .collect();
-            let block_aggs: Vec<BlockAgg> = blocks
-                .into_iter()
-                .map(|b| b.expect("every block index was executed"))
-                .collect();
-            aggregate_resample_cells(
-                &ResampleCellInputs {
-                    graphs: &graph_meta,
-                    processes: &proc_labels,
-                    metric_columns: &metric_columns,
-                    trials,
-                    group_count,
-                },
-                &rep_dims,
-                &block_aggs,
-            )
-        }
-    };
-    if let Some(agg) = agg {
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    assert_eq!(folder.fed(), total_blocks, "every block was folded");
+
+    let rep_dims: Vec<(usize, usize)> = dims
+        .iter()
+        .map(|dim| dim.expect("every family ran its group-0 block"))
+        .collect();
+    let cells = folder.finish(&rep_dims);
+    if tel.live {
         tel.emit(EventKind::AggregationMerged {
-            blocks: if spec.resample.is_some() {
-                total_blocks
-            } else {
-                total
-            },
+            blocks: total_blocks,
             cells: cells.len(),
-            agg_ns: agg.elapsed_ns(),
+            agg_ns,
         });
         tel.emit(EventKind::RunFinished {
             wall_ns: tel.clock.elapsed_ns(),
@@ -1437,8 +1548,10 @@ mod tests {
         .unwrap();
         let cell = &report.cells[0];
         assert_eq!(cell.steps.mean(), 23.0);
-        assert_eq!(cell.steps.min(), 23.0);
-        assert_eq!(cell.steps.max(), 23.0);
+        assert_eq!(cell.steps.min(), Some(23.0));
+        assert_eq!(cell.steps.max(), Some(23.0));
+        assert_eq!(cell.steps_sketch.count(), 3);
+        assert_eq!(cell.steps_sketch.quantile(0.5), Ok(23.0));
         // The blue walk never takes a red step before covering a cycle.
         assert_eq!(cell.blue_fraction.mean(), 1.0);
     }
@@ -1535,7 +1648,7 @@ mod tests {
             ..tiny_spec()
         };
         let g = spec.graphs[0].build(1).unwrap();
-        let mut bank = ObserverBank::new(&spec, &g, 0);
+        let mut bank = ObserverBank::new(&spec, &g);
         let outcome = run_trial(&spec, &g, 0, 42, &mut bank);
         assert_eq!(outcome.steps_to_target, Some((n - 1) as u64));
         assert_eq!(
@@ -1572,10 +1685,10 @@ mod tests {
             ..tiny_spec()
         };
         let g = spec.graphs[0].build(2).unwrap();
-        let mut reused = ObserverBank::new(&spec, &g, 0);
+        let mut reused = ObserverBank::new(&spec, &g);
         for seed in [7u64, 8, 9] {
             let a = run_trial(&spec, &g, 0, seed, &mut reused);
-            let mut fresh = ObserverBank::new(&spec, &g, 0);
+            let mut fresh = ObserverBank::new(&spec, &g);
             let b = run_trial(&spec, &g, 0, seed, &mut fresh);
             assert_eq!(a, b, "seed {seed}");
         }
@@ -1700,13 +1813,12 @@ mod tests {
                 let expected: Vec<TrialOutcome> = seeds
                     .iter()
                     .map(|&seed| {
-                        let mut bank = ObserverBank::new(&spec, &g, 0);
+                        let mut bank = ObserverBank::new(&spec, &g);
                         run_trial(&spec, &g, pi, seed, &mut bank)
                     })
                     .collect();
-                let mut banks: Vec<ObserverBank<'_>> = (0..width)
-                    .map(|_| ObserverBank::new(&spec, &g, 0))
-                    .collect();
+                let mut banks: Vec<ObserverBank<'_>> =
+                    (0..width).map(|_| ObserverBank::new(&spec, &g)).collect();
                 let got = run_trials_interleaved(&spec, &g, pi, &seeds, &mut banks);
                 assert_eq!(got, expected, "process {pi} width {width}");
             }
@@ -1747,6 +1859,9 @@ mod tests {
             assert_eq!(ca.steps, cb.steps);
             assert_eq!(ca.blue_fraction, cb.blue_fraction);
             assert_eq!(ca.steps_split, cb.steps_split);
+            // The sketches' full state — retained items, levels and coin
+            // stream — is thread-count invariant, not just the answers.
+            assert_eq!(ca.steps_sketch.to_raw(), cb.steps_sketch.to_raw());
         }
     }
 

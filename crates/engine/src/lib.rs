@@ -17,8 +17,9 @@
 //!   derived from [`eproc_stats::SeedSequence`], so aggregate results are
 //!   **bit-identical regardless of thread count**;
 //! * [`report`] — streaming aggregation into [`eproc_stats::OnlineStats`]
-//!   summaries with plain-text table, CSV and JSON emitters, including
-//!   dynamic per-metric columns;
+//!   summaries and mergeable [`eproc_stats::QuantileSketch`]es (p50/p90/p99
+//!   columns by default, `--quantiles` to choose others) with plain-text
+//!   table, CSV and JSON emitters, including dynamic per-metric columns;
 //! * [`builtin`] — named specs reproducing the paper's headline tables
 //!   (`comparison`, `theorem1`, `rules`, `phases`, …), consumed by both
 //!   the `eproc` CLI binary and the thin `table_*` wrappers in
@@ -102,7 +103,7 @@
 //! [`recovery::run_recoverable`] makes resampled runs crash-safe.
 //! Completed *(family, group)* blocks stream to an atomically-written
 //! checkpoint ([`checkpoint::RunCheckpoint`], format `eproc-checkpoint`
-//! v1, the same bit-exact codec as shard artifacts); SIGINT/SIGTERM
+//! v2, the same bit-exact codec as shard artifacts); SIGINT/SIGTERM
 //! (via the `eproc-signal` latch), a caller-owned cancellation flag, or
 //! a `--max-wall` deadline interrupt the run *gracefully* — in-flight
 //! blocks drain, a final checkpoint lands, and the CLI exits with the

@@ -4,24 +4,27 @@
 //! (`--checkpoint` / `--resume`) persist the same two things: the
 //! canonical experiment header that identifies a `(spec, base_seed)`
 //! run, and completed *(family, group)* blocks' streamed [`OnlineStats`]
-//! accumulators. Both must round-trip **bit-exactly** — the `m2` sum of
-//! squares is not recoverable from a rounded variance, and the `±∞`
-//! sentinels of an empty accumulator have no decimal form — so floats
-//! are written as IEEE-754 bit patterns ([`OnlineStats::to_raw`]) and
-//! read back through a strict JSON parser that keeps numbers as raw
+//! and [`QuantileSketch`] accumulators. All of it must round-trip
+//! **bit-exactly** — the `m2` sum of squares is not recoverable from a
+//! rounded variance, the `±∞` sentinels of an empty accumulator have no
+//! decimal form, and a sketch's retained items and coin-stream state
+//! decide every future compaction — so floats are written as IEEE-754
+//! bit patterns ([`OnlineStats::to_raw`], [`QuantileSketch::to_raw`])
+//! and read back through a strict JSON parser that keeps numbers as raw
 //! text (no lossy trip through `f64`).
 //!
 //! This module is that shared substrate: the strict reader
-//! ([`json`]), the accumulator codec ([`stats_to_json`] /
-//! [`stats_from_json`]), the block-list codec, and [`RunHeader`] — the
-//! header both artifact kinds embed, with field-by-field compatibility
-//! checking so "these artifacts come from different runs" errors name
-//! the first disagreeing field.
+//! ([`json`]), the accumulator codecs ([`stats_to_json`] /
+//! [`stats_from_json`], [`sketch_to_json`] / [`sketch_from_json`]), the
+//! block-list codec, and [`RunHeader`] — the header both artifact kinds
+//! embed, with field-by-field compatibility checking so "these
+//! artifacts come from different runs" errors name the first
+//! disagreeing field.
 
 use crate::executor::{BlockAgg, ProcAgg};
 use crate::report::json_escape;
 use crate::spec::{ExperimentSpec, ResamplePlan, Target};
-use eproc_stats::OnlineStats;
+use eproc_stats::{OnlineStats, QuantileSketch, SketchRaw};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -265,6 +268,63 @@ pub(crate) fn stats_from_json(v: &json::Value) -> Result<OnlineStats, PersistErr
     Ok(OnlineStats::from_raw(count, bits))
 }
 
+/// Renders one quantile sketch as its bit-exact raw form:
+/// `[k, count, state, [level0_bits...], [level1_bits...], ...]` with the
+/// retained items as decimal `u64` bit patterns in verbatim stored
+/// order — the state that decides every future compaction, so a merged
+/// or resumed run replays the identical coin stream.
+pub(crate) fn sketch_to_json(sketch: &QuantileSketch) -> String {
+    let raw = sketch.to_raw();
+    let mut out = format!("[{}, {}, {}", raw.k, raw.count, raw.state);
+    for level in &raw.levels {
+        out.push_str(", [");
+        for (i, bits) in level.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{bits}");
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+/// Parses one [`sketch_to_json`] array back into a bit-identical
+/// sketch.
+pub(crate) fn sketch_from_json(v: &json::Value) -> Result<QuantileSketch, PersistError> {
+    let arr = v.as_arr("quantile sketch")?;
+    if arr.len() < 3 {
+        return Err(PersistError::new(
+            "quantile sketch is not a [k, count, state, levels...] array",
+        ));
+    }
+    let k = arr[0].as_u64("sketch k")?;
+    if k < 2 {
+        return Err(PersistError::new(format!(
+            "sketch capacity must be at least 2, got {k}"
+        )));
+    }
+    let count = arr[1].as_u64("sketch count")?;
+    let state = arr[2].as_u64("sketch state")?;
+    let levels = arr[3..]
+        .iter()
+        .map(|level| {
+            level
+                .as_arr("sketch level")?
+                .iter()
+                .map(|bits| bits.as_u64("sketch item bit pattern"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    Ok(QuantileSketch::from_raw(SketchRaw {
+        k,
+        count,
+        state,
+        levels,
+    }))
+}
+
 /// Appends the `"rep_dims"` field: `(family, n, m)` triples of group-0
 /// samples, in canonical (sorted) order.
 pub(crate) fn write_rep_dims(out: &mut String, rep_dims: &[(usize, usize, usize)]) {
@@ -311,9 +371,11 @@ pub(crate) fn write_blocks(out: &mut String, blocks: &[BlockAgg]) {
             out.push_str(if pi == 0 { "\n" } else { ",\n" });
             let _ = write!(
                 out,
-                "      {{\"completed\": {}, \"steps\": {}, \"blue\": {}, \"metrics\": [",
+                "      {{\"completed\": {}, \"steps\": {}, \"steps_sketch\": {}, \"blue\": {}, \
+                 \"metrics\": [",
                 proc.completed,
                 stats_to_json(&proc.steps),
+                sketch_to_json(&proc.steps_sketch),
                 stats_to_json(&proc.blue_fraction)
             );
             for (ci, acc) in proc.metrics.iter().enumerate() {
@@ -321,6 +383,13 @@ pub(crate) fn write_blocks(out: &mut String, blocks: &[BlockAgg]) {
                     out.push_str(", ");
                 }
                 out.push_str(&stats_to_json(acc));
+            }
+            out.push_str("], \"metric_sketches\": [");
+            for (ci, sk) in proc.metric_sketches.iter().enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&sketch_to_json(sk));
             }
             out.push_str("]}");
         }
@@ -344,11 +413,17 @@ pub(crate) fn parse_blocks(root: &json::Obj<'_>) -> Result<Vec<BlockAgg>, Persis
                     Ok(ProcAgg {
                         completed: proc.usize_field("completed")?,
                         steps: stats_from_json(proc.field("steps")?)?,
+                        steps_sketch: sketch_from_json(proc.field("steps_sketch")?)?,
                         blue_fraction: stats_from_json(proc.field("blue")?)?,
                         metrics: proc
                             .arr_field("metrics")?
                             .iter()
                             .map(stats_from_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                        metric_sketches: proc
+                            .arr_field("metric_sketches")?
+                            .iter()
+                            .map(sketch_from_json)
                             .collect::<Result<Vec<_>, _>>()?,
                     })
                 })

@@ -22,8 +22,8 @@
 //! workers' critical path, atomically ([`RunCheckpoint::save`]). A
 //! resumed run seeds its block table from the checkpoint, schedules only
 //! the remainder, and aggregates through the executor's own
-//! `aggregate_resample_cells` — identical floating-point operations in
-//! identical order — so the final report is **byte-identical to an
+//! `aggregate_cells` — identical floating-point operations and sketch
+//! compactions in identical order — so the final report is **byte-identical to an
 //! uninterrupted run at any thread count** (pinned by the `recovery`
 //! proptests and the CI `cmp` smoke).
 //!
@@ -38,9 +38,8 @@
 use crate::checkpoint::{CheckpointError, RunCheckpoint};
 use crate::executor::validate_vertices;
 use crate::executor::{
-    aggregate_resample_cells, panic_message, run_resample_block, run_resample_block_isolated,
-    BlockAgg, BlockError, BlockResult, EngineError, ExperimentReport, ResampleCellInputs,
-    RunOptions, Telemetry,
+    aggregate_cells, panic_message, run_block, run_block_isolated, BlockAgg, BlockError,
+    BlockResult, CellInputs, EngineError, ExperimentReport, RunOptions, Telemetry,
 };
 use crate::fault::{FaultKind, FaultPlan};
 use crate::persist::RunHeader;
@@ -435,13 +434,15 @@ pub fn run_recoverable_with_sink(
         .into_iter()
         .map(|b| b.expect("every block completed"))
         .collect();
-    let cells = aggregate_resample_cells(
-        &ResampleCellInputs {
+    let cells = aggregate_cells(
+        &CellInputs {
             graphs: &header.graphs,
             processes: &header.processes,
             metric_columns: &metric_columns,
             trials,
             group_count,
+            base_seed: opts.base_seed,
+            resampled: true,
         },
         &rep_dims,
         &block_aggs,
@@ -560,7 +561,7 @@ fn run_block_attempt(
     attempt: usize,
 ) -> Result<BlockResult, EngineError> {
     if faults.is_empty() {
-        return run_resample_block_isolated(spec, base_seed, block, worker, n_cols, tel);
+        return run_block_isolated(spec, base_seed, block, worker, n_cols, None, tel);
     }
     let plan = spec.resample.expect("resample block requires a plan");
     let groups = plan.groups(spec.trials);
@@ -583,7 +584,7 @@ fn run_block_attempt(
                     ),
                 }),
             }),
-            None => run_resample_block(spec, base_seed, block, worker, n_cols, tel),
+            None => run_block(spec, base_seed, block, worker, n_cols, None, tel),
         }
     }))
     .unwrap_or_else(|payload| {

@@ -6,8 +6,31 @@
 
 use crate::executor::{ExperimentReport, VarianceSplit};
 use crate::scaling::ScalingReport;
-use eproc_stats::{OnlineStats, TextTable};
+use eproc_stats::{OnlineStats, QuantileSketch, TextTable};
 use std::path::{Path, PathBuf};
+
+/// The quantiles reported when the user does not pass `--quantiles`:
+/// the median and the two upper-tail probes (p90, p99) that summarise
+/// how heavy a cover-time distribution's tail is.
+pub const DEFAULT_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Renders a quantile's column/key label: `0.5` → `p50`, `0.99` → `p99`,
+/// `0.999` → `p99.9`. Four decimal places of the percentage are kept, so
+/// every distinct `--quantiles` value the CLI accepts gets a distinct
+/// label.
+pub fn quantile_label(q: f64) -> String {
+    let pct = format!("{:.4}", q * 100.0);
+    format!("p{}", pct.trim_end_matches('0').trim_end_matches('.'))
+}
+
+/// A sketch's `q`-quantile as a JSON token: `null` for an empty sketch
+/// (no completed trials) or a non-finite estimate.
+fn json_quantile(sketch: &QuantileSketch, q: f64) -> String {
+    match sketch.quantile(q) {
+        Ok(v) => json_num(v),
+        Err(_) => "null".into(),
+    }
+}
 
 /// The single source of truth for the normalised `mean/n` and
 /// `mean/(n ln n)` columns, shared by the text table and the JSON
@@ -27,18 +50,25 @@ fn normalised_means(cell: &crate::executor::CellSummary) -> (Option<f64>, Option
     )
 }
 
+/// [`to_text_table_with`] at the default p50/p90/p99 quantiles.
+pub fn to_text_table(report: &ExperimentReport) -> TextTable {
+    to_text_table_with(report, &DEFAULT_QUANTILES)
+}
+
 /// Renders the aggregate table shown by the CLI and the `table_*` wrappers.
 ///
 /// Columns: graph, n, process, `done/trials`, mean/std/min/max of the
-/// steps-to-target distribution, the normalised `mean/n` and
-/// `mean/(n ln n)` (the paper's two candidate growth laws; dashed out
-/// where degenerate, i.e. `n <= 2`), the mean blue-step
+/// steps-to-target distribution, one sketched quantile column per entry
+/// of `quantiles` (p50/p90/p99 by default; see
+/// [`QuantileSketch`]'s rank-error guarantee), the normalised `mean/n`
+/// and `mean/(n ln n)` (the paper's two candidate growth laws; dashed
+/// out where degenerate, i.e. `n <= 2`), the mean blue-step
 /// fraction — plus one dynamic column (the per-cell mean) for
 /// every metric the spec requested. Under resampling, three more
 /// columns decompose the steps column: `graphs` (distinct samples),
 /// `sd(across)` (std dev of per-graph means) and `sd(within)`
 /// (walk-to-walk std dev on a fixed graph).
-pub fn to_text_table(report: &ExperimentReport) -> TextTable {
+pub fn to_text_table_with(report: &ExperimentReport, quantiles: &[f64]) -> TextTable {
     let resampled = report.resample.is_some();
     let mut headers = vec![
         "graph".to_string(),
@@ -49,10 +79,9 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
         "std".into(),
         "min".into(),
         "max".into(),
-        "mean/n".into(),
-        "mean/(n ln n)".into(),
-        "blue%".into(),
     ];
+    headers.extend(quantiles.iter().map(|&q| quantile_label(q)));
+    headers.extend(["mean/n".to_string(), "mean/(n ln n)".into(), "blue%".into()]);
     if resampled {
         headers.push("graphs".into());
         headers.push("sd(across)".into());
@@ -70,8 +99,8 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
             (
                 format!("{mean:.0}"),
                 format!("{:.1}", cell.steps.std_dev()),
-                format!("{:.0}", cell.steps.min()),
-                format!("{:.0}", cell.steps.max()),
+                format!("{:.0}", cell.steps.min().expect("completed > 0")),
+                format!("{:.0}", cell.steps.max().expect("completed > 0")),
                 raw_over_n.map_or("-".into(), |v| format!("{v:.2}")),
                 raw_over_nlogn.map_or("-".into(), |v| format!("{v:.3}")),
             )
@@ -93,10 +122,13 @@ pub fn to_text_table(report: &ExperimentReport) -> TextTable {
             std,
             min,
             max,
-            over_n,
-            over_nlogn,
-            blue,
         ];
+        row.extend(quantiles.iter().map(|&q| {
+            cell.steps_sketch
+                .quantile(q)
+                .map_or("-".into(), |v| format!("{v:.0}"))
+        }));
+        row.extend([over_n, over_nlogn, blue]);
         if resampled {
             match &cell.steps_split {
                 Some(split) => {
@@ -177,17 +209,30 @@ fn json_split(split: &VarianceSplit, pooled: &OnlineStats) -> String {
 }
 
 /// Serialises the report as deterministic JSON (stable key order, no
-/// timestamps), suitable for artifact diffing across runs.
+/// timestamps), suitable for artifact diffing across runs. Quantiles
+/// default to p50/p90/p99.
 pub fn to_json(report: &ExperimentReport) -> String {
-    to_json_with_scaling(report, None)
+    to_json_with(report, None, &DEFAULT_QUANTILES)
 }
 
-/// Like [`to_json`], but when `scaling` is given the artifact also
-/// carries a `growth_laws` array — one entry per (process × series) with
-/// the sweep points, every candidate model's constants, `R²` and
-/// residual score, and the preferred model. Non-finite statistics
-/// serialise as `null`, never as bare `inf`/`NaN` tokens.
+/// [`to_json_with`] at the default p50/p90/p99 quantiles.
 pub fn to_json_with_scaling(report: &ExperimentReport, scaling: Option<&ScalingReport>) -> String {
+    to_json_with(report, scaling, &DEFAULT_QUANTILES)
+}
+
+/// Like [`to_json`], but with an explicit quantile list (the CLI's
+/// `--quantiles`) and, when `scaling` is given, a `growth_laws` array —
+/// one entry per (process × series) with the sweep points, every
+/// candidate model's constants, `R²` and residual score, and the
+/// preferred model. Each cell carries a `quantiles` object with one
+/// entry per column (`steps` plus each metric), estimated from the
+/// mergeable sketches — `null` where the column is empty. Non-finite
+/// statistics serialise as `null`, never as bare `inf`/`NaN` tokens.
+pub fn to_json_with(
+    report: &ExperimentReport,
+    scaling: Option<&ScalingReport>,
+    quantiles: &[f64],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
@@ -236,11 +281,11 @@ pub fn to_json_with_scaling(report: &ExperimentReport, scaling: Option<&ScalingR
             ));
             out.push_str(&format!(
                 "      \"min_steps\": {},\n",
-                json_num(cell.steps.min())
+                json_num(cell.steps.min().expect("completed > 0"))
             ));
             out.push_str(&format!(
                 "      \"max_steps\": {},\n",
-                json_num(cell.steps.max())
+                json_num(cell.steps.max().expect("completed > 0"))
             ));
             let (over_n, over_nlogn) = normalised_means(cell);
             let emit = |v: Option<f64>| v.map_or("null".to_string(), json_num);
@@ -263,6 +308,34 @@ pub fn to_json_with_scaling(report: &ExperimentReport, scaling: Option<&ScalingR
             "null".into()
         };
         out.push_str(&format!("      \"mean_blue_fraction\": {blue},\n"));
+        let quantile_obj = |sketch: &QuantileSketch| -> String {
+            let mut obj = String::from("{");
+            for (k, &q) in quantiles.iter().enumerate() {
+                if k > 0 {
+                    obj.push_str(", ");
+                }
+                obj.push_str(&format!(
+                    "\"{}\": {}",
+                    quantile_label(q),
+                    json_quantile(sketch, q)
+                ));
+            }
+            obj.push('}');
+            obj
+        };
+        out.push_str("      \"quantiles\": {\n");
+        out.push_str(&format!(
+            "        \"steps\": {}",
+            quantile_obj(&cell.steps_sketch)
+        ));
+        for metric in &cell.metrics {
+            out.push_str(&format!(
+                ",\n        \"{}\": {}",
+                json_escape(&metric.name),
+                quantile_obj(&metric.sketch)
+            ));
+        }
+        out.push_str("\n      },\n");
         if let Some(split) = &cell.steps_split {
             out.push_str("      \"variance_components\": {\n");
             out.push_str(&format!(
@@ -290,8 +363,8 @@ pub fn to_json_with_scaling(report: &ExperimentReport, scaling: Option<&ScalingR
                     metric.stats.count(),
                     json_num(metric.stats.mean()),
                     json_num(metric.stats.std_dev()),
-                    json_num(metric.stats.min()),
-                    json_num(metric.stats.max()),
+                    json_num(metric.stats.min().expect("count > 0")),
+                    json_num(metric.stats.max().expect("count > 0")),
                 ));
             } else {
                 out.push_str("null");
@@ -445,12 +518,7 @@ pub fn default_artifact_dir() -> PathBuf {
 ///
 /// Propagates filesystem errors.
 pub fn save_json(report: &ExperimentReport, path: Option<&Path>) -> std::io::Result<PathBuf> {
-    let path = match path {
-        Some(p) => p.to_path_buf(),
-        None => default_artifact_dir().join(format!("eproc_{}.json", report.name)),
-    };
-    eproc_telemetry::write_atomic(&path, &to_json(report))?;
-    Ok(path)
+    save_json_with(report, None, &DEFAULT_QUANTILES, path)
 }
 
 /// Like [`save_json`], but writes the artifact with its `growth_laws`
@@ -464,11 +532,28 @@ pub fn save_json_with_scaling(
     scaling: &ScalingReport,
     path: Option<&Path>,
 ) -> std::io::Result<PathBuf> {
+    save_json_with(report, Some(scaling), &DEFAULT_QUANTILES, path)
+}
+
+/// The fully general artifact writer behind [`save_json`] and
+/// [`save_json_with_scaling`]: explicit quantile list (the CLI's
+/// `--quantiles`) and optional `growth_laws` section (see
+/// [`to_json_with`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_json_with(
+    report: &ExperimentReport,
+    scaling: Option<&ScalingReport>,
+    quantiles: &[f64],
+    path: Option<&Path>,
+) -> std::io::Result<PathBuf> {
     let path = match path {
         Some(p) => p.to_path_buf(),
         None => default_artifact_dir().join(format!("eproc_{}.json", report.name)),
     };
-    eproc_telemetry::write_atomic(&path, &to_json_with_scaling(report, Some(scaling)))?;
+    eproc_telemetry::write_atomic(&path, &to_json_with(report, scaling, quantiles))?;
     Ok(path)
 }
 

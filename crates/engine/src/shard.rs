@@ -12,7 +12,8 @@
 //! coordination and no overlap.
 //!
 //! The shard artifact ([`ShardReport`]) persists each block's streamed
-//! [`OnlineStats`](eproc_stats::OnlineStats) accumulators **bit-exactly**
+//! [`OnlineStats`](eproc_stats::OnlineStats) accumulators and
+//! [`QuantileSketch`](eproc_stats::QuantileSketch)es **bit-exactly**
 //! (via the crate-internal `persist` codec): the floats are written as IEEE-754 bit
 //! patterns ([`OnlineStats::to_raw`](eproc_stats::OnlineStats::to_raw)),
 //! because the `m2`
@@ -21,15 +22,15 @@
 //! [`merge_shards`] then validates the shards form one complete run
 //! (same header, every residue class present, every block accounted
 //! for), reassembles the blocks in canonical order and hands them to the
-//! executor's own `aggregate_resample_cells` — the identical
-//! floating-point operations in the identical order an unsharded run
-//! performs — so the merged [`ExperimentReport`] serialises
-//! **byte-identically** to running the whole experiment on one machine
-//! (pinned by the `shard_merge` proptests).
+//! executor's own `aggregate_cells` — the identical
+//! floating-point operations (and sketch compactions) in the identical
+//! order an unsharded run performs — so the merged [`ExperimentReport`]
+//! serialises **byte-identically** to running the whole experiment on
+//! one machine (pinned by the `shard_merge` proptests).
 
 use crate::executor::{
-    aggregate_resample_cells, run_resample_block_isolated, validate_vertices, BlockAgg,
-    EngineError, ExperimentReport, ResampleCellInputs, RunOptions, Telemetry,
+    aggregate_cells, run_block_isolated, validate_vertices, BlockAgg, CellInputs, EngineError,
+    ExperimentReport, RunOptions, Telemetry,
 };
 use crate::persist::{
     json, parse_blocks, parse_rep_dims, write_blocks, write_rep_dims, PersistError, RunHeader,
@@ -269,12 +270,13 @@ pub fn run_shard_with_sink(
                         if idx >= owned.len() {
                             break;
                         }
-                        let result = run_resample_block_isolated(
+                        let result = run_block_isolated(
                             spec,
                             opts.base_seed,
                             owned[idx],
                             worker,
                             n_cols,
+                            None,
                             tel,
                         )?;
                         trials_run += result.trials;
@@ -356,8 +358,9 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<ExperimentReport, ShardErr
 /// header (name, target, trials, seed, grids, columns), the residue
 /// classes `0..count` must each appear exactly once, and every canonical
 /// block index must be accounted for. Aggregation then runs through the
-/// executor's own `aggregate_resample_cells`, so the merged cells are
-/// the product of the identical Welford merges in the identical order.
+/// executor's own `aggregate_cells`, so the merged cells are the
+/// product of the identical Welford merges and sketch compactions in
+/// the identical order.
 /// Emits one `merge_completed` event when `sink` is enabled.
 ///
 /// # Errors
@@ -472,13 +475,15 @@ pub fn merge_shards_with_sink(
             })
         })
         .collect::<Result<_, _>>()?;
-    let cells = aggregate_resample_cells(
-        &ResampleCellInputs {
+    let cells = aggregate_cells(
+        &CellInputs {
             graphs: &first.graphs,
             processes: &first.processes,
             metric_columns: &first.metric_columns,
             trials: first.trials,
             group_count: first.group_count,
+            base_seed: first.base_seed,
+            resampled: true,
         },
         &dims,
         &blocks,
@@ -518,7 +523,7 @@ impl ShardReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"format\": \"eproc-shard\",");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(out, "  \"shard_index\": {},", self.shard.index);
         let _ = writeln!(out, "  \"shard_count\": {},", self.shard.count);
         self.header().write_fields(&mut out);
@@ -565,7 +570,7 @@ impl ShardReport {
             )));
         }
         let version = root.u64_field("version")?;
-        if version != 1 {
+        if version != 2 {
             return Err(ShardError::new(format!(
                 "unsupported shard artifact version {version}"
             )));
@@ -743,7 +748,7 @@ mod tests {
         assert!(ShardReport::from_json("{}").is_err());
         assert!(ShardReport::from_json("{\"format\": \"something-else\"}").is_err());
         let err =
-            ShardReport::from_json("{\"format\": \"eproc-shard\", \"version\": 2}").unwrap_err();
+            ShardReport::from_json("{\"format\": \"eproc-shard\", \"version\": 3}").unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }
 }

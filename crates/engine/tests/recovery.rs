@@ -7,13 +7,14 @@
 mod common;
 
 use eproc_engine::checkpoint::RunCheckpoint;
+use eproc_engine::executor::ExperimentReport;
 use eproc_engine::executor::{run, BlockError, EngineError, RunOptions};
 use eproc_engine::fault::FaultPlan;
 use eproc_engine::recovery::{
     run_recoverable, run_recoverable_with_sink, CheckpointPlan, RecoveryError, RecoveryOptions,
     RunOutcome,
 };
-use eproc_engine::report::to_json;
+use eproc_engine::report::{to_json, to_json_with};
 use eproc_engine::spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Target,
 };
@@ -100,15 +101,15 @@ impl TelemetrySink for CancelAfter<'_> {
 
 /// Interrupts a run after `kill_after` blocks (checkpointing every
 /// completion), then resumes from the written checkpoint, and returns
-/// the final artifact JSON. Either phase may also complete outright —
+/// the final report. Either phase may also complete outright —
 /// in-flight blocks drain past the cancellation point by design.
-fn killed_and_resumed_json(
+fn killed_and_resumed(
     spec: &ExperimentSpec,
     seed: u64,
     kill_after: usize,
     threads_a: usize,
     threads_b: usize,
-) -> String {
+) -> ExperimentReport {
     let path = temp_checkpoint("kill");
     let cancel = AtomicBool::new(false);
     let sink = CancelAfter {
@@ -159,7 +160,7 @@ fn killed_and_resumed_json(
         }
     };
     let _ = std::fs::remove_file(&path);
-    to_json(&report)
+    report
 }
 
 proptest! {
@@ -180,8 +181,8 @@ proptest! {
         let threads_b = if threads_draw / 2 == 0 { 1 } else { 4 };
         let spec = spec_for(trials, true);
         let golden = to_json(&run(&spec, &RunOptions { threads: 2, base_seed: seed }).unwrap());
-        let resumed = killed_and_resumed_json(&spec, seed, kill_after, threads_a, threads_b);
-        prop_assert_eq!(&resumed, &golden);
+        let resumed = killed_and_resumed(&spec, seed, kill_after, threads_a, threads_b);
+        prop_assert_eq!(&to_json(&resumed), &golden);
     }
 
     /// Injected faults — a panic and a lost graph, on different blocks —
@@ -208,6 +209,30 @@ proptest! {
         };
         prop_assert_eq!(&to_json(&report), &golden);
     }
+}
+
+/// A killed-and-resumed run carries the same sketch bits as an
+/// uninterrupted one — the checkpoint persists raw sketch state — so any
+/// `--quantiles` selection renders byte-identically, not just the
+/// default p50/p90/p99 that `to_json` prints.
+#[test]
+fn custom_quantile_render_survives_kill_and_resume() {
+    let spec = spec_for(5, true);
+    let seed = 90210;
+    let full = run(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            base_seed: seed,
+        },
+    )
+    .unwrap();
+    let resumed = killed_and_resumed(&spec, seed, 2, 1, 4);
+    let quantiles = [0.25, 0.5, 0.999];
+    assert_eq!(
+        to_json_with(&resumed, None, &quantiles),
+        to_json_with(&full, None, &quantiles)
+    );
 }
 
 #[test]

@@ -10,7 +10,7 @@
 mod common;
 
 use eproc_engine::executor::{run, RunOptions};
-use eproc_engine::report::to_json;
+use eproc_engine::report::{to_json, to_json_with};
 use eproc_engine::shard::{merge_shards, run_shard, ShardReport, ShardSpec};
 use eproc_engine::spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Target,
@@ -99,4 +99,41 @@ proptest! {
         let full = to_json(&run(&spec, &RunOptions { threads: 2, base_seed: seed }).unwrap());
         prop_assert_eq!(&sharded_json(&spec, seed, 1), &full);
     }
+}
+
+/// Any `--quantiles` selection renders byte-identically from the merged
+/// report and the unsharded one: the shard artifacts carry the sketches'
+/// raw bits, and the canonical merge fold reconstructs the exact sketch
+/// state an uninterrupted run would hold — not just the default
+/// p50/p90/p99 columns that `to_json` happens to print.
+#[test]
+fn custom_quantile_render_is_byte_identical_after_merge() {
+    let spec = spec_for(5, 2, true);
+    let seed = 4711;
+    let full = run(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            base_seed: seed,
+        },
+    )
+    .unwrap();
+    let k = 3;
+    let shards: Vec<ShardReport> = (0..k)
+        .map(|i| {
+            let opts = RunOptions {
+                threads: (i % 3) + 1,
+                base_seed: seed,
+            };
+            let shard = run_shard(&spec, &opts, ShardSpec { index: i, count: k })
+                .expect("shard run succeeds");
+            ShardReport::from_json(&shard.to_json()).expect("shard artifact round-trips")
+        })
+        .collect();
+    let merged = merge_shards(&shards).expect("complete shard set merges");
+    let quantiles = [0.25, 0.5, 0.999];
+    assert_eq!(
+        to_json_with(&merged, None, &quantiles),
+        to_json_with(&full, None, &quantiles)
+    );
 }

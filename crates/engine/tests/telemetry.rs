@@ -153,16 +153,17 @@ fn event_stream_is_schema_complete_and_counts_conserve() {
             {
                 trials_sum += trials;
                 steps_sum += steps;
+                // Blocks span every process in both modes.
+                assert!(process.is_none());
                 if resample.is_some() {
-                    // Resample blocks span every process and generate
-                    // their own graph.
-                    assert!(process.is_none());
+                    // Resample blocks generate their own graph.
                     assert!(*gen_attempts >= 1);
                 } else {
-                    // Shared-mode pseudo-blocks are single trials on a
-                    // prebuilt graph.
-                    assert_eq!(*trials, 1);
-                    assert!(process.is_some());
+                    // Shared-mode blocks run on a prebuilt graph: this
+                    // spec's trial count fits one group, so each family
+                    // is a single block covering all (trial × process)
+                    // walks.
+                    assert_eq!(*trials, (spec.trials * spec.processes.len()) as u64);
                     assert_eq!(*gen_ns, 0);
                     assert_eq!(*gen_attempts, 0);
                 }
@@ -180,14 +181,14 @@ fn event_stream_is_schema_complete_and_counts_conserve() {
         assert_eq!(trials_sum, *finished_trials);
         assert_eq!(steps_sum, *total_steps);
 
-        // Shared mode builds graphs up front; resample mode builds them
-        // inside blocks and announces each claim.
+        // Both modes announce every block claim through the one streamed
+        // path; shared mode still builds its graphs up front, resample
+        // mode builds them inside blocks.
+        assert_eq!(count("block_claimed"), *blocks);
         if resample.is_some() {
             assert_eq!(count("graph_built"), 0);
-            assert_eq!(count("block_claimed"), *blocks);
         } else {
             assert_eq!(count("graph_built"), spec.graphs.len());
-            assert_eq!(count("block_claimed"), 0);
         }
 
         // With Target::VertexCover every trial's step count is its

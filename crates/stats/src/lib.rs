@@ -7,6 +7,8 @@
 //! * [`scaling`] — competing growth-model fits (`c·m`, `a+b·m`,
 //!   `c·n ln n`) with residual-based model selection, the statistical
 //!   core of the `eproc scale` size-sweep subsystem;
+//! * [`sketch`] — deterministic mergeable quantile sketches (tail
+//!   statistics without per-trial buffering);
 //! * [`table`] — plain-text/CSV table rendering for the experiment
 //!   binaries;
 //! * [`seeds`] — SplitMix64 seed derivation so every table cell is
@@ -20,6 +22,7 @@ pub mod online;
 pub mod regression;
 pub mod scaling;
 pub mod seeds;
+pub mod sketch;
 pub mod summary;
 pub mod table;
 
@@ -31,5 +34,6 @@ pub use regression::{
 };
 pub use scaling::{fit_growth_models, GrowthModel, GrowthSelection, ModelFit, ScalingPoint};
 pub use seeds::SeedSequence;
-pub use summary::Summary;
+pub use sketch::{QuantileSketch, SketchRaw};
+pub use summary::{EmptySample, Summary};
 pub use table::TextTable;

@@ -78,14 +78,19 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
-    /// Smallest observation (`+∞` when empty).
-    pub fn min(&self) -> f64 {
-        self.min
+    /// Smallest observation, `None` when empty.
+    ///
+    /// The internal sentinel of an empty accumulator is `+∞` — returning
+    /// `Option` here keeps that non-finite value from ever leaking into
+    /// strict-JSON artifacts through a forgotten emptiness check.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation (`-∞` when empty).
-    pub fn max(&self) -> f64 {
-        self.max
+    /// Largest observation, `None` when empty (see
+    /// [`min`](OnlineStats::min)).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// Snapshots the raw accumulator state as `(count, [mean, m2, min,
@@ -155,8 +160,8 @@ mod tests {
         let s = crate::Summary::from_slice(&data);
         assert!((acc.mean() - s.mean).abs() < 1e-12);
         assert!((acc.variance() - s.variance).abs() < 1e-12);
-        assert_eq!(acc.min(), s.min);
-        assert_eq!(acc.max(), s.max);
+        assert_eq!(acc.min(), Some(s.min));
+        assert_eq!(acc.max(), Some(s.max));
     }
 
     #[test]
@@ -165,6 +170,8 @@ mod tests {
         assert_eq!(acc.count(), 0);
         assert_eq!(acc.mean(), 0.0);
         assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
     }
 
     #[test]
@@ -199,12 +206,15 @@ mod tests {
         assert_eq!(back, acc);
         assert_eq!(back.mean().to_bits(), acc.mean().to_bits());
         assert_eq!(back.variance().to_bits(), acc.variance().to_bits());
-        // The empty accumulator's ±∞ sentinels survive too.
+        // The empty accumulator's ±∞ sentinels survive too (as raw bits;
+        // the accessors hide them behind `None`).
         let (count, bits) = OnlineStats::new().to_raw();
         let empty = OnlineStats::from_raw(count, bits);
         assert_eq!(empty, OnlineStats::new());
-        assert_eq!(empty.min(), f64::INFINITY);
-        assert_eq!(empty.max(), f64::NEG_INFINITY);
+        assert_eq!(bits[2], f64::INFINITY.to_bits());
+        assert_eq!(bits[3], f64::NEG_INFINITY.to_bits());
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Mergeable streaming quantile sketches.
+//!
+//! [`QuantileSketch`] is a deterministic MRL/KLL-style sketch: items are
+//! buffered in levels of capacity `k`, and a full level is *compacted* —
+//! sorted, halved by keeping every other item from a coin-flip offset,
+//! survivors promoted one level up with doubled weight. Rank error after
+//! `H` levels of compaction is at most `H·n/k` (each level contributes at
+//! most `n/k`: a compaction of weight-`2^h` items perturbs any rank by at
+//! most `2^h`, and level `h` compacts at most `n/(2^h·k)` times), so with
+//! the default `k = 200` a million-item sketch answers quantiles to
+//! roughly ±0.01·n ranks while storing `O(k·log(n/k))` items — the memory
+//! no longer grows with the trial count.
+//!
+//! # Determinism
+//!
+//! Every compaction coin comes from a private SplitMix64 stream seeded at
+//! construction — never from wall clock, thread identity, or schedule.
+//! Two sketches fed the same items in the same order from the same seed
+//! are bit-identical, including their serialised
+//! [`to_raw`](QuantileSketch::to_raw) state; the engine derives each
+//! sketch's seed from the run's base seed keyed by *(family, group,
+//! process, column)*, so artifacts stay byte-identical across thread
+//! counts, `--shard`/merge, and checkpoint/`--resume`. Merging is
+//! deterministic under a *canonical merge order*: always left-fold block
+//! sketches into one accumulator in canonical block order (the engine's
+//! aggregation does exactly this), because the accumulator's coin stream
+//! advances with each compaction.
+
+use crate::summary::EmptySample;
+
+/// Default compactor capacity: rank error ≈ `levels/200` of `n`, a few
+/// hundred retained items per sketch.
+pub const DEFAULT_K: usize = 200;
+
+/// The raw, bit-exact state of a [`QuantileSketch`]: floats as IEEE-754
+/// bit patterns in verbatim stored order. This is the serialisation
+/// shard artifacts and checkpoints persist — round-tripping the *values*
+/// instead would lose the compaction state and break byte-identical
+/// merges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchRaw {
+    /// Compactor capacity.
+    pub k: u64,
+    /// Items pushed (total weight of the sketch).
+    pub count: u64,
+    /// The SplitMix64 coin-stream state.
+    pub state: u64,
+    /// Per-level retained items (level `h` items carry weight `2^h`),
+    /// each as `f64::to_bits`, in stored order.
+    pub levels: Vec<Vec<u64>>,
+}
+
+/// A deterministic mergeable quantile sketch (see the [module
+/// docs](crate::sketch)).
+///
+/// # Example
+///
+/// ```
+/// use eproc_stats::QuantileSketch;
+///
+/// let mut sk = QuantileSketch::new(42);
+/// for x in 0..1000 {
+///     sk.push(x as f64);
+/// }
+/// let p50 = sk.quantile(0.5).unwrap();
+/// assert!((p50 - 499.5).abs() < 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    k: usize,
+    count: u64,
+    state: u64,
+    levels: Vec<Vec<f64>>,
+}
+
+/// Advances a SplitMix64 state one step (the coin stream).
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch with the default capacity
+    /// ([`DEFAULT_K`]) and the given coin-stream seed.
+    pub fn new(seed: u64) -> QuantileSketch {
+        QuantileSketch::with_k(DEFAULT_K, seed)
+    }
+
+    /// Creates an empty sketch with compactor capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (a compaction must be able to halve a buffer).
+    pub fn with_k(k: usize, seed: u64) -> QuantileSketch {
+        assert!(k >= 2, "sketch capacity must be at least 2, got {k}");
+        QuantileSketch {
+            k,
+            count: 0,
+            state: seed,
+            levels: vec![Vec::new()],
+        }
+    }
+
+    /// Compactor capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Items pushed (the sketch's total weight).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no items have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Items currently stored across all levels — the sketch's actual
+    /// memory footprint, `O(k·log(n/k))` rather than `O(n)`.
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Number of levels (1 until the first compaction).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot sketch NaN");
+        self.count += 1;
+        self.levels[0].push(x);
+        self.restore_capacity();
+    }
+
+    /// Merges another sketch into this one.
+    ///
+    /// The other sketch's levels are appended level-by-level and overfull
+    /// levels recompacted with *this* sketch's coin stream. Merging is
+    /// deterministic only under a canonical order: fold the parts into
+    /// one accumulator, always in the same order (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge sketches of different capacity"
+        );
+        if other.count == 0 {
+            return;
+        }
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (h, level) in other.levels.iter().enumerate() {
+            self.levels[h].extend_from_slice(level);
+        }
+        self.count += other.count;
+        self.restore_capacity();
+    }
+
+    /// Compacts every level that reached capacity, bottom-up.
+    fn restore_capacity(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            while self.levels[h].len() >= self.k {
+                self.compact_level(h);
+            }
+            h += 1;
+        }
+    }
+
+    /// One compaction of level `h`: sort, keep the smallest item in
+    /// place when the buffer is odd (its weight is unchanged, so no rank
+    /// is biased), promote every other of the rest — starting from a
+    /// coin-flip offset — to level `h + 1`.
+    fn compact_level(&mut self, h: usize) {
+        if self.levels.len() <= h + 1 {
+            self.levels.push(Vec::new());
+        }
+        let mut buf = std::mem::take(&mut self.levels[h]);
+        buf.sort_by(f64::total_cmp);
+        let mut start = 0;
+        if buf.len() % 2 == 1 {
+            self.levels[h].push(buf[0]);
+            start = 1;
+        }
+        let offset = (splitmix_next(&mut self.state) & 1) as usize;
+        let mut i = start + offset;
+        while i < buf.len() {
+            self.levels[h + 1].push(buf[i]);
+            i += 2;
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation over the
+    /// weighted retained items. On a sketch that has never compacted
+    /// (`n < k`) this is *exactly*
+    /// [`summary::quantile`](crate::summary::quantile) of the pushed
+    /// sample; after compaction the answer's rank error is bounded by
+    /// `depth·n/k`.
+    ///
+    /// # Errors
+    ///
+    /// [`EmptySample`] if nothing has been pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is NaN or outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64, EmptySample> {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+        if self.count == 0 {
+            return Err(EmptySample);
+        }
+        let mut items: Vec<(f64, u64)> = Vec::with_capacity(self.retained());
+        for (h, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            items.extend(level.iter().map(|&v| (v, w)));
+        }
+        items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        debug_assert_eq!(items.iter().map(|&(_, w)| w).sum::<u64>(), self.count);
+        let pos = q * (self.count - 1) as f64;
+        let lo = pos.floor();
+        let lo_v = value_at_rank(&items, lo as u64);
+        if pos == lo {
+            return Ok(lo_v);
+        }
+        let hi_v = value_at_rank(&items, pos.ceil() as u64);
+        let frac = pos - lo;
+        Ok(lo_v * (1.0 - frac) + hi_v * frac)
+    }
+
+    /// Snapshots the full sketch state, bit for bit (see [`SketchRaw`]).
+    pub fn to_raw(&self) -> SketchRaw {
+        SketchRaw {
+            k: self.k as u64,
+            count: self.count,
+            state: self.state,
+            levels: self
+                .levels
+                .iter()
+                .map(|level| level.iter().map(|x| x.to_bits()).collect())
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a sketch from a [`to_raw`](QuantileSketch::to_raw)
+    /// snapshot, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw capacity is below 2.
+    pub fn from_raw(raw: SketchRaw) -> QuantileSketch {
+        assert!(raw.k >= 2, "sketch capacity must be at least 2");
+        let mut levels: Vec<Vec<f64>> = raw
+            .levels
+            .iter()
+            .map(|level| level.iter().map(|&bits| f64::from_bits(bits)).collect())
+            .collect();
+        if levels.is_empty() {
+            levels.push(Vec::new());
+        }
+        QuantileSketch {
+            k: raw.k as usize,
+            count: raw.count,
+            state: raw.state,
+            levels,
+        }
+    }
+}
+
+/// The value of the weighted item covering `rank` (item `i` covers the
+/// ranks `[Σ w_{<i}, Σ w_{<i} + w_i)`).
+fn value_at_rank(items: &[(f64, u64)], rank: u64) -> f64 {
+    let mut cum = 0u64;
+    for &(v, w) in items {
+        cum += w;
+        if rank < cum {
+            return v;
+        }
+    }
+    items.last().expect("nonempty by construction").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary;
+
+    #[test]
+    fn uncompacted_matches_exact_quantiles() {
+        let data = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0];
+        let mut sk = QuantileSketch::new(1);
+        for &x in &data {
+            sk.push(x);
+        }
+        assert_eq!(sk.depth(), 1, "no compaction below k items");
+        for q in [0.0, 0.1, 0.25, 0.5, 0.77, 1.0] {
+            assert_eq!(
+                sk.quantile(q).unwrap(),
+                summary::quantile(&data, q).unwrap(),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sketch_errors() {
+        let sk = QuantileSketch::new(0);
+        assert!(sk.is_empty());
+        assert_eq!(sk.quantile(0.5), Err(EmptySample));
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in [0,1]")]
+    fn out_of_range_q_panics() {
+        let mut sk = QuantileSketch::new(0);
+        sk.push(1.0);
+        let _ = sk.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        QuantileSketch::new(0).push(f64::NAN);
+    }
+
+    #[test]
+    fn compacted_sketch_stays_within_the_rank_error_bound() {
+        let n = 2000u64;
+        let mut sk = QuantileSketch::with_k(16, 99);
+        for i in 0..n {
+            // A fixed permutation-ish order so compaction really mixes.
+            sk.push(((i * 7919) % n) as f64);
+        }
+        assert!(sk.depth() > 1, "this test must exercise compaction");
+        assert!(
+            sk.retained() < n as usize / 4,
+            "sketch kept {} of {} items",
+            sk.retained(),
+            n
+        );
+        // Values are 0..n, so value == rank: the answer's distance from
+        // the true quantile *is* its rank error.
+        let bound = (sk.depth() as f64) * (n as f64) / 16.0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let est = sk.quantile(q).unwrap();
+            let exact = q * (n - 1) as f64;
+            assert!(
+                (est - exact).abs() <= bound,
+                "q={q}: |{est} - {exact}| > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_and_order_give_identical_state() {
+        let feed = |seed| {
+            let mut sk = QuantileSketch::with_k(8, seed);
+            for i in 0..500 {
+                sk.push((i % 37) as f64);
+            }
+            sk
+        };
+        assert_eq!(feed(7).to_raw(), feed(7).to_raw());
+        // A different coin stream almost surely retains different items.
+        assert_ne!(feed(7).to_raw(), feed(8).to_raw());
+    }
+
+    #[test]
+    fn merge_matches_sequential_weight_and_bounds() {
+        let mut whole = QuantileSketch::with_k(8, 1);
+        let mut left = QuantileSketch::with_k(8, 2);
+        let mut right = QuantileSketch::with_k(8, 3);
+        for i in 0..600 {
+            whole.push(i as f64);
+            if i < 300 {
+                left.push(i as f64);
+            } else {
+                right.push(i as f64);
+            }
+        }
+        let mut acc = QuantileSketch::with_k(8, 1);
+        acc.merge(&left);
+        acc.merge(&right);
+        assert_eq!(acc.count(), 600);
+        let bound = (acc.depth() as f64) * 600.0 / 8.0;
+        for q in [0.1, 0.5, 0.9] {
+            let est = acc.quantile(q).unwrap();
+            let exact = q * 599.0;
+            assert!((est - exact).abs() <= bound, "q={q}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut sk = QuantileSketch::new(5);
+        for i in 0..10 {
+            sk.push(i as f64);
+        }
+        let before = sk.to_raw();
+        sk.merge(&QuantileSketch::new(77));
+        assert_eq!(sk.to_raw(), before);
+    }
+
+    #[test]
+    fn raw_round_trip_is_bit_exact() {
+        let mut sk = QuantileSketch::with_k(8, 31);
+        for i in 0..200 {
+            sk.push((i as f64) * 0.1 - 3.0);
+        }
+        let raw = sk.to_raw();
+        let back = QuantileSketch::from_raw(raw.clone());
+        assert_eq!(back, sk);
+        assert_eq!(back.to_raw(), raw);
+        assert_eq!(
+            back.quantile(0.9).unwrap().to_bits(),
+            sk.quantile(0.9).unwrap().to_bits()
+        );
+        // An empty sketch survives too.
+        let empty = QuantileSketch::new(4);
+        assert_eq!(QuantileSketch::from_raw(empty.to_raw()), empty);
+    }
+}

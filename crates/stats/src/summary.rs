@@ -1,5 +1,20 @@
 //! Descriptive statistics for batches of measurements.
 
+use std::fmt;
+
+/// An order statistic was requested of an empty sample (or an empty
+/// [`QuantileSketch`](crate::QuantileSketch)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptySample;
+
+impl fmt::Display for EmptySample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot take a quantile of an empty sample")
+    }
+}
+
+impl std::error::Error for EmptySample {}
+
 /// Descriptive statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -37,11 +52,6 @@ impl Summary {
         };
         let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-        };
         Summary {
             n,
             mean,
@@ -49,7 +59,7 @@ impl Summary {
             std_dev: variance.sqrt(),
             min: sorted[0],
             max: sorted[n - 1],
-            median,
+            median: interpolate_sorted(&sorted, 0.5),
         }
     }
 
@@ -78,20 +88,12 @@ impl Summary {
     }
 }
 
-/// The `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation of order
-/// statistics.
-///
-/// # Panics
-///
-/// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
-pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!(
-        !data.is_empty(),
-        "cannot take a quantile of an empty sample"
-    );
-    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+/// Linear interpolation of order statistics over an already-sorted
+/// nonempty slice: position `q·(n-1)`, interpolated between the
+/// bracketing items. This is the one interpolation rule shared by
+/// [`quantile`], `Summary::median` (`q = 0.5`) and the weighted variant
+/// in [`crate::sketch`].
+fn interpolate_sorted(sorted: &[f64], q: f64) -> f64 {
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -101,6 +103,26 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation of order
+/// statistics.
+///
+/// # Errors
+///
+/// [`EmptySample`] if `data` is empty.
+///
+/// # Panics
+///
+/// Panics if `data` contains NaN or `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, EmptySample> {
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    if data.is_empty() {
+        return Err(EmptySample);
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Ok(interpolate_sorted(&sorted, q))
 }
 
 #[cfg(test)]
@@ -122,6 +144,19 @@ mod tests {
     fn even_sample_median() {
         let s = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]);
         assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_the_half_quantile() {
+        for data in [
+            vec![7.0],
+            vec![4.0, 1.0, 3.0, 2.0],
+            vec![9.0, 2.0, 5.0, 1.0, 8.0],
+            vec![1.5, 1.5, 2.5, 100.0, -3.0, 0.0],
+        ] {
+            let s = Summary::from_slice(&data);
+            assert_eq!(s.median, quantile(&data, 0.5).unwrap());
+        }
     }
 
     #[test]
@@ -150,9 +185,15 @@ mod tests {
     #[test]
     fn quantiles() {
         let data = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile(&data, 0.0), 1.0);
-        assert_eq!(quantile(&data, 1.0), 4.0);
-        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&data, 0.0), Ok(1.0));
+        assert_eq!(quantile(&data, 1.0), Ok(4.0));
+        assert!((quantile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_quantile_is_an_error_not_a_panic() {
+        assert_eq!(quantile(&[], 0.5), Err(EmptySample));
+        assert!(EmptySample.to_string().contains("empty"));
     }
 
     #[test]
