@@ -1,19 +1,28 @@
-//! The unified `eproc` CLI: run, list and compare ensemble experiments.
+//! The unified `eproc` CLI: run, list, compare and cache ensemble
+//! experiments.
 //!
 //! ```text
 //! eproc run <spec> [--scale quick|paper] [--seed N] [--threads N]
 //!                  [--trials N] [--metrics M[,M...]] [--resample [W]]
 //!                  [--shard I/K] [--json PATH] [--csv PATH]
-//!                  [--quantiles Q[,Q...]]
+//!                  [--quantiles Q[,Q...]] [--cache DIR]
 //!                  [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
 //!                  [--max-wall SECS] [--retry-blocks N] [--inject-faults SPEC]
 //! eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]
-//! eproc list
+//! eproc list [--canonical]
 //! eproc compare --graph G [--graph G ...] --process P[,P...]
 //!               [--trials N] [--target T] [--metrics M[,M...]]
-//!               [--start V] [--cap-nlogn F] [--resample [W]]
-//!               [--seed N] [--threads N] [--json PATH]
+//!               [--start V] [--cap C] [--resample [W]]
+//!               [--seed N] [--threads N] [--json PATH] [--cache DIR]
+//! eproc cache ls|gc|path [<digest-prefix>] [--cache DIR] [--max-bytes N]
 //! ```
+//!
+//! Every subcommand parses its arguments against one declarative flag
+//! table ([`eproc_engine::cli`]): each flag is declared once, each
+//! subcommand names the subset it honours, and any other known flag is
+//! rejected by name ("flag `--shard` does not apply to `merge`").
+//! Usage and flag errors exit 2 (`EX_USAGE`), runtime errors exit 1,
+//! and a gracefully interrupted resumable run exits 75 (`EX_TEMPFAIL`).
 //!
 //! `--metrics` attaches extra observers (`cover`, `blanket:<delta>`,
 //! `phases`, `bluecensus`, `hitting[:v]`) to the same walk as the
@@ -37,6 +46,17 @@
 //! report the unsharded run would have produced, byte-identical at any
 //! thread count.
 //!
+//! Caching: `--cache DIR` (or the `EPROC_CACHE` environment variable)
+//! consults a content-addressed artifact store before executing. The
+//! spec is canonicalized ([`ExperimentSpec::canonicalize`]) and keyed
+//! by its [`SpecDigest`] — canonical spec line + seed + quantiles +
+//! artifact kind + format version — so every spelling of the same
+//! experiment shares one entry. A hit serves the stored artifact
+//! byte-identical to the run that populated it; a miss runs the
+//! canonical spec and stores the artifact atomically. `eproc list
+//! --canonical` prints each builtin's canonical line and digest;
+//! `eproc cache ls|gc|path` inspects and prunes the store.
+//!
 //! Observability: `--progress` renders a live status line to stderr,
 //! `--telemetry PATH` writes a JSONL event log, and either flag also
 //! writes a `<artifact>.telemetry.json` sidecar with the wall-time
@@ -52,13 +72,18 @@
 //! `EPROC_FAULTS`) arms the deterministic fault harness for testing.
 
 use eproc_engine::builtin;
+use eproc_engine::cache::{CacheStore, CACHE_ENV};
 use eproc_engine::checkpoint::RunCheckpoint;
+use eproc_engine::cli::{
+    expect_count, expect_positive_f64, expect_u64, parse_args, Arity, FlagDef, Parsed, UsageError,
+};
+use eproc_engine::digest::{spec_digest, ArtifactKind, SpecDigest};
 use eproc_engine::executor::{run_with_sink, RunOptions};
 use eproc_engine::fault::FaultPlan;
 use eproc_engine::recovery::{
     run_recoverable_with_sink, CheckpointPlan, RecoveryOptions, RunOutcome,
 };
-use eproc_engine::report::{save_json_with, scaling_table, to_text_table_with, DEFAULT_QUANTILES};
+use eproc_engine::report::{scaling_table, to_json_with, to_text_table_with, DEFAULT_QUANTILES};
 use eproc_engine::scaling::analyze;
 use eproc_engine::shard::{merge_shards_with_sink, run_shard_with_sink, ShardReport, ShardSpec};
 use eproc_engine::spec::{
@@ -66,11 +91,14 @@ use eproc_engine::spec::{
     Target,
 };
 use eproc_telemetry::{JsonlSink, ProgressSink, SummarySink, Tee, TelemetrySink};
-use std::iter::Peekable;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Exit code for usage and flag errors (BSD `EX_USAGE`). Every parse
+/// failure lands here — never 1, which is reserved for runtime errors.
+const EXIT_USAGE: i32 = 2;
 
 /// Exit code for a gracefully interrupted, resumable run (BSD
 /// `EX_TEMPFAIL`): distinct from 1 (error) so scripts can tell "resume
@@ -105,19 +133,23 @@ fn usage(err: &str) -> ! {
          \x20                  [--trials N] [--metrics M[,M...]] [--resample [W]]\n\
          \x20                  [--shard I/K] [--json PATH] [--csv PATH] [--progress]\n\
          \x20                  [--telemetry PATH] [--quiet] [--quantiles Q[,Q...]]\n\
+         \x20                  [--cache DIR]\n\
          \x20                  [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]\n\
          \x20                  [--max-wall SECS] [--retry-blocks N] [--inject-faults SPEC]\n\
          \x20 eproc merge <shard.json> [<shard.json> ...] [--json PATH] [--csv PATH]\n\
          \x20               [--telemetry PATH] [--quiet] [--quantiles Q[,Q...]]\n\
-         \x20 eproc list\n\
+         \x20 eproc list [--canonical] [--scale quick|paper] [--seed N]\n\
+         \x20               [--quantiles Q[,Q...]]\n\
          \x20 eproc compare --graph G [--graph G ...] --process P[,P...]\n\
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
-         \x20               [--start V] [--cap-nlogn F] [--resample [W]]\n\
-         \x20               [--seed N] [--threads N] [--json PATH]\n\
+         \x20               [--start V] [--cap C] [--resample [W]]\n\
+         \x20               [--seed N] [--threads N] [--json PATH] [--cache DIR]\n\
          \x20 eproc scale <spec> | --graph G --process P[,P...] [--sweep n=RANGE]\n\
          \x20               [--trials N] [--target T] [--metrics M[,M...]]\n\
-         \x20               [--start V] [--cap-nlogn F] [--resample [W]]\n\
+         \x20               [--start V] [--cap C] [--resample [W]]\n\
          \x20               [--scale quick|paper] [--seed N] [--threads N] [--json PATH]\n\
+         \x20               [--cache DIR]\n\
+         \x20 eproc cache ls|gc|path [<digest-prefix>] [--cache DIR] [--max-bytes N]\n\
          \n\
          graph syntax   regular:<n>,<d> | lps:<p>,<q> | geometric:<n>[,factor] |\n\
          \x20              hypercube:<dim> | torus:<w>,<h> | cycle:<n> | complete:<n> |\n\
@@ -130,6 +162,8 @@ fn usage(err: &str) -> ! {
          target syntax  vertex | edge | both | blanket:<delta>\n\
          metric syntax  cover | blanket[:delta] | phases | bluecensus | hitting[:v]\n\
          \x20              (all measured from the same walk: one pass per trial)\n\
+         cap syntax     --cap auto | nlogn:<factor> | abs:<steps> (--cap-nlogn F is\n\
+         \x20              shorthand for --cap nlogn:F)\n\
          quantiles      --quantiles Q[,Q...]: quantile columns/keys rendered from\n\
          \x20              the streamed sketches (default p50,p90,p99; accepts 0.9\n\
          \x20              or p90 forms; applies to run, compare, scale and merge)\n\
@@ -143,6 +177,13 @@ fn usage(err: &str) -> ! {
          \x20              shard artifact instead of a report; `eproc merge` then\n\
          \x20              recombines the K artifacts into a report byte-identical\n\
          \x20              to the unsharded run's, at any thread count\n\
+         caching        --cache DIR (or EPROC_CACHE): content-addressed artifact\n\
+         \x20              cache keyed by the canonical spec digest (spec + seed +\n\
+         \x20              quantiles + artifact kind). The run executes the\n\
+         \x20              canonical form of the spec; a hit serves the stored\n\
+         \x20              artifact byte-identical and skips execution. `eproc list\n\
+         \x20              --canonical` shows what keys the cache; `eproc cache\n\
+         \x20              ls|gc|path` inspects and prunes the store\n\
          crash safety   (resampled runs) --checkpoint PATH: atomically persist\n\
          \x20              completed blocks every --checkpoint-every N completions\n\
          \x20              (default 1); SIGINT/SIGTERM or --max-wall SECS interrupt\n\
@@ -170,7 +211,229 @@ fn usage(err: &str) -> ! {
         builtin::names().join(", "),
         builtin::scaling_names().join(", ")
     );
-    exit(if err.is_empty() { 0 } else { 2 });
+    exit(if err.is_empty() { 0 } else { EXIT_USAGE });
+}
+
+/// Every flag the CLI knows, declared exactly once. Subcommands pick
+/// their subset via the `*_ACCEPTS` lists below; anything else in this
+/// table is rejected by name ("flag `--x` does not apply to `cmd`").
+const FLAGS: &[FlagDef] = &[
+    FlagDef {
+        name: "--scale",
+        aliases: &[],
+        arity: Arity::Value("quick|paper"),
+    },
+    FlagDef {
+        name: "--seed",
+        aliases: &[],
+        arity: Arity::Value("an unsigned integer"),
+    },
+    FlagDef {
+        name: "--threads",
+        aliases: &[],
+        arity: Arity::Value("an integer of at least 1"),
+    },
+    FlagDef {
+        name: "--trials",
+        aliases: &[],
+        arity: Arity::Value("an integer of at least 1"),
+    },
+    FlagDef {
+        name: "--metrics",
+        aliases: &[],
+        arity: Arity::Value("a metric list"),
+    },
+    FlagDef {
+        name: "--resample",
+        aliases: &[],
+        arity: Arity::OptionalInt,
+    },
+    FlagDef {
+        name: "--shard",
+        aliases: &[],
+        arity: Arity::Value("<i>/<k>, e.g. 0/4"),
+    },
+    FlagDef {
+        name: "--json",
+        aliases: &[],
+        arity: Arity::Value("a path"),
+    },
+    FlagDef {
+        name: "--csv",
+        aliases: &[],
+        arity: Arity::Value("a path"),
+    },
+    FlagDef {
+        name: "--progress",
+        aliases: &[],
+        arity: Arity::Switch,
+    },
+    FlagDef {
+        name: "--telemetry",
+        aliases: &[],
+        arity: Arity::Value("a path"),
+    },
+    FlagDef {
+        name: "--checkpoint",
+        aliases: &[],
+        arity: Arity::Value("a path"),
+    },
+    FlagDef {
+        name: "--checkpoint-every",
+        aliases: &[],
+        arity: Arity::Value("an integer of at least 1"),
+    },
+    FlagDef {
+        name: "--resume",
+        aliases: &[],
+        arity: Arity::Value("a path"),
+    },
+    FlagDef {
+        name: "--max-wall",
+        aliases: &[],
+        arity: Arity::Value("a positive number of seconds"),
+    },
+    FlagDef {
+        name: "--retry-blocks",
+        aliases: &[],
+        arity: Arity::Value("an unsigned integer"),
+    },
+    FlagDef {
+        name: "--inject-faults",
+        aliases: &[],
+        arity: Arity::Value("a fault spec (kind@family.group.attempt[,...])"),
+    },
+    FlagDef {
+        name: "--quantiles",
+        aliases: &[],
+        arity: Arity::Value("a quantile list, e.g. 0.5,0.9,0.99 or p50,p90,p99"),
+    },
+    FlagDef {
+        name: "--quiet",
+        aliases: &[],
+        arity: Arity::Switch,
+    },
+    FlagDef {
+        name: "--graph",
+        aliases: &[],
+        arity: Arity::Value("a graph spec"),
+    },
+    FlagDef {
+        name: "--process",
+        aliases: &["--processes"],
+        arity: Arity::Value("a process list"),
+    },
+    FlagDef {
+        name: "--sweep",
+        aliases: &[],
+        arity: Arity::Value("a range, e.g. n=1k..256k,x2"),
+    },
+    FlagDef {
+        name: "--target",
+        aliases: &[],
+        arity: Arity::Value("a target"),
+    },
+    FlagDef {
+        name: "--start",
+        aliases: &[],
+        arity: Arity::Value("a vertex index"),
+    },
+    FlagDef {
+        name: "--cap",
+        aliases: &[],
+        arity: Arity::Value("auto|nlogn:<factor>|abs:<steps>"),
+    },
+    FlagDef {
+        name: "--cap-nlogn",
+        aliases: &[],
+        arity: Arity::Value("a positive factor"),
+    },
+    FlagDef {
+        name: "--cache",
+        aliases: &[],
+        arity: Arity::Value("a directory"),
+    },
+    FlagDef {
+        name: "--canonical",
+        aliases: &[],
+        arity: Arity::Switch,
+    },
+    FlagDef {
+        name: "--max-bytes",
+        aliases: &[],
+        arity: Arity::Value("a byte budget"),
+    },
+];
+
+/// Flags shared by every executing subcommand (`run`/`compare`/`scale`).
+const EXEC_ACCEPTS: &[&str] = &[
+    "--seed",
+    "--threads",
+    "--trials",
+    "--metrics",
+    "--resample",
+    "--shard",
+    "--json",
+    "--csv",
+    "--progress",
+    "--telemetry",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--resume",
+    "--max-wall",
+    "--retry-blocks",
+    "--inject-faults",
+    "--quantiles",
+    "--quiet",
+    "--cache",
+];
+
+const RUN_EXTRA: &[&str] = &["--scale"];
+const COMPARE_EXTRA: &[&str] = &[
+    "--graph",
+    "--process",
+    "--target",
+    "--start",
+    "--cap",
+    "--cap-nlogn",
+];
+const SCALE_EXTRA: &[&str] = &[
+    "--scale",
+    "--graph",
+    "--process",
+    "--sweep",
+    "--target",
+    "--start",
+    "--cap",
+    "--cap-nlogn",
+];
+const MERGE_ACCEPTS: &[&str] = &["--json", "--csv", "--telemetry", "--quiet", "--quantiles"];
+const LIST_ACCEPTS: &[&str] = &["--canonical", "--scale", "--seed", "--quantiles", "--quiet"];
+const CACHE_ACCEPTS: &[&str] = &["--cache", "--max-bytes", "--quiet"];
+
+/// Parses `args` for `cmd` against the shared table, accepting
+/// `extra` on top of `base`. `--help` anywhere prints usage (exit 0);
+/// any [`UsageError`] exits 2.
+fn parse_or_usage(
+    cmd: &str,
+    base: &[&str],
+    extra: &[&str],
+    args: impl Iterator<Item = String>,
+) -> Parsed {
+    let accepts: Vec<&str> = base.iter().chain(extra).copied().collect();
+    match parse_args(cmd, FLAGS, &accepts, args) {
+        Ok(parsed) => {
+            if parsed.help {
+                usage("");
+            }
+            parsed
+        }
+        Err(e) => usage(&e.to_string()),
+    }
+}
+
+fn ok_or_usage<T>(r: Result<T, UsageError>) -> T {
+    r.unwrap_or_else(|e| usage(&e.to_string()))
 }
 
 #[derive(Debug, Default)]
@@ -193,9 +456,75 @@ struct CommonFlags {
     retry_blocks: Option<usize>,
     inject_faults: Option<String>,
     quantiles: Option<Vec<f64>>,
+    cache: Option<PathBuf>,
 }
 
 impl CommonFlags {
+    /// Interprets every common flag occurrence in `parsed`, in
+    /// command-line order (later occurrences win). Subcommand-specific
+    /// flags (`--graph`, `--sweep`, …) are left for [`AdhocSpec`].
+    fn from_parsed(parsed: &Parsed) -> CommonFlags {
+        let mut flags = CommonFlags::default();
+        for (name, value) in &parsed.flags {
+            let v = || value.as_deref().expect("value-arity flag has a value");
+            match *name {
+                "--scale" => {
+                    flags.scale = Some(Scale::parse(v()).unwrap_or_else(|e| usage(&e.to_string())));
+                }
+                "--seed" => flags.seed = Some(ok_or_usage(expect_u64("--seed", v()))),
+                "--threads" => {
+                    flags.threads = Some(ok_or_usage(expect_count("--threads", v())));
+                }
+                "--trials" => flags.trials = Some(ok_or_usage(expect_count("--trials", v()))),
+                "--metrics" => {
+                    let parsed: Vec<MetricSpec> = v()
+                        .split(',')
+                        .map(|part| {
+                            MetricSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string()))
+                        })
+                        .collect();
+                    flags.metrics = Some(parsed);
+                }
+                "--resample" => {
+                    let walks = match value.as_deref() {
+                        Some(raw) => ok_or_usage(expect_count("--resample", raw)),
+                        None => 1,
+                    };
+                    flags.resample = Some(ResamplePlan {
+                        walks_per_graph: walks,
+                    });
+                }
+                "--shard" => {
+                    flags.shard =
+                        Some(ShardSpec::parse(v()).unwrap_or_else(|e| usage(&e.to_string())));
+                }
+                "--json" => flags.json = Some(PathBuf::from(v())),
+                "--csv" => flags.csv = Some(PathBuf::from(v())),
+                "--progress" => flags.progress = true,
+                "--telemetry" => flags.telemetry = Some(PathBuf::from(v())),
+                "--checkpoint" => flags.checkpoint = Some(PathBuf::from(v())),
+                "--checkpoint-every" => {
+                    flags.checkpoint_every =
+                        Some(ok_or_usage(expect_count("--checkpoint-every", v())));
+                }
+                "--resume" => flags.resume = Some(PathBuf::from(v())),
+                "--max-wall" => {
+                    flags.max_wall = Some(ok_or_usage(expect_positive_f64("--max-wall", v())));
+                }
+                "--retry-blocks" => {
+                    flags.retry_blocks =
+                        Some(ok_or_usage(expect_u64("--retry-blocks", v())) as usize);
+                }
+                "--inject-faults" => flags.inject_faults = Some(v().to_string()),
+                "--quantiles" => flags.quantiles = Some(parse_quantiles(v())),
+                "--quiet" => QUIET.store(true, Ordering::Relaxed),
+                "--cache" => flags.cache = Some(PathBuf::from(v())),
+                _ => {}
+            }
+        }
+        flags
+    }
+
     /// Whether any crash-safety flag routes this run through
     /// [`run_recoverable_with_sink`] instead of the plain executor. The
     /// `EPROC_FAULTS` environment variable counts: it arms the fault
@@ -216,9 +545,22 @@ impl CommonFlags {
     }
 }
 
-fn parse_u64(flag: &str, v: Option<String>) -> u64 {
-    v.and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| usage(&format!("{flag} needs an integer")))
+fn parse_quantiles(raw: &str) -> Vec<f64> {
+    raw.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let q = match part.strip_prefix('p') {
+                Some(pct) => pct.parse::<f64>().map(|p| p / 100.0),
+                None => part.parse::<f64>(),
+            };
+            match q {
+                Ok(q) if (0.0..=1.0).contains(&q) => q,
+                _ => usage(&format!(
+                    "flag `--quantiles` expects quantiles in [0,1] (use 0.9 or p90), got {part:?}"
+                )),
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -226,16 +568,46 @@ fn main() {
     let command = args.next().unwrap_or_else(|| usage("missing command"));
     match command.as_str() {
         "run" => cmd_run(args),
-        "list" => cmd_list(),
+        "list" => cmd_list(args),
         "compare" => cmd_compare(args),
         "scale" => cmd_scale(args),
         "merge" => cmd_merge(args),
+        "cache" => cmd_cache(args),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
 }
 
-fn cmd_list() {
+fn cmd_list(args: impl Iterator<Item = String>) {
+    let parsed = parse_or_usage("list", LIST_ACCEPTS, &[], args);
+    let flags = CommonFlags::from_parsed(&parsed);
+    if let Some(tok) = parsed.positionals.first() {
+        usage(&format!("list takes no positional arguments, got {tok:?}"));
+    }
+    if parsed.has("--canonical") {
+        // The exact normal form + digest that key the artifact cache,
+        // one per builtin, under the flags that shape the digest.
+        let scale = flags.scale.unwrap_or(Scale::Quick);
+        let seed = flags.seed.unwrap_or_else(|| RunOptions::auto().base_seed);
+        for name in builtin::names() {
+            let spec = builtin::spec(name, scale).expect("listed specs exist");
+            let canonical = spec.canonicalize();
+            let digest = spec_digest(
+                &canonical,
+                seed,
+                flags.report_quantiles(),
+                ArtifactKind::Ensemble,
+            );
+            println!("{name}");
+            println!("  digest: {digest}");
+            println!("  spec:   {}", canonical.to_cli());
+        }
+        info!(
+            "digests key the artifact cache for `run`/`compare` at seed {seed} with the \
+             selected quantiles (scale runs key separately: kind=scaling)"
+        );
+        return;
+    }
     let mut table = eproc_stats::TextTable::new(vec![
         "spec",
         "graphs",
@@ -259,141 +631,17 @@ fn cmd_list() {
     println!("run one with: eproc run <spec> [--scale quick|paper] [--threads N]");
 }
 
-fn parse_common<I: Iterator<Item = String>>(
-    flag: &str,
-    args: &mut Peekable<I>,
-    flags: &mut CommonFlags,
-) -> bool {
-    match flag {
-        "--scale" => {
-            let v = args.next().unwrap_or_default();
-            flags.scale = Some(Scale::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
+/// The artifact cache a run should consult, if any: `--cache DIR`
+/// explicitly, else the `EPROC_CACHE` environment variable. The bool is
+/// `true` for the explicit flag — conflicts (e.g. `--shard`) are hard
+/// usage errors there but silently disable an env-var cache, so setting
+/// `EPROC_CACHE` globally never breaks sharded workflows.
+fn cache_store(flags: &CommonFlags) -> Option<(CacheStore, bool)> {
+    match &flags.cache {
+        Some(dir) => Some((CacheStore::open(dir.clone()), true)),
+        None => {
+            std::env::var_os(CACHE_ENV).map(|dir| (CacheStore::open(PathBuf::from(dir)), false))
         }
-        "--seed" => flags.seed = Some(parse_u64("--seed", args.next())),
-        "--threads" => {
-            let t = parse_u64("--threads", args.next()) as usize;
-            if t == 0 {
-                usage("--threads must be at least 1");
-            }
-            flags.threads = Some(t);
-        }
-        "--trials" => {
-            let t = parse_u64("--trials", args.next()) as usize;
-            if t == 0 {
-                usage("--trials must be at least 1");
-            }
-            flags.trials = Some(t);
-        }
-        "--metrics" => {
-            let v = args
-                .next()
-                .unwrap_or_else(|| usage("--metrics needs a value"));
-            let parsed: Vec<MetricSpec> = v
-                .split(',')
-                .map(|part| MetricSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())))
-                .collect();
-            flags.metrics = Some(parsed);
-        }
-        "--resample" => {
-            // Optional value: `--resample 3` groups every 3 trials on one
-            // sampled graph; bare `--resample` resamples per trial. A
-            // following non-integer token (the next flag, a spec name) is
-            // left untouched.
-            let walks = match args.peek().and_then(|v| v.parse::<usize>().ok()) {
-                Some(w) => {
-                    args.next();
-                    if w == 0 {
-                        usage("--resample walks-per-graph must be at least 1");
-                    }
-                    w
-                }
-                None => 1,
-            };
-            flags.resample = Some(ResamplePlan {
-                walks_per_graph: walks,
-            });
-        }
-        "--shard" => {
-            let v = args
-                .next()
-                .unwrap_or_else(|| usage("--shard needs <i>/<k>, e.g. 0/4"));
-            flags.shard = Some(ShardSpec::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
-        }
-        "--json" => flags.json = Some(PathBuf::from(require_path("--json", args.next()))),
-        "--csv" => flags.csv = Some(PathBuf::from(require_path("--csv", args.next()))),
-        "--progress" => flags.progress = true,
-        "--telemetry" => {
-            flags.telemetry = Some(PathBuf::from(require_path("--telemetry", args.next())));
-        }
-        "--checkpoint" => {
-            flags.checkpoint = Some(PathBuf::from(require_path("--checkpoint", args.next())));
-        }
-        "--checkpoint-every" => {
-            let n = parse_u64("--checkpoint-every", args.next()) as usize;
-            if n == 0 {
-                usage("--checkpoint-every must be at least 1");
-            }
-            flags.checkpoint_every = Some(n);
-        }
-        "--resume" => {
-            flags.resume = Some(PathBuf::from(require_path("--resume", args.next())));
-        }
-        "--max-wall" => {
-            let v = args
-                .next()
-                .unwrap_or_else(|| usage("--max-wall needs seconds"));
-            let secs: f64 = v
-                .parse()
-                .unwrap_or_else(|_| usage("--max-wall needs seconds (fractions allowed)"));
-            if !secs.is_finite() || secs <= 0.0 {
-                usage("--max-wall must be a positive number of seconds");
-            }
-            flags.max_wall = Some(secs);
-        }
-        "--retry-blocks" => {
-            flags.retry_blocks = Some(parse_u64("--retry-blocks", args.next()) as usize);
-        }
-        "--inject-faults" => {
-            let v = args
-                .next()
-                .unwrap_or_else(|| usage("--inject-faults needs a fault spec"));
-            flags.inject_faults = Some(v);
-        }
-        "--quantiles" => {
-            let v = args.next().unwrap_or_else(|| {
-                usage("--quantiles needs a comma-separated list, e.g. 0.5,0.9,0.99 or p50,p90,p99")
-            });
-            let parsed: Vec<f64> = v
-                .split(',')
-                .map(|part| {
-                    let part = part.trim();
-                    let q = match part.strip_prefix('p') {
-                        Some(pct) => pct.parse::<f64>().map(|p| p / 100.0),
-                        None => part.parse::<f64>(),
-                    };
-                    match q {
-                        Ok(q) if (0.0..=1.0).contains(&q) => q,
-                        _ => usage(&format!(
-                            "--quantiles: {part:?} is not a quantile in [0,1] (use 0.9 or p90)"
-                        )),
-                    }
-                })
-                .collect();
-            flags.quantiles = Some(parsed);
-        }
-        "--quiet" => QUIET.store(true, Ordering::Relaxed),
-        _ => return false,
-    }
-    true
-}
-
-/// Validates a path-valued flag eagerly, so a forgotten value fails here
-/// rather than after the whole experiment has run. A following flag
-/// (`--json --threads …`) counts as a missing value.
-fn require_path(flag: &str, v: Option<String>) -> String {
-    match v {
-        Some(p) if !p.is_empty() && !p.starts_with('-') => p,
-        _ => usage(&format!("{flag} needs a path")),
     }
 }
 
@@ -406,6 +654,13 @@ fn execute(spec: ExperimentSpec, flags: &CommonFlags) {
 /// a degenerate sweep surfaces as a CLI error, the growth-law table is
 /// printed under the ensemble table, and the JSON artifact carries a
 /// `growth_laws` section.
+///
+/// With a cache configured (`--cache`/`EPROC_CACHE`) the spec is
+/// canonicalized first — the digest names the canonical grid order, and
+/// seeds derive from grid positions, so only the canonical form's bytes
+/// match the digest's promise. A hit writes the stored artifact to the
+/// `--json` destination and skips execution entirely; a miss runs and
+/// stores the artifact on success.
 fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws: bool) {
     if let Some(trials) = flags.trials {
         spec.trials = trials;
@@ -437,6 +692,53 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
     }
     if let Some(seed) = flags.seed {
         opts.base_seed = seed;
+    }
+    // Cache: canonicalize, key, and try to serve before running.
+    let mut cache_armed: Option<(CacheStore, SpecDigest)> = None;
+    if let Some((store, explicit)) = cache_store(flags) {
+        let conflict = if flags.shard.is_some() {
+            Some("--shard writes a shard artifact, which is not what the cache stores")
+        } else if flags.csv.is_some() {
+            Some("--csv renders from a live run, which a cache hit skips")
+        } else {
+            None
+        };
+        match conflict {
+            Some(why) if explicit => usage(&format!("--cache does not combine here: {why}")),
+            Some(why) => info!("cache: disabled ({why})"),
+            None => {
+                spec = spec.canonicalize();
+                let kind = if fit_growth_laws {
+                    ArtifactKind::Scaling
+                } else {
+                    ArtifactKind::Ensemble
+                };
+                let digest = spec_digest(&spec, opts.base_seed, flags.report_quantiles(), kind);
+                match store.load(&digest) {
+                    Ok(Some(artifact)) => {
+                        let path = flags
+                            .json
+                            .clone()
+                            .unwrap_or_else(|| default_artifact_path(&spec.name));
+                        if let Err(e) = eproc_telemetry::write_atomic(&path, &artifact) {
+                            eprintln!("error writing json artifact {}: {e}", path.display());
+                            exit(1);
+                        }
+                        println!("cache: hit {}", digest.short());
+                        println!("json: {}", path.display());
+                        return;
+                    }
+                    Ok(None) => {
+                        info!("cache: miss {} (will store on success)", digest.short());
+                        cache_armed = Some((store, digest));
+                    }
+                    Err(e) => {
+                        eprintln!("error reading cache at {}: {e}", store.root().display());
+                        exit(1);
+                    }
+                }
+            }
+        }
     }
     info!(
         "running {:?}: {} jobs ({} graphs x {} processes x {} trials) on {} threads, seed {}",
@@ -553,36 +855,62 @@ fn execute_inner(mut spec: ExperimentSpec, flags: &CommonFlags, fit_growth_laws:
         }
         None => {}
     }
-    let written = match &scaling {
-        Some(Ok(s)) => save_json_with(
-            &report,
-            Some(s),
-            flags.report_quantiles(),
-            flags.json.as_deref(),
-        ),
-        _ => save_json_with(
-            &report,
-            None,
-            flags.report_quantiles(),
-            flags.json.as_deref(),
-        ),
+    // Render the artifact once: the same bytes go to the --json
+    // destination and (on a clean run) into the cache, so a later hit
+    // is cmp-identical by construction.
+    let artifact_text = match &scaling {
+        Some(Ok(s)) => to_json_with(&report, Some(s), flags.report_quantiles()),
+        _ => to_json_with(&report, None, flags.report_quantiles()),
     };
-    let artifact = match written {
-        Ok(path) => {
-            println!("json: {}", path.display());
-            path
-        }
-        Err(e) => {
-            eprintln!("error writing json artifact: {e}");
-            exit(1);
-        }
-    };
+    let artifact = flags
+        .json
+        .clone()
+        .unwrap_or_else(|| default_artifact_path(&report.name));
+    if let Err(e) = eproc_telemetry::write_atomic(&artifact, &artifact_text) {
+        eprintln!("error writing json artifact: {e}");
+        exit(1);
+    }
+    println!("json: {}", artifact.display());
     if let Some(csv) = &flags.csv {
         match eproc_telemetry::write_atomic(csv, &table.to_csv()) {
             Ok(()) => println!("csv: {}", csv.display()),
             Err(e) => {
                 eprintln!("error writing csv artifact: {e}");
                 exit(1);
+            }
+        }
+    }
+    if let Some((store, digest)) = &cache_armed {
+        if matches!(scaling, Some(Err(_))) {
+            // A degenerate fit exits 1 below; serving its artifact from
+            // cache later would silently mask that failure.
+            info!("cache: not storing (growth-law fit failed)");
+        } else {
+            let sidecar = format!(
+                "{}\nname={}\nseed={}\nkind={}\nquantiles={}\n",
+                spec.to_cli(),
+                spec.name,
+                opts.base_seed,
+                if fit_growth_laws {
+                    "scaling"
+                } else {
+                    "ensemble"
+                },
+                flags
+                    .report_quantiles()
+                    .iter()
+                    .map(|q| q.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            match store.store(digest, &artifact_text, &sidecar) {
+                Ok(_) => println!("cache: stored {}", digest.short()),
+                // The run itself succeeded and its artifact is on disk;
+                // a cache store failure is a warning, not a run failure.
+                Err(e) => eprintln!(
+                    "warning: could not store cache entry in {}: {e}",
+                    store.root().display()
+                ),
             }
         }
     }
@@ -749,24 +1077,13 @@ fn default_shard_path(report: &ShardReport) -> PathBuf {
 }
 
 fn cmd_run(args: impl Iterator<Item = String>) {
-    let mut args = args.peekable();
-    let mut name: Option<String> = None;
-    let mut flags = CommonFlags::default();
-    while let Some(arg) = args.next() {
-        if parse_common(&arg, &mut args, &mut flags) {
-            continue;
-        }
-        match arg.as_str() {
-            "--help" | "-h" => usage(""),
-            other if other.starts_with('-') => usage(&format!("unknown flag {other:?}")),
-            other => {
-                if name.replace(other.to_string()).is_some() {
-                    usage("run takes exactly one spec name");
-                }
-            }
-        }
-    }
-    let name = name.unwrap_or_else(|| usage("run needs a spec name"));
+    let parsed = parse_or_usage("run", EXEC_ACCEPTS, RUN_EXTRA, args);
+    let flags = CommonFlags::from_parsed(&parsed);
+    let name = match parsed.positionals.as_slice() {
+        [] => usage("run needs a spec name"),
+        [name] => name.clone(),
+        _ => usage("run takes exactly one spec name"),
+    };
     let scale = flags.scale.unwrap_or(Scale::Quick);
     let spec = builtin::spec(&name, scale).unwrap_or_else(|| {
         usage(&format!(
@@ -782,8 +1099,6 @@ fn cmd_run(args: impl Iterator<Item = String>) {
 /// reject flags that would otherwise be silently ignored.
 #[derive(Default)]
 struct AdhocSpec {
-    /// Positional spec name (accepted by `scale` only).
-    name: Option<String>,
     graphs: Vec<GraphSpec>,
     processes: Vec<ProcessSpec>,
     target: Option<Target>,
@@ -795,87 +1110,87 @@ struct AdhocSpec {
     saw_inline_sweep: bool,
 }
 
-/// Shared flag loop of `compare` and `scale`. With `sweeps` (the `scale`
-/// shape) a `--graph` value may carry an inline `{range}`, `--sweep` is
-/// accepted, and a positional spec name is collected; without it
-/// (`compare`) those are rejected exactly as before.
-fn parse_adhoc(
-    args: impl Iterator<Item = String>,
-    sweeps: bool,
-    flags: &mut CommonFlags,
-) -> AdhocSpec {
-    let mut args = args.peekable();
-    let mut spec = AdhocSpec::default();
-    while let Some(arg) = args.next() {
-        if parse_common(&arg, &mut args, flags) {
-            continue;
-        }
-        match arg.as_str() {
-            "--graph" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage("--graph needs a value"));
-                for part in v.split(';') {
-                    if sweeps {
-                        let (expanded, marked, range) = GraphSpec::parse_with_sweep(part)
-                            .unwrap_or_else(|e| usage(&e.to_string()));
-                        spec.marked_resample |= marked;
-                        spec.saw_inline_sweep |= range.is_some();
-                        spec.graphs.extend(expanded);
-                    } else {
-                        let (graph, marked) = GraphSpec::parse_with_resample(part)
-                            .unwrap_or_else(|e| usage(&e.to_string()));
-                        spec.marked_resample |= marked;
-                        spec.graphs.push(graph);
+impl AdhocSpec {
+    /// Interprets the grid-shaped flags of `compare`/`scale` from the
+    /// lexed arguments. With `sweeps` (the `scale` shape) a `--graph`
+    /// value may carry an inline `{range}`; without it (`compare`) the
+    /// plain resample-marker grammar applies.
+    fn from_parsed(parsed: &Parsed, sweeps: bool) -> AdhocSpec {
+        let mut spec = AdhocSpec::default();
+        for (name, value) in &parsed.flags {
+            let v = || value.as_deref().expect("value-arity flag has a value");
+            match *name {
+                "--graph" => {
+                    for part in v().split(';') {
+                        if sweeps {
+                            let (expanded, marked, range) = GraphSpec::parse_with_sweep(part)
+                                .unwrap_or_else(|e| usage(&e.to_string()));
+                            spec.marked_resample |= marked;
+                            spec.saw_inline_sweep |= range.is_some();
+                            spec.graphs.extend(expanded);
+                        } else {
+                            let (graph, marked) = GraphSpec::parse_with_resample(part)
+                                .unwrap_or_else(|e| usage(&e.to_string()));
+                            spec.marked_resample |= marked;
+                            spec.graphs.push(graph);
+                        }
                     }
                 }
-            }
-            "--process" | "--processes" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage("--process needs a value"));
-                for part in v.split(',') {
-                    spec.processes
-                        .push(ProcessSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())));
+                "--process" => {
+                    for part in v().split(',') {
+                        spec.processes.push(
+                            ProcessSpec::parse(part).unwrap_or_else(|e| usage(&e.to_string())),
+                        );
+                    }
                 }
-            }
-            "--sweep" if sweeps => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage("--sweep needs a range, e.g. n=1k..256k,x2"));
-                spec.sweep = Some(SweepRange::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
-            }
-            "--target" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage("--target needs a value"));
-                spec.target = Some(Target::parse(&v).unwrap_or_else(|e| usage(&e.to_string())));
-            }
-            "--start" => {
-                spec.start = Some(parse_u64("--start", args.next()) as usize);
-            }
-            "--cap-nlogn" => {
-                let v = args.next().unwrap_or_default();
-                let f: f64 = v
-                    .parse()
-                    .unwrap_or_else(|_| usage("--cap-nlogn needs a number"));
-                spec.cap = Some(CapSpec::NLogN(f));
-            }
-            "--help" | "-h" => usage(""),
-            other if other.starts_with('-') || !sweeps => usage(&format!("unknown flag {other:?}")),
-            other => {
-                if spec.name.replace(other.to_string()).is_some() {
-                    usage("scale takes at most one spec name");
+                "--sweep" => {
+                    spec.sweep = Some(
+                        SweepRange::parse(v())
+                            .and_then(|r| r.normalize())
+                            .unwrap_or_else(|e| usage(&e.to_string())),
+                    );
                 }
+                "--target" => {
+                    spec.target =
+                        Some(Target::parse(v()).unwrap_or_else(|e| usage(&e.to_string())));
+                }
+                "--start" => {
+                    spec.start = Some(ok_or_usage(expect_u64("--start", v())) as usize);
+                }
+                "--cap" => {
+                    spec.cap = Some(CapSpec::parse(v()).unwrap_or_else(|e| usage(&e.to_string())));
+                }
+                "--cap-nlogn" => {
+                    spec.cap = Some(CapSpec::NLogN(ok_or_usage(expect_positive_f64(
+                        "--cap-nlogn",
+                        v(),
+                    ))));
+                }
+                _ => {}
             }
         }
+        spec
     }
-    spec
+
+    /// `scale <name>` must reject grid flags that would silently be
+    /// ignored (a named spec fixes its grid).
+    fn names_grid_flags(&self) -> bool {
+        !self.processes.is_empty()
+            || self.target.is_some()
+            || self.start.is_some()
+            || self.cap.is_some()
+    }
 }
 
 fn cmd_compare(args: impl Iterator<Item = String>) {
-    let mut flags = CommonFlags::default();
-    let adhoc = parse_adhoc(args, false, &mut flags);
+    let parsed = parse_or_usage("compare", EXEC_ACCEPTS, COMPARE_EXTRA, args);
+    let flags = CommonFlags::from_parsed(&parsed);
+    let adhoc = AdhocSpec::from_parsed(&parsed, false);
+    if let Some(tok) = parsed.positionals.first() {
+        usage(&format!(
+            "compare takes no positional arguments, got {tok:?} (use --graph/--process)"
+        ));
+    }
     if adhoc.graphs.is_empty() {
         usage("compare needs at least one --graph");
     }
@@ -901,9 +1216,15 @@ fn cmd_compare(args: impl Iterator<Item = String>) {
 }
 
 fn cmd_scale(args: impl Iterator<Item = String>) {
-    let mut flags = CommonFlags::default();
-    let mut adhoc = parse_adhoc(args, true, &mut flags);
-    if let Some(name) = adhoc.name.take() {
+    let parsed = parse_or_usage("scale", EXEC_ACCEPTS, SCALE_EXTRA, args);
+    let flags = CommonFlags::from_parsed(&parsed);
+    let mut adhoc = AdhocSpec::from_parsed(&parsed, true);
+    let name = match parsed.positionals.as_slice() {
+        [] => None,
+        [name] => Some(name.clone()),
+        _ => usage("scale takes at most one spec name"),
+    };
+    if let Some(name) = name {
         if !adhoc.graphs.is_empty() || adhoc.sweep.is_some() {
             usage("scale takes either a spec name or --graph/--sweep flags, not both");
         }
@@ -911,13 +1232,9 @@ fn cmd_scale(args: impl Iterator<Item = String>) {
         // these flags would silently run a different experiment than the
         // one asked for, so reject them outright (--trials, --metrics
         // and --resample are honoured as overrides, like `run`).
-        if !adhoc.processes.is_empty()
-            || adhoc.target.is_some()
-            || adhoc.start.is_some()
-            || adhoc.cap.is_some()
-        {
+        if adhoc.names_grid_flags() {
             usage(
-                "scale <name> runs the named spec as-is: --process/--target/--start/--cap-nlogn \
+                "scale <name> runs the named spec as-is: --process/--target/--start/--cap \
                  only apply to --graph sweeps (--trials/--metrics/--resample do override)",
             );
         }
@@ -955,6 +1272,7 @@ fn cmd_scale(args: impl Iterator<Item = String>) {
                 );
             }
         }
+        adhoc.sweep = None;
     }
     // `--resample [W]` wins; otherwise randomized sweeps default to a
     // fresh graph per trial so each size estimates the ensemble law, and
@@ -980,42 +1298,12 @@ fn cmd_scale(args: impl Iterator<Item = String>) {
 
 /// `eproc merge <shard.json> ...` — recombine a complete shard set into
 /// the unsharded run's report, byte-identical to running unsharded.
+/// Run-shaped flags are foreign here and rejected by the flag table
+/// (run parameters are fixed by the shards themselves).
 fn cmd_merge(args: impl Iterator<Item = String>) {
-    let mut args = args.peekable();
-    let mut flags = CommonFlags::default();
-    let mut paths: Vec<PathBuf> = Vec::new();
-    while let Some(arg) = args.next() {
-        if parse_common(&arg, &mut args, &mut flags) {
-            continue;
-        }
-        match arg.as_str() {
-            "--help" | "-h" => usage(""),
-            other if other.starts_with('-') => usage(&format!("unknown flag {other:?}")),
-            other => paths.push(PathBuf::from(other)),
-        }
-    }
-    // Merging replays no trials, so every run-shaped flag would be
-    // silently ignored; reject them outright, like `scale <name>` does.
-    if flags.scale.is_some()
-        || flags.seed.is_some()
-        || flags.threads.is_some()
-        || flags.trials.is_some()
-        || flags.metrics.is_some()
-        || flags.resample.is_some()
-        || flags.shard.is_some()
-        || flags.progress
-        || flags.checkpoint.is_some()
-        || flags.checkpoint_every.is_some()
-        || flags.resume.is_some()
-        || flags.max_wall.is_some()
-        || flags.retry_blocks.is_some()
-        || flags.inject_faults.is_some()
-    {
-        usage(
-            "merge recombines existing shard artifacts: only --json/--csv/--telemetry/--quiet/\
-             --quantiles apply (run parameters are fixed by the shards themselves)",
-        );
-    }
+    let parsed = parse_or_usage("merge", MERGE_ACCEPTS, &[], args);
+    let flags = CommonFlags::from_parsed(&parsed);
+    let paths: Vec<PathBuf> = parsed.positionals.iter().map(PathBuf::from).collect();
     if paths.is_empty() {
         usage("merge needs at least one shard artifact path");
     }
@@ -1059,21 +1347,18 @@ fn cmd_merge(args: impl Iterator<Item = String>) {
     );
     let table = to_text_table_with(&report, flags.report_quantiles());
     println!("{table}");
-    let artifact = match save_json_with(
-        &report,
-        None,
-        flags.report_quantiles(),
-        flags.json.as_deref(),
+    let artifact = flags
+        .json
+        .clone()
+        .unwrap_or_else(|| default_artifact_path(&report.name));
+    if let Err(e) = eproc_telemetry::write_atomic(
+        &artifact,
+        &to_json_with(&report, None, flags.report_quantiles()),
     ) {
-        Ok(path) => {
-            println!("json: {}", path.display());
-            path
-        }
-        Err(e) => {
-            eprintln!("error writing json artifact: {e}");
-            exit(1);
-        }
-    };
+        eprintln!("error writing json artifact: {e}");
+        exit(1);
+    }
+    println!("json: {}", artifact.display());
     if let Some(csv) = &flags.csv {
         match eproc_telemetry::write_atomic(csv, &table.to_csv()) {
             Ok(()) => println!("csv: {}", csv.display()),
@@ -1084,6 +1369,95 @@ fn cmd_merge(args: impl Iterator<Item = String>) {
         }
     }
     write_telemetry_artifacts(jsonl.as_ref(), summary.as_ref(), &artifact);
+}
+
+/// `eproc cache ls|gc|path` — inspect and prune the artifact store.
+fn cmd_cache(args: impl Iterator<Item = String>) {
+    let parsed = parse_or_usage("cache", CACHE_ACCEPTS, &[], args);
+    let flags = CommonFlags::from_parsed(&parsed);
+    let (action, rest) = match parsed.positionals.as_slice() {
+        [] => usage("cache needs an action: ls, gc or path"),
+        [action, rest @ ..] => (action.as_str(), rest),
+    };
+    let Some((store, _)) = cache_store(&flags) else {
+        usage("cache needs --cache DIR or the EPROC_CACHE environment variable");
+    };
+    match action {
+        "ls" => {
+            if let Some(tok) = rest.first() {
+                usage(&format!("cache ls takes no further arguments, got {tok:?}"));
+            }
+            let entries = store.entries().unwrap_or_else(|e| {
+                eprintln!("error reading cache at {}: {e}", store.root().display());
+                exit(1);
+            });
+            let mut table = eproc_stats::TextTable::new(vec!["digest", "bytes", "spec"]);
+            let mut total = 0u64;
+            for entry in &entries {
+                total += entry.bytes;
+                table.push_row(vec![
+                    entry.digest[..12].to_string(),
+                    entry.bytes.to_string(),
+                    entry.spec_line.clone(),
+                ]);
+            }
+            println!("{table}");
+            println!(
+                "{} entr{} ({} bytes) in {}",
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" },
+                total,
+                store.root().display()
+            );
+        }
+        "gc" => {
+            if let Some(tok) = rest.first() {
+                usage(&format!("cache gc takes no further arguments, got {tok:?}"));
+            }
+            let max_bytes = match parsed.value_of("--max-bytes") {
+                Some(raw) => ok_or_usage(expect_u64("--max-bytes", raw)),
+                None => 0,
+            };
+            let stats = store.gc(max_bytes).unwrap_or_else(|e| {
+                eprintln!("error pruning cache at {}: {e}", store.root().display());
+                exit(1);
+            });
+            println!(
+                "removed {} entr{} ({} bytes), kept {}",
+                stats.removed,
+                if stats.removed == 1 { "y" } else { "ies" },
+                stats.freed_bytes,
+                stats.kept
+            );
+        }
+        "path" => match rest {
+            [] => println!("{}", store.root().display()),
+            [prefix] => {
+                let matches = store.resolve_prefix(prefix).unwrap_or_else(|e| {
+                    eprintln!("error reading cache at {}: {e}", store.root().display());
+                    exit(1);
+                });
+                match matches.as_slice() {
+                    [] => {
+                        eprintln!("error: no cache entry matches {prefix:?}");
+                        exit(1);
+                    }
+                    [path] => println!("{}", path.display()),
+                    many => {
+                        eprintln!(
+                            "error: {prefix:?} is ambiguous ({} entries match)",
+                            many.len()
+                        );
+                        exit(1);
+                    }
+                }
+            }
+            [_, tok, ..] => usage(&format!(
+                "cache path takes at most one digest prefix, got {tok:?}"
+            )),
+        },
+        other => usage(&format!("unknown cache action {other:?} (ls|gc|path)")),
+    }
 }
 
 #[cfg(test)]

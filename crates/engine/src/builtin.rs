@@ -4,6 +4,13 @@
 //! thin `table_*` wrapper binaries in `eproc-bench`. Every spec is a pure
 //! function of the [`Scale`], so `quick` and `paper` runs of the same name
 //! are distinct but individually reproducible.
+//!
+//! A builtin name is just a spelling: under the artifact cache it
+//! reduces to the same normal form as the equivalent expanded
+//! `--graph`/`--process` flags ([`ExperimentSpec::canonicalize`]), so
+//! both spellings share one [`SpecDigest`](crate::digest::SpecDigest)
+//! cache entry. `eproc list --canonical` prints each builtin's
+//! canonical line and digest.
 
 use crate::spec::{
     CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
@@ -617,6 +624,23 @@ mod tests {
                         .all(|g| matches!(g, GraphSpec::Regular { d: 4, .. })),
                     "{name} sweeps the even-degree d=4 family"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn every_builtin_canonicalizes_to_a_reparsable_line() {
+        // The cache executes the canonical form of whatever it keys, so
+        // every builtin's normal form must survive the CLI-line round
+        // trip and stay stable under repeated canonicalization.
+        for scale in [Scale::Quick, Scale::Paper] {
+            for name in names() {
+                let canonical = spec(name, scale).unwrap().canonicalize();
+                let reparsed = ExperimentSpec::parse_cli(&canonical.to_cli())
+                    .unwrap_or_else(|e| panic!("{name} ({scale:?}): {e}"));
+                assert_eq!(reparsed, canonical, "{name} ({scale:?})");
+                assert_eq!(canonical.canonicalize(), canonical, "{name} ({scale:?})");
+                assert!(canonical.name.starts_with("spec-"), "{}", canonical.name);
             }
         }
     }

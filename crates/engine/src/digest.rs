@@ -1,0 +1,267 @@
+//! Content digests for canonical experiment specs.
+//!
+//! A [`SpecDigest`] is the cache key of the content-addressed artifact
+//! store ([`crate::cache`]): a SHA-256 hash over a versioned preimage
+//! built from everything the artifact bytes depend on —
+//!
+//! - the **canonical** `to_cli()` line of the spec (so every spelling
+//!   of the same experiment — builtin name, expanded flags, shuffled
+//!   grids — keys the same entry; see
+//!   [`ExperimentSpec::canonicalize`]);
+//! - the **base seed** (artifacts are a pure function of `(spec,
+//!   seed)`);
+//! - the **quantile selection**, encoded as exact IEEE-754 bit
+//!   patterns (quantile columns are rendered into the artifact);
+//! - the **artifact kind** (`scale` artifacts carry a `growth_laws`
+//!   section that plain runs do not);
+//! - a **format version**, bumped whenever the artifact JSON format or
+//!   the canonical grammar changes, so stale cache entries miss
+//!   instead of serving bytes in an old format.
+//!
+//! Deliberately *not* part of the preimage: thread count, shard
+//! layout, checkpoint/resume state and telemetry flags — the engine
+//! guarantees (and CI pins) that none of them change the artifact
+//! bytes.
+//!
+//! The hash is a self-contained SHA-256 (FIPS 180-4) in safe Rust: the
+//! workspace builds offline, so no external digest crate is available.
+
+use crate::spec::ExperimentSpec;
+use std::fmt;
+
+/// Version tag mixed into every digest preimage. Bump on any change to
+/// the artifact JSON format or the canonical spec grammar.
+pub const SPEC_DIGEST_VERSION: &str = "eproc-spec-v1";
+
+/// Which artifact shape a run produces: `scale` runs append a
+/// `growth_laws` section, so the same spec + seed yields different
+/// bytes under `run` and `scale` and must key different cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// `eproc run` / `eproc compare`: the plain ensemble report.
+    Ensemble,
+    /// `eproc scale`: ensemble report plus growth-law fits.
+    Scaling,
+}
+
+impl ArtifactKind {
+    fn label(&self) -> &'static str {
+        match self {
+            ArtifactKind::Ensemble => "ensemble",
+            ArtifactKind::Scaling => "scaling",
+        }
+    }
+}
+
+/// A 256-bit content digest identifying `(canonical spec, seed,
+/// quantiles, artifact kind, format version)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecDigest([u8; 32]);
+
+impl SpecDigest {
+    /// Wraps raw digest bytes (e.g. a [`sha256`] output).
+    pub fn from_bytes(bytes: [u8; 32]) -> SpecDigest {
+        SpecDigest(bytes)
+    }
+
+    /// Full 64-character lowercase hex form (the cache file stem).
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// First 12 hex characters: the short form used in CLI chatter and
+    /// canonical spec names. 48 bits — collision-safe for any realistic
+    /// number of distinct experiments, and resolvable as a prefix by
+    /// `eproc cache path`.
+    pub fn short(&self) -> String {
+        self.hex()[..12].to_string()
+    }
+}
+
+impl fmt::Display for SpecDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+/// Computes the digest of `spec` under `base_seed`, the rendered
+/// `quantiles`, and the artifact `kind`. Canonicalizes internally, so
+/// every spelling of the same experiment digests identically.
+pub fn spec_digest(
+    spec: &ExperimentSpec,
+    base_seed: u64,
+    quantiles: &[f64],
+    kind: ArtifactKind,
+) -> SpecDigest {
+    let canonical = spec.canonicalize();
+    let mut preimage = String::new();
+    preimage.push_str(SPEC_DIGEST_VERSION);
+    preimage.push('\n');
+    preimage.push_str(&canonical.to_cli());
+    preimage.push('\n');
+    preimage.push_str("kind=");
+    preimage.push_str(kind.label());
+    preimage.push('\n');
+    preimage.push_str(&format!("seed={base_seed}\n"));
+    // Exact bit patterns: `0.9` and any float formatting quirk must
+    // never alias distinct selections (or split identical ones).
+    preimage.push_str("quantiles=");
+    for (i, q) in quantiles.iter().enumerate() {
+        if i > 0 {
+            preimage.push(',');
+        }
+        preimage.push_str(&format!("{:016x}", q.to_bits()));
+    }
+    preimage.push('\n');
+    SpecDigest(sha256(preimage.as_bytes()))
+}
+
+/// The derived name of a canonical spec: `spec-` plus the first 12 hex
+/// characters of the SHA-256 of its structural `to_cli()` line. Used by
+/// [`ExperimentSpec::canonicalize`] so the normal form's name is a pure
+/// function of its content (and the default artifact path
+/// `target/experiments/eproc_spec-<hash>.json` never collides across
+/// distinct experiments).
+pub fn content_name(canonical_line: &str) -> String {
+    let h = sha256(canonical_line.as_bytes());
+    let mut s = String::from("spec-");
+    for b in &h[..6] {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Computes SHA-256 of `data` (FIPS 180-4, safe Rust, no external
+/// crates).
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Standard padding: 0x80, zeros, then the bit length as a 64-bit
+    // big-endian integer, to a multiple of 64 bytes.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (t, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * t],
+                block[4 * t + 1],
+                block[4 * t + 2],
+                block[4 * t + 3],
+            ]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for t in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+
+    let mut out = [0u8; 32];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 180-4 / NIST CAVP reference vectors.
+    #[test]
+    fn sha256_matches_reference_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One full block of 'a' plus spill (exercises multi-block path).
+        assert_eq!(
+            hex(&sha256(&[b'a'; 112])),
+            "f54353008a2553262ecdc4a34749563ba0950e8b0fc8652780b0a614b99683c1"
+        );
+    }
+
+    #[test]
+    fn digests_are_stable_hex() {
+        let d = SpecDigest(sha256(b"abc"));
+        assert_eq!(d.hex().len(), 64);
+        assert_eq!(d.short(), &d.hex()[..12]);
+        assert_eq!(format!("{d}"), d.hex());
+    }
+
+    #[test]
+    fn content_names_are_short_and_prefixed() {
+        let n = content_name("--graph cycle:8 --process srw");
+        assert!(n.starts_with("spec-"), "{n}");
+        assert_eq!(n.len(), "spec-".len() + 12);
+        // Pure function of the line.
+        assert_eq!(n, content_name("--graph cycle:8 --process srw"));
+        assert_ne!(n, content_name("--graph cycle:9 --process srw"));
+    }
+}

@@ -98,6 +98,24 @@
 //! ([`executor::select_kernel_path`]), which overlaps the independent
 //! trials' CSR row fetches without perturbing any per-trial stream.
 //!
+//! # Canonical specs and the artifact cache
+//!
+//! Every spelling of an experiment — a builtin name, expanded
+//! `--graph`/`--process` flags, a shuffled grid — reduces to one
+//! normal form: [`spec::ExperimentSpec::canonicalize`] sorts the
+//! grids, materializes defaults, and derives the spec's name from its
+//! content, so `parse(to_cli(canonicalize(s)))` is a fixed point
+//! (property-tested). A [`digest::SpecDigest`] hashes the canonical
+//! `to_cli()` line together with the base seed, quantile selection,
+//! artifact kind and a format version — everything the artifact bytes
+//! depend on and nothing they don't (thread count, sharding and
+//! telemetry are all byte-invariant by construction). The [`cache`]
+//! module keys a content-addressed artifact store by that digest; the
+//! CLI's `--cache DIR` / `EPROC_CACHE` serves cache hits byte-identical
+//! to the run that populated them. The [`cli`] module is the shared
+//! flag-table parser behind both the `eproc` binary's subcommands and
+//! the canonical spec-line grammar.
+//!
 //! # Fault tolerance
 //!
 //! [`recovery::run_recoverable`] makes resampled runs crash-safe.
@@ -152,7 +170,10 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod cache;
 pub mod checkpoint;
+pub mod cli;
+pub mod digest;
 pub mod executor;
 pub mod fault;
 mod persist;
@@ -162,7 +183,9 @@ pub mod scaling;
 pub mod shard;
 pub mod spec;
 
+pub use cache::{CacheEntry, CacheStore, CACHE_ENV};
 pub use checkpoint::{CheckpointError, RunCheckpoint};
+pub use digest::{spec_digest, ArtifactKind, SpecDigest};
 pub use executor::{run, run_with_sink, BlockError, ExperimentReport, RunOptions};
 pub use fault::{FaultKind, FaultPlan};
 pub use recovery::{

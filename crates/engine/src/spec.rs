@@ -210,6 +210,26 @@ impl SweepRange {
         }
         Ok(points)
     }
+
+    /// The normal form of this range: the same points with `end`
+    /// clamped to the last reachable size, so ranges that expand
+    /// identically render identically (`10..70,x2` and `10..40,x2`
+    /// both normalize to `10..40,x2`). Part of the spec
+    /// canonicalization contract: sweeps expand to concrete sizes
+    /// before an [`ExperimentSpec`] exists, and this is the unique
+    /// spelling of the range that produced them.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] whenever [`SweepRange::points`] fails.
+    pub fn normalize(&self) -> Result<SweepRange, SpecError> {
+        let points = self.points()?;
+        Ok(SweepRange {
+            start: self.start,
+            end: *points.last().expect("points() yields at least `start`"),
+            step: self.step,
+        })
+    }
 }
 
 /// One graph family in the experiment grid. Randomized families are built
@@ -1418,6 +1438,37 @@ pub enum CapSpec {
 }
 
 impl CapSpec {
+    /// Compact CLI syntax (inverse of [`CapSpec::parse`]): `auto`,
+    /// `nlogn:<factor>` or `abs:<steps>`. The factor renders via
+    /// `f64`'s shortest-round-trip formatting, so `parse(to_cli())`
+    /// reproduces the value bit for bit.
+    pub fn to_cli(&self) -> String {
+        match *self {
+            CapSpec::NLogN(factor) => format!("nlogn:{factor}"),
+            CapSpec::Absolute(cap) => format!("abs:{cap}"),
+            CapSpec::Auto => "auto".into(),
+        }
+    }
+
+    /// Parses `auto`, `nlogn:<factor>` or `abs:<steps>`.
+    pub fn parse(s: &str) -> Result<CapSpec, SpecError> {
+        match s.split_once(':') {
+            None if s == "auto" => Ok(CapSpec::Auto),
+            Some(("nlogn", f)) => match f.parse::<f64>() {
+                Ok(factor) if factor.is_finite() && factor > 0.0 => Ok(CapSpec::NLogN(factor)),
+                _ => Err(SpecError::new(format!(
+                    "cap {s:?}: factor must be a positive number"
+                ))),
+            },
+            Some(("abs", n)) => n.parse().map(CapSpec::Absolute).map_err(|_| {
+                SpecError::new(format!("cap {s:?}: step count must be an unsigned integer"))
+            }),
+            _ => Err(SpecError::new(format!(
+                "unknown cap {s:?} (auto|nlogn:<factor>|abs:<steps>)"
+            ))),
+        }
+    }
+
     /// Resolves the cap for a concrete graph.
     pub fn resolve(&self, g: &Graph) -> u64 {
         match *self {
@@ -1566,6 +1617,232 @@ impl ExperimentSpec {
             }
         }
         Ok(())
+    }
+
+    /// Renders the spec's structure as one CLI-flag line (inverse of
+    /// [`ExperimentSpec::parse_cli`]): one `--graph`/`--process`/
+    /// `--metrics` token per grid entry **in the receiver's order**,
+    /// followed by `--trials`, `--target`, `--start`, `--cap` and (when
+    /// resampling) `--resample <W>`, all explicit. `name` and
+    /// `description` are not rendered — in the normal form they are
+    /// derived from this line, not inputs to it.
+    ///
+    /// The *canonical* line of an experiment is
+    /// `self.canonicalize().to_cli()`; on a canonical spec this method
+    /// is the fixed-point side of `parse(to_cli(canonicalize(s)))`.
+    pub fn to_cli(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for g in &self.graphs {
+            parts.push(format!("--graph {}", g.to_cli()));
+        }
+        for p in &self.processes {
+            parts.push(format!("--process {}", p.to_cli()));
+        }
+        parts.push(format!("--trials {}", self.trials));
+        parts.push(format!("--target {}", self.target.to_cli()));
+        for m in &self.metrics {
+            parts.push(format!("--metrics {}", m.to_cli()));
+        }
+        parts.push(format!("--start {}", self.start));
+        parts.push(format!("--cap {}", self.cap.to_cli()));
+        if let Some(plan) = self.resample {
+            parts.push(format!("--resample {}", plan.walks_per_graph));
+        }
+        parts.join(" ")
+    }
+
+    /// Parses a whitespace-separated spec line of [`ExperimentSpec::to_cli`]
+    /// flags and returns the **canonical** spec it denotes (grids
+    /// sorted, defaults materialized, `name`/`description` derived from
+    /// content — see [`ExperimentSpec::canonicalize`]).
+    ///
+    /// Accepted flags: `--graph` (repeatable; `;`-packed), `--process`/
+    /// `--processes` (repeatable; `,`-packed), `--metrics` (repeatable;
+    /// `,`-packed), `--trials`, `--target`, `--start`, `--cap`,
+    /// `--resample <W>`. Omitted fields take the `compare` defaults
+    /// (5 trials, `vertex` target, start 0, `auto` cap, no resampling).
+    /// Resample `~` markers and sweep ranges are rejected: a canonical
+    /// line carries explicit `--resample` and concrete sizes.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on unknown flags, missing or malformed values,
+    /// positional tokens, or an empty graph/process grid.
+    pub fn parse_cli(line: &str) -> Result<ExperimentSpec, SpecError> {
+        use crate::cli::{parse_args, Arity, FlagDef};
+        const TABLE: &[FlagDef] = &[
+            FlagDef {
+                name: "--graph",
+                aliases: &[],
+                arity: Arity::Value("a graph spec"),
+            },
+            FlagDef {
+                name: "--process",
+                aliases: &["--processes"],
+                arity: Arity::Value("a process list"),
+            },
+            FlagDef {
+                name: "--trials",
+                aliases: &[],
+                arity: Arity::Value("a trial count"),
+            },
+            FlagDef {
+                name: "--target",
+                aliases: &[],
+                arity: Arity::Value("a target"),
+            },
+            FlagDef {
+                name: "--metrics",
+                aliases: &[],
+                arity: Arity::Value("a metric list"),
+            },
+            FlagDef {
+                name: "--start",
+                aliases: &[],
+                arity: Arity::Value("a start vertex"),
+            },
+            FlagDef {
+                name: "--cap",
+                aliases: &[],
+                arity: Arity::Value("auto|nlogn:<factor>|abs:<steps>"),
+            },
+            FlagDef {
+                name: "--resample",
+                aliases: &[],
+                arity: Arity::Value("a walks-per-graph count"),
+            },
+        ];
+        const ACCEPTS: &[&str] = &[
+            "--graph",
+            "--process",
+            "--trials",
+            "--target",
+            "--metrics",
+            "--start",
+            "--cap",
+            "--resample",
+        ];
+        let parsed = parse_args(
+            "spec",
+            TABLE,
+            ACCEPTS,
+            line.split_whitespace().map(String::from),
+        )
+        .map_err(|e| SpecError::new(e.to_string()))?;
+        if let Some(tok) = parsed.positionals.first() {
+            return Err(SpecError::new(format!(
+                "spec line: unexpected token {tok:?} (flags only)"
+            )));
+        }
+        let mut spec = ExperimentSpec {
+            name: String::new(),
+            description: String::new(),
+            graphs: Vec::new(),
+            processes: Vec::new(),
+            trials: 5,
+            target: Target::VertexCover,
+            metrics: Vec::new(),
+            start: 0,
+            cap: CapSpec::Auto,
+            resample: None,
+        };
+        let expects = |flag: &str, what: &str, got: &str| {
+            SpecError::new(format!("flag `{flag}` expects {what}, got {got:?}"))
+        };
+        for (flag, value) in &parsed.flags {
+            let v = value
+                .as_deref()
+                .expect("every spec-line flag takes a value");
+            match *flag {
+                "--graph" => {
+                    for part in v.split(';') {
+                        spec.graphs.push(GraphSpec::parse(part)?);
+                    }
+                }
+                "--process" => {
+                    for part in v.split(',') {
+                        spec.processes.push(ProcessSpec::parse(part)?);
+                    }
+                }
+                "--metrics" => {
+                    for part in v.split(',') {
+                        spec.metrics.push(MetricSpec::parse(part)?);
+                    }
+                }
+                "--trials" => {
+                    spec.trials = match v.parse() {
+                        Ok(t) if t >= 1 => t,
+                        _ => return Err(expects("--trials", "an integer of at least 1", v)),
+                    };
+                }
+                "--target" => spec.target = Target::parse(v)?,
+                "--start" => {
+                    spec.start = v
+                        .parse()
+                        .map_err(|_| expects("--start", "a vertex index", v))?;
+                }
+                "--cap" => spec.cap = CapSpec::parse(v)?,
+                "--resample" => {
+                    let walks = match v.parse() {
+                        Ok(w) if w >= 1 => w,
+                        _ => return Err(expects("--resample", "an integer of at least 1", v)),
+                    };
+                    spec.resample = Some(ResamplePlan {
+                        walks_per_graph: walks,
+                    });
+                }
+                other => unreachable!("unaccepted flag {other} passed the table"),
+            }
+        }
+        if spec.graphs.is_empty() {
+            return Err(SpecError::new("spec line has no --graph"));
+        }
+        if spec.processes.is_empty() {
+            return Err(SpecError::new("spec line has no --process"));
+        }
+        Ok(spec.canonicalize())
+    }
+
+    /// The unique normal form of this experiment, the fixed point of
+    /// `parse_cli ∘ to_cli`:
+    ///
+    /// - **graphs** sorted by `(family label, vertex count, spelling)`
+    ///   — spelling-independent, and sweeps stay in ascending size
+    ///   order within a family;
+    /// - **processes** and **metrics** sorted by their `to_cli`
+    ///   spelling;
+    /// - **`name`** derived from the content
+    ///   ([`crate::digest::content_name`]: `spec-<12 hex of the
+    ///   canonical line's SHA-256>`), and **`description`** set to the
+    ///   canonical line itself, so two spellings of the same experiment
+    ///   are `==` after canonicalization and artifacts are
+    ///   self-describing.
+    ///
+    /// Duplicates are **not** removed: grid entries are seeded by
+    /// position, so a repeated family is a genuine second sample, not
+    /// a redundant one.
+    ///
+    /// Canonicalization changes grid *order*, and the executor derives
+    /// every seed from grid indices — so the canonical spec generally
+    /// computes different bytes than a differently-ordered spelling.
+    /// Callers that key artifacts by [`crate::digest::SpecDigest`]
+    /// (the `--cache` path) must therefore execute the canonical form,
+    /// which is exactly what the CLI does.
+    pub fn canonicalize(&self) -> ExperimentSpec {
+        let mut c = self.clone();
+        c.graphs.sort_by_key(|g| {
+            (
+                g.family_label(),
+                g.vertex_count().unwrap_or(usize::MAX),
+                g.to_cli(),
+            )
+        });
+        c.processes.sort_by_key(ProcessSpec::to_cli);
+        c.metrics.sort_by_key(MetricSpec::to_cli);
+        let line = c.to_cli();
+        c.name = crate::digest::content_name(&line);
+        c.description = line;
+        c
     }
 }
 

@@ -2,8 +2,11 @@
 //! exact inverses for every variant, and strict parsing must reject
 //! malformed input rather than silently dropping it.
 
+use eproc_engine::builtin;
+use eproc_engine::digest::{spec_digest, ArtifactKind};
 use eproc_engine::spec::{
-    GraphSpec, MetricSpec, ProcessSpec, RuleSpec, SweepRange, SweepStep, MAX_SWEEP_POINTS,
+    CapSpec, ExperimentSpec, GraphSpec, MetricSpec, ProcessSpec, ResamplePlan, RuleSpec, Scale,
+    SweepRange, SweepStep, Target, MAX_SWEEP_POINTS,
 };
 use proptest::prelude::*;
 
@@ -125,6 +128,65 @@ fn arb_metric_spec() -> impl Strategy<Value = MetricSpec> {
     })
 }
 
+fn arb_target() -> impl Strategy<Value = Target> {
+    (0usize..4, 1u32..99).prop_map(|(variant, delta)| match variant {
+        0 => Target::VertexCover,
+        1 => Target::EdgeCover,
+        2 => Target::BothCover,
+        // Hundredths have exact shortest-round-trip decimal forms.
+        _ => Target::Blanket {
+            delta: delta as f64 / 100.0,
+        },
+    })
+}
+
+fn arb_cap() -> impl Strategy<Value = CapSpec> {
+    (0usize..3, 1usize..64, 1u64..1_000_000).prop_map(|(variant, q, abs)| match variant {
+        0 => CapSpec::Auto,
+        1 => CapSpec::NLogN(q as f64 / 4.0),
+        _ => CapSpec::Absolute(abs),
+    })
+}
+
+/// Strategy: a full [`ExperimentSpec`] with arbitrary (possibly
+/// duplicated, unsorted) grids — the input space canonicalization must
+/// collapse into the normal form.
+fn arb_experiment_spec() -> impl Strategy<Value = ExperimentSpec> {
+    (
+        (
+            proptest::collection::vec(arb_graph_spec(), 1..4),
+            proptest::collection::vec(arb_process_spec(), 1..4),
+            1usize..16,
+            arb_target(),
+        ),
+        (
+            proptest::collection::vec(arb_metric_spec(), 0..3),
+            0usize..8,
+            arb_cap(),
+            0usize..7,
+        ),
+    )
+        .prop_map(
+            |((graphs, processes, trials, target), (metrics, start, cap, resample))| {
+                ExperimentSpec {
+                    name: "arbitrary".into(),
+                    description: "proptest-generated".into(),
+                    graphs,
+                    processes,
+                    trials,
+                    target,
+                    metrics,
+                    start,
+                    cap,
+                    // 0 encodes "no resampling"; 1..7 is walks-per-graph.
+                    resample: (resample > 0).then_some(ResamplePlan {
+                        walks_per_graph: resample,
+                    }),
+                }
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -217,6 +279,53 @@ proptest! {
     }
 
     #[test]
+    fn canonicalization_is_a_fixed_point(spec in arb_experiment_spec()) {
+        // parse(to_cli(canonicalize(s))) == canonicalize(s), as full
+        // struct equality: the derived name and description round-trip
+        // too, because both sides recompute them from the same line.
+        let canonical = spec.canonicalize();
+        let reparsed = ExperimentSpec::parse_cli(&canonical.to_cli()).unwrap();
+        prop_assert_eq!(&reparsed, &canonical);
+        // Idempotence: a second canonicalization changes nothing.
+        prop_assert_eq!(canonical.canonicalize(), canonical);
+    }
+
+    #[test]
+    fn digest_is_invariant_under_grid_order(
+        spec in arb_experiment_spec(),
+        rot_g in 0usize..4,
+        rot_p in 0usize..4,
+        rot_m in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        // Any permutation of the grids describes the same experiment
+        // and must key the same cache entry.
+        let mut shuffled = spec.clone();
+        let g = shuffled.graphs.len();
+        shuffled.graphs.rotate_left(rot_g % g);
+        let p = shuffled.processes.len();
+        shuffled.processes.rotate_left(rot_p % p);
+        if !shuffled.metrics.is_empty() {
+            let m = shuffled.metrics.len();
+            shuffled.metrics.rotate_left(rot_m % m);
+        }
+        let q = [0.5, 0.9, 0.99];
+        prop_assert_eq!(
+            spec_digest(&spec, seed, &q, ArtifactKind::Ensemble),
+            spec_digest(&shuffled, seed, &q, ArtifactKind::Ensemble)
+        );
+        // ...but the seed and the artifact kind are part of the key.
+        prop_assert_ne!(
+            spec_digest(&spec, seed, &q, ArtifactKind::Ensemble),
+            spec_digest(&spec, seed + 1, &q, ArtifactKind::Ensemble)
+        );
+        prop_assert_ne!(
+            spec_digest(&spec, seed, &q, ArtifactKind::Ensemble),
+            spec_digest(&spec, seed, &q, ArtifactKind::Scaling)
+        );
+    }
+
+    #[test]
     fn validated_randomized_specs_build(n in 3usize..40) {
         // Validation admitting a spec implies the generator succeeds.
         let d = 3 + (n % 2); // keep n*d even: odd n forces d = 4
@@ -224,5 +333,28 @@ proptest! {
         prop_assert!(spec.validate().is_ok(), "{:?}", spec);
         let g = spec.build(n as u64).unwrap();
         prop_assert_eq!(g.n(), n.max(d + 1));
+    }
+}
+
+/// Every builtin digests identically whether named (`eproc run <name>`)
+/// or spelled out as expanded flags (`eproc compare --graph … --process
+/// …` with the canonical line): the two spellings must share one cache
+/// entry at both scales.
+#[test]
+fn builtin_name_and_expanded_flag_spellings_digest_identically() {
+    let quantiles = [0.5, 0.9, 0.99];
+    for scale in [Scale::Quick, Scale::Paper] {
+        for name in builtin::names() {
+            let by_name = builtin::spec(name, scale).expect("listed specs exist");
+            let expanded = ExperimentSpec::parse_cli(&by_name.canonicalize().to_cli())
+                .unwrap_or_else(|e| panic!("{name}: canonical line must reparse: {e}"));
+            for kind in [ArtifactKind::Ensemble, ArtifactKind::Scaling] {
+                assert_eq!(
+                    spec_digest(&by_name, 12345, &quantiles, kind),
+                    spec_digest(&expanded, 12345, &quantiles, kind),
+                    "{name} ({scale:?}, {kind:?}): spellings must share a digest"
+                );
+            }
+        }
     }
 }
